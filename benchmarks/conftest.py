@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one of the paper's figures/tables (see DESIGN.md's
+experiment index), checks its qualitative shape against the paper, and
+writes the rendered series to ``benchmarks/results/<name>.txt`` so the
+artefacts survive the run.  The ``benchmark`` fixture times the compute
+kernel of each experiment.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Write a named result artefact and echo it to stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _record
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20070629)

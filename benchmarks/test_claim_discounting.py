@@ -1,0 +1,73 @@
+"""E12 — claim discounting: judge SIL n+1, claim SIL n (Sections 3.4/5).
+
+Paper: "it is more likely that a better case can be made if the system is
+judged as most likely a SIL n+1 system and it could then be taken as a
+SIL n with high confidence" (the Sizewell B order-of-magnitude reduction),
+and "compliance with process... should lead to claims being heavily
+discounted (e.g. by 2 SILs)".
+"""
+
+from repro.distributions import LogNormalJudgement
+from repro.sil import (
+    ArgumentRigour,
+    DiscountPolicy,
+    classify_by_mode,
+    claimable_level,
+)
+from repro.standards import recommended_policy
+from repro.viz import format_table
+
+SIGMA = 0.9
+#: Judgements whose modes sit mid-band in SIL 1..4.
+MODES = [3e-2, 3e-3, 3e-4, 3e-5]
+
+
+def compute():
+    rows = []
+    for mode in MODES:
+        dist = LogNormalJudgement.from_mode_sigma(mode, SIGMA)
+        mode_level = classify_by_mode(dist)
+        confident = claimable_level(
+            dist,
+            DiscountPolicy(
+                required_confidence=0.90,
+                rigour=ArgumentRigour.QUANTITATIVE_CONSERVATIVE,
+            ),
+        )
+        per_rigour = [
+            claimable_level(dist, recommended_policy(rigour, 0.90))
+            for rigour in ArgumentRigour.ALL
+        ]
+        rows.append((mode, mode_level, confident, per_rigour))
+    return rows
+
+
+def test_claim_discounting(benchmark, record):
+    rows = benchmark(compute)
+
+    table = format_table(
+        ["mode pfd", "SIL of mode", "claimable @90%"]
+        + [f"{r}" for r in ArgumentRigour.ALL],
+        [[mode, mode_level, str(confident)] + [str(v) for v in per_rigour]
+         for mode, mode_level, confident, per_rigour in rows],
+    )
+    record(
+        "claim_discounting",
+        table + "\n\npaper: judge SIL n+1 -> claim SIL n with high "
+        "confidence; qualitative process arguments discounted >= 2 levels "
+        "and claim-limited",
+    )
+
+    for mode, mode_level, confident, per_rigour in rows:
+        if confident is None:
+            continue
+        # The high-confidence claim sits at least one level below the
+        # most-likely level: judge n+1, claim n.
+        assert mode_level - confident >= 1
+        # Rigour ordering: weaker arguments never claim more.
+        levels = [v if v is not None else 0 for v in per_rigour]
+        assert levels == sorted(levels, reverse=True)
+        # Qualitative process arguments lose >= 2 levels vs conservative.
+        conservative, _, _, qualitative = per_rigour
+        if conservative is not None:
+            assert (qualitative or 0) <= conservative - 2 or qualitative is None

@@ -1,0 +1,94 @@
+"""E7 — Section 3.4's worked examples of the conservative bound.
+
+Regenerates the paper's Examples 1-3 for the claim y = 1e-3 (the (x*, y*)
+pairs on x* + y* - x*y* = y), the y = 1e-5 stringency discussion, and the
+bounded-error ablation ("sure we are not wrong by more than a factor of
+100") called out in DESIGN.md §7.
+"""
+
+import numpy as np
+
+from repro.core import (
+    SinglePointBelief,
+    bounded_error_failure_probability,
+    design_for_claim,
+    required_confidence,
+    worst_case_failure_probability,
+)
+from repro.viz import format_table
+
+
+def compute():
+    claim = 1e-3
+    examples = []
+    # Example 1: x*=0, y*=1e-3; Example 2 limit: y*->0, x*=1e-3;
+    # Example 3: y*=1e-4 -> confidence 99.91%; plus intermediate margins.
+    for margin in (0.0, 0.5, 1.0, 2.0, np.inf):
+        if np.isinf(margin):
+            belief_bound = 0.0
+        else:
+            belief_bound = claim * 10.0**-margin
+        design = design_for_claim(claim, belief_bound=belief_bound)
+        examples.append((margin, design))
+
+    stringent = [
+        (y_star, required_confidence(1e-5, y_star))
+        for y_star in (1e-6, 1e-7, 0.0)
+    ]
+
+    ablation = []
+    belief = design_for_claim(claim, margin_decades=1).belief
+    for factor in (10.0, 100.0, 1000.0, np.inf):
+        if np.isinf(factor):
+            value = worst_case_failure_probability(belief)
+        else:
+            value = bounded_error_failure_probability(belief, factor)
+        ablation.append((factor, value))
+    return examples, stringent, ablation
+
+
+def test_conservative_examples(benchmark, record):
+    examples, stringent, ablation = benchmark(compute)
+
+    example_table = format_table(
+        ["margin (decades)", "belief bound y*", "required confidence 1-x*",
+         "worst-case P(failure)"],
+        [[m, d.belief.bound, f"{d.belief.confidence:.4%}", d.worst_case]
+         for m, d in examples],
+    )
+    stringent_table = format_table(
+        ["belief bound y*", "required confidence for claim 1e-5"],
+        [[y, f"{c:.6%}"] for y, c in stringent],
+    )
+    ablation_table = format_table(
+        ["error factor k (doubt mass at k*y*)", "bound on P(failure)"],
+        [[k, v] for k, v in ablation],
+    )
+    record(
+        "conservative_examples",
+        "claim y = 1e-3 (paper Examples 1-3):\n" + example_table
+        + "\n\nstringent claim y = 1e-5 (paper: needs > 99.999%):\n"
+        + stringent_table
+        + "\n\nbounded-error ablation (paper's closing remark):\n"
+        + ablation_table,
+    )
+
+    by_margin = {m: d for m, d in examples}
+    # Example 1: no margin -> certainty required.
+    assert by_margin[0.0].belief.confidence == 1.0
+    # Example 3: one decade -> 99.91%.
+    assert abs(by_margin[1.0].belief.confidence - 0.9991) < 1e-4
+    # Example 2 (perfection limit): confidence 1 - y = 99.9%.
+    assert abs(by_margin[np.inf].belief.confidence - 0.999) < 1e-12
+    # Every design exactly supports its claim.
+    for _, design in examples:
+        assert design.is_sufficient
+        assert design.worst_case <= 1e-3 * (1 + 1e-9)
+    # The stringent claim demands >= 99.999% whatever the margin (the
+    # perfection limit y* = 0 attains exactly 1 - y = 99.999%).
+    for _, confidence in stringent:
+        assert confidence >= 0.99999 - 1e-12
+    # Bounded-error bounds grow toward the worst case as k grows.
+    values = [v for _, v in ablation]
+    assert values == sorted(values)
+    assert values[-1] == max(values)

@@ -1,0 +1,64 @@
+"""E1 — Figure 1: density functions of the judgement of SIL.
+
+Paper setup: three log-normal judgements, all with the most-likely pfd
+(mode) at 0.003 — the middle of SIL 2 — but different spreads.  The
+dashed (narrow) curve has mean 0.004, close to the mode; the solid
+(widest) curve has mean 0.01, which is already in the SIL 1 band.
+"""
+
+import numpy as np
+
+from repro.distributions import LogNormalJudgement
+from repro.sil import classify_by_mean
+from repro.viz import density_chart, format_table
+
+MODE = 0.003
+#: (label, mean) pairs matching the Figure 1 curves; the middle curve
+#: interpolates between the paper's dashed and solid extremes.
+CURVES = [
+    ("dashed (mean 0.004)", 0.004),
+    ("middle (mean 0.006)", 0.006),
+    ("solid  (mean 0.010)", 0.010),
+]
+
+
+def compute():
+    grid = np.logspace(-5, 0, 400)
+    rows, densities = [], []
+    for label, mean in CURVES:
+        dist = LogNormalJudgement.from_mean_mode(mean=mean, mode=MODE)
+        densities.append(np.asarray(dist.pdf(grid), dtype=float))
+        rows.append(
+            (label, dist.sigma, dist.mode(), dist.mean(),
+             classify_by_mean(dist))
+        )
+    return grid, densities, rows
+
+
+def test_fig1_densities(benchmark, record):
+    grid, densities, rows = benchmark(compute)
+
+    table = format_table(
+        ["curve", "sigma", "mode", "mean", "SIL of mean"],
+        [[label, f"{sigma:.3f}", mode, mean, level]
+         for label, sigma, mode, mean, level in rows],
+    )
+    chart = density_chart(
+        grid, densities, labels=[label for label, _ in CURVES],
+        title="Figure 1: log-normal judgement densities (log pfd axis)",
+    )
+    record("fig1_densities", table + "\n\n" + chart)
+
+    # Shape checks against the paper.
+    by_label = {label: (sigma, mode, mean, level)
+                for label, sigma, mode, mean, level in rows}
+    # All curves share the mode at 0.003 (mid SIL 2)...
+    for sigma, mode, mean, level in by_label.values():
+        assert abs(mode - MODE) / MODE < 1e-9
+    # ...the dashed curve's mean stays in SIL 2...
+    assert by_label["dashed (mean 0.004)"][3] == 2
+    # ...and the solid curve's mean is dragged into SIL 1.
+    assert by_label["solid  (mean 0.010)"][3] == 1
+    # Wider spread = bigger sigma, ordered like the means.
+    sigmas = [by_label[label][0] for label, _ in CURVES]
+    assert sigmas == sorted(sigmas)

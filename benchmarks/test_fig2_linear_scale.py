@@ -1,0 +1,50 @@
+"""E2 — Figure 2: the same densities on a linear pfd scale.
+
+The paper plots Figure 1's judgements on a linear axis to show "the
+impact of higher failure rates": on the linear scale the broad curves
+reveal the heavy right tail that drags the mean upward.
+"""
+
+import numpy as np
+
+from repro.distributions import LogNormalJudgement
+from repro.numerics import trapezoid
+from repro.viz import format_table, line_chart
+
+MODE = 0.003
+MEANS = [0.004, 0.006, 0.010]
+
+
+def compute():
+    grid = np.linspace(1e-6, 0.05, 1200)
+    densities, tail_mass = [], []
+    for mean in MEANS:
+        dist = LogNormalJudgement.from_mean_mode(mean=mean, mode=MODE)
+        dens = np.asarray(dist.pdf(grid), dtype=float)
+        densities.append(dens)
+        tail_mass.append(float(dist.sf(1e-2)))
+    return grid, densities, tail_mass
+
+
+def test_fig2_linear_scale(benchmark, record):
+    grid, densities, tail_mass = benchmark(compute)
+
+    chart = line_chart(
+        grid, densities,
+        labels=[f"mean {m:g}" for m in MEANS],
+        title="Figure 2: judgement densities on a linear pfd scale",
+        x_label="pfd (linear)",
+        y_label="density",
+    )
+    table = format_table(
+        ["mean", "P(pfd > 1e-2) (tail beyond SIL 2)"],
+        [[m, t] for m, t in zip(MEANS, tail_mass)],
+    )
+    record("fig2_linear_scale", table + "\n\n" + chart)
+
+    # The broader the judgement, the heavier the beyond-band tail.
+    assert tail_mass == sorted(tail_mass)
+    # The widest curve leaves ~33% beyond the SIL 2 bound (1 - 67%).
+    assert abs(tail_mass[-1] - 0.33) < 0.02
+    # The narrow curve's tail is small.
+    assert tail_mass[0] < 0.05

@@ -1,0 +1,68 @@
+"""E3 — Figure 3: relationship between confidence in a SIL and the mean.
+
+Paper setup: hold the mode at 0.003 (mid SIL 2) and vary the spread; for
+each spread report the one-sided confidence in SIL 2 (P(pfd < 1e-2)) and
+the mean pfd.  Headline: "if our confidence falls below about 67% that
+the system is SIL2 then the mean rate is actually in the SIL1 band."
+"""
+
+import numpy as np
+
+from repro.core import lognormal_confidence_crossover, spread_tradeoff
+from repro.distributions import LogNormalJudgement
+from repro.sil import LOW_DEMAND
+from repro.viz import format_table, line_chart
+
+MODE = 0.003
+BAND = LOW_DEMAND.band(2)
+
+
+def compute():
+    sigmas = np.linspace(0.15, 2.2, 60)
+    points = spread_tradeoff(
+        lambda s: LogNormalJudgement.from_mode_sigma(MODE, s),
+        spreads=sigmas,
+        bound=BAND.upper,
+    )
+    crossover = lognormal_confidence_crossover(MODE, BAND)
+    return points, crossover
+
+
+def test_fig3_confidence_vs_mean(benchmark, record):
+    points, crossover = benchmark(compute)
+
+    confidences = np.array([p.confidence for p in points])
+    means = np.array([p.mean for p in points])
+    order = np.argsort(confidences)
+    chart = line_chart(
+        confidences[order] * 100.0,
+        [means[order]],
+        labels=["mean pfd"],
+        title="Figure 3: mean pfd vs confidence in SIL 2 (mode fixed 0.003)",
+        log_y=True,
+        x_label="confidence in SIL2 (%)",
+        y_label="mean pfd",
+    )
+    table = format_table(
+        ["sigma", "confidence in SIL2", "mean pfd", "mean's band"],
+        [[f"{p.spread:.2f}", f"{p.confidence:.1%}", p.mean,
+          LOW_DEMAND.level_of(p.mean)]
+         for p in points[::6]],
+    )
+    summary = (
+        f"crossover: sigma = {crossover.spread:.3f}, confidence = "
+        f"{crossover.confidence:.1%}, mean = {crossover.mean:.4g} "
+        f"(paper: ~67% / 0.01)"
+    )
+    record("fig3_confidence_vs_mean", table + "\n\n" + chart + "\n" + summary)
+
+    # The paper's 67% crossover.
+    assert abs(crossover.confidence - 0.67) < 0.01
+    assert abs(crossover.mean - BAND.upper) / BAND.upper < 1e-6
+    # Above the crossover confidence the mean stays in SIL 2; below it
+    # the mean is in SIL 1 (who-wins shape of the figure).
+    for p in points:
+        if p.confidence > crossover.confidence + 1e-9:
+            assert p.mean < BAND.upper
+        elif p.confidence < crossover.confidence - 1e-9:
+            assert p.mean > BAND.upper

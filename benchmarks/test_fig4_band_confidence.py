@@ -1,0 +1,58 @@
+"""E4 — Figure 4: confidence the true failure rate is better than a bound.
+
+Paper setup: for the Figure 1 judgements (fixed mode, varying mean),
+evaluate the chance of the true pfd being in each SIL band or better.
+Headline for the widest curve: "about a 67% chance of being in SIL2 or
+higher and a 99.9% chance of being SIL1 or higher."
+"""
+
+import numpy as np
+
+from repro.core import ConfidenceProfile
+from repro.distributions import LogNormalJudgement
+from repro.sil import LOW_DEMAND
+from repro.viz import format_table, line_chart
+
+MODE = 0.003
+MEANS = [0.004, 0.006, 0.010]
+
+
+def compute():
+    bounds = np.logspace(-5, -0.5, 200)
+    rows, curves = [], []
+    for mean in MEANS:
+        dist = LogNormalJudgement.from_mean_mode(mean=mean, mode=MODE)
+        profile = ConfidenceProfile(dist)
+        curves.append(profile.profile(bounds))
+        rows.append((mean, dict(profile.band_confidences(LOW_DEMAND))))
+    return bounds, curves, rows
+
+
+def test_fig4_band_confidence(benchmark, record):
+    bounds, curves, rows = benchmark(compute)
+
+    chart = line_chart(
+        bounds, curves,
+        labels=[f"mean {m:g}" for m in MEANS],
+        title="Figure 4: P(true pfd < bound) per judgement",
+        log_x=True,
+        x_label="bound (pfd)",
+        y_label="confidence",
+    )
+    table = format_table(
+        ["mean", "P(SIL4+)", "P(SIL3+)", "P(SIL2+)", "P(SIL1+)"],
+        [[mean] + [f"{band_conf[level]:.2%}" for level in (4, 3, 2, 1)]
+         for mean, band_conf in rows],
+    )
+    record("fig4_band_confidence", table + "\n\n" + chart)
+
+    widest = rows[-1][1]
+    # Paper anchors for the widest judgement.
+    assert abs(widest[2] - 0.67) < 0.01
+    assert abs(widest[1] - 0.999) < 0.002
+    # Confidence curves are monotone in the bound and ordered by spread:
+    # at the SIL 2 bound, narrower judgements are more confident.
+    at_sil2 = [band_conf[2] for _, band_conf in rows]
+    assert at_sil2 == sorted(at_sil2, reverse=True)
+    for curve in curves:
+        assert np.all(np.diff(curve) >= -1e-12)

@@ -1,0 +1,68 @@
+"""E8 — the gamma-distribution sensitivity repeat of Figure 3.
+
+The paper: "We have repeated some of the results for a gamma distribution
+to illustrate the (low) sensitivity to the log-normal assumptions."  We
+rerun the confidence/mean trade-off with a gamma judgement whose mode is
+held at 0.003 and compare the crossover confidence.
+"""
+
+import numpy as np
+
+from repro.core import confidence_crossover, lognormal_confidence_crossover
+from repro.distributions import GammaJudgement, LogNormalJudgement
+from repro.sil import LOW_DEMAND
+from repro.viz import format_table
+
+MODE = 0.003
+BAND = LOW_DEMAND.band(2)
+
+
+def gamma_factory(spread: float) -> GammaJudgement:
+    """Fixed-mode gamma; ``spread`` plays sigma's role (bigger = broader)."""
+    return GammaJudgement.from_mode_shape(MODE, shape=1.0 + 1.0 / spread**2)
+
+
+def compute():
+    lognormal = lognormal_confidence_crossover(MODE, BAND)
+    gamma = confidence_crossover(
+        gamma_factory, bound=BAND.upper, spread_range=(0.05, 5.0)
+    )
+    # Confidence at matched means, across the sweep.
+    comparisons = []
+    for mean in (0.004, 0.006, 0.008, 0.010):
+        ln_dist = LogNormalJudgement.from_mean_mode(mean=mean, mode=MODE)
+        gamma_dist = GammaJudgement.from_mean_mode(mean=mean, mode=MODE)
+        comparisons.append(
+            (mean, ln_dist.confidence(BAND.upper),
+             gamma_dist.confidence(BAND.upper))
+        )
+    return lognormal, gamma, comparisons
+
+
+def test_gamma_sensitivity(benchmark, record):
+    lognormal, gamma, comparisons = benchmark(compute)
+
+    table = format_table(
+        ["mean (mode 0.003)", "log-normal P(SIL2+)", "gamma P(SIL2+)",
+         "difference"],
+        [[mean, f"{ln:.2%}", f"{g:.2%}", f"{abs(ln - g):.2%}"]
+         for mean, ln, g in comparisons],
+    )
+    summary = (
+        f"crossover confidence: log-normal {lognormal.confidence:.1%}, "
+        f"gamma {gamma.confidence:.1%} (paper: low sensitivity to the "
+        f"distributional assumption)"
+    )
+    record("gamma_sensitivity", table + "\n" + summary)
+
+    # The qualitative conclusion is family-insensitive: crossovers agree
+    # within a few points and per-mean confidences track closely.
+    assert abs(lognormal.confidence - gamma.confidence) < 0.08
+    for _, ln, g in comparisons:
+        assert abs(ln - g) < 0.10
+    # Both families show the same who-wins direction: broader (bigger
+    # mean) = lower confidence.
+    ln_confidences = [ln for _, ln, _ in comparisons]
+    gamma_confidences = [g for _, _, g in comparisons]
+    assert ln_confidences == sorted(ln_confidences, reverse=True)
+    assert gamma_confidences == sorted(gamma_confidences, reverse=True)

@@ -1,0 +1,70 @@
+"""E13 — the Bishop-Bloomfield conservative growth bound (Section 4.1).
+
+Paper reference [13]: worst-case failure intensity after failure-free
+exposure t with N residual faults is N/(e t), whatever the fault rates.
+We regenerate the bound curve and verify it dominates random concrete
+rate assignments.
+"""
+
+import numpy as np
+
+from repro.update import (
+    empirical_intensity,
+    growth_bound_curve,
+    worst_case_intensity,
+)
+from repro.viz import format_table, line_chart
+
+N_FAULTS = 10
+EXPOSURES = [10.0, 100.0, 1000.0, 10_000.0, 100_000.0]
+
+
+def compute():
+    # Fresh fixed seed per round: the benchmark fixture re-invokes this.
+    rng = np.random.default_rng(20070629)
+    curve = growth_bound_curve(N_FAULTS, EXPOSURES)
+    # Random rate assignments to verify domination empirically.
+    gaps = []
+    for t in EXPOSURES:
+        worst_gap = 0.0
+        for _ in range(50):
+            rates = rng.uniform(1e-6, 1e-1, size=N_FAULTS)
+            actual = empirical_intensity(rates, t)
+            bound = worst_case_intensity(N_FAULTS, t)
+            worst_gap = max(worst_gap, actual / bound)
+        gaps.append(worst_gap)
+    return curve, gaps
+
+
+def test_growth_bound(benchmark, record):
+    curve, gaps = benchmark(compute)
+
+    table = format_table(
+        ["exposure t", "worst intensity N/(e t)", "worst MTBF e t/N",
+         "max measured/bound over 50 random systems"],
+        [[p.exposure, p.worst_intensity, p.worst_mtbf, f"{g:.3f}"]
+         for p, g in zip(curve, gaps)],
+    )
+    chart = line_chart(
+        [p.exposure for p in curve],
+        [[p.worst_intensity for p in curve]],
+        labels=["bound"],
+        title=f"Conservative failure-intensity bound, N = {N_FAULTS}",
+        log_x=True,
+        log_y=True,
+        x_label="failure-free exposure t",
+        y_label="intensity",
+        height=12,
+    )
+    record("growth_bound", table + "\n\n" + chart)
+
+    # The bound decays as 1/t (straight line of slope -1 in log-log).
+    intensities = np.array([p.worst_intensity for p in curve])
+    ratios = intensities[:-1] / intensities[1:]
+    assert np.allclose(ratios, 10.0, rtol=1e-9)
+    # Every random system sits at or below the bound.
+    assert all(g <= 1.0 + 1e-9 for g in gaps)
+    # And the bound is not vacuous: adversarial systems approach it.
+    t = 1000.0
+    adversarial = empirical_intensity([1.0 / t] * N_FAULTS, t)
+    assert adversarial / worst_case_intensity(N_FAULTS, t) > 0.999

@@ -1,0 +1,51 @@
+"""E6 — the Section 3.1 analytic identity log10(mean/mode) = 0.65 sigma^2.
+
+Paper quotes: no gap at sigma = 0, one decade at sigma = 1.2, two decades
+at sigma = 1.7.
+"""
+
+import numpy as np
+
+from repro.distributions import (
+    LogNormalJudgement,
+    mean_mode_decades,
+    sigma_for_decades,
+)
+from repro.viz import format_table, line_chart
+
+
+def compute():
+    sigmas = np.linspace(0.05, 2.2, 80)
+    analytic = np.array([mean_mode_decades(s) for s in sigmas])
+    measured = np.array([
+        np.log10(LogNormalJudgement.from_mode_sigma(1e-3, s).mean() / 1e-3)
+        for s in sigmas
+    ])
+    return sigmas, analytic, measured
+
+
+def test_mean_mode_ratio(benchmark, record):
+    sigmas, analytic, measured = benchmark(compute)
+
+    chart = line_chart(
+        sigmas, [analytic, measured],
+        labels=["0.65 sigma^2", "measured from distribution"],
+        title="log10(mean/mode) vs sigma",
+        x_label="sigma",
+        y_label="decades",
+        height=14,
+    )
+    table = format_table(
+        ["sigma", "decades (analytic)", "decades (measured)"],
+        [[f"{s:.2f}", a, m]
+         for s, a, m in zip(sigmas[::16], analytic[::16], measured[::16])],
+    )
+    anchors = (
+        f"sigma for 1 decade: {sigma_for_decades(1.0):.3f} (paper ~1.2); "
+        f"sigma for 2 decades: {sigma_for_decades(2.0):.3f} (paper ~1.7)"
+    )
+    record("mean_mode_ratio", table + "\n\n" + chart + "\n" + anchors)
+
+    assert np.allclose(analytic, measured, rtol=1e-9)
+    assert abs(sigma_for_decades(1.0) - 1.2) < 0.05
+    assert abs(sigma_for_decades(2.0) - 1.7) < 0.06

@@ -1,0 +1,50 @@
+"""P1-P4 — performance benches for the library's compute kernels.
+
+Not paper artefacts: these time the engines the experiments lean on
+(quadrature moments, grid Bayesian updates, exact BBN inference, panel
+simulation) so performance regressions are visible.
+"""
+
+import numpy as np
+
+from repro.arguments import ArgumentLeg, two_leg_posterior
+from repro.distributions import LogNormalJudgement
+from repro.experiment import run_panel
+from repro.update import DemandEvidence, survival_update
+
+
+def test_perf_quadrature_moments(benchmark):
+    """P1: generic quadrature mean of a truncated judgement."""
+    from repro.distributions import TruncatedJudgement
+
+    dist = TruncatedJudgement(
+        LogNormalJudgement.from_mean_mode(0.01, 0.003), upper=1.0
+    )
+    result = benchmark(dist.mean)
+    assert 0.0 < result < 0.02
+
+
+def test_perf_grid_posterior_update(benchmark):
+    """P2: survival update on the default 400-points-per-decade grid."""
+    prior = LogNormalJudgement.from_mean_mode(0.01, 0.003)
+    evidence = DemandEvidence(demands=1000)
+
+    posterior = benchmark(lambda: survival_update(prior, evidence))
+    assert posterior.mean() < prior.mean()
+
+
+def test_perf_bbn_two_leg_inference(benchmark):
+    """P3: exact variable-elimination query on the two-leg network."""
+    testing = ArgumentLeg("testing", 0.9, 0.95, 0.9)
+    analysis = ArgumentLeg("analysis", 0.88, 0.9, 0.85)
+
+    result = benchmark(
+        lambda: two_leg_posterior(0.6, testing, analysis, dependence=0.3)
+    )
+    assert result.both_legs > result.single_leg
+
+
+def test_perf_panel_simulation(benchmark):
+    """P4: the full four-phase 12-expert panel with pooling."""
+    result = benchmark(lambda: run_panel(seed=2007))
+    assert result.n_experts == 12

@@ -1,0 +1,73 @@
+"""E11 — Section 4.3 / Table 1: IEC 61508 bands and confidence clauses.
+
+Regenerates the SIL band definition table and applies each of the
+standard's confidence clauses (70%, 95%, 99%, 99.9%) to the Figure 1
+judgements.  Paper: "If we were to apply the requirements for 70%
+confidence this would nearly push the mean failure rate of the system
+into the next SIL in the example in this paper, and in others with a
+broader spread it would have a bigger impact."
+"""
+
+from repro.distributions import LogNormalJudgement
+from repro.sil import LOW_DEMAND
+from repro.standards import CLAUSES, granted_sil
+from repro.viz import format_table
+
+MODE = 0.003
+MEANS = [0.004, 0.006, 0.010]
+CLAUSE_KEYS = [
+    "part2-7.4.7.9",       # 70%
+    "part7-tableD1-95",    # 95%
+    "part7-tableD1-99",    # 99%
+    "part2-tableB6-high",  # 99.9%
+]
+
+
+def compute():
+    bands = [(band.level, band.lower, band.upper) for band in LOW_DEMAND]
+    grants = []
+    for mean in MEANS:
+        dist = LogNormalJudgement.from_mean_mode(mean=mean, mode=MODE)
+        row = [mean, dist.confidence(1e-2)]
+        for key in CLAUSE_KEYS:
+            row.append(granted_sil(dist, key))
+        grants.append(row)
+    return bands, grants
+
+
+def test_standards_confidence(benchmark, record):
+    bands, grants = benchmark(compute)
+
+    band_table = format_table(
+        ["SIL", "pfd lower", "pfd upper (claim bound)"],
+        [[level, lower, upper] for level, lower, upper in bands],
+    )
+    grant_table = format_table(
+        ["judgement mean", "P(SIL2+)"]
+        + [f"granted @{CLAUSES[k].required_confidence:.1%}"
+           for k in CLAUSE_KEYS],
+        [[row[0], f"{row[1]:.1%}"] + [str(v) for v in row[2:]]
+         for row in grants],
+    )
+    record(
+        "standards_confidence",
+        "Table 1 (IEC 61508 low-demand SIL bands):\n" + band_table
+        + "\n\nSIL granted per confidence clause:\n" + grant_table,
+    )
+
+    # Table 1 is the 10^-(n+1)..10^-n ladder.
+    for level, lower, upper in bands:
+        assert lower == 10.0 ** -(level + 1)
+        assert upper == 10.0**-level
+
+    by_mean = {row[0]: row for row in grants}
+    # The narrow judgement keeps SIL 2 at 70%...
+    assert by_mean[0.004][2] == 2
+    # ...but the paper's wide judgement (67% < 70%) drops to SIL 1.
+    assert by_mean[0.010][2] == 1
+    # Higher confidence clauses can only grant the same or worse levels.
+    for row in grants:
+        levels = [v if v is not None else 0 for v in row[2:]]
+        assert levels == sorted(levels, reverse=True)
+    # At 99.9% the wide judgement gets nothing at all.
+    assert by_mean[0.010][5] is None

@@ -1,0 +1,70 @@
+"""Quickstart: judge a system, quantify confidence, see the paper's effect.
+
+Builds the paper's running example — a log-normal judgement with its mode
+(most likely pfd) at 0.003, the middle of SIL 2 — and shows how spread
+(lack of confidence) drags the risk-relevant *mean* into SIL 1, why the
+~67 % confidence threshold matters, and what the conservative worst-case
+calculus demands of a claim.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ConfidenceProfile,
+    LogNormalJudgement,
+    SinglePointBelief,
+    assess,
+    design_for_claim,
+    worst_case_failure_probability,
+)
+from repro.core import lognormal_confidence_crossover
+from repro.sil import LOW_DEMAND
+
+
+def main() -> None:
+    # An assessor judges the most likely pfd to be 0.003 (mid SIL 2) but
+    # holds that judgement with a broad spread (sigma ~ 0.9).
+    judgement = LogNormalJudgement.from_mode_sigma(mode=0.003, sigma=0.9)
+    print("The judgement:", judgement)
+    print()
+
+    # Mode says SIL 2; the mean — the probability of failure on a random
+    # demand, which is what risk cares about — says SIL 1.
+    report = assess(judgement, required_confidence=0.70)
+    print(report.summary())
+    print(f"mode is {report.optimistic_gap} level(s) more optimistic "
+          f"than the mean")
+    print()
+
+    # Confidence profile: one-sided confidence in each SIL-or-better.
+    profile = ConfidenceProfile(judgement)
+    for level, confidence in profile.band_confidences():
+        print(f"  P(SIL {level} or better) = {confidence:.2%}")
+    print()
+
+    # The paper's Figure 3 threshold: below ~67% confidence in SIL 2, the
+    # mean is already in SIL 1.
+    crossover = lognormal_confidence_crossover(0.003, LOW_DEMAND.band(2))
+    print(
+        f"Crossover (mode 0.003): at sigma = {crossover.spread:.3f} the "
+        f"mean reaches {crossover.mean:.3g} with confidence "
+        f"{crossover.confidence:.1%} in SIL 2"
+    )
+    print()
+
+    # The conservative calculus (Section 3.4): to claim pfd < 1e-3 on a
+    # random demand with a one-decade margin, the expert needs 99.91%
+    # confidence in pfd < 1e-4.
+    design = design_for_claim(1e-3, margin_decades=1)
+    print(design.describe())
+
+    # And an explicitly stated belief is easy to check:
+    belief = SinglePointBelief(bound=1e-4, confidence=0.999)
+    print(
+        f"stated {belief}: worst-case P(failure) = "
+        f"{worst_case_failure_probability(belief):.6g}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""A full SIL assessment workflow for a protection system.
+
+Scenario: a reactor-protection software function needs a SIL 2 claim.
+The assessor elicits quantile fragments from the lead reviewer, fits a
+judgement distribution, checks it against IEC 61508's confidence clauses,
+applies argument-rigour discounting (Def Stan 00-56 style), and prices the
+statistical testing needed to close the confidence gap.
+
+Run:  python examples/sil_assessment.py
+"""
+
+from repro.core import AcarpTarget, DependabilityCase, EvidenceRecord, SilClaim
+from repro.core.case import AssumptionRecord
+from repro.distributions import QuantileConstraint, fit_lognormal
+from repro.risk import plan_assurance
+from repro.sil import ArgumentRigour, DiscountPolicy, assess, claimable_level
+from repro.standards import granted_sil, recommended_policy
+from repro.viz import format_table
+
+
+def main() -> None:
+    # --- Elicitation: the reviewer will state three quantiles. ----------
+    constraints = [
+        QuantileConstraint(level=0.50, value=3e-3),
+        QuantileConstraint(level=0.90, value=2e-2),
+        QuantileConstraint(level=0.99, value=1e-1),
+    ]
+    judgement = fit_lognormal(constraints)
+    print("Fitted judgement:", judgement)
+    print()
+
+    # --- Classification: mode vs mean vs confidence views. --------------
+    print(assess(judgement, required_confidence=0.70).summary())
+    print()
+
+    # --- Standards clauses: what each IEC 61508 clause would grant. -----
+    rows = []
+    for key in (
+        "part2-7.4.7.9",
+        "part2-tableB6-low",
+        "part2-tableB6-high",
+    ):
+        rows.append([key, granted_sil(judgement, key)])
+    print(format_table(["IEC 61508 clause", "granted SIL"], rows))
+    print()
+
+    # --- Rigour discounting: the same evidence argued different ways. ---
+    rows = []
+    for rigour in ArgumentRigour.ALL:
+        policy = recommended_policy(rigour, required_confidence=0.90)
+        rows.append([rigour, str(claimable_level(judgement, policy))])
+    print(format_table(["argument rigour", "claimable SIL @90%"], rows))
+    print()
+
+    # --- Case assembly. --------------------------------------------------
+    case = DependabilityCase(
+        system="reactor protection channel B",
+        claim=SilClaim(level=2),
+        judgement=judgement,
+        evidence=[
+            EvidenceRecord("factory acceptance tests", "testing",
+                           "4,612 simulated demands, no dangerous failure"),
+            EvidenceRecord("MISRA static analysis", "analysis",
+                           "no category-1 violations outstanding"),
+        ],
+        assumptions=[
+            AssumptionRecord("test demands match the operational profile",
+                             probability_true=0.95),
+            AssumptionRecord("compiler introduces no dangerous defect",
+                             probability_true=0.99),
+        ],
+    )
+    print(case.report())
+    print()
+
+    # --- Closing the gap: price the extra statistical testing. ----------
+    target = AcarpTarget(claim_bound=1e-2, required_confidence=0.95)
+    plan = plan_assurance(
+        judgement, target, cost_per_test=250.0,
+        benefit_of_meeting_target=2_000_000.0,
+    )
+    print("Assurance plan:", plan.describe())
+
+
+if __name__ == "__main__":
+    main()

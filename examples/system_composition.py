@@ -1,0 +1,84 @@
+"""Composing subsystem claims — and why redundancy claims need care.
+
+Builds a protection architecture (a 2-out-of-3 sensor vote in series with
+a 1-out-of-2 actuation pair), propagates the component judgements to a
+system-level pfd judgement, shows how subsystem doubts *add* under
+conservative composition, and how common-cause failure (the IEC 61508
+beta factor) erodes naive redundancy claims — the system-level analogue
+of the paper's warning about dependence between argument legs.
+
+Run:  python examples/system_composition.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    Component,
+    KOutOfNBlock,
+    ParallelBlock,
+    SeriesBlock,
+    SinglePointBelief,
+    SystemStructure,
+    beta_factor_1oo2,
+    compose_series_beliefs,
+)
+from repro.distributions import LogNormalJudgement
+from repro.sil import LOW_DEMAND
+from repro.viz import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(2007)
+
+    sensor = LogNormalJudgement.from_mode_sigma(5e-3, 0.8)
+    actuator = LogNormalJudgement.from_mode_sigma(2e-3, 0.7)
+
+    # --- Structure: (2oo3 sensors) -> (1oo2 actuators). ------------------
+    system = SystemStructure(
+        "protection function",
+        SeriesBlock([
+            KOutOfNBlock(2, [Component(f"sensor-{i}", sensor)
+                             for i in range(3)]),
+            ParallelBlock([Component("actuator-A", actuator),
+                           Component("actuator-B", actuator)]),
+        ]),
+    )
+    judgement = system.judgement(rng, n_samples=100_000)
+    print(f"system: {system.name}")
+    print(f"  E[pfd]   = {judgement.mean():.3g}")
+    print(f"  P(SIL2+) = {judgement.cdf(1e-2):.2%}")
+    print(f"  P(SIL3+) = {judgement.cdf(1e-3):.2%}")
+    print(f"  SIL band of mean: {LOW_DEMAND.level_of(judgement.mean())}")
+    print()
+
+    # --- Conservative belief composition: doubts add. --------------------
+    subsystem_beliefs = [
+        SinglePointBelief(2e-4, 0.99),   # sensors subsystem claim
+        SinglePointBelief(2e-4, 0.99),   # actuation subsystem claim
+        SinglePointBelief(1e-4, 0.995),  # logic solver claim
+    ]
+    composed = compose_series_beliefs(subsystem_beliefs)
+    print("conservative series composition of subsystem beliefs:")
+    for belief in subsystem_beliefs:
+        print(f"  {belief}")
+    print(f"  => {composed}  (doubts add: {composed.doubt:.3f})")
+    print()
+
+    # --- Common cause: the beta-factor ablation. -------------------------
+    rows = []
+    for beta in (0.0, 0.01, 0.05, 0.10, 0.20):
+        pair = beta_factor_1oo2(actuator, beta, rng, n_samples=100_000)
+        rows.append([beta, pair.mean(), LOW_DEMAND.level_of(pair.mean())])
+    print("1oo2 actuation pair vs common-cause fraction beta:")
+    print(format_table(
+        ["beta", "E[pfd] of the pair", "SIL band of mean"], rows
+    ))
+    print(
+        "\nnaive independence (beta = 0) overstates the redundant pair by "
+        "orders of magnitude — dependence erodes composed claims exactly "
+        "as it erodes multi-legged arguments (paper section 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

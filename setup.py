@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 builds with this
+setuptools version; ``python setup.py develop`` (which this shim enables)
+works offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""Argument structures: GSN graphs, quantified legs, multi-leg combination."""
+
+from .graph import ArgumentGraph
+from .gsn import case_to_graph, single_leg_graph, two_leg_graph
+from .legs import ArgumentLeg, single_leg_posterior
+from .multileg import (
+    TwoLegResult,
+    build_two_leg_network,
+    diversity_gain,
+    two_leg_posterior,
+)
+from .nodes import Assumption, Context, Goal, Solution, Strategy
+
+__all__ = [
+    "ArgumentGraph",
+    "case_to_graph",
+    "single_leg_graph",
+    "two_leg_graph",
+    "ArgumentLeg",
+    "single_leg_posterior",
+    "TwoLegResult",
+    "build_two_leg_network",
+    "diversity_gain",
+    "two_leg_posterior",
+    "Assumption",
+    "Context",
+    "Goal",
+    "Solution",
+    "Strategy",
+]

@@ -1,0 +1,206 @@
+"""The argument graph: structure, validation, rendering.
+
+An :class:`ArgumentGraph` is a DAG whose edges run from a supported node to
+its supporting nodes (goal -> strategy -> sub-goal -> solution), with
+assumptions and context attached anywhere.  Validation enforces the GSN
+well-formedness rules that matter for quantification: a single root goal,
+every goal eventually grounded in solutions, no dangling strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import networkx as nx
+
+from ..errors import StructureError
+from .nodes import Assumption, Context, Goal, Solution, Strategy, _Node
+
+__all__ = ["ArgumentGraph"]
+
+AnyNode = Union[Goal, Strategy, Solution, Assumption, Context]
+
+#: Which node kinds may support which (edge: supported -> supporting).
+_ALLOWED_SUPPORT = {
+    "goal": {"strategy", "solution", "goal"},
+    "strategy": {"goal", "solution"},
+}
+#: Node kinds that may be annotated onto goals/strategies.
+_ANNOTATION_KINDS = {"assumption", "context"}
+
+
+class ArgumentGraph:
+    """A structured dependability argument."""
+
+    def __init__(self):
+        self._nodes: Dict[str, AnyNode] = {}
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: AnyNode) -> "ArgumentGraph":
+        if node.identifier in self._nodes:
+            raise StructureError(f"duplicate node id {node.identifier!r}")
+        self._nodes[node.identifier] = node
+        self._graph.add_node(node.identifier)
+        return self
+
+    def add_support(self, supported_id: str, supporting_id: str) -> "ArgumentGraph":
+        """Record that ``supporting`` supports ``supported``."""
+        supported = self._require(supported_id)
+        supporting = self._require(supporting_id)
+        allowed = _ALLOWED_SUPPORT.get(supported.kind, set())
+        if supporting.kind not in allowed:
+            raise StructureError(
+                f"a {supported.kind} cannot be supported by a "
+                f"{supporting.kind} ({supported_id!r} <- {supporting_id!r})"
+            )
+        self._graph.add_edge(supported_id, supporting_id)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(supported_id, supporting_id)
+            raise StructureError(
+                f"support edge {supported_id!r} <- {supporting_id!r} creates "
+                f"a cycle"
+            )
+        return self
+
+    def annotate(self, target_id: str, annotation_id: str) -> "ArgumentGraph":
+        """Attach an assumption or context node to a goal or strategy."""
+        target = self._require(target_id)
+        annotation = self._require(annotation_id)
+        if annotation.kind not in _ANNOTATION_KINDS:
+            raise StructureError(
+                f"only assumptions/context annotate; got {annotation.kind}"
+            )
+        if target.kind not in ("goal", "strategy"):
+            raise StructureError(
+                f"annotations attach to goals or strategies, not {target.kind}"
+            )
+        self._graph.add_edge(target_id, annotation_id, annotation=True)
+        return self
+
+    def _require(self, identifier: str) -> AnyNode:
+        if identifier not in self._nodes:
+            raise StructureError(f"unknown node {identifier!r}")
+        return self._nodes[identifier]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def node(self, identifier: str) -> AnyNode:
+        return self._require(identifier)
+
+    def supporters(self, identifier: str) -> List[AnyNode]:
+        """Supporting (non-annotation) children of a node."""
+        self._require(identifier)
+        return [
+            self._nodes[child]
+            for child in self._graph.successors(identifier)
+            if not self._graph.edges[identifier, child].get("annotation")
+        ]
+
+    def annotations(self, identifier: str) -> List[AnyNode]:
+        """Assumption/context annotations of a node."""
+        self._require(identifier)
+        return [
+            self._nodes[child]
+            for child in self._graph.successors(identifier)
+            if self._graph.edges[identifier, child].get("annotation")
+        ]
+
+    def assumptions_in_scope(self, identifier: str) -> List[Assumption]:
+        """All assumptions reachable in the subtree under a node."""
+        self._require(identifier)
+        found = []
+        for node_id in nx.descendants(self._graph, identifier) | {identifier}:
+            node = self._nodes[node_id]
+            if isinstance(node, Assumption):
+                found.append(node)
+        return sorted(found, key=lambda a: a.identifier)
+
+    def root_goal(self) -> Goal:
+        """The unique top-level goal (raises if absent or ambiguous)."""
+        roots = [
+            self._nodes[name]
+            for name in self._graph.nodes
+            if self._graph.in_degree(name) == 0
+            and isinstance(self._nodes[name], Goal)
+        ]
+        if len(roots) != 1:
+            raise StructureError(
+                f"expected exactly one root goal, found {len(roots)}"
+            )
+        return roots[0]
+
+    def validate(self) -> None:
+        """Structural well-formedness (raises :class:`StructureError`).
+
+        * exactly one root goal;
+        * every goal is grounded: some path from it reaches a solution;
+        * every strategy supports something and is supported by something.
+        """
+        self.root_goal()
+        for identifier, node in self._nodes.items():
+            if isinstance(node, Goal):
+                if not self._grounded(identifier):
+                    raise StructureError(
+                        f"goal {identifier!r} is not grounded in any solution"
+                    )
+            if isinstance(node, Strategy):
+                if not self.supporters(identifier):
+                    raise StructureError(
+                        f"strategy {identifier!r} supports nothing"
+                    )
+                if self._graph.in_degree(identifier) == 0:
+                    raise StructureError(
+                        f"strategy {identifier!r} hangs off no goal"
+                    )
+
+    def _grounded(self, identifier: str) -> bool:
+        return any(
+            isinstance(self._nodes[d], Solution)
+            for d in nx.descendants(self._graph, identifier)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def render(self) -> str:
+        """Indented text rendering from the root goal."""
+        root = self.root_goal()
+        lines: List[str] = []
+        self._render_into(root.identifier, 0, lines, set())
+        return "\n".join(lines)
+
+    def _render_into(
+        self, identifier: str, depth: int, lines: List[str], seen: set
+    ) -> None:
+        node = self._nodes[identifier]
+        marker = {
+            "goal": "G",
+            "strategy": "S",
+            "solution": "Sn",
+            "assumption": "A",
+            "context": "C",
+        }[node.kind]
+        suffix = ""
+        if isinstance(node, Assumption):
+            suffix = f" [P(true)={node.probability_true:.2%}]"
+        if isinstance(node, Goal) and node.claim_bound is not None:
+            suffix = f" [pfd < {node.claim_bound:g}]"
+        lines.append("  " * depth + f"[{marker}] {node.identifier}: {node.text}{suffix}")
+        if identifier in seen:
+            lines.append("  " * (depth + 1) + "(shared subtree, elided)")
+            return
+        seen.add(identifier)
+        for annotation in self.annotations(identifier):
+            self._render_into(annotation.identifier, depth + 1, lines, seen)
+        for supporter in self.supporters(identifier):
+            self._render_into(supporter.identifier, depth + 1, lines, seen)
+
+    def __len__(self) -> int:
+        return len(self._nodes)

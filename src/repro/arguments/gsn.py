@@ -1,0 +1,105 @@
+"""Builders bridging dependability cases and argument graphs.
+
+Convenience constructors for the common argument shapes the paper
+discusses: a single-leg case (one goal, one strategy, one solution, its
+assumptions) and a two-leg case ("argument fault-tolerance" per [9, 10]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.case import DependabilityCase
+from ..errors import DomainError
+from .graph import ArgumentGraph
+from .legs import ArgumentLeg
+from .nodes import Assumption, Context, Goal, Solution, Strategy
+
+__all__ = ["single_leg_graph", "two_leg_graph", "case_to_graph"]
+
+
+def single_leg_graph(
+    claim_text: str,
+    claim_bound: float,
+    leg: ArgumentLeg,
+    evidence_text: str = "supporting evidence",
+    evidence_kind: str = "testing",
+) -> ArgumentGraph:
+    """A one-leg argument: goal <- strategy <- solution, with assumption."""
+    graph = ArgumentGraph()
+    goal = Goal("G1", claim_text, claim_bound=claim_bound)
+    strategy = Strategy("S1", f"argument by {leg.name}")
+    solution = Solution("Sn1", evidence_text, evidence_kind=evidence_kind)
+    assumption = Assumption(
+        "A1",
+        f"assumptions of {leg.name} hold",
+        probability_true=leg.assumption_validity,
+    )
+    graph.add_node(goal).add_node(strategy).add_node(solution).add_node(assumption)
+    graph.add_support("G1", "S1").add_support("S1", "Sn1")
+    graph.annotate("S1", "A1")
+    graph.validate()
+    return graph
+
+
+def two_leg_graph(
+    claim_text: str,
+    claim_bound: float,
+    leg1: ArgumentLeg,
+    leg2: ArgumentLeg,
+    context_text: Optional[str] = None,
+) -> ArgumentGraph:
+    """A two-leg ("argument fault-tolerance") argument graph."""
+    if leg1.name == leg2.name:
+        raise DomainError("the two legs must be distinct lines of argument")
+    graph = ArgumentGraph()
+    goal = Goal("G1", claim_text, claim_bound=claim_bound)
+    graph.add_node(goal)
+    if context_text:
+        graph.add_node(Context("C1", context_text))
+        graph.annotate("G1", "C1")
+    for index, leg in enumerate((leg1, leg2), start=1):
+        strategy = Strategy(f"S{index}", f"leg {index}: argument by {leg.name}")
+        solution = Solution(
+            f"Sn{index}", f"evidence from {leg.name}", evidence_kind=leg.name
+        )
+        assumption = Assumption(
+            f"A{index}",
+            f"assumptions of {leg.name} hold",
+            probability_true=leg.assumption_validity,
+        )
+        graph.add_node(strategy).add_node(solution).add_node(assumption)
+        graph.add_support("G1", f"S{index}")
+        graph.add_support(f"S{index}", f"Sn{index}")
+        graph.annotate(f"S{index}", f"A{index}")
+    graph.validate()
+    return graph
+
+
+def case_to_graph(case: DependabilityCase) -> ArgumentGraph:
+    """Render a :class:`~repro.core.case.DependabilityCase` as a graph.
+
+    Produces a flat one-strategy argument listing the case's evidence as
+    solutions and its assumptions as annotations — a starting skeleton for
+    structuring, not a finished argument.
+    """
+    graph = ArgumentGraph()
+    goal = Goal("G1", f"{case.system}: {case.claim}", claim_bound=case.claim_bound)
+    strategy = Strategy("S1", "direct appeal to the assembled evidence")
+    graph.add_node(goal).add_node(strategy).add_support("G1", "S1")
+    if not case.evidence:
+        raise DomainError("case has no evidence to structure into a graph")
+    for index, item in enumerate(case.evidence, start=1):
+        solution = Solution(
+            f"Sn{index}", f"{item.name}: {item.description or item.kind}",
+            evidence_kind=item.kind,
+        )
+        graph.add_node(solution).add_support("S1", f"Sn{index}")
+    for index, assumption in enumerate(case.assumptions, start=1):
+        node = Assumption(
+            f"A{index}", assumption.name,
+            probability_true=assumption.probability_true,
+        )
+        graph.add_node(node).annotate("S1", f"A{index}")
+    graph.validate()
+    return graph

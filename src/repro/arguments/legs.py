@@ -1,0 +1,85 @@
+"""Quantitative argument legs.
+
+An argument *leg* (paper Section 4.2, after [9, 10, 12]) is one line of
+reasoning from evidence to a claim, resting on its own assumptions.  The
+quantitative model of a leg used here:
+
+* ``prior_claim`` — P(claim) before this leg's evidence is considered;
+* the leg's evidence is a boolean observation (the testing passed, the
+  proof went through);
+* when the leg's assumptions hold, the evidence is informative:
+  ``P(E | claim) = sensitivity`` and ``P(E | not claim) = 1 -
+  specificity``;
+* when they fail, the evidence says nothing: ``P(E | anything) =
+  noise_rate``;
+* ``assumption_validity`` — P(assumptions hold).
+
+Single-leg posteriors follow from Bayes; the two-leg combination with
+dependence between the legs' assumptions is built as an explicit Bayesian
+network in :mod:`repro.arguments.multileg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DomainError
+
+__all__ = ["ArgumentLeg", "single_leg_posterior"]
+
+
+@dataclass(frozen=True)
+class ArgumentLeg:
+    """One quantified argument leg."""
+
+    name: str
+    assumption_validity: float
+    sensitivity: float
+    specificity: float
+    noise_rate: float = 0.5
+
+    def __post_init__(self):
+        if not self.name:
+            raise DomainError("argument leg needs a name")
+        for label, value in (
+            ("assumption_validity", self.assumption_validity),
+            ("sensitivity", self.sensitivity),
+            ("specificity", self.specificity),
+            ("noise_rate", self.noise_rate),
+        ):
+            if not 0 <= value <= 1:
+                raise DomainError(f"{label} must lie in [0, 1], got {value}")
+        if self.sensitivity + (1.0 - self.specificity) <= 0:
+            raise DomainError("leg can never produce positive evidence")
+
+    def likelihood_given_claim(self, claim_true: bool) -> float:
+        """``P(E = passed | claim, marginalising the assumption)``."""
+        informative = self.sensitivity if claim_true else 1.0 - self.specificity
+        return (
+            self.assumption_validity * informative
+            + (1.0 - self.assumption_validity) * self.noise_rate
+        )
+
+    def likelihood_ratio(self) -> float:
+        """Evidence strength ``P(E|claim) / P(E|not claim)`` (marginal)."""
+        denominator = self.likelihood_given_claim(False)
+        if denominator <= 0:
+            return float("inf")
+        return self.likelihood_given_claim(True) / denominator
+
+
+def single_leg_posterior(prior_claim: float, leg: ArgumentLeg) -> float:
+    """``P(claim | this leg's evidence passed)`` by Bayes.
+
+    The assumption is marginalised: doubt about the assumptions dilutes
+    the evidence toward uninformativeness, capping the confidence a single
+    leg can deliver no matter how strong its raw evidence — the paper's
+    motivation for multi-legged arguments.
+    """
+    if not 0 <= prior_claim <= 1:
+        raise DomainError(f"prior must lie in [0, 1], got {prior_claim}")
+    numerator = prior_claim * leg.likelihood_given_claim(True)
+    denominator = numerator + (1.0 - prior_claim) * leg.likelihood_given_claim(False)
+    if denominator <= 0:
+        raise DomainError("evidence has zero probability under the model")
+    return numerator / denominator

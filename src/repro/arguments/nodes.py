@@ -1,0 +1,93 @@
+"""Argument graph node types (GSN-flavoured).
+
+A dependability argument decomposes a top claim (goal) through strategies
+into sub-goals, grounded in solutions (evidence) and resting on
+assumptions and context.  These node types follow the Goal Structuring
+Notation vocabulary loosely; the quantitative semantics (doubt, leg
+confidence) attach in :mod:`repro.arguments.legs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import DomainError
+
+__all__ = ["Goal", "Strategy", "Solution", "Assumption", "Context", "NODE_TYPES"]
+
+
+@dataclass(frozen=True)
+class _Node:
+    """Common identity for argument nodes."""
+
+    identifier: str
+    text: str
+
+    def __post_init__(self):
+        if not self.identifier:
+            raise DomainError("argument node needs a non-empty identifier")
+        if not self.text:
+            raise DomainError(f"node {self.identifier!r} needs descriptive text")
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Goal(_Node):
+    """A claim to be supported (e.g. "pfd < 1e-3")."""
+
+    claim_bound: Optional[float] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.claim_bound is not None and not 0 < self.claim_bound <= 1:
+            raise DomainError(
+                f"goal claim bound must lie in (0, 1], got {self.claim_bound}"
+            )
+
+
+@dataclass(frozen=True)
+class Strategy(_Node):
+    """How a goal is decomposed (e.g. "argument over test + analysis legs")."""
+
+
+@dataclass(frozen=True)
+class Solution(_Node):
+    """An item of evidence grounding the argument (test report, proof...)."""
+
+    evidence_kind: str = "unspecified"
+
+
+@dataclass(frozen=True)
+class Assumption(_Node):
+    """An assumption, with the assessor's probability that it holds.
+
+    The paper (Section 1) identifies assumption doubt as the neglected
+    uncertainty in dependability cases; making it a first-class, quantified
+    node is the point of this package.
+    """
+
+    probability_true: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0 <= self.probability_true <= 1:
+            raise DomainError(
+                f"assumption probability must lie in [0, 1], got "
+                f"{self.probability_true}"
+            )
+
+    @property
+    def doubt(self) -> float:
+        return 1.0 - self.probability_true
+
+
+@dataclass(frozen=True)
+class Context(_Node):
+    """Contextual statement scoping the argument (environment, usage)."""
+
+
+NODE_TYPES = (Goal, Strategy, Solution, Assumption, Context)

@@ -1,0 +1,17 @@
+"""Discrete Bayesian-network engine (substrate for argument confidence)."""
+
+from .cpt import CPT, Factor, Variable
+from .inference import VariableElimination, enumerate_query, joint_probability
+from .network import BayesianNetwork
+from .sampling import likelihood_weighting
+
+__all__ = [
+    "CPT",
+    "Factor",
+    "Variable",
+    "VariableElimination",
+    "enumerate_query",
+    "joint_probability",
+    "BayesianNetwork",
+    "likelihood_weighting",
+]

@@ -1,0 +1,269 @@
+"""Discrete variables, factors and conditional probability tables.
+
+The substrate for argument-confidence propagation (:mod:`repro.arguments`):
+a small, exact, discrete Bayesian-network toolkit.  Factors are dense
+numpy arrays with named axes; CPTs are factors normalised along the child
+axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError, StructureError
+
+__all__ = ["Variable", "Factor", "CPT"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named discrete variable with an ordered tuple of states."""
+
+    name: str
+    states: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise DomainError("variable needs a non-empty name")
+        if len(self.states) < 2:
+            raise DomainError(f"variable {self.name!r} needs at least 2 states")
+        if len(set(self.states)) != len(self.states):
+            raise DomainError(f"variable {self.name!r} has duplicate states")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.states)
+
+    def index_of(self, state: str) -> int:
+        """Index of a state name (raises for unknown states)."""
+        try:
+            return self.states.index(state)
+        except ValueError:
+            raise DomainError(
+                f"variable {self.name!r} has no state {state!r} "
+                f"(states: {self.states})"
+            ) from None
+
+    @classmethod
+    def boolean(cls, name: str) -> "Variable":
+        """A true/false variable (state order: true, false)."""
+        return cls(name, ("true", "false"))
+
+
+class Factor:
+    """A non-negative function over the product of some variables' states."""
+
+    def __init__(self, variables: Sequence[Variable], values: np.ndarray):
+        values = np.asarray(values, dtype=float)
+        expected = tuple(v.cardinality for v in variables)
+        if values.shape != expected:
+            raise StructureError(
+                f"factor values shape {values.shape} does not match "
+                f"variables {expected}"
+            )
+        if np.any(values < -1e-15):
+            raise DomainError("factor values must be non-negative")
+        names = [v.name for v in variables]
+        if len(set(names)) != len(names):
+            raise StructureError(f"duplicate variables in factor: {names}")
+        self._variables = tuple(variables)
+        self._values = np.clip(values, 0.0, None)
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        return self._variables
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(v.name for v in self._variables)
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product over the union of the two scopes."""
+        merged: List[Variable] = list(self._variables)
+        for var in other._variables:
+            if var.name not in self.names:
+                merged.append(var)
+            else:
+                mine = merged[self.names.index(var.name)]
+                if mine.states != var.states:
+                    raise StructureError(
+                        f"variable {var.name!r} has mismatched states in the "
+                        f"two factors"
+                    )
+        merged_names = [v.name for v in merged]
+        self_view = self._broadcast_to(merged, merged_names)
+        other_view = other._broadcast_to(merged, merged_names)
+        return Factor(merged, self_view * other_view)
+
+    def _broadcast_to(
+        self, merged: Sequence[Variable], merged_names: Sequence[str]
+    ) -> np.ndarray:
+        # Permute own axes into their order of appearance in the merged
+        # scope, then insert singleton axes for the variables this factor
+        # lacks and broadcast.
+        order = sorted(
+            range(len(self.names)),
+            key=lambda i: merged_names.index(self.names[i]),
+        )
+        src = np.transpose(self._values, order)
+        shape = [
+            v.cardinality if v.name in self.names else 1 for v in merged
+        ]
+        src = src.reshape(shape)
+        return np.broadcast_to(src, tuple(v.cardinality for v in merged))
+
+    def marginalise(self, name: str) -> "Factor":
+        """Sum out one variable."""
+        if name not in self.names:
+            raise StructureError(f"factor has no variable {name!r}")
+        axis = self.names.index(name)
+        remaining = [v for v in self._variables if v.name != name]
+        if not remaining:
+            raise StructureError("cannot marginalise the last variable away")
+        return Factor(remaining, self._values.sum(axis=axis))
+
+    def reduce(self, name: str, state: str) -> "Factor":
+        """Condition on ``name = state`` (drops the axis, keeps the slice)."""
+        if name not in self.names:
+            raise StructureError(f"factor has no variable {name!r}")
+        axis = self.names.index(name)
+        var = self._variables[axis]
+        idx = var.index_of(state)
+        remaining = [v for v in self._variables if v.name != name]
+        sliced = np.take(self._values, idx, axis=axis)
+        if not remaining:
+            # A scalar factor: keep a dummy representation via a 1-state trick
+            # is disallowed by Variable, so return the scalar wrapped.
+            return Factor._scalar(float(sliced))
+        return Factor(remaining, sliced)
+
+    @staticmethod
+    def _scalar(value: float) -> "Factor":
+        dummy = Variable("__scalar__", ("only", "never"))
+        return Factor([dummy], np.array([value, 0.0]))
+
+    def is_scalar(self) -> bool:
+        return self.names == ("__scalar__",)
+
+    def scalar_value(self) -> float:
+        if not self.is_scalar():
+            raise StructureError("factor is not scalar")
+        return float(self._values[0])
+
+    def total(self) -> float:
+        """Sum over all entries."""
+        return float(self._values.sum())
+
+    def normalised(self) -> "Factor":
+        """Rescale so entries sum to one."""
+        total = self.total()
+        if total <= 0:
+            raise DomainError("cannot normalise a zero factor")
+        return Factor(self._variables, self._values / total)
+
+    def __repr__(self) -> str:
+        return f"Factor({', '.join(self.names)})"
+
+
+class CPT:
+    """``P(child | parents)`` as a table.
+
+    ``table`` maps each combination of parent states (a tuple, ordered as
+    ``parents``) to a probability vector over the child's states.  A
+    root variable uses the empty tuple ``()`` as its single key.
+    """
+
+    def __init__(
+        self,
+        child: Variable,
+        parents: Sequence[Variable],
+        table: Mapping[Tuple[str, ...], Sequence[float]],
+    ):
+        self._child = child
+        self._parents = tuple(parents)
+        parent_names = [p.name for p in self._parents]
+        if child.name in parent_names:
+            raise StructureError(f"{child.name!r} cannot be its own parent")
+        if len(set(parent_names)) != len(parent_names):
+            raise StructureError(f"duplicate parents for {child.name!r}")
+        shape = tuple(p.cardinality for p in self._parents) + (child.cardinality,)
+        values = np.zeros(shape, dtype=float)
+        seen = set()
+        for key, row in table.items():
+            key = tuple(key)
+            if len(key) != len(self._parents):
+                raise StructureError(
+                    f"CPT key {key} does not match parents {parent_names}"
+                )
+            row_arr = np.asarray(row, dtype=float)
+            if row_arr.shape != (child.cardinality,):
+                raise StructureError(
+                    f"CPT row for {key} has wrong length "
+                    f"{row_arr.shape} (child has {child.cardinality} states)"
+                )
+            if np.any(row_arr < 0):
+                raise DomainError(f"negative probability in CPT row for {key}")
+            if not np.isclose(row_arr.sum(), 1.0, atol=1e-9):
+                raise DomainError(
+                    f"CPT row for {key} sums to {row_arr.sum()}, expected 1"
+                )
+            idx = tuple(p.index_of(s) for p, s in zip(self._parents, key))
+            values[idx] = row_arr
+            seen.add(key)
+        expected_keys = 1
+        for p in self._parents:
+            expected_keys *= p.cardinality
+        if len(seen) != expected_keys:
+            raise StructureError(
+                f"CPT for {child.name!r} specifies {len(seen)} of "
+                f"{expected_keys} parent combinations"
+            )
+        self._values = values
+
+    @property
+    def child(self) -> Variable:
+        return self._child
+
+    @property
+    def parents(self) -> Tuple[Variable, ...]:
+        return self._parents
+
+    def probability(self, child_state: str, parent_states: Tuple[str, ...] = ()) -> float:
+        """``P(child = child_state | parents = parent_states)``."""
+        idx = tuple(
+            p.index_of(s) for p, s in zip(self._parents, tuple(parent_states))
+        )
+        if len(idx) != len(self._parents):
+            raise StructureError("parent_states does not match parents")
+        return float(self._values[idx + (self._child.index_of(child_state),)])
+
+    def to_factor(self) -> Factor:
+        """The CPT as a factor over (parents..., child)."""
+        return Factor(list(self._parents) + [self._child], self._values)
+
+    @classmethod
+    def root(cls, child: Variable, probabilities: Sequence[float]) -> "CPT":
+        """CPT for a parentless variable."""
+        return cls(child, [], {(): probabilities})
+
+    @classmethod
+    def boolean_root(cls, child: Variable, p_true: float) -> "CPT":
+        """Root CPT for a boolean variable with ``P(true) = p_true``."""
+        if not 0 <= p_true <= 1:
+            raise DomainError(f"p_true must lie in [0, 1], got {p_true}")
+        return cls.root(child, [p_true, 1.0 - p_true])
+
+    def __repr__(self) -> str:
+        parents = ", ".join(p.name for p in self._parents) or "-"
+        return f"CPT({self._child.name} | {parents})"

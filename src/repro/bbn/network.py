@@ -1,0 +1,106 @@
+"""Discrete Bayesian network structure.
+
+A :class:`BayesianNetwork` is a DAG of :class:`~repro.bbn.cpt.Variable`
+nodes, each with a CPT conditioned on its parents.  Structure validation
+(acyclicity, closed parent sets) uses :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import StructureError
+from .cpt import CPT, Factor, Variable
+
+__all__ = ["BayesianNetwork"]
+
+
+class BayesianNetwork:
+    """A directed acyclic graph of discrete variables with CPTs."""
+
+    def __init__(self):
+        self._cpts: Dict[str, CPT] = {}
+        self._variables: Dict[str, Variable] = {}
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add(self, cpt: CPT) -> "BayesianNetwork":
+        """Add a variable with its CPT; parents must already be present."""
+        child = cpt.child
+        if child.name in self._cpts:
+            raise StructureError(f"variable {child.name!r} already in network")
+        for parent in cpt.parents:
+            existing = self._variables.get(parent.name)
+            if existing is None:
+                raise StructureError(
+                    f"parent {parent.name!r} of {child.name!r} not yet added"
+                )
+            if existing.states != parent.states:
+                raise StructureError(
+                    f"parent {parent.name!r} state mismatch with network copy"
+                )
+        self._cpts[child.name] = cpt
+        self._variables[child.name] = child
+        self._graph.add_node(child.name)
+        for parent in cpt.parents:
+            self._graph.add_edge(parent.name, child.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            # Roll back the offending addition to keep the network usable.
+            self._graph.remove_node(child.name)
+            del self._cpts[child.name]
+            del self._variables[child.name]
+            raise StructureError(
+                f"adding {child.name!r} would create a directed cycle"
+            )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def variable_names(self) -> List[str]:
+        return sorted(self._variables)
+
+    def variable(self, name: str) -> Variable:
+        if name not in self._variables:
+            raise StructureError(f"network has no variable {name!r}")
+        return self._variables[name]
+
+    def cpt(self, name: str) -> CPT:
+        if name not in self._cpts:
+            raise StructureError(f"network has no variable {name!r}")
+        return self._cpts[name]
+
+    def parents(self, name: str) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.cpt(name).parents)
+
+    def topological_order(self) -> List[str]:
+        """Variables in a parents-before-children order."""
+        return list(nx.topological_sort(self._graph))
+
+    def factors(self) -> List[Factor]:
+        """All CPTs as factors."""
+        return [cpt.to_factor() for cpt in self._cpts.values()]
+
+    def validate_evidence(self, evidence: Mapping[str, str]) -> None:
+        """Check evidence names and states exist (raises otherwise)."""
+        for name, state in evidence.items():
+            self.variable(name).index_of(state)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._variables
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork({len(self)} variables, "
+            f"{self._graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,66 @@
+"""Approximate inference by likelihood weighting.
+
+A Monte-Carlo cross-check for the exact engines and the tool of choice if
+argument networks ever grow beyond exact reach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import DomainError
+from .network import BayesianNetwork
+
+__all__ = ["likelihood_weighting"]
+
+
+def likelihood_weighting(
+    network: BayesianNetwork,
+    target: str,
+    evidence: Optional[Mapping[str, str]] = None,
+    n_samples: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Approximate ``P(target | evidence)`` by likelihood weighting.
+
+    Evidence variables are clamped and weighted by their CPT likelihood;
+    other variables are forward-sampled in topological order.
+    """
+    if n_samples < 1:
+        raise DomainError("n_samples must be positive")
+    evidence = dict(evidence or {})
+    network.validate_evidence(evidence)
+    rng = rng if rng is not None else np.random.default_rng()
+
+    target_var = network.variable(target)
+    order = network.topological_order()
+    totals = {state: 0.0 for state in target_var.states}
+    total_weight = 0.0
+
+    # Pre-fetch CPTs and state tuples to keep the sampling loop tight.
+    cpts = {name: network.cpt(name) for name in order}
+
+    for _ in range(n_samples):
+        sample: Dict[str, str] = {}
+        weight = 1.0
+        for name in order:
+            cpt = cpts[name]
+            parent_states = tuple(sample[p.name] for p in cpt.parents)
+            if name in evidence:
+                state = evidence[name]
+                weight *= cpt.probability(state, parent_states)
+            else:
+                states = cpt.child.states
+                probs = [cpt.probability(s, parent_states) for s in states]
+                state = states[rng.choice(len(states), p=probs)]
+            sample[name] = state
+        totals[sample[target]] += weight
+        total_weight += weight
+
+    if total_weight <= 0:
+        raise DomainError(
+            "all samples had zero weight; evidence may be impossible"
+        )
+    return {state: value / total_weight for state, value in totals.items()}

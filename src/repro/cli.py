@@ -1,0 +1,151 @@
+"""Command-line interface: ``repro-case``.
+
+Four subcommands cover the library's day-one uses:
+
+* ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
+  and show the confidence/mean disagreement;
+* ``conservative`` — the Section 3.4 design problem: what belief
+  supports a claim;
+* ``tests`` — how many failure-free demands reach a confidence target;
+* ``growth`` — the Bishop-Bloomfield conservative growth bound.
+
+Examples::
+
+    repro-case assess --mode 0.003 --sigma 0.9 --confidence 0.7
+    repro-case conservative --claim 1e-3 --margin 1
+    repro-case tests --mode 0.003 --sigma 0.9 --bound 1e-2 --target 0.95
+    repro-case growth --faults 10 --exposure 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import AcarpTarget, ConfidenceProfile, design_for_claim
+from .distributions import LogNormalJudgement
+from .errors import ReproError
+from .risk import plan_assurance
+from .sil import assess
+from .update import worst_case_intensity, worst_case_mtbf
+from .viz import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-case",
+        description="Quantitative confidence in dependability cases "
+        "(Bloomfield, Littlewood & Wright, DSN 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_assess = sub.add_parser(
+        "assess", help="classify a log-normal judgement into SILs"
+    )
+    p_assess.add_argument("--mode", type=float, required=True,
+                          help="most-likely pfd (the judgement's peak)")
+    p_assess.add_argument("--sigma", type=float, required=True,
+                          help="spread of ln(pfd)")
+    p_assess.add_argument("--confidence", type=float, default=0.70,
+                          help="required one-sided confidence "
+                          "(default 0.70, the IEC 61508 clause)")
+
+    p_cons = sub.add_parser(
+        "conservative",
+        help="design the belief supporting a claim (Section 3.4)",
+    )
+    p_cons.add_argument("--claim", type=float, required=True,
+                        help="claim bound y: P(failure) < y")
+    p_cons.add_argument("--margin", type=float, default=1.0,
+                        help="decades of margin for the belief bound "
+                        "(default 1, the paper's Example 3)")
+    p_cons.add_argument("--perfection", type=float, default=0.0,
+                        help="probability mass on pfd = 0")
+
+    p_tests = sub.add_parser(
+        "tests", help="failure-free demands needed for a confidence target"
+    )
+    p_tests.add_argument("--mode", type=float, required=True)
+    p_tests.add_argument("--sigma", type=float, required=True)
+    p_tests.add_argument("--bound", type=float, required=True,
+                         help="claim bound, e.g. 1e-2 for SIL 2")
+    p_tests.add_argument("--target", type=float, required=True,
+                         help="required confidence, e.g. 0.95")
+    p_tests.add_argument("--cost-per-test", type=float, default=None,
+                         help="optional cost per demand for the plan")
+
+    p_growth = sub.add_parser(
+        "growth", help="conservative growth bound N/(e t)"
+    )
+    p_growth.add_argument("--faults", type=int, required=True,
+                          help="residual fault count N")
+    p_growth.add_argument("--exposure", type=float, required=True,
+                          help="failure-free exposure t (hours)")
+    return parser
+
+
+def _run_assess(args: argparse.Namespace) -> str:
+    judgement = LogNormalJudgement.from_mode_sigma(args.mode, args.sigma)
+    report = assess(judgement, required_confidence=args.confidence)
+    profile = ConfidenceProfile(judgement)
+    rows = [[f"SIL {level}", f"{confidence:.2%}"]
+            for level, confidence in profile.band_confidences()]
+    return (
+        report.summary()
+        + "\n\n"
+        + format_table(["band or better", "confidence"], rows)
+    )
+
+
+def _run_conservative(args: argparse.Namespace) -> str:
+    design = design_for_claim(
+        args.claim, margin_decades=args.margin, perfection=args.perfection
+    )
+    return design.describe()
+
+
+def _run_tests(args: argparse.Namespace) -> str:
+    judgement = LogNormalJudgement.from_mode_sigma(args.mode, args.sigma)
+    target = AcarpTarget(claim_bound=args.bound,
+                         required_confidence=args.target)
+    plan = plan_assurance(
+        judgement, target,
+        cost_per_test=args.cost_per_test if args.cost_per_test else 0.0,
+    )
+    return plan.describe()
+
+
+def _run_growth(args: argparse.Namespace) -> str:
+    intensity = worst_case_intensity(args.faults, args.exposure)
+    mtbf = worst_case_mtbf(args.faults, args.exposure)
+    return (
+        f"worst-case failure intensity after {args.exposure:g} h with "
+        f"{args.faults} residual faults: {intensity:.4g} /h "
+        f"(MTBF >= {mtbf:.4g} h)"
+    )
+
+
+_RUNNERS = {
+    "assess": _run_assess,
+    "conservative": _run_conservative,
+    "tests": _run_tests,
+    "growth": _run_growth,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(_RUNNERS[args.command](args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The paper's primary contribution: quantitative claim confidence.
+
+Claims, confidence profiles, the Figure 3 confidence/mean trade-off, the
+Section 3.4 conservative worst-case calculus, ACARP evaluation, and
+dependability-case assembly.
+"""
+
+from .acarp import (
+    AcarpStrategy,
+    AcarpTarget,
+    AcarpVerdict,
+    claim_reduction_to_meet,
+    confidence_gap,
+    evaluate,
+)
+from .attributes import Attribute, AttributeClaim, MultiAttributeCase
+from .case import AssumptionRecord, DependabilityCase, EvidenceRecord
+from .claims import PerfectionClaim, PfdBoundClaim, SilClaim, SinglePointBelief
+from .confidence import (
+    ConfidenceProfile,
+    TradeoffPoint,
+    confidence_crossover,
+    lognormal_confidence_crossover,
+    spread_tradeoff,
+)
+from .conservative import (
+    ConservativeDesign,
+    bounded_error_failure_probability,
+    design_for_claim,
+    required_bound,
+    required_confidence,
+    required_doubt,
+    supports_claim,
+    worst_case_distribution,
+    worst_case_failure_probability,
+)
+from .composition import (
+    Component,
+    KOutOfNBlock,
+    ParallelBlock,
+    SeriesBlock,
+    SystemStructure,
+    beta_factor_1oo2,
+    compose_series_beliefs,
+    monte_carlo_system_judgement,
+)
+from .propagation import (
+    PropagationPoint,
+    conservatism_audit,
+    critical_beta,
+    end_to_end_pair_mean,
+    stagewise_pair_bound,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeClaim",
+    "MultiAttributeCase",
+    "Component",
+    "KOutOfNBlock",
+    "ParallelBlock",
+    "SeriesBlock",
+    "SystemStructure",
+    "beta_factor_1oo2",
+    "compose_series_beliefs",
+    "monte_carlo_system_judgement",
+    "AcarpStrategy",
+    "AcarpTarget",
+    "AcarpVerdict",
+    "claim_reduction_to_meet",
+    "confidence_gap",
+    "evaluate",
+    "AssumptionRecord",
+    "DependabilityCase",
+    "EvidenceRecord",
+    "PerfectionClaim",
+    "PfdBoundClaim",
+    "SilClaim",
+    "SinglePointBelief",
+    "ConfidenceProfile",
+    "TradeoffPoint",
+    "confidence_crossover",
+    "lognormal_confidence_crossover",
+    "spread_tradeoff",
+    "ConservativeDesign",
+    "bounded_error_failure_probability",
+    "design_for_claim",
+    "required_bound",
+    "required_confidence",
+    "required_doubt",
+    "supports_claim",
+    "worst_case_distribution",
+    "worst_case_failure_probability",
+]

@@ -1,0 +1,146 @@
+"""ACARP — As Confident As Reasonably Practicable (Sections 1 and 4.1).
+
+The paper (following the HSE study [11] two of the authors joined)
+proposes that the ALARP principle on the *claimed failure rate* be paired
+with an ACARP principle on the *confidence in the claim*.  This module
+gives that proposal executable form:
+
+* an :class:`AcarpTarget` couples a claim bound with a required
+  confidence;
+* :func:`evaluate` scores a judgement against the target and diagnoses
+  which of the paper's three strategies (Section 4) could close a gap:
+  reduce the claim, build confidence (attack the tail), or add an
+  argument leg;
+* :func:`confidence_gap` and :func:`claim_reduction_to_meet` quantify the
+  first two strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+
+__all__ = [
+    "AcarpTarget",
+    "AcarpVerdict",
+    "AcarpStrategy",
+    "evaluate",
+    "confidence_gap",
+    "claim_reduction_to_meet",
+]
+
+
+class AcarpStrategy(Enum):
+    """The paper's Section 4 strategies for a confidence shortfall."""
+
+    REDUCE_CLAIM = "reduce the claimed figure"
+    BUILD_CONFIDENCE = "undertake confidence-building measures (attack the tail)"
+    ADD_ARGUMENT_LEG = "reduce required confidence with an additional leg"
+
+
+@dataclass(frozen=True)
+class AcarpTarget:
+    """A claim bound paired with the confidence reasonably practicable."""
+
+    claim_bound: float
+    required_confidence: float
+
+    def __post_init__(self):
+        if not 0 < self.claim_bound <= 1:
+            raise DomainError(
+                f"claim bound must lie in (0, 1], got {self.claim_bound}"
+            )
+        if not 0 < self.required_confidence < 1:
+            raise DomainError(
+                f"required confidence must lie strictly in (0, 1), got "
+                f"{self.required_confidence}"
+            )
+
+
+@dataclass(frozen=True)
+class AcarpVerdict:
+    """Outcome of evaluating a judgement against an ACARP target."""
+
+    target: AcarpTarget
+    achieved_confidence: float
+    meets_target: bool
+    gap: float
+    achievable_bound: float
+    suggested_strategy: Optional[AcarpStrategy]
+
+    def describe(self) -> str:
+        status = "meets" if self.meets_target else "MISSES"
+        text = (
+            f"claim pfd < {self.target.claim_bound:g} at "
+            f">={self.target.required_confidence:.1%}: achieved "
+            f"{self.achieved_confidence:.2%} -> {status} target"
+        )
+        if not self.meets_target and self.suggested_strategy is not None:
+            text += (
+                f"; gap {self.gap:.2%}; at the required confidence only "
+                f"pfd < {self.achievable_bound:.3g} is claimable; suggest: "
+                f"{self.suggested_strategy.value}"
+            )
+        return text
+
+
+def confidence_gap(
+    dist: JudgementDistribution, target: AcarpTarget
+) -> float:
+    """``required - achieved`` confidence (positive = shortfall)."""
+    return target.required_confidence - dist.confidence(target.claim_bound)
+
+
+def claim_reduction_to_meet(
+    dist: JudgementDistribution, target: AcarpTarget
+) -> float:
+    """Decades by which the claim must weaken to meet the confidence.
+
+    Returns ``log10(achievable_bound / claim_bound)`` where the achievable
+    bound is the judgement's quantile at the required confidence — 0 when
+    the target is already met, positive when the claim must be relaxed.
+    """
+    achievable = float(dist.ppf(target.required_confidence))
+    if achievable <= target.claim_bound:
+        return 0.0
+    return float(np.log10(achievable / target.claim_bound))
+
+
+def evaluate(
+    dist: JudgementDistribution, target: AcarpTarget
+) -> AcarpVerdict:
+    """Evaluate a judgement against an ACARP target.
+
+    Strategy suggestion heuristic: a small shortfall (under five
+    percentage points) is usually cheapest to close by confidence-building
+    evidence that trims the tail; a large shortfall with more than a
+    decade of claim slack suggests reducing the claim; otherwise an
+    additional argument leg is recommended (it reduces the confidence
+    burden on the existing leg).
+    """
+    achieved = dist.confidence(target.claim_bound)
+    gap = target.required_confidence - achieved
+    achievable = float(dist.ppf(target.required_confidence))
+    meets = gap <= 0
+    strategy: Optional[AcarpStrategy] = None
+    if not meets:
+        if gap <= 0.05:
+            strategy = AcarpStrategy.BUILD_CONFIDENCE
+        elif claim_reduction_to_meet(dist, target) >= 1.0:
+            strategy = AcarpStrategy.REDUCE_CLAIM
+        else:
+            strategy = AcarpStrategy.ADD_ARGUMENT_LEG
+    return AcarpVerdict(
+        target=target,
+        achieved_confidence=achieved,
+        meets_target=meets,
+        gap=max(gap, 0.0),
+        achievable_bound=achievable,
+        suggested_strategy=strategy,
+    )

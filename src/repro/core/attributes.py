@@ -1,0 +1,157 @@
+"""Multi-attribute dependability claims.
+
+The paper (abstract and Section 2) flags "the multi-dimensional,
+multi-attribute nature of dependability claims" as an obstacle: a full
+safety case addresses not just the SIL of one function but robustness,
+security, maintainability and more, and the confidences in those
+sub-claims must be combined *without* a defensible independence
+assumption.
+
+This module keeps the combination honest by reporting bounds rather than
+a point value:
+
+* assuming independence, ``P(all claims true) = prod(confidence_i)``;
+* with no dependence assumption at all, the Fréchet bounds apply::
+
+      max(0, 1 - sum(doubt_i))  <=  P(all)  <=  min(confidence_i)
+
+The gap between these is itself informative: wide bounds mean the case's
+overall confidence genuinely depends on evidence dependence the assessor
+has not characterised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..distributions import JudgementDistribution
+from ..errors import ClaimError, DomainError
+from .claims import PfdBoundClaim, SilClaim
+
+__all__ = ["Attribute", "AttributeClaim", "MultiAttributeCase"]
+
+
+class Attribute:
+    """The dependability attributes the paper names (Section 2)."""
+
+    SAFETY = "safety"
+    RELIABILITY = "reliability"
+    AVAILABILITY = "availability"
+    ROBUSTNESS = "robustness"
+    SECURITY = "security"
+    MAINTAINABILITY = "maintainability"
+
+    ALL = (SAFETY, RELIABILITY, AVAILABILITY, ROBUSTNESS, SECURITY,
+           MAINTAINABILITY)
+
+
+@dataclass(frozen=True)
+class AttributeClaim:
+    """One attribute's claim with the judgement supporting it."""
+
+    attribute: str
+    claim: Union[PfdBoundClaim, SilClaim]
+    judgement: JudgementDistribution
+
+    def __post_init__(self):
+        if self.attribute not in Attribute.ALL:
+            raise DomainError(
+                f"unknown attribute {self.attribute!r}; expected one of "
+                f"{Attribute.ALL}"
+            )
+
+    def confidence(self) -> float:
+        return self.claim.confidence_under(self.judgement)
+
+    def doubt(self) -> float:
+        return 1.0 - self.confidence()
+
+
+class MultiAttributeCase:
+    """A set of per-attribute claims with bounded overall confidence."""
+
+    def __init__(self, system: str, claims: Sequence[AttributeClaim]):
+        if not system:
+            raise ClaimError("multi-attribute case must name its system")
+        if not claims:
+            raise ClaimError("need at least one attribute claim")
+        attributes = [c.attribute for c in claims]
+        if len(set(attributes)) != len(attributes):
+            raise ClaimError(f"duplicate attribute claims: {attributes}")
+        self._system = system
+        self._claims = list(claims)
+
+    @property
+    def system(self) -> str:
+        return self._system
+
+    @property
+    def claims(self) -> List[AttributeClaim]:
+        return list(self._claims)
+
+    def confidences(self) -> Dict[str, float]:
+        """Per-attribute confidence."""
+        return {c.attribute: c.confidence() for c in self._claims}
+
+    def overall_assuming_independence(self) -> float:
+        """``prod(confidence_i)`` — only valid if the evidence bases are
+        genuinely independent (they rarely are)."""
+        result = 1.0
+        for claim in self._claims:
+            result *= claim.confidence()
+        return result
+
+    def overall_bounds(self) -> Tuple[float, float]:
+        """Fréchet bounds on ``P(all claims true)``, dependence-free.
+
+        Lower bound: ``max(0, 1 - sum(doubts))`` (the union bound is
+        attained under maximally bad dependence).  Upper bound: the
+        weakest single attribute.
+        """
+        total_doubt = sum(c.doubt() for c in self._claims)
+        lower = max(0.0, 1.0 - total_doubt)
+        upper = min(c.confidence() for c in self._claims)
+        return lower, upper
+
+    def dependence_gap(self) -> float:
+        """Width of the Fréchet interval — how much dependence matters."""
+        lower, upper = self.overall_bounds()
+        return upper - lower
+
+    def weakest_attribute(self) -> str:
+        """The attribute whose claim confidence caps the whole case."""
+        return min(self._claims, key=lambda c: c.confidence()).attribute
+
+    def meets(self, required_confidence: float,
+              conservative: bool = True) -> bool:
+        """Whether the case clears a requirement on P(all claims true).
+
+        ``conservative = True`` uses the dependence-free lower bound;
+        otherwise the independence product is used (and should be argued
+        separately).
+        """
+        if not 0 < required_confidence < 1:
+            raise DomainError("required confidence must lie strictly in (0, 1)")
+        if conservative:
+            return self.overall_bounds()[0] >= required_confidence
+        return self.overall_assuming_independence() >= required_confidence
+
+    def report(self) -> str:
+        """Plain-text multi-attribute summary."""
+        lines = [f"Multi-attribute case: {self._system}"]
+        for claim in self._claims:
+            lines.append(
+                f"  {claim.attribute:>15}: {claim.claim} -> confidence "
+                f"{claim.confidence():.2%}"
+            )
+        lower, upper = self.overall_bounds()
+        lines.append(
+            f"  overall (independence): "
+            f"{self.overall_assuming_independence():.2%}"
+        )
+        lines.append(
+            f"  overall (no dependence assumption): [{lower:.2%}, {upper:.2%}]"
+        )
+        lines.append(f"  weakest attribute: {self.weakest_attribute()}")
+        return "\n".join(lines)

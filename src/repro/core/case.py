@@ -1,0 +1,188 @@
+"""Dependability-case assembly.
+
+A dependability case, per the paper's working definition, is "some
+reasoning, based on assumptions and evidence, that supports a
+dependability claim at a particular level of confidence".  This module
+provides the container that binds those parts together:
+
+* the **claim** (a bound or SIL claim from :mod:`repro.core.claims`);
+* the **judgement** — the assessor's posterior belief distribution over
+  the pfd, from whatever mixture of testing, analysis and expert
+  judgement produced it;
+* recorded **evidence** and **assumptions** (with per-assumption doubt,
+  the uncertainty source Section 1 highlights);
+* an optional target confidence, evaluated via the ACARP machinery.
+
+The case's headline numbers are its claim confidence and the conservative
+worst-case failure probability implied by treating its confidence as a
+single-point belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..distributions import JudgementDistribution
+from ..errors import ClaimError, DomainError
+from .acarp import AcarpTarget, AcarpVerdict, evaluate
+from .claims import PfdBoundClaim, SilClaim, SinglePointBelief
+from .conservative import worst_case_failure_probability
+
+__all__ = ["EvidenceRecord", "AssumptionRecord", "DependabilityCase"]
+
+
+@dataclass(frozen=True)
+class EvidenceRecord:
+    """One item of supporting evidence (testing data, static analysis, ...)."""
+
+    name: str
+    kind: str
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise DomainError("evidence needs a non-empty name")
+
+
+@dataclass(frozen=True)
+class AssumptionRecord:
+    """An assumption the case rests on, with the assessor's doubt in it.
+
+    ``probability_true`` is the subjective probability the assumption
+    holds; the complement is the "assumption doubt" of Section 1.
+    """
+
+    name: str
+    probability_true: float = 1.0
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            raise DomainError("assumption needs a non-empty name")
+        if not 0 <= self.probability_true <= 1:
+            raise DomainError(
+                f"probability_true must lie in [0, 1], got {self.probability_true}"
+            )
+
+    @property
+    def doubt(self) -> float:
+        return 1.0 - self.probability_true
+
+
+@dataclass
+class DependabilityCase:
+    """A claim, the judgement supporting it, and the case's underpinnings."""
+
+    system: str
+    claim: Union[PfdBoundClaim, SilClaim]
+    judgement: JudgementDistribution
+    evidence: List[EvidenceRecord] = field(default_factory=list)
+    assumptions: List[AssumptionRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.system:
+            raise ClaimError("a case must name the system it is about")
+
+    # ------------------------------------------------------------------ #
+    # Headline quantities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def claim_bound(self) -> float:
+        """The numeric bound the claim asserts the pfd is below."""
+        if isinstance(self.claim, SilClaim):
+            return self.claim.as_bound_claim().bound
+        return self.claim.bound
+
+    def confidence(self) -> float:
+        """Confidence in the claim under the case's judgement."""
+        return self.claim.confidence_under(self.judgement)
+
+    def doubt(self) -> float:
+        """``1 - confidence``."""
+        return 1.0 - self.confidence()
+
+    def assumption_confidence(self) -> float:
+        """Probability all recorded assumptions hold (treated independent).
+
+        A crude but explicit aggregation; structured dependence between
+        assumptions belongs in an argument graph
+        (:mod:`repro.arguments`).
+        """
+        prob = 1.0
+        for assumption in self.assumptions:
+            prob *= assumption.probability_true
+        return prob
+
+    def overall_confidence(self) -> float:
+        """Claim confidence deflated by assumption doubt.
+
+        Conservative composition: the claim is only trusted when every
+        assumption holds, and no credit is taken for the claim holding
+        despite a failed assumption.
+        """
+        return self.confidence() * self.assumption_confidence()
+
+    def single_point_belief(self) -> SinglePointBelief:
+        """The case's ``P(pfd < y) = 1 - x`` fragment at the claim bound."""
+        return SinglePointBelief(
+            bound=self.claim_bound, confidence=self.overall_confidence()
+        )
+
+    def conservative_failure_probability(self) -> float:
+        """Worst-case ``P(failure on a random demand)`` from the belief."""
+        return worst_case_failure_probability(self.single_point_belief())
+
+    def expected_failure_probability(self) -> float:
+        """``E[pfd]`` under the full judgement (paper eq. (4))."""
+        return self.judgement.mean()
+
+    # ------------------------------------------------------------------ #
+    # Target evaluation and reporting
+    # ------------------------------------------------------------------ #
+
+    def against_target(self, required_confidence: float) -> AcarpVerdict:
+        """Evaluate the case against a required confidence (ACARP)."""
+        return evaluate(
+            self.judgement,
+            AcarpTarget(
+                claim_bound=self.claim_bound,
+                required_confidence=required_confidence,
+            ),
+        )
+
+    def meets(self, required_confidence: float) -> bool:
+        """Whether the overall confidence clears the requirement."""
+        if not 0 < required_confidence < 1:
+            raise DomainError("required confidence must lie strictly in (0, 1)")
+        return self.overall_confidence() >= required_confidence
+
+    def report(self) -> str:
+        """Multi-line plain-text case summary."""
+        lines = [
+            f"Dependability case: {self.system}",
+            f"  Claim: {self.claim}",
+            f"  Claim confidence: {self.confidence():.3%}",
+        ]
+        if self.assumptions:
+            lines.append(
+                f"  Assumption confidence ({len(self.assumptions)} assumptions): "
+                f"{self.assumption_confidence():.3%}"
+            )
+            for assumption in self.assumptions:
+                lines.append(
+                    f"    - {assumption.name}: P(true) = "
+                    f"{assumption.probability_true:.3%}"
+                )
+        lines.append(f"  Overall confidence: {self.overall_confidence():.3%}")
+        lines.append(
+            f"  E[pfd] = {self.expected_failure_probability():.3g}; "
+            f"conservative worst-case P(failure) = "
+            f"{self.conservative_failure_probability():.3g}"
+        )
+        if self.evidence:
+            lines.append(f"  Evidence ({len(self.evidence)} items):")
+            for item in self.evidence:
+                lines.append(f"    - [{item.kind}] {item.name}")
+        return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Dependability claims.
+
+A dependability case supports a *claim* at some *confidence*.  The claims
+the paper works with are one-sided bounds on a pfd or failure rate
+("pfd < 10^-3"), SIL membership claims (sugar for a bound claim at the
+band's upper edge), and perfection claims (pfd = 0).  A claim paired with
+the assessor's confidence in it is a :class:`SinglePointBelief` — the
+paper's ``P(pfd < y) = 1 - x`` fragment, the input to the conservative
+calculus in :mod:`repro.core.conservative`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..distributions import JudgementDistribution
+from ..errors import ClaimError, DomainError
+from ..sil import BandScheme, LOW_DEMAND
+
+__all__ = [
+    "PfdBoundClaim",
+    "SilClaim",
+    "PerfectionClaim",
+    "SinglePointBelief",
+]
+
+
+@dataclass(frozen=True)
+class PfdBoundClaim:
+    """The claim ``pfd < bound`` (or failure rate < bound)."""
+
+    bound: float
+    description: str = ""
+
+    def __post_init__(self):
+        if not 0 < self.bound <= 1:
+            raise ClaimError(f"pfd bound must lie in (0, 1], got {self.bound}")
+
+    def confidence_under(self, dist: JudgementDistribution) -> float:
+        """Assessor confidence in this claim under a judgement."""
+        return dist.confidence(self.bound)
+
+    def is_true_for(self, pfd: float) -> bool:
+        """Whether a realised pfd satisfies the claim."""
+        if pfd < 0:
+            raise DomainError("pfd cannot be negative")
+        return pfd < self.bound
+
+    def __str__(self) -> str:
+        text = f"pfd < {self.bound:g}"
+        if self.description:
+            text += f" ({self.description})"
+        return text
+
+
+@dataclass(frozen=True)
+class SilClaim:
+    """The claim that a system achieves SIL ``level`` (or better)."""
+
+    level: int
+    scheme: BandScheme = LOW_DEMAND
+    description: str = ""
+
+    def __post_init__(self):
+        if self.level not in self.scheme.levels:
+            raise ClaimError(
+                f"level {self.level} not defined by scheme {self.scheme.name}"
+            )
+
+    def as_bound_claim(self) -> PfdBoundClaim:
+        """The equivalent one-sided bound claim at the band's upper edge."""
+        band = self.scheme.band(self.level)
+        return PfdBoundClaim(
+            bound=band.upper,
+            description=self.description or f"SIL {self.level} or better",
+        )
+
+    def confidence_under(self, dist: JudgementDistribution) -> float:
+        """Assessor confidence the system is this SIL or better."""
+        return self.as_bound_claim().confidence_under(dist)
+
+    def is_true_for(self, pfd: float) -> bool:
+        return self.as_bound_claim().is_true_for(pfd)
+
+    def __str__(self) -> str:
+        band = self.scheme.band(self.level)
+        return f"SIL {self.level} or better (pfd < {band.upper:g})"
+
+
+@dataclass(frozen=True)
+class PerfectionClaim:
+    """The claim that the system is fault-free (pfd exactly 0).
+
+    The paper's footnote 3: such a claim is supported by non-probabilistic
+    reasoning and is *different in kind* from "pfd is vanishingly small".
+    """
+
+    description: str = ""
+
+    def confidence_under(self, dist: JudgementDistribution) -> float:
+        """Probability mass the judgement places exactly at 0."""
+        return float(dist.cdf(0.0))
+
+    def is_true_for(self, pfd: float) -> bool:
+        if pfd < 0:
+            raise DomainError("pfd cannot be negative")
+        return pfd == 0.0
+
+    def __str__(self) -> str:
+        return "pfd = 0 (perfection)" + (
+            f" ({self.description})" if self.description else ""
+        )
+
+
+@dataclass(frozen=True)
+class SinglePointBelief:
+    """The paper's elicited fragment ``P(pfd < bound) = confidence``.
+
+    ``doubt`` is ``1 - confidence`` — the ``x`` in the paper's ``(x, y)``
+    notation, with ``bound`` as ``y``.  A zero bound is permitted: it is
+    the paper's Example 2 limit, a statement of confidence in perfection.
+    """
+
+    bound: float
+    confidence: float
+
+    def __post_init__(self):
+        if not 0 <= self.bound <= 1:
+            raise ClaimError(f"belief bound must lie in [0, 1], got {self.bound}")
+        if not 0 <= self.confidence <= 1:
+            raise DomainError(
+                f"confidence must lie in [0, 1], got {self.confidence}"
+            )
+
+    @property
+    def doubt(self) -> float:
+        """``x = 1 - confidence``."""
+        return 1.0 - self.confidence
+
+    @classmethod
+    def from_doubt(cls, bound: float, doubt: float) -> "SinglePointBelief":
+        """Construct from the paper's ``(x, y)`` convention."""
+        if not 0 <= doubt <= 1:
+            raise DomainError(f"doubt must lie in [0, 1], got {doubt}")
+        return cls(bound=bound, confidence=1.0 - doubt)
+
+    @classmethod
+    def of(cls, dist: JudgementDistribution, bound: float) -> "SinglePointBelief":
+        """The belief a full judgement distribution implies at a bound."""
+        return cls(bound=bound, confidence=dist.confidence(bound))
+
+    def claim(self) -> PfdBoundClaim:
+        """The claim this belief is about (raises for the zero bound —
+        a zero-bound belief is about :class:`PerfectionClaim`)."""
+        if self.bound == 0.0:
+            raise ClaimError(
+                "a zero-bound belief asserts perfection; use PerfectionClaim"
+            )
+        return PfdBoundClaim(self.bound)
+
+    def __str__(self) -> str:
+        return f"P(pfd < {self.bound:g}) = {self.confidence:.4%}"

@@ -1,0 +1,215 @@
+"""Composing subsystem claims into system-level claims.
+
+The paper's abstract lists "issues of composability of subsystem claims"
+among the obstacles to quantitative confidence.  This module supplies the
+machinery:
+
+* a :class:`SystemStructure` tree (series / parallel / k-out-of-n blocks
+  over component judgements) with Monte-Carlo propagation of the
+  component judgement distributions to a system-level judgement;
+* the **beta-factor common-cause model** of IEC 61508 for redundant
+  channels (``pfd_1oo2 = beta * p + (1 - beta) * p^2``), since naive
+  independence flatters redundancy exactly the way the paper warns
+  dependence flatters multi-legged arguments;
+* conservative composition of *single-point beliefs*: from
+  ``P(pfd_i < y_i) >= 1 - x_i`` the union bound gives
+  ``P(sum_i pfd_i < sum_i y_i) >= 1 - sum_i x_i`` — subsystem doubts
+  *add*, which is why system-level confidence erodes so fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..distributions import EmpiricalJudgement, JudgementDistribution
+from ..errors import DomainError
+from .claims import SinglePointBelief
+
+__all__ = [
+    "Component",
+    "SeriesBlock",
+    "ParallelBlock",
+    "KOutOfNBlock",
+    "SystemStructure",
+    "compose_series_beliefs",
+    "beta_factor_1oo2",
+    "monte_carlo_system_judgement",
+]
+
+Block = Union["Component", "SeriesBlock", "ParallelBlock", "KOutOfNBlock"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """A leaf: one subsystem with its pfd judgement."""
+
+    name: str
+    judgement: JudgementDistribution
+
+    def __post_init__(self):
+        if not self.name:
+            raise DomainError("component needs a name")
+
+    def sample_pfd(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.clip(self.judgement.sample(rng, size), 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class SeriesBlock:
+    """Fails if *any* child fails: ``pfd = 1 - prod(1 - pfd_i)``."""
+
+    children: Sequence[Block]
+
+    def __post_init__(self):
+        if len(self.children) < 1:
+            raise DomainError("series block needs at least one child")
+
+    def sample_pfd(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        survive = np.ones(size)
+        for child in self.children:
+            survive = survive * (1.0 - child.sample_pfd(rng, size))
+        return 1.0 - survive
+
+
+@dataclass(frozen=True)
+class ParallelBlock:
+    """Fails only if *all* children fail (independent given the pfds)."""
+
+    children: Sequence[Block]
+
+    def __post_init__(self):
+        if len(self.children) < 1:
+            raise DomainError("parallel block needs at least one child")
+
+    def sample_pfd(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        fail = np.ones(size)
+        for child in self.children:
+            fail = fail * child.sample_pfd(rng, size)
+        return fail
+
+
+@dataclass(frozen=True)
+class KOutOfNBlock:
+    """Succeeds when at least ``k`` of the ``n`` children succeed.
+
+    Children are treated as conditionally independent given their pfds;
+    the demand-failure probability is evaluated by exact enumeration over
+    child outcomes (fine for the small n of protection architectures).
+    """
+
+    k: int
+    children: Sequence[Block]
+
+    def __post_init__(self):
+        n = len(self.children)
+        if n < 1:
+            raise DomainError("k-out-of-n block needs at least one child")
+        if not 1 <= self.k <= n:
+            raise DomainError(f"k must lie in [1, {n}], got {self.k}")
+        if n > 12:
+            raise DomainError("exact enumeration supports at most 12 children")
+
+    def sample_pfd(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        import itertools
+
+        child_pfds = [child.sample_pfd(rng, size) for child in self.children]
+        n = len(child_pfds)
+        fail_prob = np.zeros(size)
+        for outcome in itertools.product((0, 1), repeat=n):
+            successes = n - sum(outcome)
+            if successes >= self.k:
+                continue  # system succeeds on this outcome
+            prob = np.ones(size)
+            for child_pfd, failed in zip(child_pfds, outcome):
+                prob = prob * (child_pfd if failed else (1.0 - child_pfd))
+            fail_prob += prob
+        return fail_prob
+
+
+@dataclass(frozen=True)
+class SystemStructure:
+    """A named system with a root block."""
+
+    name: str
+    root: Block
+
+    def judgement(
+        self,
+        rng: np.random.Generator,
+        n_samples: int = 20_000,
+    ) -> EmpiricalJudgement:
+        """Monte-Carlo system-level pfd judgement."""
+        return monte_carlo_system_judgement(self.root, rng, n_samples)
+
+    def expected_pfd(
+        self, rng: np.random.Generator, n_samples: int = 20_000
+    ) -> float:
+        """``E[pfd_system]`` by Monte Carlo."""
+        return float(self.root.sample_pfd(rng, n_samples).mean())
+
+
+def monte_carlo_system_judgement(
+    block: Block,
+    rng: np.random.Generator,
+    n_samples: int = 20_000,
+) -> EmpiricalJudgement:
+    """Propagate component judgements through the structure by sampling."""
+    if n_samples < 100:
+        raise DomainError("need at least 100 samples for a usable judgement")
+    return EmpiricalJudgement(np.clip(block.sample_pfd(rng, n_samples),
+                                      0.0, 1.0))
+
+
+def compose_series_beliefs(
+    beliefs: Sequence[SinglePointBelief],
+) -> SinglePointBelief:
+    """Conservative series composition of single-point beliefs.
+
+    From ``P(pfd_i < y_i) >= 1 - x_i`` the union bound gives
+    ``P(pfd_sys < sum y_i) >= 1 - sum x_i`` (series pfd is at most the
+    sum of component pfds).  The composed *doubt* is the sum of the
+    component doubts — confidence erodes additively with subsystem
+    count, the composability obstacle in quantified form.
+    """
+    if not beliefs:
+        raise DomainError("need at least one belief to compose")
+    total_bound = sum(b.bound for b in beliefs)
+    total_doubt = sum(b.doubt for b in beliefs)
+    if total_bound > 1.0:
+        raise DomainError(
+            f"composed claim bound {total_bound} exceeds 1; the composed "
+            f"claim is vacuous"
+        )
+    return SinglePointBelief.from_doubt(
+        bound=total_bound, doubt=min(total_doubt, 1.0)
+    )
+
+
+def beta_factor_1oo2(
+    channel: JudgementDistribution,
+    beta: float,
+    rng: np.random.Generator,
+    n_samples: int = 20_000,
+) -> EmpiricalJudgement:
+    """IEC 61508 beta-factor model for a redundant 1-out-of-2 pair.
+
+    A fraction ``beta`` of each channel's failure probability is common
+    cause (both channels fail together); the rest is independent::
+
+        pfd_1oo2 = beta * p + (1 - beta) * p^2   (identical channels)
+
+    ``beta = 0`` is the naive independence assumption; typical assessed
+    values are 0.01-0.1.  The judgement over the channel pfd is
+    propagated by sampling, so assessor uncertainty and common-cause
+    dependence are both carried through.
+    """
+    if not 0 <= beta <= 1:
+        raise DomainError(f"beta must lie in [0, 1], got {beta}")
+    if n_samples < 100:
+        raise DomainError("need at least 100 samples")
+    p = np.clip(channel.sample(rng, n_samples), 0.0, 1.0)
+    system = beta * p + (1.0 - beta) * p * p
+    return EmpiricalJudgement(np.clip(system, 0.0, 1.0))

@@ -1,0 +1,213 @@
+"""The paper's conservative worst-case confidence calculus (Section 3.4).
+
+Given only the single-point belief ``P(pfd < y) = 1 - x``, the most
+conservative consistent distribution concentrates mass ``1 - x`` at ``y``
+and ``x`` at 1 (Figure 6b), so::
+
+    P(system fails on a randomly selected demand) <= x + y - x*y    (5)
+
+This module provides the bound, its perfection-mass generalisation
+``x + y - (x + p0)*y``, the *bounded-error* variant the paper mentions
+("sure we are not wrong by more than a factor of k"), and the inverse
+design problem: given a required claim ``y``, what ``(x*, y*)`` beliefs
+suffice (``x* + y* - x*y* <= y``)?  The worked Examples 1-3 and the
+10^-5 stringency discussion fall out of :func:`required_confidence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import (
+    JudgementDistribution,
+    TwoPointWorstCase,
+    WorstCaseWithPerfection,
+)
+from ..errors import ClaimError, DomainError
+from .claims import SinglePointBelief
+
+__all__ = [
+    "worst_case_failure_probability",
+    "worst_case_distribution",
+    "bounded_error_failure_probability",
+    "required_doubt",
+    "required_confidence",
+    "required_bound",
+    "supports_claim",
+    "ConservativeDesign",
+    "design_for_claim",
+]
+
+
+def worst_case_failure_probability(
+    belief: SinglePointBelief, perfection: float = 0.0
+) -> float:
+    """The paper's bound: ``x + y - x*y``, or ``x + y - (x + p0)*y``.
+
+    This is the supremum of ``E[pfd]`` over all distributions consistent
+    with the belief (and, when ``perfection > 0``, with mass ``p0`` at 0).
+    """
+    x, y = belief.doubt, belief.bound
+    if not 0 <= perfection <= belief.confidence + 1e-12:
+        raise DomainError(
+            f"perfection mass {perfection} cannot exceed the confidence "
+            f"{belief.confidence}"
+        )
+    return x + y - (x + perfection) * y
+
+
+def worst_case_distribution(
+    belief: SinglePointBelief, perfection: float = 0.0
+) -> JudgementDistribution:
+    """The distribution attaining :func:`worst_case_failure_probability`."""
+    if perfection > 0:
+        return WorstCaseWithPerfection(perfection, belief.bound, belief.doubt)
+    return TwoPointWorstCase(belief.bound, belief.doubt)
+
+
+def bounded_error_failure_probability(
+    belief: SinglePointBelief, error_factor: float
+) -> float:
+    """Worst case when the doubt mass cannot exceed ``error_factor * y``.
+
+    The paper's closing remark in Section 3.4: if we could defend "we are
+    not wrong by more than a factor of k", the doubt mass moves to
+    ``min(k*y, 1)`` instead of 1, giving ``(1-x)*y + x*min(k*y, 1)`` —
+    less conservative, but harder to justify.
+    """
+    if error_factor < 1:
+        raise DomainError(f"error factor must be >= 1, got {error_factor}")
+    x, y = belief.doubt, belief.bound
+    worst_value = min(error_factor * y, 1.0)
+    return (1.0 - x) * y + x * worst_value
+
+
+def required_doubt(claim_bound: float, belief_bound: float) -> float:
+    """Solve ``x* + y* - x*y* = y`` for ``x*`` given ``y* < y``.
+
+    The maximum doubt tolerable at ``belief_bound`` while still supporting
+    the claim ``pfd < claim_bound`` on a random demand::
+
+        x* = (y - y*) / (1 - y*)
+
+    The paper's Example 3: ``y = 1e-3, y* = 1e-4`` gives
+    ``x* ~ 9.0009e-4`` — the expert needs ~99.91 % confidence.  The
+    degenerate Example 1 (``y* = y``) is permitted and yields ``x* = 0``
+    (certainty required).
+    """
+    if not 0 < claim_bound <= 1:
+        raise ClaimError(f"claim bound must lie in (0, 1], got {claim_bound}")
+    if not 0 <= belief_bound <= claim_bound:
+        raise DomainError(
+            f"belief bound must lie in [0, claim bound], got {belief_bound} "
+            f"vs claim {claim_bound}"
+        )
+    if belief_bound >= 1.0:
+        return 0.0
+    return (claim_bound - belief_bound) / (1.0 - belief_bound)
+
+
+def required_confidence(claim_bound: float, belief_bound: float) -> float:
+    """Confidence ``1 - x*`` needed at ``belief_bound`` to support the claim."""
+    return 1.0 - required_doubt(claim_bound, belief_bound)
+
+
+def required_bound(claim_bound: float, doubt: float) -> float:
+    """Solve ``x + y* - x*y* = y`` for ``y*`` given the doubt ``x < y``.
+
+    The strongest belief bound compatible with the stated doubt::
+
+        y* = (y - x) / (1 - x)
+    """
+    if not 0 < claim_bound <= 1:
+        raise ClaimError(f"claim bound must lie in (0, 1], got {claim_bound}")
+    if not 0 <= doubt < claim_bound:
+        raise DomainError(
+            f"doubt must lie in [0, claim bound) for the design to exist, "
+            f"got doubt={doubt}, claim={claim_bound}"
+        )
+    return (claim_bound - doubt) / (1.0 - doubt)
+
+
+def supports_claim(
+    belief: SinglePointBelief, claim_bound: float, perfection: float = 0.0
+) -> bool:
+    """Whether the belief conservatively supports ``P(failure) < claim_bound``."""
+    return worst_case_failure_probability(belief, perfection) < claim_bound
+
+
+@dataclass(frozen=True)
+class ConservativeDesign:
+    """A designed ``(x*, y*)`` belief supporting a claim ``y``.
+
+    ``margin_decades`` is how far below the claim the belief bound sits —
+    Example 3 uses one decade.
+    """
+
+    claim_bound: float
+    belief: SinglePointBelief
+    perfection: float = 0.0
+
+    @property
+    def worst_case(self) -> float:
+        return worst_case_failure_probability(self.belief, self.perfection)
+
+    @property
+    def margin_decades(self) -> float:
+        if self.belief.bound <= 0:
+            return float("inf")
+        return float(np.log10(self.claim_bound / self.belief.bound))
+
+    @property
+    def is_sufficient(self) -> bool:
+        return self.worst_case <= self.claim_bound * (1.0 + 1e-12)
+
+    def describe(self) -> str:
+        return (
+            f"claim pfd < {self.claim_bound:g}: believe {self.belief} "
+            f"(doubt {self.belief.doubt:.3g}); worst-case P(failure) = "
+            f"{self.worst_case:.6g} -> "
+            f"{'supports' if self.is_sufficient else 'FAILS to support'} the claim"
+        )
+
+
+def design_for_claim(
+    claim_bound: float,
+    belief_bound: Optional[float] = None,
+    margin_decades: Optional[float] = None,
+    perfection: float = 0.0,
+) -> ConservativeDesign:
+    """Design the belief an expert must hold to support a claim.
+
+    Specify the belief bound either directly or as a decade margin below
+    the claim (Example 3 is ``margin_decades = 1``).  The returned design
+    carries the exact required confidence, accounting for a perfection
+    mass ``p0`` when given (which relaxes the requirement: the bound
+    becomes ``x + y - (x + p0)*y``).
+    """
+    if (belief_bound is None) == (margin_decades is None):
+        raise DomainError("specify exactly one of belief_bound / margin_decades")
+    if margin_decades is not None:
+        if margin_decades < 0:
+            raise DomainError("margin must be non-negative decades")
+        belief_bound = claim_bound * 10.0 ** (-margin_decades)
+    assert belief_bound is not None
+    if not 0 <= belief_bound <= claim_bound:
+        raise DomainError(
+            f"belief bound {belief_bound} must lie in [0, claim {claim_bound}]"
+        )
+    # With perfection mass p0 the balance is x + y* - (x + p0) y* = y,
+    # i.e. x (1 - y*) = y - y* + p0 y*.
+    if not 0 <= perfection <= 1:
+        raise DomainError("perfection mass must lie in [0, 1]")
+    doubt = (claim_bound - belief_bound + perfection * belief_bound) / (
+        1.0 - belief_bound
+    )
+    doubt = min(max(doubt, 0.0), 1.0)
+    belief = SinglePointBelief.from_doubt(belief_bound, doubt)
+    return ConservativeDesign(
+        claim_bound=claim_bound, belief=belief, perfection=perfection
+    )

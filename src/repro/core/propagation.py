@@ -1,0 +1,142 @@
+"""Does stage-wise conservatism propagate?  (Paper conclusions.)
+
+The paper closes with a warning: "conservative values at one stage of the
+analysis do not necessarily propagate through to other stages of the
+reasoning."  This module makes that warning executable for the
+archetypal case — a redundant pair assessed component-by-component:
+
+* **stage-wise route**: take each channel's conservative worst-case mean
+  ``x + y - xy`` (certainly an upper bound on that channel's E[pfd]) and
+  multiply them, as a naive analyst composing "conservative" numbers
+  would for a 1-out-of-2 pair;
+* **end-to-end route**: propagate the full channel judgement through the
+  pair *with common-cause dependence* (the beta-factor model) and take
+  the system mean.
+
+With enough common cause the end-to-end mean exceeds the product of the
+stage-wise "conservative" bounds: multiplying per-stage conservatisms
+silently assumed independence, and the conservatism failed to propagate.
+:func:`conservatism_audit` locates the beta at which the stage-wise
+number stops being a bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+from .claims import SinglePointBelief
+from .composition import beta_factor_1oo2
+from .conservative import worst_case_failure_probability
+
+__all__ = [
+    "PropagationPoint",
+    "stagewise_pair_bound",
+    "end_to_end_pair_mean",
+    "conservatism_audit",
+    "critical_beta",
+]
+
+
+def stagewise_pair_bound(
+    channel: JudgementDistribution, belief_bound: float
+) -> float:
+    """The naive composed 'conservative' figure for a 1oo2 pair.
+
+    Each channel contributes its worst-case mean bound from the
+    single-point belief read off at ``belief_bound``; the pair figure is
+    the product — valid *only* under channel independence.
+    """
+    belief = SinglePointBelief.of(channel, belief_bound)
+    per_channel = worst_case_failure_probability(belief)
+    return per_channel * per_channel
+
+
+def end_to_end_pair_mean(
+    channel: JudgementDistribution,
+    beta: float,
+    rng: np.random.Generator,
+    n_samples: int = 100_000,
+) -> float:
+    """True E[pfd] of the 1oo2 pair under beta-factor common cause."""
+    return beta_factor_1oo2(channel, beta, rng, n_samples).mean()
+
+
+@dataclass(frozen=True)
+class PropagationPoint:
+    """One beta value's comparison of the two routes."""
+
+    beta: float
+    stagewise_bound: float
+    end_to_end_mean: float
+
+    @property
+    def conservatism_holds(self) -> bool:
+        """Whether the stage-wise figure still bounds the truth."""
+        return self.stagewise_bound >= self.end_to_end_mean
+
+
+def conservatism_audit(
+    channel: JudgementDistribution,
+    betas: Sequence[float],
+    belief_bound: float,
+    rng: np.random.Generator,
+    n_samples: int = 100_000,
+) -> List[PropagationPoint]:
+    """Audit the stage-wise route across common-cause fractions."""
+    if not betas:
+        raise DomainError("need at least one beta to audit")
+    bound = stagewise_pair_bound(channel, belief_bound)
+    points = []
+    for beta in betas:
+        points.append(
+            PropagationPoint(
+                beta=float(beta),
+                stagewise_bound=bound,
+                end_to_end_mean=end_to_end_pair_mean(
+                    channel, float(beta), rng, n_samples
+                ),
+            )
+        )
+    return points
+
+
+def critical_beta(
+    channel: JudgementDistribution,
+    belief_bound: float,
+    rng: np.random.Generator,
+    n_samples: int = 100_000,
+    tolerance: float = 1e-4,
+) -> Optional[float]:
+    """The common-cause fraction where stage-wise conservatism breaks.
+
+    Bisects on beta for the point where the end-to-end mean crosses the
+    stage-wise bound; ``None`` when the bound survives even full common
+    cause (i.e. the stage-wise figure was so pessimistic it covers
+    everything).  The analytic crossing uses ``E[pair] = beta E[p] +
+    (1 - beta) E[p^2]``, monotone increasing in beta.
+    """
+    bound = stagewise_pair_bound(channel, belief_bound)
+    # Analytic moments of the channel make this exact and fast.
+    mean = channel.mean()
+    second = channel.variance() + mean * mean
+
+    def pair_mean(beta: float) -> float:
+        return beta * mean + (1.0 - beta) * second
+
+    if pair_mean(1.0) <= bound:
+        return None
+    if pair_mean(0.0) >= bound:
+        return 0.0
+    lo, hi = 0.0, 1.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if pair_mean(mid) < bound:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,64 @@
+"""Judgement distributions over failure rates and pfds.
+
+This package is the probabilistic substrate of the library: the paper's
+log-normal model and the paper's own (mean, mode) parameterisation, the
+gamma sensitivity alternative, beta (conjugate for demand testing),
+worst-case discrete layouts (Figure 6b), perfection mixtures, tail
+truncation, and grid/empirical posteriors, plus fitting from elicited
+quantile fragments.
+"""
+
+from .base import ContinuousJudgement, JudgementDistribution
+from .beta import BetaJudgement
+from .empirical import EmpiricalJudgement, GridJudgement
+from .fitting import (
+    QuantileConstraint,
+    check_constraints,
+    constraint_residuals,
+    fit_best,
+    fit_gamma,
+    fit_lognormal,
+)
+from .gamma import GammaJudgement
+from .lognormal import (
+    MEAN_MODE_DECADE_COEFFICIENT,
+    LogNormalJudgement,
+    mean_mode_decades,
+    paper_pdf,
+    sigma_for_decades,
+)
+from .mixture import MixtureJudgement, with_perfection
+from .pointmass import (
+    DiscreteJudgement,
+    PointMass,
+    TwoPointWorstCase,
+    WorstCaseWithPerfection,
+)
+from .truncated import TruncatedJudgement
+
+__all__ = [
+    "ContinuousJudgement",
+    "JudgementDistribution",
+    "BetaJudgement",
+    "EmpiricalJudgement",
+    "GridJudgement",
+    "QuantileConstraint",
+    "check_constraints",
+    "constraint_residuals",
+    "fit_best",
+    "fit_gamma",
+    "fit_lognormal",
+    "GammaJudgement",
+    "MEAN_MODE_DECADE_COEFFICIENT",
+    "LogNormalJudgement",
+    "mean_mode_decades",
+    "paper_pdf",
+    "sigma_for_decades",
+    "MixtureJudgement",
+    "with_perfection",
+    "DiscreteJudgement",
+    "PointMass",
+    "TwoPointWorstCase",
+    "WorstCaseWithPerfection",
+    "TruncatedJudgement",
+]

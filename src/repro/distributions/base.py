@@ -1,0 +1,237 @@
+"""Abstract base class for judgement distributions.
+
+A *judgement distribution* is the Bayesian (degree-of-belief) distribution
+an assessor holds over an uncertain dependability parameter — in the paper,
+the probability of failure on demand (pfd) or dangerous failure rate of a
+safety function.  The paper's central observations are all statements about
+such distributions:
+
+* confidence in a claim ``pfd < y`` is the CDF at ``y``;
+* the *mean* of the distribution — not the mode — is what matters for risk,
+  because ``P(failure on a random demand) = E[pfd]`` (the paper's eq. (4));
+* asymmetric distributions put the mean well above the mode.
+
+Subclasses provide ``pdf``/``cdf`` (and analytic moments where available);
+this base class supplies generic quadrature-based fallbacks, quantiles via
+monotone inversion, sampling via inverse transform, and the confidence /
+expected-failure-probability vocabulary used by the rest of the library.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from ..numerics import (
+    cumulative_trapezoid,
+    invert_monotone,
+    log_grid,
+    trapezoid,
+)
+
+__all__ = ["JudgementDistribution", "ContinuousJudgement"]
+
+
+class JudgementDistribution(abc.ABC):
+    """A degree-of-belief distribution over a failure rate or pfd.
+
+    The support is a subinterval of ``[0, inf)``; for pfd judgements it is a
+    subinterval of ``[0, 1]``.  Point masses (e.g. a probability of
+    *perfection* at 0) are permitted: ``cdf`` is then right-continuous and
+    ``pdf`` describes only the continuous part.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Abstract interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def support(self) -> Tuple[float, float]:
+        """Closed support ``(low, high)`` of the distribution."""
+
+    @abc.abstractmethod
+    def pdf(self, x):
+        """Density of the continuous part at ``x`` (vectorised)."""
+
+    @abc.abstractmethod
+    def cdf(self, x):
+        """Right-continuous CDF ``P(X <= x)`` (vectorised)."""
+
+    # ------------------------------------------------------------------ #
+    # Generic derived quantities
+    # ------------------------------------------------------------------ #
+
+    def sf(self, x):
+        """Survival function ``P(X > x)``."""
+        return 1.0 - np.asarray(self.cdf(x), dtype=float)
+
+    def confidence(self, bound: float) -> float:
+        """Confidence that the true parameter is below ``bound``.
+
+        This is the paper's one-sided confidence ``P(lambda < bound)`` —
+        e.g. confidence in SIL n membership with ``bound = 10**-n``.
+        """
+        if bound < 0:
+            raise DomainError(f"claim bound must be non-negative, got {bound}")
+        return float(self.cdf(bound))
+
+    def doubt(self, bound: float) -> float:
+        """Complement of :meth:`confidence`: ``P(X > bound)``."""
+        return 1.0 - self.confidence(bound)
+
+    def ppf(self, q):
+        """Quantile function (generalised inverse of the CDF)."""
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        low, high = self.support
+        lo = max(low, 1e-300)
+        out = np.empty_like(q_arr)
+        for i, level in enumerate(q_arr):
+            if level <= self.cdf(lo):
+                out[i] = low
+            elif level >= 1.0:
+                out[i] = high
+            else:
+                out[i] = invert_monotone(
+                    lambda x: float(self.cdf(x)), level, lo, high, increasing=True
+                )
+        if np.isscalar(q) or np.asarray(q).ndim == 0:
+            return float(out[0])
+        return out
+
+    def median(self) -> float:
+        """The 50 % quantile."""
+        return float(self.ppf(0.5))
+
+    # ------------------------------------------------------------------ #
+    # Moments (quadrature fallbacks; subclasses override analytically)
+    # ------------------------------------------------------------------ #
+
+    def _moment_grid(self, points_per_decade: int = 400) -> np.ndarray:
+        low, high = self.support
+        lo = max(low, 1e-30)
+        if not np.isfinite(high):
+            # Cap an unbounded support at an extreme quantile; the mass
+            # beyond it is negligible for quadrature moments.
+            high = float(self.ppf(1.0 - 1e-12))
+        if low <= 0:
+            # Pull the lower end up to an extreme quantile too, so grid
+            # resolution is spent where the density lives.
+            left_tail = float(self.ppf(1e-14))
+            if np.isfinite(left_tail) and left_tail > 0:
+                lo = max(lo, left_tail * 1e-2)
+        if high <= lo:
+            raise DomainError("degenerate support for quadrature moments")
+        return log_grid(lo, high, points_per_decade)
+
+    def mean(self) -> float:
+        """Expected value — the paper's ``P(system fails on random demand)``
+        when the variable is a pfd (eq. (4))."""
+        grid = self._moment_grid()
+        return trapezoid(grid * self.pdf(grid), grid) + self._point_mass_mean()
+
+    def variance(self) -> float:
+        """Variance of the judgement."""
+        m = self.mean()
+        grid = self._moment_grid()
+        second = trapezoid(grid**2 * self.pdf(grid), grid) + self._point_mass_second()
+        return max(second - m * m, 0.0)
+
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.variance()))
+
+    def _point_mass_mean(self) -> float:
+        """Contribution of point masses to the mean (0 for purely continuous)."""
+        return 0.0
+
+    def _point_mass_second(self) -> float:
+        """Contribution of point masses to the second moment."""
+        return 0.0
+
+    def expected_failure_probability(self) -> float:
+        """Alias for :meth:`mean` when the variable is a pfd.
+
+        Named after the paper's interpretation: the probability the system
+        fails on a randomly selected demand, marginalising assessor
+        uncertainty.
+        """
+        return self.mean()
+
+    def mode(self) -> float:
+        """Most-likely value (peak of the continuous density).
+
+        Generic numeric fallback; analytic subclasses override.
+        """
+        grid = self._moment_grid()
+        dens = np.asarray(self.pdf(grid), dtype=float)
+        return float(grid[int(np.argmax(dens))])
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw samples by inverse transform (subclasses may specialise)."""
+        if size < 1:
+            raise DomainError("sample size must be positive")
+        u = rng.uniform(size=size)
+        return np.asarray(self.ppf(u), dtype=float).reshape(size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    def cdf_on_grid(self, grid: np.ndarray) -> np.ndarray:
+        """CDF sampled on an explicit grid."""
+        return np.asarray(self.cdf(grid), dtype=float)
+
+    def credible_interval(self, level: float = 0.9) -> Tuple[float, float]:
+        """Central credible interval at the given level."""
+        if not 0 < level < 1:
+            raise DomainError("credible level must lie strictly in (0, 1)")
+        alpha = (1.0 - level) / 2.0
+        return float(self.ppf(alpha)), float(self.ppf(1.0 - alpha))
+
+
+class ContinuousJudgement(JudgementDistribution):
+    """Convenience base for purely continuous judgements.
+
+    Adds a grid-CDF consistency check used by tests and provides a default
+    vectorised CDF built from the pdf when subclasses lack an analytic one.
+    """
+
+    def cdf_from_pdf(self, x, points_per_decade: int = 400):
+        """Numerically integrate the pdf to evaluate the CDF at ``x``."""
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        low, _high = self.support
+        lo = max(low, 1e-30)
+        out = np.empty_like(x_arr)
+        for i, xi in enumerate(x_arr):
+            if xi <= lo:
+                out[i] = 0.0
+                continue
+            grid = log_grid(lo, xi, points_per_decade)
+            out[i] = trapezoid(self.pdf(grid), grid)
+        out = np.clip(out, 0.0, 1.0)
+        if np.isscalar(x) or np.asarray(x).ndim == 0:
+            return float(out[0])
+        return out
+
+    def normalisation_defect(self, points_per_decade: int = 400) -> float:
+        """``|integral pdf - 1|`` on the moment grid — a numeric health check."""
+        grid = self._moment_grid(points_per_decade)
+        return abs(trapezoid(self.pdf(grid), grid) - 1.0)
+
+    def cdf_grid_pair(
+        self, points_per_decade: int = 400
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(grid, cdf-on-grid)`` built by cumulative quadrature."""
+        grid = self._moment_grid(points_per_decade)
+        cdf = np.clip(cumulative_trapezoid(self.pdf(grid), grid), 0.0, 1.0)
+        return grid, cdf

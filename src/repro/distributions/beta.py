@@ -1,0 +1,151 @@
+"""Beta judgement distribution over a pfd.
+
+A pfd lives on ``[0, 1]``, and the beta family is the natural conjugate
+prior for Bernoulli-demand evidence (the statistical testing discussed in
+the paper's Section 4.1).  :mod:`repro.update.conjugate` exploits the
+conjugacy; here we provide the distribution itself in the library's
+judgement vocabulary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as _sp_stats
+
+from ..errors import DomainError, FittingError
+from ..numerics import brentq
+from .base import ContinuousJudgement
+
+__all__ = ["BetaJudgement"]
+
+
+class BetaJudgement(ContinuousJudgement):
+    """Beta(a, b) degree-of-belief distribution over a pfd in [0, 1]."""
+
+    def __init__(self, a: float, b: float):
+        if not (np.isfinite(a) and a > 0):
+            raise DomainError(f"a must be positive, got {a}")
+        if not (np.isfinite(b) and b > 0):
+            raise DomainError(f"b must be positive, got {b}")
+        self._a = float(a)
+        self._b = float(b)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_mean_equivalent_observations(
+        cls, mean: float, n_equiv: float
+    ) -> "BetaJudgement":
+        """Beta with the given mean and pseudo-observation count ``a + b``."""
+        if not 0 < mean < 1:
+            raise DomainError("mean must lie strictly in (0, 1)")
+        if n_equiv <= 0:
+            raise DomainError("equivalent observation count must be positive")
+        return cls(mean * n_equiv, (1.0 - mean) * n_equiv)
+
+    @classmethod
+    def from_mode_confidence(
+        cls, mode: float, bound: float, confidence: float
+    ) -> "BetaJudgement":
+        """Beta with given mode and one-sided confidence at a bound.
+
+        Holds the mode fixed via ``mode = (a-1)/(a+b-2)`` (requires a, b >
+        1) and solves for the concentration achieving
+        ``P(pfd < bound) = confidence``.
+        """
+        if not 0 < mode < 1:
+            raise DomainError("mode must lie strictly in (0, 1)")
+        if not mode < bound < 1:
+            raise DomainError("bound must lie in (mode, 1)")
+        if not 0.0 < confidence < 1.0:
+            raise DomainError("confidence must lie strictly in (0, 1)")
+
+        def conf_at(concentration: float) -> float:
+            # concentration = a + b - 2 > 0 keeps the mode well defined.
+            a = 1.0 + mode * concentration
+            b = 1.0 + (1.0 - mode) * concentration
+            return float(_sp_stats.beta.cdf(bound, a, b))
+
+        lo, hi = 1e-6, 1e9
+        c_lo, c_hi = conf_at(lo), conf_at(hi)
+        if not (min(c_lo, c_hi) < confidence < max(c_lo, c_hi)):
+            raise FittingError(
+                f"confidence {confidence} unreachable for mode {mode}, "
+                f"bound {bound}"
+            )
+        conc = brentq(lambda c: conf_at(c) - confidence, lo, hi)
+        return cls(1.0 + mode * conc, 1.0 + (1.0 - mode) * conc)
+
+    # ------------------------------------------------------------------ #
+    # Parameters & analytic moments
+    # ------------------------------------------------------------------ #
+
+    @property
+    def a(self) -> float:
+        return self._a
+
+    @property
+    def b(self) -> float:
+        return self._b
+
+    @property
+    def support(self):
+        return (0.0, 1.0)
+
+    def mean(self) -> float:
+        return self._a / (self._a + self._b)
+
+    def variance(self) -> float:
+        s = self._a + self._b
+        return self._a * self._b / (s * s * (s + 1.0))
+
+    def mode(self) -> float:
+        if self._a > 1 and self._b > 1:
+            return (self._a - 1.0) / (self._a + self._b - 2.0)
+        if self._a <= 1 and self._b > 1:
+            return 0.0
+        if self._a > 1 and self._b <= 1:
+            return 1.0
+        # Bimodal at both endpoints; report the heavier one.
+        return 0.0 if self._a < self._b else 1.0
+
+    # ------------------------------------------------------------------ #
+    # Density / CDF / quantiles / sampling
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, x):
+        out = _sp_stats.beta.pdf(np.asarray(x, dtype=float), self._a, self._b)
+        if np.isscalar(x) or np.asarray(x).ndim == 0:
+            return float(out)
+        return out
+
+    def cdf(self, x):
+        out = _sp_stats.beta.cdf(np.asarray(x, dtype=float), self._a, self._b)
+        if np.isscalar(x) or np.asarray(x).ndim == 0:
+            return float(out)
+        return out
+
+    def ppf(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        out = _sp_stats.beta.ppf(q_arr, self._a, self._b)
+        if np.isscalar(q) or q_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if size < 1:
+            raise DomainError("sample size must be positive")
+        return rng.beta(self._a, self._b, size=size)
+
+    def updated(self, failures: int, successes: int) -> "BetaJudgement":
+        """Posterior after observing Bernoulli demand outcomes (conjugacy)."""
+        if failures < 0 or successes < 0:
+            raise DomainError("observation counts must be non-negative")
+        return BetaJudgement(self._a + failures, self._b + successes)
+
+    def __repr__(self) -> str:
+        return f"BetaJudgement(a={self._a:.6g}, b={self._b:.6g})"

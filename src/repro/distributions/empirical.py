@@ -1,0 +1,206 @@
+"""Grid-based and sample-based judgements.
+
+Bayesian updates of non-conjugate judgements (log-normal prior with a
+Bernoulli-demand likelihood, Section 4.1) do not stay in any closed family,
+so the posterior is represented numerically: a density sampled on a log
+grid (:class:`GridJudgement`) or a cloud of Monte-Carlo samples
+(:class:`EmpiricalJudgement`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from ..numerics import (
+    cumulative_trapezoid,
+    MonotoneInterpolant,
+    normalise_density,
+    trapezoid,
+)
+from .base import JudgementDistribution
+
+__all__ = ["GridJudgement", "EmpiricalJudgement"]
+
+
+class GridJudgement(JudgementDistribution):
+    """A judgement represented by density values on an explicit grid.
+
+    The density is linearly interpolated between grid points and zero
+    outside; the grid should therefore cover effectively all the mass of
+    the judgement it represents.
+    """
+
+    def __init__(self, grid: np.ndarray, density: np.ndarray,
+                 normalise: bool = True):
+        grid = np.asarray(grid, dtype=float)
+        density = np.asarray(density, dtype=float)
+        if grid.ndim != 1 or grid.shape != density.shape:
+            raise DomainError("grid and density must be 1-D arrays of equal length")
+        if grid.size < 3:
+            raise DomainError("grid judgement needs at least 3 points")
+        if np.any(np.diff(grid) <= 0):
+            raise DomainError("grid must be strictly increasing")
+        if np.any(grid < 0):
+            raise DomainError("failure-rate grid must be non-negative")
+        if np.any(density < 0):
+            raise DomainError("density values must be non-negative")
+        if normalise:
+            density = normalise_density(density, grid)
+        self._grid = grid
+        self._density = density
+        self._cdf_values = np.clip(cumulative_trapezoid(density, grid), 0.0, 1.0)
+        # Guard the far end against quadrature round-off.
+        self._cdf_values[-1] = max(self._cdf_values[-1], self._cdf_values.max())
+        self._cdf_interp = MonotoneInterpolant(self._grid, self._cdf_values)
+
+    @classmethod
+    def from_distribution(
+        cls, dist: JudgementDistribution, grid: np.ndarray
+    ) -> "GridJudgement":
+        """Project an analytic judgement onto an explicit grid."""
+        return cls(grid, np.asarray(dist.pdf(grid), dtype=float))
+
+    @property
+    def grid(self) -> np.ndarray:
+        return self._grid.copy()
+
+    @property
+    def density(self) -> np.ndarray:
+        return self._density.copy()
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        return (float(self._grid[0]), float(self._grid[-1]))
+
+    def pdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.interp(x_arr, self._grid, self._density, left=0.0, right=0.0)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def cdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.clip(self._cdf_interp(np.clip(x_arr, self._grid[0],
+                                               self._grid[-1])), 0.0, 1.0)
+        out = np.where(x_arr < self._grid[0], 0.0,
+                       np.where(x_arr >= self._grid[-1], 1.0, out))
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def ppf(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        out = self._cdf_interp.inverse(q_arr)
+        if np.isscalar(q) or q_arr.ndim == 0:
+            return float(np.asarray(out).reshape(-1)[0])
+        return np.asarray(out)
+
+    def mean(self) -> float:
+        return trapezoid(self._grid * self._density, self._grid)
+
+    def variance(self) -> float:
+        m = self.mean()
+        second = trapezoid(self._grid**2 * self._density, self._grid)
+        return max(second - m * m, 0.0)
+
+    def mode(self) -> float:
+        return float(self._grid[int(np.argmax(self._density))])
+
+    def reweighted(self, weights: np.ndarray) -> "GridJudgement":
+        """Pointwise-multiply the density by ``weights`` and renormalise.
+
+        This is a grid Bayesian update with likelihood values ``weights``.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != self._grid.shape:
+            raise DomainError("weights must match the grid shape")
+        if np.any(weights < 0):
+            raise DomainError("likelihood weights must be non-negative")
+        return GridJudgement(self._grid, self._density * weights)
+
+    def __repr__(self) -> str:
+        return (
+            f"GridJudgement(n={self._grid.size}, "
+            f"support=[{self._grid[0]:.3g}, {self._grid[-1]:.3g}])"
+        )
+
+
+class EmpiricalJudgement(JudgementDistribution):
+    """A judgement represented by Monte-Carlo samples.
+
+    CDF and quantiles are the empirical ones; the density is a histogram
+    estimate (adequate for plotting, not for tail integration — use
+    :class:`GridJudgement` when quadrature accuracy matters).
+    """
+
+    def __init__(self, samples: np.ndarray):
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1 or samples.size < 2:
+            raise DomainError("need a 1-D array of at least 2 samples")
+        if np.any(samples < 0):
+            raise DomainError("failure-rate samples must be non-negative")
+        self._sorted = np.sort(samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        return self._sorted.copy()
+
+    @property
+    def n(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        return (float(self._sorted[0]), float(self._sorted[-1]))
+
+    def pdf(self, x):
+        edges = np.histogram_bin_edges(self._sorted, bins="auto")
+        counts, _ = np.histogram(self._sorted, bins=edges, density=True)
+        x_arr = np.asarray(x, dtype=float)
+        idx = np.clip(np.searchsorted(edges, x_arr, side="right") - 1,
+                      0, len(counts) - 1)
+        out = np.where((x_arr >= edges[0]) & (x_arr <= edges[-1]),
+                       counts[idx], 0.0)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def cdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.searchsorted(self._sorted, x_arr, side="right") / self.n
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out.astype(float)
+
+    def ppf(self, q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        out = np.quantile(self._sorted, q_arr)
+        if np.isscalar(q) or q_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def mean(self) -> float:
+        return float(self._sorted.mean())
+
+    def variance(self) -> float:
+        return float(self._sorted.var())
+
+    def standard_error_of_mean(self) -> float:
+        """Monte-Carlo standard error of :meth:`mean`."""
+        return float(self._sorted.std(ddof=1) / np.sqrt(self.n))
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if size < 1:
+            raise DomainError("sample size must be positive")
+        return rng.choice(self._sorted, size=size, replace=True)
+
+    def __repr__(self) -> str:
+        return f"EmpiricalJudgement(n={self.n})"

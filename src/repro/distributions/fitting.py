@@ -1,0 +1,156 @@
+"""Fitting judgement distributions to elicited constraints.
+
+Experts rarely hand over a full distribution (the paper doubts they even
+"have" one).  What they do state are fragments — a most-likely value, one
+or two quantiles, a one-sided confidence.  This module turns those
+fragments into concrete judgement distributions, and quantifies how well a
+fit honours over-determined constraint sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy import optimize as _sp_optimize
+
+from ..errors import DomainError, FittingError, InconsistentBeliefError
+from .base import JudgementDistribution
+from .gamma import GammaJudgement
+from .lognormal import LogNormalJudgement
+
+__all__ = [
+    "QuantileConstraint",
+    "check_constraints",
+    "fit_lognormal",
+    "fit_gamma",
+    "fit_best",
+    "constraint_residuals",
+]
+
+
+@dataclass(frozen=True)
+class QuantileConstraint:
+    """An elicited statement ``P(X < value) = level``."""
+
+    level: float
+    value: float
+
+    def __post_init__(self):
+        if not 0 < self.level < 1:
+            raise DomainError(f"constraint level must be in (0,1), got {self.level}")
+        if self.value <= 0:
+            raise DomainError(f"constraint value must be positive, got {self.value}")
+
+
+def check_constraints(constraints: Sequence[QuantileConstraint]) -> List[QuantileConstraint]:
+    """Validate a constraint set: distinct and co-monotone, else raise."""
+    if not constraints:
+        raise DomainError("need at least one quantile constraint")
+    ordered = sorted(constraints, key=lambda c: c.level)
+    for earlier, later in zip(ordered, ordered[1:]):
+        if earlier.level == later.level and earlier.value != later.value:
+            raise InconsistentBeliefError(
+                f"two different values at the same level {earlier.level}"
+            )
+        if earlier.value > later.value:
+            raise InconsistentBeliefError(
+                "quantile values must be non-decreasing in level: "
+                f"P(X<{earlier.value})={earlier.level} vs "
+                f"P(X<{later.value})={later.level}"
+            )
+    return ordered
+
+
+def constraint_residuals(
+    dist: JudgementDistribution, constraints: Sequence[QuantileConstraint]
+) -> np.ndarray:
+    """Per-constraint error ``cdf(value) - level`` for a fitted judgement."""
+    return np.array(
+        [float(dist.cdf(c.value)) - c.level for c in constraints], dtype=float
+    )
+
+
+def fit_lognormal(
+    constraints: Sequence[QuantileConstraint],
+) -> LogNormalJudgement:
+    """Fit a log-normal to quantile constraints.
+
+    Two constraints are matched exactly; more are fitted by least squares
+    on the probit scale (where the log-normal CDF is linear in ``ln x``).
+    """
+    ordered = check_constraints(constraints)
+    if len(ordered) < 2:
+        raise FittingError("a log-normal fit needs at least two constraints")
+    if len(ordered) == 2:
+        a, b = ordered
+        return LogNormalJudgement.from_quantiles(a.level, a.value, b.level, b.value)
+    from ..numerics import norm_ppf
+
+    z = np.array([float(norm_ppf(c.level)) for c in ordered])
+    lnx = np.array([np.log(c.value) for c in ordered])
+    # ln x = mu + sigma * z  ->  linear regression of lnx on z.
+    design = np.column_stack([np.ones_like(z), z])
+    coef, *_rest = np.linalg.lstsq(design, lnx, rcond=None)
+    mu, sigma = float(coef[0]), float(coef[1])
+    if sigma <= 0:
+        raise FittingError("constraints imply non-positive sigma")
+    return LogNormalJudgement(mu, sigma)
+
+
+def fit_gamma(constraints: Sequence[QuantileConstraint]) -> GammaJudgement:
+    """Fit a gamma judgement to quantile constraints (>= 2) numerically."""
+    ordered = check_constraints(constraints)
+    if len(ordered) < 2:
+        raise FittingError("a gamma fit needs at least two constraints")
+
+    # Work in log-parameters to keep positivity unconstrained.
+    def residuals(log_params: np.ndarray) -> np.ndarray:
+        shape, scale = np.exp(log_params)
+        dist = GammaJudgement(shape, scale)
+        return constraint_residuals(dist, ordered)
+
+    # Moment-flavoured start: median ~ shape*scale, spread from the ratio
+    # of the extreme constraint values.
+    mid = ordered[len(ordered) // 2].value
+    ratio = ordered[-1].value / ordered[0].value
+    shape0 = max(1.0 / np.log(max(ratio, 1.0 + 1e-6)) ** 2 * 4.0, 0.2)
+    start = np.log([shape0, mid / shape0])
+    sol = _sp_optimize.least_squares(residuals, start, xtol=1e-14, ftol=1e-14)
+    if not sol.success:
+        raise FittingError(f"gamma fit failed: {sol.message}")
+    shape, scale = np.exp(sol.x)
+    fitted = GammaJudgement(float(shape), float(scale))
+    worst = float(np.max(np.abs(constraint_residuals(fitted, ordered))))
+    if len(ordered) == 2 and worst > 1e-6:
+        raise FittingError(
+            f"gamma cannot match the two constraints (residual {worst:.2g})"
+        )
+    return fitted
+
+
+def fit_best(
+    constraints: Sequence[QuantileConstraint],
+    families: Sequence[str] = ("lognormal", "gamma"),
+) -> JudgementDistribution:
+    """Fit each family and return the one with the smallest residual norm."""
+    ordered = check_constraints(constraints)
+    fitters = {"lognormal": fit_lognormal, "gamma": fit_gamma}
+    best_dist = None
+    best_norm = np.inf
+    errors = []
+    for name in families:
+        if name not in fitters:
+            raise DomainError(f"unknown family {name!r}")
+        try:
+            dist = fitters[name](ordered)
+        except (FittingError, DomainError) as exc:
+            errors.append(f"{name}: {exc}")
+            continue
+        norm = float(np.linalg.norm(constraint_residuals(dist, ordered)))
+        if norm < best_norm:
+            best_dist, best_norm = dist, norm
+    if best_dist is None:
+        raise FittingError("no family could fit the constraints: " + "; ".join(errors))
+    return best_dist

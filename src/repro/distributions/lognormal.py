@@ -1,0 +1,305 @@
+"""The paper's log-normal judgement model (Section 3.1).
+
+The paper models an assessor's judgement of a dangerous failure rate or pfd
+as log-normal, parameterised two ways:
+
+* the standard ``(mu, sigma)`` of ``ln(lambda)``;
+* the paper's ``(lmean, lmode)`` — natural logs of the *mean* and the
+  *mode* (peak).  From ``mean = exp(mu + sigma^2/2)`` and
+  ``mode = exp(mu - sigma^2)``::
+
+      sigma^2 = 2 * (lmean - lmode) / 3
+      mu      = (2 * lmean + lmode) / 3
+
+  which is exactly the density printed in the paper's Section 3.1.
+
+The headline identity, used everywhere in the paper's argument, is::
+
+    log10(mean / mode) = 1.5 * sigma^2 / ln(10) = 0.6514 * sigma^2
+
+so the mean is one decade worse than the mode at sigma ~ 1.2 and two
+decades worse at sigma ~ 1.7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DomainError, FittingError
+from ..numerics import LN10, brentq, norm_cdf, norm_pdf, norm_ppf
+from .base import ContinuousJudgement
+
+__all__ = [
+    "LogNormalJudgement",
+    "paper_pdf",
+    "mean_mode_decades",
+    "sigma_for_decades",
+    "MEAN_MODE_DECADE_COEFFICIENT",
+]
+
+#: Coefficient in ``log10(mean/mode) = c * sigma^2``; the paper quotes 0.65.
+MEAN_MODE_DECADE_COEFFICIENT = 1.5 / LN10
+
+
+class LogNormalJudgement(ContinuousJudgement):
+    """Log-normal degree-of-belief distribution over a failure rate / pfd.
+
+    Parameters
+    ----------
+    mu, sigma:
+        Mean and standard deviation of ``ln(lambda)``; ``sigma > 0``.
+    """
+
+    def __init__(self, mu: float, sigma: float):
+        if not np.isfinite(mu):
+            raise DomainError(f"mu must be finite, got {mu}")
+        if not (np.isfinite(sigma) and sigma > 0):
+            raise DomainError(f"sigma must be positive and finite, got {sigma}")
+        self._mu = float(mu)
+        self._sigma = float(sigma)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_mode_sigma(cls, mode: float, sigma: float) -> "LogNormalJudgement":
+        """Judgement with a given peak ("most likely") value and spread."""
+        if mode <= 0:
+            raise DomainError(f"mode must be positive, got {mode}")
+        return cls(np.log(mode) + sigma * sigma, sigma)
+
+    @classmethod
+    def from_mean_sigma(cls, mean: float, sigma: float) -> "LogNormalJudgement":
+        """Judgement with a given mean value and spread."""
+        if mean <= 0:
+            raise DomainError(f"mean must be positive, got {mean}")
+        return cls(np.log(mean) - 0.5 * sigma * sigma, sigma)
+
+    @classmethod
+    def from_median_sigma(cls, median: float, sigma: float) -> "LogNormalJudgement":
+        """Judgement with a given median and spread (median = exp(mu))."""
+        if median <= 0:
+            raise DomainError(f"median must be positive, got {median}")
+        return cls(np.log(median), sigma)
+
+    @classmethod
+    def from_mean_mode(cls, mean: float, mode: float) -> "LogNormalJudgement":
+        """The paper's ``(lmean, lmode)`` parameterisation (natural values).
+
+        Requires ``mean > mode`` (a log-normal's mean always exceeds its
+        mode when sigma > 0).
+        """
+        if mode <= 0 or mean <= 0:
+            raise DomainError("mean and mode must be positive")
+        if mean <= mode:
+            raise DomainError(
+                f"log-normal requires mean > mode, got mean={mean}, mode={mode}"
+            )
+        lmean, lmode = np.log(mean), np.log(mode)
+        sigma2 = 2.0 * (lmean - lmode) / 3.0
+        mu = (2.0 * lmean + lmode) / 3.0
+        return cls(mu, float(np.sqrt(sigma2)))
+
+    @classmethod
+    def from_mode_confidence(
+        cls, mode: float, bound: float, confidence: float
+    ) -> "LogNormalJudgement":
+        """Judgement with given mode and one-sided confidence at a bound.
+
+        Solves for sigma such that ``P(lambda < bound) = confidence`` while
+        holding the mode fixed — the construction behind the paper's
+        Figure 3, where the mode stays at 0.003 (mid-SIL 2) as confidence
+        in SIL 2 varies.
+
+        ``bound`` must exceed the mode and ``confidence`` must lie in
+        (0.5, 1): with the mode below the bound, confidence is above one
+        half for small spreads and decreases toward a limit as the spread
+        grows, so the solve is well posed only in that range.
+        """
+        if mode <= 0 or bound <= 0:
+            raise DomainError("mode and bound must be positive")
+        if bound <= mode:
+            raise DomainError(
+                f"bound must exceed the mode for this construction, "
+                f"got mode={mode}, bound={bound}"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise DomainError("confidence must lie strictly in (0, 1)")
+        delta = np.log(bound) - np.log(mode)  # > 0
+
+        def conf_at(sigma: float) -> float:
+            # mu = ln(mode) + sigma^2, so z = (ln bound - mu)/sigma
+            return float(norm_cdf((delta - sigma * sigma) / sigma))
+
+        # conf_at -> 1 as sigma -> 0+, and decreases; find sigma in a wide
+        # bracket.  conf_at is monotone decreasing in sigma for sigma^2 >
+        # -delta (always true), because d/dsigma (delta/sigma - sigma) < 0.
+        lo, hi = 1e-6, 50.0
+        c_lo, c_hi = conf_at(lo), conf_at(hi)
+        if not (c_hi < confidence < c_lo):
+            raise FittingError(
+                f"confidence {confidence} at bound {bound} unreachable with "
+                f"mode {mode} (achievable range ({c_hi:.4g}, {c_lo:.4g}))"
+            )
+        sigma = brentq(lambda s: conf_at(s) - confidence, lo, hi)
+        return cls.from_mode_sigma(mode, sigma)
+
+    @classmethod
+    def from_quantiles(
+        cls, q1: float, x1: float, q2: float, x2: float
+    ) -> "LogNormalJudgement":
+        """Judgement matching two quantile statements ``P(X < x_i) = q_i``."""
+        if not (0 < q1 < 1 and 0 < q2 < 1):
+            raise DomainError("quantile levels must lie strictly in (0, 1)")
+        if x1 <= 0 or x2 <= 0:
+            raise DomainError("quantile values must be positive")
+        if q1 == q2 or x1 == x2:
+            raise DomainError("quantile constraints must be distinct")
+        if (q1 < q2) != (x1 < x2):
+            raise DomainError("quantile constraints must be co-monotone")
+        z1, z2 = float(norm_ppf(q1)), float(norm_ppf(q2))
+        sigma = (np.log(x2) - np.log(x1)) / (z2 - z1)
+        if sigma <= 0:
+            raise FittingError("constraints imply non-positive sigma")
+        mu = np.log(x1) - sigma * z1
+        return cls(mu, sigma)
+
+    # ------------------------------------------------------------------ #
+    # Parameters & analytic moments
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mu(self) -> float:
+        """Mean of ``ln(lambda)``."""
+        return self._mu
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of ``ln(lambda)``."""
+        return self._sigma
+
+    @property
+    def support(self):
+        return (0.0, float("inf"))
+
+    def mean(self) -> float:
+        return float(np.exp(self._mu + 0.5 * self._sigma**2))
+
+    def mode(self) -> float:
+        return float(np.exp(self._mu - self._sigma**2))
+
+    def median(self) -> float:
+        return float(np.exp(self._mu))
+
+    def variance(self) -> float:
+        s2 = self._sigma**2
+        return float((np.exp(s2) - 1.0) * np.exp(2.0 * self._mu + s2))
+
+    def mean_mode_decades(self) -> float:
+        """``log10(mean / mode)`` — the paper's 0.65 sigma^2 identity."""
+        return MEAN_MODE_DECADE_COEFFICIENT * self._sigma**2
+
+    # ------------------------------------------------------------------ #
+    # Density / CDF / quantiles / sampling
+    # ------------------------------------------------------------------ #
+
+    def pdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.zeros_like(x_arr, dtype=float)
+        positive = x_arr > 0
+        xp = x_arr[positive]
+        z = (np.log(xp) - self._mu) / self._sigma
+        out[positive] = norm_pdf(z) / (xp * self._sigma)
+        if np.isscalar(x) or np.asarray(x).ndim == 0:
+            return float(out.reshape(-1)[0])
+        return out
+
+    def cdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.zeros_like(x_arr, dtype=float)
+        positive = x_arr > 0
+        z = (np.log(x_arr[positive]) - self._mu) / self._sigma
+        out[positive] = norm_cdf(z)
+        if np.isscalar(x) or np.asarray(x).ndim == 0:
+            return float(out.reshape(-1)[0])
+        return out
+
+    def ppf(self, q):
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        out = np.empty_like(q_arr)
+        interior = (q_arr > 0) & (q_arr < 1)
+        out[q_arr <= 0] = 0.0
+        out[q_arr >= 1] = np.inf
+        if np.any(interior):
+            out[interior] = np.exp(self._mu + self._sigma * norm_ppf(q_arr[interior]))
+        if np.isscalar(q) or np.asarray(q).ndim == 0:
+            return float(out[0])
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if size < 1:
+            raise DomainError("sample size must be positive")
+        return np.exp(rng.normal(self._mu, self._sigma, size=size))
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def scaled(self, factor: float) -> "LogNormalJudgement":
+        """The judgement of ``factor * lambda`` (log-normal is closed)."""
+        if factor <= 0:
+            raise DomainError("scale factor must be positive")
+        return LogNormalJudgement(self._mu + np.log(factor), self._sigma)
+
+    def __repr__(self) -> str:
+        return (
+            f"LogNormalJudgement(mu={self._mu:.6g}, sigma={self._sigma:.6g}, "
+            f"mode={self.mode():.4g}, mean={self.mean():.4g})"
+        )
+
+
+def paper_pdf(lam, lmean: float, lmode: float):
+    """The density exactly as printed in the paper's Section 3.1.
+
+    ``pdf_lambda_l(lambda, lmean, lmode)`` with ``lmean``/``lmode`` the
+    *natural* logarithms of the mean and mode failure rate.  Provided as a
+    literal transcription so tests can verify our parameterisation against
+    the paper's formula.
+    """
+    lam_arr = np.asarray(lam, dtype=float)
+    if lmean <= lmode:
+        raise DomainError("paper pdf requires lmean > lmode")
+    sigma2 = 2.0 * (lmean - lmode) / 3.0
+    mu = (2.0 * lmean + lmode) / 3.0
+    out = np.zeros_like(lam_arr, dtype=float)
+    positive = lam_arr > 0
+    lp = lam_arr[positive]
+    out[positive] = (
+        1.0
+        / (np.sqrt(2.0 * np.pi * sigma2) * lp)
+        * np.exp(-0.5 * (np.log(lp) - mu) ** 2 / sigma2)
+    )
+    if np.isscalar(lam) or np.asarray(lam).ndim == 0:
+        return float(out.reshape(-1)[0])
+    return out
+
+
+def mean_mode_decades(sigma: float) -> float:
+    """``log10(mean/mode)`` for a log-normal with the given sigma."""
+    if sigma < 0:
+        raise DomainError("sigma must be non-negative")
+    return MEAN_MODE_DECADE_COEFFICIENT * sigma * sigma
+
+
+def sigma_for_decades(decades: float) -> float:
+    """Inverse of :func:`mean_mode_decades`.
+
+    The sigma at which the mean is ``decades`` worse than the mode; the
+    paper quotes sigma = 1.2 for one decade and sigma = 1.7 for two.
+    """
+    if decades < 0:
+        raise DomainError("decades must be non-negative")
+    return float(np.sqrt(decades / MEAN_MODE_DECADE_COEFFICIENT))

@@ -1,0 +1,125 @@
+"""Mixture judgements, including probability-of-perfection mixtures.
+
+The paper's footnote 3 distinguishes two very different beliefs: that a
+system is *perfect* (pfd exactly 0, arguable non-probabilistically) versus
+that its pfd is merely very small.  A belief admitting both is a mixture:
+probability ``p0`` of perfection (a point mass at 0) plus ``1 - p0`` times
+a continuous judgement over the imperfect case.  Mixtures also arise when
+pooling expert opinions (:mod:`repro.elicitation.pooling`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from .base import JudgementDistribution
+
+__all__ = ["MixtureJudgement", "with_perfection"]
+
+
+class MixtureJudgement(JudgementDistribution):
+    """Convex combination of component judgements.
+
+    Components may be continuous, discrete, or themselves mixtures; the
+    mixture CDF/mean/variance are the weighted combinations.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[JudgementDistribution],
+        weights: Sequence[float],
+    ):
+        if len(components) == 0:
+            raise DomainError("mixture needs at least one component")
+        if len(components) != len(weights):
+            raise DomainError("components and weights must have equal length")
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0):
+            raise DomainError("mixture weights must be non-negative")
+        total = w.sum()
+        if total <= 0 or not np.isclose(total, 1.0, atol=1e-9):
+            raise DomainError(f"mixture weights must sum to 1, got {total}")
+        self._components = list(components)
+        self._weights = w / total
+
+    @property
+    def components(self) -> Tuple[JudgementDistribution, ...]:
+        return tuple(self._components)
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights.copy()
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        lows, highs = zip(*(c.support for c in self._components))
+        return (min(lows), max(highs))
+
+    def pdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.zeros(np.shape(x_arr), dtype=float)
+        for comp, w in zip(self._components, self._weights):
+            out = out + w * np.asarray(comp.pdf(x_arr), dtype=float)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def cdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.zeros(np.shape(x_arr), dtype=float)
+        for comp, w in zip(self._components, self._weights):
+            out = out + w * np.asarray(comp.cdf(x_arr), dtype=float)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def mean(self) -> float:
+        return float(sum(w * c.mean() for c, w in
+                         zip(self._components, self._weights)))
+
+    def variance(self) -> float:
+        m = self.mean()
+        second = sum(
+            w * (c.variance() + c.mean() ** 2)
+            for c, w in zip(self._components, self._weights)
+        )
+        return float(max(second - m * m, 0.0))
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if size < 1:
+            raise DomainError("sample size must be positive")
+        choices = rng.choice(len(self._components), size=size, p=self._weights)
+        out = np.empty(size, dtype=float)
+        for idx in np.unique(choices):
+            mask = choices == idx
+            out[mask] = self._components[idx].sample(rng, int(mask.sum()))
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{w:.3g}*{type(c).__name__}" for c, w in
+            zip(self._components, self._weights)
+        )
+        return f"MixtureJudgement({parts})"
+
+
+def with_perfection(
+    perfection: float, imperfect: JudgementDistribution
+) -> JudgementDistribution:
+    """Belief with probability ``perfection`` that the pfd is exactly 0.
+
+    Returns the mixture ``p0 * delta(0) + (1 - p0) * imperfect`` (or the
+    unmodified judgement when ``p0 = 0``).
+    """
+    from .pointmass import PointMass  # local import avoids a cycle
+
+    if not 0 <= perfection < 1:
+        raise DomainError(f"perfection mass must lie in [0, 1), got {perfection}")
+    if perfection == 0:
+        return imperfect
+    return MixtureJudgement(
+        [PointMass(0.0), imperfect], [perfection, 1.0 - perfection]
+    )

@@ -1,0 +1,217 @@
+"""Degenerate and worst-case discrete judgements (the paper's Figure 6).
+
+Section 3.4 of the paper asks: if an expert will only state a single point
+belief ``P(pfd < y) = 1 - x``, what distribution consistent with that
+belief is *most conservative* for the probability of failure on a random
+demand ``E[pfd]``?  The answer (the paper's Figure 6b) concentrates all the
+mass of ``(0, y)`` at ``y`` and all the mass of ``(y, 1]`` at 1, giving::
+
+    E[pfd] <= (1 - x) * y + x = x + y - x*y
+
+:class:`TwoPointWorstCase` is exactly that distribution; with an additional
+probability of perfection ``p0`` at pfd = 0 it generalises to
+:class:`WorstCaseWithPerfection` and the bound ``x + y - (x + p0) * y``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from .base import JudgementDistribution
+
+__all__ = ["PointMass", "DiscreteJudgement", "TwoPointWorstCase",
+           "WorstCaseWithPerfection"]
+
+
+class DiscreteJudgement(JudgementDistribution):
+    """A purely discrete judgement: probability masses at a few atoms."""
+
+    def __init__(self, masses: Dict[float, float]):
+        if not masses:
+            raise DomainError("need at least one atom")
+        atoms = np.array(sorted(masses), dtype=float)
+        probs = np.array([masses[a] for a in atoms], dtype=float)
+        if np.any(atoms < 0):
+            raise DomainError("atoms must be non-negative failure rates")
+        if np.any(probs < 0):
+            raise DomainError("masses must be non-negative")
+        total = probs.sum()
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise DomainError(f"masses must sum to 1, got {total}")
+        self._atoms = atoms
+        self._probs = probs / total
+
+    @property
+    def atoms(self) -> np.ndarray:
+        return self._atoms.copy()
+
+    @property
+    def masses(self) -> np.ndarray:
+        return self._probs.copy()
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        return (float(self._atoms[0]), float(self._atoms[-1]))
+
+    def pdf(self, x):
+        """Continuous part is empty; density is zero everywhere."""
+        x_arr = np.asarray(x, dtype=float)
+        out = np.zeros_like(x_arr)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return 0.0
+        return out
+
+    def cdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        out = np.zeros(x_arr.shape, dtype=float)
+        for atom, prob in zip(self._atoms, self._probs):
+            out = out + np.where(x_arr >= atom, prob, 0.0)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def mean(self) -> float:
+        return float(np.dot(self._atoms, self._probs))
+
+    def variance(self) -> float:
+        m = self.mean()
+        return float(np.dot((self._atoms - m) ** 2, self._probs))
+
+    def mode(self) -> float:
+        return float(self._atoms[int(np.argmax(self._probs))])
+
+    def ppf(self, q):
+        q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        cum = np.cumsum(self._probs)
+        idx = np.searchsorted(cum, np.clip(q_arr, 0.0, 1.0), side="left")
+        idx = np.minimum(idx, len(self._atoms) - 1)
+        out = self._atoms[idx]
+        if np.isscalar(q) or np.asarray(q).ndim == 0:
+            return float(out[0])
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if size < 1:
+            raise DomainError("sample size must be positive")
+        return rng.choice(self._atoms, size=size, p=self._probs)
+
+
+class PointMass(DiscreteJudgement):
+    """All belief concentrated at a single value (e.g. claimed perfection)."""
+
+    def __init__(self, at: float):
+        super().__init__({float(at): 1.0})
+        self._at = float(at)
+
+    @property
+    def at(self) -> float:
+        return self._at
+
+    def __repr__(self) -> str:
+        return f"PointMass(at={self._at:.4g})"
+
+
+class TwoPointWorstCase(DiscreteJudgement):
+    """The paper's Figure 6b: mass ``1 - x`` at ``y`` and ``x`` at 1.
+
+    Among all pfd distributions satisfying ``P(pfd < y) = 1 - x``, this one
+    maximises the probability of failure on a randomly selected demand,
+    ``E[pfd] = x + y - x*y`` (the paper's inequality (5)).
+    """
+
+    def __init__(self, claim_bound: float, doubt: float):
+        if not 0 < claim_bound <= 1:
+            raise DomainError(f"claim bound must lie in (0, 1], got {claim_bound}")
+        if not 0 <= doubt <= 1:
+            raise DomainError(f"doubt must lie in [0, 1], got {doubt}")
+        self._claim_bound = float(claim_bound)
+        self._doubt = float(doubt)
+        if claim_bound == 1.0 or doubt in (0.0, 1.0):
+            # Degenerate layouts collapse atoms.
+            masses = {}
+            masses[claim_bound] = masses.get(claim_bound, 0.0) + (1.0 - doubt)
+            masses[1.0] = masses.get(1.0, 0.0) + doubt
+            masses = {a: m for a, m in masses.items() if m > 0}
+            super().__init__(masses)
+        else:
+            super().__init__({claim_bound: 1.0 - doubt, 1.0: doubt})
+
+    @property
+    def claim_bound(self) -> float:
+        """The bound ``y`` in ``P(pfd < y) = 1 - x``."""
+        return self._claim_bound
+
+    @property
+    def doubt_mass(self) -> float:
+        """The doubt ``x``."""
+        return self._doubt
+
+    def mean(self) -> float:
+        """``x + y - x*y`` exactly (paper inequality (5))."""
+        x, y = self._doubt, self._claim_bound
+        return x + y - x * y
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoPointWorstCase(claim_bound={self._claim_bound:.4g}, "
+            f"doubt={self._doubt:.4g})"
+        )
+
+
+class WorstCaseWithPerfection(DiscreteJudgement):
+    """Worst case given belief in possible perfection.
+
+    Mass ``p0`` at pfd = 0 (the system may be fault-free), ``1 - x - p0``
+    at ``y`` and ``x`` at 1, giving ``E[pfd] = x + y - (x + p0) * y`` — the
+    paper's modified bound.
+    """
+
+    def __init__(self, perfection: float, claim_bound: float, doubt: float):
+        if not 0 <= perfection <= 1:
+            raise DomainError(f"perfection mass must lie in [0, 1], got {perfection}")
+        if not 0 < claim_bound <= 1:
+            raise DomainError(f"claim bound must lie in (0, 1], got {claim_bound}")
+        if not 0 <= doubt <= 1:
+            raise DomainError(f"doubt must lie in [0, 1], got {doubt}")
+        middle = 1.0 - doubt - perfection
+        if middle < -1e-12:
+            raise DomainError(
+                f"perfection {perfection} + doubt {doubt} exceed total belief"
+            )
+        middle = max(middle, 0.0)
+        masses: Dict[float, float] = {}
+        for atom, mass in ((0.0, perfection), (claim_bound, middle), (1.0, doubt)):
+            if mass > 0:
+                masses[atom] = masses.get(atom, 0.0) + mass
+        self._perfection = float(perfection)
+        self._claim_bound = float(claim_bound)
+        self._doubt = float(doubt)
+        super().__init__(masses)
+
+    @property
+    def perfection(self) -> float:
+        return self._perfection
+
+    @property
+    def claim_bound(self) -> float:
+        return self._claim_bound
+
+    @property
+    def doubt_mass(self) -> float:
+        return self._doubt
+
+    def mean(self) -> float:
+        """``x + y - (x + p0) * y`` exactly (paper, end of Section 3.4)."""
+        x, y, p0 = self._doubt, self._claim_bound, self._perfection
+        return x + y - (x + p0) * y
+
+    def __repr__(self) -> str:
+        return (
+            f"WorstCaseWithPerfection(perfection={self._perfection:.4g}, "
+            f"claim_bound={self._claim_bound:.4g}, doubt={self._doubt:.4g})"
+        )

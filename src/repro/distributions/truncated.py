@@ -1,0 +1,95 @@
+"""Truncated judgements — the paper's "cutting off the tail" (Section 4.1).
+
+Operating experience or statistical testing can make high failure rates
+untenable: the paper describes the judgement distribution being "modified
+by the survival probability and renormalised", with hard truncation as the
+idealised limit.  :class:`TruncatedJudgement` implements the idealised hard
+cut-off; the graded survival-probability reweighting lives in
+:mod:`repro.update.posterior` (both are compared by experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from .base import JudgementDistribution
+
+__all__ = ["TruncatedJudgement"]
+
+
+class TruncatedJudgement(JudgementDistribution):
+    """A judgement conditioned on ``lower <= X <= upper`` and renormalised."""
+
+    def __init__(
+        self,
+        base: JudgementDistribution,
+        upper: float,
+        lower: float = 0.0,
+    ):
+        if lower < 0:
+            raise DomainError("lower truncation point must be non-negative")
+        if upper <= lower:
+            raise DomainError(
+                f"truncation requires lower < upper, got [{lower}, {upper}]"
+            )
+        mass = float(base.cdf(upper)) - float(base.cdf(lower))
+        if mass <= 0:
+            raise DomainError(
+                "base judgement has no mass in the truncation window"
+            )
+        self._base = base
+        self._lower = float(lower)
+        self._upper = float(upper)
+        self._mass = mass
+        self._cdf_low = float(base.cdf(lower))
+
+    @property
+    def base(self) -> JudgementDistribution:
+        return self._base
+
+    @property
+    def lower(self) -> float:
+        return self._lower
+
+    @property
+    def upper(self) -> float:
+        return self._upper
+
+    @property
+    def retained_mass(self) -> float:
+        """Prior probability of the retained window (the survival mass)."""
+        return self._mass
+
+    @property
+    def support(self) -> Tuple[float, float]:
+        base_low, base_high = self._base.support
+        return (max(base_low, self._lower), min(base_high, self._upper))
+
+    def pdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        inside = (x_arr >= self._lower) & (x_arr <= self._upper)
+        out = np.where(
+            inside, np.asarray(self._base.pdf(x_arr), dtype=float) / self._mass, 0.0
+        )
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def cdf(self, x):
+        x_arr = np.asarray(x, dtype=float)
+        raw = (np.asarray(self._base.cdf(np.clip(x_arr, self._lower, self._upper)),
+                          dtype=float) - self._cdf_low) / self._mass
+        out = np.clip(np.where(x_arr < self._lower, 0.0,
+                               np.where(x_arr > self._upper, 1.0, raw)), 0.0, 1.0)
+        if np.isscalar(x) or x_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"TruncatedJudgement(base={self._base!r}, "
+            f"window=[{self._lower:.4g}, {self._upper:.4g}])"
+        )

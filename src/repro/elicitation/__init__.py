@@ -1,0 +1,39 @@
+"""Expert elicitation: expert models, pooling, Delphi protocol, calibration."""
+
+from .calibration import (
+    CalibrationReport,
+    brier_score,
+    calibration_report,
+    interval_coverage,
+    log_score,
+)
+from .delphi import DEFAULT_PHASES, FourPhaseProtocol, PanelResult, PhaseConfig
+from .experts import ExpertJudgement, SyntheticExpert
+from .pooling import equal_weights, linear_pool, log_pool
+from .weighting import (
+    ExpertScore,
+    performance_weighted_pool,
+    performance_weights,
+    score_expert,
+)
+
+__all__ = [
+    "ExpertScore",
+    "performance_weighted_pool",
+    "performance_weights",
+    "score_expert",
+    "CalibrationReport",
+    "brier_score",
+    "calibration_report",
+    "interval_coverage",
+    "log_score",
+    "DEFAULT_PHASES",
+    "FourPhaseProtocol",
+    "PanelResult",
+    "PhaseConfig",
+    "ExpertJudgement",
+    "SyntheticExpert",
+    "equal_weights",
+    "linear_pool",
+    "log_pool",
+]

@@ -1,0 +1,115 @@
+"""Scoring and calibration of probabilistic expert judgements.
+
+The paper notes that expert judgement based on standards compliance
+"suffers from lack of validation [and] calibration".  This module supplies
+the standard instruments for that validation: proper scoring rules (Brier,
+logarithmic) for probability statements, interval-coverage calibration for
+distributional judgements, and a panel summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+
+__all__ = [
+    "brier_score",
+    "log_score",
+    "interval_coverage",
+    "CalibrationReport",
+    "calibration_report",
+]
+
+
+def brier_score(stated_probability: float, outcome: bool) -> float:
+    """Quadratic (Brier) score; 0 is perfect, 1 is maximally wrong."""
+    if not 0 <= stated_probability <= 1:
+        raise DomainError(
+            f"probability must lie in [0, 1], got {stated_probability}"
+        )
+    return (stated_probability - (1.0 if outcome else 0.0)) ** 2
+
+
+def log_score(stated_probability: float, outcome: bool) -> float:
+    """Negative log score; 0 is perfect, infinity for certain-and-wrong."""
+    if not 0 <= stated_probability <= 1:
+        raise DomainError(
+            f"probability must lie in [0, 1], got {stated_probability}"
+        )
+    prob = stated_probability if outcome else 1.0 - stated_probability
+    if prob == 0.0:
+        return float("inf")
+    return float(-np.log(prob))
+
+
+def interval_coverage(
+    judgements: Sequence[JudgementDistribution],
+    truths: Sequence[float],
+    level: float = 0.9,
+) -> float:
+    """Fraction of true values inside each judgement's credible interval.
+
+    A calibrated expert's coverage matches ``level``; overconfidence shows
+    as coverage below it.
+    """
+    if len(judgements) != len(truths):
+        raise DomainError("judgements and truths must align")
+    if not judgements:
+        raise DomainError("need at least one judgement")
+    hits = 0
+    for judgement, truth in zip(judgements, truths):
+        low, high = judgement.credible_interval(level)
+        if low <= truth <= high:
+            hits += 1
+    return hits / len(judgements)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Summary of an expert's performance over a set of ground truths."""
+
+    expert_name: str
+    mean_brier: float
+    mean_log_score: float
+    coverage_90: float
+    n_judgements: int
+
+    def is_overconfident(self) -> bool:
+        """Coverage clearly below the nominal 90 %."""
+        return self.coverage_90 < 0.8
+
+
+def calibration_report(
+    expert_name: str,
+    judgements: Sequence[JudgementDistribution],
+    truths: Sequence[float],
+    claim_bound: float,
+) -> CalibrationReport:
+    """Score one expert's judgements against realised truths.
+
+    Each judgement is scored on the binary claim ``truth < claim_bound``
+    with the expert's stated confidence, plus 90 % interval coverage.
+    """
+    if len(judgements) != len(truths):
+        raise DomainError("judgements and truths must align")
+    if not judgements:
+        raise DomainError("need at least one judgement")
+    briers: List[float] = []
+    logs: List[float] = []
+    for judgement, truth in zip(judgements, truths):
+        stated = judgement.confidence(claim_bound)
+        outcome = truth < claim_bound
+        briers.append(brier_score(stated, outcome))
+        logs.append(log_score(stated, outcome))
+    return CalibrationReport(
+        expert_name=expert_name,
+        mean_brier=float(np.mean(briers)),
+        mean_log_score=float(np.mean(logs)),
+        coverage_90=interval_coverage(judgements, truths, 0.9),
+        n_judgements=len(judgements),
+    )

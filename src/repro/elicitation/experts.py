@@ -1,0 +1,138 @@
+"""Expert models for elicitation studies.
+
+The paper's Section 3.3 experiment asked 12 experts for pfd judgements of
+a safety function across four protocol phases, finding a minority of
+"doubters" (who answered with very high failure rates) and a main group
+whose pooled belief was ~90 % confident of SIL 2 while its mean sat on
+the SIL 2/1 boundary.
+
+:class:`SyntheticExpert` is the parameterised generator used to simulate
+such panels (the substitution for the human study — see DESIGN.md §5):
+each expert holds a log-normal judgement whose mode is the case study's
+"true" difficulty distorted by a personal bias, and whose spread reflects
+the expert's self-confidence.  Doubters instead centre their judgement a
+couple of decades worse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import (
+    JudgementDistribution,
+    LogNormalJudgement,
+    TruncatedJudgement,
+)
+from ..core.claims import SinglePointBelief
+from ..errors import DomainError
+
+__all__ = ["ExpertJudgement", "SyntheticExpert"]
+
+
+@dataclass(frozen=True)
+class ExpertJudgement:
+    """One expert's judgement at one protocol phase."""
+
+    expert_name: str
+    phase: int
+    judgement: JudgementDistribution
+    is_doubter: bool = False
+
+    def single_point(self, bound: float) -> SinglePointBelief:
+        """The expert's one-sided confidence statement at a bound."""
+        return SinglePointBelief.of(self.judgement, bound)
+
+
+@dataclass(frozen=True)
+class SyntheticExpert:
+    """A parameterised expert for panel simulation.
+
+    Parameters
+    ----------
+    name:
+        Identifier in panel outputs.
+    bias_decades:
+        Systematic offset of the expert's mode from the reference mode,
+        in decades (positive = pessimistic).
+    sigma:
+        Spread of the expert's log-normal judgement (self-confidence).
+    is_doubter:
+        Doubters answer with judgements centred ``doubter_offset_decades``
+        worse than the reference, with wide spread — the paper's minority
+        who "expressed these doubts by giving the system a very high
+        failure rate".
+    doubter_offset_decades:
+        How much worse the doubters centre their judgement.
+    """
+
+    name: str
+    bias_decades: float = 0.0
+    sigma: float = 0.9
+    is_doubter: bool = False
+    doubter_offset_decades: float = 2.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise DomainError("expert needs a name")
+        if self.sigma <= 0:
+            raise DomainError(f"sigma must be positive, got {self.sigma}")
+        if self.doubter_offset_decades < 0:
+            raise DomainError("doubter offset must be non-negative")
+
+    def judge(
+        self,
+        reference_mode: float,
+        phase: int = 1,
+        noise_decades: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ExpertJudgement:
+        """Produce this expert's judgement around a reference mode.
+
+        ``noise_decades`` adds zero-mean log-normal scatter (requires
+        ``rng``) representing idiosyncratic reading of the material.
+        """
+        if reference_mode <= 0:
+            raise DomainError("reference mode must be positive")
+        offset = self.bias_decades
+        sigma = self.sigma
+        if self.is_doubter:
+            offset += self.doubter_offset_decades
+            sigma = max(sigma, 1.2)
+        if noise_decades > 0:
+            if rng is None:
+                raise DomainError("noise requires an rng")
+            offset += rng.normal(0.0, noise_decades)
+        mode = min(reference_mode * 10.0**offset, 0.5)
+        # A pfd lives on [0, 1]; the log-normal shape is conditioned on
+        # that domain (matters for doubters, whose raw log-normal would
+        # put mass above 1).
+        judgement = TruncatedJudgement(
+            LogNormalJudgement.from_mode_sigma(mode, sigma), upper=1.0
+        )
+        return ExpertJudgement(
+            expert_name=self.name,
+            phase=phase,
+            judgement=judgement,
+            is_doubter=self.is_doubter,
+        )
+
+    def narrowed(self, factor: float) -> "SyntheticExpert":
+        """A copy with spread multiplied by ``factor`` (< 1 = more sure).
+
+        Protocol phases that supply information narrow judgements; this is
+        the per-expert mechanism :mod:`repro.elicitation.delphi` uses.
+        """
+        if factor <= 0:
+            raise DomainError("narrowing factor must be positive")
+        return replace(self, sigma=self.sigma * factor)
+
+    def nudged_towards(self, target_bias_decades: float, weight: float
+                       ) -> "SyntheticExpert":
+        """A copy with bias moved toward a target (Delphi convergence)."""
+        if not 0 <= weight <= 1:
+            raise DomainError("nudge weight must lie in [0, 1]")
+        new_bias = (1.0 - weight) * self.bias_decades + weight * target_bias_decades
+        return replace(self, bias_decades=new_bias)

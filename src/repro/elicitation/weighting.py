@@ -1,0 +1,116 @@
+"""Performance-based expert weighting (Cooke-style, simplified).
+
+The paper notes expert judgement "suffers from lack of validation [and]
+calibration".  When *seed questions* (quantities the analyst knows but
+the experts do not) are available, experts can be scored and the pool
+weighted by performance instead of equally — the core idea of Cooke's
+classical model.  This module implements a light version: weights
+proportional to a combined calibration score (interval coverage match)
+and information score (narrowness), with a cut-off for hopeless experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+from .pooling import linear_pool
+
+__all__ = ["ExpertScore", "score_expert", "performance_weights",
+           "performance_weighted_pool"]
+
+
+@dataclass(frozen=True)
+class ExpertScore:
+    """Calibration and information scores for one expert."""
+
+    name: str
+    calibration: float
+    information: float
+
+    @property
+    def combined(self) -> float:
+        """Cooke-style product score."""
+        return self.calibration * self.information
+
+
+def score_expert(
+    name: str,
+    judgements: Sequence[JudgementDistribution],
+    truths: Sequence[float],
+    level: float = 0.9,
+) -> ExpertScore:
+    """Score an expert on seed questions.
+
+    *Calibration*: one minus the absolute miscalibration of the
+    credible-interval coverage at ``level`` (an expert covering 90 % with
+    90 % intervals scores 1.0).  *Information*: the reciprocal of the
+    mean credible-interval width in decades (narrower = more informative),
+    squashed to (0, 1].
+    """
+    if len(judgements) != len(truths):
+        raise DomainError("judgements and truths must align")
+    if not judgements:
+        raise DomainError("need at least one seed question")
+    hits = 0
+    widths = []
+    for judgement, truth in zip(judgements, truths):
+        low, high = judgement.credible_interval(level)
+        if low <= truth <= high:
+            hits += 1
+        if low <= 0:
+            low = min(high, 1e-12) / 10.0
+        widths.append(np.log10(high / low))
+    coverage = hits / len(judgements)
+    calibration = max(0.0, 1.0 - abs(coverage - level) / level)
+    mean_width = float(np.mean(widths))
+    information = 1.0 / (1.0 + mean_width)
+    return ExpertScore(name=name, calibration=calibration,
+                       information=information)
+
+
+def performance_weights(
+    scores: Sequence[ExpertScore],
+    calibration_floor: float = 0.0,
+) -> np.ndarray:
+    """Normalised weights proportional to each expert's combined score.
+
+    Experts whose calibration falls at or below ``calibration_floor``
+    get zero weight (Cooke's cut-off).  If everyone is cut off, the
+    weights fall back to uniform — throwing away all the experts is not
+    an option the analyst actually has.
+    """
+    if not scores:
+        raise DomainError("need at least one score")
+    if not 0 <= calibration_floor < 1:
+        raise DomainError("calibration floor must lie in [0, 1)")
+    raw = np.array([
+        s.combined if s.calibration > calibration_floor else 0.0
+        for s in scores
+    ])
+    total = raw.sum()
+    if total <= 0:
+        return np.full(len(scores), 1.0 / len(scores))
+    return raw / total
+
+
+def performance_weighted_pool(
+    judgements: Sequence[JudgementDistribution],
+    scores: Sequence[ExpertScore],
+    calibration_floor: float = 0.0,
+) -> JudgementDistribution:
+    """Linear pool with performance weights from seed-question scores."""
+    if len(judgements) != len(scores):
+        raise DomainError("judgements and scores must align")
+    weights = performance_weights(scores, calibration_floor)
+    kept = [(j, w) for j, w in zip(judgements, weights) if w > 0]
+    if not kept:
+        raise DomainError("all experts were cut off")
+    kept_judgements, kept_weights = zip(*kept)
+    kept_weights = np.array(kept_weights)
+    kept_weights = kept_weights / kept_weights.sum()
+    return linear_pool(list(kept_judgements), list(kept_weights))

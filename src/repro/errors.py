@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DomainError(ReproError, ValueError):
+    """A numeric argument is outside the domain a function requires.
+
+    Examples: a negative failure rate, a probability outside ``[0, 1]``,
+    a spread parameter that is not positive.
+    """
+
+
+class FittingError(ReproError, RuntimeError):
+    """A distribution could not be fitted to the supplied constraints."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numeric procedure failed to converge."""
+
+
+class InconsistentBeliefError(ReproError, ValueError):
+    """Elicited beliefs are mutually inconsistent (e.g. non-monotone CDF)."""
+
+
+class StructureError(ReproError, ValueError):
+    """An argument graph or Bayesian network is structurally invalid."""
+
+
+class ClaimError(ReproError, ValueError):
+    """A dependability claim is malformed or cannot be supported."""

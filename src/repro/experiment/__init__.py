@@ -1,0 +1,12 @@
+"""Simulation of the paper's expert elicitation experiment (Figure 5)."""
+
+from .cemsis import CaseStudy, public_domain_case_study
+from .protocol import ExperimentResult, build_panel, run_panel
+
+__all__ = [
+    "CaseStudy",
+    "public_domain_case_study",
+    "ExperimentResult",
+    "build_panel",
+    "run_panel",
+]

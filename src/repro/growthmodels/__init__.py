@@ -1,0 +1,25 @@
+"""Reliability growth models (the Section 3 'best fit' SIL route).
+
+Jelinski-Moranda and Littlewood-Verrall models, u-plot prediction
+calibration, and the end-to-end derivation of a SIL judgement from a
+failure history with an assumption-violation margin.
+"""
+
+from . import evaluation, jelinski_moranda, littlewood_verrall
+from .evaluation import UPlot, prequential_u_values, u_plot
+from .jelinski_moranda import JelinskiMorandaFit
+from .littlewood_verrall import LittlewoodVerrallFit
+from .sil_from_growth import GrowthBasedJudgement, judgement_from_history
+
+__all__ = [
+    "evaluation",
+    "jelinski_moranda",
+    "littlewood_verrall",
+    "UPlot",
+    "prequential_u_values",
+    "u_plot",
+    "JelinskiMorandaFit",
+    "LittlewoodVerrallFit",
+    "GrowthBasedJudgement",
+    "judgement_from_history",
+]

@@ -1,0 +1,104 @@
+"""Assessing the accuracy of growth-model predictions.
+
+The Section 3 recipe is "best fit reliability growth model, *assessing
+the accuracy of predictions*, adding a margin...".  The standard
+instrument is the **u-plot** (Littlewood et al.): for each one-step-ahead
+prediction, evaluate the predictive CDF at the realised time; if the
+predictions are well calibrated, those u-values are uniform on [0, 1],
+and the Kolmogorov distance of their empirical CDF from the diagonal
+measures miscalibration.
+
+:func:`prequential_u_values` replays a failure history, refitting the
+model on each prefix and scoring its next-step prediction — the honest
+(out-of-sample) protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..errors import DomainError, FittingError
+
+__all__ = ["UPlot", "u_plot", "prequential_u_values"]
+
+
+@dataclass(frozen=True)
+class UPlot:
+    """The u-plot summary of a sequence of one-step-ahead predictions."""
+
+    u_values: np.ndarray
+    kolmogorov_distance: float
+    n_predictions: int
+
+    def is_calibrated(self, tolerance: float = None) -> bool:
+        """Kolmogorov distance below the ~5% significance line.
+
+        The default tolerance is the usual ``1.36 / sqrt(n)`` asymptotic
+        critical value.
+        """
+        if tolerance is None:
+            tolerance = 1.36 / np.sqrt(max(self.n_predictions, 1))
+        return self.kolmogorov_distance <= tolerance
+
+    def bias_direction(self) -> str:
+        """"optimistic" (u-values pile near 1: failures arrive sooner
+        than predicted), "pessimistic", or "none"."""
+        mean_u = float(self.u_values.mean())
+        if mean_u > 0.55:
+            return "optimistic"
+        if mean_u < 0.45:
+            return "pessimistic"
+        return "none"
+
+
+def u_plot(u_values: Sequence[float]) -> UPlot:
+    """Build the u-plot summary from raw u-values."""
+    u = np.asarray(u_values, dtype=float)
+    if u.ndim != 1 or u.size < 1:
+        raise DomainError("need at least one u-value")
+    if np.any((u < 0) | (u > 1)):
+        raise DomainError("u-values must lie in [0, 1]")
+    sorted_u = np.sort(u)
+    n = sorted_u.size
+    empirical_hi = np.arange(1, n + 1) / n
+    empirical_lo = np.arange(0, n) / n
+    distance = float(
+        np.max(np.maximum(np.abs(empirical_hi - sorted_u),
+                          np.abs(sorted_u - empirical_lo)))
+    )
+    return UPlot(u_values=u, kolmogorov_distance=distance, n_predictions=n)
+
+
+def prequential_u_values(
+    times: Sequence[float],
+    fit_and_predict: Callable[[np.ndarray], Callable[[float], float]],
+    min_history: int = 5,
+) -> List[float]:
+    """Replay a history, scoring each one-step-ahead predictive CDF.
+
+    ``fit_and_predict(prefix)`` must return the predictive CDF for the
+    *next* interfailure time given the prefix.  Prefixes the model cannot
+    fit (e.g. no growth visible yet) are skipped.
+    """
+    times = np.asarray(times, dtype=float)
+    if min_history < 2:
+        raise DomainError("need at least two points of history")
+    if len(times) <= min_history:
+        raise DomainError(
+            f"history of {len(times)} leaves nothing to predict beyond "
+            f"min_history={min_history}"
+        )
+    u_values: List[float] = []
+    for split in range(min_history, len(times)):
+        prefix, actual = times[:split], float(times[split])
+        try:
+            predictive_cdf = fit_and_predict(prefix)
+        except (FittingError, DomainError):
+            continue
+        u_values.append(float(predictive_cdf(actual)))
+    if not u_values:
+        raise FittingError("the model fitted no prefix of the history")
+    return u_values

@@ -1,0 +1,64 @@
+"""Numeric substrate: grids, quadrature, root finding, interpolation.
+
+These are the primitives every other subsystem builds on.  They are thin
+and explicit by design — the interesting probability lives in
+:mod:`repro.distributions` and above.
+"""
+
+from .grids import (
+    DEFAULT_POINTS_PER_DECADE,
+    band_refined_grid,
+    linear_grid,
+    log_grid,
+    merge_grids,
+    midpoints,
+)
+from .integrate import (
+    adaptive_quad,
+    cumulative_trapezoid,
+    expectation_on_grid,
+    normalise_density,
+    simpson,
+    trapezoid,
+)
+from .interpolate import MonotoneInterpolant, inverse_cdf_from_grid
+from .roots import bisect, bracket_monotone, brentq, invert_monotone
+from .special import (
+    LN10,
+    gammainc_lower,
+    gammaincinv_lower,
+    ln_to_log10,
+    log10_to_ln,
+    norm_cdf,
+    norm_pdf,
+    norm_ppf,
+)
+
+__all__ = [
+    "DEFAULT_POINTS_PER_DECADE",
+    "band_refined_grid",
+    "linear_grid",
+    "log_grid",
+    "merge_grids",
+    "midpoints",
+    "adaptive_quad",
+    "cumulative_trapezoid",
+    "expectation_on_grid",
+    "normalise_density",
+    "simpson",
+    "trapezoid",
+    "MonotoneInterpolant",
+    "inverse_cdf_from_grid",
+    "bisect",
+    "bracket_monotone",
+    "brentq",
+    "invert_monotone",
+    "LN10",
+    "gammainc_lower",
+    "gammaincinv_lower",
+    "ln_to_log10",
+    "log10_to_ln",
+    "norm_cdf",
+    "norm_pdf",
+    "norm_ppf",
+]

@@ -1,0 +1,107 @@
+"""Evaluation grids for failure-rate distributions.
+
+Judgement distributions over a probability of failure on demand (pfd) span
+many decades (``1e-9`` .. ``1``), so most numeric work in the library is
+done on logarithmically spaced grids.  This module provides small, explicit
+helpers to build those grids and to refine them near points of interest
+(SIL band boundaries, claim bounds).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import DomainError
+
+__all__ = [
+    "log_grid",
+    "linear_grid",
+    "band_refined_grid",
+    "merge_grids",
+    "midpoints",
+    "DEFAULT_POINTS_PER_DECADE",
+]
+
+#: Default resolution for log grids; 200 points per decade keeps the
+#: trapezoid quadrature error on smooth log-normal densities below 1e-6
+#: relative, which is far tighter than any judgement in the paper.
+DEFAULT_POINTS_PER_DECADE = 200
+
+
+def log_grid(
+    low: float,
+    high: float,
+    points_per_decade: int = DEFAULT_POINTS_PER_DECADE,
+) -> np.ndarray:
+    """Return a logarithmically spaced grid on ``[low, high]``.
+
+    Parameters
+    ----------
+    low, high:
+        Strictly positive endpoints with ``low < high``.
+    points_per_decade:
+        Density of the grid; the total number of points is proportional to
+        the number of decades spanned.
+    """
+    if low <= 0 or high <= 0:
+        raise DomainError(f"log grid endpoints must be positive, got [{low}, {high}]")
+    if low >= high:
+        raise DomainError(f"log grid requires low < high, got [{low}, {high}]")
+    if points_per_decade < 2:
+        raise DomainError("points_per_decade must be at least 2")
+    decades = np.log10(high) - np.log10(low)
+    n = max(int(np.ceil(decades * points_per_decade)), 2) + 1
+    return np.logspace(np.log10(low), np.log10(high), n)
+
+
+def linear_grid(low: float, high: float, n: int = 2001) -> np.ndarray:
+    """Return a linearly spaced grid on ``[low, high]`` with ``n`` points."""
+    if low >= high:
+        raise DomainError(f"linear grid requires low < high, got [{low}, {high}]")
+    if n < 2:
+        raise DomainError("linear grid needs at least 2 points")
+    return np.linspace(low, high, n)
+
+
+def band_refined_grid(
+    low: float,
+    high: float,
+    boundaries: Iterable[float],
+    points_per_decade: int = DEFAULT_POINTS_PER_DECADE,
+    refine_factor: int = 4,
+    refine_halfwidth_decades: float = 0.05,
+) -> np.ndarray:
+    """A log grid refined around a set of interior boundaries.
+
+    Confidence computations integrate densities up to SIL band boundaries;
+    refining the grid in a small window around each boundary keeps the
+    boundary quadrature error negligible without a globally dense grid.
+    """
+    base = log_grid(low, high, points_per_decade)
+    pieces = [base]
+    for b in boundaries:
+        if b <= low or b >= high:
+            continue
+        lo = b * 10 ** (-refine_halfwidth_decades)
+        hi = b * 10 ** (refine_halfwidth_decades)
+        pieces.append(
+            log_grid(max(lo, low), min(hi, high), points_per_decade * refine_factor)
+        )
+        pieces.append(np.array([b]))
+    return merge_grids(pieces)
+
+
+def merge_grids(grids: Sequence[np.ndarray]) -> np.ndarray:
+    """Merge several grids into one sorted, de-duplicated grid."""
+    merged = np.unique(np.concatenate([np.asarray(g, dtype=float) for g in grids]))
+    if merged.size < 2:
+        raise DomainError("merged grid must contain at least 2 distinct points")
+    return merged
+
+
+def midpoints(grid: np.ndarray) -> np.ndarray:
+    """Return the midpoints of consecutive grid cells."""
+    grid = np.asarray(grid, dtype=float)
+    return 0.5 * (grid[1:] + grid[:-1])

@@ -1,0 +1,104 @@
+"""Quadrature helpers used throughout the library.
+
+The central quantity in the paper is an expectation of the form
+``P(failure) = integral p * f(p) dp`` (its equation (4)) and one-sided
+confidences ``P(pfd < y) = integral_0^y f(p) dp``.  These helpers evaluate
+such integrals on explicit grids (trapezoid / Simpson) or adaptively via
+scipy when a callable is cheaper to sample adaptively.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import integrate as _sp_integrate
+
+from ..errors import DomainError
+
+# numpy 2.0 renamed trapz -> trapezoid; support both.
+_np_trapezoid = getattr(np, "trapezoid", getattr(np, "trapz", None))
+
+__all__ = [
+    "trapezoid",
+    "cumulative_trapezoid",
+    "simpson",
+    "adaptive_quad",
+    "expectation_on_grid",
+    "normalise_density",
+]
+
+
+def trapezoid(values: np.ndarray, grid: np.ndarray) -> float:
+    """Trapezoid rule for samples ``values`` at points ``grid``."""
+    values = np.asarray(values, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if values.shape != grid.shape:
+        raise DomainError("values and grid must have the same shape")
+    return float(_np_trapezoid(values, grid))
+
+
+def cumulative_trapezoid(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Running trapezoid integral, with a leading zero (same length as grid)."""
+    values = np.asarray(values, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if values.shape != grid.shape:
+        raise DomainError("values and grid must have the same shape")
+    cells = 0.5 * (values[1:] + values[:-1]) * np.diff(grid)
+    return np.concatenate([[0.0], np.cumsum(cells)])
+
+
+def simpson(values: np.ndarray, grid: np.ndarray) -> float:
+    """Composite Simpson rule (falls back gracefully for uneven grids)."""
+    values = np.asarray(values, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if values.shape != grid.shape:
+        raise DomainError("values and grid must have the same shape")
+    return float(_sp_integrate.simpson(values, x=grid))
+
+
+def adaptive_quad(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    rtol: float = 1e-9,
+    atol: float = 1e-13,
+    points: Optional[np.ndarray] = None,
+) -> float:
+    """Adaptive quadrature of ``func`` on ``[low, high]``.
+
+    ``points`` may flag interior locations (e.g. a sharp mode) that the
+    adaptive rule should honour.
+    """
+    if low >= high:
+        raise DomainError(f"adaptive_quad requires low < high, got [{low}, {high}]")
+    interior = None
+    if points is not None:
+        pts = np.asarray(points, dtype=float)
+        interior = pts[(pts > low) & (pts < high)]
+        if interior.size == 0:
+            interior = None
+        elif interior.size > 40:  # scipy quad limit on break points
+            interior = np.quantile(interior, np.linspace(0, 1, 40))
+    result, _abserr = _sp_integrate.quad(
+        func, low, high, epsrel=rtol, epsabs=atol, points=interior, limit=200
+    )
+    return float(result)
+
+
+def expectation_on_grid(
+    integrand: Callable[[np.ndarray], np.ndarray],
+    density: Callable[[np.ndarray], np.ndarray],
+    grid: np.ndarray,
+) -> float:
+    """``integral integrand(x) * density(x) dx`` on an explicit grid."""
+    grid = np.asarray(grid, dtype=float)
+    return trapezoid(integrand(grid) * density(grid), grid)
+
+
+def normalise_density(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Rescale sampled density values so they integrate to one on ``grid``."""
+    total = trapezoid(values, grid)
+    if total <= 0:
+        raise DomainError("density integrates to a non-positive value")
+    return np.asarray(values, dtype=float) / total

@@ -1,0 +1,85 @@
+"""Monotone interpolation utilities.
+
+Grid-based posteriors represent their CDF as samples on a grid; quantile
+lookups (needed for elicitation round-trips and for confidence inversion)
+require a monotone interpolant and its inverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DomainError, InconsistentBeliefError
+
+__all__ = ["MonotoneInterpolant", "inverse_cdf_from_grid"]
+
+
+class MonotoneInterpolant:
+    """Piecewise-linear interpolant of monotone non-decreasing samples.
+
+    Provides both forward evaluation and (pseudo-)inversion.  Flat segments
+    are inverted to their left edge, which is the conventional generalised
+    inverse for CDFs.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 1 or x.shape != y.shape:
+            raise DomainError("x and y must be 1-D arrays of equal length")
+        if x.size < 2:
+            raise DomainError("need at least two sample points")
+        if np.any(np.diff(x) <= 0):
+            raise DomainError("x must be strictly increasing")
+        if np.any(np.diff(y) < -1e-12):
+            raise InconsistentBeliefError("y must be non-decreasing")
+        self._x = x
+        self._y = np.maximum.accumulate(y)  # clip tiny negative wiggles
+
+    @property
+    def x(self) -> np.ndarray:
+        return self._x
+
+    @property
+    def y(self) -> np.ndarray:
+        return self._y
+
+    def __call__(self, q):
+        """Evaluate the interpolant, clamping outside the sample range."""
+        return np.interp(q, self._x, self._y)
+
+    def inverse(self, target):
+        """Generalised inverse: smallest ``x`` with ``f(x) >= target``."""
+        target_arr = np.atleast_1d(np.asarray(target, dtype=float))
+        lo, hi = self._y[0], self._y[-1]
+        out = np.empty_like(target_arr)
+        for i, t in enumerate(target_arr):
+            if t <= lo:
+                out[i] = self._x[0]
+                continue
+            if t >= hi:
+                out[i] = self._x[-1]
+                continue
+            j = int(np.searchsorted(self._y, t, side="left"))
+            y0, y1 = self._y[j - 1], self._y[j]
+            x0, x1 = self._x[j - 1], self._x[j]
+            if y1 == y0:
+                out[i] = x0
+            else:
+                out[i] = x0 + (t - y0) * (x1 - x0) / (y1 - y0)
+        if np.isscalar(target) or np.asarray(target).ndim == 0:
+            return float(out[0])
+        return out
+
+
+def inverse_cdf_from_grid(grid: np.ndarray, cdf_values: np.ndarray):
+    """Build a quantile function from sampled CDF values on a grid."""
+    interp = MonotoneInterpolant(grid, cdf_values)
+
+    def ppf(q):
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0) | (q_arr > 1)):
+            raise DomainError("quantile levels must lie in [0, 1]")
+        return interp.inverse(q)
+
+    return ppf

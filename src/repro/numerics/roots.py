@@ -1,0 +1,127 @@
+"""Root finding and scalar inversion helpers.
+
+Used to invert confidence profiles (find the bound ``y`` achieving a target
+confidence), solve the conservative design problem ``x* + y* - x*y* = y``,
+and locate crossovers such as the ~67 % point in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+from scipy import optimize as _sp_optimize
+
+from ..errors import ConvergenceError, DomainError
+
+__all__ = ["bisect", "brentq", "bracket_monotone", "invert_monotone"]
+
+
+def bisect(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Plain bisection on a sign-changing interval (robust, derivative-free)."""
+    f_low, f_high = func(low), func(high)
+    if f_low == 0.0:
+        return low
+    if f_high == 0.0:
+        return high
+    if np.sign(f_low) == np.sign(f_high):
+        raise DomainError(
+            f"bisect requires a sign change on [{low}, {high}]: "
+            f"f(low)={f_low:.3g}, f(high)={f_high:.3g}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (low + high)
+        f_mid = func(mid)
+        if f_mid == 0.0 or (high - low) < tol * max(1.0, abs(mid)):
+            return mid
+        if np.sign(f_mid) == np.sign(f_low):
+            low, f_low = mid, f_mid
+        else:
+            high = mid
+    raise ConvergenceError("bisection did not converge")
+
+
+def brentq(
+    func: Callable[[float], float],
+    low: float,
+    high: float,
+    rtol: float = 1e-12,
+) -> float:
+    """Brent's method via scipy, wrapped with library error types."""
+    try:
+        return float(_sp_optimize.brentq(func, low, high, rtol=rtol, maxiter=200))
+    except ValueError as exc:
+        raise DomainError(str(exc)) from exc
+    except RuntimeError as exc:  # pragma: no cover - scipy non-convergence
+        raise ConvergenceError(str(exc)) from exc
+
+
+def bracket_monotone(
+    func: Callable[[float], float],
+    target: float,
+    start: float,
+    increasing: bool,
+    factor: float = 10.0,
+    max_expansions: int = 60,
+) -> Tuple[float, float]:
+    """Find ``[a, b] > 0`` bracketing ``func(x) = target`` for monotone func.
+
+    Expands geometrically from ``start`` in the direction that moves
+    ``func`` toward ``target``.
+    """
+    if start <= 0:
+        raise DomainError("bracket_monotone expects a positive start")
+    a = b = start
+    fa = func(start)
+    sign = 1.0 if increasing else -1.0
+    for _ in range(max_expansions):
+        if sign * (fa - target) > 0:
+            a /= factor
+            fa = func(a)
+        else:
+            break
+    fb = func(b)
+    for _ in range(max_expansions):
+        if sign * (fb - target) < 0:
+            b *= factor
+            fb = func(b)
+        else:
+            break
+    if sign * (func(a) - target) > 0 or sign * (func(b) - target) < 0:
+        raise ConvergenceError(
+            f"could not bracket target {target} from start {start}"
+        )
+    return a, b
+
+
+def invert_monotone(
+    func: Callable[[float], float],
+    target: float,
+    low: float,
+    high: float,
+    increasing: bool = True,
+    rtol: float = 1e-10,
+) -> float:
+    """Solve ``func(x) = target`` for monotone ``func`` on ``[low, high]``.
+
+    Clamps to the endpoints when the target lies outside the achieved range
+    by no more than a numeric tolerance; raises otherwise.
+    """
+    f_low, f_high = func(low), func(high)
+    lo_val, hi_val = (f_low, f_high) if increasing else (f_high, f_low)
+    slack = 1e-9 * max(1.0, abs(target))
+    if target <= lo_val + slack and target >= lo_val - slack:
+        return low if increasing else high
+    if target <= hi_val + slack and target >= hi_val - slack:
+        return high if increasing else low
+    if not (lo_val < target < hi_val):
+        raise DomainError(
+            f"target {target} outside achievable range [{lo_val:.4g}, {hi_val:.4g}]"
+        )
+    return brentq(lambda x: func(x) - target, low, high, rtol=rtol)

@@ -1,0 +1,24 @@
+"""Risk assessment: demand models, ALARP/ACARP verdicts, assurance planning."""
+
+from .alarp import (
+    AlarpAcarpVerdict,
+    AlarpThresholds,
+    RiskRegion,
+    classify,
+    combined_verdict,
+)
+from .decision import AssurancePlan, plan_assurance, tests_to_reach_confidence
+from .model import RiskModel, RiskSummary
+
+__all__ = [
+    "AlarpAcarpVerdict",
+    "AlarpThresholds",
+    "RiskRegion",
+    "classify",
+    "combined_verdict",
+    "AssurancePlan",
+    "plan_assurance",
+    "tests_to_reach_confidence",
+    "RiskModel",
+    "RiskSummary",
+]

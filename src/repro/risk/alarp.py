@@ -1,0 +1,108 @@
+"""ALARP regions and the combined ALARP + ACARP verdict.
+
+ALARP partitions risk into *unacceptable*, *tolerable* (reduce as low as
+reasonably practicable) and *broadly acceptable* regions by comparing the
+assessed failure measure with two thresholds.  The paper's point is that
+the comparison should be made with defensible confidence — hence the
+combined verdict here, which applies an ACARP confidence requirement to
+the region boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.acarp import AcarpTarget, evaluate
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+
+__all__ = ["RiskRegion", "AlarpThresholds", "classify", "AlarpAcarpVerdict",
+           "combined_verdict"]
+
+
+class RiskRegion(Enum):
+    """The three ALARP regions."""
+
+    UNACCEPTABLE = "unacceptable"
+    TOLERABLE = "tolerable (reduce ALARP)"
+    BROADLY_ACCEPTABLE = "broadly acceptable"
+
+
+@dataclass(frozen=True)
+class AlarpThresholds:
+    """Failure-measure thresholds separating the ALARP regions.
+
+    ``intolerable_above``: values at or above this are unacceptable.
+    ``acceptable_below``: values below this are broadly acceptable.
+    """
+
+    intolerable_above: float
+    acceptable_below: float
+
+    def __post_init__(self):
+        if self.acceptable_below <= 0:
+            raise DomainError("acceptable threshold must be positive")
+        if self.intolerable_above <= self.acceptable_below:
+            raise DomainError(
+                "intolerable threshold must exceed the acceptable threshold"
+            )
+
+
+def classify(value: float, thresholds: AlarpThresholds) -> RiskRegion:
+    """ALARP region of a point value."""
+    if value < 0:
+        raise DomainError("failure measure cannot be negative")
+    if value >= thresholds.intolerable_above:
+        return RiskRegion.UNACCEPTABLE
+    if value < thresholds.acceptable_below:
+        return RiskRegion.BROADLY_ACCEPTABLE
+    return RiskRegion.TOLERABLE
+
+
+@dataclass(frozen=True)
+class AlarpAcarpVerdict:
+    """Region by the mean, plus confidence the system avoids the worst."""
+
+    region_by_mean: RiskRegion
+    confidence_not_unacceptable: float
+    confidence_broadly_acceptable: float
+    acarp_met: bool
+
+    def describe(self) -> str:
+        return (
+            f"region (by mean): {self.region_by_mean.value}; "
+            f"P(not unacceptable) = {self.confidence_not_unacceptable:.2%}; "
+            f"P(broadly acceptable) = {self.confidence_broadly_acceptable:.2%}; "
+            f"ACARP {'met' if self.acarp_met else 'NOT met'}"
+        )
+
+
+def combined_verdict(
+    judgement: JudgementDistribution,
+    thresholds: AlarpThresholds,
+    required_confidence: float = 0.90,
+) -> AlarpAcarpVerdict:
+    """ALARP by the mean, ACARP on staying out of the unacceptable region.
+
+    ``required_confidence`` is the ACARP requirement on
+    ``P(measure < intolerable threshold)``.
+    """
+    mean = judgement.mean()
+    verdict = evaluate(
+        judgement,
+        AcarpTarget(
+            claim_bound=min(thresholds.intolerable_above, 1.0),
+            required_confidence=required_confidence,
+        ),
+    )
+    return AlarpAcarpVerdict(
+        region_by_mean=classify(mean, thresholds),
+        confidence_not_unacceptable=judgement.confidence(
+            min(thresholds.intolerable_above, 1.0)
+        ),
+        confidence_broadly_acceptable=judgement.confidence(
+            min(thresholds.acceptable_below, 1.0)
+        ),
+        acarp_met=verdict.meets_target,
+    )

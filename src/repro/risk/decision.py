@@ -1,0 +1,138 @@
+"""Decision support: how much more assurance is reasonably practicable?
+
+ACARP asks for confidence "as high as reasonably practicable" — a
+cost-benefit judgement.  This module prices the paper's Section 4.1
+confidence-building move (failure-free statistical testing) against a
+confidence target: how many tests close the gap, what do they cost, and
+is the spend justified by the risk reduction it certifies?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.acarp import AcarpTarget
+from ..distributions import JudgementDistribution
+from ..errors import ConvergenceError, DomainError
+from ..update import DemandEvidence, survival_update
+
+__all__ = ["tests_to_reach_confidence", "AssurancePlan", "plan_assurance"]
+
+
+def tests_to_reach_confidence(
+    prior: JudgementDistribution,
+    target: AcarpTarget,
+    max_tests: int = 10_000_000,
+) -> Optional[int]:
+    """Failure-free demands needed to reach the confidence target.
+
+    Returns the smallest test count whose posterior clears the target, by
+    doubling then bisection; ``None`` if ``max_tests`` cannot reach it
+    (confidence from failure-free testing saturates at ``1 - P(pfd = 0
+    exactly at the bound's wrong side)`` only in the limit).
+    """
+    if prior.confidence(target.claim_bound) >= target.required_confidence:
+        return 0
+
+    def achieved(n_tests: int) -> float:
+        posterior = survival_update(prior, DemandEvidence(demands=n_tests))
+        return posterior.confidence(target.claim_bound)
+
+    # Exponential search for an upper bracket.
+    n = 1
+    while achieved(n) < target.required_confidence:
+        n *= 2
+        if n > max_tests:
+            return None
+    low, high = n // 2, n
+    while high - low > 1:
+        mid = (low + high) // 2
+        if achieved(mid) >= target.required_confidence:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass(frozen=True)
+class AssurancePlan:
+    """A costed plan to close a confidence gap by statistical testing."""
+
+    target: AcarpTarget
+    tests_needed: Optional[int]
+    cost_per_test: float
+    total_cost: Optional[float]
+    achieved_confidence: float
+    reasonably_practicable: Optional[bool]
+
+    def describe(self) -> str:
+        if self.tests_needed is None:
+            return (
+                f"target {self.target.required_confidence:.1%} at pfd < "
+                f"{self.target.claim_bound:g} is unreachable by statistical "
+                f"testing within the search budget"
+            )
+        verdict = ""
+        if self.reasonably_practicable is not None:
+            verdict = (
+                "; reasonably practicable"
+                if self.reasonably_practicable
+                else "; grossly disproportionate (not required by ACARP)"
+            )
+        return (
+            f"{self.tests_needed} failure-free demands reach "
+            f"{self.achieved_confidence:.2%} confidence in pfd < "
+            f"{self.target.claim_bound:g} at cost {self.total_cost:g}"
+            f"{verdict}"
+        )
+
+
+def plan_assurance(
+    prior: JudgementDistribution,
+    target: AcarpTarget,
+    cost_per_test: float = 1.0,
+    benefit_of_meeting_target: Optional[float] = None,
+    max_tests: int = 10_000_000,
+) -> AssurancePlan:
+    """Cost out the testing needed to meet an ACARP target.
+
+    When ``benefit_of_meeting_target`` is given, the plan is judged
+    reasonably practicable iff the cost does not grossly exceed the
+    benefit (factor-of-ten gross disproportion, the conventional ALARP
+    reading).
+    """
+    if cost_per_test < 0:
+        raise DomainError("cost per test must be non-negative")
+    tests = tests_to_reach_confidence(prior, target, max_tests)
+    if tests is None:
+        return AssurancePlan(
+            target=target,
+            tests_needed=None,
+            cost_per_test=cost_per_test,
+            total_cost=None,
+            achieved_confidence=prior.confidence(target.claim_bound),
+            reasonably_practicable=None,
+        )
+    if tests == 0:
+        achieved = prior.confidence(target.claim_bound)
+    else:
+        achieved = survival_update(
+            prior, DemandEvidence(demands=tests)
+        ).confidence(target.claim_bound)
+    total = tests * cost_per_test
+    practicable: Optional[bool] = None
+    if benefit_of_meeting_target is not None:
+        if benefit_of_meeting_target < 0:
+            raise DomainError("benefit must be non-negative")
+        practicable = total <= 10.0 * benefit_of_meeting_target
+    return AssurancePlan(
+        target=target,
+        tests_needed=tests,
+        cost_per_test=cost_per_test,
+        total_cost=total,
+        achieved_confidence=achieved,
+        reasonably_practicable=practicable,
+    )

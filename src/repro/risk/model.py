@@ -1,0 +1,124 @@
+"""Risk models combining dependability judgements with demand profiles.
+
+The paper scopes itself to the dependability-assessment half of risk
+("we shall address this dependability assessment problem only, and not
+further discuss the cost/consequence part"); this package supplies the
+other half so the library supports end-to-end decisions: a judgement
+distribution over the pfd, a demand rate, and a consequence cost combine
+into an annual-risk distribution.
+
+The headline subtlety the paper's eq. (4) forces on us: expected risk must
+use ``E[pfd]`` — the *mean* of the judgement — not its mode or median.
+:meth:`RiskModel.optimism_factor` quantifies how badly a mode-based
+assessment understates risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+
+__all__ = ["RiskModel", "RiskSummary"]
+
+
+@dataclass(frozen=True)
+class RiskSummary:
+    """Annualised risk figures from a :class:`RiskModel`."""
+
+    expected_annual_failures: float
+    expected_annual_cost: float
+    mode_based_annual_failures: float
+    percentile_95_annual_failures: float
+
+    @property
+    def optimism_factor(self) -> float:
+        """Expected / mode-based annual failures (>= 1 for skewed beliefs)."""
+        if self.mode_based_annual_failures <= 0:
+            return float("inf")
+        return self.expected_annual_failures / self.mode_based_annual_failures
+
+
+@dataclass(frozen=True)
+class RiskModel:
+    """A demand-mode risk model: judgement x demand rate x consequence."""
+
+    judgement: JudgementDistribution
+    demands_per_year: float
+    cost_per_failure: float = 1.0
+
+    def __post_init__(self):
+        if self.demands_per_year <= 0:
+            raise DomainError("demand rate must be positive")
+        if self.cost_per_failure < 0:
+            raise DomainError("consequence cost must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    # Expectations
+    # ------------------------------------------------------------------ #
+
+    def expected_annual_failures(self) -> float:
+        """``E[pfd] * demands/year`` (the paper's eq. (4) annualised)."""
+        return self.judgement.mean() * self.demands_per_year
+
+    def expected_annual_cost(self) -> float:
+        """Expected annual consequence cost."""
+        return self.expected_annual_failures() * self.cost_per_failure
+
+    def mode_based_annual_failures(self) -> float:
+        """The (wrong) figure a most-likely-value assessment would report."""
+        return self.judgement.mode() * self.demands_per_year
+
+    def annual_failures_quantile(self, q: float) -> float:
+        """Quantile of the annual failure *rate* induced by the judgement."""
+        if not 0 < q < 1:
+            raise DomainError("quantile must lie strictly in (0, 1)")
+        return float(self.judgement.ppf(q)) * self.demands_per_year
+
+    def summary(self) -> RiskSummary:
+        return RiskSummary(
+            expected_annual_failures=self.expected_annual_failures(),
+            expected_annual_cost=self.expected_annual_cost(),
+            mode_based_annual_failures=self.mode_based_annual_failures(),
+            percentile_95_annual_failures=self.annual_failures_quantile(0.95),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Uncertainty propagation
+    # ------------------------------------------------------------------ #
+
+    def probability_of_any_failure(self, years: float = 1.0) -> float:
+        """``P(at least one failure over the horizon)``, marginal over pfd.
+
+        Demands are Bernoulli(p) given the pfd; over ``n = years * rate``
+        demands the failure-free probability is ``E[(1-p)^n]``.
+        """
+        if years <= 0:
+            raise DomainError("horizon must be positive")
+        n = self.demands_per_year * years
+        from ..update.posterior import default_pfd_grid
+        from ..numerics import trapezoid
+
+        grid = default_pfd_grid()
+        density = np.asarray(self.judgement.pdf(grid), dtype=float)
+        survival = np.power(1.0 - np.clip(grid, 0.0, 1.0), n)
+        ok = trapezoid(density * survival, grid) + float(self.judgement.cdf(0.0))
+        return float(np.clip(1.0 - ok, 0.0, 1.0))
+
+    def sampled_annual_cost(
+        self,
+        rng: np.random.Generator,
+        n_samples: int = 10_000,
+        years: float = 1.0,
+    ) -> np.ndarray:
+        """Monte-Carlo annual cost: pfd draw -> binomial failures -> cost."""
+        if n_samples < 1:
+            raise DomainError("n_samples must be positive")
+        pfd = np.clip(self.judgement.sample(rng, n_samples), 0.0, 1.0)
+        demands = max(int(round(self.demands_per_year * years)), 0)
+        failures = rng.binomial(demands, pfd)
+        return failures * self.cost_per_failure / max(years, 1e-12)

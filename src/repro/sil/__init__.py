@@ -1,0 +1,45 @@
+"""SIL bands, classification of judgements into bands, claim discounting."""
+
+from .bands import (
+    HIGH_DEMAND,
+    LOW_DEMAND,
+    BandScheme,
+    SilBand,
+    high_demand_band,
+    low_demand_band,
+)
+from .classification import (
+    SilAssessment,
+    assess,
+    classify_by_confidence,
+    classify_by_mean,
+    classify_by_mode,
+)
+from .discounting import (
+    DISCOUNT_BY_RIGOUR,
+    ArgumentRigour,
+    DiscountPolicy,
+    claimable_level,
+    discounted_level,
+    mode_vs_claim_gap,
+)
+
+__all__ = [
+    "HIGH_DEMAND",
+    "LOW_DEMAND",
+    "BandScheme",
+    "SilBand",
+    "high_demand_band",
+    "low_demand_band",
+    "SilAssessment",
+    "assess",
+    "classify_by_confidence",
+    "classify_by_mean",
+    "classify_by_mode",
+    "DISCOUNT_BY_RIGOUR",
+    "ArgumentRigour",
+    "DiscountPolicy",
+    "claimable_level",
+    "discounted_level",
+    "mode_vs_claim_gap",
+]

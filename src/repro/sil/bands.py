@@ -1,0 +1,196 @@
+"""Safety integrity level (SIL) bands.
+
+IEC 61508 defines SIL n for a low-demand safety function as an average
+probability of dangerous failure on demand in ``[10^-(n+1), 10^-n)``, and
+for high-demand / continuous operation as a dangerous failure rate per
+hour in ``[10^-(n+1), 10^-n)`` shifted by four decades.  The paper's
+examples live in the low-demand table: SIL 2 is ``[10^-3, 10^-2)`` with
+mid-band 0.003 used throughout.
+
+This module models bands and band schemes generically so the same
+machinery serves other levelled schemes (DO-178B mappings etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+
+__all__ = [
+    "SilBand",
+    "BandScheme",
+    "LOW_DEMAND",
+    "HIGH_DEMAND",
+    "low_demand_band",
+    "high_demand_band",
+]
+
+
+@dataclass(frozen=True)
+class SilBand:
+    """One integrity band: ``level`` with ``lower <= value < upper``.
+
+    ``upper`` is the *claim bound*: confidence in band membership-or-better
+    is ``P(value < upper)`` (the paper's one-sided confidence).
+    """
+
+    level: int
+    lower: float
+    upper: float
+
+    def __post_init__(self):
+        if self.lower < 0 or self.upper <= self.lower:
+            raise DomainError(
+                f"band requires 0 <= lower < upper, got [{self.lower}, {self.upper})"
+            )
+
+    def contains(self, value: float) -> bool:
+        """Whether a point value falls inside this band."""
+        return self.lower <= value < self.upper
+
+    def geometric_midpoint(self) -> float:
+        """Mid-band value on the log scale (0.003 for SIL 2 ~ sqrt(10)e-3).
+
+        The paper calls 0.003 "the middle of SIL2"; the geometric midpoint
+        of ``[1e-3, 1e-2)`` is ``10^-2.5 = 0.00316``, quoted as 0.003.
+        """
+        if self.lower <= 0:
+            raise DomainError("geometric midpoint undefined for a zero lower bound")
+        return float(np.sqrt(self.lower * self.upper))
+
+    def membership_probability(self, dist: JudgementDistribution) -> float:
+        """``P(lower <= X < upper)`` under a judgement distribution."""
+        return max(
+            float(dist.cdf(self.upper)) - float(dist.cdf(self.lower)), 0.0
+        )
+
+    def confidence_better(self, dist: JudgementDistribution) -> float:
+        """``P(X < upper)`` — confidence the system is this band or better."""
+        return float(dist.cdf(self.upper))
+
+    def __str__(self) -> str:
+        return f"SIL{self.level}[{self.lower:g}, {self.upper:g})"
+
+
+class BandScheme:
+    """An ordered set of contiguous integrity bands (higher level = better)."""
+
+    def __init__(self, name: str, bands: Sequence[SilBand]):
+        if not bands:
+            raise DomainError("a band scheme needs at least one band")
+        ordered = sorted(bands, key=lambda b: b.level)
+        for lower_band, upper_band in zip(ordered, ordered[1:]):
+            if upper_band.level != lower_band.level + 1:
+                raise DomainError("band levels must be consecutive integers")
+            if not np.isclose(upper_band.upper, lower_band.lower):
+                raise DomainError(
+                    "bands must tile contiguously: "
+                    f"SIL{upper_band.level} upper {upper_band.upper} != "
+                    f"SIL{lower_band.level} lower {lower_band.lower}"
+                )
+        self._name = name
+        self._bands: Dict[int, SilBand] = {b.level: b for b in ordered}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def levels(self) -> List[int]:
+        return sorted(self._bands)
+
+    def band(self, level: int) -> SilBand:
+        """The band for a given level (raises for unknown levels)."""
+        if level not in self._bands:
+            raise DomainError(
+                f"{self._name} has no SIL {level} (levels {self.levels})"
+            )
+        return self._bands[level]
+
+    def __iter__(self):
+        return iter(self._bands[level] for level in self.levels)
+
+    def __len__(self) -> int:
+        return len(self._bands)
+
+    def band_of(self, value: float) -> Optional[SilBand]:
+        """The band containing a point value, or ``None`` if off-scale."""
+        for band in self:
+            if band.contains(value):
+                return band
+        return None
+
+    def level_of(self, value: float) -> Optional[int]:
+        """Level of the band containing ``value`` (None when off-scale).
+
+        Values better (smaller) than the best band saturate to the top
+        level, following the standard's practice of capping claims.
+        """
+        best = self._bands[self.levels[-1]]
+        if 0 <= value < best.lower:
+            return best.level
+        band = self.band_of(value)
+        return band.level if band is not None else None
+
+    def boundaries(self) -> np.ndarray:
+        """All interior band boundaries, ascending."""
+        return np.array([self.band(level).upper for level in self.levels[1:]] +
+                        [self.band(self.levels[0]).upper])
+
+    def membership_distribution(
+        self, dist: JudgementDistribution
+    ) -> Dict[Optional[int], float]:
+        """Probability of each band (and of falling off-scale either side).
+
+        Keys are levels; off-scale-worse mass is keyed ``None`` at the bad
+        end, off-scale-better mass is folded into the best band (a value
+        better than SIL 4's lower bound is still at least SIL 4).
+        """
+        out: Dict[Optional[int], float] = {}
+        levels = self.levels
+        for level in levels:
+            out[level] = self.band(level).membership_probability(dist)
+        best = self.band(levels[-1])
+        out[levels[-1]] += float(dist.cdf(best.lower))
+        worst = self.band(levels[0])
+        out[None] = max(1.0 - float(dist.cdf(worst.upper)), 0.0)
+        return out
+
+
+def _decade_bands(best_exponent: int, levels: Sequence[int]) -> List[SilBand]:
+    """Bands ``SIL n = [10^-(n+1+shift), 10^-(n+shift))`` helper."""
+    bands = []
+    for level in levels:
+        upper = 10.0 ** (best_exponent + (max(levels) - level))
+        bands.append(SilBand(level=level, lower=upper / 10.0, upper=upper))
+    return bands
+
+
+#: IEC 61508 low-demand bands: SIL n has average pfd in [1e-(n+1), 1e-n).
+LOW_DEMAND = BandScheme(
+    "IEC 61508 low demand (average pfd)",
+    [SilBand(level=n, lower=10.0 ** -(n + 1), upper=10.0**-n) for n in (1, 2, 3, 4)],
+)
+
+#: IEC 61508 high-demand / continuous bands: SIL n has dangerous failure
+#: rate per hour in [1e-(n+5), 1e-(n+4)).
+HIGH_DEMAND = BandScheme(
+    "IEC 61508 high demand (dangerous failures per hour)",
+    [SilBand(level=n, lower=10.0 ** -(n + 5), upper=10.0 ** -(n + 4))
+     for n in (1, 2, 3, 4)],
+)
+
+
+def low_demand_band(level: int) -> SilBand:
+    """The IEC 61508 low-demand band for SIL ``level``."""
+    return LOW_DEMAND.band(level)
+
+
+def high_demand_band(level: int) -> SilBand:
+    """The IEC 61508 high-demand band for SIL ``level``."""
+    return HIGH_DEMAND.band(level)

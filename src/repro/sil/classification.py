@@ -1,0 +1,134 @@
+"""Classifying a judgement distribution into a SIL.
+
+The paper's Section 3 shows that "which SIL is this system?" has several
+defensible answers that can disagree:
+
+* the band containing the **mode** (the expert's "most likely" answer);
+* the band containing the **mean** (what matters for risk, eq. (4));
+* the best band achievable at a required **one-sided confidence** (what a
+  regulator applying e.g. a 70 % clause would grant).
+
+Figure 3's punchline is the disagreement between the first two: with the
+mode mid-SIL 2 and confidence in SIL 2 below ~67 %, the mean is already
+SIL 1.  :class:`SilAssessment` computes all three views side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+from .bands import BandScheme, LOW_DEMAND
+
+__all__ = [
+    "classify_by_mode",
+    "classify_by_mean",
+    "classify_by_confidence",
+    "SilAssessment",
+    "assess",
+]
+
+
+def classify_by_mode(
+    dist: JudgementDistribution, scheme: BandScheme = LOW_DEMAND
+) -> Optional[int]:
+    """Level of the band containing the judgement's mode (peak)."""
+    return scheme.level_of(dist.mode())
+
+
+def classify_by_mean(
+    dist: JudgementDistribution, scheme: BandScheme = LOW_DEMAND
+) -> Optional[int]:
+    """Level of the band containing the judgement's mean.
+
+    The mean is the probability of failure on a randomly selected demand
+    (paper eq. (4)); IEC 61508's "average probability of failure on
+    demand" is exactly this quantity.
+    """
+    return scheme.level_of(dist.mean())
+
+
+def classify_by_confidence(
+    dist: JudgementDistribution,
+    required_confidence: float,
+    scheme: BandScheme = LOW_DEMAND,
+) -> Optional[int]:
+    """Best level claimable with at least the required one-sided confidence.
+
+    Returns the highest level ``n`` with ``P(X < upper_n) >=
+    required_confidence``, or ``None`` when even the weakest band cannot be
+    claimed at that confidence.
+    """
+    if not 0 < required_confidence < 1:
+        raise DomainError("required confidence must lie strictly in (0, 1)")
+    granted: Optional[int] = None
+    for band in scheme:  # ascending levels
+        if band.confidence_better(dist) >= required_confidence:
+            granted = band.level
+    return granted
+
+
+@dataclass(frozen=True)
+class SilAssessment:
+    """All classification views of one judgement, side by side."""
+
+    scheme_name: str
+    mode_value: float
+    mean_value: float
+    mode_level: Optional[int]
+    mean_level: Optional[int]
+    confidence_by_level: Dict[int, float]
+    granted_level: Optional[int]
+    required_confidence: float
+
+    @property
+    def optimistic_gap(self) -> int:
+        """How many levels the mode view exceeds the mean view.
+
+        A positive gap is the paper's warning sign: the "most likely" SIL
+        flatters the system relative to the risk-relevant mean.
+        """
+        if self.mode_level is None or self.mean_level is None:
+            return 0
+        return self.mode_level - self.mean_level
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        conf = ", ".join(
+            f"SIL{level}+: {confidence:.1%}"
+            for level, confidence in sorted(self.confidence_by_level.items(),
+                                            reverse=True)
+        )
+        return (
+            f"[{self.scheme_name}] mode {self.mode_value:.3g} -> "
+            f"SIL {self.mode_level}; mean {self.mean_value:.3g} -> "
+            f"SIL {self.mean_level}; one-sided confidence: {conf}; granted at "
+            f">={self.required_confidence:.0%}: SIL {self.granted_level}"
+        )
+
+
+def assess(
+    dist: JudgementDistribution,
+    scheme: BandScheme = LOW_DEMAND,
+    required_confidence: float = 0.70,
+) -> SilAssessment:
+    """Full assessment of a judgement against a band scheme.
+
+    The default 70 % required confidence mirrors IEC 61508 Part 2's
+    clauses 7.4.7.4 / 7.4.7.9 (see :mod:`repro.standards.iec61508`).
+    """
+    confidence_by_level = {
+        band.level: band.confidence_better(dist) for band in scheme
+    }
+    return SilAssessment(
+        scheme_name=scheme.name,
+        mode_value=dist.mode(),
+        mean_value=dist.mean(),
+        mode_level=classify_by_mode(dist, scheme),
+        mean_level=classify_by_mean(dist, scheme),
+        confidence_by_level=confidence_by_level,
+        granted_level=classify_by_confidence(dist, required_confidence, scheme),
+        required_confidence=required_confidence,
+    )

@@ -1,0 +1,145 @@
+"""Claim discounting: judging SIL n+1 to claim SIL n (paper Section 3.4).
+
+The paper observes a heuristic real assessors use: evidence may point to
+SIL 2, but the uncertainties make them *call it* SIL 1 — and conversely, a
+better case results from judging the system "most likely SIL n+1" and
+claiming SIL n with high confidence.  It cites the Sizewell B primary
+protection system, where process doubts cost an order of magnitude in the
+judged pfd, and argues process-based qualitative arguments should be
+discounted by *at least two* levels (Section 4.3 / Conclusions).
+
+This module encodes those heuristics as explicit, auditable policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..distributions import JudgementDistribution
+from ..errors import ClaimError, DomainError
+from .bands import BandScheme, LOW_DEMAND
+from .classification import classify_by_confidence, classify_by_mode
+
+__all__ = [
+    "ArgumentRigour",
+    "DISCOUNT_BY_RIGOUR",
+    "discounted_level",
+    "DiscountPolicy",
+    "claimable_level",
+]
+
+
+class ArgumentRigour:
+    """Named rigour grades for the argument supporting a SIL judgement."""
+
+    #: Quantified worst-case analysis with validated data.
+    QUANTITATIVE_CONSERVATIVE = "quantitative-conservative"
+    #: Best-fit reliability growth model plus assumption margins.
+    QUANTITATIVE_BEST_FIT = "quantitative-best-fit"
+    #: Expert judgement anchored on standards compliance.
+    STANDARDS_COMPLIANCE = "standards-compliance"
+    #: Purely qualitative process argument.
+    QUALITATIVE_PROCESS = "qualitative-process"
+
+    ALL = (
+        QUANTITATIVE_CONSERVATIVE,
+        QUANTITATIVE_BEST_FIT,
+        STANDARDS_COMPLIANCE,
+        QUALITATIVE_PROCESS,
+    )
+
+
+#: Levels to subtract from the judged SIL per rigour grade.  The paper:
+#: process-based qualitative arguments "could be reduced by (at least) 2
+#: levels"; standards-compliance expert judgement "should really lead to a
+#: greater than 1 reduction"; a conservative quantitative treatment needs
+#: no heuristic discount beyond its own explicit uncertainty.
+DISCOUNT_BY_RIGOUR = {
+    ArgumentRigour.QUANTITATIVE_CONSERVATIVE: 0,
+    ArgumentRigour.QUANTITATIVE_BEST_FIT: 1,
+    ArgumentRigour.STANDARDS_COMPLIANCE: 1,
+    ArgumentRigour.QUALITATIVE_PROCESS: 2,
+}
+
+
+def discounted_level(
+    judged_level: int,
+    rigour: str,
+    scheme: BandScheme = LOW_DEMAND,
+) -> Optional[int]:
+    """Apply the rigour discount to a judged level.
+
+    Returns ``None`` when the discount exhausts the scheme (no integrity
+    claim can be made at all).
+    """
+    if rigour not in DISCOUNT_BY_RIGOUR:
+        raise DomainError(
+            f"unknown rigour {rigour!r}; expected one of {ArgumentRigour.ALL}"
+        )
+    if judged_level not in scheme.levels:
+        raise ClaimError(f"judged level {judged_level} not in scheme {scheme.name}")
+    claimed = judged_level - DISCOUNT_BY_RIGOUR[rigour]
+    if claimed < min(scheme.levels):
+        return None
+    return claimed
+
+
+@dataclass(frozen=True)
+class DiscountPolicy:
+    """A policy deciding the claimable SIL from a judgement distribution.
+
+    ``required_confidence`` grants a level only when the one-sided
+    confidence clears it; ``rigour`` applies the heuristic discount on top;
+    ``claim_limit`` optionally caps the claim (the paper suggests linking a
+    claim limit to the argument type).
+    """
+
+    required_confidence: float = 0.70
+    rigour: str = ArgumentRigour.QUANTITATIVE_BEST_FIT
+    claim_limit: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0 < self.required_confidence < 1:
+            raise DomainError("required confidence must lie strictly in (0, 1)")
+        if self.rigour not in DISCOUNT_BY_RIGOUR:
+            raise DomainError(f"unknown rigour {self.rigour!r}")
+
+
+def claimable_level(
+    dist: JudgementDistribution,
+    policy: DiscountPolicy,
+    scheme: BandScheme = LOW_DEMAND,
+) -> Optional[int]:
+    """The SIL claimable under a discount policy.
+
+    Pipeline: grant the best level whose one-sided confidence clears the
+    policy's requirement; subtract the rigour discount; apply the claim
+    limit.  Returns ``None`` when nothing is claimable.
+    """
+    granted = classify_by_confidence(dist, policy.required_confidence, scheme)
+    if granted is None:
+        return None
+    claimed = granted - DISCOUNT_BY_RIGOUR[policy.rigour]
+    if policy.claim_limit is not None:
+        claimed = min(claimed, policy.claim_limit)
+    if claimed < min(scheme.levels):
+        return None
+    return claimed
+
+
+def mode_vs_claim_gap(
+    dist: JudgementDistribution,
+    policy: DiscountPolicy,
+    scheme: BandScheme = LOW_DEMAND,
+) -> Optional[int]:
+    """Gap between the mode's band and the policy's claimable level.
+
+    Quantifies the paper's "judge SIL n+1, claim SIL n" effect for a given
+    judgement and policy; ``None`` when either side is off-scale.
+    """
+    mode_level = classify_by_mode(dist, scheme)
+    claimed = claimable_level(dist, policy, scheme)
+    if mode_level is None or claimed is None:
+        return None
+    return mode_level - claimed

@@ -1,0 +1,31 @@
+"""Standards tables: IEC 61508 confidence clauses, DO-178B, Def Stan 00-56."""
+
+from . import defstan0056, do178b, iec61508
+from .defstan0056 import CLAIM_LIMITS, claim_limit_for, recommended_policy
+from .do178b import DesignAssuranceLevel, comparable_sil, rate_guidance_per_hour
+from .iec61508 import (
+    CLAUSES,
+    ConfidenceClause,
+    HIGH_DEMAND_BANDS,
+    LOW_DEMAND_BANDS,
+    clause,
+    granted_sil,
+)
+
+__all__ = [
+    "defstan0056",
+    "do178b",
+    "iec61508",
+    "CLAIM_LIMITS",
+    "claim_limit_for",
+    "recommended_policy",
+    "DesignAssuranceLevel",
+    "comparable_sil",
+    "rate_guidance_per_hour",
+    "CLAUSES",
+    "ConfidenceClause",
+    "HIGH_DEMAND_BANDS",
+    "LOW_DEMAND_BANDS",
+    "clause",
+    "granted_sil",
+]

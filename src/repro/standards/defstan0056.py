@@ -1,0 +1,58 @@
+"""Def Stan 00-56 style claim limits by argument rigour.
+
+The paper notes that an earlier version of itself "provided some rationale
+behind the guidance in Part 2" of the reissued UK Interim Defence Standard
+00-56 [8], and concludes that "compliance with process and the
+predominance of expert judgement in the safety argument should lead to
+claims being heavily discounted (e.g. by 2 SILs) and a possible limit put
+on the claims that can be made".
+
+This module renders that recommendation as data: per-rigour claim limits
+and discounts, consumable by :mod:`repro.sil.discounting` policies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import DomainError
+from ..sil import ArgumentRigour, DiscountPolicy
+
+__all__ = ["CLAIM_LIMITS", "claim_limit_for", "recommended_policy"]
+
+#: Maximum SIL claimable per argument rigour, following the paper's
+#: recommendation: qualitative process arguments cannot support the
+#: highest integrity claims no matter the judged level.
+CLAIM_LIMITS: Dict[str, Optional[int]] = {
+    ArgumentRigour.QUANTITATIVE_CONSERVATIVE: None,  # no extra cap
+    ArgumentRigour.QUANTITATIVE_BEST_FIT: 3,
+    ArgumentRigour.STANDARDS_COMPLIANCE: 2,
+    ArgumentRigour.QUALITATIVE_PROCESS: 1,
+}
+
+
+def claim_limit_for(rigour: str) -> Optional[int]:
+    """The claim cap for an argument rigour (None = uncapped)."""
+    if rigour not in CLAIM_LIMITS:
+        raise DomainError(
+            f"unknown rigour {rigour!r}; expected one of {ArgumentRigour.ALL}"
+        )
+    return CLAIM_LIMITS[rigour]
+
+
+def recommended_policy(
+    rigour: str, required_confidence: float = 0.90
+) -> DiscountPolicy:
+    """A :class:`~repro.sil.discounting.DiscountPolicy` per the guidance.
+
+    Combines the rigour's discount (from the paper's conclusions) with its
+    claim limit, at the stated confidence requirement.  The default 90 %
+    reflects the "high confidence" the paper asks of reduced claims; the
+    text also notes the conservative approach would demand at least 99 %
+    for SIL 2.
+    """
+    return DiscountPolicy(
+        required_confidence=required_confidence,
+        rigour=rigour,
+        claim_limit=claim_limit_for(rigour),
+    )

@@ -1,0 +1,102 @@
+"""DO-178B design assurance levels (paper reference [2]).
+
+The paper cites DO-178B as another place where "the judgement of
+membership of levels is a pervasive issue".  DO-178B itself assigns
+software levels A-E by the severity of the failure condition its anomalous
+behaviour could cause; the quantitative probability guidance comes from
+the airworthiness regulations (AC/AMC 25.1309): catastrophic conditions
+must be extremely improbable (~1e-9 per flight hour), hazardous ~1e-7,
+major ~1e-5.
+
+This module records the level table and a pragmatic mapping between DAL
+and the per-hour failure-rate bands used elsewhere in the library, so
+cross-domain comparisons (a DAL B argument vs a SIL 3 claim) can be made
+explicitly rather than by hallway folklore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import DomainError
+
+__all__ = ["DesignAssuranceLevel", "LEVELS", "level", "rate_guidance_per_hour",
+           "comparable_sil"]
+
+
+@dataclass(frozen=True)
+class DesignAssuranceLevel:
+    """One DO-178B software level."""
+
+    name: str
+    failure_condition: str
+    description: str
+    max_rate_per_hour: Optional[float]
+
+    def __post_init__(self):
+        if self.max_rate_per_hour is not None and self.max_rate_per_hour <= 0:
+            raise DomainError("rate guidance must be positive when present")
+
+
+LEVELS: Dict[str, DesignAssuranceLevel] = {
+    "A": DesignAssuranceLevel(
+        name="A",
+        failure_condition="catastrophic",
+        description="failure prevents continued safe flight and landing",
+        max_rate_per_hour=1e-9,
+    ),
+    "B": DesignAssuranceLevel(
+        name="B",
+        failure_condition="hazardous/severe-major",
+        description="large reduction in safety margins or crew ability",
+        max_rate_per_hour=1e-7,
+    ),
+    "C": DesignAssuranceLevel(
+        name="C",
+        failure_condition="major",
+        description="significant reduction in safety margins",
+        max_rate_per_hour=1e-5,
+    ),
+    "D": DesignAssuranceLevel(
+        name="D",
+        failure_condition="minor",
+        description="slight reduction in safety margins",
+        max_rate_per_hour=None,
+    ),
+    "E": DesignAssuranceLevel(
+        name="E",
+        failure_condition="no effect",
+        description="no effect on operational capability or workload",
+        max_rate_per_hour=None,
+    ),
+}
+
+
+def level(name: str) -> DesignAssuranceLevel:
+    """Look up a DAL by letter."""
+    key = name.upper()
+    if key not in LEVELS:
+        raise DomainError(f"unknown DAL {name!r}; known: {sorted(LEVELS)}")
+    return LEVELS[key]
+
+
+def rate_guidance_per_hour(name: str) -> Optional[float]:
+    """The per-flight-hour probability guidance for a DAL (None for D/E)."""
+    return level(name).max_rate_per_hour
+
+
+def comparable_sil(name: str) -> Optional[int]:
+    """The IEC 61508 high-demand SIL whose band contains the DAL guidance.
+
+    A deliberately rough bridge (the standards' semantics differ); returns
+    ``None`` for levels without quantitative guidance.  DAL A's 1e-9/h
+    guidance sits at the *boundary* of SIL 4's band [1e-9, 1e-8) and maps
+    to SIL 4.
+    """
+    from ..sil import HIGH_DEMAND
+
+    rate = rate_guidance_per_hour(name)
+    if rate is None:
+        return None
+    return HIGH_DEMAND.level_of(rate)

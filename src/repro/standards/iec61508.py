@@ -1,0 +1,121 @@
+"""IEC 61508 tables and confidence clauses (paper Section 4.3).
+
+The paper catalogues where the standard touches confidence:
+
+* Part 2 clause 7.4.7.4 — better than **70 %** confidence required in
+  hardware failure-rate data;
+* Part 2 clause 7.4.7.9 — **70 %** single-sided confidence for operating
+  history;
+* Part 2 Table B6 — **95 %** confidence graded "low effectiveness",
+  **99.9 %** "high effectiveness";
+* Part 7 Table D1 — examples at **95 %** and **99 %** confidence from
+  operating experience;
+* Part 3 — does not mention confidence at all.
+
+It then notes: "If we were to apply the requirements for 70 % confidence
+this would nearly push the mean failure rate of the system into the next
+SIL in the example in this paper."  Experiment E11 reproduces that
+observation using :func:`granted_sil`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+from ..sil import (
+    BandScheme,
+    HIGH_DEMAND,
+    LOW_DEMAND,
+    classify_by_confidence,
+)
+
+__all__ = [
+    "ConfidenceClause",
+    "CLAUSES",
+    "clause",
+    "granted_sil",
+    "LOW_DEMAND_BANDS",
+    "HIGH_DEMAND_BANDS",
+]
+
+#: Re-exported band schemes under the names the standard community uses.
+LOW_DEMAND_BANDS: BandScheme = LOW_DEMAND
+HIGH_DEMAND_BANDS: BandScheme = HIGH_DEMAND
+
+
+@dataclass(frozen=True)
+class ConfidenceClause:
+    """One confidence requirement extracted from the standard."""
+
+    reference: str
+    description: str
+    required_confidence: float
+
+    def __post_init__(self):
+        if not 0 < self.required_confidence < 1:
+            raise DomainError(
+                f"confidence must lie strictly in (0, 1), got "
+                f"{self.required_confidence}"
+            )
+
+
+CLAUSES: Dict[str, ConfidenceClause] = {
+    "part2-7.4.7.4": ConfidenceClause(
+        reference="IEC 61508-2 clause 7.4.7.4",
+        description="hardware failure rate data confidence",
+        required_confidence=0.70,
+    ),
+    "part2-7.4.7.9": ConfidenceClause(
+        reference="IEC 61508-2 clause 7.4.7.9",
+        description="single-sided confidence for operating history",
+        required_confidence=0.70,
+    ),
+    "part2-tableB6-low": ConfidenceClause(
+        reference="IEC 61508-2 Table B6 (low effectiveness)",
+        description="proven-in-use demonstration, low effectiveness",
+        required_confidence=0.95,
+    ),
+    "part2-tableB6-high": ConfidenceClause(
+        reference="IEC 61508-2 Table B6 (high effectiveness)",
+        description="proven-in-use demonstration, high effectiveness",
+        required_confidence=0.999,
+    ),
+    "part7-tableD1-95": ConfidenceClause(
+        reference="IEC 61508-7 Table D1 (95%)",
+        description="operating experience example, 95% confidence",
+        required_confidence=0.95,
+    ),
+    "part7-tableD1-99": ConfidenceClause(
+        reference="IEC 61508-7 Table D1 (99%)",
+        description="operating experience example, 99% confidence",
+        required_confidence=0.99,
+    ),
+}
+
+
+def clause(key: str) -> ConfidenceClause:
+    """Look up a confidence clause by key (raises for unknown keys)."""
+    if key not in CLAUSES:
+        raise DomainError(
+            f"unknown clause {key!r}; known: {sorted(CLAUSES)}"
+        )
+    return CLAUSES[key]
+
+
+def granted_sil(
+    judgement: JudgementDistribution,
+    clause_key: str = "part2-7.4.7.9",
+    scheme: BandScheme = LOW_DEMAND,
+) -> Optional[int]:
+    """The SIL grantable under one of the standard's confidence clauses.
+
+    Applies the clause's required one-sided confidence to the judgement:
+    the best band whose upper bound the judgement beats at that
+    confidence.
+    """
+    return classify_by_confidence(
+        judgement, clause(clause_key).required_confidence, scheme
+    )

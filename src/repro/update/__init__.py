@@ -1,0 +1,46 @@
+"""Bayesian updating of judgements from testing and operating evidence."""
+
+from .conjugate import beta_binomial_update, gamma_poisson_update
+from .growth import (
+    E,
+    GrowthBoundPoint,
+    empirical_intensity,
+    exposure_for_target_intensity,
+    growth_bound_curve,
+    single_fault_worst_intensity,
+    worst_case_intensity,
+    worst_case_mtbf,
+)
+from .likelihoods import DemandEvidence, OperatingTimeEvidence
+from .posterior import (
+    GrowthPoint,
+    confidence_growth,
+    default_pfd_grid,
+    grid_update,
+    hard_cutoff,
+    survival_update,
+)
+from .provisional import ProvisionalRatingOutcome, ProvisionalRatingPlan
+
+__all__ = [
+    "beta_binomial_update",
+    "gamma_poisson_update",
+    "E",
+    "GrowthBoundPoint",
+    "empirical_intensity",
+    "exposure_for_target_intensity",
+    "growth_bound_curve",
+    "single_fault_worst_intensity",
+    "worst_case_intensity",
+    "worst_case_mtbf",
+    "DemandEvidence",
+    "OperatingTimeEvidence",
+    "GrowthPoint",
+    "confidence_growth",
+    "default_pfd_grid",
+    "grid_update",
+    "hard_cutoff",
+    "survival_update",
+    "ProvisionalRatingOutcome",
+    "ProvisionalRatingPlan",
+]

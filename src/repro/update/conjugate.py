@@ -1,0 +1,40 @@
+"""Conjugate Bayesian updates (closed-form checks for the grid engine).
+
+Beta-binomial for demand-based pfd evidence and gamma-Poisson for
+time-based rate evidence.  These give exact posteriors against which the
+grid updates of :mod:`repro.update.posterior` are verified in tests, and
+are the efficient path when the prior happens to be conjugate.
+"""
+
+from __future__ import annotations
+
+from ..distributions import BetaJudgement, GammaJudgement
+from ..errors import DomainError
+from .likelihoods import DemandEvidence, OperatingTimeEvidence
+
+__all__ = ["beta_binomial_update", "gamma_poisson_update"]
+
+
+def beta_binomial_update(
+    prior: BetaJudgement, evidence: DemandEvidence
+) -> BetaJudgement:
+    """``Beta(a, b)`` prior + binomial demands -> ``Beta(a+f, b+n-f)``."""
+    return BetaJudgement(
+        prior.a + evidence.failures,
+        prior.b + evidence.demands - evidence.failures,
+    )
+
+
+def gamma_poisson_update(
+    prior: GammaJudgement, evidence: OperatingTimeEvidence
+) -> GammaJudgement:
+    """``Gamma(k, theta)`` rate prior + Poisson exposure.
+
+    Posterior shape ``k + f``; posterior rate parameter gains the exposure:
+    ``theta' = theta / (1 + theta * T)``.
+    """
+    if evidence.hours < 0:
+        raise DomainError("exposure must be non-negative")
+    new_shape = prior.shape + evidence.failures
+    new_scale = prior.scale / (1.0 + prior.scale * evidence.hours)
+    return GammaJudgement(new_shape, new_scale)

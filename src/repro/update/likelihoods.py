@@ -1,0 +1,133 @@
+"""Evidence likelihoods for updating pfd / failure-rate judgements.
+
+Two evidence types cover the paper's Section 4.1 discussion:
+
+* :class:`DemandEvidence` — statistical testing / operating experience as
+  a number of independent demands with a count of failures (binomial in
+  the pfd);
+* :class:`OperatingTimeEvidence` — continuous operating exposure with a
+  failure count (Poisson in the hourly rate).
+
+Each exposes ``likelihood(values)`` suitable for grid reweighting and a
+``survival_probability`` specialisation for the failure-free case, which
+is what "cuts off the tail" of a judgement distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special as _sp_special
+
+from ..errors import DomainError
+
+__all__ = ["DemandEvidence", "OperatingTimeEvidence"]
+
+
+@dataclass(frozen=True)
+class DemandEvidence:
+    """``failures`` failures in ``demands`` independent demands."""
+
+    demands: int
+    failures: int = 0
+
+    def __post_init__(self):
+        if self.demands < 0:
+            raise DomainError(f"demand count must be >= 0, got {self.demands}")
+        if not 0 <= self.failures <= self.demands:
+            raise DomainError(
+                f"failures must lie in [0, demands], got {self.failures} of "
+                f"{self.demands}"
+            )
+
+    def likelihood(self, pfd):
+        """Binomial likelihood ``C(n,f) p^f (1-p)^(n-f)`` (vectorised).
+
+        The constant binomial coefficient is retained so likelihood values
+        are true probabilities; it cancels in any Bayesian update.
+        """
+        p = np.asarray(pfd, dtype=float)
+        if np.any((p < 0) | (p > 1)):
+            raise DomainError("pfd values must lie in [0, 1]")
+        coeff = float(_sp_special.comb(self.demands, self.failures))
+        n, f = self.demands, self.failures
+        with np.errstate(divide="ignore", invalid="ignore"):
+            like = coeff * np.power(p, f) * np.power(1.0 - p, n - f)
+        # 0^0 conventions: p=0 with f=0 -> likelihood 1 * (1-0)^n = 1.
+        like = np.where(np.isnan(like), 0.0, like)
+        if np.isscalar(pfd) or np.asarray(pfd).ndim == 0:
+            return float(like)
+        return like
+
+    def survival_probability(self, pfd):
+        """``(1 - p)^n`` — probability of seeing no failure (requires f=0)."""
+        if self.failures != 0:
+            raise DomainError(
+                "survival probability is defined for failure-free evidence"
+            )
+        p = np.asarray(pfd, dtype=float)
+        out = np.power(1.0 - np.clip(p, 0.0, 1.0), self.demands)
+        if np.isscalar(pfd) or np.asarray(pfd).ndim == 0:
+            return float(out)
+        return out
+
+    def log_likelihood(self, pfd):
+        """Log of :meth:`likelihood`, stable for large demand counts."""
+        p = np.asarray(pfd, dtype=float)
+        if np.any((p < 0) | (p > 1)):
+            raise DomainError("pfd values must lie in [0, 1]")
+        n, f = self.demands, self.failures
+        log_coeff = (
+            _sp_special.gammaln(n + 1)
+            - _sp_special.gammaln(f + 1)
+            - _sp_special.gammaln(n - f + 1)
+        )
+        with np.errstate(divide="ignore"):
+            out = log_coeff + f * np.log(p) + (n - f) * np.log1p(-p)
+        if np.isscalar(pfd) or np.asarray(pfd).ndim == 0:
+            return float(out)
+        return out
+
+
+@dataclass(frozen=True)
+class OperatingTimeEvidence:
+    """``failures`` failures over ``hours`` of operating exposure."""
+
+    hours: float
+    failures: int = 0
+
+    def __post_init__(self):
+        if self.hours < 0:
+            raise DomainError(f"hours must be >= 0, got {self.hours}")
+        if self.failures < 0:
+            raise DomainError(f"failures must be >= 0, got {self.failures}")
+
+    def likelihood(self, rate):
+        """Poisson likelihood ``exp(-lam*T) (lam*T)^f / f!`` (vectorised)."""
+        lam = np.asarray(rate, dtype=float)
+        if np.any(lam < 0):
+            raise DomainError("rates must be non-negative")
+        mean_count = lam * self.hours
+        with np.errstate(divide="ignore", invalid="ignore"):
+            like = (
+                np.exp(-mean_count)
+                * np.power(mean_count, self.failures)
+                / float(_sp_special.factorial(self.failures))
+            )
+        like = np.where(np.isnan(like), 1.0 if self.failures == 0 else 0.0, like)
+        if np.isscalar(rate) or np.asarray(rate).ndim == 0:
+            return float(like)
+        return like
+
+    def survival_probability(self, rate):
+        """``exp(-lam * T)`` — no failure over the exposure (requires f=0)."""
+        if self.failures != 0:
+            raise DomainError(
+                "survival probability is defined for failure-free evidence"
+            )
+        lam = np.asarray(rate, dtype=float)
+        out = np.exp(-np.clip(lam, 0.0, None) * self.hours)
+        if np.isscalar(rate) or np.asarray(rate).ndim == 0:
+            return float(out)
+        return out

@@ -1,0 +1,118 @@
+"""Provisional SIL ratings upgraded by operating experience (Section 4.1).
+
+The paper sketches an organisational strategy: "give a system a
+provisional SIL rating based on a broad distribution reflecting the
+initial uncertainties, and then increase this SIL rating after an
+operating period.  The risk analysis would have to take into account the
+period of greater risk."
+
+:class:`ProvisionalRatingPlan` executes that strategy: an initial broad
+judgement yields a provisional SIL under a confidence policy; a planned
+volume of (assumed failure-free) operating demands yields the upgraded
+posterior SIL; and the *expected number of failures during the observation
+period* — the price of learning in service — is computed from the prior
+mean, since failures during the period are governed by the pre-upgrade
+belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..distributions import JudgementDistribution
+from ..errors import DomainError
+from ..sil import BandScheme, DiscountPolicy, LOW_DEMAND, claimable_level
+from .likelihoods import DemandEvidence
+from .posterior import survival_update
+
+__all__ = ["ProvisionalRatingPlan", "ProvisionalRatingOutcome"]
+
+
+@dataclass(frozen=True)
+class ProvisionalRatingOutcome:
+    """Result of executing a provisional-rating plan."""
+
+    provisional_level: Optional[int]
+    upgraded_level: Optional[int]
+    observation_demands: int
+    expected_failures_during_observation: float
+    prior_mean: float
+    posterior_mean: float
+    posterior_confidence_at_band: float
+
+    @property
+    def upgrade_gained(self) -> int:
+        """Levels gained by the observation period (0 when no change)."""
+        if self.provisional_level is None or self.upgraded_level is None:
+            return 0
+        return self.upgraded_level - self.provisional_level
+
+
+@dataclass(frozen=True)
+class ProvisionalRatingPlan:
+    """A plan: rate provisionally now, operate, upgrade later."""
+
+    prior: JudgementDistribution
+    policy: DiscountPolicy
+    observation_demands: int
+    scheme: BandScheme = LOW_DEMAND
+
+    def __post_init__(self):
+        if self.observation_demands < 0:
+            raise DomainError("observation demand count must be >= 0")
+
+    def execute(self) -> ProvisionalRatingOutcome:
+        """Run the plan assuming the observation period is failure-free.
+
+        (A failure during observation would trigger reassessment, not an
+        upgrade; that branch is the caller's to model with
+        :func:`repro.update.posterior.grid_update`.)
+        """
+        provisional = claimable_level(self.prior, self.policy, self.scheme)
+        if self.observation_demands == 0:
+            posterior: JudgementDistribution = self.prior
+        else:
+            posterior = survival_update(
+                self.prior, DemandEvidence(demands=self.observation_demands)
+            )
+        upgraded = claimable_level(posterior, self.policy, self.scheme)
+        # Expected failures while operating under the *prior* belief: for
+        # a Bernoulli(p) demand sequence with random p the expected count
+        # over n demands is n * E[p] — the period-of-greater-risk measure.
+        n = self.observation_demands
+        expected_failures = 0.0 if n == 0 else n * self.prior.mean()
+        best_band = self.scheme.band(
+            upgraded if upgraded is not None else min(self.scheme.levels)
+        )
+        return ProvisionalRatingOutcome(
+            provisional_level=provisional,
+            upgraded_level=upgraded,
+            observation_demands=n,
+            expected_failures_during_observation=expected_failures,
+            prior_mean=self.prior.mean(),
+            posterior_mean=posterior.mean(),
+            posterior_confidence_at_band=best_band.confidence_better(posterior),
+        )
+
+    def probability_failure_free_observation(self) -> float:
+        """``E[(1-p)^n]`` — chance the plan completes without a failure."""
+        if self.observation_demands == 0:
+            return 1.0
+        return _expected_survival(self.prior, self.observation_demands)
+
+
+def _expected_survival(prior: JudgementDistribution, demands: int) -> float:
+    """``E[(1 - p)^n]`` under the prior, by quadrature on a log grid."""
+    from .posterior import default_pfd_grid
+    from ..numerics import trapezoid
+
+    grid = default_pfd_grid()
+    density = np.asarray(prior.pdf(grid), dtype=float)
+    survival = np.power(1.0 - np.clip(grid, 0.0, 1.0), demands)
+    continuous = trapezoid(density * survival, grid)
+    # Point mass at zero (perfection) survives certainly.
+    perfection = float(prior.cdf(0.0))
+    return min(continuous + perfection, 1.0)

@@ -1,0 +1,13 @@
+"""Text rendering: ASCII charts and aligned tables for benches/examples."""
+
+from .ascii import density_chart, line_chart
+from .report import case_report_markdown
+from .tables import format_row, format_table
+
+__all__ = [
+    "density_chart",
+    "line_chart",
+    "case_report_markdown",
+    "format_row",
+    "format_table",
+]

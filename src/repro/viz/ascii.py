@@ -1,0 +1,133 @@
+"""ASCII charts — the offline stand-in for the paper's figures.
+
+matplotlib is not available in this environment, so benches and examples
+render figure series as monospace line charts.  The numbers are the
+reproducible artefact; the charts make the shapes reviewable in a
+terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DomainError
+
+__all__ = ["line_chart", "density_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _transform(values: np.ndarray, log: bool) -> np.ndarray:
+    if not log:
+        return values.astype(float)
+    if np.any(values <= 0):
+        raise DomainError("log axis requires strictly positive values")
+    return np.log10(values)
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Optional[Sequence[str]] = None,
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    Each series shares the x vector.  Markers distinguish series;
+    overlapping points show the later series' marker.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.ndim != 1 or x_arr.size < 2:
+        raise DomainError("x must be a 1-D sequence with at least 2 points")
+    series_arrays = [np.asarray(s, dtype=float) for s in series]
+    if not series_arrays:
+        raise DomainError("need at least one series")
+    for s in series_arrays:
+        if s.shape != x_arr.shape:
+            raise DomainError("every series must match the x shape")
+    if labels is not None and len(labels) != len(series_arrays):
+        raise DomainError("labels must match the series count")
+    if width < 20 or height < 5:
+        raise DomainError("chart must be at least 20x5")
+
+    tx = _transform(x_arr, log_x)
+    ty = [_transform(s, log_y) for s in series_arrays]
+    y_all = np.concatenate(ty)
+    x_min, x_max = float(tx.min()), float(tx.max())
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for series_index, values in enumerate(ty):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for xi, yi in zip(tx, values):
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    def axis_value(t: float, log: bool) -> float:
+        return 10.0**t if log else t
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top = axis_value(y_max, log_y)
+    bottom = axis_value(y_min, log_y)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = f"{top:>10.3g} |"
+        elif row_index == height - 1:
+            prefix = f"{bottom:>10.3g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    left = axis_value(x_min, log_x)
+    right = axis_value(x_max, log_x)
+    lines.append(
+        " " * 12 + f"{left:<12.3g}{x_label:^{max(width - 24, 1)}}{right:>12.3g}"
+    )
+    if labels is not None:
+        legend = "   ".join(
+            f"{_MARKERS[i % len(_MARKERS)]} = {label}"
+            for i, label in enumerate(labels)
+        )
+        lines.append(" " * 12 + legend)
+    lines.append(" " * 12 + f"(y: {y_label}{', log' if log_y else ''};"
+                 f" x{', log' if log_x else ''})")
+    return "\n".join(lines)
+
+
+def density_chart(
+    grid: Sequence[float],
+    densities: Sequence[Sequence[float]],
+    labels: Optional[Sequence[str]] = None,
+    title: str = "",
+    log_x: bool = True,
+    width: int = 72,
+    height: int = 18,
+) -> str:
+    """Convenience wrapper for plotting densities (linear y, log x)."""
+    return line_chart(
+        grid,
+        densities,
+        labels=labels,
+        title=title,
+        width=width,
+        height=height,
+        log_x=log_x,
+        log_y=False,
+        x_label="failure rate / pfd",
+        y_label="density",
+    )

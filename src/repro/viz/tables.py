@@ -1,0 +1,48 @@
+"""Plain-text table formatting for bench and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import DomainError
+
+__all__ = ["format_table", "format_row"]
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e5):
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_row(cells: Sequence, widths: Sequence[int]) -> str:
+    """One row padded to the given column widths."""
+    return " | ".join(
+        _stringify(cell).rjust(width) for cell, width in zip(cells, widths)
+    )
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A simple aligned table with a header rule."""
+    rows = [list(r) for r in rows]
+    if not headers:
+        raise DomainError("table needs headers")
+    for row in rows:
+        if len(row) != len(headers):
+            raise DomainError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+    widths = [
+        max(len(str(h)), *(len(_stringify(row[i])) for row in rows))
+        if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    lines.append(" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(format_row(row, widths))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Tests for argument-graph builders."""
+
+import pytest
+
+from repro.arguments import (
+    ArgumentLeg,
+    case_to_graph,
+    single_leg_graph,
+    two_leg_graph,
+)
+from repro.core import DependabilityCase, SilClaim
+from repro.core.case import AssumptionRecord, EvidenceRecord
+from repro.errors import DomainError
+
+
+@pytest.fixture
+def testing_leg():
+    return ArgumentLeg("statistical testing", 0.9, 0.95, 0.9)
+
+
+@pytest.fixture
+def analysis_leg():
+    return ArgumentLeg("static analysis", 0.85, 0.9, 0.85)
+
+
+class TestSingleLegGraph:
+    def test_builds_valid_graph(self, testing_leg):
+        graph = single_leg_graph("pfd ok", 1e-3, testing_leg)
+        graph.validate()
+        assert graph.root_goal().claim_bound == 1e-3
+
+    def test_assumption_carries_leg_validity(self, testing_leg):
+        graph = single_leg_graph("pfd ok", 1e-3, testing_leg)
+        assumptions = graph.assumptions_in_scope("G1")
+        assert len(assumptions) == 1
+        assert assumptions[0].probability_true == pytest.approx(0.9)
+
+
+class TestTwoLegGraph:
+    def test_builds_valid_graph(self, testing_leg, analysis_leg):
+        graph = two_leg_graph("pfd ok", 1e-3, testing_leg, analysis_leg)
+        graph.validate()
+        assert len(graph.assumptions_in_scope("G1")) == 2
+
+    def test_context_attached_when_given(self, testing_leg, analysis_leg):
+        graph = two_leg_graph(
+            "pfd ok", 1e-3, testing_leg, analysis_leg,
+            context_text="demand mode",
+        )
+        annotations = [n.identifier for n in graph.annotations("G1")]
+        assert "C1" in annotations
+
+    def test_identical_legs_rejected(self, testing_leg):
+        with pytest.raises(DomainError):
+            two_leg_graph("pfd ok", 1e-3, testing_leg, testing_leg)
+
+
+class TestCaseToGraph:
+    def test_structures_evidence_and_assumptions(self, paper_judgement):
+        case = DependabilityCase(
+            system="channel",
+            claim=SilClaim(level=2),
+            judgement=paper_judgement,
+            evidence=[EvidenceRecord("tests", "testing")],
+            assumptions=[AssumptionRecord("profile ok", 0.9)],
+        )
+        graph = case_to_graph(case)
+        graph.validate()
+        text = graph.render()
+        assert "tests" in text
+        assert "profile ok" in text
+
+    def test_empty_evidence_rejected(self, paper_judgement):
+        case = DependabilityCase(
+            system="channel", claim=SilClaim(level=2),
+            judgement=paper_judgement,
+        )
+        with pytest.raises(DomainError):
+            case_to_graph(case)

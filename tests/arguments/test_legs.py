@@ -1,0 +1,63 @@
+"""Tests for quantified argument legs."""
+
+import pytest
+
+from repro.arguments import ArgumentLeg, single_leg_posterior
+from repro.errors import DomainError
+
+
+def leg(validity=0.9, sens=0.95, spec=0.9, noise=0.5) -> ArgumentLeg:
+    return ArgumentLeg("testing", validity, sens, spec, noise)
+
+
+class TestArgumentLeg:
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            ArgumentLeg("", 0.9, 0.9, 0.9)
+        with pytest.raises(DomainError):
+            ArgumentLeg("x", 1.5, 0.9, 0.9)
+        with pytest.raises(DomainError):
+            ArgumentLeg("x", 0.9, -0.1, 0.9)
+
+    def test_likelihood_marginalises_assumption(self):
+        l = leg(validity=0.8, sens=0.9, spec=0.85, noise=0.6)
+        expected_true = 0.8 * 0.9 + 0.2 * 0.6
+        expected_false = 0.8 * 0.15 + 0.2 * 0.6
+        assert l.likelihood_given_claim(True) == pytest.approx(expected_true)
+        assert l.likelihood_given_claim(False) == pytest.approx(expected_false)
+
+    def test_likelihood_ratio_above_one_for_informative_leg(self):
+        assert leg().likelihood_ratio() > 1.0
+
+    def test_invalid_assumptions_make_evidence_uninformative(self):
+        useless = leg(validity=0.0)
+        assert useless.likelihood_ratio() == pytest.approx(1.0)
+
+
+class TestSingleLegPosterior:
+    def test_bayes_by_hand(self):
+        l = leg(validity=1.0, sens=0.9, spec=0.8, noise=0.5)
+        prior = 0.5
+        # With assumptions certain: posterior odds = odds * 0.9/0.2.
+        expected = (0.5 * 0.9) / (0.5 * 0.9 + 0.5 * 0.2)
+        assert single_leg_posterior(prior, l) == pytest.approx(expected)
+
+    def test_evidence_increases_confidence(self):
+        assert single_leg_posterior(0.6, leg()) > 0.6
+
+    def test_assumption_doubt_caps_confidence(self):
+        strong_assumptions = single_leg_posterior(0.6, leg(validity=0.99))
+        weak_assumptions = single_leg_posterior(0.6, leg(validity=0.5))
+        assert weak_assumptions < strong_assumptions
+
+    def test_uninformative_leg_leaves_prior(self):
+        assert single_leg_posterior(0.37, leg(validity=0.0)) == \
+            pytest.approx(0.37)
+
+    def test_prior_validation(self):
+        with pytest.raises(DomainError):
+            single_leg_posterior(1.5, leg())
+
+    def test_extreme_priors_fixed_points(self):
+        assert single_leg_posterior(0.0, leg()) == 0.0
+        assert single_leg_posterior(1.0, leg()) == 1.0

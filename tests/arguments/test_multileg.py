@@ -1,0 +1,90 @@
+"""Tests for the two-leg Bayesian-network model (Section 4.2)."""
+
+import pytest
+
+from repro.arguments import (
+    ArgumentLeg,
+    build_two_leg_network,
+    diversity_gain,
+    single_leg_posterior,
+    two_leg_posterior,
+)
+from repro.bbn import VariableElimination
+from repro.errors import DomainError
+
+
+@pytest.fixture
+def legs():
+    testing = ArgumentLeg("testing", 0.9, 0.95, 0.9)
+    analysis = ArgumentLeg("analysis", 0.9, 0.9, 0.85)
+    return testing, analysis
+
+
+class TestNetworkConstruction:
+    def test_network_has_expected_variables(self, legs):
+        net = build_two_leg_network(0.6, *legs)
+        assert set(net.variable_names) == {
+            "claim", "shared_underpinning", "assumptions_leg1",
+            "assumptions_leg2", "evidence_leg1", "evidence_leg2",
+        }
+
+    def test_independent_case_preserves_assumption_marginals(self, legs):
+        net = build_two_leg_network(0.6, *legs, dependence=0.0)
+        engine = VariableElimination(net)
+        a1 = engine.query("assumptions_leg1")["true"]
+        assert a1 == pytest.approx(legs[0].assumption_validity, abs=1e-9)
+
+    def test_full_dependence_equal_legs_marginals(self):
+        leg = ArgumentLeg("x", 0.8, 0.9, 0.9)
+        other = ArgumentLeg("y", 0.8, 0.85, 0.8)
+        net = build_two_leg_network(0.5, leg, other, dependence=1.0)
+        engine = VariableElimination(net)
+        a1 = engine.query("assumptions_leg1")["true"]
+        assert a1 == pytest.approx(0.8, abs=1e-9)
+
+    def test_invalid_arguments(self, legs):
+        with pytest.raises(DomainError):
+            build_two_leg_network(1.5, *legs)
+        with pytest.raises(DomainError):
+            build_two_leg_network(0.5, *legs, dependence=2.0)
+
+
+class TestTwoLegPosterior:
+    def test_second_leg_adds_confidence(self, legs):
+        result = two_leg_posterior(0.6, *legs, dependence=0.0)
+        assert result.both_legs > result.single_leg > result.prior
+
+    def test_independent_single_leg_matches_analytic(self, legs):
+        result = two_leg_posterior(0.6, *legs, dependence=0.0)
+        assert result.single_leg == pytest.approx(
+            single_leg_posterior(0.6, legs[0]), abs=1e-9
+        )
+
+    def test_gain_positive_at_independence(self, legs):
+        result = two_leg_posterior(0.6, *legs, dependence=0.0)
+        assert result.gain > 0
+
+    def test_doubt_reduction_factor(self, legs):
+        result = two_leg_posterior(0.6, *legs, dependence=0.0)
+        expected = (1 - result.single_leg) / (1 - result.both_legs)
+        assert result.doubt_reduction_factor == pytest.approx(expected)
+
+
+class TestDiversityEffect:
+    """The Littlewood-Wright observation: dependence erodes the benefit."""
+
+    def test_two_leg_confidence_decays_with_dependence(self, legs):
+        results = diversity_gain(0.6, *legs)
+        both = [r.both_legs for r in results]
+        assert all(a >= b - 1e-12 for a, b in zip(both, both[1:]))
+
+    def test_independent_beats_fully_dependent(self, legs):
+        independent = two_leg_posterior(0.6, *legs, dependence=0.0)
+        dependent = two_leg_posterior(0.6, *legs, dependence=1.0)
+        assert independent.both_legs > dependent.both_legs
+
+    def test_default_sweep_covers_unit_interval(self, legs):
+        results = diversity_gain(0.6, *legs)
+        assert results[0].dependence == 0.0
+        assert results[-1].dependence == 1.0
+        assert len(results) == 11

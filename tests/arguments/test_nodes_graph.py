@@ -1,0 +1,144 @@
+"""Tests for argument nodes and graphs."""
+
+import pytest
+
+from repro.arguments import ArgumentGraph, Assumption, Context, Goal, Solution, Strategy
+from repro.errors import DomainError, StructureError
+
+
+def small_argument() -> ArgumentGraph:
+    graph = ArgumentGraph()
+    graph.add_node(Goal("G1", "system is safe", claim_bound=1e-3))
+    graph.add_node(Strategy("S1", "argue over evidence"))
+    graph.add_node(Solution("Sn1", "test report"))
+    graph.add_node(Assumption("A1", "profile matches", probability_true=0.9))
+    graph.add_node(Context("C1", "demand mode operation"))
+    graph.add_support("G1", "S1")
+    graph.add_support("S1", "Sn1")
+    graph.annotate("S1", "A1")
+    graph.annotate("G1", "C1")
+    return graph
+
+
+class TestNodes:
+    def test_goal_bound_validation(self):
+        with pytest.raises(DomainError):
+            Goal("G1", "bad", claim_bound=2.0)
+
+    def test_assumption_probability_validation(self):
+        with pytest.raises(DomainError):
+            Assumption("A1", "bad", probability_true=-0.1)
+
+    def test_assumption_doubt(self):
+        assert Assumption("A1", "x", probability_true=0.8).doubt == \
+            pytest.approx(0.2)
+
+    def test_nodes_need_text(self):
+        with pytest.raises(DomainError):
+            Goal("G1", "")
+        with pytest.raises(DomainError):
+            Solution("", "text")
+
+
+class TestGraphConstruction:
+    def test_duplicate_id_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        with pytest.raises(StructureError):
+            graph.add_node(Strategy("G1", "other"))
+
+    def test_support_type_rules(self):
+        graph = ArgumentGraph()
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_node(Goal("G1", "claim"))
+        with pytest.raises(StructureError):
+            graph.add_support("Sn1", "G1")  # evidence supports nothing
+
+    def test_annotation_rules(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        with pytest.raises(StructureError):
+            graph.annotate("G1", "Sn1")  # solutions are not annotations
+
+    def test_cycle_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "top"))
+        graph.add_node(Goal("G2", "sub"))
+        graph.add_support("G1", "G2")
+        with pytest.raises(StructureError):
+            graph.add_support("G2", "G1")
+
+    def test_unknown_node_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        with pytest.raises(StructureError):
+            graph.add_support("G1", "missing")
+
+
+class TestGraphQueries:
+    def test_supporters_exclude_annotations(self):
+        graph = small_argument()
+        names = [n.identifier for n in graph.supporters("S1")]
+        assert names == ["Sn1"]
+
+    def test_annotations(self):
+        graph = small_argument()
+        names = [n.identifier for n in graph.annotations("S1")]
+        assert names == ["A1"]
+
+    def test_assumptions_in_scope(self):
+        graph = small_argument()
+        found = graph.assumptions_in_scope("G1")
+        assert [a.identifier for a in found] == ["A1"]
+
+    def test_root_goal(self):
+        assert small_argument().root_goal().identifier == "G1"
+
+    def test_root_goal_ambiguity_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "one", claim_bound=1e-3))
+        graph.add_node(Goal("G2", "two", claim_bound=1e-3))
+        with pytest.raises(StructureError):
+            graph.root_goal()
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        small_argument().validate()
+
+    def test_ungrounded_goal_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Strategy("S1", "strategy"))
+        graph.add_node(Goal("G2", "subclaim"))
+        graph.add_support("G1", "S1")
+        graph.add_support("S1", "G2")
+        with pytest.raises(StructureError):
+            graph.validate()
+
+    def test_dangling_strategy_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_node(Strategy("S1", "floating"))
+        graph.add_support("G1", "Sn1")
+        with pytest.raises(StructureError):
+            graph.validate()
+
+
+class TestRendering:
+    def test_render_structure(self):
+        text = small_argument().render()
+        assert "[G] G1" in text
+        assert "[A] A1" in text and "90.00%" in text
+        assert "[Sn] Sn1" in text
+        assert "pfd < 0.001" in text
+
+    def test_render_indents_children(self):
+        text = small_argument().render()
+        lines = text.splitlines()
+        goal_line = next(l for l in lines if "G1" in l)
+        solution_line = next(l for l in lines if "Sn1" in l)
+        indent = lambda s: len(s) - len(s.lstrip())
+        assert indent(solution_line) > indent(goal_line)

@@ -1,0 +1,154 @@
+"""Tests for variables, factors and CPTs."""
+
+import numpy as np
+import pytest
+
+from repro.bbn import CPT, Factor, Variable
+from repro.errors import DomainError, StructureError
+
+
+class TestVariable:
+    def test_boolean_helper(self):
+        var = Variable.boolean("ok")
+        assert var.states == ("true", "false")
+        assert var.cardinality == 2
+
+    def test_index_of(self):
+        var = Variable("quality", ("low", "mid", "high"))
+        assert var.index_of("mid") == 1
+        with pytest.raises(DomainError):
+            var.index_of("extreme")
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            Variable("x", ("only",))
+        with pytest.raises(DomainError):
+            Variable("x", ("a", "a"))
+        with pytest.raises(DomainError):
+            Variable("", ("a", "b"))
+
+
+class TestFactor:
+    def setup_method(self):
+        self.a = Variable.boolean("A")
+        self.b = Variable.boolean("B")
+        self.c = Variable("C", ("x", "y", "z"))
+
+    def test_shape_validation(self):
+        with pytest.raises(StructureError):
+            Factor([self.a], np.ones((3,)))
+
+    def test_multiply_disjoint_scopes(self):
+        fa = Factor([self.a], np.array([0.2, 0.8]))
+        fb = Factor([self.b], np.array([0.5, 0.5]))
+        product = fa.multiply(fb)
+        assert set(product.names) == {"A", "B"}
+        assert product.values[0, 1] == pytest.approx(0.2 * 0.5)
+
+    def test_multiply_shared_scope(self):
+        fa = Factor([self.a, self.b], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        fb = Factor([self.b], np.array([10.0, 100.0]))
+        product = fa.multiply(fb)
+        # (A=true,B=false): 2 * 100.
+        idx_a = product.names.index("A")
+        values = product.values
+        if product.names == ("A", "B"):
+            assert values[0, 1] == pytest.approx(200.0)
+        else:
+            assert values[1, 0] == pytest.approx(200.0)
+
+    def test_multiply_three_way_associative(self):
+        fa = Factor([self.a], np.array([0.3, 0.7]))
+        fb = Factor([self.a, self.b], np.array([[0.9, 0.1], [0.2, 0.8]]))
+        fc = Factor([self.b, self.c],
+                    np.array([[0.1, 0.2, 0.7], [0.3, 0.3, 0.4]]))
+        left = fa.multiply(fb).multiply(fc)
+        right = fa.multiply(fb.multiply(fc))
+        # Compare totals (scope orderings may differ).
+        assert left.total() == pytest.approx(right.total())
+
+    def test_marginalise(self):
+        f = Factor([self.a, self.b], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        marg = f.marginalise("B")
+        assert marg.names == ("A",)
+        assert np.allclose(marg.values, [3.0, 7.0])
+
+    def test_marginalise_unknown_variable(self):
+        f = Factor([self.a], np.array([1.0, 1.0]))
+        with pytest.raises(StructureError):
+            f.marginalise("Z")
+
+    def test_reduce(self):
+        f = Factor([self.a, self.b], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        reduced = f.reduce("A", "false")
+        assert reduced.names == ("B",)
+        assert np.allclose(reduced.values, [3.0, 4.0])
+
+    def test_reduce_to_scalar(self):
+        f = Factor([self.a], np.array([0.25, 0.75]))
+        scalar = f.reduce("A", "false")
+        assert scalar.is_scalar()
+        assert scalar.scalar_value() == pytest.approx(0.75)
+
+    def test_normalised(self):
+        f = Factor([self.a], np.array([1.0, 3.0]))
+        assert np.allclose(f.normalised().values, [0.25, 0.75])
+
+    def test_normalise_zero_rejected(self):
+        f = Factor([self.a], np.zeros(2))
+        with pytest.raises(DomainError):
+            f.normalised()
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(DomainError):
+            Factor([self.a], np.array([-0.5, 1.5]))
+
+    def test_mismatched_states_rejected(self):
+        a_variant = Variable("A", ("yes", "no"))
+        fa = Factor([self.a], np.ones(2))
+        fb = Factor([a_variant], np.ones(2))
+        with pytest.raises(StructureError):
+            fa.multiply(fb)
+
+
+class TestCPT:
+    def setup_method(self):
+        self.g = Variable.boolean("G")
+        self.e = Variable.boolean("E")
+
+    def test_root_cpt(self):
+        cpt = CPT.boolean_root(self.g, 0.3)
+        assert cpt.probability("true") == pytest.approx(0.3)
+        assert cpt.probability("false") == pytest.approx(0.7)
+
+    def test_conditional_cpt(self):
+        cpt = CPT(self.e, [self.g], {
+            ("true",): [0.9, 0.1],
+            ("false",): [0.2, 0.8],
+        })
+        assert cpt.probability("true", ("false",)) == pytest.approx(0.2)
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(DomainError):
+            CPT(self.e, [self.g], {
+                ("true",): [0.9, 0.2],
+                ("false",): [0.2, 0.8],
+            })
+
+    def test_all_parent_rows_required(self):
+        with pytest.raises(StructureError):
+            CPT(self.e, [self.g], {("true",): [0.9, 0.1]})
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(StructureError):
+            CPT(self.g, [self.g], {("true",): [1.0, 0.0],
+                                   ("false",): [0.0, 1.0]})
+
+    def test_to_factor_layout(self):
+        cpt = CPT(self.e, [self.g], {
+            ("true",): [0.9, 0.1],
+            ("false",): [0.2, 0.8],
+        })
+        factor = cpt.to_factor()
+        assert factor.names == ("G", "E")
+        assert factor.values[1, 0] == pytest.approx(0.2)

@@ -1,0 +1,197 @@
+"""Tests for exact inference: variable elimination vs enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bbn import (
+    BayesianNetwork,
+    CPT,
+    Variable,
+    VariableElimination,
+    enumerate_query,
+    joint_probability,
+)
+from repro.errors import DomainError, StructureError
+
+
+def sprinkler_network() -> BayesianNetwork:
+    """The classic rain/sprinkler/grass network with known posteriors."""
+    rain = Variable.boolean("rain")
+    sprinkler = Variable.boolean("sprinkler")
+    grass = Variable.boolean("wet_grass")
+    net = BayesianNetwork()
+    net.add(CPT.boolean_root(rain, 0.2))
+    net.add(CPT(sprinkler, [rain], {
+        ("true",): [0.01, 0.99],
+        ("false",): [0.40, 0.60],
+    }))
+    net.add(CPT(grass, [sprinkler, rain], {
+        ("true", "true"): [0.99, 0.01],
+        ("true", "false"): [0.90, 0.10],
+        ("false", "true"): [0.80, 0.20],
+        ("false", "false"): [0.00, 1.00],
+    }))
+    return net
+
+
+def random_network(rng: np.random.Generator, n_vars: int) -> BayesianNetwork:
+    """A random DAG over boolean variables with random CPTs."""
+    variables = [Variable.boolean(f"V{i}") for i in range(n_vars)]
+    net = BayesianNetwork()
+    for i, var in enumerate(variables):
+        n_parents = int(rng.integers(0, min(i, 2) + 1))
+        parent_idx = rng.choice(i, size=n_parents, replace=False) if i else []
+        parents = [variables[j] for j in sorted(parent_idx)]
+        table = {}
+        for combo in itertools.product(*(["true", "false"]
+                                         for _ in parents)):
+            p = float(rng.uniform(0.05, 0.95))
+            table[tuple(combo)] = [p, 1.0 - p]
+        if not parents:
+            table = {(): table[()] if () in table else [0.5, 0.5]}
+            p = float(rng.uniform(0.05, 0.95))
+            table = {(): [p, 1.0 - p]}
+        net.add(CPT(var, parents, table))
+    return net
+
+
+class TestNetworkStructure:
+    def test_parents_must_exist(self):
+        child = Variable.boolean("child")
+        parent = Variable.boolean("parent")
+        net = BayesianNetwork()
+        with pytest.raises(StructureError):
+            net.add(CPT(child, [parent], {
+                ("true",): [0.5, 0.5], ("false",): [0.5, 0.5],
+            }))
+
+    def test_duplicate_variable_rejected(self):
+        net = BayesianNetwork()
+        var = Variable.boolean("x")
+        net.add(CPT.boolean_root(var, 0.5))
+        with pytest.raises(StructureError):
+            net.add(CPT.boolean_root(var, 0.3))
+
+    def test_topological_order(self):
+        net = sprinkler_network()
+        order = net.topological_order()
+        assert order.index("rain") < order.index("sprinkler")
+        assert order.index("sprinkler") < order.index("wet_grass")
+
+    def test_contains_and_len(self):
+        net = sprinkler_network()
+        assert "rain" in net and "snow" not in net
+        assert len(net) == 3
+
+
+class TestJointProbability:
+    def test_chain_rule(self):
+        net = sprinkler_network()
+        prob = joint_probability(net, {
+            "rain": "true", "sprinkler": "false", "wet_grass": "true",
+        })
+        assert prob == pytest.approx(0.2 * 0.99 * 0.80)
+
+    def test_total_probability_is_one(self):
+        net = sprinkler_network()
+        total = 0.0
+        for r, s, g in itertools.product(("true", "false"), repeat=3):
+            total += joint_probability(net, {
+                "rain": r, "sprinkler": s, "wet_grass": g,
+            })
+        assert total == pytest.approx(1.0)
+
+    def test_incomplete_assignment_rejected(self):
+        net = sprinkler_network()
+        with pytest.raises(StructureError):
+            joint_probability(net, {"rain": "true"})
+
+
+class TestVariableElimination:
+    def test_prior_marginal(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        assert engine.query("rain")["true"] == pytest.approx(0.2)
+
+    def test_known_posterior_rain_given_wet(self):
+        # Classic textbook value: P(rain | wet grass) ~ 0.3577.
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        posterior = engine.query("rain", {"wet_grass": "true"})
+        assert posterior["true"] == pytest.approx(0.3577, abs=1e-3)
+
+    def test_explaining_away(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        with_sprinkler = engine.query(
+            "rain", {"wet_grass": "true", "sprinkler": "true"}
+        )["true"]
+        without = engine.query("rain", {"wet_grass": "true"})["true"]
+        assert with_sprinkler < without
+
+    def test_evidence_on_target(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        posterior = engine.query("rain", {"rain": "false"})
+        assert posterior == {"true": 0.0, "false": 1.0}
+
+    def test_matches_enumeration_on_random_networks(self, rng):
+        for size in (3, 4, 5, 6):
+            net = random_network(rng, size)
+            engine = VariableElimination(net)
+            target = "V0"
+            evidence = {f"V{size - 1}": "true"}
+            ve = engine.query(target, evidence)
+            brute = enumerate_query(net, target, evidence)
+            for state in ("true", "false"):
+                assert ve[state] == pytest.approx(brute[state], abs=1e-10)
+
+    def test_matches_enumeration_with_multiple_evidence(self, rng):
+        net = random_network(rng, 6)
+        engine = VariableElimination(net)
+        evidence = {"V3": "true", "V5": "false"}
+        ve = engine.query("V1", evidence)
+        brute = enumerate_query(net, "V1", evidence)
+        assert ve["true"] == pytest.approx(brute["true"], abs=1e-10)
+
+    def test_explicit_elimination_order(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        default = engine.query("rain", {"wet_grass": "true"})
+        explicit = engine.query("rain", {"wet_grass": "true"},
+                                order=["sprinkler"])
+        assert default["true"] == pytest.approx(explicit["true"])
+
+    def test_incomplete_order_rejected(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        with pytest.raises(StructureError):
+            engine.query("rain", {}, order=["sprinkler"])  # grass missing
+
+    def test_probability_of_evidence(self):
+        net = sprinkler_network()
+        engine = VariableElimination(net)
+        # P(wet) by enumeration.
+        expected = sum(
+            joint_probability(net, {"rain": r, "sprinkler": s,
+                                    "wet_grass": "true"})
+            for r, s in itertools.product(("true", "false"), repeat=2)
+        )
+        assert engine.probability_of_evidence(
+            {"wet_grass": "true"}
+        ) == pytest.approx(expected)
+
+    def test_impossible_evidence_raises(self):
+        g = Variable.boolean("g")
+        e = Variable.boolean("e")
+        net = BayesianNetwork()
+        net.add(CPT.boolean_root(g, 1.0))
+        net.add(CPT(e, [g], {
+            ("true",): [1.0, 0.0],
+            ("false",): [0.0, 1.0],
+        }))
+        engine = VariableElimination(net)
+        with pytest.raises(DomainError):
+            engine.query("g", {"e": "false"})

@@ -1,0 +1,61 @@
+"""Tests for likelihood-weighting approximate inference."""
+
+import pytest
+
+from repro.bbn import (
+    BayesianNetwork,
+    CPT,
+    Variable,
+    VariableElimination,
+    likelihood_weighting,
+)
+from repro.errors import DomainError
+
+
+def chain_network() -> BayesianNetwork:
+    a = Variable.boolean("A")
+    b = Variable.boolean("B")
+    c = Variable.boolean("C")
+    net = BayesianNetwork()
+    net.add(CPT.boolean_root(a, 0.6))
+    net.add(CPT(b, [a], {("true",): [0.7, 0.3], ("false",): [0.1, 0.9]}))
+    net.add(CPT(c, [b], {("true",): [0.8, 0.2], ("false",): [0.3, 0.7]}))
+    return net
+
+
+class TestLikelihoodWeighting:
+    def test_approximates_prior_marginal(self, rng):
+        net = chain_network()
+        approx = likelihood_weighting(net, "A", n_samples=20_000, rng=rng)
+        assert approx["true"] == pytest.approx(0.6, abs=0.02)
+
+    def test_approximates_posterior(self, rng):
+        net = chain_network()
+        exact = VariableElimination(net).query("A", {"C": "true"})
+        approx = likelihood_weighting(
+            net, "A", {"C": "true"}, n_samples=50_000, rng=rng
+        )
+        assert approx["true"] == pytest.approx(exact["true"], abs=0.02)
+
+    def test_clamped_evidence_variable(self, rng):
+        net = chain_network()
+        approx = likelihood_weighting(
+            net, "B", {"B": "true"}, n_samples=100, rng=rng
+        )
+        assert approx["true"] == pytest.approx(1.0)
+
+    def test_zero_weight_evidence_raises(self, rng):
+        a = Variable.boolean("A")
+        b = Variable.boolean("B")
+        net = BayesianNetwork()
+        net.add(CPT.boolean_root(a, 1.0))
+        net.add(CPT(b, [a], {
+            ("true",): [1.0, 0.0], ("false",): [0.0, 1.0],
+        }))
+        with pytest.raises(DomainError):
+            likelihood_weighting(net, "A", {"B": "false"},
+                                 n_samples=100, rng=rng)
+
+    def test_sample_count_validated(self, rng):
+        with pytest.raises(DomainError):
+            likelihood_weighting(chain_network(), "A", n_samples=0, rng=rng)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import GammaJudgement, LogNormalJudgement
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded generator for reproducible tests."""
+    return np.random.default_rng(20070629)
+
+
+@pytest.fixture
+def paper_judgement():
+    """The paper's widest Figure 1 judgement: mode 0.003, mean 0.01."""
+    return LogNormalJudgement.from_mean_mode(mean=0.01, mode=0.003)
+
+
+@pytest.fixture
+def narrow_judgement():
+    """The paper's dashed Figure 1 judgement: mode 0.003, mean 0.004."""
+    return LogNormalJudgement.from_mean_mode(mean=0.004, mode=0.003)
+
+
+@pytest.fixture
+def gamma_judgement():
+    """A gamma judgement matched to the paper's mode/mean anchoring."""
+    return GammaJudgement.from_mean_mode(mean=0.01, mode=0.003)

@@ -1,0 +1,74 @@
+"""Tests for ACARP evaluation."""
+
+import pytest
+
+from repro.core import AcarpTarget
+from repro.core.acarp import (
+    AcarpStrategy,
+    claim_reduction_to_meet,
+    confidence_gap,
+    evaluate,
+)
+from repro.distributions import LogNormalJudgement
+from repro.errors import DomainError
+
+
+class TestAcarpTarget:
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            AcarpTarget(claim_bound=0.0, required_confidence=0.9)
+        with pytest.raises(DomainError):
+            AcarpTarget(claim_bound=1e-3, required_confidence=1.0)
+
+
+class TestEvaluate:
+    def test_met_target(self, paper_judgement):
+        verdict = evaluate(paper_judgement,
+                           AcarpTarget(1e-1, required_confidence=0.99))
+        assert verdict.meets_target
+        assert verdict.gap == 0.0
+        assert verdict.suggested_strategy is None
+
+    def test_small_gap_suggests_confidence_building(self, paper_judgement):
+        # Confidence at 1e-2 is ~67%; ask for 70% -> ~3 point gap.
+        verdict = evaluate(paper_judgement,
+                           AcarpTarget(1e-2, required_confidence=0.70))
+        assert not verdict.meets_target
+        assert verdict.suggested_strategy is AcarpStrategy.BUILD_CONFIDENCE
+
+    def test_large_gap_with_slack_suggests_claim_reduction(self):
+        dist = LogNormalJudgement.from_mode_sigma(3e-3, 1.7)
+        verdict = evaluate(dist, AcarpTarget(1e-2, required_confidence=0.99))
+        assert verdict.suggested_strategy is AcarpStrategy.REDUCE_CLAIM
+
+    def test_moderate_gap_suggests_extra_leg(self, paper_judgement):
+        verdict = evaluate(paper_judgement,
+                           AcarpTarget(1e-2, required_confidence=0.85))
+        assert verdict.suggested_strategy is AcarpStrategy.ADD_ARGUMENT_LEG
+
+    def test_describe_mentions_status(self, paper_judgement):
+        ok = evaluate(paper_judgement, AcarpTarget(1e-1, 0.9)).describe()
+        bad = evaluate(paper_judgement, AcarpTarget(1e-3, 0.9)).describe()
+        assert "meets" in ok
+        assert "MISSES" in bad
+
+
+class TestGapMeasures:
+    def test_confidence_gap_sign(self, paper_judgement):
+        shortfall = confidence_gap(paper_judgement, AcarpTarget(1e-2, 0.90))
+        surplus = confidence_gap(paper_judgement, AcarpTarget(1e-1, 0.90))
+        assert shortfall > 0
+        assert surplus < 0
+
+    def test_claim_reduction_zero_when_met(self, paper_judgement):
+        assert claim_reduction_to_meet(
+            paper_judgement, AcarpTarget(1e-1, 0.90)
+        ) == 0.0
+
+    def test_claim_reduction_positive_decades(self, paper_judgement):
+        decades = claim_reduction_to_meet(
+            paper_judgement, AcarpTarget(1e-3, 0.90)
+        )
+        # To hold 90% confidence the claim must weaken from 1e-3 towards
+        # the judgement's 90th percentile (~0.02) — over a decade.
+        assert decades > 1.0

@@ -1,0 +1,106 @@
+"""Tests for multi-attribute dependability claims."""
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    AttributeClaim,
+    MultiAttributeCase,
+    PfdBoundClaim,
+    SilClaim,
+)
+from repro.distributions import LogNormalJudgement
+from repro.errors import ClaimError, DomainError
+
+
+@pytest.fixture
+def claims(paper_judgement, narrow_judgement):
+    return [
+        AttributeClaim(Attribute.SAFETY, SilClaim(2), paper_judgement),
+        AttributeClaim(Attribute.SECURITY, PfdBoundClaim(1e-2),
+                       narrow_judgement),
+        AttributeClaim(
+            Attribute.ROBUSTNESS, PfdBoundClaim(5e-2),
+            LogNormalJudgement.from_mode_sigma(1e-3, 0.5),
+        ),
+    ]
+
+
+class TestAttributeClaim:
+    def test_confidence_and_doubt(self, paper_judgement):
+        claim = AttributeClaim(Attribute.SAFETY, SilClaim(2), paper_judgement)
+        assert claim.confidence() == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+        assert claim.confidence() + claim.doubt() == pytest.approx(1.0)
+
+    def test_unknown_attribute_rejected(self, paper_judgement):
+        with pytest.raises(DomainError):
+            AttributeClaim("velocity", SilClaim(2), paper_judgement)
+
+
+class TestMultiAttributeCase:
+    def test_per_attribute_confidences(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        confidences = case.confidences()
+        assert set(confidences) == {
+            Attribute.SAFETY, Attribute.SECURITY, Attribute.ROBUSTNESS,
+        }
+
+    def test_independence_product(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        product = 1.0
+        for claim in claims:
+            product *= claim.confidence()
+        assert case.overall_assuming_independence() == pytest.approx(product)
+
+    def test_frechet_bounds_order(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        lower, upper = case.overall_bounds()
+        assert 0.0 <= lower <= case.overall_assuming_independence() <= upper
+        assert upper == pytest.approx(
+            min(c.confidence() for c in claims)
+        )
+
+    def test_lower_bound_is_union_bound(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        lower, _ = case.overall_bounds()
+        assert lower == pytest.approx(
+            max(0.0, 1.0 - sum(c.doubt() for c in claims))
+        )
+
+    def test_dependence_gap(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        lower, upper = case.overall_bounds()
+        assert case.dependence_gap() == pytest.approx(upper - lower)
+
+    def test_weakest_attribute(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        assert case.weakest_attribute() == Attribute.SAFETY
+
+    def test_meets_conservative_vs_independent(self, claims):
+        case = MultiAttributeCase("plant", claims)
+        lower, _ = case.overall_bounds()
+        threshold = (lower + case.overall_assuming_independence()) / 2.0
+        assert not case.meets(threshold, conservative=True)
+        assert case.meets(threshold, conservative=False)
+
+    def test_report_contents(self, claims):
+        text = MultiAttributeCase("plant", claims).report()
+        assert "plant" in text
+        assert "weakest attribute: safety" in text
+        assert "no dependence assumption" in text
+
+    def test_validation(self, claims, paper_judgement):
+        with pytest.raises(ClaimError):
+            MultiAttributeCase("", claims)
+        with pytest.raises(ClaimError):
+            MultiAttributeCase("plant", [])
+        duplicate = claims + [
+            AttributeClaim(Attribute.SAFETY, SilClaim(1), paper_judgement)
+        ]
+        with pytest.raises(ClaimError):
+            MultiAttributeCase("plant", duplicate)
+        case = MultiAttributeCase("plant", claims)
+        with pytest.raises(DomainError):
+            case.meets(0.0)

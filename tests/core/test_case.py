@@ -1,0 +1,101 @@
+"""Tests for dependability-case assembly."""
+
+import pytest
+
+from repro.core import DependabilityCase, PfdBoundClaim, SilClaim
+from repro.core.case import AssumptionRecord, EvidenceRecord
+from repro.errors import ClaimError, DomainError
+
+
+@pytest.fixture
+def case(paper_judgement):
+    return DependabilityCase(
+        system="protection channel",
+        claim=SilClaim(level=2),
+        judgement=paper_judgement,
+        evidence=[
+            EvidenceRecord("acceptance tests", "testing", "5k demands"),
+            EvidenceRecord("static analysis", "analysis"),
+        ],
+        assumptions=[
+            AssumptionRecord("profile representative", probability_true=0.95),
+            AssumptionRecord("compiler correct", probability_true=0.99),
+        ],
+    )
+
+
+class TestRecords:
+    def test_evidence_needs_name(self):
+        with pytest.raises(DomainError):
+            EvidenceRecord("", "testing")
+
+    def test_assumption_validation(self):
+        with pytest.raises(DomainError):
+            AssumptionRecord("x", probability_true=1.5)
+
+    def test_assumption_doubt(self):
+        assert AssumptionRecord("x", 0.9).doubt == pytest.approx(0.1)
+
+
+class TestDependabilityCase:
+    def test_claim_bound_from_sil_claim(self, case):
+        assert case.claim_bound == pytest.approx(1e-2)
+
+    def test_claim_bound_from_pfd_claim(self, paper_judgement):
+        direct = DependabilityCase(
+            system="s", claim=PfdBoundClaim(1e-3), judgement=paper_judgement
+        )
+        assert direct.claim_bound == pytest.approx(1e-3)
+
+    def test_confidence_matches_judgement(self, case, paper_judgement):
+        assert case.confidence() == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+
+    def test_assumption_confidence_is_product(self, case):
+        assert case.assumption_confidence() == pytest.approx(0.95 * 0.99)
+
+    def test_overall_confidence_deflated(self, case):
+        assert case.overall_confidence() == pytest.approx(
+            case.confidence() * case.assumption_confidence()
+        )
+        assert case.overall_confidence() < case.confidence()
+
+    def test_single_point_belief_round_trip(self, case):
+        belief = case.single_point_belief()
+        assert belief.bound == case.claim_bound
+        assert belief.confidence == pytest.approx(case.overall_confidence())
+
+    def test_conservative_failure_probability(self, case):
+        worst = case.conservative_failure_probability()
+        x = 1.0 - case.overall_confidence()
+        y = case.claim_bound
+        assert worst == pytest.approx(x + y - x * y)
+
+    def test_meets(self, case):
+        assert case.meets(0.5)
+        assert not case.meets(0.99)
+        with pytest.raises(DomainError):
+            case.meets(0.0)
+
+    def test_against_target(self, case):
+        verdict = case.against_target(0.70)
+        assert not verdict.meets_target
+
+    def test_report_contents(self, case):
+        text = case.report()
+        assert "protection channel" in text
+        assert "acceptance tests" in text
+        assert "profile representative" in text
+        assert "Overall confidence" in text
+
+    def test_system_name_required(self, paper_judgement):
+        with pytest.raises(ClaimError):
+            DependabilityCase(system="", claim=SilClaim(level=2),
+                              judgement=paper_judgement)
+
+    def test_no_assumptions_means_no_deflation(self, paper_judgement):
+        bare = DependabilityCase(
+            system="s", claim=SilClaim(level=2), judgement=paper_judgement
+        )
+        assert bare.overall_confidence() == pytest.approx(bare.confidence())

@@ -1,0 +1,102 @@
+"""Tests for claim objects and single-point beliefs."""
+
+import pytest
+
+from repro.core import PerfectionClaim, PfdBoundClaim, SilClaim, SinglePointBelief
+from repro.distributions import with_perfection
+from repro.errors import ClaimError, DomainError
+
+
+class TestPfdBoundClaim:
+    def test_confidence_under_judgement(self, paper_judgement):
+        claim = PfdBoundClaim(1e-2)
+        assert claim.confidence_under(paper_judgement) == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+
+    def test_truth_evaluation(self):
+        claim = PfdBoundClaim(1e-3)
+        assert claim.is_true_for(5e-4)
+        assert not claim.is_true_for(1e-3)  # strict bound
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ClaimError):
+            PfdBoundClaim(0.0)
+        with pytest.raises(ClaimError):
+            PfdBoundClaim(1.5)
+
+    def test_negative_pfd_rejected(self):
+        with pytest.raises(DomainError):
+            PfdBoundClaim(1e-3).is_true_for(-0.1)
+
+    def test_str_contains_bound(self):
+        assert "0.001" in str(PfdBoundClaim(1e-3))
+
+
+class TestSilClaim:
+    def test_as_bound_claim_uses_band_upper(self):
+        claim = SilClaim(level=2)
+        assert claim.as_bound_claim().bound == pytest.approx(1e-2)
+
+    def test_confidence_matches_band(self, paper_judgement):
+        claim = SilClaim(level=2)
+        assert claim.confidence_under(paper_judgement) == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+
+    def test_truth(self):
+        claim = SilClaim(level=2)
+        assert claim.is_true_for(5e-3)
+        assert not claim.is_true_for(5e-2)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ClaimError):
+            SilClaim(level=9)
+
+
+class TestPerfectionClaim:
+    def test_confidence_is_mass_at_zero(self, paper_judgement):
+        claim = PerfectionClaim()
+        assert claim.confidence_under(paper_judgement) == 0.0
+        belief = with_perfection(0.25, paper_judgement)
+        assert claim.confidence_under(belief) == pytest.approx(0.25)
+
+    def test_truth(self):
+        claim = PerfectionClaim()
+        assert claim.is_true_for(0.0)
+        assert not claim.is_true_for(1e-12)
+
+
+class TestSinglePointBelief:
+    def test_doubt_is_complement(self):
+        belief = SinglePointBelief(bound=1e-3, confidence=0.99)
+        assert belief.doubt == pytest.approx(0.01)
+
+    def test_from_doubt(self):
+        belief = SinglePointBelief.from_doubt(1e-3, doubt=0.05)
+        assert belief.confidence == pytest.approx(0.95)
+
+    def test_of_distribution(self, paper_judgement):
+        belief = SinglePointBelief.of(paper_judgement, 1e-2)
+        assert belief.confidence == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+
+    def test_claim_accessor(self):
+        belief = SinglePointBelief(bound=1e-3, confidence=0.9)
+        assert belief.claim().bound == 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ClaimError):
+            SinglePointBelief(bound=-0.1, confidence=0.9)
+        with pytest.raises(DomainError):
+            SinglePointBelief(bound=1e-3, confidence=1.5)
+        with pytest.raises(DomainError):
+            SinglePointBelief.from_doubt(1e-3, doubt=-0.1)
+
+    def test_zero_bound_is_perfection_statement(self):
+        # The paper's Example 2: P(pfd = 0) = 99.9%.
+        belief = SinglePointBelief(bound=0.0, confidence=0.999)
+        assert belief.doubt == pytest.approx(1e-3)
+        with pytest.raises(ClaimError):
+            belief.claim()

@@ -1,0 +1,165 @@
+"""Tests for subsystem claim composition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Component,
+    KOutOfNBlock,
+    ParallelBlock,
+    SeriesBlock,
+    SinglePointBelief,
+    SystemStructure,
+    beta_factor_1oo2,
+    compose_series_beliefs,
+    monte_carlo_system_judgement,
+)
+from repro.distributions import LogNormalJudgement, PointMass
+from repro.errors import DomainError
+
+
+@pytest.fixture
+def channel():
+    return LogNormalJudgement.from_mode_sigma(1e-3, 0.7)
+
+
+class TestBlocks:
+    def test_component_samples_within_pfd_domain(self, channel, rng):
+        samples = Component("a", channel).sample_pfd(rng, 1000)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_series_of_point_masses(self, rng):
+        # Two deterministic components: series pfd = 1 - (1-p1)(1-p2).
+        block = SeriesBlock([
+            Component("a", PointMass(0.1)),
+            Component("b", PointMass(0.2)),
+        ])
+        samples = block.sample_pfd(rng, 10)
+        assert np.allclose(samples, 1.0 - 0.9 * 0.8)
+
+    def test_parallel_of_point_masses(self, rng):
+        block = ParallelBlock([
+            Component("a", PointMass(0.1)),
+            Component("b", PointMass(0.2)),
+        ])
+        samples = block.sample_pfd(rng, 10)
+        assert np.allclose(samples, 0.1 * 0.2)
+
+    def test_koon_one_of_two_equals_parallel(self, rng):
+        components = [Component("a", PointMass(0.1)),
+                      Component("b", PointMass(0.2))]
+        koon = KOutOfNBlock(1, components).sample_pfd(rng, 5)
+        par = ParallelBlock(components).sample_pfd(rng, 5)
+        assert np.allclose(koon, par)
+
+    def test_koon_n_of_n_equals_series(self, rng):
+        components = [Component("a", PointMass(0.1)),
+                      Component("b", PointMass(0.2))]
+        koon = KOutOfNBlock(2, components).sample_pfd(rng, 5)
+        series = SeriesBlock(components).sample_pfd(rng, 5)
+        assert np.allclose(koon, series)
+
+    def test_two_of_three_voting(self, rng):
+        # 2oo3 with identical p: fails when >= 2 fail = 3p^2(1-p) + p^3.
+        p = 0.1
+        components = [Component(str(i), PointMass(p)) for i in range(3)]
+        koon = KOutOfNBlock(2, components).sample_pfd(rng, 5)
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert np.allclose(koon, expected)
+
+    def test_nesting(self, rng):
+        # Series of (parallel pair, single component).
+        pair = ParallelBlock([Component("a", PointMass(0.1)),
+                              Component("b", PointMass(0.1))])
+        block = SeriesBlock([pair, Component("c", PointMass(0.05))])
+        samples = block.sample_pfd(rng, 5)
+        expected = 1.0 - (1.0 - 0.01) * 0.95
+        assert np.allclose(samples, expected)
+
+    def test_validation(self, channel):
+        with pytest.raises(DomainError):
+            SeriesBlock([])
+        with pytest.raises(DomainError):
+            ParallelBlock([])
+        with pytest.raises(DomainError):
+            KOutOfNBlock(3, [Component("a", channel)])
+        with pytest.raises(DomainError):
+            Component("", channel)
+
+
+class TestSystemStructure:
+    def test_redundancy_beats_single_channel(self, channel, rng):
+        single = SystemStructure("1oo1", Component("a", channel))
+        redundant = SystemStructure(
+            "1oo2",
+            ParallelBlock([Component("a", channel),
+                           Component("b", channel)]),
+        )
+        assert redundant.expected_pfd(rng) < single.expected_pfd(rng)
+
+    def test_series_worse_than_components(self, channel, rng):
+        series = SystemStructure(
+            "chain",
+            SeriesBlock([Component("a", channel), Component("b", channel)]),
+        )
+        assert series.expected_pfd(rng) > channel.mean() * 0.99
+
+    def test_judgement_is_distribution(self, channel, rng):
+        judgement = SystemStructure(
+            "sys", Component("a", channel)
+        ).judgement(rng, n_samples=50_000)
+        assert judgement.mean() == pytest.approx(channel.mean(), rel=0.05)
+
+    def test_sample_floor(self, channel, rng):
+        with pytest.raises(DomainError):
+            monte_carlo_system_judgement(Component("a", channel), rng, 10)
+
+
+class TestComposeSeriesBeliefs:
+    def test_doubts_add(self):
+        composed = compose_series_beliefs([
+            SinglePointBelief(1e-3, 0.99),
+            SinglePointBelief(1e-3, 0.98),
+        ])
+        assert composed.bound == pytest.approx(2e-3)
+        assert composed.doubt == pytest.approx(0.03)
+
+    def test_many_subsystems_erode_confidence(self):
+        beliefs = [SinglePointBelief(1e-4, 0.99)] * 10
+        composed = compose_series_beliefs(beliefs)
+        assert composed.confidence == pytest.approx(0.90, abs=1e-9)
+
+    def test_vacuous_composition_rejected(self):
+        with pytest.raises(DomainError):
+            compose_series_beliefs([SinglePointBelief(0.6, 0.9)] * 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            compose_series_beliefs([])
+
+
+class TestBetaFactor:
+    def test_beta_zero_is_independence(self, channel, rng):
+        independent = beta_factor_1oo2(channel, 0.0, rng, 100_000)
+        # E[p^2] = Var + mean^2.
+        expected = channel.variance() + channel.mean() ** 2
+        assert independent.mean() == pytest.approx(expected, rel=0.1)
+
+    def test_beta_one_is_single_channel(self, channel, rng):
+        common = beta_factor_1oo2(channel, 1.0, rng, 100_000)
+        assert common.mean() == pytest.approx(channel.mean(), rel=0.05)
+
+    def test_common_cause_erodes_redundancy(self, channel, rng):
+        independent = beta_factor_1oo2(channel, 0.0, rng, 100_000)
+        realistic = beta_factor_1oo2(channel, 0.1, rng, 100_000)
+        assert realistic.mean() > independent.mean()
+        # With beta = 0.1 the redundant pair is roughly 10x the single
+        # channel's mean times beta — orders of magnitude above naive
+        # independence.
+        assert realistic.mean() > 10 * independent.mean()
+
+    def test_validation(self, channel, rng):
+        with pytest.raises(DomainError):
+            beta_factor_1oo2(channel, 1.5, rng)
+        with pytest.raises(DomainError):
+            beta_factor_1oo2(channel, 0.1, rng, n_samples=10)

@@ -1,0 +1,112 @@
+"""Tests for confidence profiles and the Figure 3 trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfidenceProfile,
+    confidence_crossover,
+    lognormal_confidence_crossover,
+    spread_tradeoff,
+)
+from repro.distributions import GammaJudgement, LogNormalJudgement
+from repro.errors import DomainError
+from repro.sil import LOW_DEMAND
+
+
+class TestConfidenceProfile:
+    def test_confidence_and_doubt(self, paper_judgement):
+        profile = ConfidenceProfile(paper_judgement)
+        assert profile.confidence(1e-2) + profile.doubt(1e-2) == pytest.approx(1.0)
+
+    def test_bound_at_inverts_confidence(self, paper_judgement):
+        profile = ConfidenceProfile(paper_judgement)
+        bound = profile.bound_at(0.9)
+        assert profile.confidence(bound) == pytest.approx(0.9, abs=1e-9)
+
+    def test_band_confidences_best_first(self, paper_judgement):
+        profile = ConfidenceProfile(paper_judgement)
+        rows = profile.band_confidences(LOW_DEMAND)
+        levels = [level for level, _ in rows]
+        assert levels == [4, 3, 2, 1]
+        confidences = [c for _, c in rows]
+        assert confidences == sorted(confidences)
+
+    def test_figure4_anchors(self, paper_judgement):
+        # Paper: widest judgement has ~67% chance of SIL2+, ~99.9% SIL1+.
+        rows = dict(ConfidenceProfile(paper_judgement).band_confidences())
+        assert rows[2] == pytest.approx(0.67, abs=0.01)
+        assert rows[1] == pytest.approx(0.999, abs=0.002)
+
+    def test_profile_vectorised(self, paper_judgement):
+        profile = ConfidenceProfile(paper_judgement)
+        values = profile.profile([1e-3, 1e-2, 1e-1])
+        assert np.all(np.diff(values) > 0)
+
+    def test_invalid_confidence_rejected(self, paper_judgement):
+        with pytest.raises(DomainError):
+            ConfidenceProfile(paper_judgement).bound_at(1.0)
+
+
+class TestSpreadTradeoff:
+    def test_mean_rises_and_confidence_falls_with_spread(self):
+        points = spread_tradeoff(
+            lambda s: LogNormalJudgement.from_mode_sigma(0.003, s),
+            spreads=np.linspace(0.2, 1.5, 8),
+            bound=1e-2,
+        )
+        means = [p.mean for p in points]
+        confidences = [p.confidence for p in points]
+        assert all(a < b for a, b in zip(means, means[1:]))
+        # Confidence is eventually decreasing (it is ~1 for tiny spreads).
+        assert confidences[-1] < confidences[0]
+
+    def test_mode_held_fixed(self):
+        points = spread_tradeoff(
+            lambda s: LogNormalJudgement.from_mode_sigma(0.003, s),
+            spreads=[0.3, 0.9, 1.5],
+            bound=1e-2,
+        )
+        for p in points:
+            assert p.mode == pytest.approx(0.003, rel=1e-9)
+
+
+class TestCrossover:
+    def test_paper_67_percent_anchor(self):
+        # Figure 3: with the mode at 0.003, once confidence in SIL 2 falls
+        # below ~67% the mean is in SIL 1.
+        point = lognormal_confidence_crossover(0.003, LOW_DEMAND.band(2))
+        assert point.confidence == pytest.approx(0.673, abs=0.005)
+        assert point.mean == pytest.approx(1e-2, rel=1e-9)
+        assert point.spread == pytest.approx(0.896, abs=0.002)
+
+    def test_generic_crossover_matches_closed_form(self):
+        closed = lognormal_confidence_crossover(0.003, LOW_DEMAND.band(2))
+        generic = confidence_crossover(
+            lambda s: LogNormalJudgement.from_mode_sigma(0.003, s),
+            bound=1e-2,
+        )
+        assert generic.spread == pytest.approx(closed.spread, rel=1e-6)
+        assert generic.confidence == pytest.approx(closed.confidence, rel=1e-6)
+
+    def test_gamma_crossover_similar_confidence(self):
+        # The paper repeated results for a gamma to show low sensitivity:
+        # the gamma crossover confidence should land near the log-normal's.
+        generic = confidence_crossover(
+            lambda s: GammaJudgement.from_mode_shape(0.003, 1.0 + 1.0 / s**2),
+            bound=1e-2,
+            spread_range=(0.05, 5.0),
+        )
+        assert generic.confidence == pytest.approx(0.673, abs=0.08)
+
+    def test_mode_outside_band_rejected(self):
+        with pytest.raises(DomainError):
+            lognormal_confidence_crossover(0.5, LOW_DEMAND.band(2))
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(DomainError):
+            confidence_crossover(
+                lambda s: LogNormalJudgement.from_mode_sigma(0.003, s),
+                bound=1e-2,
+                mean_target=1e-6,
+            )

@@ -1,0 +1,187 @@
+"""Tests for the conservative worst-case calculus (paper Section 3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SinglePointBelief,
+    bounded_error_failure_probability,
+    design_for_claim,
+    required_bound,
+    required_confidence,
+    required_doubt,
+    supports_claim,
+    worst_case_distribution,
+    worst_case_failure_probability,
+)
+from repro.distributions import BetaJudgement, LogNormalJudgement, TruncatedJudgement
+from repro.errors import DomainError
+
+
+class TestWorstCaseBound:
+    def test_formula(self):
+        belief = SinglePointBelief.from_doubt(bound=1e-3, doubt=0.05)
+        assert worst_case_failure_probability(belief) == pytest.approx(
+            0.05 + 1e-3 - 0.05 * 1e-3
+        )
+
+    def test_attained_by_worst_case_distribution(self):
+        belief = SinglePointBelief.from_doubt(bound=1e-2, doubt=0.1)
+        dist = worst_case_distribution(belief)
+        assert dist.mean() == pytest.approx(
+            worst_case_failure_probability(belief)
+        )
+
+    def test_perfection_variant_formula(self):
+        belief = SinglePointBelief.from_doubt(bound=1e-2, doubt=0.1)
+        p0 = 0.3
+        expected = 0.1 + 1e-2 - (0.1 + p0) * 1e-2
+        assert worst_case_failure_probability(belief, p0) == pytest.approx(
+            expected
+        )
+        dist = worst_case_distribution(belief, p0)
+        assert dist.mean() == pytest.approx(expected)
+
+    def test_perfection_cannot_exceed_confidence(self):
+        belief = SinglePointBelief.from_doubt(bound=1e-2, doubt=0.4)
+        with pytest.raises(DomainError):
+            worst_case_failure_probability(belief, perfection=0.7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        doubt=st.floats(min_value=0.0, max_value=0.5),
+        bound=st.floats(min_value=1e-6, max_value=0.5),
+        sigma=st.floats(min_value=0.2, max_value=1.5),
+    )
+    def test_bound_dominates_consistent_continuous_beliefs(
+        self, doubt, bound, sigma
+    ):
+        """Any pfd distribution with P(pfd < bound) = 1 - doubt has a mean
+        at or below the worst-case bound — the theorem itself."""
+        # Build a pfd distribution with exactly the stated confidence at
+        # the bound: a log-normal conditioned to [0, 1] and calibrated by
+        # construction via its quantile.
+        confidence = 1.0 - doubt
+        if confidence <= 0.02 or confidence >= 0.98:
+            return  # keep the construction well-conditioned
+        raw = LogNormalJudgement.from_median_sigma(bound, sigma)
+        pfd_dist = TruncatedJudgement(raw, upper=1.0)
+        actual_conf = pfd_dist.confidence(bound)
+        belief = SinglePointBelief(bound=bound, confidence=actual_conf)
+        assert pfd_dist.mean() <= worst_case_failure_probability(belief) + 1e-9
+
+    def test_bound_dominates_beta_beliefs(self):
+        for a, b in [(0.5, 20.0), (2.0, 50.0), (1.0, 1.0)]:
+            dist = BetaJudgement(a, b)
+            bound = 0.1
+            belief = SinglePointBelief(bound=bound,
+                                       confidence=dist.confidence(bound))
+            assert dist.mean() <= worst_case_failure_probability(belief) + 1e-12
+
+
+class TestBoundedErrorVariant:
+    def test_less_conservative_than_worst_case(self):
+        belief = SinglePointBelief.from_doubt(bound=1e-3, doubt=0.05)
+        bounded = bounded_error_failure_probability(belief, error_factor=100.0)
+        assert bounded < worst_case_failure_probability(belief)
+
+    def test_equals_worst_case_when_factor_saturates(self):
+        belief = SinglePointBelief.from_doubt(bound=0.5, doubt=0.1)
+        bounded = bounded_error_failure_probability(belief, error_factor=10.0)
+        assert bounded == pytest.approx(worst_case_failure_probability(belief))
+
+    def test_factor_below_one_rejected(self):
+        belief = SinglePointBelief.from_doubt(bound=1e-3, doubt=0.05)
+        with pytest.raises(DomainError):
+            bounded_error_failure_probability(belief, error_factor=0.5)
+
+
+class TestInverseDesign:
+    def test_example_3_exact_numbers(self):
+        # Paper Example 3: y = 1e-3, y* = 1e-4 -> x* ~ 0.0009, i.e. the
+        # expert needs confidence 99.91%.
+        doubt = required_doubt(claim_bound=1e-3, belief_bound=1e-4)
+        assert doubt == pytest.approx(0.0009, rel=1e-3)
+        confidence = required_confidence(1e-3, 1e-4)
+        assert confidence == pytest.approx(0.9991, abs=1e-4)
+
+    def test_example_1_no_margin_means_certainty(self):
+        # y* -> y forces x* -> 0 (Example 1 is the limit y*=y, x*=0).
+        assert required_doubt(1e-3, 1e-3 * (1 - 1e-9)) == pytest.approx(
+            0.0, abs=1e-11
+        )
+
+    def test_example_2_perfection_limit(self):
+        # y* = 0: the expert claims perfection with confidence 1 - y.
+        assert required_doubt(1e-3, 0.0) == pytest.approx(1e-3)
+
+    def test_stringent_claim_is_unforgiving(self):
+        # Paper: for y = 1e-5 the expert must be >99.999% confident.
+        confidence = required_confidence(1e-5, 1e-6)
+        assert confidence > 0.99999
+
+    def test_balance_is_exact(self):
+        y = 1e-3
+        for y_star in (0.0, 1e-5, 1e-4, 5e-4):
+            x = required_doubt(y, y_star)
+            assert x + y_star - x * y_star == pytest.approx(y, rel=1e-12)
+
+    def test_required_bound_inverts_required_doubt(self):
+        y = 1e-2
+        x = 3e-3
+        y_star = required_bound(y, x)
+        assert required_doubt(y, y_star) == pytest.approx(x, rel=1e-12)
+
+    def test_doubt_must_be_below_claim(self):
+        with pytest.raises(DomainError):
+            required_bound(1e-3, doubt=2e-3)
+
+    def test_belief_bound_must_be_below_claim(self):
+        with pytest.raises(DomainError):
+            required_doubt(1e-3, belief_bound=1e-2)
+
+
+class TestSupportsClaim:
+    def test_sufficient_belief(self):
+        belief = SinglePointBelief(bound=1e-4, confidence=0.9995)
+        assert supports_claim(belief, 1e-3)
+
+    def test_insufficient_belief(self):
+        belief = SinglePointBelief(bound=1e-4, confidence=0.99)
+        assert not supports_claim(belief, 1e-3)
+
+    def test_perfection_mass_helps(self):
+        # Just over the line without perfection; a 50% belief in
+        # perfection moves mass off the bound and under the line.
+        belief = SinglePointBelief(bound=9e-3, confidence=0.9988)
+        assert not supports_claim(belief, 1e-2)
+        assert supports_claim(belief, 1e-2, perfection=0.5)
+
+
+class TestDesignForClaim:
+    def test_margin_decades_construction(self):
+        design = design_for_claim(1e-3, margin_decades=1)
+        assert design.belief.bound == pytest.approx(1e-4)
+        assert design.belief.confidence == pytest.approx(0.9991, abs=1e-4)
+        assert design.is_sufficient
+
+    def test_explicit_bound_construction(self):
+        design = design_for_claim(1e-2, belief_bound=1e-3)
+        assert design.worst_case == pytest.approx(1e-2, rel=1e-9)
+        assert design.margin_decades == pytest.approx(1.0)
+
+    def test_perfection_relaxes_requirement(self):
+        plain = design_for_claim(1e-3, margin_decades=1)
+        relaxed = design_for_claim(1e-3, margin_decades=1, perfection=0.5)
+        assert relaxed.belief.doubt > plain.belief.doubt
+
+    def test_exactly_one_specification(self):
+        with pytest.raises(DomainError):
+            design_for_claim(1e-3)
+        with pytest.raises(DomainError):
+            design_for_claim(1e-3, belief_bound=1e-4, margin_decades=1)
+
+    def test_describe_mentions_support(self):
+        assert "supports" in design_for_claim(1e-3, margin_decades=1).describe()

@@ -1,0 +1,73 @@
+"""Tests for the beta judgement over a pfd."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import BetaJudgement
+from repro.errors import DomainError
+
+
+class TestConstructors:
+    def test_basic_parameters(self):
+        dist = BetaJudgement(2.0, 8.0)
+        assert dist.mean() == pytest.approx(0.2)
+
+    def test_from_mean_equivalent_observations(self):
+        dist = BetaJudgement.from_mean_equivalent_observations(0.1, 50.0)
+        assert dist.mean() == pytest.approx(0.1)
+        assert dist.a + dist.b == pytest.approx(50.0)
+
+    def test_from_mode_confidence(self):
+        dist = BetaJudgement.from_mode_confidence(0.003, 0.01, 0.80)
+        assert dist.mode() == pytest.approx(0.003, rel=1e-5)
+        assert dist.confidence(0.01) == pytest.approx(0.80, abs=1e-8)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DomainError):
+            BetaJudgement(0.0, 1.0)
+        with pytest.raises(DomainError):
+            BetaJudgement(1.0, -2.0)
+
+
+class TestModes:
+    def test_interior_mode(self):
+        assert BetaJudgement(3.0, 7.0).mode() == pytest.approx(2.0 / 8.0)
+
+    def test_mode_at_zero_for_a_below_one(self):
+        assert BetaJudgement(0.5, 5.0).mode() == 0.0
+
+    def test_mode_at_one_for_b_below_one(self):
+        assert BetaJudgement(5.0, 0.5).mode() == 1.0
+
+
+class TestConjugacy:
+    def test_updated_adds_counts(self):
+        prior = BetaJudgement(1.0, 1.0)
+        posterior = prior.updated(failures=2, successes=98)
+        assert posterior.a == pytest.approx(3.0)
+        assert posterior.b == pytest.approx(99.0)
+
+    def test_failure_free_testing_shrinks_mean(self):
+        prior = BetaJudgement(1.0, 9.0)
+        posterior = prior.updated(failures=0, successes=1000)
+        assert posterior.mean() < prior.mean()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(DomainError):
+            BetaJudgement(1.0, 1.0).updated(failures=-1, successes=0)
+
+
+class TestDistributionBehaviour:
+    def test_support_is_unit_interval(self):
+        assert BetaJudgement(2.0, 5.0).support == (0.0, 1.0)
+
+    def test_ppf_inverts_cdf(self):
+        dist = BetaJudgement(2.0, 30.0)
+        for q in (0.05, 0.5, 0.95):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_sampling_matches_mean(self, rng):
+        dist = BetaJudgement(2.0, 18.0)
+        samples = dist.sample(rng, 100_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.02)
+        assert np.all((samples >= 0) & (samples <= 1))

@@ -1,0 +1,102 @@
+"""Tests for grid-based and sample-based judgements."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import EmpiricalJudgement, GridJudgement
+from repro.errors import DomainError
+from repro.numerics import log_grid
+
+
+class TestGridJudgement:
+    def test_projection_preserves_moments(self, paper_judgement):
+        grid = log_grid(1e-8, 1.0, 400)
+        projected = GridJudgement.from_distribution(paper_judgement, grid)
+        assert projected.mean() == pytest.approx(paper_judgement.mean(),
+                                                 rel=1e-3)
+        assert projected.cdf(1e-2) == pytest.approx(
+            float(paper_judgement.cdf(1e-2)), abs=1e-3
+        )
+
+    def test_density_normalised(self):
+        grid = np.linspace(0.0, 1.0, 101)
+        dist = GridJudgement(grid, np.full_like(grid, 3.0))
+        assert dist.cdf(1.0) == pytest.approx(1.0)
+        assert dist.mean() == pytest.approx(0.5, rel=1e-6)
+
+    def test_ppf_inverts_cdf(self):
+        grid = np.linspace(0.0, 1.0, 201)
+        dist = GridJudgement(grid, np.ones_like(grid))
+        for q in (0.1, 0.5, 0.9):
+            assert dist.ppf(q) == pytest.approx(q, abs=1e-6)
+
+    def test_mode_is_density_peak(self):
+        grid = np.linspace(0.0, 1.0, 101)
+        density = np.exp(-((grid - 0.3) ** 2) / 0.01)
+        dist = GridJudgement(grid, density)
+        assert dist.mode() == pytest.approx(0.3, abs=0.02)
+
+    def test_reweighted_is_bayes_update(self):
+        grid = np.linspace(1e-6, 1.0, 2001)
+        prior = GridJudgement(grid, np.ones_like(grid))
+        posterior = prior.reweighted((1.0 - grid) ** 100)
+        # Uniform prior + 100 failure-free Bernoulli demands = Beta(1, 101).
+        assert posterior.mean() == pytest.approx(1.0 / 102.0, rel=1e-2)
+
+    def test_reweight_validates_shape_and_sign(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        dist = GridJudgement(grid, np.ones_like(grid))
+        with pytest.raises(DomainError):
+            dist.reweighted(np.ones(5))
+        with pytest.raises(DomainError):
+            dist.reweighted(-np.ones_like(grid))
+
+    def test_pdf_zero_outside_grid(self):
+        grid = np.linspace(0.1, 0.9, 11)
+        dist = GridJudgement(grid, np.ones_like(grid))
+        assert dist.pdf(0.05) == 0.0
+        assert dist.pdf(0.95) == 0.0
+
+    def test_invalid_grids_rejected(self):
+        with pytest.raises(DomainError):
+            GridJudgement(np.array([0.0, 0.0, 1.0]), np.ones(3))
+        with pytest.raises(DomainError):
+            GridJudgement(np.array([0.0, 1.0]), np.ones(2))
+        with pytest.raises(DomainError):
+            GridJudgement(np.linspace(0, 1, 5), -np.ones(5))
+
+
+class TestEmpiricalJudgement:
+    def test_cdf_and_quantiles(self):
+        dist = EmpiricalJudgement(np.array([0.1, 0.2, 0.3, 0.4]))
+        assert dist.cdf(0.25) == pytest.approx(0.5)
+        assert dist.ppf(0.5) == pytest.approx(0.25, abs=0.06)
+
+    def test_mean_and_variance_match_samples(self, rng):
+        samples = rng.uniform(size=10_000)
+        dist = EmpiricalJudgement(samples)
+        assert dist.mean() == pytest.approx(samples.mean())
+        assert dist.variance() == pytest.approx(samples.var())
+
+    def test_standard_error(self, rng):
+        samples = rng.normal(0.5, 0.1, 10_000).clip(0, 1)
+        dist = EmpiricalJudgement(samples)
+        assert dist.standard_error_of_mean() == pytest.approx(
+            samples.std(ddof=1) / 100.0, rel=1e-6
+        )
+
+    def test_resampling(self, rng):
+        dist = EmpiricalJudgement(np.array([0.0, 1.0]))
+        resampled = dist.sample(rng, 10_000)
+        assert 0.4 < resampled.mean() < 0.6
+
+    def test_matches_source_distribution(self, paper_judgement, rng):
+        samples = paper_judgement.sample(rng, 100_000)
+        dist = EmpiricalJudgement(samples)
+        assert dist.cdf(1e-2) == pytest.approx(
+            float(paper_judgement.cdf(1e-2)), abs=0.01
+        )
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(DomainError):
+            EmpiricalJudgement(np.array([-0.1, 0.2]))

@@ -1,0 +1,123 @@
+"""Tests for fitting judgements to elicited constraints."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    GammaJudgement,
+    LogNormalJudgement,
+    QuantileConstraint,
+    check_constraints,
+    constraint_residuals,
+    fit_best,
+    fit_gamma,
+    fit_lognormal,
+)
+from repro.errors import DomainError, FittingError, InconsistentBeliefError
+
+
+class TestQuantileConstraint:
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            QuantileConstraint(level=0.0, value=1e-3)
+        with pytest.raises(DomainError):
+            QuantileConstraint(level=0.5, value=0.0)
+
+    def test_check_orders_by_level(self):
+        ordered = check_constraints([
+            QuantileConstraint(0.9, 1e-2),
+            QuantileConstraint(0.5, 1e-3),
+        ])
+        assert [c.level for c in ordered] == [0.5, 0.9]
+
+    def test_check_rejects_crossing(self):
+        with pytest.raises(InconsistentBeliefError):
+            check_constraints([
+                QuantileConstraint(0.5, 1e-2),
+                QuantileConstraint(0.9, 1e-3),
+            ])
+
+    def test_check_rejects_contradictory_duplicates(self):
+        with pytest.raises(InconsistentBeliefError):
+            check_constraints([
+                QuantileConstraint(0.5, 1e-2),
+                QuantileConstraint(0.5, 1e-3),
+            ])
+
+    def test_check_rejects_empty(self):
+        with pytest.raises(DomainError):
+            check_constraints([])
+
+
+class TestFitLognormal:
+    def test_two_constraints_matched_exactly(self):
+        constraints = [
+            QuantileConstraint(0.5, 3e-3),
+            QuantileConstraint(0.95, 3e-2),
+        ]
+        dist = fit_lognormal(constraints)
+        residuals = constraint_residuals(dist, constraints)
+        assert np.max(np.abs(residuals)) < 1e-10
+
+    def test_three_constraints_least_squares(self):
+        constraints = [
+            QuantileConstraint(0.25, 1.1e-3),
+            QuantileConstraint(0.50, 3e-3),
+            QuantileConstraint(0.90, 2.2e-2),
+        ]
+        dist = fit_lognormal(constraints)
+        residuals = constraint_residuals(dist, constraints)
+        assert np.max(np.abs(residuals)) < 0.05
+
+    def test_recovers_generating_distribution(self):
+        truth = LogNormalJudgement.from_mode_sigma(3e-3, 0.8)
+        constraints = [
+            QuantileConstraint(q, float(truth.ppf(q)))
+            for q in (0.1, 0.5, 0.9)
+        ]
+        fitted = fit_lognormal(constraints)
+        assert fitted.mu == pytest.approx(truth.mu, abs=1e-6)
+        assert fitted.sigma == pytest.approx(truth.sigma, abs=1e-6)
+
+    def test_single_constraint_rejected(self):
+        with pytest.raises(FittingError):
+            fit_lognormal([QuantileConstraint(0.5, 1e-3)])
+
+
+class TestFitGamma:
+    def test_two_constraints_matched(self):
+        constraints = [
+            QuantileConstraint(0.5, 3e-3),
+            QuantileConstraint(0.95, 2e-2),
+        ]
+        dist = fit_gamma(constraints)
+        residuals = constraint_residuals(dist, constraints)
+        assert np.max(np.abs(residuals)) < 1e-6
+
+    def test_recovers_generating_distribution(self):
+        truth = GammaJudgement(shape=2.5, scale=2e-3)
+        constraints = [
+            QuantileConstraint(q, float(truth.ppf(q)))
+            for q in (0.25, 0.5, 0.9)
+        ]
+        fitted = fit_gamma(constraints)
+        assert fitted.mean() == pytest.approx(truth.mean(), rel=1e-3)
+
+
+class TestFitBest:
+    def test_picks_exact_family(self):
+        truth = LogNormalJudgement.from_mode_sigma(3e-3, 0.9)
+        constraints = [
+            QuantileConstraint(q, float(truth.ppf(q)))
+            for q in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        best = fit_best(constraints)
+        assert isinstance(best, LogNormalJudgement)
+
+    def test_unknown_family_rejected(self):
+        constraints = [
+            QuantileConstraint(0.5, 3e-3),
+            QuantileConstraint(0.9, 2e-2),
+        ]
+        with pytest.raises(DomainError):
+            fit_best(constraints, families=("weibull",))

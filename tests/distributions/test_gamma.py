@@ -1,0 +1,100 @@
+"""Tests for the gamma judgement (the paper's sensitivity alternative)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import GammaJudgement
+from repro.errors import DomainError
+
+
+class TestConstructors:
+    def test_from_mean_mode(self):
+        dist = GammaJudgement.from_mean_mode(mean=0.01, mode=0.003)
+        assert dist.mean() == pytest.approx(0.01)
+        assert dist.mode() == pytest.approx(0.003)
+
+    def test_from_mean_mode_requires_ordering(self):
+        with pytest.raises(DomainError):
+            GammaJudgement.from_mean_mode(mean=0.003, mode=0.01)
+
+    def test_from_mode_shape(self):
+        dist = GammaJudgement.from_mode_shape(0.003, shape=3.0)
+        assert dist.mode() == pytest.approx(0.003)
+
+    def test_from_mode_shape_needs_shape_above_one(self):
+        with pytest.raises(DomainError):
+            GammaJudgement.from_mode_shape(0.003, shape=0.8)
+
+    def test_from_mode_confidence_roundtrip(self):
+        dist = GammaJudgement.from_mode_confidence(0.003, 0.01, 0.80)
+        assert dist.mode() == pytest.approx(0.003, rel=1e-6)
+        assert dist.confidence(0.01) == pytest.approx(0.80, abs=1e-9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DomainError):
+            GammaJudgement(-1.0, 1.0)
+        with pytest.raises(DomainError):
+            GammaJudgement(1.0, 0.0)
+
+
+class TestMoments:
+    def test_mean_variance_formulas(self):
+        dist = GammaJudgement(shape=4.0, scale=0.002)
+        assert dist.mean() == pytest.approx(0.008)
+        assert dist.variance() == pytest.approx(4.0 * 0.002**2)
+
+    def test_mode_zero_when_shape_at_most_one(self):
+        assert GammaJudgement(shape=0.7, scale=1.0).mode() == 0.0
+
+    def test_mean_mode_decades_infinite_without_mode(self):
+        assert GammaJudgement(shape=0.7, scale=1.0).mean_mode_decades() == np.inf
+
+    def test_asymmetry_mirrors_lognormal(self, gamma_judgement):
+        assert gamma_judgement.mode() < gamma_judgement.median() < \
+            gamma_judgement.mean()
+
+
+class TestDistributionBehaviour:
+    def test_density_integrates_to_one(self, gamma_judgement):
+        assert gamma_judgement.normalisation_defect() < 1e-5
+
+    def test_ppf_inverts_cdf(self, gamma_judgement):
+        for q in (0.05, 0.5, 0.95):
+            assert gamma_judgement.cdf(
+                gamma_judgement.ppf(q)
+            ) == pytest.approx(q, abs=1e-10)
+
+    def test_cdf_zero_at_origin(self, gamma_judgement):
+        assert gamma_judgement.cdf(0.0) == 0.0
+
+    def test_sampling_moments(self, gamma_judgement, rng):
+        samples = gamma_judgement.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(gamma_judgement.mean(), rel=0.02)
+
+
+class TestSensitivityToFamily:
+    """The paper's claim: results are not sensitive to log-normal vs gamma."""
+
+    def test_confidence_at_band_close_to_lognormal(
+        self, paper_judgement, gamma_judgement
+    ):
+        # Both anchored at mean 0.01 / mode 0.003; one-sided confidence in
+        # SIL 2 should agree within a few points.
+        log_conf = paper_judgement.confidence(1e-2)
+        gamma_conf = gamma_judgement.confidence(1e-2)
+        assert abs(log_conf - gamma_conf) < 0.10
+
+    @settings(max_examples=20, deadline=None)
+    @given(confidence=st.floats(min_value=0.55, max_value=0.95))
+    def test_mean_growth_with_falling_confidence_same_direction(
+        self, confidence
+    ):
+        log_dist = __import__(
+            "repro.distributions", fromlist=["LogNormalJudgement"]
+        ).LogNormalJudgement.from_mode_confidence(0.003, 0.01, confidence)
+        gamma_dist = GammaJudgement.from_mode_confidence(0.003, 0.01, confidence)
+        # Lower confidence -> broader -> mean above the mode, both families.
+        assert log_dist.mean() > log_dist.mode()
+        assert gamma_dist.mean() > gamma_dist.mode()

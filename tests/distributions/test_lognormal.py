@@ -1,0 +1,195 @@
+"""Tests for the paper's log-normal judgement model (Section 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    LogNormalJudgement,
+    MEAN_MODE_DECADE_COEFFICIENT,
+    mean_mode_decades,
+    paper_pdf,
+    sigma_for_decades,
+)
+from repro.errors import DomainError, FittingError
+
+
+class TestConstructors:
+    def test_from_mode_sigma(self):
+        dist = LogNormalJudgement.from_mode_sigma(0.003, 0.9)
+        assert dist.mode() == pytest.approx(0.003)
+        assert dist.sigma == 0.9
+
+    def test_from_mean_sigma(self):
+        dist = LogNormalJudgement.from_mean_sigma(0.01, 0.9)
+        assert dist.mean() == pytest.approx(0.01)
+
+    def test_from_median_sigma(self):
+        dist = LogNormalJudgement.from_median_sigma(0.005, 0.7)
+        assert dist.median() == pytest.approx(0.005)
+
+    def test_from_mean_mode_paper_parameterisation(self):
+        dist = LogNormalJudgement.from_mean_mode(mean=0.01, mode=0.003)
+        assert dist.mean() == pytest.approx(0.01)
+        assert dist.mode() == pytest.approx(0.003)
+
+    def test_from_mean_mode_requires_mean_above_mode(self):
+        with pytest.raises(DomainError):
+            LogNormalJudgement.from_mean_mode(mean=0.003, mode=0.01)
+
+    def test_from_quantiles(self):
+        dist = LogNormalJudgement.from_quantiles(0.5, 1e-3, 0.95, 1e-2)
+        assert dist.cdf(1e-3) == pytest.approx(0.5, abs=1e-10)
+        assert dist.cdf(1e-2) == pytest.approx(0.95, abs=1e-10)
+
+    def test_from_quantiles_rejects_non_comonotone(self):
+        with pytest.raises(DomainError):
+            LogNormalJudgement.from_quantiles(0.5, 1e-2, 0.95, 1e-3)
+
+    def test_from_mode_confidence_roundtrip(self):
+        dist = LogNormalJudgement.from_mode_confidence(0.003, 0.01, 0.80)
+        assert dist.mode() == pytest.approx(0.003, rel=1e-6)
+        assert dist.confidence(0.01) == pytest.approx(0.80, abs=1e-9)
+
+    def test_from_mode_confidence_rejects_bound_below_mode(self):
+        with pytest.raises(DomainError):
+            LogNormalJudgement.from_mode_confidence(0.01, 0.003, 0.8)
+
+    def test_from_mode_confidence_monotone_in_spread(self):
+        # Lower stated confidence must come from a broader judgement.
+        confident = LogNormalJudgement.from_mode_confidence(0.003, 0.01, 0.9)
+        doubtful = LogNormalJudgement.from_mode_confidence(0.003, 0.01, 0.6)
+        assert doubtful.sigma > confident.sigma
+
+    @pytest.mark.parametrize("mu,sigma", [(0.0, 0.0), (0.0, -1.0),
+                                          (np.inf, 1.0)])
+    def test_invalid_parameters_rejected(self, mu, sigma):
+        with pytest.raises(DomainError):
+            LogNormalJudgement(mu, sigma)
+
+
+class TestPaperIdentity:
+    """``log10(mean/mode) = 0.65 sigma^2`` and its quoted consequences."""
+
+    def test_coefficient_value(self):
+        assert MEAN_MODE_DECADE_COEFFICIENT == pytest.approx(0.6514, abs=2e-4)
+
+    def test_one_decade_at_sigma_1_2(self):
+        # Paper: "the mean failure rate is one decade greater than the
+        # mode if sigma = 1.2".
+        assert mean_mode_decades(1.2) == pytest.approx(1.0, abs=0.07)
+
+    def test_two_decades_at_sigma_1_7(self):
+        # Paper: "...and two decades greater if sigma = 1.7".
+        assert mean_mode_decades(1.7) == pytest.approx(2.0, abs=0.12)
+
+    def test_sigma_for_decades_inverts(self):
+        for decades in (0.25, 0.5, 1.0, 2.0):
+            assert mean_mode_decades(
+                sigma_for_decades(decades)
+            ) == pytest.approx(decades)
+
+    def test_no_gap_at_zero_spread(self):
+        assert mean_mode_decades(0.0) == 0.0
+
+    @given(st.floats(min_value=0.05, max_value=2.5))
+    def test_identity_holds_for_actual_distributions(self, sigma):
+        dist = LogNormalJudgement.from_mode_sigma(1e-3, sigma)
+        measured = np.log10(dist.mean() / dist.mode())
+        assert measured == pytest.approx(mean_mode_decades(sigma), rel=1e-9)
+
+
+class TestPaperPdfTranscription:
+    def test_matches_library_density(self):
+        mean, mode = 0.01, 0.003
+        dist = LogNormalJudgement.from_mean_mode(mean, mode)
+        lam = np.logspace(-5, -0.5, 40)
+        ours = dist.pdf(lam)
+        papers = paper_pdf(lam, np.log(mean), np.log(mode))
+        assert np.allclose(ours, papers, rtol=1e-12)
+
+    def test_zero_below_support(self):
+        assert paper_pdf(0.0, np.log(0.01), np.log(0.003)) == 0.0
+
+    def test_rejects_mean_not_above_mode(self):
+        with pytest.raises(DomainError):
+            paper_pdf(1e-3, np.log(0.003), np.log(0.01))
+
+
+class TestDistributionBehaviour:
+    def test_density_integrates_to_one(self, paper_judgement):
+        assert paper_judgement.normalisation_defect() < 1e-5
+
+    def test_cdf_matches_quadrature_of_pdf(self, paper_judgement):
+        for x in (1e-3, 3e-3, 1e-2, 1e-1):
+            assert paper_judgement.cdf(x) == pytest.approx(
+                paper_judgement.cdf_from_pdf(x), abs=1e-5
+            )
+
+    def test_ppf_inverts_cdf(self, paper_judgement):
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert paper_judgement.cdf(
+                paper_judgement.ppf(q)
+            ) == pytest.approx(q, abs=1e-10)
+
+    def test_ppf_edge_levels(self, paper_judgement):
+        assert paper_judgement.ppf(0.0) == 0.0
+        assert paper_judgement.ppf(1.0) == np.inf
+
+    def test_mode_below_median_below_mean(self, paper_judgement):
+        assert (
+            paper_judgement.mode()
+            < paper_judgement.median()
+            < paper_judgement.mean()
+        )
+
+    def test_scaled_shifts_everything(self, paper_judgement):
+        scaled = paper_judgement.scaled(10.0)
+        assert scaled.mean() == pytest.approx(10.0 * paper_judgement.mean())
+        assert scaled.mode() == pytest.approx(10.0 * paper_judgement.mode())
+
+    def test_sampling_moments(self, paper_judgement, rng):
+        samples = paper_judgement.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(paper_judgement.mean(), rel=0.03)
+        assert np.median(samples) == pytest.approx(
+            paper_judgement.median(), rel=0.02
+        )
+
+    def test_credible_interval_ordering(self, paper_judgement):
+        low, high = paper_judgement.credible_interval(0.9)
+        assert low < paper_judgement.median() < high
+
+    def test_variance_positive(self, paper_judgement):
+        assert paper_judgement.variance() > 0
+        assert paper_judgement.std() == pytest.approx(
+            np.sqrt(paper_judgement.variance())
+        )
+
+
+_mode_strategy = st.floats(min_value=1e-6, max_value=1e-1)
+_sigma_strategy = st.floats(min_value=0.05, max_value=2.0)
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(mode=_mode_strategy, sigma=_sigma_strategy)
+    def test_cdf_monotone(self, mode, sigma):
+        dist = LogNormalJudgement.from_mode_sigma(mode, sigma)
+        grid = np.logspace(np.log10(mode) - 3, np.log10(mode) + 3, 30)
+        cdf = dist.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(mode=_mode_strategy, sigma=_sigma_strategy)
+    def test_confidence_equals_cdf(self, mode, sigma):
+        dist = LogNormalJudgement.from_mode_sigma(mode, sigma)
+        bound = mode * 3.0
+        assert dist.confidence(bound) == pytest.approx(float(dist.cdf(bound)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(mode=_mode_strategy, sigma=_sigma_strategy)
+    def test_doubt_complements_confidence(self, mode, sigma):
+        dist = LogNormalJudgement.from_mode_sigma(mode, sigma)
+        bound = mode * 2.0
+        assert dist.confidence(bound) + dist.doubt(bound) == pytest.approx(1.0)

@@ -1,0 +1,83 @@
+"""Tests for mixtures and perfection-mass beliefs."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    LogNormalJudgement,
+    MixtureJudgement,
+    PointMass,
+    with_perfection,
+)
+from repro.errors import DomainError
+
+
+class TestMixtureJudgement:
+    def test_mean_is_weighted_average(self, paper_judgement, narrow_judgement):
+        mix = MixtureJudgement([paper_judgement, narrow_judgement], [0.3, 0.7])
+        expected = 0.3 * paper_judgement.mean() + 0.7 * narrow_judgement.mean()
+        assert mix.mean() == pytest.approx(expected)
+
+    def test_cdf_is_weighted_average(self, paper_judgement, narrow_judgement):
+        mix = MixtureJudgement([paper_judgement, narrow_judgement], [0.5, 0.5])
+        x = 5e-3
+        expected = 0.5 * paper_judgement.cdf(x) + 0.5 * narrow_judgement.cdf(x)
+        assert mix.cdf(x) == pytest.approx(float(expected))
+
+    def test_variance_law_of_total_variance(self):
+        a = LogNormalJudgement.from_mode_sigma(1e-3, 0.5)
+        b = LogNormalJudgement.from_mode_sigma(1e-2, 0.5)
+        mix = MixtureJudgement([a, b], [0.5, 0.5])
+        mean = mix.mean()
+        expected = (
+            0.5 * (a.variance() + a.mean() ** 2)
+            + 0.5 * (b.variance() + b.mean() ** 2)
+            - mean**2
+        )
+        assert mix.variance() == pytest.approx(expected)
+
+    def test_sampling_blends_components(self, rng):
+        a = PointMass(0.0)
+        b = PointMass(1.0)
+        mix = MixtureJudgement([a, b], [0.25, 0.75])
+        samples = mix.sample(rng, 40_000)
+        assert samples.mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_weights_must_sum_to_one(self, paper_judgement):
+        with pytest.raises(DomainError):
+            MixtureJudgement([paper_judgement], [0.5])
+
+    def test_length_mismatch_rejected(self, paper_judgement):
+        with pytest.raises(DomainError):
+            MixtureJudgement([paper_judgement], [0.5, 0.5])
+
+    def test_support_is_union(self, paper_judgement):
+        mix = MixtureJudgement([PointMass(0.0), paper_judgement], [0.1, 0.9])
+        low, high = mix.support
+        assert low == 0.0
+        assert high == np.inf
+
+
+class TestWithPerfection:
+    """The paper's footnote 3: perfection vs vanishingly-small pfd."""
+
+    def test_mass_at_zero(self, paper_judgement):
+        belief = with_perfection(0.2, paper_judgement)
+        assert belief.cdf(0.0) == pytest.approx(0.2)
+
+    def test_mean_scaled_by_imperfection(self, paper_judgement):
+        belief = with_perfection(0.2, paper_judgement)
+        assert belief.mean() == pytest.approx(0.8 * paper_judgement.mean())
+
+    def test_zero_perfection_is_identity(self, paper_judgement):
+        assert with_perfection(0.0, paper_judgement) is paper_judgement
+
+    def test_confidence_never_below_perfection(self, paper_judgement):
+        belief = with_perfection(0.3, paper_judgement)
+        assert belief.confidence(1e-9) >= 0.3
+
+    def test_invalid_mass_rejected(self, paper_judgement):
+        with pytest.raises(DomainError):
+            with_perfection(1.0, paper_judgement)
+        with pytest.raises(DomainError):
+            with_perfection(-0.1, paper_judgement)

@@ -1,0 +1,119 @@
+"""Tests for discrete / worst-case judgements (the paper's Figure 6b)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DiscreteJudgement,
+    PointMass,
+    TwoPointWorstCase,
+    WorstCaseWithPerfection,
+)
+from repro.errors import DomainError
+
+
+class TestDiscreteJudgement:
+    def test_mean_and_variance(self):
+        dist = DiscreteJudgement({0.1: 0.5, 0.3: 0.5})
+        assert dist.mean() == pytest.approx(0.2)
+        assert dist.variance() == pytest.approx(0.01)
+
+    def test_cdf_steps(self):
+        dist = DiscreteJudgement({0.1: 0.4, 0.5: 0.6})
+        assert dist.cdf(0.05) == 0.0
+        assert dist.cdf(0.1) == pytest.approx(0.4)
+        assert dist.cdf(0.3) == pytest.approx(0.4)
+        assert dist.cdf(0.5) == pytest.approx(1.0)
+
+    def test_ppf_is_generalised_inverse(self):
+        dist = DiscreteJudgement({0.1: 0.4, 0.5: 0.6})
+        assert dist.ppf(0.2) == pytest.approx(0.1)
+        assert dist.ppf(0.4) == pytest.approx(0.1)
+        assert dist.ppf(0.6) == pytest.approx(0.5)
+
+    def test_sampling_frequencies(self, rng):
+        dist = DiscreteJudgement({0.0: 0.25, 1.0: 0.75})
+        samples = dist.sample(rng, 40_000)
+        assert samples.mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(DomainError):
+            DiscreteJudgement({0.1: 0.5, 0.2: 0.6})
+
+    def test_pdf_is_zero(self):
+        dist = DiscreteJudgement({0.1: 1.0})
+        assert dist.pdf(0.1) == 0.0
+
+
+class TestPointMass:
+    def test_all_mass_at_point(self):
+        dist = PointMass(0.02)
+        assert dist.mean() == pytest.approx(0.02)
+        assert dist.variance() == pytest.approx(0.0)
+        assert dist.cdf(0.019) == 0.0
+        assert dist.cdf(0.02) == 1.0
+
+    def test_perfection_point_mass(self):
+        perfect = PointMass(0.0)
+        assert perfect.mean() == 0.0
+        assert perfect.cdf(0.0) == 1.0
+
+
+class TestTwoPointWorstCase:
+    """The distribution attaining the paper's bound x + y - x*y."""
+
+    def test_mean_is_paper_bound(self):
+        for x, y in [(0.1, 1e-3), (0.01, 1e-2), (0.5, 0.3)]:
+            dist = TwoPointWorstCase(claim_bound=y, doubt=x)
+            assert dist.mean() == pytest.approx(x + y - x * y, rel=1e-12)
+
+    def test_satisfies_the_stated_belief(self):
+        # P(pfd <= y) must equal 1 - x (mass at y counts as satisfying).
+        dist = TwoPointWorstCase(claim_bound=1e-3, doubt=0.05)
+        assert dist.cdf(1e-3) == pytest.approx(0.95)
+        assert dist.cdf(0.999) == pytest.approx(0.95)
+        assert dist.cdf(1.0) == pytest.approx(1.0)
+
+    def test_example_1_certainty_at_bound(self):
+        # Paper Example 1: x*=0, y*=1e-3 -> mean exactly 1e-3.
+        dist = TwoPointWorstCase(claim_bound=1e-3, doubt=0.0)
+        assert dist.mean() == pytest.approx(1e-3)
+
+    def test_example_2_nearly_perfect(self):
+        # Paper Example 2: x*=1e-3, y*=0 is a limit; with a tiny y* the
+        # mean approaches x* = 1e-3.
+        dist = TwoPointWorstCase(claim_bound=1e-12, doubt=1e-3)
+        assert dist.mean() == pytest.approx(1e-3, rel=1e-6)
+
+    def test_degenerate_full_doubt(self):
+        dist = TwoPointWorstCase(claim_bound=0.5, doubt=1.0)
+        assert dist.mean() == pytest.approx(1.0)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(DomainError):
+            TwoPointWorstCase(claim_bound=0.0, doubt=0.1)
+        with pytest.raises(DomainError):
+            TwoPointWorstCase(claim_bound=0.5, doubt=1.5)
+
+
+class TestWorstCaseWithPerfection:
+    def test_mean_is_modified_bound(self):
+        # Paper: with perfection mass p0 the bound becomes x + y - (x+p0)y.
+        x, y, p0 = 0.05, 1e-2, 0.3
+        dist = WorstCaseWithPerfection(perfection=p0, claim_bound=y, doubt=x)
+        assert dist.mean() == pytest.approx(x + y - (x + p0) * y, rel=1e-12)
+
+    def test_reduces_to_two_point_without_perfection(self):
+        with_p0 = WorstCaseWithPerfection(0.0, 1e-3, 0.1)
+        plain = TwoPointWorstCase(1e-3, 0.1)
+        assert with_p0.mean() == pytest.approx(plain.mean())
+
+    def test_mass_at_zero(self):
+        dist = WorstCaseWithPerfection(perfection=0.25, claim_bound=1e-3,
+                                       doubt=0.05)
+        assert dist.cdf(0.0) == pytest.approx(0.25)
+
+    def test_overcommitted_belief_rejected(self):
+        with pytest.raises(DomainError):
+            WorstCaseWithPerfection(perfection=0.7, claim_bound=1e-3,
+                                    doubt=0.5)

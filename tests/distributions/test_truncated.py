@@ -1,0 +1,68 @@
+"""Tests for tail truncation (the idealised Section 4.1 cut-off)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormalJudgement, TruncatedJudgement
+from repro.errors import DomainError
+
+
+class TestTruncatedJudgement:
+    def test_cdf_reaches_one_at_cut(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        assert cut.cdf(1e-2) == pytest.approx(1.0)
+        assert cut.cdf(1.0) == pytest.approx(1.0)
+
+    def test_density_renormalised(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        inside = 5e-3
+        expected = paper_judgement.pdf(inside) / paper_judgement.cdf(1e-2)
+        assert cut.pdf(inside) == pytest.approx(float(expected))
+
+    def test_density_zero_outside(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        assert cut.pdf(2e-2) == 0.0
+
+    def test_truncation_reduces_mean(self, paper_judgement):
+        # Cutting the high-rate tail is exactly what reduces the mean —
+        # the paper's confidence-building mechanism.
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        assert cut.mean() < paper_judgement.mean()
+
+    def test_tighter_cut_smaller_mean(self, paper_judgement):
+        loose = TruncatedJudgement(paper_judgement, upper=1e-1)
+        tight = TruncatedJudgement(paper_judgement, upper=1e-2)
+        assert tight.mean() < loose.mean()
+
+    def test_confidence_inside_window_rescaled(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        raw = paper_judgement.cdf(3e-3) / paper_judgement.cdf(1e-2)
+        assert cut.cdf(3e-3) == pytest.approx(float(raw))
+
+    def test_retained_mass_reported(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        assert cut.retained_mass == pytest.approx(
+            float(paper_judgement.cdf(1e-2))
+        )
+
+    def test_lower_truncation(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-1, lower=1e-3)
+        assert cut.cdf(1e-3) == pytest.approx(0.0, abs=1e-12)
+        assert cut.cdf(5e-4) == 0.0
+
+    def test_support_intersection(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2, lower=1e-4)
+        assert cut.support == (1e-4, 1e-2)
+
+    def test_invalid_window_rejected(self, paper_judgement):
+        with pytest.raises(DomainError):
+            TruncatedJudgement(paper_judgement, upper=1e-3, lower=1e-2)
+
+    def test_empty_window_rejected(self):
+        tight = LogNormalJudgement.from_mode_sigma(1e-3, 0.1)
+        with pytest.raises(DomainError):
+            TruncatedJudgement(tight, upper=1e-15)
+
+    def test_ppf_respects_window(self, paper_judgement):
+        cut = TruncatedJudgement(paper_judgement, upper=1e-2)
+        assert cut.ppf(0.999) <= 1e-2

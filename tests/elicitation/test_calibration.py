@@ -1,0 +1,79 @@
+"""Tests for scoring and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormalJudgement
+from repro.elicitation import (
+    brier_score,
+    calibration_report,
+    interval_coverage,
+    log_score,
+)
+from repro.errors import DomainError
+
+
+class TestScores:
+    def test_brier_perfect_and_worst(self):
+        assert brier_score(1.0, True) == 0.0
+        assert brier_score(0.0, True) == 1.0
+        assert brier_score(0.7, True) == pytest.approx(0.09)
+
+    def test_log_score_values(self):
+        assert log_score(1.0, True) == 0.0
+        assert log_score(0.5, True) == pytest.approx(np.log(2.0))
+        assert log_score(0.0, True) == np.inf
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            brier_score(1.5, True)
+        with pytest.raises(DomainError):
+            log_score(-0.1, False)
+
+
+class TestIntervalCoverage:
+    def test_calibrated_expert_covers_nominal(self, rng):
+        # Truths drawn from the expert's own judgement: coverage ~ level.
+        judgements, truths = [], []
+        for _ in range(400):
+            dist = LogNormalJudgement.from_mode_sigma(3e-3, 0.8)
+            judgements.append(dist)
+            truths.append(float(dist.sample(rng, 1)[0]))
+        coverage = interval_coverage(judgements, truths, level=0.9)
+        assert coverage == pytest.approx(0.9, abs=0.05)
+
+    def test_overconfident_expert_undercovers(self, rng):
+        # Truths from a broad reality, intervals from a narrow belief.
+        reality = LogNormalJudgement.from_mode_sigma(3e-3, 1.2)
+        belief = LogNormalJudgement.from_mode_sigma(3e-3, 0.2)
+        truths = reality.sample(rng, 300)
+        coverage = interval_coverage([belief] * 300, truths, level=0.9)
+        assert coverage < 0.7
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DomainError):
+            interval_coverage([LogNormalJudgement(0.0, 1.0)], [0.1, 0.2])
+
+
+class TestCalibrationReport:
+    def test_well_calibrated_report(self, rng):
+        judgements, truths = [], []
+        for _ in range(300):
+            dist = LogNormalJudgement.from_mode_sigma(3e-3, 0.8)
+            judgements.append(dist)
+            truths.append(float(dist.sample(rng, 1)[0]))
+        report = calibration_report("expert", judgements, truths, 1e-2)
+        assert report.n_judgements == 300
+        assert not report.is_overconfident()
+        assert 0.0 <= report.mean_brier <= 0.3
+
+    def test_overconfident_flagged(self, rng):
+        reality = LogNormalJudgement.from_mode_sigma(3e-3, 1.4)
+        belief = LogNormalJudgement.from_mode_sigma(3e-3, 0.15)
+        truths = reality.sample(rng, 300)
+        report = calibration_report("narrow", [belief] * 300, truths, 1e-2)
+        assert report.is_overconfident()
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            calibration_report("x", [], [], 1e-2)

@@ -1,0 +1,105 @@
+"""Tests for the four-phase protocol simulation."""
+
+import numpy as np
+import pytest
+
+from repro.elicitation import (
+    DEFAULT_PHASES,
+    FourPhaseProtocol,
+    PhaseConfig,
+    SyntheticExpert,
+)
+from repro.errors import DomainError
+
+
+def panel(n_main=6, n_doubters=2):
+    experts = [
+        SyntheticExpert(f"m{i}", bias_decades=0.3 * (i - n_main / 2),
+                        sigma=0.9)
+        for i in range(n_main)
+    ]
+    experts += [
+        SyntheticExpert(f"d{i}", sigma=1.2, is_doubter=True)
+        for i in range(n_doubters)
+    ]
+    return experts
+
+
+class TestPhaseConfig:
+    def test_defaults_are_four_phases(self):
+        assert len(DEFAULT_PHASES) == 4
+        assert DEFAULT_PHASES[0].name == "initial presentation"
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            PhaseConfig("x", narrowing=0.0)
+        with pytest.raises(DomainError):
+            PhaseConfig("x", convergence=1.5)
+        with pytest.raises(DomainError):
+            PhaseConfig("x", noise_decades=-1.0)
+
+
+class TestFourPhaseProtocol:
+    def test_all_phases_recorded(self, rng):
+        result = FourPhaseProtocol(panel()).run(0.003, rng)
+        assert len(result.by_phase) == 4
+        assert len(result.phase(1)) == 8
+
+    def test_spreads_narrow_across_phases(self, rng):
+        result = FourPhaseProtocol(panel()).run(0.003, rng)
+
+        def mean_sigma(phase):
+            sigmas = []
+            for judgement in result.main_group(phase):
+                base = judgement.judgement.base  # truncated wrapper
+                sigmas.append(base.sigma)
+            return np.mean(sigmas)
+
+        assert mean_sigma(4) < mean_sigma(1)
+
+    def test_main_group_converges(self, rng):
+        result = FourPhaseProtocol(panel()).run(0.003, rng)
+
+        def mode_dispersion(phase):
+            modes = [j.judgement.mode() for j in result.main_group(phase)]
+            return np.std(np.log10(modes))
+
+        assert mode_dispersion(4) < mode_dispersion(1)
+
+    def test_doubters_stay_apart(self, rng):
+        result = FourPhaseProtocol(panel()).run(0.003, rng)
+        final_main = [j.judgement.mode() for j in result.main_group(4)]
+        final_doubt = [j.judgement.mode() for j in result.doubters(4)]
+        assert min(final_doubt) > 5 * max(final_main)
+
+    def test_doubter_flag_propagated(self, rng):
+        result = FourPhaseProtocol(panel()).run(0.003, rng)
+        assert len(result.doubters(1)) == 2
+        assert len(result.main_group(1)) == 6
+
+    def test_phase_index_validated(self, rng):
+        result = FourPhaseProtocol(panel()).run(0.003, rng)
+        with pytest.raises(DomainError):
+            result.phase(0)
+        with pytest.raises(DomainError):
+            result.phase(5)
+
+    def test_unique_names_required(self):
+        experts = [SyntheticExpert("same"), SyntheticExpert("same")]
+        with pytest.raises(DomainError):
+            FourPhaseProtocol(experts)
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(DomainError):
+            FourPhaseProtocol([])
+
+    def test_deterministic_given_rng_seed(self):
+        result1 = FourPhaseProtocol(panel()).run(
+            0.003, np.random.default_rng(7)
+        )
+        result2 = FourPhaseProtocol(panel()).run(
+            0.003, np.random.default_rng(7)
+        )
+        modes1 = [j.judgement.mode() for j in result1.final_phase()]
+        modes2 = [j.judgement.mode() for j in result2.final_phase()]
+        assert np.allclose(modes1, modes2)

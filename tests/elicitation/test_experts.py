@@ -1,0 +1,76 @@
+"""Tests for synthetic expert models."""
+
+import numpy as np
+import pytest
+
+from repro.elicitation import SyntheticExpert
+from repro.errors import DomainError
+
+
+class TestSyntheticExpert:
+    def test_unbiased_expert_centres_on_reference(self):
+        expert = SyntheticExpert("e1", bias_decades=0.0, sigma=0.8)
+        judgement = expert.judge(reference_mode=0.003)
+        assert judgement.judgement.mode() == pytest.approx(0.003, rel=0.05)
+
+    def test_bias_shifts_mode_in_decades(self):
+        expert = SyntheticExpert("e1", bias_decades=1.0, sigma=0.8)
+        judgement = expert.judge(reference_mode=0.003)
+        assert judgement.judgement.mode() == pytest.approx(0.03, rel=0.05)
+
+    def test_doubter_centres_much_worse(self):
+        main = SyntheticExpert("m", sigma=0.9)
+        doubter = SyntheticExpert("d", sigma=0.9, is_doubter=True)
+        ref = 0.003
+        assert doubter.judge(ref).judgement.mode() > \
+            10 * main.judge(ref).judgement.mode()
+
+    def test_judgement_confined_to_pfd_domain(self):
+        doubter = SyntheticExpert("d", sigma=1.5, is_doubter=True,
+                                  doubter_offset_decades=3.0)
+        judgement = doubter.judge(0.003).judgement
+        assert judgement.cdf(1.0) == pytest.approx(1.0)
+        assert judgement.mean() <= 1.0
+
+    def test_noise_requires_rng(self):
+        expert = SyntheticExpert("e1")
+        with pytest.raises(DomainError):
+            expert.judge(0.003, noise_decades=0.2)
+
+    def test_noise_scatter(self, rng):
+        expert = SyntheticExpert("e1", sigma=0.5)
+        modes = [
+            expert.judge(0.003, noise_decades=0.3, rng=rng).judgement.mode()
+            for _ in range(50)
+        ]
+        assert np.std(np.log10(modes)) > 0.1
+
+    def test_narrowed(self):
+        expert = SyntheticExpert("e1", sigma=1.0)
+        assert expert.narrowed(0.5).sigma == pytest.approx(0.5)
+        with pytest.raises(DomainError):
+            expert.narrowed(0.0)
+
+    def test_nudged_towards(self):
+        expert = SyntheticExpert("e1", bias_decades=1.0)
+        nudged = expert.nudged_towards(0.0, weight=0.5)
+        assert nudged.bias_decades == pytest.approx(0.5)
+        with pytest.raises(DomainError):
+            expert.nudged_towards(0.0, weight=1.5)
+
+    def test_single_point_statement(self):
+        expert = SyntheticExpert("e1", sigma=0.8)
+        judgement = expert.judge(0.003)
+        belief = judgement.single_point(1e-2)
+        assert belief.bound == 1e-2
+        assert belief.confidence == pytest.approx(
+            judgement.judgement.confidence(1e-2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            SyntheticExpert("")
+        with pytest.raises(DomainError):
+            SyntheticExpert("x", sigma=0.0)
+        with pytest.raises(DomainError):
+            SyntheticExpert("x", doubter_offset_decades=-1.0)

@@ -1,0 +1,79 @@
+"""Tests for opinion pooling."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormalJudgement
+from repro.elicitation import equal_weights, linear_pool, log_pool
+from repro.errors import DomainError
+from repro.numerics import log_grid
+
+
+@pytest.fixture
+def two_judgements():
+    return [
+        LogNormalJudgement.from_mode_sigma(1e-3, 0.6),
+        LogNormalJudgement.from_mode_sigma(1e-2, 0.6),
+    ]
+
+
+class TestEqualWeights:
+    def test_uniform(self):
+        assert np.allclose(equal_weights(4), 0.25)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            equal_weights(0)
+
+
+class TestLinearPool:
+    def test_mean_is_average(self, two_judgements):
+        pooled = linear_pool(two_judgements)
+        expected = np.mean([d.mean() for d in two_judgements])
+        assert pooled.mean() == pytest.approx(expected)
+
+    def test_single_judgement_passthrough(self, two_judgements):
+        assert linear_pool([two_judgements[0]]) is two_judgements[0]
+
+    def test_weighted(self, two_judgements):
+        pooled = linear_pool(two_judgements, [0.9, 0.1])
+        expected = 0.9 * two_judgements[0].mean() + 0.1 * two_judgements[1].mean()
+        assert pooled.mean() == pytest.approx(expected)
+
+    def test_preserves_pessimist_tail(self, two_judgements):
+        # A single pessimist keeps the pooled tail heavy — the linear
+        # pool's defining property for the Figure 5 panel.
+        pooled = linear_pool(two_judgements, [0.9, 0.1])
+        optimist_only = two_judgements[0]
+        assert pooled.sf(5e-2) > optimist_only.sf(5e-2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            linear_pool([])
+
+
+class TestLogPool:
+    def test_consensus_between_components(self, two_judgements):
+        pooled = log_pool(two_judgements)
+        medians = sorted(d.median() for d in two_judgements)
+        assert medians[0] < pooled.median() < medians[1]
+
+    def test_identical_experts_recovered(self):
+        dist = LogNormalJudgement.from_mode_sigma(3e-3, 0.7)
+        pooled = log_pool([dist, dist])
+        assert pooled.median() == pytest.approx(dist.median(), rel=0.02)
+        assert pooled.cdf(1e-2) == pytest.approx(
+            float(dist.cdf(1e-2)), abs=0.01
+        )
+
+    def test_log_pool_thinner_tails_than_linear(self, two_judgements):
+        grid = log_grid(1e-8, 1.0, 300)
+        linear = linear_pool(two_judgements)
+        logp = log_pool(two_judgements, grid=grid)
+        assert logp.sf(0.1) < linear.sf(0.1)
+
+    def test_weight_validation(self, two_judgements):
+        with pytest.raises(DomainError):
+            log_pool(two_judgements, weights=[0.5])
+        with pytest.raises(DomainError):
+            log_pool(two_judgements, weights=[0.7, 0.7])

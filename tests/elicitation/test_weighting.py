@@ -1,0 +1,101 @@
+"""Tests for performance-based expert weighting."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormalJudgement
+from repro.elicitation import (
+    ExpertScore,
+    performance_weighted_pool,
+    performance_weights,
+    score_expert,
+)
+from repro.errors import DomainError
+
+
+def seeded_truths_and_judgements(rng, sigma_belief, sigma_truth, n=200):
+    """An expert with belief spread sigma_belief judging a reality whose
+    realisations scatter with sigma_truth."""
+    judgements, truths = [], []
+    for _ in range(n):
+        centre = 3e-3
+        judgements.append(LogNormalJudgement.from_mode_sigma(centre,
+                                                             sigma_belief))
+        reality = LogNormalJudgement.from_mode_sigma(centre, sigma_truth)
+        truths.append(float(reality.sample(rng, 1)[0]))
+    return judgements, truths
+
+
+class TestScoreExpert:
+    def test_calibrated_expert_scores_high(self, rng):
+        judgements, truths = seeded_truths_and_judgements(rng, 0.8, 0.8)
+        score = score_expert("good", judgements, truths)
+        assert score.calibration > 0.9
+
+    def test_overconfident_expert_scores_low_calibration(self, rng):
+        judgements, truths = seeded_truths_and_judgements(rng, 0.15, 1.2)
+        score = score_expert("narrow", judgements, truths)
+        assert score.calibration < 0.7
+
+    def test_information_rewards_narrowness(self, rng):
+        narrow_j, narrow_t = seeded_truths_and_judgements(rng, 0.3, 0.3)
+        broad_j, broad_t = seeded_truths_and_judgements(rng, 1.5, 1.5)
+        narrow = score_expert("narrow", narrow_j, narrow_t)
+        broad = score_expert("broad", broad_j, broad_t)
+        assert narrow.information > broad.information
+
+    def test_combined_is_product(self):
+        score = ExpertScore("x", calibration=0.8, information=0.5)
+        assert score.combined == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            score_expert("x", [], [])
+
+
+class TestPerformanceWeights:
+    def test_proportional_to_combined(self):
+        scores = [
+            ExpertScore("a", 0.9, 0.5),
+            ExpertScore("b", 0.9, 0.25),
+        ]
+        weights = performance_weights(scores)
+        assert weights[0] == pytest.approx(2.0 * weights[1])
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_cutoff_zeroes_bad_experts(self):
+        scores = [
+            ExpertScore("good", 0.9, 0.5),
+            ExpertScore("bad", 0.1, 0.9),
+        ]
+        weights = performance_weights(scores, calibration_floor=0.5)
+        assert weights[1] == 0.0
+        assert weights[0] == pytest.approx(1.0)
+
+    def test_everyone_cut_falls_back_to_uniform(self):
+        scores = [ExpertScore("a", 0.1, 0.5), ExpertScore("b", 0.2, 0.5)]
+        weights = performance_weights(scores, calibration_floor=0.5)
+        assert np.allclose(weights, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            performance_weights([])
+        with pytest.raises(DomainError):
+            performance_weights([ExpertScore("a", 0.5, 0.5)],
+                                calibration_floor=1.0)
+
+
+class TestPerformanceWeightedPool:
+    def test_pool_leans_toward_better_expert(self):
+        good = LogNormalJudgement.from_mode_sigma(1e-3, 0.5)
+        bad = LogNormalJudgement.from_mode_sigma(1e-1, 0.5)
+        scores = [ExpertScore("good", 0.95, 0.6),
+                  ExpertScore("bad", 0.05, 0.6)]
+        pooled = performance_weighted_pool([good, bad], scores,
+                                           calibration_floor=0.5)
+        assert pooled.mean() == pytest.approx(good.mean(), rel=0.01)
+
+    def test_alignment_required(self):
+        good = LogNormalJudgement.from_mode_sigma(1e-3, 0.5)
+        with pytest.raises(DomainError):
+            performance_weighted_pool([good], [])

@@ -1,0 +1,36 @@
+"""Tests for the synthetic case study."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.experiment import CaseStudy, public_domain_case_study
+
+
+class TestCaseStudy:
+    def test_public_case_anchored_mid_sil2(self):
+        case = public_domain_case_study()
+        assert case.reference_mode == pytest.approx(0.003)
+        assert case.target_level == 2
+        assert case.target_band.upper == pytest.approx(1e-2)
+
+    def test_briefing_contains_key_facts(self):
+        case = public_domain_case_study()
+        text = case.briefing()
+        assert "SIL 2" in text
+        assert case.safety_function in text
+
+    def test_additional_information_available(self):
+        case = public_domain_case_study()
+        assert len(case.additional_information) >= 3
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            CaseStudy(
+                name="x", description="d", safety_function="f",
+                target_level=2, reference_mode=0.0, demands_per_year=1.0,
+            )
+        with pytest.raises(DomainError):
+            CaseStudy(
+                name="x", description="d", safety_function="f",
+                target_level=9, reference_mode=1e-3, demands_per_year=1.0,
+            )

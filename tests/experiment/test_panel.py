@@ -1,0 +1,87 @@
+"""Tests for the Figure 5 panel simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.experiment import build_panel, run_panel
+
+
+class TestBuildPanel:
+    def test_composition(self, rng):
+        experts = build_panel(12, 3, rng)
+        assert len(experts) == 12
+        assert sum(e.is_doubter for e in experts) == 3
+
+    def test_validation(self, rng):
+        with pytest.raises(DomainError):
+            build_panel(0, 0, rng)
+        with pytest.raises(DomainError):
+            build_panel(5, 6, rng)
+
+
+class TestRunPanel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_panel(seed=2007)
+
+    def test_figure5_group_confidence(self, result):
+        # Paper: the main group was "about 90% confident that the system
+        # was in SIL2 or better".
+        confidence = result.group_confidence_in_target()
+        assert 0.75 < confidence < 0.97
+
+    def test_figure5_mean_on_boundary(self, result):
+        # Paper: "the resulting pfd (0.01) is on the 2-1 boundary".
+        assert result.mean_on_boundary()
+        assert 2e-3 < result.group_mean_pfd() < 2e-2
+
+    def test_confidence_exceeds_what_mean_suggests(self, result):
+        # The experiment's point: high confidence in SIL 2 coexists with a
+        # mean at/near the band's bad edge — the asymmetric-distribution
+        # signature.
+        mean = result.group_mean_pfd()
+        confidence = result.group_confidence_in_target()
+        assert confidence > 0.75
+        assert mean > result.case_study.reference_mode  # mean >> mode
+
+    def test_doubters_report_very_high_rates(self, result):
+        rows = result.per_expert_final()
+        doubter_means = [mean for _, is_doubter, _, mean, _ in rows
+                         if is_doubter]
+        main_means = [mean for _, is_doubter, _, mean, _ in rows
+                      if not is_doubter]
+        assert len(doubter_means) == 3
+        assert min(doubter_means) > max(main_means)
+
+    def test_whole_panel_mean_dominated_by_doubters(self, result):
+        assert result.pooled_mean_pfd() > result.group_mean_pfd()
+
+    def test_deterministic_by_seed(self):
+        a = run_panel(seed=99)
+        b = run_panel(seed=99)
+        assert a.group_mean_pfd() == pytest.approx(b.group_mean_pfd())
+        assert a.group_confidence_in_target() == pytest.approx(
+            b.group_confidence_in_target()
+        )
+
+    def test_different_seeds_differ(self):
+        a = run_panel(seed=1)
+        b = run_panel(seed=2)
+        assert a.group_mean_pfd() != pytest.approx(b.group_mean_pfd(),
+                                                   rel=1e-12)
+
+    def test_log_pool_variant_runs(self):
+        result = run_panel(seed=2007, pool="log")
+        assert 0.5 < result.group_confidence_in_target() <= 1.0
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(DomainError):
+            run_panel(pool="harmonic")
+
+    def test_per_expert_rows_complete(self, result):
+        rows = result.per_expert_final()
+        assert len(rows) == 12
+        for name, is_doubter, mode, mean, confidence in rows:
+            assert mode > 0 and mean > 0
+            assert 0.0 <= confidence <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for u-plot prediction calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, FittingError
+from repro.growthmodels import jelinski_moranda as jm
+from repro.growthmodels import prequential_u_values, u_plot
+
+
+class TestUPlot:
+    def test_uniform_values_are_calibrated(self, rng):
+        u = u_plot(rng.uniform(size=400))
+        assert u.is_calibrated()
+        assert u.bias_direction() == "none"
+
+    def test_piled_values_are_miscalibrated(self):
+        u = u_plot(np.full(100, 0.95))
+        assert not u.is_calibrated()
+        assert u.bias_direction() == "optimistic"
+
+    def test_pessimistic_bias(self):
+        u = u_plot(np.full(100, 0.1))
+        assert u.bias_direction() == "pessimistic"
+
+    def test_ks_distance_of_known_sample(self):
+        # A single u-value at 0.5: distance is max(|1-0.5|, |0.5-0|) = 0.5.
+        u = u_plot([0.5])
+        assert u.kolmogorov_distance == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            u_plot([])
+        with pytest.raises(DomainError):
+            u_plot([1.5])
+
+
+class TestPrequentialUValues:
+    def test_jm_predictions_on_jm_data_roughly_calibrated(self, rng):
+        times = jm.simulate_interfailure_times(60, 5e-4, 45, rng)
+
+        def fit_and_predict(prefix):
+            return jm.fit(prefix).next_failure_cdf
+
+        u_values = prequential_u_values(times, fit_and_predict,
+                                        min_history=8)
+        summary = u_plot(u_values)
+        # Self-consistent data: KS distance well inside the gross-failure
+        # zone (one-step-ahead prequential is noisy; we check it is not
+        # wildly off rather than statistically perfect).
+        assert summary.kolmogorov_distance < 0.45
+
+    def test_skips_unfittable_prefixes(self, rng):
+        # Prefixes with no growth raise FittingError inside and are
+        # skipped; enough later prefixes must still fit.
+        early = rng.exponential(10.0, size=6)
+        later = jm.simulate_interfailure_times(20, 1e-2, 14, rng)
+        times = np.concatenate([early, later])
+
+        def fit_and_predict(prefix):
+            return jm.fit(prefix).next_failure_cdf
+
+        u_values = prequential_u_values(times, fit_and_predict,
+                                        min_history=5)
+        assert len(u_values) >= 1
+
+    def test_all_unfittable_raises(self):
+        def always_fails(prefix):
+            raise FittingError("nope")
+
+        with pytest.raises(FittingError):
+            prequential_u_values(np.ones(10), always_fails, min_history=3)
+
+    def test_history_length_validated(self):
+        def fake(prefix):
+            return lambda t: 0.5
+
+        with pytest.raises(DomainError):
+            prequential_u_values(np.ones(5), fake, min_history=5)

@@ -1,0 +1,88 @@
+"""Tests for the Jelinski-Moranda model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, FittingError
+from repro.growthmodels import jelinski_moranda as jm
+
+
+class TestSimulation:
+    def test_times_positive(self, rng):
+        times = jm.simulate_interfailure_times(20, 1e-3, 10, rng)
+        assert len(times) == 10
+        assert np.all(times > 0)
+
+    def test_times_lengthen_on_average(self, rng):
+        # As faults are removed the intensity falls, so later interfailure
+        # times are longer in expectation.
+        samples = np.array([
+            jm.simulate_interfailure_times(10, 1e-2, 10, rng)
+            for _ in range(3000)
+        ])
+        means = samples.mean(axis=0)
+        assert means[-1] > 3 * means[0]
+
+    def test_validation(self, rng):
+        with pytest.raises(DomainError):
+            jm.simulate_interfailure_times(0, 1e-3, 1, rng)
+        with pytest.raises(DomainError):
+            jm.simulate_interfailure_times(5, -1.0, 3, rng)
+        with pytest.raises(DomainError):
+            jm.simulate_interfailure_times(5, 1e-3, 6, rng)
+
+
+class TestLogLikelihood:
+    def test_matches_manual_computation(self):
+        times = np.array([1.0, 2.0, 4.0])
+        n_faults, phi = 5.0, 0.1
+        manual = 0.0
+        for i, t in enumerate(times):
+            rate = phi * (n_faults - i)
+            manual += np.log(rate) - rate * t
+        assert jm.log_likelihood(n_faults, phi, times) == pytest.approx(manual)
+
+    def test_infeasible_parameters(self):
+        times = np.array([1.0, 2.0, 4.0])
+        assert jm.log_likelihood(2.0, 0.1, times) == -np.inf
+        assert jm.log_likelihood(5.0, -0.1, times) == -np.inf
+
+
+class TestFit:
+    def test_recovers_generating_parameters(self, rng):
+        times = jm.simulate_interfailure_times(40, 5e-4, 30, rng)
+        fit = jm.fit(times)
+        assert fit.n_faults == pytest.approx(40, rel=0.5)
+        assert fit.per_fault_rate == pytest.approx(5e-4, rel=0.6)
+
+    def test_mle_beats_neighbours(self, rng):
+        times = jm.simulate_interfailure_times(25, 1e-3, 15, rng)
+        fit = jm.fit(times)
+        for n_alt in (fit.n_faults * 0.8, fit.n_faults * 1.2):
+            alt = jm.log_likelihood(
+                n_alt, fit.per_fault_rate, np.asarray(times)
+            )
+            assert fit.log_likelihood >= alt - 1e-9
+
+    def test_no_growth_detected(self, rng):
+        # i.i.d. exponential times (no improvement) push N to infinity.
+        times = rng.exponential(10.0, size=30)
+        with pytest.raises(FittingError):
+            jm.fit(times)
+
+    def test_prediction_interfaces(self, rng):
+        times = jm.simulate_interfailure_times(30, 1e-3, 20, rng)
+        fit = jm.fit(times)
+        assert fit.residual_faults >= 0
+        assert fit.current_intensity() >= 0
+        assert fit.current_mtbf() > 0
+        assert fit.predicted_intensity_after(5) <= fit.current_intensity()
+        assert 0.0 <= fit.next_failure_cdf(10.0) <= 1.0
+        with pytest.raises(DomainError):
+            fit.predicted_intensity_after(-1)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            jm.fit([1.0, 2.0])
+        with pytest.raises(DomainError):
+            jm.fit([1.0, -2.0, 3.0])

@@ -1,0 +1,78 @@
+"""Tests for the Littlewood-Verrall model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.growthmodels import littlewood_verrall as lv
+
+
+class TestSimulation:
+    def test_times_positive(self, rng):
+        times = lv.simulate_interfailure_times(2.5, 50.0, 20.0, 15, rng)
+        assert len(times) == 15
+        assert np.all(times > 0)
+
+    def test_growth_trend(self, rng):
+        samples = np.array([
+            lv.simulate_interfailure_times(3.0, 10.0, 50.0, 20, rng)
+            for _ in range(2000)
+        ])
+        means = samples.mean(axis=0)
+        assert means[-1] > 2 * means[0]
+
+    def test_validation(self, rng):
+        with pytest.raises(DomainError):
+            lv.simulate_interfailure_times(0.5, 10.0, 1.0, 5, rng)
+        with pytest.raises(DomainError):
+            lv.simulate_interfailure_times(2.0, -1.0, 1.0, 5, rng)
+
+
+class TestLogLikelihood:
+    def test_matches_manual_pareto(self):
+        times = np.array([1.0, 3.0, 2.0, 5.0])
+        alpha, beta0, beta1 = 2.0, 10.0, 1.0
+        manual = 0.0
+        for i, t in enumerate(times, start=1):
+            psi = beta0 + beta1 * i
+            manual += (np.log(alpha) + alpha * np.log(psi)
+                       - (alpha + 1) * np.log(t + psi))
+        assert lv.log_likelihood(alpha, beta0, beta1, times) == \
+            pytest.approx(manual)
+
+    def test_infeasible(self):
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        assert lv.log_likelihood(-1.0, 10.0, 1.0, times) == -np.inf
+        assert lv.log_likelihood(2.0, -100.0, 1.0, times) == -np.inf
+
+
+class TestFit:
+    def test_detects_growth(self, rng):
+        times = lv.simulate_interfailure_times(2.5, 20.0, 80.0, 50, rng)
+        fit = lv.fit(times)
+        assert fit.shows_growth
+        assert fit.n_observed == 50
+
+    def test_predictive_cdf_monotone(self, rng):
+        times = lv.simulate_interfailure_times(2.5, 20.0, 40.0, 30, rng)
+        fit = lv.fit(times)
+        values = [fit.next_failure_cdf(t) for t in (0.0, 10.0, 100.0, 1e5)]
+        assert values[0] == 0.0
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_median_consistent_with_cdf(self, rng):
+        times = lv.simulate_interfailure_times(2.5, 20.0, 40.0, 30, rng)
+        fit = lv.fit(times)
+        median = fit.median_next_time()
+        assert fit.next_failure_cdf(median) == pytest.approx(0.5, abs=1e-9)
+
+    def test_current_intensity_positive(self, rng):
+        times = lv.simulate_interfailure_times(3.0, 30.0, 10.0, 25, rng)
+        fit = lv.fit(times)
+        assert fit.current_intensity() > 0
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            lv.fit([1.0, 2.0, 3.0])
+        with pytest.raises(DomainError):
+            lv.fit([1.0, 0.0, 2.0, 3.0])

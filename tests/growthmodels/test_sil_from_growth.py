@@ -1,0 +1,56 @@
+"""Tests for the growth-model SIL derivation (Section 3's recipe)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.growthmodels import jelinski_moranda as jm
+from repro.growthmodels import judgement_from_history
+
+
+@pytest.fixture
+def history(rng):
+    return jm.simulate_interfailure_times(40, 2e-4, 30, rng)
+
+
+class TestJudgementFromHistory:
+    def test_produces_judgement_around_fitted_intensity(self, history):
+        derived = judgement_from_history(history,
+                                         assumption_margin_decades=0.0)
+        intensity = derived.fit.current_intensity()
+        assert derived.judgement.mode() == pytest.approx(intensity, rel=1e-6)
+
+    def test_margin_worsens_the_mode(self, history):
+        plain = judgement_from_history(history, 0.0)
+        margined = judgement_from_history(history, 1.0)
+        assert margined.judgement.mode() == pytest.approx(
+            10.0 * plain.judgement.mode(), rel=1e-6
+        )
+
+    def test_margin_widens_the_spread(self, history):
+        plain = judgement_from_history(history, 0.0)
+        margined = judgement_from_history(history, 1.0)
+        assert margined.judgement.sigma > plain.judgement.sigma
+
+    def test_miscalibration_widens_the_spread(self, history):
+        derived = judgement_from_history(history, 0.0)
+        # sigma = base + gain * KS + margin term; with margin 0 the
+        # difference from the base is exactly the calibration penalty.
+        assert derived.judgement.sigma > 0.4
+        assert derived.uplot.n_predictions > 0
+
+    def test_claimable_sil_consistent(self, history):
+        derived = judgement_from_history(history, 0.5)
+        level = derived.claimable_sil(0.90)
+        if level is not None:
+            bound = 10.0**-level
+            assert derived.judgement.confidence(bound) >= 0.90
+
+    def test_describe_mentions_fit_and_margin(self, history):
+        text = judgement_from_history(history, 0.5).describe()
+        assert "JM fit" in text
+        assert "margin" in text
+
+    def test_margin_validated(self, history):
+        with pytest.raises(DomainError):
+            judgement_from_history(history, -0.5)

@@ -1,0 +1,166 @@
+"""Every quantitative claim in the paper, verified in one place.
+
+This is the reproduction's regression wall: each test cites the paper
+statement it checks.  The benchmark suite regenerates the full figures;
+these tests pin the headline numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    lognormal_confidence_crossover,
+    required_confidence,
+    required_doubt,
+    worst_case_failure_probability,
+    SinglePointBelief,
+)
+from repro.distributions import (
+    LogNormalJudgement,
+    mean_mode_decades,
+    paper_pdf,
+)
+from repro.experiment import run_panel
+from repro.sil import LOW_DEMAND, classify_by_confidence, classify_by_mean
+from repro.standards import granted_sil
+from repro.update import confidence_growth, worst_case_mtbf
+
+
+class TestSection31LogNormalModel:
+    def test_mean_mode_identity_coefficient(self):
+        """'log10(mean / mode) = 0.65 sigma^2'."""
+        for sigma in (0.5, 1.0, 1.5):
+            dist = LogNormalJudgement.from_mode_sigma(1e-3, sigma)
+            assert np.log10(dist.mean() / dist.mode()) == pytest.approx(
+                0.65 * sigma**2, rel=0.01
+            )
+
+    def test_one_and_two_decade_quotes(self):
+        """'one decade greater than the mode if sigma = 1.2, and two
+        decades greater if sigma = 1.7'."""
+        assert mean_mode_decades(1.2) == pytest.approx(1.0, abs=0.07)
+        assert mean_mode_decades(1.7) == pytest.approx(2.0, abs=0.12)
+
+    def test_figure1_dashed_curve(self):
+        """'The mean of the dashed curve is 0.004, which is quite close to
+        the mode value of 0.003.'"""
+        dist = LogNormalJudgement.from_mean_mode(mean=0.004, mode=0.003)
+        assert classify_by_mean(dist) == 2  # stays in SIL 2
+
+    def test_figure1_solid_curve(self):
+        """'the solid curve has the widest spread and the mean is 0.01
+        putting the mean value in the SIL1 band rather than the SIL2
+        band.'"""
+        dist = LogNormalJudgement.from_mean_mode(mean=0.01, mode=0.003)
+        assert classify_by_mean(dist) == 1
+
+    def test_printed_density_formula(self):
+        """The pdf printed in Section 3.1 is our parameterisation."""
+        lam = np.logspace(-5, -1, 30)
+        ours = LogNormalJudgement.from_mean_mode(0.01, 0.003).pdf(lam)
+        theirs = paper_pdf(lam, np.log(0.01), np.log(0.003))
+        assert np.allclose(ours, theirs, rtol=1e-12)
+
+
+class TestSection32Figure3:
+    def test_67_percent_crossover(self):
+        """'if our confidence falls below about 67% that the system is
+        SIL2 then the mean rate is actually in the SIL1 band' (mode kept
+        at 0.003)."""
+        point = lognormal_confidence_crossover(0.003, LOW_DEMAND.band(2))
+        assert point.confidence == pytest.approx(0.67, abs=0.01)
+
+    def test_above_crossover_mean_stays_sil2(self):
+        dist = LogNormalJudgement.from_mode_confidence(0.003, 1e-2, 0.75)
+        assert classify_by_mean(dist) == 2
+
+    def test_below_crossover_mean_falls_to_sil1(self):
+        dist = LogNormalJudgement.from_mode_confidence(0.003, 1e-2, 0.60)
+        assert classify_by_mean(dist) == 1
+
+
+class TestSection32Figure4:
+    def test_widest_distribution_band_confidences(self):
+        """'the system has about a 67% chance of being in SIL2 or higher
+        and a 99.9% chance of being SIL1 or higher.'"""
+        dist = LogNormalJudgement.from_mean_mode(mean=0.01, mode=0.003)
+        assert dist.confidence(1e-2) == pytest.approx(0.67, abs=0.01)
+        assert dist.confidence(1e-1) == pytest.approx(0.999, abs=0.002)
+
+
+class TestSection33Figure5Experiment:
+    def test_panel_reproduces_headline(self):
+        """'The group were about 90% confident that the system was in
+        SIL2 or better yet the resulting pfd (0.01) is on the 2-1
+        boundary'; 12 experts, 3 doubters with very high failure rates."""
+        result = run_panel(seed=2007)
+        assert result.n_experts == 12
+        assert result.n_doubters == 3
+        assert 0.75 < result.group_confidence_in_target() < 0.97
+        assert result.mean_on_boundary()
+
+
+class TestSection34ConservativeBound:
+    def test_inequality_5(self):
+        """'P(system fails on randomly selected demand) < x + y - xy'."""
+        belief = SinglePointBelief.from_doubt(bound=1e-3, doubt=0.01)
+        assert worst_case_failure_probability(belief) == pytest.approx(
+            0.01 + 1e-3 - 0.01 * 1e-3
+        )
+
+    def test_example_3(self):
+        """'he needs to have an argument sufficiently strong to be able to
+        claim the pfd is smaller than 1e-4 with confidence 99.91%.'"""
+        assert required_confidence(1e-3, 1e-4) == pytest.approx(
+            0.9991, abs=1e-4
+        )
+        assert required_doubt(1e-3, 1e-4) == pytest.approx(0.0009, rel=2e-2)
+
+    def test_stringent_requirement_quote(self):
+        """'Imagine... y = 1e-5. ...the expert would need to believe the
+        pfd is smaller than y* with a confidence greater than 99.999%.'"""
+        for y_star in (1e-6, 1e-7, 5e-6):
+            assert required_confidence(1e-5, y_star) > 0.99999
+
+    def test_perfection_modified_bound(self):
+        """'if the expert believes there is a probability p0 that the
+        system is perfect... the upper bound becomes x + y - (x + p0) y.'"""
+        belief = SinglePointBelief.from_doubt(bound=1e-2, doubt=0.05)
+        assert worst_case_failure_probability(
+            belief, perfection=0.2
+        ) == pytest.approx(0.05 + 1e-2 - (0.05 + 0.2) * 1e-2)
+
+
+class TestSection41ConfidenceBuilding:
+    def test_tests_rapidly_increase_confidence_and_reduce_mean(self):
+        """'Preliminary results indicate that tests rapidly increase
+        confidence and reduce the mean.'"""
+        prior = LogNormalJudgement.from_mean_mode(0.01, 0.003)
+        series = confidence_growth(prior, 1e-2, [0, 300, 3000])
+        assert series[0].confidence < 0.70
+        assert series[1].confidence > 0.90
+        assert series[2].confidence > 0.999
+        assert series[2].mean < series[0].mean / 3
+
+    def test_conservative_mtbf_bound_exists(self):
+        """'It may well be that there is an equivalent to the conservative
+        bound on mtbf [13]' — the bound itself: MTBF >= e t / N."""
+        assert worst_case_mtbf(1, 1000.0) == pytest.approx(np.e * 1000.0)
+
+
+class TestSection43Standards:
+    def test_70_percent_confidence_drops_the_example_a_sil(self):
+        """'If we were to apply the requirements for 70% confidence this
+        would nearly push the mean failure rate of the system into the
+        next SIL in the example in this paper.'"""
+        dist = LogNormalJudgement.from_mean_mode(0.01, 0.003)
+        # At 70% the SIL 2 claim (67%) fails; SIL 1 is granted.
+        assert granted_sil(dist, "part2-7.4.7.9") == 1
+        assert classify_by_confidence(dist, 0.60) == 2
+
+    def test_conservative_approach_needs_99_percent_for_sil2(self):
+        """'If we were to adopt the conservative approach outlined above
+        then we would need at least 99% confidence in SIL2': supporting a
+        random-demand failure probability of 1e-2 via the conservative
+        bound with a one-decade margin needs ~99.1% confidence."""
+        assert required_confidence(1e-2, 1e-3) > 0.99

@@ -1,0 +1,153 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise invariants that span subsystem boundaries — the places
+unit tests tend to miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SinglePointBelief,
+    required_doubt,
+    worst_case_distribution,
+    worst_case_failure_probability,
+)
+from repro.distributions import (
+    BetaJudgement,
+    GammaJudgement,
+    LogNormalJudgement,
+    MixtureJudgement,
+    TruncatedJudgement,
+    with_perfection,
+)
+from repro.elicitation import linear_pool
+from repro.sil import LOW_DEMAND, classify_by_confidence
+from repro.update import DemandEvidence, survival_update
+
+_modes = st.floats(min_value=1e-6, max_value=5e-2)
+_sigmas = st.floats(min_value=0.1, max_value=1.8)
+_bounds = st.floats(min_value=1e-5, max_value=0.5)
+
+
+class TestWorstCaseDominance:
+    @settings(max_examples=40, deadline=None)
+    @given(mode=_modes, sigma=_sigmas, bound=_bounds)
+    def test_any_lognormal_mean_below_its_own_worst_case(
+        self, mode, sigma, bound
+    ):
+        """E[pfd] <= x + y - xy with (x, y) read off the distribution."""
+        dist = TruncatedJudgement(
+            LogNormalJudgement.from_mode_sigma(mode, sigma), upper=1.0
+        )
+        belief = SinglePointBelief.of(dist, bound)
+        assert dist.mean() <= worst_case_failure_probability(belief) + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.floats(min_value=0.5, max_value=5.0),
+        b=st.floats(min_value=1.0, max_value=200.0),
+        bound=_bounds,
+    )
+    def test_any_beta_mean_below_its_own_worst_case(self, a, b, bound):
+        dist = BetaJudgement(a, b)
+        belief = SinglePointBelief.of(dist, bound)
+        assert dist.mean() <= worst_case_failure_probability(belief) + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        claim=st.floats(min_value=1e-5, max_value=1e-1),
+        margin=st.floats(min_value=0.1, max_value=3.0),
+    )
+    def test_required_doubt_balances_exactly(self, claim, margin):
+        belief_bound = claim * 10.0**-margin
+        x = required_doubt(claim, belief_bound)
+        assert x + belief_bound - x * belief_bound == pytest.approx(
+            claim, rel=1e-9
+        )
+        # And the attaining distribution really attains it.
+        dist = worst_case_distribution(
+            SinglePointBelief.from_doubt(belief_bound, x)
+        )
+        assert dist.mean() == pytest.approx(claim, rel=1e-9)
+
+
+class TestUpdateMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mode=st.floats(min_value=1e-4, max_value=1e-2),
+        sigma=st.floats(min_value=0.4, max_value=1.2),
+        demands=st.integers(min_value=1, max_value=5000),
+    )
+    def test_failure_free_evidence_never_hurts(self, mode, sigma, demands):
+        prior = LogNormalJudgement.from_mode_sigma(mode, sigma)
+        posterior = survival_update(prior, DemandEvidence(demands=demands))
+        assert posterior.mean() <= prior.mean() + 1e-12
+        for bound in (1e-3, 1e-2, 1e-1):
+            assert posterior.confidence(bound) >= \
+                prior.confidence(bound) - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mode=st.floats(min_value=1e-4, max_value=1e-2),
+        sigma=st.floats(min_value=0.4, max_value=1.2),
+        demands=st.integers(min_value=1, max_value=2000),
+    )
+    def test_granted_sil_never_degrades_with_clean_evidence(
+        self, mode, sigma, demands
+    ):
+        prior = LogNormalJudgement.from_mode_sigma(mode, sigma)
+        posterior = survival_update(prior, DemandEvidence(demands=demands))
+        before = classify_by_confidence(prior, 0.70, LOW_DEMAND)
+        after = classify_by_confidence(posterior, 0.70, LOW_DEMAND)
+        assert (after or 0) >= (before or 0)
+
+
+class TestPoolingInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mode_a=_modes, mode_b=_modes,
+        sigma=st.floats(min_value=0.3, max_value=1.2),
+        weight=st.floats(min_value=0.05, max_value=0.95),
+        bound=_bounds,
+    )
+    def test_pooled_confidence_between_members(
+        self, mode_a, mode_b, sigma, weight, bound
+    ):
+        a = LogNormalJudgement.from_mode_sigma(mode_a, sigma)
+        b = LogNormalJudgement.from_mode_sigma(mode_b, sigma)
+        pooled = linear_pool([a, b], [weight, 1.0 - weight])
+        confidences = sorted([a.confidence(bound), b.confidence(bound)])
+        assert confidences[0] - 1e-12 <= pooled.confidence(bound) \
+            <= confidences[1] + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mode=_modes,
+        sigma=st.floats(min_value=0.3, max_value=1.2),
+        perfection=st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_perfection_mass_always_helps(self, mode, sigma, perfection):
+        base = LogNormalJudgement.from_mode_sigma(mode, sigma)
+        belief = with_perfection(perfection, base)
+        assert belief.mean() <= base.mean() + 1e-15
+        for bound in (1e-4, 1e-2):
+            assert belief.confidence(bound) >= base.confidence(bound) - 1e-12
+
+
+class TestFamilyAgnosticShape:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mean=st.floats(min_value=2e-3, max_value=5e-2),
+    )
+    def test_mean_above_mode_for_both_families(self, mean):
+        mode = mean / 3.0
+        for dist in (
+            LogNormalJudgement.from_mean_mode(mean, mode),
+            GammaJudgement.from_mean_mode(mean, mode),
+        ):
+            assert dist.mean() == pytest.approx(mean, rel=1e-6)
+            assert dist.mode() == pytest.approx(mode, rel=1e-6)
+            assert dist.mode() < dist.median() < dist.mean()

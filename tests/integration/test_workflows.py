@@ -1,0 +1,120 @@
+"""End-to-end workflow tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.arguments import ArgumentLeg, two_leg_graph, two_leg_posterior
+from repro.core import (
+    AcarpTarget,
+    DependabilityCase,
+    SilClaim,
+)
+from repro.core.case import AssumptionRecord, EvidenceRecord
+from repro.distributions import (
+    LogNormalJudgement,
+    QuantileConstraint,
+    fit_lognormal,
+)
+from repro.elicitation import linear_pool
+from repro.experiment import public_domain_case_study, run_panel
+from repro.risk import AlarpThresholds, RiskModel, combined_verdict, plan_assurance
+from repro.sil import ArgumentRigour, assess, claimable_level
+from repro.standards import recommended_policy
+from repro.update import DemandEvidence, survival_update
+
+
+class TestElicitToCaseWorkflow:
+    """Elicit quantiles -> fit -> assemble case -> evaluate target."""
+
+    def test_full_pipeline(self):
+        constraints = [
+            QuantileConstraint(0.50, 3e-3),
+            QuantileConstraint(0.90, 2e-2),
+        ]
+        judgement = fit_lognormal(constraints)
+        case = DependabilityCase(
+            system="demo",
+            claim=SilClaim(level=2),
+            judgement=judgement,
+            evidence=[EvidenceRecord("tests", "testing")],
+            assumptions=[AssumptionRecord("profile ok", 0.97)],
+        )
+        verdict = case.against_target(0.90)
+        assert not verdict.meets_target
+        # Close the gap with statistical testing and re-evaluate.
+        plan = plan_assurance(judgement,
+                              AcarpTarget(case.claim_bound, 0.90))
+        assert plan.tests_needed is not None
+        improved = survival_update(
+            judgement, DemandEvidence(demands=plan.tests_needed)
+        )
+        better_case = DependabilityCase(
+            system="demo", claim=SilClaim(level=2), judgement=improved,
+            evidence=case.evidence, assumptions=case.assumptions,
+        )
+        assert better_case.confidence() >= 0.90
+
+    def test_assessment_and_policy_agree(self):
+        judgement = LogNormalJudgement.from_mode_sigma(3e-4, 0.7)
+        report = assess(judgement, required_confidence=0.90)
+        policy = recommended_policy(
+            ArgumentRigour.QUANTITATIVE_CONSERVATIVE, 0.90
+        )
+        assert claimable_level(judgement, policy) == report.granted_level
+
+
+class TestPanelToStandardsWorkflow:
+    """Panel simulation -> pooled judgement -> standards clauses -> risk."""
+
+    def test_full_pipeline(self):
+        case_study = public_domain_case_study()
+        result = run_panel(case_study, seed=2007)
+        pooled = result.pooled_main_group
+
+        # The pooled judgement supports SIL 2 at ~87% but not at 95%.
+        report = assess(pooled, required_confidence=0.95)
+        assert report.granted_level <= 2
+
+        # Risk model on the pooled belief.
+        model = RiskModel(pooled, case_study.demands_per_year,
+                          cost_per_failure=1.0)
+        assert model.expected_annual_failures() == pytest.approx(
+            pooled.mean() * case_study.demands_per_year
+        )
+
+        # ALARP/ACARP combined verdict at the SIL 2 bound.
+        verdict = combined_verdict(
+            pooled,
+            AlarpThresholds(intolerable_above=1e-1, acceptable_below=1e-3),
+            required_confidence=0.90,
+        )
+        assert verdict.confidence_not_unacceptable > 0.95
+
+
+class TestArgumentToCaseWorkflow:
+    """Two-leg argument -> posterior claim confidence -> structured graph."""
+
+    def test_full_pipeline(self):
+        testing = ArgumentLeg("statistical testing", 0.92, 0.95, 0.9)
+        analysis = ArgumentLeg("static analysis", 0.88, 0.9, 0.85)
+        result = two_leg_posterior(0.6, testing, analysis, dependence=0.3)
+        assert result.both_legs > result.single_leg
+
+        graph = two_leg_graph(
+            "pfd < 1e-3 for the protection function",
+            1e-3, testing, analysis,
+        )
+        graph.validate()
+        assumptions = graph.assumptions_in_scope("G1")
+        assert {a.probability_true for a in assumptions} == {0.92, 0.88}
+
+
+class TestPoolingConsistency:
+    def test_pooled_panel_confidence_between_extremes(self):
+        result = run_panel(seed=2007)
+        finals = [j.judgement for j in result.panel.main_group(4)]
+        pooled = linear_pool(finals)
+        confidences = [d.confidence(1e-2) for d in finals]
+        pooled_confidence = pooled.confidence(1e-2)
+        assert min(confidences) - 1e-9 <= pooled_confidence <= \
+            max(confidences) + 1e-9

@@ -1,0 +1,90 @@
+"""Tests for evaluation grids."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.numerics import (
+    band_refined_grid,
+    linear_grid,
+    log_grid,
+    merge_grids,
+    midpoints,
+)
+
+
+class TestLogGrid:
+    def test_endpoints_included(self):
+        grid = log_grid(1e-6, 1e-2)
+        assert grid[0] == pytest.approx(1e-6)
+        assert grid[-1] == pytest.approx(1e-2)
+
+    def test_strictly_increasing(self):
+        grid = log_grid(1e-8, 1.0)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_density_scales_with_decades(self):
+        four_decades = log_grid(1e-5, 1e-1, points_per_decade=50)
+        two_decades = log_grid(1e-3, 1e-1, points_per_decade=50)
+        assert len(four_decades) > len(two_decades)
+
+    def test_log_spacing_is_uniform(self):
+        grid = log_grid(1e-4, 1e-1, points_per_decade=10)
+        log_steps = np.diff(np.log10(grid))
+        assert np.allclose(log_steps, log_steps[0])
+
+    @pytest.mark.parametrize("low,high", [(0.0, 1.0), (-1.0, 1.0), (1e-3, 1e-3),
+                                          (1e-2, 1e-3)])
+    def test_invalid_endpoints_rejected(self, low, high):
+        with pytest.raises(DomainError):
+            log_grid(low, high)
+
+    def test_too_sparse_rejected(self):
+        with pytest.raises(DomainError):
+            log_grid(1e-3, 1e-1, points_per_decade=1)
+
+
+class TestLinearGrid:
+    def test_shape_and_endpoints(self):
+        grid = linear_grid(0.0, 1.0, 11)
+        assert len(grid) == 11
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(DomainError):
+            linear_grid(1.0, 0.0)
+        with pytest.raises(DomainError):
+            linear_grid(0.0, 1.0, n=1)
+
+
+class TestBandRefinedGrid:
+    def test_contains_boundaries_exactly(self):
+        grid = band_refined_grid(1e-5, 1e-1, boundaries=[1e-3, 1e-2])
+        assert 1e-3 in grid
+        assert 1e-2 in grid
+
+    def test_denser_near_boundary(self):
+        grid = band_refined_grid(1e-5, 1e-1, boundaries=[1e-3])
+        near = grid[(grid > 8e-4) & (grid < 1.2e-3)]
+        far = grid[(grid > 8e-5) & (grid < 1.2e-4)]
+        assert len(near) > len(far)
+
+    def test_out_of_range_boundaries_ignored(self):
+        base = band_refined_grid(1e-4, 1e-2, boundaries=[])
+        same = band_refined_grid(1e-4, 1e-2, boundaries=[1e-9, 1.0])
+        assert np.array_equal(base, same)
+
+
+class TestMergeAndMidpoints:
+    def test_merge_deduplicates_and_sorts(self):
+        merged = merge_grids([np.array([3.0, 1.0]), np.array([2.0, 3.0])])
+        assert np.array_equal(merged, [1.0, 2.0, 3.0])
+
+    def test_merge_rejects_degenerate(self):
+        with pytest.raises(DomainError):
+            merge_grids([np.array([1.0]), np.array([1.0])])
+
+    def test_midpoints(self):
+        mids = midpoints(np.array([0.0, 1.0, 3.0]))
+        assert np.allclose(mids, [0.5, 2.0])

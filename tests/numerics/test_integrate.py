@@ -1,0 +1,99 @@
+"""Tests for quadrature helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.numerics import (
+    adaptive_quad,
+    cumulative_trapezoid,
+    expectation_on_grid,
+    linear_grid,
+    log_grid,
+    normalise_density,
+    simpson,
+    trapezoid,
+)
+
+
+class TestTrapezoid:
+    def test_constant_function(self):
+        grid = linear_grid(0.0, 2.0, 101)
+        assert trapezoid(np.ones_like(grid), grid) == pytest.approx(2.0)
+
+    def test_linear_function_exact(self):
+        grid = linear_grid(0.0, 1.0, 11)
+        assert trapezoid(grid, grid) == pytest.approx(0.5)
+
+    def test_quadratic_converges(self):
+        grid = linear_grid(0.0, 1.0, 10001)
+        assert trapezoid(grid**2, grid) == pytest.approx(1.0 / 3.0, rel=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DomainError):
+            trapezoid(np.ones(3), np.ones(4))
+
+
+class TestCumulativeTrapezoid:
+    def test_starts_at_zero_and_matches_total(self):
+        grid = linear_grid(0.0, 1.0, 501)
+        values = np.exp(grid)
+        running = cumulative_trapezoid(values, grid)
+        assert running[0] == 0.0
+        assert running[-1] == pytest.approx(trapezoid(values, grid))
+
+    def test_monotone_for_nonnegative_integrand(self):
+        grid = log_grid(1e-4, 1.0, 50)
+        running = cumulative_trapezoid(1.0 / grid, grid)
+        assert np.all(np.diff(running) >= 0)
+
+
+class TestSimpson:
+    def test_cubic_exact(self):
+        grid = linear_grid(0.0, 1.0, 101)
+        assert simpson(grid**3, grid) == pytest.approx(0.25, rel=1e-8)
+
+    def test_beats_trapezoid_on_smooth_curvature(self):
+        grid = linear_grid(0.0, np.pi, 21)
+        exact = 2.0
+        assert abs(simpson(np.sin(grid), grid) - exact) < abs(
+            trapezoid(np.sin(grid), grid) - exact
+        )
+
+
+class TestAdaptiveQuad:
+    def test_gaussian_integral(self):
+        value = adaptive_quad(
+            lambda x: np.exp(-x * x / 2) / np.sqrt(2 * np.pi), -8.0, 8.0
+        )
+        assert value == pytest.approx(1.0, rel=1e-9)
+
+    def test_honours_break_points(self):
+        # A kinked integrand: |x - 0.3| on [0, 1] = 0.3^2/2 + 0.7^2/2.
+        value = adaptive_quad(
+            lambda x: abs(x - 0.3), 0.0, 1.0, points=np.array([0.3])
+        )
+        assert value == pytest.approx(0.29, rel=1e-9)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(DomainError):
+            adaptive_quad(lambda x: x, 1.0, 0.0)
+
+
+class TestExpectationAndNormalise:
+    def test_expectation_uniform(self):
+        grid = linear_grid(0.0, 1.0, 2001)
+        mean = expectation_on_grid(
+            lambda x: x, lambda x: np.ones_like(x), grid
+        )
+        assert mean == pytest.approx(0.5, rel=1e-6)
+
+    def test_normalise_density(self):
+        grid = linear_grid(0.0, 1.0, 101)
+        density = normalise_density(np.full_like(grid, 7.0), grid)
+        assert trapezoid(density, grid) == pytest.approx(1.0)
+
+    def test_normalise_rejects_zero_mass(self):
+        grid = linear_grid(0.0, 1.0, 11)
+        with pytest.raises(DomainError):
+            normalise_density(np.zeros_like(grid), grid)

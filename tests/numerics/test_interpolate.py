@@ -1,0 +1,69 @@
+"""Tests for monotone interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, InconsistentBeliefError
+from repro.numerics import MonotoneInterpolant, inverse_cdf_from_grid
+
+
+class TestMonotoneInterpolant:
+    def test_forward_interpolation(self):
+        interp = MonotoneInterpolant(np.array([0.0, 1.0, 2.0]),
+                                     np.array([0.0, 0.5, 1.0]))
+        assert interp(0.5) == pytest.approx(0.25)
+        assert interp(1.5) == pytest.approx(0.75)
+
+    def test_forward_clamps_outside_range(self):
+        interp = MonotoneInterpolant(np.array([0.0, 1.0]), np.array([0.2, 0.8]))
+        assert interp(-5.0) == pytest.approx(0.2)
+        assert interp(5.0) == pytest.approx(0.8)
+
+    def test_inverse_roundtrip(self):
+        x = np.linspace(0.0, 3.0, 50)
+        y = 1.0 - np.exp(-x)
+        interp = MonotoneInterpolant(x, y)
+        for target in (0.1, 0.5, 0.9):
+            recovered = interp.inverse(target)
+            assert interp(recovered) == pytest.approx(target, abs=1e-9)
+
+    def test_inverse_of_flat_segment_is_left_edge(self):
+        interp = MonotoneInterpolant(
+            np.array([0.0, 1.0, 2.0, 3.0]), np.array([0.0, 0.5, 0.5, 1.0])
+        )
+        assert interp.inverse(0.5) == pytest.approx(1.0)
+
+    def test_inverse_clamps_at_range_ends(self):
+        interp = MonotoneInterpolant(np.array([1.0, 2.0]), np.array([0.3, 0.7]))
+        assert interp.inverse(0.0) == 1.0
+        assert interp.inverse(1.0) == 2.0
+
+    def test_vector_inverse(self):
+        interp = MonotoneInterpolant(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        out = interp.inverse(np.array([0.25, 0.75]))
+        assert np.allclose(out, [0.25, 0.75])
+
+    def test_decreasing_y_rejected(self):
+        with pytest.raises(InconsistentBeliefError):
+            MonotoneInterpolant(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+
+    def test_non_increasing_x_rejected(self):
+        with pytest.raises(DomainError):
+            MonotoneInterpolant(np.array([1.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(DomainError):
+            MonotoneInterpolant(np.array([1.0]), np.array([0.0]))
+
+
+class TestInverseCdfFromGrid:
+    def test_quantiles_of_uniform_cdf(self):
+        grid = np.linspace(0.0, 1.0, 101)
+        ppf = inverse_cdf_from_grid(grid, grid)
+        assert ppf(0.3) == pytest.approx(0.3, abs=1e-9)
+
+    def test_rejects_out_of_range_levels(self):
+        grid = np.linspace(0.0, 1.0, 11)
+        ppf = inverse_cdf_from_grid(grid, grid)
+        with pytest.raises(DomainError):
+            ppf(1.5)

@@ -1,0 +1,69 @@
+"""Tests for root finding and monotone inversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.numerics import bisect, bracket_monotone, brentq, invert_monotone
+
+
+class TestBisect:
+    def test_finds_simple_root(self):
+        root = bisect(lambda x: x * x - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(np.sqrt(2.0), rel=1e-10)
+
+    def test_endpoint_root_returned_immediately(self):
+        assert bisect(lambda x: x, 0.0, 1.0) == 0.0
+        assert bisect(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_no_sign_change_rejected(self):
+        with pytest.raises(DomainError):
+            bisect(lambda x: x * x + 1.0, -1.0, 1.0)
+
+
+class TestBrentq:
+    def test_matches_known_root(self):
+        root = brentq(lambda x: np.cos(x), 0.0, 3.0)
+        assert root == pytest.approx(np.pi / 2.0, rel=1e-10)
+
+    def test_bad_bracket_raises_domain_error(self):
+        with pytest.raises(DomainError):
+            brentq(lambda x: x + 5.0, 0.0, 1.0)
+
+
+class TestBracketMonotone:
+    def test_expands_to_bracket_increasing(self):
+        low, high = bracket_monotone(np.log, target=3.0, start=1.0,
+                                     increasing=True)
+        assert np.log(low) <= 3.0 <= np.log(high)
+
+    def test_expands_to_bracket_decreasing(self):
+        low, high = bracket_monotone(
+            lambda x: 1.0 / x, target=0.01, start=1.0, increasing=False
+        )
+        assert 1.0 / high <= 0.01 <= 1.0 / low
+
+    def test_requires_positive_start(self):
+        with pytest.raises(DomainError):
+            bracket_monotone(np.log, 1.0, start=0.0, increasing=True)
+
+
+class TestInvertMonotone:
+    def test_increasing(self):
+        x = invert_monotone(lambda v: v**3, target=8.0, low=0.0, high=3.0)
+        assert x == pytest.approx(2.0, rel=1e-9)
+
+    def test_decreasing(self):
+        x = invert_monotone(
+            lambda v: np.exp(-v), target=0.5, low=0.0, high=10.0,
+            increasing=False,
+        )
+        assert x == pytest.approx(np.log(2.0), rel=1e-9)
+
+    def test_clamps_at_endpoints(self):
+        assert invert_monotone(lambda v: v, 0.0, 0.0, 1.0) == 0.0
+        assert invert_monotone(lambda v: v, 1.0, 0.0, 1.0) == 1.0
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(DomainError):
+            invert_monotone(lambda v: v, target=2.0, low=0.0, high=1.0)

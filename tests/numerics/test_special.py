@@ -1,0 +1,64 @@
+"""Tests for special functions and log conversions."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import DomainError
+from repro.numerics import (
+    LN10,
+    gammainc_lower,
+    gammaincinv_lower,
+    ln_to_log10,
+    log10_to_ln,
+    norm_cdf,
+    norm_pdf,
+    norm_ppf,
+)
+
+
+class TestNormalFunctions:
+    def test_pdf_matches_scipy(self):
+        z = np.linspace(-4, 4, 17)
+        assert np.allclose(norm_pdf(z), stats.norm.pdf(z))
+
+    def test_cdf_matches_scipy(self):
+        z = np.linspace(-6, 6, 25)
+        assert np.allclose(norm_cdf(z), stats.norm.cdf(z))
+
+    def test_cdf_tail_accuracy(self):
+        # erfc-based CDF stays accurate deep in the left tail.
+        assert norm_cdf(-8.0) == pytest.approx(stats.norm.cdf(-8.0), rel=1e-10)
+
+    def test_ppf_inverts_cdf(self):
+        for q in (0.001, 0.5, 0.999):
+            assert norm_cdf(norm_ppf(q)) == pytest.approx(q, abs=1e-12)
+
+    def test_ppf_rejects_boundary(self):
+        with pytest.raises(DomainError):
+            norm_ppf(0.0)
+        with pytest.raises(DomainError):
+            norm_ppf(1.0)
+
+
+class TestGammaFunctions:
+    def test_gammainc_matches_scipy_gamma_cdf(self):
+        shape, x = 2.5, 1.7
+        assert gammainc_lower(shape, x) == pytest.approx(
+            stats.gamma.cdf(x, shape)
+        )
+
+    def test_gammaincinv_inverts(self):
+        shape = 3.2
+        for q in (0.05, 0.5, 0.95):
+            x = gammaincinv_lower(shape, q)
+            assert gammainc_lower(shape, x) == pytest.approx(q, abs=1e-12)
+
+
+class TestLogConversions:
+    def test_round_trip(self):
+        assert ln_to_log10(log10_to_ln(2.5)) == pytest.approx(2.5)
+
+    def test_known_value(self):
+        assert log10_to_ln(1.0) == pytest.approx(LN10)
+        assert ln_to_log10(np.log(100.0)) == pytest.approx(2.0)

@@ -1,0 +1,67 @@
+"""Tests for ALARP regions and the combined ALARP/ACARP verdict."""
+
+import pytest
+
+from repro.distributions import LogNormalJudgement
+from repro.errors import DomainError
+from repro.risk import (
+    AlarpThresholds,
+    RiskRegion,
+    classify,
+    combined_verdict,
+)
+
+
+@pytest.fixture
+def thresholds():
+    return AlarpThresholds(intolerable_above=1e-2, acceptable_below=1e-4)
+
+
+class TestClassify:
+    def test_regions(self, thresholds):
+        assert classify(0.5, thresholds) is RiskRegion.UNACCEPTABLE
+        assert classify(1e-2, thresholds) is RiskRegion.UNACCEPTABLE
+        assert classify(1e-3, thresholds) is RiskRegion.TOLERABLE
+        assert classify(1e-5, thresholds) is RiskRegion.BROADLY_ACCEPTABLE
+
+    def test_validation(self, thresholds):
+        with pytest.raises(DomainError):
+            classify(-0.1, thresholds)
+        with pytest.raises(DomainError):
+            AlarpThresholds(intolerable_above=1e-4, acceptable_below=1e-2)
+
+
+class TestCombinedVerdict:
+    def test_mean_in_tolerable_region(self, paper_judgement, thresholds):
+        verdict = combined_verdict(paper_judgement, thresholds,
+                                   required_confidence=0.90)
+        # Mean 0.01 sits exactly at the intolerable threshold.
+        assert verdict.region_by_mean is RiskRegion.UNACCEPTABLE
+
+    def test_confidence_fields_consistent(self, paper_judgement, thresholds):
+        verdict = combined_verdict(paper_judgement, thresholds)
+        assert verdict.confidence_not_unacceptable == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+        assert verdict.confidence_broadly_acceptable == pytest.approx(
+            paper_judgement.confidence(1e-4)
+        )
+
+    def test_acarp_requirement_bites(self, paper_judgement, thresholds):
+        lax = combined_verdict(paper_judgement, thresholds,
+                               required_confidence=0.60)
+        strict = combined_verdict(paper_judgement, thresholds,
+                                  required_confidence=0.95)
+        assert lax.acarp_met
+        assert not strict.acarp_met
+
+    def test_good_system_clean_verdict(self, thresholds):
+        tight = LogNormalJudgement.from_mode_sigma(1e-5, 0.3)
+        verdict = combined_verdict(tight, thresholds,
+                                   required_confidence=0.95)
+        assert verdict.region_by_mean is RiskRegion.BROADLY_ACCEPTABLE
+        assert verdict.acarp_met
+
+    def test_describe(self, paper_judgement, thresholds):
+        text = combined_verdict(paper_judgement, thresholds).describe()
+        assert "region" in text and "ACARP" in text

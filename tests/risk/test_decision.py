@@ -1,0 +1,76 @@
+"""Tests for assurance planning (pricing the ACARP gap)."""
+
+import pytest
+
+from repro.core import AcarpTarget
+from repro.distributions import LogNormalJudgement
+from repro.errors import DomainError
+from repro.risk import plan_assurance
+from repro.risk import tests_to_reach_confidence as demands_to_reach_confidence
+from repro.update import DemandEvidence, survival_update
+
+
+class TestTestsToReachConfidence:
+    def test_zero_when_already_met(self, paper_judgement):
+        target = AcarpTarget(1e-1, required_confidence=0.95)
+        assert demands_to_reach_confidence(paper_judgement, target) == 0
+
+    def test_finds_minimal_count(self, paper_judgement):
+        target = AcarpTarget(1e-2, required_confidence=0.95)
+        n = demands_to_reach_confidence(paper_judgement, target)
+        assert n is not None and n > 0
+        achieved = survival_update(
+            paper_judgement, DemandEvidence(demands=n)
+        ).confidence(1e-2)
+        just_below = survival_update(
+            paper_judgement, DemandEvidence(demands=n - 1)
+        ).confidence(1e-2)
+        assert achieved >= 0.95
+        assert just_below < 0.95
+
+    def test_monotone_in_required_confidence(self, paper_judgement):
+        n_low = demands_to_reach_confidence(
+            paper_judgement, AcarpTarget(1e-2, 0.90)
+        )
+        n_high = demands_to_reach_confidence(
+            paper_judgement, AcarpTarget(1e-2, 0.99)
+        )
+        assert n_low < n_high
+
+    def test_unreachable_within_budget(self, paper_judgement):
+        target = AcarpTarget(1e-2, required_confidence=0.999999)
+        assert demands_to_reach_confidence(
+            paper_judgement, target, max_tests=100
+        ) is None
+
+
+class TestPlanAssurance:
+    def test_costed_plan(self, paper_judgement):
+        target = AcarpTarget(1e-2, required_confidence=0.95)
+        plan = plan_assurance(paper_judgement, target, cost_per_test=100.0)
+        assert plan.tests_needed is not None
+        assert plan.total_cost == pytest.approx(plan.tests_needed * 100.0)
+        assert plan.achieved_confidence >= 0.95
+
+    def test_gross_disproportion_check(self, paper_judgement):
+        target = AcarpTarget(1e-2, required_confidence=0.95)
+        cheap = plan_assurance(paper_judgement, target, cost_per_test=1.0,
+                               benefit_of_meeting_target=1e6)
+        exorbitant = plan_assurance(paper_judgement, target,
+                                    cost_per_test=1e6,
+                                    benefit_of_meeting_target=100.0)
+        assert cheap.reasonably_practicable is True
+        assert exorbitant.reasonably_practicable is False
+
+    def test_describe_unreachable(self, paper_judgement):
+        target = AcarpTarget(1e-2, required_confidence=0.999999)
+        plan = plan_assurance(paper_judgement, target, max_tests=100)
+        assert "unreachable" in plan.describe()
+
+    def test_validation(self, paper_judgement):
+        target = AcarpTarget(1e-2, 0.95)
+        with pytest.raises(DomainError):
+            plan_assurance(paper_judgement, target, cost_per_test=-1.0)
+        with pytest.raises(DomainError):
+            plan_assurance(paper_judgement, target,
+                           benefit_of_meeting_target=-5.0)

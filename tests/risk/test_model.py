@@ -1,0 +1,68 @@
+"""Tests for demand-mode risk models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.risk import RiskModel
+
+
+class TestRiskModel:
+    def test_expected_annual_failures(self, paper_judgement):
+        model = RiskModel(paper_judgement, demands_per_year=2.0)
+        assert model.expected_annual_failures() == pytest.approx(
+            2.0 * paper_judgement.mean()
+        )
+
+    def test_expected_annual_cost(self, paper_judgement):
+        model = RiskModel(paper_judgement, 2.0, cost_per_failure=1e6)
+        assert model.expected_annual_cost() == pytest.approx(
+            2e6 * paper_judgement.mean()
+        )
+
+    def test_optimism_factor_for_skewed_judgement(self, paper_judgement):
+        # Mode-based risk understates expected risk by mean/mode ~ 3.3x.
+        model = RiskModel(paper_judgement, 2.0)
+        summary = model.summary()
+        assert summary.optimism_factor == pytest.approx(
+            paper_judgement.mean() / paper_judgement.mode(), rel=1e-6
+        )
+        assert summary.optimism_factor > 3.0
+
+    def test_quantiles_scale_with_rate(self, paper_judgement):
+        model = RiskModel(paper_judgement, demands_per_year=4.0)
+        assert model.annual_failures_quantile(0.95) == pytest.approx(
+            4.0 * float(paper_judgement.ppf(0.95))
+        )
+
+    def test_probability_of_any_failure_bounds(self, paper_judgement):
+        model = RiskModel(paper_judgement, demands_per_year=2.0)
+        p1 = model.probability_of_any_failure(years=1.0)
+        p10 = model.probability_of_any_failure(years=10.0)
+        assert 0.0 < p1 < p10 < 1.0
+
+    def test_probability_of_any_failure_under_union_bound(
+        self, paper_judgement
+    ):
+        model = RiskModel(paper_judgement, demands_per_year=2.0)
+        assert model.probability_of_any_failure(1.0) <= \
+            model.expected_annual_failures() + 1e-9
+
+    def test_sampled_cost_matches_expectation(self, paper_judgement, rng):
+        model = RiskModel(paper_judgement, demands_per_year=50.0,
+                          cost_per_failure=10.0)
+        costs = model.sampled_annual_cost(rng, n_samples=200_000)
+        assert costs.mean() == pytest.approx(
+            model.expected_annual_cost(), rel=0.05
+        )
+
+    def test_validation(self, paper_judgement):
+        with pytest.raises(DomainError):
+            RiskModel(paper_judgement, demands_per_year=0.0)
+        with pytest.raises(DomainError):
+            RiskModel(paper_judgement, 1.0, cost_per_failure=-1.0)
+        model = RiskModel(paper_judgement, 1.0)
+        with pytest.raises(DomainError):
+            model.annual_failures_quantile(0.0)
+        with pytest.raises(DomainError):
+            model.probability_of_any_failure(years=0.0)

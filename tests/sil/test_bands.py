@@ -1,0 +1,115 @@
+"""Tests for SIL bands and band schemes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.sil import (
+    HIGH_DEMAND,
+    LOW_DEMAND,
+    BandScheme,
+    SilBand,
+    high_demand_band,
+    low_demand_band,
+)
+
+
+class TestSilBand:
+    def test_low_demand_table_matches_standard(self):
+        # IEC 61508: SIL n has average pfd in [1e-(n+1), 1e-n).
+        for n in (1, 2, 3, 4):
+            band = low_demand_band(n)
+            assert band.lower == pytest.approx(10.0 ** -(n + 1))
+            assert band.upper == pytest.approx(10.0**-n)
+
+    def test_high_demand_table_shifted_four_decades(self):
+        for n in (1, 2, 3, 4):
+            band = high_demand_band(n)
+            assert band.upper == pytest.approx(10.0 ** -(n + 4))
+
+    def test_contains_is_half_open(self):
+        band = low_demand_band(2)
+        assert band.contains(1e-3)
+        assert band.contains(9.99e-3)
+        assert not band.contains(1e-2)
+
+    def test_geometric_midpoint_is_papers_0003(self):
+        # The paper calls 0.003 "the middle of SIL2": 10^-2.5 = 0.00316.
+        assert low_demand_band(2).geometric_midpoint() == pytest.approx(
+            0.00316, abs=1e-4
+        )
+
+    def test_membership_probability(self, paper_judgement):
+        band = low_demand_band(2)
+        expected = float(
+            paper_judgement.cdf(1e-2) - paper_judgement.cdf(1e-3)
+        )
+        assert band.membership_probability(paper_judgement) == pytest.approx(
+            expected
+        )
+
+    def test_confidence_better_is_cdf_at_upper(self, paper_judgement):
+        band = low_demand_band(2)
+        assert band.confidence_better(paper_judgement) == pytest.approx(
+            float(paper_judgement.cdf(1e-2))
+        )
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(DomainError):
+            SilBand(level=1, lower=1e-2, upper=1e-3)
+
+
+class TestBandScheme:
+    def test_levels_sorted(self):
+        assert LOW_DEMAND.levels == [1, 2, 3, 4]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(DomainError):
+            LOW_DEMAND.band(7)
+
+    def test_band_of(self):
+        assert LOW_DEMAND.band_of(3e-3).level == 2
+        assert LOW_DEMAND.band_of(0.5) is None
+
+    def test_level_of_saturates_above_best(self):
+        # A pfd better than SIL 4's lower bound still earns SIL 4.
+        assert LOW_DEMAND.level_of(1e-9) == 4
+
+    def test_level_of_off_scale_worse(self):
+        assert LOW_DEMAND.level_of(0.5) is None
+
+    def test_non_contiguous_bands_rejected(self):
+        with pytest.raises(DomainError):
+            BandScheme("broken", [
+                SilBand(level=1, lower=1e-2, upper=1e-1),
+                SilBand(level=2, lower=1e-4, upper=1e-3),
+            ])
+
+    def test_non_consecutive_levels_rejected(self):
+        with pytest.raises(DomainError):
+            BandScheme("broken", [
+                SilBand(level=1, lower=1e-2, upper=1e-1),
+                SilBand(level=3, lower=1e-3, upper=1e-2),
+            ])
+
+    def test_membership_distribution_sums_to_one(self, paper_judgement):
+        dist = LOW_DEMAND.membership_distribution(paper_judgement)
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_membership_distribution_off_scale_mass(self, paper_judgement):
+        dist = LOW_DEMAND.membership_distribution(paper_judgement)
+        assert dist[None] == pytest.approx(
+            1.0 - float(paper_judgement.cdf(1e-1))
+        )
+
+    def test_boundaries(self):
+        bounds = LOW_DEMAND.boundaries()
+        assert set(np.round(np.log10(bounds))) == {-1, -2, -3, -4}
+
+    def test_iteration_ascending_levels(self):
+        levels = [band.level for band in LOW_DEMAND]
+        assert levels == [1, 2, 3, 4]
+
+    def test_len(self):
+        assert len(LOW_DEMAND) == 4
+        assert len(HIGH_DEMAND) == 4

@@ -1,0 +1,72 @@
+"""Tests for SIL classification (the Figure 3/4 disagreement machinery)."""
+
+import pytest
+
+from repro.distributions import LogNormalJudgement
+from repro.errors import DomainError
+from repro.sil import (
+    LOW_DEMAND,
+    assess,
+    classify_by_confidence,
+    classify_by_mean,
+    classify_by_mode,
+)
+
+
+class TestClassifiers:
+    def test_paper_judgement_mode_says_sil2(self, paper_judgement):
+        assert classify_by_mode(paper_judgement) == 2
+
+    def test_paper_judgement_mean_says_sil1(self, paper_judgement):
+        # The Figure 1 solid curve: mode 0.003 (SIL 2) but mean 0.01
+        # sits in the SIL 1 band.
+        assert classify_by_mean(paper_judgement) == 1
+
+    def test_narrow_judgement_agrees_with_itself(self, narrow_judgement):
+        # The dashed curve (mean 0.004) stays in SIL 2 on both views.
+        assert classify_by_mode(narrow_judgement) == 2
+        assert classify_by_mean(narrow_judgement) == 2
+
+    def test_confidence_classifier_at_70_percent(self, paper_judgement):
+        # Confidence in SIL 2 is ~67% < 70%, so only SIL 1 is grantable —
+        # the paper's Section 4.3 observation about the standard's clause.
+        assert classify_by_confidence(paper_judgement, 0.70) == 1
+
+    def test_confidence_classifier_high_requirement(self, paper_judgement):
+        # At 99.9% even SIL 1 (confidence ~99.87%) just misses.
+        assert classify_by_confidence(paper_judgement, 0.999) is None
+
+    def test_confidence_classifier_low_requirement(self, paper_judgement):
+        assert classify_by_confidence(paper_judgement, 0.60) == 2
+
+    def test_confidence_requirement_validated(self, paper_judgement):
+        with pytest.raises(DomainError):
+            classify_by_confidence(paper_judgement, 1.0)
+
+    def test_tight_judgement_reaches_high_sil(self):
+        dist = LogNormalJudgement.from_mode_sigma(3e-5, 0.3)
+        assert classify_by_confidence(dist, 0.95) == 4
+
+
+class TestAssessment:
+    def test_summary_mentions_all_views(self, paper_judgement):
+        report = assess(paper_judgement)
+        text = report.summary()
+        assert "mode" in text and "mean" in text and "granted" in text
+
+    def test_optimistic_gap_for_broad_judgement(self, paper_judgement):
+        report = assess(paper_judgement)
+        assert report.optimistic_gap == 1
+
+    def test_optimistic_gap_zero_for_narrow(self, narrow_judgement):
+        assert assess(narrow_judgement).optimistic_gap == 0
+
+    def test_confidence_by_level_complete(self, paper_judgement):
+        report = assess(paper_judgement)
+        assert set(report.confidence_by_level) == {1, 2, 3, 4}
+
+    def test_granted_level_respects_requirement(self, paper_judgement):
+        strict = assess(paper_judgement, required_confidence=0.999)
+        lax = assess(paper_judgement, required_confidence=0.60)
+        assert strict.granted_level is None
+        assert lax.granted_level == 2

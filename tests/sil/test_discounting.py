@@ -1,0 +1,94 @@
+"""Tests for claim discounting (judge SIL n+1, claim SIL n)."""
+
+import pytest
+
+from repro.distributions import LogNormalJudgement
+from repro.errors import ClaimError, DomainError
+from repro.sil import (
+    DISCOUNT_BY_RIGOUR,
+    ArgumentRigour,
+    DiscountPolicy,
+    LOW_DEMAND,
+    claimable_level,
+    discounted_level,
+    mode_vs_claim_gap,
+)
+
+
+class TestDiscountTable:
+    def test_qualitative_process_discounted_two_levels(self):
+        # The paper's conclusion: process-based qualitative arguments
+        # should be discounted by (at least) 2 SILs.
+        assert DISCOUNT_BY_RIGOUR[ArgumentRigour.QUALITATIVE_PROCESS] == 2
+
+    def test_conservative_quantitative_not_discounted(self):
+        assert DISCOUNT_BY_RIGOUR[ArgumentRigour.QUANTITATIVE_CONSERVATIVE] == 0
+
+    def test_all_rigours_covered(self):
+        assert set(DISCOUNT_BY_RIGOUR) == set(ArgumentRigour.ALL)
+
+
+class TestDiscountedLevel:
+    def test_simple_discount(self):
+        assert discounted_level(3, ArgumentRigour.QUALITATIVE_PROCESS) == 1
+
+    def test_discount_exhausts_scheme(self):
+        assert discounted_level(2, ArgumentRigour.QUALITATIVE_PROCESS) is None
+
+    def test_unknown_rigour_rejected(self):
+        with pytest.raises(DomainError):
+            discounted_level(3, "vibes")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ClaimError):
+            discounted_level(9, ArgumentRigour.QUALITATIVE_PROCESS)
+
+
+class TestDiscountPolicy:
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            DiscountPolicy(required_confidence=0.0)
+        with pytest.raises(DomainError):
+            DiscountPolicy(rigour="vibes")
+
+    def test_claimable_level_pipeline(self, paper_judgement):
+        # Granted SIL 1 at 70%; best-fit rigour discounts one more -> none.
+        policy = DiscountPolicy(
+            required_confidence=0.70,
+            rigour=ArgumentRigour.QUANTITATIVE_BEST_FIT,
+        )
+        assert claimable_level(paper_judgement, policy) is None
+
+    def test_claimable_level_conservative_rigour(self, paper_judgement):
+        policy = DiscountPolicy(
+            required_confidence=0.70,
+            rigour=ArgumentRigour.QUANTITATIVE_CONSERVATIVE,
+        )
+        assert claimable_level(paper_judgement, policy) == 1
+
+    def test_claim_limit_caps(self):
+        dist = LogNormalJudgement.from_mode_sigma(3e-5, 0.3)
+        policy = DiscountPolicy(
+            required_confidence=0.70,
+            rigour=ArgumentRigour.QUANTITATIVE_CONSERVATIVE,
+            claim_limit=2,
+        )
+        assert claimable_level(dist, policy) == 2
+
+    def test_judge_n_plus_1_claim_n(self):
+        # The paper's heuristic: a judgement most likely SIL 3 supports a
+        # confident SIL 2 claim.
+        dist = LogNormalJudgement.from_mode_sigma(3e-4, 0.9)
+        policy = DiscountPolicy(
+            required_confidence=0.90,
+            rigour=ArgumentRigour.QUANTITATIVE_CONSERVATIVE,
+        )
+        gap = mode_vs_claim_gap(dist, policy)
+        assert gap is not None and gap >= 1
+
+    def test_gap_none_when_unclaimable(self, paper_judgement):
+        policy = DiscountPolicy(
+            required_confidence=0.999,
+            rigour=ArgumentRigour.QUALITATIVE_PROCESS,
+        )
+        assert mode_vs_claim_gap(paper_judgement, policy) is None

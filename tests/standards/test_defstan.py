@@ -1,0 +1,43 @@
+"""Tests for Def Stan 00-56 style claim limits."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.sil import ArgumentRigour, claimable_level
+from repro.standards import claim_limit_for, recommended_policy
+
+
+class TestClaimLimits:
+    def test_qualitative_capped_at_sil1(self):
+        assert claim_limit_for(ArgumentRigour.QUALITATIVE_PROCESS) == 1
+
+    def test_conservative_uncapped(self):
+        assert claim_limit_for(ArgumentRigour.QUANTITATIVE_CONSERVATIVE) is None
+
+    def test_unknown_rigour_rejected(self):
+        with pytest.raises(DomainError):
+            claim_limit_for("astrology")
+
+
+class TestRecommendedPolicy:
+    def test_policy_combines_discount_and_limit(self):
+        policy = recommended_policy(ArgumentRigour.QUALITATIVE_PROCESS)
+        assert policy.claim_limit == 1
+        assert policy.rigour == ArgumentRigour.QUALITATIVE_PROCESS
+
+    def test_qualitative_argument_cannot_reach_high_sil(self):
+        # Even a judgement supporting SIL 4 at high confidence is capped by
+        # a purely process-based argument.
+        from repro.distributions import LogNormalJudgement
+
+        excellent = LogNormalJudgement.from_mode_sigma(1e-5, 0.25)
+        policy = recommended_policy(ArgumentRigour.QUALITATIVE_PROCESS)
+        claimed = claimable_level(excellent, policy)
+        assert claimed is not None and claimed <= 1
+
+    def test_conservative_argument_not_capped(self):
+        from repro.distributions import LogNormalJudgement
+
+        excellent = LogNormalJudgement.from_mode_sigma(1e-6, 0.25)
+        policy = recommended_policy(ArgumentRigour.QUANTITATIVE_CONSERVATIVE)
+        assert claimable_level(excellent, policy) == 4

@@ -1,0 +1,49 @@
+"""Tests for the DO-178B level table."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.standards.do178b import (
+    LEVELS,
+    comparable_sil,
+    level,
+    rate_guidance_per_hour,
+)
+
+
+class TestLevels:
+    def test_five_levels(self):
+        assert sorted(LEVELS) == ["A", "B", "C", "D", "E"]
+
+    def test_level_lookup_case_insensitive(self):
+        assert level("a").name == "A"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(DomainError):
+            level("Z")
+
+    def test_catastrophic_guidance(self):
+        assert rate_guidance_per_hour("A") == pytest.approx(1e-9)
+        assert rate_guidance_per_hour("B") == pytest.approx(1e-7)
+        assert rate_guidance_per_hour("C") == pytest.approx(1e-5)
+
+    def test_no_guidance_for_minor_levels(self):
+        assert rate_guidance_per_hour("D") is None
+        assert rate_guidance_per_hour("E") is None
+
+
+class TestComparableSil:
+    def test_dal_a_maps_to_sil4(self):
+        assert comparable_sil("A") == 4
+
+    def test_dal_b_maps_to_sil2_band(self):
+        # 1e-7/h sits at the SIL 3/2 boundary, inside SIL 2's band.
+        assert comparable_sil("B") == 2
+
+    def test_dal_c_off_the_sil_scale(self):
+        # 1e-5/h is worse than SIL 1's high-demand band entirely.
+        assert comparable_sil("C") is None
+
+    def test_unquantified_levels_map_to_none(self):
+        assert comparable_sil("D") is None
+        assert comparable_sil("E") is None

@@ -1,0 +1,49 @@
+"""Tests for IEC 61508 confidence clauses (paper Section 4.3)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.standards import CLAUSES, clause, granted_sil
+from repro.standards.iec61508 import LOW_DEMAND_BANDS
+
+
+class TestClauses:
+    def test_part2_70_percent_clauses(self):
+        assert clause("part2-7.4.7.4").required_confidence == 0.70
+        assert clause("part2-7.4.7.9").required_confidence == 0.70
+
+    def test_table_b6_effectiveness_grades(self):
+        assert clause("part2-tableB6-low").required_confidence == 0.95
+        assert clause("part2-tableB6-high").required_confidence == 0.999
+
+    def test_part7_table_d1(self):
+        assert clause("part7-tableD1-95").required_confidence == 0.95
+        assert clause("part7-tableD1-99").required_confidence == 0.99
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(DomainError):
+            clause("part9-imaginary")
+
+    def test_every_clause_has_reference_text(self):
+        for key, c in CLAUSES.items():
+            assert "IEC 61508" in c.reference
+            assert c.description
+
+
+class TestGrantedSil:
+    def test_70_percent_pushes_paper_judgement_to_sil1(self, paper_judgement):
+        # The paper: "If we were to apply the requirements for 70%
+        # confidence this would nearly push the mean failure rate of the
+        # system into the next SIL" — confidence in SIL 2 is ~67% < 70%,
+        # so only SIL 1 is grantable under the operating-history clause.
+        assert granted_sil(paper_judgement, "part2-7.4.7.9") == 1
+
+    def test_999_clause_ungrantable_for_paper_judgement(self, paper_judgement):
+        # P(SIL1 or better) ~ 99.87% < 99.9%.
+        assert granted_sil(paper_judgement, "part2-tableB6-high") is None
+
+    def test_narrow_judgement_keeps_sil2_at_70(self, narrow_judgement):
+        assert granted_sil(narrow_judgement, "part2-7.4.7.9") == 2
+
+    def test_bands_reexported(self):
+        assert LOW_DEMAND_BANDS.band(2).upper == pytest.approx(1e-2)

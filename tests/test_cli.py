@@ -1,0 +1,55 @@
+"""Tests for the repro-case command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_assess_args(self):
+        args = build_parser().parse_args(
+            ["assess", "--mode", "0.003", "--sigma", "0.9"]
+        )
+        assert args.command == "assess"
+        assert args.confidence == 0.70
+
+
+class TestCommands:
+    def test_assess_output(self, capsys):
+        code = main(["assess", "--mode", "0.003", "--sigma", "0.9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SIL 2" in out
+        assert "granted" in out
+
+    def test_conservative_output(self, capsys):
+        code = main(["conservative", "--claim", "1e-3", "--margin", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "99.9100%" in out
+        assert "supports" in out
+
+    def test_tests_output(self, capsys):
+        code = main([
+            "tests", "--mode", "0.003", "--sigma", "0.9",
+            "--bound", "1e-2", "--target", "0.95",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failure-free demands" in out
+
+    def test_growth_output(self, capsys):
+        code = main(["growth", "--faults", "10", "--exposure", "1000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MTBF" in out
+
+    def test_domain_error_reported(self, capsys):
+        code = main(["assess", "--mode", "-1", "--sigma", "0.9"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err

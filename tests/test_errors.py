@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ClaimError,
+    ConvergenceError,
+    DomainError,
+    FittingError,
+    InconsistentBeliefError,
+    ReproError,
+    StructureError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        DomainError, FittingError, ConvergenceError,
+        InconsistentBeliefError, StructureError, ClaimError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        # Callers using plain except ValueError still catch domain issues.
+        for exc_type in (DomainError, InconsistentBeliefError,
+                         StructureError, ClaimError):
+            assert issubclass(exc_type, ValueError)
+
+    def test_runtime_errors_are_runtime_errors(self):
+        for exc_type in (FittingError, ConvergenceError):
+            assert issubclass(exc_type, RuntimeError)
+
+    def test_single_except_clause_catches_library_failures(self):
+        from repro.distributions import LogNormalJudgement
+
+        with pytest.raises(ReproError):
+            LogNormalJudgement(0.0, -1.0)

@@ -1,0 +1,60 @@
+"""Tests for conjugate updates, cross-checked against grid updates."""
+
+import pytest
+
+from repro.distributions import BetaJudgement, GammaJudgement
+from repro.update import (
+    DemandEvidence,
+    OperatingTimeEvidence,
+    beta_binomial_update,
+    gamma_poisson_update,
+    grid_update,
+)
+from repro.numerics import log_grid
+
+
+class TestBetaBinomial:
+    def test_posterior_parameters(self):
+        prior = BetaJudgement(1.0, 9.0)
+        posterior = beta_binomial_update(prior, DemandEvidence(100, 2))
+        assert posterior.a == pytest.approx(3.0)
+        assert posterior.b == pytest.approx(107.0)
+
+    def test_failure_free_shrinks_mean(self):
+        prior = BetaJudgement(1.0, 9.0)
+        posterior = beta_binomial_update(prior, DemandEvidence(1000, 0))
+        assert posterior.mean() < prior.mean()
+
+    def test_confidence_grows_with_clean_evidence(self):
+        prior = BetaJudgement(1.0, 9.0)
+        small = beta_binomial_update(prior, DemandEvidence(100, 0))
+        large = beta_binomial_update(prior, DemandEvidence(10_000, 0))
+        assert large.confidence(1e-3) > small.confidence(1e-3)
+
+
+class TestGammaPoisson:
+    def test_posterior_parameters(self):
+        prior = GammaJudgement(shape=2.0, scale=1e-4)
+        posterior = gamma_poisson_update(
+            prior, OperatingTimeEvidence(hours=10_000.0, failures=1)
+        )
+        assert posterior.shape == pytest.approx(3.0)
+        assert posterior.scale == pytest.approx(1e-4 / (1.0 + 1e-4 * 10_000.0))
+
+    def test_matches_grid_update(self):
+        prior = GammaJudgement(shape=2.0, scale=1e-4)
+        evidence = OperatingTimeEvidence(hours=5000.0, failures=2)
+        exact = gamma_poisson_update(prior, evidence)
+        grid = log_grid(1e-9, 1e-1, 600)
+        numeric = grid_update(prior, evidence, grid)
+        assert numeric.mean() == pytest.approx(exact.mean(), rel=1e-3)
+        assert numeric.cdf(2e-4) == pytest.approx(
+            float(exact.cdf(2e-4)), abs=1e-3
+        )
+
+    def test_exposure_without_failures_reduces_rate(self):
+        prior = GammaJudgement(shape=2.0, scale=1e-4)
+        posterior = gamma_poisson_update(
+            prior, OperatingTimeEvidence(hours=100_000.0)
+        )
+        assert posterior.mean() < prior.mean()

@@ -1,0 +1,95 @@
+"""Tests for the conservative reliability-growth bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.update import (
+    E,
+    empirical_intensity,
+    exposure_for_target_intensity,
+    growth_bound_curve,
+    single_fault_worst_intensity,
+    worst_case_intensity,
+    worst_case_mtbf,
+)
+
+
+class TestSingleFaultBound:
+    def test_value(self):
+        assert single_fault_worst_intensity(1000.0) == pytest.approx(
+            1.0 / (E * 1000.0)
+        )
+
+    def test_maximiser_is_reciprocal_exposure(self):
+        # lambda * exp(-lambda t) peaks at lambda = 1/t.
+        t = 500.0
+        peak = (1.0 / t) * np.exp(-1.0)
+        rates = np.linspace(1e-5, 0.1, 10_000)
+        contributions = rates * np.exp(-rates * t)
+        assert contributions.max() <= peak + 1e-12
+        assert single_fault_worst_intensity(t) == pytest.approx(peak)
+
+    def test_exposure_must_be_positive(self):
+        with pytest.raises(DomainError):
+            single_fault_worst_intensity(0.0)
+
+
+class TestWorstCaseBound:
+    def test_scales_linearly_with_faults(self):
+        assert worst_case_intensity(10, 100.0) == pytest.approx(
+            10 * worst_case_intensity(1, 100.0)
+        )
+
+    def test_mtbf_reciprocal(self):
+        assert worst_case_mtbf(10, 1000.0) == pytest.approx(
+            E * 1000.0 / 10.0
+        )
+
+    def test_zero_faults_perfect(self):
+        assert worst_case_intensity(0, 100.0) == 0.0
+        assert worst_case_mtbf(0, 100.0) == np.inf
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1e-8, max_value=1.0), min_size=1, max_size=20
+        ),
+        exposure=st.floats(min_value=1.0, max_value=1e6),
+    )
+    def test_bound_dominates_any_rate_assignment(self, rates, exposure):
+        actual = empirical_intensity(rates, exposure)
+        bound = worst_case_intensity(len(rates), exposure)
+        assert actual <= bound + 1e-12
+
+    def test_bound_tight_at_adversarial_rates(self):
+        # All faults at exactly 1/t attains the bound.
+        t, n = 2000.0, 7
+        rates = [1.0 / t] * n
+        assert empirical_intensity(rates, t) == pytest.approx(
+            worst_case_intensity(n, t), rel=1e-12
+        )
+
+
+class TestInverseAndCurve:
+    def test_exposure_for_target_inverts(self):
+        n, target = 12, 1e-4
+        t = exposure_for_target_intensity(n, target)
+        assert worst_case_intensity(n, t) == pytest.approx(target, rel=1e-12)
+
+    def test_curve_monotone_decreasing(self):
+        curve = growth_bound_curve(5, [10.0, 100.0, 1000.0])
+        intensities = [p.worst_intensity for p in curve]
+        assert all(a > b for a, b in zip(intensities, intensities[1:]))
+        mtbfs = [p.worst_mtbf for p in curve]
+        assert all(a < b for a, b in zip(mtbfs, mtbfs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            worst_case_intensity(-1, 100.0)
+        with pytest.raises(DomainError):
+            exposure_for_target_intensity(5, 0.0)
+        with pytest.raises(DomainError):
+            empirical_intensity([-1e-3], 100.0)

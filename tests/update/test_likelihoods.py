@@ -1,0 +1,93 @@
+"""Tests for evidence likelihoods."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import DomainError
+from repro.update import DemandEvidence, OperatingTimeEvidence
+
+
+class TestDemandEvidence:
+    def test_matches_scipy_binomial(self):
+        evidence = DemandEvidence(demands=100, failures=3)
+        for p in (1e-3, 0.03, 0.2):
+            assert evidence.likelihood(p) == pytest.approx(
+                stats.binom.pmf(3, 100, p)
+            )
+
+    def test_failure_free_survival(self):
+        evidence = DemandEvidence(demands=50)
+        assert evidence.survival_probability(0.01) == pytest.approx(0.99**50)
+
+    def test_survival_equals_likelihood_for_failure_free(self):
+        evidence = DemandEvidence(demands=200)
+        p = np.array([1e-4, 1e-2, 0.5])
+        assert np.allclose(evidence.likelihood(p),
+                           evidence.survival_probability(p))
+
+    def test_survival_requires_failure_free(self):
+        with pytest.raises(DomainError):
+            DemandEvidence(demands=10, failures=1).survival_probability(0.1)
+
+    def test_log_likelihood_consistent(self):
+        evidence = DemandEvidence(demands=1000, failures=2)
+        p = 0.003
+        assert np.exp(evidence.log_likelihood(p)) == pytest.approx(
+            evidence.likelihood(p), rel=1e-10
+        )
+
+    def test_log_likelihood_stable_for_huge_counts(self):
+        evidence = DemandEvidence(demands=10_000_000, failures=0)
+        value = evidence.log_likelihood(1e-6)
+        assert np.isfinite(value)
+        assert value == pytest.approx(10_000_000 * np.log1p(-1e-6))
+
+    def test_zero_pfd_conventions(self):
+        no_failures = DemandEvidence(demands=10, failures=0)
+        with_failures = DemandEvidence(demands=10, failures=2)
+        assert no_failures.likelihood(0.0) == pytest.approx(1.0)
+        assert with_failures.likelihood(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            DemandEvidence(demands=-1)
+        with pytest.raises(DomainError):
+            DemandEvidence(demands=5, failures=6)
+        with pytest.raises(DomainError):
+            DemandEvidence(demands=10).likelihood(1.5)
+
+
+class TestOperatingTimeEvidence:
+    def test_matches_scipy_poisson(self):
+        evidence = OperatingTimeEvidence(hours=5000.0, failures=2)
+        for lam in (1e-5, 1e-4, 1e-3):
+            assert evidence.likelihood(lam) == pytest.approx(
+                stats.poisson.pmf(2, lam * 5000.0)
+            )
+
+    def test_survival(self):
+        evidence = OperatingTimeEvidence(hours=1000.0)
+        assert evidence.survival_probability(1e-3) == pytest.approx(
+            np.exp(-1.0)
+        )
+
+    def test_survival_requires_failure_free(self):
+        with pytest.raises(DomainError):
+            OperatingTimeEvidence(hours=10.0, failures=1).survival_probability(0.1)
+
+    def test_zero_rate_conventions(self):
+        assert OperatingTimeEvidence(hours=100.0, failures=0).likelihood(
+            0.0
+        ) == pytest.approx(1.0)
+        assert OperatingTimeEvidence(hours=100.0, failures=3).likelihood(
+            0.0
+        ) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            OperatingTimeEvidence(hours=-1.0)
+        with pytest.raises(DomainError):
+            OperatingTimeEvidence(hours=10.0, failures=-2)
+        with pytest.raises(DomainError):
+            OperatingTimeEvidence(hours=10.0).likelihood(-0.1)

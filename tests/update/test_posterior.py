@@ -1,0 +1,114 @@
+"""Tests for grid posteriors and the Section 4.1 tail cut-off."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import BetaJudgement, LogNormalJudgement
+from repro.errors import DomainError
+from repro.numerics import linear_grid
+from repro.update import (
+    DemandEvidence,
+    OperatingTimeEvidence,
+    confidence_growth,
+    default_pfd_grid,
+    grid_update,
+    hard_cutoff,
+    survival_update,
+)
+
+
+class TestGridUpdate:
+    def test_matches_conjugate_beta(self):
+        # Beta(2, 50) prior + 100 demands with 1 failure = Beta(3, 149).
+        prior = BetaJudgement(2.0, 50.0)
+        evidence = DemandEvidence(demands=100, failures=1)
+        grid = linear_grid(1e-9, 1.0, 20001)
+        posterior = grid_update(prior, evidence, grid)
+        exact = BetaJudgement(3.0, 149.0)
+        assert posterior.mean() == pytest.approx(exact.mean(), rel=1e-3)
+        assert posterior.cdf(0.02) == pytest.approx(
+            float(exact.cdf(0.02)), abs=1e-3
+        )
+
+    def test_failures_shift_posterior_up(self, paper_judgement):
+        clean = grid_update(paper_judgement, DemandEvidence(500, 0))
+        dirty = grid_update(paper_judgement, DemandEvidence(500, 5))
+        assert dirty.mean() > clean.mean()
+
+    def test_conflicting_evidence_detected(self):
+        tight = LogNormalJudgement.from_mode_sigma(1e-8, 0.1)
+        evidence = DemandEvidence(demands=60, failures=60)
+        grid = np.linspace(1e-9, 1e-7, 50)  # grid misses the likelihood mass
+        with pytest.raises(DomainError):
+            grid_update(tight, evidence, grid)
+
+
+class TestSurvivalUpdate:
+    def test_requires_failure_free(self, paper_judgement):
+        with pytest.raises(DomainError):
+            survival_update(paper_judgement, DemandEvidence(10, 1))
+
+    def test_cuts_the_tail(self, paper_judgement):
+        posterior = survival_update(paper_judgement, DemandEvidence(1000))
+        # Mass above ~1/n is suppressed.
+        assert posterior.sf(1e-2) < paper_judgement.sf(1e-2)
+        assert posterior.mean() < paper_judgement.mean()
+
+    def test_rate_evidence_also_supported(self, paper_judgement):
+        posterior = survival_update(
+            paper_judgement, OperatingTimeEvidence(hours=1000.0)
+        )
+        assert posterior.mean() < paper_judgement.mean()
+
+    def test_equals_grid_update_for_failure_free(self, paper_judgement):
+        grid = default_pfd_grid()
+        a = survival_update(paper_judgement, DemandEvidence(500), grid)
+        b = grid_update(paper_judgement, DemandEvidence(500, 0), grid)
+        assert a.mean() == pytest.approx(b.mean(), rel=1e-12)
+
+
+class TestHardCutoff:
+    def test_is_limit_of_survival_update(self, paper_judgement):
+        # With lots of evidence at scale 1/bound the survival update
+        # approaches the hard cut-off from below the bound.
+        cut = hard_cutoff(paper_judgement, upper=1e-2)
+        heavy = survival_update(paper_judgement, DemandEvidence(100_000))
+        # Both say essentially zero mass above 1e-2... the graded update
+        # pushes even harder (it also reweights inside the window).
+        assert heavy.sf(1e-2) < 1e-6
+        assert cut.sf(1e-2) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestConfidenceGrowth:
+    def test_confidence_monotone_in_demands(self, paper_judgement):
+        points = confidence_growth(paper_judgement, 1e-2,
+                                   [0, 10, 100, 1000, 10_000])
+        confidences = [p.confidence for p in points]
+        assert all(a <= b + 1e-12 for a, b in zip(confidences,
+                                                  confidences[1:]))
+
+    def test_mean_monotone_decreasing(self, paper_judgement):
+        points = confidence_growth(paper_judgement, 1e-2,
+                                   [0, 10, 100, 1000])
+        means = [p.mean for p in points]
+        assert all(a >= b for a, b in zip(means, means[1:]))
+
+    def test_zero_demands_is_prior(self, paper_judgement):
+        point = confidence_growth(paper_judgement, 1e-2, [0])[0]
+        assert point.confidence == pytest.approx(
+            paper_judgement.confidence(1e-2)
+        )
+        assert point.mean == pytest.approx(paper_judgement.mean())
+
+    def test_rapid_confidence_increase(self, paper_judgement):
+        # The paper: "tests rapidly increase confidence and reduce the
+        # mean".  1000 failure-free demands take SIL 2 confidence from
+        # ~67% to >99%.
+        point = confidence_growth(paper_judgement, 1e-2, [1000])[0]
+        assert point.confidence > 0.99
+
+    def test_validation(self, paper_judgement):
+        with pytest.raises(DomainError):
+            confidence_growth(paper_judgement, 0.0, [10])
+        with pytest.raises(DomainError):
+            confidence_growth(paper_judgement, 1e-2, [-5])

@@ -1,0 +1,69 @@
+"""Tests for the provisional-rating workflow (Section 4.1 strategy)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.sil import ArgumentRigour, DiscountPolicy
+from repro.update import ProvisionalRatingPlan
+
+
+@pytest.fixture
+def policy():
+    return DiscountPolicy(
+        required_confidence=0.90,
+        rigour=ArgumentRigour.QUANTITATIVE_CONSERVATIVE,
+    )
+
+
+class TestProvisionalRatingPlan:
+    def test_upgrade_after_operation(self, paper_judgement, policy):
+        plan = ProvisionalRatingPlan(
+            prior=paper_judgement, policy=policy, observation_demands=2000
+        )
+        outcome = plan.execute()
+        assert outcome.upgraded_level is not None
+        assert outcome.provisional_level is None or (
+            outcome.upgraded_level >= outcome.provisional_level
+        )
+        assert outcome.upgrade_gained >= 0
+
+    def test_no_observation_no_change(self, paper_judgement, policy):
+        plan = ProvisionalRatingPlan(
+            prior=paper_judgement, policy=policy, observation_demands=0
+        )
+        outcome = plan.execute()
+        assert outcome.provisional_level == outcome.upgraded_level
+        assert outcome.expected_failures_during_observation == 0.0
+
+    def test_expected_failures_is_demand_weighted_mean(
+        self, paper_judgement, policy
+    ):
+        plan = ProvisionalRatingPlan(
+            prior=paper_judgement, policy=policy, observation_demands=500
+        )
+        outcome = plan.execute()
+        assert outcome.expected_failures_during_observation == pytest.approx(
+            500 * paper_judgement.mean()
+        )
+
+    def test_posterior_mean_falls(self, paper_judgement, policy):
+        outcome = ProvisionalRatingPlan(
+            prior=paper_judgement, policy=policy, observation_demands=1000
+        ).execute()
+        assert outcome.posterior_mean < outcome.prior_mean
+
+    def test_probability_failure_free_decreasing_in_demands(
+        self, paper_judgement, policy
+    ):
+        plans = [
+            ProvisionalRatingPlan(paper_judgement, policy, n)
+            for n in (0, 100, 1000)
+        ]
+        probs = [p.probability_failure_free_observation() for p in plans]
+        assert probs[0] == 1.0
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+        assert all(0.0 <= p <= 1.0 for p in probs)
+
+    def test_negative_demands_rejected(self, paper_judgement, policy):
+        with pytest.raises(DomainError):
+            ProvisionalRatingPlan(paper_judgement, policy, -1)

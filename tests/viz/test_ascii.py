@@ -1,0 +1,71 @@
+"""Tests for ASCII charts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.viz import density_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_with_title_and_legend(self):
+        x = np.linspace(0, 1, 20)
+        text = line_chart(x, [x, x**2], labels=["linear", "square"],
+                          title="curves")
+        assert "curves" in text
+        assert "* = linear" in text
+        assert "o = square" in text
+
+    def test_dimensions_respected(self):
+        x = np.linspace(0, 1, 10)
+        text = line_chart(x, [x], height=8, width=40)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 8
+
+    def test_log_axes(self):
+        x = np.logspace(-4, -1, 20)
+        text = line_chart(x, [x], log_x=True, log_y=True)
+        assert "log" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(DomainError):
+            line_chart(x, [x], log_x=True)
+
+    def test_marker_positions_monotone_for_line(self):
+        x = np.linspace(0, 1, 30)
+        text = line_chart(x, [x], height=10, width=60)
+        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        # For an increasing series, marker columns increase down-to-up.
+        cols = []
+        for row in reversed(rows):
+            for col, ch in enumerate(row):
+                if ch == "*":
+                    cols.append(col)
+                    break
+        assert cols == sorted(cols)
+
+    def test_validation(self):
+        x = np.linspace(0, 1, 10)
+        with pytest.raises(DomainError):
+            line_chart(x, [])
+        with pytest.raises(DomainError):
+            line_chart(x, [x[:5]])
+        with pytest.raises(DomainError):
+            line_chart(x, [x], labels=["a", "b"])
+        with pytest.raises(DomainError):
+            line_chart(x, [x], width=5)
+
+    def test_flat_series_handled(self):
+        x = np.linspace(0, 1, 10)
+        text = line_chart(x, [np.ones_like(x)])
+        assert "|" in text
+
+
+class TestDensityChart:
+    def test_renders_densities(self, paper_judgement):
+        grid = np.logspace(-5, -1, 40)
+        text = density_chart(grid, [paper_judgement.pdf(grid)],
+                             labels=["judgement"], title="Figure 1")
+        assert "Figure 1" in text
+        assert "density" in text

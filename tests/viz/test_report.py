@@ -1,0 +1,52 @@
+"""Tests for the Markdown case report generator."""
+
+import pytest
+
+from repro.core import AcarpTarget, DependabilityCase, SilClaim, evaluate
+from repro.core.case import AssumptionRecord, EvidenceRecord
+from repro.sil import assess
+from repro.viz import case_report_markdown
+
+
+@pytest.fixture
+def case(paper_judgement):
+    return DependabilityCase(
+        system="protection channel",
+        claim=SilClaim(level=2),
+        judgement=paper_judgement,
+        evidence=[EvidenceRecord("tests", "testing", "5k demands")],
+        assumptions=[AssumptionRecord("profile ok", 0.95)],
+    )
+
+
+class TestCaseReportMarkdown:
+    def test_minimal_report(self, case):
+        text = case_report_markdown(case)
+        assert text.startswith("# Dependability case: protection channel")
+        assert "claim confidence" in text
+        assert "tests" in text
+        assert "profile ok" in text
+
+    def test_with_assessment(self, case, paper_judgement):
+        text = case_report_markdown(
+            case, assessment=assess(paper_judgement)
+        )
+        assert "## SIL assessment" in text
+        assert "granted at" in text
+
+    def test_with_verdict(self, case, paper_judgement):
+        verdict = evaluate(paper_judgement, AcarpTarget(1e-2, 0.9))
+        text = case_report_markdown(case, verdict=verdict)
+        assert "## ACARP verdict" in text
+        assert "MISSES" in text
+
+    def test_with_argument(self, case):
+        text = case_report_markdown(case, argument_rendering="[G] G1: claim")
+        assert "## Argument structure" in text
+        assert "[G] G1: claim" in text
+
+    def test_markdown_table_well_formed(self, case):
+        text = case_report_markdown(case)
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {l.count("|") for l in table_lines}
+        assert widths == {3}  # two columns throughout

@@ -1,0 +1,36 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.viz import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # all rows equal width
+
+    def test_scientific_notation_for_small_floats(self):
+        text = format_table(["x"], [[1.23e-7]])
+        assert "1.230e-07" in text
+
+    def test_plain_rendering_for_normal_floats(self):
+        text = format_table(["x"], [[0.25]])
+        assert "0.25" in text
+
+    def test_header_rule_present(self):
+        text = format_table(["a", "b"], [[1, 2]])
+        assert "-+-" in text
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            format_table([], [[1]])
+        with pytest.raises(DomainError):
+            format_table(["a"], [[1, 2]])

@@ -20,7 +20,9 @@ dependability claim as a first-class, quantified object:
 * expert elicitation, opinion pooling and the four-phase Delphi panel
   simulation (:mod:`repro.elicitation`, :mod:`repro.experiment`);
 * risk models and ALARP/ACARP decision support (:mod:`repro.risk`);
-* standards tables (:mod:`repro.standards`).
+* standards tables (:mod:`repro.standards`);
+* a batched scenario-sweep engine with vectorised kernels and a result
+  cache (:mod:`repro.engine`).
 
 Quickstart::
 
@@ -48,6 +50,7 @@ from .distributions import (
     LogNormalJudgement,
     TwoPointWorstCase,
 )
+from .engine import ResultCache, ResultSet, ScenarioSpec, SweepSpec, run_sweep
 from .sil import LOW_DEMAND, HIGH_DEMAND, assess
 from .update import DemandEvidence, confidence_growth, survival_update
 
@@ -68,6 +71,11 @@ __all__ = [
     "JudgementDistribution",
     "LogNormalJudgement",
     "TwoPointWorstCase",
+    "ResultCache",
+    "ResultSet",
+    "ScenarioSpec",
+    "SweepSpec",
+    "run_sweep",
     "LOW_DEMAND",
     "HIGH_DEMAND",
     "assess",

@@ -6,11 +6,12 @@ argument networks ever grow beyond exact reach.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
 from ..errors import DomainError
+from ..numerics import ensure_rng
 from .network import BayesianNetwork
 
 __all__ = ["likelihood_weighting"]
@@ -21,18 +22,22 @@ def likelihood_weighting(
     target: str,
     evidence: Optional[Mapping[str, str]] = None,
     n_samples: int = 10_000,
-    rng: Optional[np.random.Generator] = None,
+    rng: Union[None, int, np.random.Generator] = None,
 ) -> Dict[str, float]:
     """Approximate ``P(target | evidence)`` by likelihood weighting.
 
     Evidence variables are clamped and weighted by their CPT likelihood;
     other variables are forward-sampled in topological order.
+
+    ``rng`` may be a :class:`numpy.random.Generator` threaded in from the
+    caller (the reproducible path — sweeps give every scenario its own
+    spawned stream) or an integer seed; ``None`` draws fresh OS entropy.
     """
     if n_samples < 1:
         raise DomainError("n_samples must be positive")
     evidence = dict(evidence or {})
     network.validate_evidence(evidence)
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng)
 
     target_var = network.variable(target)
     order = network.topological_order()

@@ -1,13 +1,15 @@
 """Command-line interface: ``repro-case``.
 
-Four subcommands cover the library's day-one uses:
+Five subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
 * ``conservative`` — the Section 3.4 design problem: what belief
   supports a claim;
 * ``tests`` — how many failure-free demands reach a confidence target;
-* ``growth`` — the Bishop-Bloomfield conservative growth bound.
+* ``growth`` — the Bishop-Bloomfield conservative growth bound;
+* ``sweep`` — run a batched scenario sweep (:mod:`repro.engine`) from a
+  YAML/JSON spec file and tabulate or export the results.
 
 Examples::
 
@@ -15,6 +17,7 @@ Examples::
     repro-case conservative --claim 1e-3 --margin 1
     repro-case tests --mode 0.003 --sigma 0.9 --bound 1e-2 --target 0.95
     repro-case growth --faults 10 --exposure 1000
+    repro-case sweep --spec examples/sweep_spec.yaml --csv out.csv
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import List, Optional
 
 from .core import AcarpTarget, ConfidenceProfile, design_for_claim
 from .distributions import LogNormalJudgement
+from .engine import BACKENDS, SweepSpec, run_sweep
 from .errors import ReproError
 from .risk import plan_assurance
 from .sil import assess
@@ -84,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
                           help="residual fault count N")
     p_growth.add_argument("--exposure", type=float, required=True,
                           help="failure-free exposure t (hours)")
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a batched scenario sweep from a YAML/JSON spec file",
+    )
+    p_sweep.add_argument("--spec", required=True,
+                         help="path to the sweep spec (YAML or JSON)")
+    p_sweep.add_argument("--backend", default="auto", choices=list(BACKENDS),
+                         help="execution backend (default: auto — "
+                         "vectorised when the pipeline supports it)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker count for thread/process backends")
+    p_sweep.add_argument("--csv", default=None, metavar="PATH",
+                         help="also export the results as CSV")
+    p_sweep.add_argument("--limit", type=int, default=None,
+                         help="print at most this many rows")
     return parser
 
 
@@ -128,11 +148,36 @@ def _run_growth(args: argparse.Namespace) -> str:
     )
 
 
+def _run_sweep(args: argparse.Namespace) -> str:
+    if args.limit is not None and args.limit < 0:
+        raise ReproError(f"--limit must be non-negative, got {args.limit}")
+    try:
+        spec = SweepSpec.from_file(args.spec)
+    except OSError as exc:
+        raise ReproError(f"cannot read spec file {args.spec}: {exc}") from exc
+    result = run_sweep(spec, backend=args.backend, max_workers=args.workers)
+    if args.csv:
+        try:
+            result.to_csv(args.csv)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write csv to {args.csv}: {exc}"
+            ) from exc
+    lines = [result.to_table(limit=args.limit)]
+    if args.limit is not None and len(result) > args.limit:
+        lines.append(f"... ({len(result) - args.limit} more rows)")
+    lines.append(result.summary())
+    if args.csv:
+        lines.append(f"csv written to {args.csv}")
+    return "\n".join(lines)
+
+
 _RUNNERS = {
     "assess": _run_assess,
     "conservative": _run_conservative,
     "tests": _run_tests,
     "growth": _run_growth,
+    "sweep": _run_sweep,
 }
 
 

@@ -10,7 +10,7 @@ quantile fragments.
 
 from .base import ContinuousJudgement, JudgementDistribution
 from .beta import BetaJudgement
-from .empirical import EmpiricalJudgement, GridJudgement
+from .empirical import EmpiricalJudgement, GridJudgement, GridJudgementBatch
 from .fitting import (
     QuantileConstraint,
     check_constraints,
@@ -19,10 +19,11 @@ from .fitting import (
     fit_gamma,
     fit_lognormal,
 )
-from .gamma import GammaJudgement
+from .gamma import GammaJudgement, gamma_pdf_grid
 from .lognormal import (
     MEAN_MODE_DECADE_COEFFICIENT,
     LogNormalJudgement,
+    lognormal_pdf_grid,
     mean_mode_decades,
     paper_pdf,
     sigma_for_decades,
@@ -42,6 +43,7 @@ __all__ = [
     "BetaJudgement",
     "EmpiricalJudgement",
     "GridJudgement",
+    "GridJudgementBatch",
     "QuantileConstraint",
     "check_constraints",
     "constraint_residuals",
@@ -49,8 +51,10 @@ __all__ = [
     "fit_gamma",
     "fit_lognormal",
     "GammaJudgement",
+    "gamma_pdf_grid",
     "MEAN_MODE_DECADE_COEFFICIENT",
     "LogNormalJudgement",
+    "lognormal_pdf_grid",
     "mean_mode_decades",
     "paper_pdf",
     "sigma_for_decades",

@@ -22,7 +22,7 @@ from ..numerics import (
 )
 from .base import JudgementDistribution
 
-__all__ = ["GridJudgement", "EmpiricalJudgement"]
+__all__ = ["GridJudgement", "GridJudgementBatch", "EmpiricalJudgement"]
 
 
 class GridJudgement(JudgementDistribution):
@@ -127,6 +127,148 @@ class GridJudgement(JudgementDistribution):
     def __repr__(self) -> str:
         return (
             f"GridJudgement(n={self._grid.size}, "
+            f"support=[{self._grid[0]:.3g}, {self._grid[-1]:.3g}])"
+        )
+
+
+class GridJudgementBatch:
+    """A whole family of grid judgements evaluated as one array.
+
+    Holds ``S`` densities sampled on a *shared* grid as an ``(S, n)``
+    array and exposes the :class:`GridJudgement` summary vocabulary —
+    means, medians, modes, one-sided confidences — as vectorised
+    operations over the batch.  Row ``i`` reproduces
+    ``GridJudgement(grid, densities[i])`` exactly (same normalisation,
+    same cumulative-trapezoid CDF, same generalised-inverse quantiles),
+    so batched sweeps agree with the scalar path to round-off.
+
+    This is the compute kernel behind :mod:`repro.engine`'s vectorised
+    backends; scalar code should keep using :class:`GridJudgement`.
+    """
+
+    def __init__(self, grid: np.ndarray, densities: np.ndarray,
+                 normalise: bool = True):
+        grid = np.asarray(grid, dtype=float)
+        densities = np.atleast_2d(np.asarray(densities, dtype=float))
+        if grid.ndim != 1 or grid.size < 3:
+            raise DomainError("grid must be a 1-D array of at least 3 points")
+        if densities.ndim != 2 or densities.shape[1] != grid.size:
+            raise DomainError(
+                "densities must be an (S, n) array matching the grid length"
+            )
+        if np.any(np.diff(grid) <= 0):
+            raise DomainError("grid must be strictly increasing")
+        if np.any(grid < 0):
+            raise DomainError("failure-rate grid must be non-negative")
+        if np.any(densities < 0):
+            raise DomainError("density values must be non-negative")
+        if normalise:
+            densities = normalise_density(densities, grid)
+        self._grid = grid
+        self._densities = densities
+        cdf = np.clip(cumulative_trapezoid(densities, grid), 0.0, 1.0)
+        # Same far-end guard as GridJudgement, then the monotone clip the
+        # scalar path applies inside MonotoneInterpolant.
+        cdf[:, -1] = np.maximum(cdf[:, -1], cdf.max(axis=1))
+        self._cdf = np.maximum.accumulate(cdf, axis=1)
+
+    @property
+    def grid(self) -> np.ndarray:
+        return self._grid.copy()
+
+    @property
+    def densities(self) -> np.ndarray:
+        return self._densities.copy()
+
+    @property
+    def n_scenarios(self) -> int:
+        return int(self._densities.shape[0])
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    def __getitem__(self, index: int) -> GridJudgement:
+        """Materialise one member of the batch as a scalar judgement."""
+        return GridJudgement(self._grid, self._densities[index],
+                             normalise=False)
+
+    def means(self) -> np.ndarray:
+        """Per-scenario means, one quadrature pass for the whole batch."""
+        return trapezoid(self._grid * self._densities, self._grid)
+
+    def variances(self) -> np.ndarray:
+        seconds = trapezoid(self._grid**2 * self._densities, self._grid)
+        return np.maximum(seconds - self.means() ** 2, 0.0)
+
+    def modes(self) -> np.ndarray:
+        return self._grid[np.argmax(self._densities, axis=1)]
+
+    def confidences(self, bound) -> np.ndarray:
+        """``P(X < bound)`` per scenario; ``bound`` scalar or ``(S,)``."""
+        bound_arr = np.asarray(bound, dtype=float)
+        if np.any(bound_arr < 0):
+            raise DomainError("claim bound must be non-negative")
+        bound_rows = np.broadcast_to(bound_arr, (self.n_scenarios,))
+        grid = self._grid
+        x = np.clip(bound_rows, grid[0], grid[-1])
+        j = np.clip(np.searchsorted(grid, x, side="right") - 1, 0,
+                    grid.size - 2)
+        rows = np.arange(self.n_scenarios)
+        y0 = self._cdf[rows, j]
+        y1 = self._cdf[rows, j + 1]
+        slope = (y1 - y0) / (grid[j + 1] - grid[j])
+        out = np.clip(slope * (x - grid[j]) + y0, 0.0, 1.0)
+        out = np.where(bound_rows < grid[0], 0.0,
+                       np.where(bound_rows >= grid[-1], 1.0, out))
+        return out
+
+    def ppf(self, q: float) -> np.ndarray:
+        """Per-scenario generalised-inverse quantiles at level ``q``."""
+        q = float(q)
+        if not 0.0 <= q <= 1.0:
+            raise DomainError("quantile levels must lie in [0, 1]")
+        y = self._cdf
+        grid = self._grid
+        # First index with cdf >= q (searchsorted side='left', per row).
+        j = np.argmax(y >= q, axis=1)
+        j = np.clip(j, 1, grid.size - 1)
+        rows = np.arange(self.n_scenarios)
+        y0 = y[rows, j - 1]
+        y1 = y[rows, j]
+        x0 = grid[j - 1]
+        x1 = grid[j]
+        gap = y1 - y0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            interior = np.where(gap > 0, x0 + (q - y0) * (x1 - x0) / gap, x0)
+        out = np.where(q <= y[:, 0], grid[0],
+                       np.where(q >= y[:, -1], grid[-1], interior))
+        return out
+
+    def medians(self) -> np.ndarray:
+        return self.ppf(0.5)
+
+    def reweighted(self, weights: np.ndarray) -> "GridJudgementBatch":
+        """Batched grid Bayesian update: multiply densities by likelihood
+        rows (``(S, n)`` or broadcastable) and renormalise."""
+        weights = np.asarray(weights, dtype=float)
+        if np.any(weights < 0):
+            raise DomainError("likelihood weights must be non-negative")
+        return GridJudgementBatch(self._grid, self._densities * weights)
+
+    def summaries(self, bound=None) -> dict:
+        """The engine's standard summary columns as arrays."""
+        out = {
+            "mean": self.means(),
+            "median": self.medians(),
+            "mode": self.modes(),
+        }
+        if bound is not None:
+            out["confidence"] = self.confidences(bound)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GridJudgementBatch(S={self.n_scenarios}, n={self._grid.size}, "
             f"support=[{self._grid[0]:.3g}, {self._grid[-1]:.3g}])"
         )
 

@@ -17,7 +17,31 @@ from ..errors import DomainError, FittingError
 from ..numerics import brentq, gammainc_lower, gammaincinv_lower
 from .base import ContinuousJudgement
 
-__all__ = ["GammaJudgement"]
+__all__ = ["GammaJudgement", "gamma_pdf_grid"]
+
+
+def gamma_pdf_grid(shape, scale, grid) -> np.ndarray:
+    """Gamma densities for *arrays* of parameters on one grid.
+
+    Batched counterpart of :meth:`GammaJudgement.pdf`: row ``i`` of the
+    ``(S, len(grid))`` result equals
+    ``GammaJudgement(shape[i], scale[i]).pdf(grid)``.
+    """
+    shape_arr = np.atleast_1d(np.asarray(shape, dtype=float))
+    scale_arr = np.atleast_1d(np.asarray(scale, dtype=float))
+    if np.any(~np.isfinite(shape_arr) | (shape_arr <= 0)):
+        raise DomainError("shape values must be positive and finite")
+    if np.any(~np.isfinite(scale_arr) | (scale_arr <= 0)):
+        raise DomainError("scale values must be positive and finite")
+    shape_arr, scale_arr = np.broadcast_arrays(shape_arr, scale_arr)
+    grid_arr = np.asarray(grid, dtype=float)
+    if grid_arr.ndim != 1:
+        raise DomainError("grid must be a 1-D array")
+    return _sp_stats.gamma.pdf(
+        grid_arr[np.newaxis, :],
+        shape_arr[:, np.newaxis],
+        scale=scale_arr[:, np.newaxis],
+    )
 
 
 class GammaJudgement(ContinuousJudgement):

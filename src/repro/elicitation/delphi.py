@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import DomainError
+from ..numerics import ensure_rng
 from .experts import ExpertJudgement, SyntheticExpert
 
 __all__ = ["PhaseConfig", "FourPhaseProtocol", "PanelResult"]
@@ -112,8 +113,12 @@ class FourPhaseProtocol:
         reference_mode: float,
         rng: Optional[np.random.Generator] = None,
     ) -> PanelResult:
-        """Run all phases; returns every expert's judgement per phase."""
-        rng = rng if rng is not None else np.random.default_rng(0)
+        """Run all phases; returns every expert's judgement per phase.
+
+        The one generator is threaded through every phase and expert, so
+        the panel's trajectory is a pure function of it.
+        """
+        rng = ensure_rng(rng if rng is not None else 0)
         current = list(self._experts)
         result = PanelResult(phase_names=[p.name for p in self._phases])
         for phase_index, config in enumerate(self._phases, start=1):

@@ -1,0 +1,52 @@
+"""Batched scenario-sweep engine.
+
+The paper's claims are statements about *families* of scenarios — sweeps
+over priors, evidence volumes, leg dependence, discount factors.  This
+package turns such families into declarative objects and executes them
+fast:
+
+* :class:`ScenarioSpec` / :class:`SweepSpec` — a named pipeline plus a
+  parameter grid, dict/YAML round-trippable;
+* :func:`run_sweep` — grid expansion, caching, and execution on
+  vectorised / serial / thread / process backends;
+* :class:`ResultCache` — content-keyed memoisation of finished scenarios;
+* :class:`ResultSet` — ordered results with table / CSV export;
+* :mod:`~repro.engine.pipelines` — the registry mapping pipeline names to
+  the library's analysis entry points.
+
+Quickstart::
+
+    from repro.engine import SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        pipeline="survival_update",
+        base={"mode": 0.003, "sigma": 0.9, "bound": 1e-2},
+        grid={"demands": [0, 10, 100, 1000, 10000]},
+    )
+    print(run_sweep(sweep).to_table())
+"""
+
+from .cache import ResultCache
+from .executor import BACKENDS, run_scenario, run_sweep
+from .kernels import survival_sweep, survival_sweep_columns
+from .pipelines import Pipeline, available_pipelines, get_pipeline, register
+from .results import ResultSet, ScenarioResult
+from .spec import ScenarioSpec, SweepSpec, canonical_key
+
+__all__ = [
+    "ResultCache",
+    "BACKENDS",
+    "run_scenario",
+    "run_sweep",
+    "survival_sweep",
+    "survival_sweep_columns",
+    "Pipeline",
+    "available_pipelines",
+    "get_pipeline",
+    "register",
+    "ResultSet",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepSpec",
+    "canonical_key",
+]

@@ -1,0 +1,340 @@
+"""Named pipelines the sweep engine can run.
+
+A *pipeline* adapts one of the library's analysis entry points to the
+engine's declarative world: it names the parameters a scenario may bind,
+fills defaults, validates, runs, and returns a flat ``{column: scalar}``
+dict ready for tabulation.  Pipelines that have a vectorised kernel
+(currently the survival update) additionally implement :meth:`run_batch`,
+which the executor's ``vectorized`` backend calls with the whole sweep at
+once.
+
+Registered pipelines:
+
+``survival_update``
+    Section 4.1 tail cut-off of a log-normal judgement by failure-free
+    demands; vectorised.
+``two_leg_posterior``
+    Exact BBN posterior for the Section 4.2 two-leg argument.
+``bbn_query``
+    Monte-Carlo (likelihood-weighting) query of the same two-leg network;
+    stochastic, driven by the scenario seed.
+``sil_classification``
+    The Section 3 mode/mean/confidence SIL classification views.
+``panel_run``
+    The Figure 5 four-phase 12-expert panel simulation; stochastic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DomainError
+from ..numerics import ensure_rng
+from .kernels import survival_sweep
+
+__all__ = [
+    "Pipeline",
+    "register",
+    "get_pipeline",
+    "available_pipelines",
+]
+
+RunItem = Tuple[Dict[str, Any], Optional[int]]
+
+
+class Pipeline:
+    """Base class: parameter schema + scalar execution.
+
+    ``defaults`` double as the parameter schema: a scenario may bind any
+    subset of these names (unknown names are rejected), and ``required``
+    names must be bound.
+    """
+
+    name: str = ""
+    defaults: Dict[str, Any] = {}
+    required: Tuple[str, ...] = ()
+    supports_batch: bool = False
+    #: False for pipelines that draw fresh entropy when the scenario has
+    #: no seed; the executor skips the result cache for those runs.
+    deterministic: bool = True
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Merge ``params`` over the defaults, validating names.
+
+        Idempotent: resolving already-resolved parameters is a no-op, so
+        the executor can validate eagerly and pass the resolved dicts on.
+        """
+        unknown = set(params) - set(self.defaults)
+        if unknown:
+            raise DomainError(
+                f"pipeline {self.name!r} got unknown parameters: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        merged = {**self.defaults, **params}
+        # An explicitly bound None counts as missing too (e.g. an empty
+        # value in a YAML spec parses to None).
+        missing = [key for key in self.required if merged.get(key) is None]
+        if missing:
+            raise DomainError(
+                f"pipeline {self.name!r} missing required parameters: "
+                f"{', '.join(missing)}"
+            )
+        return merged
+
+    def run(self, params: Mapping[str, Any],
+            seed: Optional[int] = None) -> Dict[str, Any]:
+        """Execute one scenario; returns a flat dict of result columns."""
+        raise NotImplementedError
+
+    def run_batch(self, items: Sequence[RunItem]) -> List[Dict[str, Any]]:
+        """Execute many scenarios; the default just loops over :meth:`run`."""
+        return [self.run(params, seed) for params, seed in items]
+
+
+_REGISTRY: Dict[str, Pipeline] = {}
+
+
+def register(pipeline: Pipeline) -> Pipeline:
+    """Register a pipeline instance under its name."""
+    if not pipeline.name:
+        raise DomainError("pipeline needs a non-empty name")
+    _REGISTRY[pipeline.name] = pipeline
+    return pipeline
+
+
+def get_pipeline(name: str) -> Pipeline:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise DomainError(
+            f"unknown pipeline {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_pipelines() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def _as_count(value, label: str) -> int:
+    count = int(value)
+    if count != value:
+        raise DomainError(f"{label} must be an integer, got {value}")
+    return count
+
+
+class SurvivalUpdatePipeline(Pipeline):
+    """Tail cut-off of a log-normal (mode, sigma) judgement by failure-free
+    demands, summarised as posterior mean/median/mode and the one-sided
+    confidence in ``pfd < bound``."""
+
+    name = "survival_update"
+    defaults = {
+        "mode": None,
+        "sigma": None,
+        "demands": 0,
+        "bound": 1e-2,
+        "grid_low": 1e-9,
+        "grid_high": 1.0,
+        "points_per_decade": 400,
+    }
+    required = ("mode", "sigma")
+    supports_batch = True
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        merged = super().resolve(params)
+        merged["demands"] = _as_count(merged["demands"], "demands")
+        return merged
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..numerics import log_grid
+        from ..update import DemandEvidence, survival_update
+
+        merged = self.resolve(params)
+        grid = log_grid(
+            merged["grid_low"], merged["grid_high"],
+            merged["points_per_decade"],
+        )
+        prior = LogNormalJudgement.from_mode_sigma(
+            merged["mode"], merged["sigma"]
+        )
+        posterior = survival_update(
+            prior, DemandEvidence(demands=merged["demands"]), grid
+        )
+        return {
+            "mean": posterior.mean(),
+            "median": posterior.median(),
+            "posterior_mode": posterior.mode(),
+            "confidence": posterior.confidence(merged["bound"]),
+        }
+
+    def run_batch(self, items):
+        resolved = [self.resolve(params) for params, _seed in items]
+        return survival_sweep(resolved)
+
+
+class TwoLegPosteriorPipeline(Pipeline):
+    """Exact posterior confidence for the two-leg argument network as the
+    dependence between the legs' assumptions varies."""
+
+    name = "two_leg_posterior"
+    defaults = {
+        "prior": None,
+        "dependence": 0.0,
+        "leg1_validity": None,
+        "leg1_sensitivity": None,
+        "leg1_specificity": None,
+        "leg1_noise": 0.5,
+        "leg2_validity": None,
+        "leg2_sensitivity": None,
+        "leg2_specificity": None,
+        "leg2_noise": 0.5,
+    }
+    required = (
+        "prior",
+        "leg1_validity", "leg1_sensitivity", "leg1_specificity",
+        "leg2_validity", "leg2_sensitivity", "leg2_specificity",
+    )
+
+    @staticmethod
+    def _legs(merged):
+        from ..arguments import ArgumentLeg
+
+        leg1 = ArgumentLeg(
+            "leg1", merged["leg1_validity"], merged["leg1_sensitivity"],
+            merged["leg1_specificity"], merged["leg1_noise"],
+        )
+        leg2 = ArgumentLeg(
+            "leg2", merged["leg2_validity"], merged["leg2_sensitivity"],
+            merged["leg2_specificity"], merged["leg2_noise"],
+        )
+        return leg1, leg2
+
+    def run(self, params, seed=None):
+        from ..arguments import two_leg_posterior
+
+        merged = self.resolve(params)
+        leg1, leg2 = self._legs(merged)
+        result = two_leg_posterior(
+            merged["prior"], leg1, leg2, merged["dependence"]
+        )
+        return {
+            "single_leg": result.single_leg,
+            "both_legs": result.both_legs,
+            "gain": result.gain,
+            "doubt_reduction": result.doubt_reduction_factor,
+        }
+
+
+class BbnQueryPipeline(TwoLegPosteriorPipeline):
+    """Monte-Carlo cross-check of the two-leg query by likelihood
+    weighting; the scenario seed drives the sampler, so sweeps over seeds
+    measure Monte-Carlo scatter."""
+
+    name = "bbn_query"
+    defaults = {**TwoLegPosteriorPipeline.defaults, "n_samples": 4000}
+    # Without a scenario seed the sampler draws fresh OS entropy, so a
+    # cached replay would freeze one random draw; the executor must not
+    # memoise those runs.
+    deterministic = False
+
+    def run(self, params, seed=None):
+        from ..arguments import build_two_leg_network
+        from ..bbn import likelihood_weighting
+
+        merged = self.resolve(params)
+        leg1, leg2 = self._legs(merged)
+        network = build_two_leg_network(
+            merged["prior"], leg1, leg2, merged["dependence"]
+        )
+        posterior = likelihood_weighting(
+            network,
+            "claim",
+            {"evidence_leg1": "true", "evidence_leg2": "true"},
+            n_samples=_as_count(merged["n_samples"], "n_samples"),
+            rng=ensure_rng(seed),
+        )
+        return {"p_claim": posterior["true"]}
+
+
+class SilClassificationPipeline(Pipeline):
+    """The three SIL classification views (mode band, mean band, band
+    granted at a required one-sided confidence) of a log-normal
+    judgement."""
+
+    name = "sil_classification"
+    defaults = {
+        "mode": None,
+        "sigma": None,
+        "required_confidence": 0.70,
+        "scheme": "low_demand",
+    }
+    required = ("mode", "sigma")
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..sil import HIGH_DEMAND, LOW_DEMAND, assess
+
+        merged = self.resolve(params)
+        schemes = {"low_demand": LOW_DEMAND, "high_demand": HIGH_DEMAND}
+        if merged["scheme"] not in schemes:
+            raise DomainError(
+                f"scheme must be one of {sorted(schemes)}, "
+                f"got {merged['scheme']!r}"
+            )
+        judgement = LogNormalJudgement.from_mode_sigma(
+            merged["mode"], merged["sigma"]
+        )
+        report = assess(
+            judgement,
+            scheme=schemes[merged["scheme"]],
+            required_confidence=merged["required_confidence"],
+        )
+        out = {
+            "mode_value": report.mode_value,
+            "mean_value": report.mean_value,
+            "mode_level": report.mode_level,
+            "mean_level": report.mean_level,
+            "granted_level": report.granted_level,
+            "optimistic_gap": report.optimistic_gap,
+        }
+        for level, confidence in sorted(report.confidence_by_level.items()):
+            out[f"sil{level}_confidence"] = confidence
+        return out
+
+
+class PanelRunPipeline(Pipeline):
+    """The four-phase synthetic expert panel (Figure 5); the scenario seed
+    builds the panel, so per-scenario seeds give reproducible sweeps."""
+
+    name = "panel_run"
+    defaults = {
+        "n_experts": 12,
+        "n_doubters": 3,
+        "pool": "linear",
+    }
+
+    def run(self, params, seed=None):
+        from ..experiment import run_panel
+
+        merged = self.resolve(params)
+        result = run_panel(
+            n_experts=_as_count(merged["n_experts"], "n_experts"),
+            n_doubters=_as_count(merged["n_doubters"], "n_doubters"),
+            pool=merged["pool"],
+            rng=ensure_rng(seed if seed is not None else 2007),
+        )
+        return {
+            "group_confidence": result.group_confidence_in_target(),
+            "group_mean_pfd": result.group_mean_pfd(),
+            "pooled_mean_pfd": result.pooled_mean_pfd(),
+            "mean_on_boundary": result.mean_on_boundary(),
+        }
+
+
+register(SurvivalUpdatePipeline())
+register(TwoLegPosteriorPipeline())
+register(BbnQueryPipeline())
+register(SilClassificationPipeline())
+register(PanelRunPipeline())

@@ -8,6 +8,13 @@ substitution argument).  This module ships a self-contained synthetic
 description with the features the experiment needs: a nuclear C&I
 protection function, a target SIL, and a reference difficulty (the pfd
 the briefing material actually supports) around which experts scatter.
+
+Determinism note: the case study itself is deliberately free of random
+state — all stochasticity in the experiment lives in
+:func:`repro.experiment.protocol.run_panel`, which threads one
+``numpy.random.Generator`` through panel construction and every phase,
+so a simulated experiment is a pure function of its seed (or of the
+generator a sweep hands it).
 """
 
 from __future__ import annotations

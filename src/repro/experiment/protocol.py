@@ -28,6 +28,7 @@ from ..elicitation import (
     log_pool,
 )
 from ..errors import DomainError
+from ..numerics import ensure_rng
 from ..sil import LOW_DEMAND, SilBand
 from .cemsis import CaseStudy, public_domain_case_study
 
@@ -109,7 +110,7 @@ def build_panel(
         raise DomainError("panel needs at least one expert")
     if not 0 <= n_doubters <= n_experts:
         raise DomainError("doubter count must lie in [0, n_experts]")
-    rng = rng if rng is not None else np.random.default_rng(2007)
+    rng = ensure_rng(rng if rng is not None else 2007)
     experts = []
     for index in range(n_experts):
         is_doubter = index < n_doubters
@@ -130,17 +131,24 @@ def run_panel(
     n_doubters: int = 3,
     seed: int = 2007,
     pool: str = "linear",
+    rng: Optional[np.random.Generator] = None,
 ) -> ExperimentResult:
     """Run the four-phase protocol on a synthetic panel.
 
     ``pool`` selects the aggregation rule for the ablation in bench E5:
     ``"linear"`` (mixture; the default and the rule matching the paper's
     reported group behaviour) or ``"log"`` (geometric consensus).
+
+    One generator drives the whole simulation — panel construction and
+    every phase — so a run is a pure function of ``seed``.  Pass ``rng``
+    to thread an external generator through instead (it takes precedence
+    over ``seed``); sweep engines use this to give each scenario its own
+    spawned stream.
     """
     if pool not in ("linear", "log"):
         raise DomainError(f"pool must be 'linear' or 'log', got {pool!r}")
     case = case_study if case_study is not None else public_domain_case_study()
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(rng if rng is not None else seed)
     experts = build_panel(n_experts, n_doubters, rng)
     protocol = FourPhaseProtocol(experts)
     panel = protocol.run(case.reference_mode, rng)

@@ -22,6 +22,7 @@ from .integrate import (
     trapezoid,
 )
 from .interpolate import MonotoneInterpolant, inverse_cdf_from_grid
+from .rng import ensure_rng, spawn_seeds
 from .roots import bisect, bracket_monotone, brentq, invert_monotone
 from .special import (
     LN10,
@@ -49,6 +50,8 @@ __all__ = [
     "trapezoid",
     "MonotoneInterpolant",
     "inverse_cdf_from_grid",
+    "ensure_rng",
+    "spawn_seeds",
     "bisect",
     "bracket_monotone",
     "brentq",

@@ -5,6 +5,13 @@ The central quantity in the paper is an expectation of the form
 confidences ``P(pfd < y) = integral_0^y f(p) dp``.  These helpers evaluate
 such integrals on explicit grids (trapezoid / Simpson) or adaptively via
 scipy when a callable is cheaper to sample adaptively.
+
+All grid rules are *batched*: ``values`` may carry leading axes, with the
+last axis matching the grid, and the rule is applied along that last axis
+in a single NumPy pass.  A 1-D input returns a plain float (scalars for
+scalar work), an N-D input returns an array of shape ``values.shape[:-1]``
+— this is what lets :mod:`repro.engine` evaluate whole scenario sweeps
+without a Python loop.
 """
 
 from __future__ import annotations
@@ -29,32 +36,52 @@ __all__ = [
 ]
 
 
-def trapezoid(values: np.ndarray, grid: np.ndarray) -> float:
-    """Trapezoid rule for samples ``values`` at points ``grid``."""
+def _check_batch(values, grid):
+    """Coerce and validate a (possibly batched) values/grid pair."""
     values = np.asarray(values, dtype=float)
     grid = np.asarray(grid, dtype=float)
-    if values.shape != grid.shape:
+    if grid.ndim != 1:
+        raise DomainError("grid must be a 1-D array")
+    if values.ndim < 1 or values.shape[-1] != grid.shape[0]:
         raise DomainError("values and grid must have the same shape")
-    return float(_np_trapezoid(values, grid))
+    return values, grid
+
+
+def trapezoid(values: np.ndarray, grid: np.ndarray):
+    """Trapezoid rule for samples ``values`` at points ``grid``.
+
+    ``values`` may be batched with shape ``(..., n)``; the rule is applied
+    along the last axis.  Returns a float for 1-D input, an array of the
+    leading shape otherwise.
+    """
+    values, grid = _check_batch(values, grid)
+    out = _np_trapezoid(values, grid, axis=-1)
+    if values.ndim == 1:
+        return float(out)
+    return np.asarray(out, dtype=float)
 
 
 def cumulative_trapezoid(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
-    """Running trapezoid integral, with a leading zero (same length as grid)."""
-    values = np.asarray(values, dtype=float)
-    grid = np.asarray(grid, dtype=float)
-    if values.shape != grid.shape:
-        raise DomainError("values and grid must have the same shape")
-    cells = 0.5 * (values[1:] + values[:-1]) * np.diff(grid)
-    return np.concatenate([[0.0], np.cumsum(cells)])
+    """Running trapezoid integral, with a leading zero (same length as grid).
+
+    Batched along the last axis like :func:`trapezoid`.
+    """
+    values, grid = _check_batch(values, grid)
+    cells = 0.5 * (values[..., 1:] + values[..., :-1]) * np.diff(grid)
+    zeros = np.zeros(values.shape[:-1] + (1,), dtype=float)
+    return np.concatenate([zeros, np.cumsum(cells, axis=-1)], axis=-1)
 
 
-def simpson(values: np.ndarray, grid: np.ndarray) -> float:
-    """Composite Simpson rule (falls back gracefully for uneven grids)."""
-    values = np.asarray(values, dtype=float)
-    grid = np.asarray(grid, dtype=float)
-    if values.shape != grid.shape:
-        raise DomainError("values and grid must have the same shape")
-    return float(_sp_integrate.simpson(values, x=grid))
+def simpson(values: np.ndarray, grid: np.ndarray):
+    """Composite Simpson rule (falls back gracefully for uneven grids).
+
+    Batched along the last axis like :func:`trapezoid`.
+    """
+    values, grid = _check_batch(values, grid)
+    out = _sp_integrate.simpson(values, x=grid, axis=-1)
+    if values.ndim == 1:
+        return float(out)
+    return np.asarray(out, dtype=float)
 
 
 def adaptive_quad(
@@ -97,8 +124,14 @@ def expectation_on_grid(
 
 
 def normalise_density(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
-    """Rescale sampled density values so they integrate to one on ``grid``."""
-    total = trapezoid(values, grid)
-    if total <= 0:
+    """Rescale sampled density values so they integrate to one on ``grid``.
+
+    Batched: each row of a ``(..., n)`` array is normalised independently.
+    """
+    values, grid = _check_batch(values, grid)
+    total = _np_trapezoid(values, grid, axis=-1)
+    if np.any(np.asarray(total) <= 0):
         raise DomainError("density integrates to a non-positive value")
-    return np.asarray(values, dtype=float) / total
+    if values.ndim == 1:
+        return values / float(total)
+    return values / np.asarray(total, dtype=float)[..., np.newaxis]

@@ -1,0 +1,56 @@
+"""Random-generator plumbing.
+
+Every stochastic entry point in the library accepts an optional
+``numpy.random.Generator``; these helpers give them one consistent way to
+resolve it.  :func:`ensure_rng` turns "a generator, a seed, or nothing"
+into a generator; :func:`spawn_seeds` derives independent, reproducible
+per-scenario seeds from one master seed so a sweep of stochastic
+scenarios (``repro.engine``) is reproducible end to end while each
+scenario still gets its own stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..errors import DomainError
+
+__all__ = ["ensure_rng", "spawn_seeds"]
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Resolve ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged, so a single
+    generator can be threaded through a whole simulation), an integer
+    seed, a :class:`~numpy.random.SeedSequence`, or ``None`` for a fresh
+    OS-entropy stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(seed)
+    raise DomainError(
+        f"seed must be None, an int, a SeedSequence or a Generator, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_seeds(master_seed: Optional[int], n: int) -> List[Optional[int]]:
+    """Derive ``n`` independent child seeds from one master seed.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children are
+    statistically independent and the whole family is a pure function of
+    ``master_seed``.  With ``master_seed=None`` the children are all
+    ``None`` (fresh entropy each — explicitly non-reproducible).
+    """
+    if n < 0:
+        raise DomainError("cannot spawn a negative number of seeds")
+    if master_seed is None:
+        return [None] * n
+    children = np.random.SeedSequence(master_seed).spawn(n)
+    return [int(child.generate_state(1)[0]) for child in children]

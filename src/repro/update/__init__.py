@@ -17,8 +17,10 @@ from .posterior import (
     confidence_growth,
     default_pfd_grid,
     grid_update,
+    grid_update_batch,
     hard_cutoff,
     survival_update,
+    survival_update_batch,
 )
 from .provisional import ProvisionalRatingOutcome, ProvisionalRatingPlan
 
@@ -39,8 +41,10 @@ __all__ = [
     "confidence_growth",
     "default_pfd_grid",
     "grid_update",
+    "grid_update_batch",
     "hard_cutoff",
     "survival_update",
+    "survival_update_batch",
     "ProvisionalRatingOutcome",
     "ProvisionalRatingPlan",
 ]

@@ -14,11 +14,16 @@ mean").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..distributions import GridJudgement, JudgementDistribution, TruncatedJudgement
+from ..distributions import (
+    GridJudgement,
+    GridJudgementBatch,
+    JudgementDistribution,
+    TruncatedJudgement,
+)
 from ..errors import DomainError
 from ..numerics import log_grid
 from .likelihoods import DemandEvidence, OperatingTimeEvidence
@@ -26,7 +31,9 @@ from .likelihoods import DemandEvidence, OperatingTimeEvidence
 __all__ = [
     "default_pfd_grid",
     "grid_update",
+    "grid_update_batch",
     "survival_update",
+    "survival_update_batch",
     "hard_cutoff",
     "GrowthPoint",
     "confidence_growth",
@@ -82,6 +89,109 @@ def survival_update(
     prior_density = np.asarray(prior.pdf(grid), dtype=float)
     survival = np.asarray(evidence.survival_probability(grid), dtype=float)
     return GridJudgement(grid, prior_density * survival)
+
+
+def _prior_density_rows(
+    priors: Union[JudgementDistribution, Sequence[JudgementDistribution], np.ndarray],
+    grid: np.ndarray,
+    n_scenarios: int,
+) -> np.ndarray:
+    """Resolve ``priors`` into an ``(S, n)`` array of density rows.
+
+    Accepts one shared prior (evaluated once and broadcast — the common
+    sweep case), a sequence of priors, or precomputed rows (e.g. from
+    :func:`repro.distributions.lognormal_pdf_grid`).
+    """
+    if isinstance(priors, JudgementDistribution):
+        row = np.asarray(priors.pdf(grid), dtype=float)
+        return np.broadcast_to(row, (n_scenarios, grid.size))
+    if isinstance(priors, np.ndarray):
+        rows = np.atleast_2d(np.asarray(priors, dtype=float))
+        if rows.shape[1] != grid.size:
+            raise DomainError("prior density rows must match the grid length")
+        if rows.shape[0] == 1:
+            rows = np.broadcast_to(rows, (n_scenarios, grid.size))
+        elif rows.shape[0] != n_scenarios:
+            raise DomainError(
+                f"got {rows.shape[0]} prior rows for {n_scenarios} scenarios"
+            )
+        return rows
+    rows_list = [np.asarray(p.pdf(grid), dtype=float) for p in priors]
+    if len(rows_list) == 1:
+        return np.broadcast_to(rows_list[0], (n_scenarios, grid.size))
+    if len(rows_list) != n_scenarios:
+        raise DomainError(
+            f"got {len(rows_list)} priors for {n_scenarios} scenarios"
+        )
+    return np.stack(rows_list)
+
+
+def survival_update_batch(
+    priors,
+    demands,
+    grid: Optional[np.ndarray] = None,
+) -> GridJudgementBatch:
+    """Vectorised tail cut-off: one survival update per demand count.
+
+    The batched counterpart of :func:`survival_update` for failure-free
+    demand evidence.  ``demands`` is an ``(S,)`` array of demand counts and
+    ``priors`` is a shared prior, a sequence of priors, or an ``(S, n)``
+    array of prior density rows; the whole sweep is evaluated as a single
+    ``(S, n)`` NumPy pass.  Row ``i`` of the result matches
+    ``survival_update(prior_i, DemandEvidence(demands[i]), grid)`` to
+    round-off.
+    """
+    if grid is None:
+        grid = default_pfd_grid()
+    grid = np.asarray(grid, dtype=float)
+    demands_arr = np.atleast_1d(np.asarray(demands, dtype=float))
+    if demands_arr.ndim != 1:
+        raise DomainError("demands must be a 1-D array of counts")
+    if np.any(demands_arr < 0):
+        raise DomainError("demand counts must be non-negative")
+    prior_rows = _prior_density_rows(priors, grid, demands_arr.size)
+    # (1 - p)^n for every scenario; identical elementwise ops to
+    # DemandEvidence.survival_probability.  The power is the most
+    # expensive pass, so repeated demand counts are computed once and
+    # gathered back.
+    base = 1.0 - np.clip(grid, 0.0, 1.0)[np.newaxis, :]
+    unique_demands, inverse = np.unique(demands_arr, return_inverse=True)
+    if unique_demands.size < demands_arr.size:
+        survival = np.power(base, unique_demands[:, np.newaxis])[inverse]
+    else:
+        survival = np.power(base, demands_arr[:, np.newaxis])
+    return GridJudgementBatch(grid, prior_rows * survival)
+
+
+def grid_update_batch(
+    priors,
+    likelihood_rows: np.ndarray,
+    grid: Optional[np.ndarray] = None,
+) -> GridJudgementBatch:
+    """Vectorised :func:`grid_update`: posterior rows from likelihood rows.
+
+    ``likelihood_rows`` is an ``(S, n)`` array of likelihood values on the
+    grid (one row per scenario, e.g. from vectorising an evidence model
+    over its parameters); ``priors`` is as in
+    :func:`survival_update_batch`.
+    """
+    if grid is None:
+        grid = default_pfd_grid()
+    grid = np.asarray(grid, dtype=float)
+    likelihood_rows = np.atleast_2d(np.asarray(likelihood_rows, dtype=float))
+    if likelihood_rows.shape[1] != grid.size:
+        raise DomainError("likelihood rows must match the grid length")
+    if np.any(likelihood_rows < 0):
+        raise DomainError("likelihood values must be non-negative")
+    prior_rows = _prior_density_rows(priors, grid, likelihood_rows.shape[0])
+    posterior = prior_rows * likelihood_rows
+    row_mass = np.max(posterior, axis=1)
+    if np.any(row_mass <= 0):
+        raise DomainError(
+            "posterior vanished on the grid: evidence and prior conflict or "
+            "grid does not cover the posterior mass"
+        )
+    return GridJudgementBatch(grid, posterior)
 
 
 def hard_cutoff(

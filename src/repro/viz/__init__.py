@@ -2,12 +2,13 @@
 
 from .ascii import density_chart, line_chart
 from .report import case_report_markdown
-from .tables import format_row, format_table
+from .tables import format_records, format_row, format_table
 
 __all__ = [
     "density_chart",
     "line_chart",
     "case_report_markdown",
+    "format_records",
     "format_row",
     "format_table",
 ]

@@ -1,12 +1,12 @@
-"""Plain-text table formatting for bench and example output."""
+"""Plain-text table formatting for bench, example and sweep output."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from ..errors import DomainError
 
-__all__ = ["format_table", "format_row"]
+__all__ = ["format_table", "format_row", "format_records"]
 
 
 def _stringify(cell) -> str:
@@ -46,3 +46,26 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     for row in rows:
         lines.append(format_row(row, widths))
     return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Tabulate a list of dict rows (e.g. a sweep's scenario records).
+
+    ``columns`` fixes the order (and selection); by default every key is
+    shown in first-seen order.  Missing cells render empty.
+    """
+    records = [dict(r) for r in records]
+    if columns is None:
+        seen: List[str] = []
+        for record in records:
+            for key in record:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    if not columns:
+        raise DomainError("no columns to tabulate")
+    rows = [[record.get(col, "") for col in columns] for record in records]
+    return format_table(list(columns), rows)

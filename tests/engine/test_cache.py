@@ -1,0 +1,71 @@
+"""Tests for the keyed result cache."""
+
+import threading
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.errors import DomainError
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"mean": 1.0})
+        assert cache.get("k") == {"mean": 1.0}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_returns_a_copy(self):
+        cache = ResultCache()
+        cache.put("k", {"mean": 1.0})
+        first = cache.get("k")
+        first["mean"] = 99.0
+        assert cache.get("k") == {"mean": 1.0}
+
+    def test_lru_eviction(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refresh a
+        cache.put("c", {"v": 3})           # evicts b, the LRU entry
+        assert "b" not in cache
+        assert "a" in cache
+        assert "c" in cache
+        assert len(cache) == 2
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(DomainError):
+            ResultCache(maxsize=0)
+
+    def test_clear_resets_contents_and_stats(self):
+        cache = ResultCache()
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("missing")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_thread_safety_smoke(self):
+        cache = ResultCache(maxsize=64)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(300):
+                    key = f"{tag}-{i % 40}"
+                    cache.put(key, {"v": i})
+                    cache.get(key)
+                    cache.get(f"other-{i % 7}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

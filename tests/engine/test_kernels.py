@@ -1,0 +1,222 @@
+"""Batched kernels must match the scalar reference paths to 1e-12.
+
+The acceptance criterion for the sweep engine: every vectorised result is
+numerically the same answer the existing scalar code gives, across random
+parameter sweeps (hypothesis) and hand-picked edge cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    GammaJudgement,
+    GridJudgement,
+    GridJudgementBatch,
+    LogNormalJudgement,
+    gamma_pdf_grid,
+    lognormal_pdf_grid,
+)
+from repro.engine import survival_sweep_columns
+from repro.errors import DomainError
+from repro.numerics import (
+    cumulative_trapezoid,
+    log_grid,
+    normalise_density,
+    simpson,
+    trapezoid,
+)
+from repro.update import DemandEvidence, survival_update, survival_update_batch
+
+GRID = log_grid(1e-7, 1.0, points_per_decade=60)
+
+TOL = 1e-12
+
+modes_st = st.floats(min_value=1e-5, max_value=0.05)
+sigmas_st = st.floats(min_value=0.3, max_value=1.6)
+demands_st = st.integers(min_value=0, max_value=50_000)
+bounds_st = st.floats(min_value=1e-4, max_value=0.5)
+
+
+class TestBatchedQuadrature:
+    def test_trapezoid_batched_matches_rows(self, rng):
+        values = rng.uniform(0.0, 2.0, size=(5, GRID.size))
+        batched = trapezoid(values, GRID)
+        assert batched.shape == (5,)
+        for i in range(5):
+            assert batched[i] == pytest.approx(trapezoid(values[i], GRID),
+                                               abs=TOL)
+
+    def test_cumulative_trapezoid_batched_matches_rows(self, rng):
+        values = rng.uniform(0.0, 2.0, size=(4, GRID.size))
+        batched = cumulative_trapezoid(values, GRID)
+        assert batched.shape == values.shape
+        for i in range(4):
+            np.testing.assert_allclose(
+                batched[i], cumulative_trapezoid(values[i], GRID), atol=TOL
+            )
+
+    def test_simpson_batched_matches_rows(self, rng):
+        values = rng.uniform(0.0, 2.0, size=(3, GRID.size))
+        batched = simpson(values, GRID)
+        for i in range(3):
+            assert batched[i] == pytest.approx(simpson(values[i], GRID),
+                                               abs=TOL)
+
+    def test_normalise_density_batched_matches_rows(self, rng):
+        values = rng.uniform(0.1, 2.0, size=(3, GRID.size))
+        batched = normalise_density(values, GRID)
+        for i in range(3):
+            np.testing.assert_allclose(
+                batched[i], normalise_density(values[i], GRID), atol=TOL
+            )
+
+    def test_scalar_inputs_still_return_floats(self):
+        values = np.ones_like(GRID)
+        assert isinstance(trapezoid(values, GRID), float)
+        assert isinstance(simpson(values, GRID), float)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DomainError):
+            trapezoid(np.ones((3, GRID.size - 1)), GRID)
+
+
+class TestBatchedDensities:
+    def test_lognormal_pdf_grid_matches_scalar(self):
+        modes = np.array([0.003, 0.001, 0.05])
+        sigmas = np.array([0.9, 1.2, 0.5])
+        mu = np.log(modes) + sigmas * sigmas
+        rows = lognormal_pdf_grid(mu, sigmas, GRID)
+        for i in range(3):
+            dist = LogNormalJudgement.from_mode_sigma(modes[i], sigmas[i])
+            np.testing.assert_allclose(rows[i], dist.pdf(GRID), atol=TOL)
+
+    def test_gamma_pdf_grid_matches_scalar(self):
+        shapes = np.array([1.5, 2.0, 4.0])
+        scales = np.array([0.002, 0.01, 0.0005])
+        rows = gamma_pdf_grid(shapes, scales, GRID)
+        for i in range(3):
+            dist = GammaJudgement(shapes[i], scales[i])
+            np.testing.assert_allclose(rows[i], dist.pdf(GRID), atol=TOL)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DomainError):
+            lognormal_pdf_grid([0.0], [-1.0], GRID)
+        with pytest.raises(DomainError):
+            gamma_pdf_grid([0.0], [1.0], GRID)
+
+
+class TestGridJudgementBatch:
+    def _batch_and_scalars(self, rng, n=4):
+        densities = rng.uniform(0.05, 2.0, size=(n, GRID.size))
+        batch = GridJudgementBatch(GRID, densities)
+        scalars = [GridJudgement(GRID, densities[i]) for i in range(n)]
+        return batch, scalars
+
+    def test_summaries_match_scalar(self, rng):
+        batch, scalars = self._batch_and_scalars(rng)
+        for i, scalar in enumerate(scalars):
+            assert batch.means()[i] == pytest.approx(scalar.mean(), abs=TOL)
+            assert batch.variances()[i] == pytest.approx(
+                scalar.variance(), abs=TOL)
+            assert batch.medians()[i] == pytest.approx(
+                scalar.median(), abs=TOL)
+            assert batch.modes()[i] == pytest.approx(scalar.mode(), abs=TOL)
+            for bound in (1e-5, 1e-3, 0.2, 1.0):
+                assert batch.confidences(bound)[i] == pytest.approx(
+                    scalar.confidence(bound), abs=TOL)
+
+    def test_confidence_boundaries(self, rng):
+        batch, scalars = self._batch_and_scalars(rng, n=2)
+        below = GRID[0] / 2.0
+        above = GRID[-1] * 2.0
+        np.testing.assert_array_equal(batch.confidences(below), 0.0)
+        np.testing.assert_array_equal(batch.confidences(above), 1.0)
+
+    def test_per_scenario_bounds(self, rng):
+        batch, scalars = self._batch_and_scalars(rng, n=3)
+        bounds = np.array([1e-4, 1e-2, 0.5])
+        confs = batch.confidences(bounds)
+        for i, scalar in enumerate(scalars):
+            assert confs[i] == pytest.approx(scalar.confidence(bounds[i]),
+                                             abs=TOL)
+
+    def test_getitem_materialises_member(self, rng):
+        batch, scalars = self._batch_and_scalars(rng, n=2)
+        member = batch[1]
+        assert isinstance(member, GridJudgement)
+        assert member.mean() == pytest.approx(scalars[1].mean(), abs=TOL)
+
+    def test_reweighted_matches_scalar(self, rng):
+        batch, scalars = self._batch_and_scalars(rng, n=2)
+        weights = rng.uniform(0.1, 1.0, size=GRID.size)
+        rebatch = batch.reweighted(weights)
+        for i, scalar in enumerate(scalars):
+            assert rebatch.means()[i] == pytest.approx(
+                scalar.reweighted(weights).mean(), abs=TOL)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            GridJudgementBatch(GRID, np.ones((2, GRID.size - 1)))
+        with pytest.raises(DomainError):
+            GridJudgementBatch(GRID, -np.ones((2, GRID.size)))
+
+
+class TestSurvivalBatchMatchesScalar:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        modes=st.lists(modes_st, min_size=1, max_size=6),
+        sigma=sigmas_st,
+        demands=st.lists(demands_st, min_size=1, max_size=6),
+        bound=bounds_st,
+    )
+    def test_random_sweeps_match(self, modes, sigma, demands, bound):
+        size = min(len(modes), len(demands))
+        modes_arr = np.asarray(modes[:size])
+        demands_arr = np.asarray(demands[:size])
+        columns = survival_sweep_columns(
+            modes_arr, sigma, demands_arr, bound, GRID
+        )
+        for i in range(size):
+            prior = LogNormalJudgement.from_mode_sigma(modes_arr[i], sigma)
+            scalar = survival_update(
+                prior, DemandEvidence(demands=int(demands_arr[i])), GRID
+            )
+            assert columns["mean"][i] == pytest.approx(scalar.mean(), abs=TOL)
+            assert columns["median"][i] == pytest.approx(
+                scalar.median(), abs=TOL)
+            assert columns["mode"][i] == pytest.approx(scalar.mode(), abs=TOL)
+            assert columns["confidence"][i] == pytest.approx(
+                scalar.confidence(bound), abs=TOL)
+
+    def test_shared_prior_batch(self, paper_judgement):
+        demands = np.array([0, 10, 1000])
+        batch = survival_update_batch(paper_judgement, demands, GRID)
+        for i, n in enumerate(demands):
+            scalar = survival_update(
+                paper_judgement, DemandEvidence(demands=int(n)), GRID
+            )
+            assert batch.means()[i] == pytest.approx(scalar.mean(), abs=TOL)
+
+    def test_sequence_of_priors_batch(self, paper_judgement, narrow_judgement):
+        priors = [paper_judgement, narrow_judgement]
+        batch = survival_update_batch(priors, np.array([100, 100]), GRID)
+        for i, prior in enumerate(priors):
+            scalar = survival_update(prior, DemandEvidence(demands=100), GRID)
+            assert batch.medians()[i] == pytest.approx(scalar.median(),
+                                                       abs=TOL)
+
+    def test_zero_demands_is_renormalised_prior(self, paper_judgement):
+        batch = survival_update_batch(paper_judgement, np.array([0]), GRID)
+        projected = GridJudgement.from_distribution(paper_judgement, GRID)
+        assert batch.means()[0] == pytest.approx(projected.mean(), abs=TOL)
+
+    def test_negative_demands_rejected(self, paper_judgement):
+        with pytest.raises(DomainError):
+            survival_update_batch(paper_judgement, np.array([-1]), GRID)
+
+    def test_prior_row_count_mismatch_rejected(self, paper_judgement):
+        rows = np.tile(paper_judgement.pdf(GRID), (3, 1))
+        with pytest.raises(DomainError):
+            survival_update_batch(rows, np.array([1, 2]), GRID)

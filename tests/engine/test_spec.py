@@ -1,0 +1,158 @@
+"""Tests for scenario / sweep specifications."""
+
+import json
+
+import pytest
+
+from repro.engine import ScenarioSpec, SweepSpec, canonical_key
+from repro.errors import DomainError
+
+
+class TestScenarioSpec:
+    def test_key_is_stable_and_order_independent(self):
+        a = ScenarioSpec("survival_update", {"mode": 0.003, "sigma": 0.9})
+        b = ScenarioSpec("survival_update", {"sigma": 0.9, "mode": 0.003})
+        assert a.key() == b.key()
+
+    def test_key_distinguishes_params_pipeline_and_seed(self):
+        base = ScenarioSpec("survival_update", {"mode": 0.003})
+        assert base.key() != ScenarioSpec(
+            "survival_update", {"mode": 0.004}).key()
+        assert base.key() != ScenarioSpec(
+            "sil_classification", {"mode": 0.003}).key()
+        assert base.key() != ScenarioSpec(
+            "survival_update", {"mode": 0.003}, seed=1).key()
+
+    def test_rejects_non_scalar_params(self):
+        with pytest.raises(DomainError):
+            ScenarioSpec("survival_update", {"mode": [1, 2]})
+
+    def test_rejects_empty_pipeline(self):
+        with pytest.raises(DomainError):
+            ScenarioSpec("", {})
+
+    def test_dict_round_trip(self):
+        spec = ScenarioSpec("panel_run", {"n_doubters": 3}, seed=11)
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.key() == spec.key()
+
+    def test_with_params_overrides(self):
+        spec = ScenarioSpec("survival_update", {"mode": 0.003, "sigma": 0.9})
+        other = spec.with_params(sigma=1.2)
+        assert other.params["sigma"] == 1.2
+        assert other.params["mode"] == 0.003
+        assert spec.params["sigma"] == 0.9
+
+    def test_canonical_key_is_content_hash(self):
+        key = canonical_key("p", {"a": 1})
+        assert key == canonical_key("p", {"a": 1})
+        assert len(key) == 64
+
+
+class TestSweepSpec:
+    def test_expand_cartesian_product(self):
+        sweep = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003},
+            grid={"sigma": [0.7, 0.9], "demands": [0, 10, 100]},
+        )
+        scenarios = sweep.expand()
+        assert len(scenarios) == 6 == sweep.n_scenarios()
+        combos = {(s.params["sigma"], s.params["demands"]) for s in scenarios}
+        assert combos == {(a, b) for a in (0.7, 0.9) for b in (0, 10, 100)}
+        assert all(s.params["mode"] == 0.003 for s in scenarios)
+
+    def test_expand_order_is_deterministic(self):
+        sweep = SweepSpec(
+            pipeline="survival_update",
+            grid={"sigma": [0.7, 0.9], "demands": [0, 10]},
+        )
+        first = [s.params for s in sweep.expand()]
+        second = [s.params for s in sweep.expand()]
+        assert first == second
+
+    def test_empty_grid_expands_to_base_scenario(self):
+        sweep = SweepSpec(
+            pipeline="survival_update", base={"mode": 0.003, "sigma": 0.9}
+        )
+        scenarios = sweep.expand()
+        assert len(scenarios) == 1
+        assert scenarios[0].params == {"mode": 0.003, "sigma": 0.9}
+
+    def test_empty_axis_expands_to_nothing(self):
+        sweep = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003, "sigma": 0.9},
+            grid={"demands": []},
+        )
+        assert sweep.expand() == []
+        assert sweep.n_scenarios() == 0
+
+    def test_singleton_axes(self):
+        sweep = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003},
+            grid={"sigma": [0.9], "demands": [100]},
+        )
+        scenarios = sweep.expand()
+        assert len(scenarios) == 1
+        assert scenarios[0].params["demands"] == 100
+
+    def test_grid_axis_must_be_a_list(self):
+        with pytest.raises(DomainError):
+            SweepSpec(pipeline="p", grid={"sigma": 0.9})
+        with pytest.raises(DomainError):
+            SweepSpec(pipeline="p", grid={"sigma": "abc"})
+
+    def test_seed_spawns_distinct_reproducible_child_seeds(self):
+        sweep = SweepSpec(pipeline="panel_run",
+                          grid={"n_doubters": [0, 1, 2, 3]}, seed=42)
+        seeds = [s.seed for s in sweep.expand()]
+        assert len(set(seeds)) == 4
+        assert seeds == [s.seed for s in sweep.expand()]
+        other = SweepSpec(pipeline="panel_run",
+                          grid={"n_doubters": [0, 1, 2, 3]}, seed=43)
+        assert seeds != [s.seed for s in other.expand()]
+
+    def test_no_seed_means_no_child_seeds(self):
+        sweep = SweepSpec(pipeline="panel_run", grid={"n_doubters": [0, 1]})
+        assert [s.seed for s in sweep.expand()] == [None, None]
+
+    def test_dict_round_trip(self):
+        sweep = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003},
+            grid={"demands": [0, 10]},
+            seed=7,
+            name="demo",
+        )
+        again = SweepSpec.from_dict(sweep.to_dict())
+        assert again == sweep
+
+    def test_from_dict_rejects_unknown_entries(self):
+        with pytest.raises(DomainError):
+            SweepSpec.from_dict({"pipeline": "p", "grids": {}})
+
+    def test_from_file_json_and_yaml(self, tmp_path):
+        data = {
+            "pipeline": "survival_update",
+            "base": {"mode": 0.003, "sigma": 0.9},
+            "grid": {"demands": [0, 10]},
+        }
+        json_path = tmp_path / "spec.json"
+        json_path.write_text(json.dumps(data))
+        from_json = SweepSpec.from_file(json_path)
+        assert from_json.n_scenarios() == 2
+
+        yaml = pytest.importorskip("yaml")
+        yaml_path = tmp_path / "spec.yaml"
+        yaml_path.write_text(yaml.safe_dump(data))
+        from_yaml = SweepSpec.from_file(yaml_path)
+        assert from_yaml == from_json
+
+    def test_from_file_rejects_non_mapping(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DomainError):
+            SweepSpec.from_file(path)

@@ -1,0 +1,48 @@
+"""Tests for random-generator plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.numerics import ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_passes_generator_through_unchanged(self, rng):
+        assert ensure_rng(rng) is rng
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).uniform(size=3)
+        b = ensure_rng(7).uniform(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_fresh_stream(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(3)
+        a = ensure_rng(np.random.SeedSequence(3)).uniform()
+        assert ensure_rng(seq).uniform() == a
+
+    def test_rejects_other_types(self):
+        with pytest.raises(DomainError):
+            ensure_rng("seed")
+
+
+class TestSpawnSeeds:
+    def test_reproducible_and_distinct(self):
+        seeds = spawn_seeds(42, 16)
+        assert seeds == spawn_seeds(42, 16)
+        assert len(set(seeds)) == 16
+        assert all(isinstance(s, int) for s in seeds)
+
+    def test_prefix_stability(self):
+        # Growing a sweep keeps the earlier scenarios' seeds unchanged.
+        assert spawn_seeds(42, 20)[:16] == spawn_seeds(42, 16)
+
+    def test_none_master_gives_none_children(self):
+        assert spawn_seeds(None, 3) == [None, None, None]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DomainError):
+            spawn_seeds(1, -1)

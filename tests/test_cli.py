@@ -1,8 +1,17 @@
 """Tests for the repro-case command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+SWEEP_SPEC = {
+    "pipeline": "survival_update",
+    "base": {"mode": 0.003, "sigma": 0.9, "bound": 1e-2,
+             "points_per_decade": 60},
+    "grid": {"demands": [0, 100, 1000]},
+}
 
 
 class TestParser:
@@ -50,6 +59,82 @@ class TestCommands:
 
     def test_domain_error_reported(self, capsys):
         code = main(["assess", "--mode", "-1", "--sigma", "0.9"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+
+class TestSweepCommand:
+    def _spec_path(self, tmp_path, data=SWEEP_SPEC):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_sweep_prints_table_and_summary(self, capsys, tmp_path):
+        code = main(["sweep", "--spec", self._spec_path(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "confidence" in out
+        assert "3 scenarios" in out
+        assert "vectorized" in out
+
+    def test_sweep_writes_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--csv", str(csv_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert csv_path.exists()
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 scenarios
+        assert "csv written" in out
+
+    def test_sweep_limit_truncates_output(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path), "--limit", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(2 more rows)" in out
+
+    def test_sweep_backend_serial(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--backend", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=serial" in out
+
+    def test_sweep_missing_spec_file_reports_error(self, tmp_path, capsys):
+        code = main(["sweep", "--spec", str(tmp_path / "missing.yaml")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read spec file" in err
+
+    def test_sweep_unwritable_csv_reports_error(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--csv", str(tmp_path / "no-such-dir" / "out.csv"),
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot write csv" in err
+
+    def test_sweep_negative_limit_rejected(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path), "--limit", "-1",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--limit must be non-negative" in err
+
+    def test_sweep_bad_spec_reports_domain_error(self, capsys, tmp_path):
+        bad = {"pipeline": "survival_update",
+               "base": {"mode": 0.003, "sigma": 0.9, "bogus": 1}}
+        code = main(["sweep", "--spec", self._spec_path(tmp_path, bad)])
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err

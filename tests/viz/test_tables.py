@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DomainError
-from repro.viz import format_table
+from repro.viz import format_records, format_table
 
 
 class TestFormatTable:
@@ -34,3 +34,22 @@ class TestFormatTable:
             format_table([], [[1]])
         with pytest.raises(DomainError):
             format_table(["a"], [[1, 2]])
+
+
+class TestFormatRecords:
+    def test_columns_in_first_seen_order(self):
+        text = format_records([{"a": 1, "b": 2}, {"a": 3, "b": 4, "c": 5}])
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("b") < header.index("c")
+
+    def test_missing_cells_render_empty(self):
+        text = format_records([{"a": 1}, {"a": 2, "b": 3}])
+        assert "3" in text
+
+    def test_explicit_column_selection(self):
+        text = format_records([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[0]
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(DomainError):
+            format_records([])

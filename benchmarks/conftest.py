@@ -5,14 +5,26 @@ experiment index), checks its qualitative shape against the paper, and
 writes the rendered series to ``benchmarks/results/<name>.txt`` so the
 artefacts survive the run.  The ``benchmark`` fixture times the compute
 kernel of each experiment.
+
+Every run also appends one JSON line of per-test wall-clock timings to
+``benchmarks/results/timings.jsonl`` (timestamp + seconds per test), so
+the performance trajectory across PRs is machine-readable: each line is a
+complete run record, and the file accumulates history.
 """
 
+import json
 import pathlib
+import platform
+import time
+from datetime import datetime, timezone
 
 import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TIMINGS_PATH = RESULTS_DIR / "timings.jsonl"
+
+_run_timings = {}
 
 
 @pytest.fixture(scope="session")
@@ -37,3 +49,24 @@ def record(results_dir):
 @pytest.fixture
 def rng():
     return np.random.default_rng(20070629)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    _run_timings[item.nodeid] = round(time.perf_counter() - start, 6)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _run_timings:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "exitstatus": int(exitstatus),
+        "python": platform.python_version(),
+        "timings_s": dict(sorted(_run_timings.items())),
+    }
+    with TIMINGS_PATH.open("a") as handle:
+        handle.write(json.dumps(entry) + "\n")

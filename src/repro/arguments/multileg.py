@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..bbn import BayesianNetwork, CPT, Variable, VariableElimination
 from ..errors import DomainError
+from ..numerics import linear_grid
 from .legs import ArgumentLeg, single_leg_posterior
 
 __all__ = [
@@ -173,9 +174,9 @@ def diversity_gain(
     The expected shape (checked by experiment E10): the two-leg gain is
     largest at independence and decays as the legs share underpinnings.
     """
-    points = dependences if dependences is not None else [
-        i / 10.0 for i in range(11)
-    ]
+    points = (
+        dependences if dependences is not None else linear_grid(0.0, 1.0, 11)
+    )
     return [
-        two_leg_posterior(prior_claim, leg1, leg2, d) for d in points
+        two_leg_posterior(prior_claim, leg1, leg2, float(d)) for d in points
     ]

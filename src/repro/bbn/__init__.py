@@ -1,5 +1,20 @@
-"""Discrete Bayesian-network engine (substrate for argument confidence)."""
+"""Discrete Bayesian-network engine (substrate for argument confidence).
 
+Hot queries run on the compiled layer (:mod:`repro.bbn.compiled`):
+networks are lowered once to integer codes and contiguous CPT arrays, and
+both variable elimination (einsum contractions) and likelihood weighting
+(vectorized forward sampling) operate on that flat form.  The public
+:class:`VariableElimination` / :func:`likelihood_weighting` APIs delegate
+there transparently; compile-once/query-many callers can hold a
+:func:`compile_network` result directly.
+"""
+
+from .compiled import (
+    CompiledNetwork,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_network,
+)
 from .cpt import CPT, Factor, Variable
 from .inference import VariableElimination, enumerate_query, joint_probability
 from .network import BayesianNetwork
@@ -14,4 +29,8 @@ __all__ = [
     "joint_probability",
     "BayesianNetwork",
     "likelihood_weighting",
+    "CompiledNetwork",
+    "compile_network",
+    "compile_cache_stats",
+    "clear_compile_cache",
 ]

@@ -239,6 +239,11 @@ class CPT:
     def parents(self) -> Tuple[Variable, ...]:
         return self._parents
 
+    @property
+    def values(self) -> np.ndarray:
+        """The table as an array over ``(parent axes..., child axis)``."""
+        return self._values.copy()
+
     def probability(self, child_state: str, parent_states: Tuple[str, ...] = ()) -> float:
         """``P(child = child_state | parents = parent_states)``."""
         idx = tuple(

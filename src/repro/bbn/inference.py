@@ -3,6 +3,14 @@
 Variable elimination is the workhorse; enumeration exists as an
 independent oracle for tests (and is fine for the small argument networks
 this library builds).
+
+:class:`VariableElimination` keeps its historical API but delegates to
+the compiled einsum engine (:mod:`repro.bbn.compiled`): the network is
+lowered once to integer codes and contiguous CPT arrays, and each
+elimination step is a single :func:`numpy.einsum` contraction.  The
+original pure-Python factor-loop engine survives as
+:class:`_LoopVariableElimination` — the regression oracle the compiled
+path is tested and benchmarked against.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..errors import DomainError, StructureError
+from .compiled import compile_network
 from .cpt import Factor
 from .network import BayesianNetwork
 
@@ -20,7 +29,43 @@ __all__ = ["VariableElimination", "enumerate_query", "joint_probability"]
 
 
 class VariableElimination:
-    """Exact posterior queries on a Bayesian network."""
+    """Exact posterior queries on a Bayesian network (compiled einsum VE)."""
+
+    def __init__(self, network: BayesianNetwork):
+        self._network = network
+        self._compiled = None
+
+    def _compile(self):
+        # Recompile if the network grew since the last query; added nodes
+        # are the only mutation BayesianNetwork allows.
+        if (
+            self._compiled is None
+            or self._compiled.n_variables != len(self._network)
+        ):
+            self._compiled = compile_network(self._network)
+        return self._compiled
+
+    def query(
+        self,
+        target: str,
+        evidence: Optional[Mapping[str, str]] = None,
+        order: Optional[Sequence[str]] = None,
+    ) -> Dict[str, float]:
+        """``P(target | evidence)`` as a state -> probability mapping."""
+        return self._compile().query(target, evidence, order)
+
+    def probability_of_evidence(self, evidence: Mapping[str, str]) -> float:
+        """Marginal probability of an evidence assignment (one VE pass)."""
+        return self._compile().probability_of_evidence(evidence)
+
+
+class _LoopVariableElimination:
+    """The retired pure-Python engine: pairwise ``Factor.multiply`` VE and
+    a per-evidence-variable recursive ``probability_of_evidence``.
+
+    Kept (unexported) as the independent oracle for regression tests and
+    as the pre-compilation baseline the P6 benchmark measures against.
+    """
 
     def __init__(self, network: BayesianNetwork):
         self._network = network

@@ -7,9 +7,11 @@ nodes, each with a CPT conditioned on its parents.  Structure validation
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..errors import StructureError
 from .cpt import CPT, Factor, Variable
@@ -87,6 +89,29 @@ class BayesianNetwork:
     def factors(self) -> List[Factor]:
         """All CPTs as factors."""
         return [cpt.to_factor() for cpt in self._cpts.values()]
+
+    def content_hash(self) -> str:
+        """A digest of the full network content (structure + CPT tables).
+
+        Two networks with the same variables, states, parent sets and CPT
+        values hash identically, so the hash can key caches of derived
+        artefacts (e.g. :func:`repro.bbn.compile_network`'s compile cache).
+        """
+        digest = hashlib.sha256()
+        for name in self.variable_names:
+            cpt = self._cpts[name]
+            digest.update(name.encode())
+            digest.update(b"\x00")
+            for state in cpt.child.states:
+                digest.update(state.encode())
+                digest.update(b"\x1f")
+            digest.update(b"\x01")
+            for parent in cpt.parents:
+                digest.update(parent.name.encode())
+                digest.update(b"\x1f")
+            digest.update(b"\x02")
+            digest.update(np.ascontiguousarray(cpt.values).tobytes())
+        return digest.hexdigest()
 
     def validate_evidence(self, evidence: Mapping[str, str]) -> None:
         """Check evidence names and states exist (raises otherwise)."""

@@ -1,0 +1,265 @@
+"""Tests for the compiled inference layer (einsum VE, vectorized LW).
+
+The compiled engine is checked three ways: against the brute-force
+enumeration oracle on randomly generated networks (property tests over
+random topologies, cardinalities 2-4 and random evidence sets), against
+the retired pure-Python implementations it replaced (bit-for-bit for the
+sampler, 1e-12 for the recursive evidence probability), and for the
+compile-once/query-many contract (content-hash cache reuse across a
+sweep).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bbn import (
+    BayesianNetwork,
+    CPT,
+    CompiledNetwork,
+    Variable,
+    VariableElimination,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_network,
+    enumerate_query,
+    likelihood_weighting,
+)
+from repro.bbn.inference import _LoopVariableElimination
+from repro.bbn.sampling import _likelihood_weighting_loop
+from repro.errors import DomainError, StructureError
+
+
+def random_network(rng: np.random.Generator, n_vars: int) -> BayesianNetwork:
+    """A random DAG with per-variable cardinalities in 2..4."""
+    variables = []
+    net = BayesianNetwork()
+    for i in range(n_vars):
+        card = int(rng.integers(2, 5))
+        var = Variable(f"X{i}", tuple(f"s{k}" for k in range(card)))
+        n_parents = int(rng.integers(0, min(i, 2) + 1))
+        parent_idx = (
+            sorted(rng.choice(i, size=n_parents, replace=False).tolist())
+            if n_parents else []
+        )
+        parents = [variables[j] for j in parent_idx]
+        table = {}
+        for combo in itertools.product(*(p.states for p in parents)):
+            raw = rng.uniform(0.05, 1.0, size=card)
+            table[combo] = (raw / raw.sum()).tolist()
+        net.add(CPT(var, parents, table))
+        variables.append(var)
+    return net
+
+
+def random_query(rng: np.random.Generator, net: BayesianNetwork):
+    """A random (target, evidence) pair over distinct variables."""
+    names = net.variable_names
+    target = names[int(rng.integers(len(names)))]
+    others = [n for n in names if n != target]
+    n_evidence = int(rng.integers(0, len(others) + 1))
+    evidence = {}
+    for name in rng.choice(others, size=n_evidence, replace=False).tolist():
+        states = net.variable(name).states
+        evidence[name] = states[int(rng.integers(len(states)))]
+    return target, evidence
+
+
+class TestCompiledVariableElimination:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_enumeration_on_random_networks(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 8)))
+        target, evidence = random_query(rng, net)
+        compiled = CompiledNetwork(net)
+        posterior = compiled.query(target, evidence)
+        oracle = enumerate_query(net, target, evidence)
+        for state in net.variable(target).states:
+            assert posterior[state] == pytest.approx(
+                oracle[state], abs=1e-12
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_loop_engine(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 8)))
+        target, evidence = random_query(rng, net)
+        compiled = CompiledNetwork(net).query(target, evidence)
+        loop = _LoopVariableElimination(net).query(target, evidence)
+        for state in net.variable(target).states:
+            assert compiled[state] == pytest.approx(loop[state], abs=1e-12)
+
+    def test_explicit_order_matches_default(self, rng):
+        net = random_network(rng, 6)
+        compiled = CompiledNetwork(net)
+        evidence = {"X5": net.variable("X5").states[0]}
+        hidden = [n for n in net.variable_names
+                  if n != "X0" and n not in evidence]
+        default = compiled.query("X0", evidence)
+        explicit = compiled.query("X0", evidence, order=list(reversed(hidden)))
+        for state in net.variable("X0").states:
+            assert default[state] == pytest.approx(explicit[state], abs=1e-12)
+
+    def test_incomplete_order_rejected(self, rng):
+        net = random_network(rng, 5)
+        with pytest.raises(StructureError):
+            CompiledNetwork(net).query("X0", order=["X1"])
+
+    def test_unknown_target_and_state_errors(self, rng):
+        net = random_network(rng, 3)
+        compiled = CompiledNetwork(net)
+        with pytest.raises(StructureError):
+            compiled.query("nope")
+        with pytest.raises(DomainError):
+            compiled.query("X0", {"X1": "no-such-state"})
+
+    def test_network_larger_than_einsum_label_limit(self):
+        # einsum allows at most 52 distinct labels per contraction; labels
+        # are remapped per call, so network size must not be capped by it.
+        net = BayesianNetwork()
+        prev = None
+        for i in range(60):
+            var = Variable.boolean(f"C{i}")
+            if prev is None:
+                net.add(CPT.boolean_root(var, 0.6))
+            else:
+                net.add(CPT(var, [prev], {
+                    ("true",): [0.8, 0.2], ("false",): [0.3, 0.7],
+                }))
+            prev = var
+        compiled = CompiledNetwork(net)
+        posterior = compiled.query("C0", {"C59": "true"})
+        oracle = _LoopVariableElimination(net).query("C0", {"C59": "true"})
+        assert posterior["true"] == pytest.approx(oracle["true"], abs=1e-12)
+
+    def test_engine_sees_variables_added_after_construction(self):
+        a = Variable.boolean("a")
+        b = Variable.boolean("b")
+        net = BayesianNetwork()
+        net.add(CPT.boolean_root(a, 0.3))
+        engine = VariableElimination(net)
+        assert engine.query("a")["true"] == pytest.approx(0.3)
+        net.add(CPT(b, [a], {("true",): [0.9, 0.1], ("false",): [0.2, 0.8]}))
+        posterior = engine.query("a", {"b": "true"})
+        oracle = enumerate_query(net, "a", {"b": "true"})
+        assert posterior["true"] == pytest.approx(oracle["true"], abs=1e-12)
+
+
+class TestProbabilityOfEvidence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_one_pass_matches_recursive_chain(self, seed):
+        """Regression: the old k-query recursion and the new single
+        elimination pass agree to 1e-12 on random evidence sets."""
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 7)))
+        _, evidence = random_query(rng, net)
+        one_pass = CompiledNetwork(net).probability_of_evidence(evidence)
+        recursive = _LoopVariableElimination(net).probability_of_evidence(
+            evidence
+        )
+        assert one_pass == pytest.approx(recursive, abs=1e-12)
+
+    def test_empty_evidence_is_one(self, rng):
+        net = random_network(rng, 4)
+        assert CompiledNetwork(net).probability_of_evidence({}) == 1.0
+
+    def test_full_assignment_matches_chain_rule(self, rng):
+        from repro.bbn import joint_probability
+
+        net = random_network(rng, 5)
+        assignment = {
+            name: net.variable(name).states[0] for name in net.variable_names
+        }
+        assert CompiledNetwork(net).probability_of_evidence(
+            assignment
+        ) == pytest.approx(joint_probability(net, assignment), abs=1e-14)
+
+    def test_public_engine_delegates(self, rng):
+        net = random_network(rng, 5)
+        evidence = {"X3": net.variable("X3").states[1]}
+        assert VariableElimination(net).probability_of_evidence(
+            evidence
+        ) == pytest.approx(
+            _LoopVariableElimination(net).probability_of_evidence(evidence),
+            abs=1e-12,
+        )
+
+
+class TestVectorizedLikelihoodWeighting:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_bitwise_matches_loop_under_shared_seed(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 7)))
+        target, evidence = random_query(rng, net)
+        vectorized = likelihood_weighting(
+            net, target, evidence, n_samples=200,
+            rng=np.random.default_rng(seed),
+        )
+        loop = _likelihood_weighting_loop(
+            net, target, evidence, n_samples=200,
+            rng=np.random.default_rng(seed),
+        )
+        assert vectorized == loop
+
+    def test_deterministic_under_fixed_seed(self, rng):
+        net = random_network(rng, 5)
+        runs = [
+            likelihood_weighting(net, "X0", {"X4": net.variable("X4").states[0]},
+                                 n_samples=500, rng=np.random.default_rng(42))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_converges_to_exact_posterior(self, rng):
+        net = random_network(rng, 6)
+        target, evidence = "X1", {"X5": net.variable("X5").states[0]}
+        approx = likelihood_weighting(
+            net, target, evidence, n_samples=40_000, rng=rng
+        )
+        exact = enumerate_query(net, target, evidence)
+        for state in net.variable(target).states:
+            assert approx[state] == pytest.approx(exact[state], abs=0.02)
+
+
+class TestCompileCache:
+    def test_identical_content_networks_share_one_compilation(self, rng):
+        clear_compile_cache()
+        seed_net = random_network(np.random.default_rng(5), 5)
+        twin_net = random_network(np.random.default_rng(5), 5)
+        assert seed_net is not twin_net
+        assert compile_network(seed_net) is compile_network(twin_net)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_sweep_reuses_one_compilation_per_network(self):
+        """A seeded bbn_query sweep compiles the two-leg network once and
+        reuses it for every remaining scenario."""
+        from repro.engine import SweepSpec, run_sweep
+
+        clear_compile_cache()
+        sweep = SweepSpec(
+            pipeline="bbn_query",
+            base={
+                "prior": 0.6, "dependence": 0.3,
+                "leg1_validity": 0.9, "leg1_sensitivity": 0.95,
+                "leg1_specificity": 0.9,
+                "leg2_validity": 0.88, "leg2_sensitivity": 0.9,
+                "leg2_specificity": 0.85,
+            },
+            # n_samples varies the sampler workload but not the network,
+            # so all 12 scenarios must share one compilation.
+            grid={"n_samples": [100 + 10 * i for i in range(12)]},
+            seed=7,
+        )
+        results = run_sweep(sweep, backend="serial")
+        assert len(results) == 12
+        stats = compile_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 11

@@ -23,6 +23,20 @@ class TestSimulation:
         means = samples.mean(axis=0)
         assert means[-1] > 3 * means[0]
 
+    def test_vectorized_draws_match_scalar_stream(self):
+        # The single vectorised rng.exponential call must consume the
+        # seeded stream draw-for-draw like the old per-failure loop, so
+        # all seeded fixtures stay bit-identical across the change.
+        times = jm.simulate_interfailure_times(
+            12, 2e-3, 8, np.random.default_rng(5)
+        )
+        reference_rng = np.random.default_rng(5)
+        reference = np.array([
+            reference_rng.exponential(1.0 / (2e-3 * (12 - i)))
+            for i in range(8)
+        ])
+        assert np.array_equal(times, reference)
+
     def test_validation(self, rng):
         with pytest.raises(DomainError):
             jm.simulate_interfailure_times(0, 1e-3, 1, rng)

@@ -8,8 +8,11 @@ kernel of each experiment.
 
 Every run also appends one JSON line of per-test wall-clock timings to
 ``benchmarks/results/timings.jsonl`` (timestamp + seconds per test), so
-the performance trajectory across PRs is machine-readable: each line is a
-complete run record, and the file accumulates history.
+the performance trajectory of a run is machine-readable.  The file is
+gitignored — CI uploads it as an artifact (the nightly perf workflow
+with timing rounds enabled, and every PR run) rather than committing a
+line per run; ``benchmarks/results/timings_baseline.jsonl`` holds the
+committed reference snapshot.
 """
 
 import json

@@ -9,7 +9,6 @@ bounded-error ablation ("sure we are not wrong by more than a factor of
 import numpy as np
 
 from repro.core import (
-    SinglePointBelief,
     bounded_error_failure_probability,
     design_for_claim,
     required_confidence,

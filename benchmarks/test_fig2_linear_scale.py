@@ -8,7 +8,6 @@ reveal the heavy right tail that drags the mean upward.
 import numpy as np
 
 from repro.distributions import LogNormalJudgement
-from repro.numerics import trapezoid
 from repro.viz import format_table, line_chart
 
 MODE = 0.003

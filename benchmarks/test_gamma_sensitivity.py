@@ -6,7 +6,6 @@ rerun the confidence/mean trade-off with a gamma judgement whose mode is
 held at 0.003 and compare the crossover confidence.
 """
 
-import numpy as np
 
 from repro.core import confidence_crossover, lognormal_confidence_crossover
 from repro.distributions import GammaJudgement, LogNormalJudgement

@@ -8,7 +8,6 @@ failure-free demands accumulate, and ablate the graded survival update
 against the idealised hard truncation (DESIGN.md §7).
 """
 
-import numpy as np
 
 from repro.distributions import LogNormalJudgement
 from repro.update import confidence_growth, hard_cutoff

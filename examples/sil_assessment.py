@@ -13,7 +13,7 @@ from repro.core import AcarpTarget, DependabilityCase, EvidenceRecord, SilClaim
 from repro.core.case import AssumptionRecord
 from repro.distributions import QuantileConstraint, fit_lognormal
 from repro.risk import plan_assurance
-from repro.sil import ArgumentRigour, DiscountPolicy, assess, claimable_level
+from repro.sil import ArgumentRigour, assess, claimable_level
 from repro.standards import granted_sil, recommended_policy
 from repro.viz import format_table
 

@@ -9,12 +9,12 @@ every goal eventually grounded in solutions, no dangling strategies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, List, Union
 
 import networkx as nx
 
 from ..errors import StructureError
-from .nodes import Assumption, Context, Goal, Solution, Strategy, _Node
+from .nodes import Assumption, Context, Goal, Solution, Strategy
 
 __all__ = ["ArgumentGraph"]
 

@@ -7,7 +7,7 @@ assumptions) and a two-leg case ("argument fault-tolerance" per [9, 10]).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..core.case import DependabilityCase
 from ..errors import DomainError

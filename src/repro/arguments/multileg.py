@@ -27,7 +27,7 @@ from typing import Optional
 from ..bbn import BayesianNetwork, CPT, Variable, VariableElimination
 from ..errors import DomainError
 from ..numerics import linear_grid
-from .legs import ArgumentLeg, single_leg_posterior
+from .legs import ArgumentLeg
 
 __all__ = [
     "TwoLegResult",

@@ -9,7 +9,7 @@ confidence) attach in :mod:`repro.arguments.legs`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import DomainError

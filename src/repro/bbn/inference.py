@@ -18,7 +18,6 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Mapping, Optional, Sequence
 
-import numpy as np
 
 from ..errors import DomainError, StructureError
 from .compiled import compile_network

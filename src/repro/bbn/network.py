@@ -8,7 +8,7 @@ nodes, each with a CPT conditioned on its parents.  Structure validation
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import networkx as nx
 import numpy as np

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-case``.
 
-Five subcommands cover the library's day-one uses:
+Six subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
@@ -8,8 +8,11 @@ Five subcommands cover the library's day-one uses:
   supports a claim;
 * ``tests`` — how many failure-free demands reach a confidence target;
 * ``growth`` — the Bishop-Bloomfield conservative growth bound;
-* ``sweep`` — run a batched scenario sweep (:mod:`repro.engine`) from a
-  YAML/JSON spec file and tabulate or export the results.
+* ``sweep`` — run batched scenario sweeps (:mod:`repro.engine`) from a
+  YAML/JSON spec file (single- or multi-sweep) and tabulate or export
+  the results;
+* ``pipelines`` — list every registered sweep pipeline with its batch /
+  stochastic capabilities and parameters.
 
 Examples::
 
@@ -17,7 +20,8 @@ Examples::
     repro-case conservative --claim 1e-3 --margin 1
     repro-case tests --mode 0.003 --sigma 0.9 --bound 1e-2 --target 0.95
     repro-case growth --faults 10 --exposure 1000
-    repro-case sweep --spec examples/sweep_spec.yaml --csv out.csv
+    repro-case sweep --spec examples/full_library_sweep.yaml --csv out.csv
+    repro-case pipelines --verbose
 """
 
 from __future__ import annotations
@@ -28,7 +32,14 @@ from typing import List, Optional
 
 from .core import AcarpTarget, ConfidenceProfile, design_for_claim
 from .distributions import LogNormalJudgement
-from .engine import BACKENDS, SweepSpec, run_sweep
+from .engine import (
+    BACKENDS,
+    ResultSet,
+    available_pipelines,
+    get_pipeline,
+    load_sweeps,
+    run_sweep,
+)
 from .errors import ReproError
 from .risk import plan_assurance
 from .sil import assess
@@ -104,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export the results as CSV")
     p_sweep.add_argument("--limit", type=int, default=None,
                          help="print at most this many rows")
+
+    p_pipelines = sub.add_parser(
+        "pipelines",
+        help="list the registered sweep pipelines and their capabilities",
+    )
+    p_pipelines.add_argument("--verbose", action="store_true",
+                             help="also list each pipeline's parameters "
+                             "(required ones marked *)")
     return parser
 
 
@@ -152,24 +171,72 @@ def _run_sweep(args: argparse.Namespace) -> str:
     if args.limit is not None and args.limit < 0:
         raise ReproError(f"--limit must be non-negative, got {args.limit}")
     try:
-        spec = SweepSpec.from_file(args.spec)
+        sweeps = load_sweeps(args.spec)
     except OSError as exc:
         raise ReproError(f"cannot read spec file {args.spec}: {exc}") from exc
-    result = run_sweep(spec, backend=args.backend, max_workers=args.workers)
+    lines: List[str] = []
+    combined = []
+    for index, spec in enumerate(sweeps):
+        result = run_sweep(
+            spec, backend=args.backend, max_workers=args.workers
+        )
+        label = spec.name or spec.pipeline
+        if len(sweeps) > 1:
+            # Multi-pipeline CSVs need attribution columns: different
+            # sweeps can share parameter names (mode, sigma, ...).
+            from .engine import ScenarioResult
+
+            combined.extend(
+                ScenarioResult(
+                    r.spec,
+                    {"sweep": label, "pipeline": spec.pipeline, **r.values},
+                    from_cache=r.from_cache,
+                )
+                for r in result.results
+            )
+            lines.append(f"--- sweep {index + 1}/{len(sweeps)}: {label} ---")
+        else:
+            combined.extend(result.results)
+        lines.append(result.to_table(limit=args.limit))
+        if args.limit is not None and len(result) > args.limit:
+            lines.append(f"... ({len(result) - args.limit} more rows)")
+        lines.append(result.summary())
     if args.csv:
+        # One CSV across all sweeps; columns are the union, blank where a
+        # pipeline does not produce them.
         try:
-            result.to_csv(args.csv)
+            ResultSet(combined).to_csv(args.csv)
         except OSError as exc:
             raise ReproError(
                 f"cannot write csv to {args.csv}: {exc}"
             ) from exc
-    lines = [result.to_table(limit=args.limit)]
-    if args.limit is not None and len(result) > args.limit:
-        lines.append(f"... ({len(result) - args.limit} more rows)")
-    lines.append(result.summary())
-    if args.csv:
         lines.append(f"csv written to {args.csv}")
     return "\n".join(lines)
+
+
+def _run_pipelines(args: argparse.Namespace) -> str:
+    rows = []
+    details: List[str] = []
+    for name in available_pipelines():
+        pipeline = get_pipeline(name)
+        rows.append([
+            name,
+            "yes" if pipeline.supports_batch else "no",
+            "yes" if not pipeline.deterministic else "no",
+            len(pipeline.defaults),
+        ])
+        if args.verbose:
+            params = ", ".join(
+                f"{key}*" if key in pipeline.required else key
+                for key in pipeline.defaults
+            )
+            details.append(f"{name}: {params}")
+    table = format_table(
+        ["pipeline", "batched", "stochastic", "n_params"], rows
+    )
+    if details:
+        table += "\n\nparameters (* = required):\n" + "\n".join(details)
+    return table
 
 
 _RUNNERS = {
@@ -178,6 +245,7 @@ _RUNNERS = {
     "tests": _run_tests,
     "growth": _run_growth,
     "sweep": _run_sweep,
+    "pipelines": _run_pipelines,
 }
 
 

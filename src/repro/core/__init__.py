@@ -46,6 +46,8 @@ from .composition import (
 )
 from .propagation import (
     PropagationPoint,
+    analytic_critical_beta,
+    analytic_pair_mean,
     conservatism_audit,
     critical_beta,
     end_to_end_pair_mean,
@@ -91,4 +93,11 @@ __all__ = [
     "supports_claim",
     "worst_case_distribution",
     "worst_case_failure_probability",
+    "PropagationPoint",
+    "analytic_critical_beta",
+    "analytic_pair_mean",
+    "conservatism_audit",
+    "critical_beta",
+    "end_to_end_pair_mean",
+    "stagewise_pair_bound",
 ]

@@ -21,7 +21,7 @@ single-point belief.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Union
 
 from ..distributions import JudgementDistribution
 from ..errors import ClaimError, DomainError

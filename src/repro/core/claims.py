@@ -12,7 +12,6 @@ calculus in :mod:`repro.core.conservative`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..distributions import JudgementDistribution
 from ..errors import ClaimError, DomainError

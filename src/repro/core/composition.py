@@ -20,7 +20,7 @@ machinery:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

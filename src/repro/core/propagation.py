@@ -37,6 +37,8 @@ __all__ = [
     "PropagationPoint",
     "stagewise_pair_bound",
     "end_to_end_pair_mean",
+    "analytic_pair_mean",
+    "analytic_critical_beta",
     "conservatism_audit",
     "critical_beta",
 ]
@@ -64,6 +66,39 @@ def end_to_end_pair_mean(
 ) -> float:
     """True E[pfd] of the 1oo2 pair under beta-factor common cause."""
     return beta_factor_1oo2(channel, beta, rng, n_samples).mean()
+
+
+def analytic_pair_mean(mean, second_moment, beta):
+    """Exact ``E[pfd]`` of a beta-factor 1oo2 pair from channel moments.
+
+    ``E[beta p + (1 - beta) p^2] = beta E[p] + (1 - beta) E[p^2]`` — the
+    closed form behind :func:`critical_beta`, exposed (and vectorised:
+    all three arguments broadcast) so sweeps need no Monte Carlo.
+    """
+    return beta * mean + (1.0 - beta) * second_moment
+
+
+def analytic_critical_beta(mean, second_moment, bound):
+    """Closed-form crossing beta for a stage-wise bound (NaN when none).
+
+    Solves ``analytic_pair_mean(mean, m2, beta) = bound`` for beta; the
+    pair mean is linear and increasing in beta, so the crossing is
+    ``(bound - m2) / (mean - m2)`` clipped to [0, 1].  Vectorised;
+    returns NaN where even full common cause stays under the bound (the
+    stage-wise figure was pessimistic enough to cover everything).
+    """
+    mean = np.asarray(mean, dtype=float)
+    second_moment = np.asarray(second_moment, dtype=float)
+    bound = np.asarray(bound, dtype=float)
+    gap = mean - second_moment
+    with np.errstate(divide="ignore", invalid="ignore"):
+        crossing = (bound - second_moment) / gap
+    crossing = np.clip(crossing, 0.0, 1.0)
+    out = np.where(analytic_pair_mean(mean, second_moment, 1.0) <= bound,
+                   np.nan, crossing)
+    if out.ndim == 0:
+        return float(out)
+    return out
 
 
 @dataclass(frozen=True)
@@ -126,7 +161,7 @@ def critical_beta(
     second = channel.variance() + mean * mean
 
     def pair_mean(beta: float) -> float:
-        return beta * mean + (1.0 - beta) * second
+        return analytic_pair_mean(mean, second, beta)
 
     if pair_mean(1.0) <= bound:
         return None

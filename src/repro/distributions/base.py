@@ -20,7 +20,7 @@ expected-failure-probability vocabulary used by the rest of the library.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -12,6 +12,7 @@ from .experts import ExpertJudgement, SyntheticExpert
 from .pooling import equal_weights, linear_pool, log_pool
 from .weighting import (
     ExpertScore,
+    information_weights,
     performance_weighted_pool,
     performance_weights,
     score_expert,
@@ -19,6 +20,7 @@ from .weighting import (
 
 __all__ = [
     "ExpertScore",
+    "information_weights",
     "performance_weighted_pool",
     "performance_weights",
     "score_expert",

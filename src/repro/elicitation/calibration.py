@@ -10,7 +10,7 @@ distributional judgements, and a panel summary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -21,7 +21,7 @@ The paper's experiment elicited judgements in four phases:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

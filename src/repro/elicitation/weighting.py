@@ -12,7 +12,7 @@ and information score (narrowness), with a cut-off for hopeless experts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..errors import DomainError
 from .pooling import linear_pool
 
 __all__ = ["ExpertScore", "score_expert", "performance_weights",
-           "performance_weighted_pool"]
+           "performance_weighted_pool", "information_weights"]
 
 
 @dataclass(frozen=True)
@@ -96,6 +96,25 @@ def performance_weights(
     if total <= 0:
         return np.full(len(scores), 1.0 / len(scores))
     return raw / total
+
+
+def information_weights(width_decades) -> np.ndarray:
+    """Weights from interval widths alone (no seed questions needed).
+
+    When the analyst has no ground truths to score calibration against,
+    the information half of the Cooke score is still available: each
+    expert's weight is proportional to ``1 / (1 + width)`` where ``width``
+    is their credible-interval width in decades (the same squashing as
+    :func:`score_expert`).  Accepts a ``(E,)`` vector or an ``(S, E)``
+    batch of panels; weights are normalised over the last axis.
+    """
+    widths = np.asarray(width_decades, dtype=float)
+    if widths.size == 0:
+        raise DomainError("need at least one width")
+    if np.any(~np.isfinite(widths)) or np.any(widths < 0):
+        raise DomainError("interval widths must be finite and non-negative")
+    info = 1.0 / (1.0 + widths)
+    return info / info.sum(axis=-1, keepdims=True)
 
 
 def performance_weighted_pool(

@@ -12,7 +12,13 @@ fast:
 * :class:`ResultCache` — content-keyed memoisation of finished scenarios;
 * :class:`ResultSet` — ordered results with table / CSV export;
 * :mod:`~repro.engine.pipelines` — the registry mapping pipeline names to
-  the library's analysis entry points.
+  the library's analysis entry points (twelve pipelines: survival
+  updates, SIL classification, growth-model SIL fits, elicitation
+  pooling and calibration, ALARP/ACARP, standards mappings, the
+  conservatism audit, BBN queries, panel simulation), plus the batch
+  dispatch layer (:func:`register_batch_kernel`) that routes
+  ``run_batch`` to a vectorised kernel when one is registered;
+* :func:`load_sweeps` — single- or multi-sweep YAML/JSON spec files.
 
 Quickstart::
 
@@ -26,14 +32,22 @@ Quickstart::
     print(run_sweep(sweep).to_table())
 """
 
+from . import kernels
 from .cache import ResultCache
 from .executor import BACKENDS, run_scenario, run_sweep
 from .kernels import survival_sweep, survival_sweep_columns
-from .pipelines import Pipeline, available_pipelines, get_pipeline, register
+from .pipelines import (
+    Pipeline,
+    available_pipelines,
+    get_pipeline,
+    register,
+    register_batch_kernel,
+)
 from .results import ResultSet, ScenarioResult
-from .spec import ScenarioSpec, SweepSpec, canonical_key
+from .spec import ScenarioSpec, SweepSpec, canonical_key, load_sweeps
 
 __all__ = [
+    "kernels",
     "ResultCache",
     "BACKENDS",
     "run_scenario",
@@ -44,9 +58,11 @@ __all__ = [
     "available_pipelines",
     "get_pipeline",
     "register",
+    "register_batch_kernel",
     "ResultSet",
     "ScenarioResult",
     "ScenarioSpec",
     "SweepSpec",
     "canonical_key",
+    "load_sweeps",
 ]

@@ -3,43 +3,77 @@
 A *pipeline* adapts one of the library's analysis entry points to the
 engine's declarative world: it names the parameters a scenario may bind,
 fills defaults, validates, runs, and returns a flat ``{column: scalar}``
-dict ready for tabulation.  Pipelines that have a vectorised kernel
-(currently the survival update) additionally implement :meth:`run_batch`,
-which the executor's ``vectorized`` backend calls with the whole sweep at
-once.
+dict ready for tabulation.
+
+Batch execution goes through a **dispatch layer**: vectorised batch
+kernels register against a pipeline name with
+:func:`register_batch_kernel`, :attr:`Pipeline.supports_batch` reports
+whether one is registered, and :meth:`Pipeline.run_batch` dispatches to
+the kernel when present and falls back to a plain loop over
+:meth:`Pipeline.run` otherwise.  Every registered kernel reproduces the
+scalar path to 1e-12.
 
 Registered pipelines:
 
 ``survival_update``
     Section 4.1 tail cut-off of a log-normal judgement by failure-free
-    demands; vectorised.
+    demands; batched.
 ``two_leg_posterior``
     Exact BBN posterior for the Section 4.2 two-leg argument.
 ``bbn_query``
     Monte-Carlo (likelihood-weighting) query of the same two-leg network;
     stochastic, driven by the scenario seed.
 ``sil_classification``
-    The Section 3 mode/mean/confidence SIL classification views.
+    The Section 3 mode/mean/confidence SIL classification views; batched.
 ``panel_run``
     The Figure 5 four-phase 12-expert panel simulation; stochastic.
+``sil_from_growth``
+    The Section 3 growth-model SIL route: simulate a failure history
+    (Jelinski-Moranda or Littlewood-Verrall), grid-fit the model, derive
+    a margined judgement and the grantable SIL; stochastic, batched via
+    the JM/LV likelihood-grid kernels.
+``elicitation_pool``
+    A synthetic expert panel pooled linearly with equal or
+    information-based weights; stochastic, batched.
+``expert_calibration``
+    Proper-score calibration (Brier / log score / interval coverage) of
+    one expert judgement against simulated ground truths; stochastic,
+    batched.
+``alarp_decision``
+    ALARP region of the judgement mean plus the ACARP confidence
+    verdict; batched.
+``iec61508_sil``
+    The SIL grantable under one of IEC 61508's confidence clauses;
+    batched.
+``do178b_map``
+    DO-178B assurance-level guidance rates, the comparable SIL, and the
+    confidence a judgement meets the guidance; batched.
+``conservatism_audit``
+    The paper-closing warning made executable: does a stage-wise
+    "conservative" 1oo2 figure still bound the analytic beta-factor
+    end-to-end mean?  Batched.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import DomainError
 from ..numerics import ensure_rng
-from .kernels import survival_sweep
+from . import kernels as _kernels
 
 __all__ = [
     "Pipeline",
     "register",
+    "register_batch_kernel",
     "get_pipeline",
     "available_pipelines",
 ]
 
 RunItem = Tuple[Dict[str, Any], Optional[int]]
+BatchKernel = Callable[["Pipeline", Sequence[RunItem]], List[Dict[str, Any]]]
 
 
 class Pipeline:
@@ -53,7 +87,6 @@ class Pipeline:
     name: str = ""
     defaults: Dict[str, Any] = {}
     required: Tuple[str, ...] = ()
-    supports_batch: bool = False
     #: False for pipelines that draw fresh entropy when the scenario has
     #: no seed; the executor skips the result cache for those runs.
     deterministic: bool = True
@@ -63,6 +96,8 @@ class Pipeline:
 
         Idempotent: resolving already-resolved parameters is a no-op, so
         the executor can validate eagerly and pass the resolved dicts on.
+        Unknown and missing names are reported sorted, so failures read
+        identically on every Python version.
         """
         unknown = set(params) - set(self.defaults)
         if unknown:
@@ -77,9 +112,14 @@ class Pipeline:
         if missing:
             raise DomainError(
                 f"pipeline {self.name!r} missing required parameters: "
-                f"{', '.join(missing)}"
+                f"{', '.join(sorted(missing))}"
             )
         return merged
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether a vectorised batch kernel is registered for this name."""
+        return self.name in _BATCH_KERNELS
 
     def run(self, params: Mapping[str, Any],
             seed: Optional[int] = None) -> Dict[str, Any]:
@@ -87,11 +127,21 @@ class Pipeline:
         raise NotImplementedError
 
     def run_batch(self, items: Sequence[RunItem]) -> List[Dict[str, Any]]:
-        """Execute many scenarios; the default just loops over :meth:`run`."""
-        return [self.run(params, seed) for params, seed in items]
+        """Execute many scenarios through the batch dispatch layer.
+
+        Dispatches to the batch kernel registered for this pipeline's
+        name when there is one, and falls back cleanly to a loop over
+        :meth:`run` otherwise — so concurrent backends can always chunk
+        through ``run_batch`` regardless of vectorisation.
+        """
+        kernel = _BATCH_KERNELS.get(self.name)
+        if kernel is None:
+            return [self.run(params, seed) for params, seed in items]
+        return kernel(self, items)
 
 
 _REGISTRY: Dict[str, Pipeline] = {}
+_BATCH_KERNELS: Dict[str, BatchKernel] = {}
 
 
 def register(pipeline: Pipeline) -> Pipeline:
@@ -100,6 +150,23 @@ def register(pipeline: Pipeline) -> Pipeline:
         raise DomainError("pipeline needs a non-empty name")
     _REGISTRY[pipeline.name] = pipeline
     return pipeline
+
+
+def register_batch_kernel(pipeline_name: str):
+    """Decorator: register a vectorised batch kernel for a pipeline name.
+
+    The kernel is called as ``kernel(pipeline, items)`` with the pipeline
+    instance and the ``(params, seed)`` run items, and must return one
+    result dict per item, matching :meth:`Pipeline.run` to 1e-12.
+    """
+    if not pipeline_name:
+        raise DomainError("batch kernel needs a pipeline name")
+
+    def decorator(kernel: BatchKernel) -> BatchKernel:
+        _BATCH_KERNELS[pipeline_name] = kernel
+        return kernel
+
+    return decorator
 
 
 def get_pipeline(name: str) -> Pipeline:
@@ -123,6 +190,32 @@ def _as_count(value, label: str) -> int:
     return count
 
 
+def _band_scheme(name: str):
+    from ..sil import HIGH_DEMAND, LOW_DEMAND
+
+    schemes = {"low_demand": LOW_DEMAND, "high_demand": HIGH_DEMAND}
+    if name not in schemes:
+        raise DomainError(
+            f"scheme must be one of {sorted(schemes)}, got {name!r}"
+        )
+    return schemes[name]
+
+
+def _group_items(
+    resolved: Sequence[Dict[str, Any]], key_names: Sequence[str]
+) -> Dict[tuple, List[int]]:
+    """Indices of ``resolved`` grouped by a tuple of parameter values."""
+    groups: Dict[tuple, List[int]] = {}
+    for index, params in enumerate(resolved):
+        key = tuple(params[name] for name in key_names)
+        groups.setdefault(key, []).append(index)
+    return groups
+
+
+# --------------------------------------------------------------------- #
+# Survival update
+# --------------------------------------------------------------------- #
+
 class SurvivalUpdatePipeline(Pipeline):
     """Tail cut-off of a log-normal (mode, sigma) judgement by failure-free
     demands, summarised as posterior mean/median/mode and the one-sided
@@ -139,7 +232,6 @@ class SurvivalUpdatePipeline(Pipeline):
         "points_per_decade": 400,
     }
     required = ("mode", "sigma")
-    supports_batch = True
 
     def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         merged = super().resolve(params)
@@ -169,10 +261,16 @@ class SurvivalUpdatePipeline(Pipeline):
             "confidence": posterior.confidence(merged["bound"]),
         }
 
-    def run_batch(self, items):
-        resolved = [self.resolve(params) for params, _seed in items]
-        return survival_sweep(resolved)
 
+@register_batch_kernel("survival_update")
+def _survival_update_batch(pipeline, items):
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    return _kernels.survival_sweep(resolved)
+
+
+# --------------------------------------------------------------------- #
+# Two-leg argument
+# --------------------------------------------------------------------- #
 
 class TwoLegPosteriorPipeline(Pipeline):
     """Exact posterior confidence for the two-leg argument network as the
@@ -263,6 +361,10 @@ class BbnQueryPipeline(TwoLegPosteriorPipeline):
         return {"p_claim": posterior["true"]}
 
 
+# --------------------------------------------------------------------- #
+# SIL classification
+# --------------------------------------------------------------------- #
+
 class SilClassificationPipeline(Pipeline):
     """The three SIL classification views (mode band, mean band, band
     granted at a required one-sided confidence) of a log-normal
@@ -279,21 +381,16 @@ class SilClassificationPipeline(Pipeline):
 
     def run(self, params, seed=None):
         from ..distributions import LogNormalJudgement
-        from ..sil import HIGH_DEMAND, LOW_DEMAND, assess
+        from ..sil import assess
 
         merged = self.resolve(params)
-        schemes = {"low_demand": LOW_DEMAND, "high_demand": HIGH_DEMAND}
-        if merged["scheme"] not in schemes:
-            raise DomainError(
-                f"scheme must be one of {sorted(schemes)}, "
-                f"got {merged['scheme']!r}"
-            )
+        scheme = _band_scheme(merged["scheme"])
         judgement = LogNormalJudgement.from_mode_sigma(
             merged["mode"], merged["sigma"]
         )
         report = assess(
             judgement,
-            scheme=schemes[merged["scheme"]],
+            scheme=scheme,
             required_confidence=merged["required_confidence"],
         )
         out = {
@@ -308,6 +405,48 @@ class SilClassificationPipeline(Pipeline):
             out[f"sil{level}_confidence"] = confidence
         return out
 
+
+@register_batch_kernel("sil_classification")
+def _sil_classification_batch(pipeline, items):
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    for (scheme_name,), indices in _group_items(resolved, ["scheme"]).items():
+        scheme = _band_scheme(scheme_name)
+        modes = np.array([resolved[i]["mode"] for i in indices], dtype=float)
+        sigmas = np.array([resolved[i]["sigma"] for i in indices], dtype=float)
+        required = np.array(
+            [resolved[i]["required_confidence"] for i in indices], dtype=float
+        )
+        mu = _kernels.lognormal_mu_from_mode(modes, sigmas)
+        means, mode_values, _ = _kernels.lognormal_moments(mu, sigmas)
+        mode_levels = _kernels.band_levels_of(mode_values, scheme)
+        mean_levels = _kernels.band_levels_of(means, scheme)
+        confidences = _kernels.band_confidence_sweep(mu, sigmas, scheme)
+        granted = _kernels.granted_levels(confidences, required, len(indices))
+        for position, index in enumerate(indices):
+            gap = 0
+            if (mode_levels[position] is not None
+                    and mean_levels[position] is not None):
+                gap = mode_levels[position] - mean_levels[position]
+            out = {
+                "mode_value": float(mode_values[position]),
+                "mean_value": float(means[position]),
+                "mode_level": mode_levels[position],
+                "mean_level": mean_levels[position],
+                "granted_level": granted[position],
+                "optimistic_gap": gap,
+            }
+            for level in sorted(confidences):
+                out[f"sil{level}_confidence"] = float(
+                    confidences[level][position]
+                )
+            results[index] = out
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Expert panel simulation
+# --------------------------------------------------------------------- #
 
 class PanelRunPipeline(Pipeline):
     """The four-phase synthetic expert panel (Figure 5); the scenario seed
@@ -338,8 +477,830 @@ class PanelRunPipeline(Pipeline):
         }
 
 
+# --------------------------------------------------------------------- #
+# Growth-model SIL route
+# --------------------------------------------------------------------- #
+
+class SilFromGrowthPipeline(Pipeline):
+    """The Section 3 growth-model route to a SIL, sweepable.
+
+    Each scenario simulates an interfailure history from the chosen
+    growth model (``model="jm"`` Jelinski-Moranda or ``model="lv"``
+    Littlewood-Verrall) using the scenario seed, fits the model by a
+    deterministic likelihood-grid search (``candidate_ladder`` /
+    ``relative_lattice``), takes the fitted current intensity as the
+    judgement mode worsened by the assumption margin, widens the spread
+    by the margin, and reports the SIL grantable at the required
+    confidence.  The batched backend evaluates the whole sweep's
+    likelihood grids as chunked ``(S, G, n)`` passes.
+    """
+
+    name = "sil_from_growth"
+    defaults = {
+        "model": "jm",
+        "n_observed": 25,
+        # Jelinski-Moranda simulation truth
+        "n_faults": 40,
+        "per_fault_rate": 0.008,
+        # Littlewood-Verrall simulation truth
+        "lv_alpha": 3.0,
+        "lv_beta0": 40.0,
+        "lv_beta1": 8.0,
+        # grid-fit configuration
+        "n_candidates": 160,
+        "max_factor": 30.0,
+        "n_alpha": 6,
+        "n_beta0": 8,
+        "n_beta1": 7,
+        # SIL derivation
+        "assumption_margin_decades": 0.5,
+        "base_sigma": 0.4,
+        "required_confidence": 0.90,
+        "scheme": "low_demand",
+    }
+    deterministic = False
+
+    _GRID_KEYS = ("model", "n_observed", "n_candidates", "max_factor",
+                  "n_alpha", "n_beta0", "n_beta1", "scheme")
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        merged = super().resolve(params)
+        if merged["model"] not in ("jm", "lv"):
+            raise DomainError(
+                f"model must be 'jm' or 'lv', got {merged['model']!r}"
+            )
+        for key in ("n_observed", "n_faults", "n_candidates",
+                    "n_alpha", "n_beta0", "n_beta1"):
+            merged[key] = _as_count(merged[key], key)
+        if merged["assumption_margin_decades"] < 0:
+            raise DomainError("assumption margin must be non-negative decades")
+        if merged["base_sigma"] <= 0:
+            raise DomainError("base_sigma must be positive")
+        _band_scheme(merged["scheme"])
+        return merged
+
+    @staticmethod
+    def _simulate(merged, rng):
+        from ..growthmodels import jelinski_moranda, littlewood_verrall
+
+        if merged["model"] == "jm":
+            return jelinski_moranda.simulate_interfailure_times(
+                merged["n_faults"], merged["per_fault_rate"],
+                merged["n_observed"], rng,
+            )
+        return littlewood_verrall.simulate_interfailure_times(
+            merged["lv_alpha"], merged["lv_beta0"], merged["lv_beta1"],
+            merged["n_observed"], rng,
+        )
+
+    @staticmethod
+    def _sil_columns(intensity, merged):
+        from ..distributions import LogNormalJudgement
+        from ..sil import classify_by_confidence
+
+        margin = merged["assumption_margin_decades"]
+        judgement_mode = min(intensity * 10.0**margin, 0.5)
+        judgement_sigma = merged["base_sigma"] + 0.25 * margin
+        judgement = LogNormalJudgement.from_mode_sigma(
+            judgement_mode, judgement_sigma
+        )
+        granted = classify_by_confidence(
+            judgement, merged["required_confidence"],
+            _band_scheme(merged["scheme"]),
+        )
+        return {
+            "judgement_mode": judgement_mode,
+            "judgement_sigma": judgement_sigma,
+            "granted_sil": granted,
+        }
+
+    def run(self, params, seed=None):
+        from ..growthmodels import (
+            candidate_ladder,
+            jelinski_moranda,
+            littlewood_verrall,
+            profile_phi,
+            relative_lattice,
+        )
+
+        merged = self.resolve(params)
+        times = self._simulate(merged, ensure_rng(seed))
+        n = merged["n_observed"]
+        if merged["model"] == "jm":
+            candidates = candidate_ladder(
+                n, merged["n_candidates"], merged["max_factor"]
+            )
+            best_index, best_ll, best_phi = 0, -np.inf, 0.0
+            for index, candidate in enumerate(candidates):
+                phi = profile_phi(candidate, times)
+                ll = jelinski_moranda.log_likelihood(candidate, phi, times)
+                if ll > best_ll:
+                    best_index, best_ll, best_phi = index, ll, phi
+            fit = jelinski_moranda.JelinskiMorandaFit(
+                n_faults=float(candidates[best_index]),
+                per_fault_rate=best_phi,
+                n_observed=n,
+                log_likelihood=best_ll,
+            )
+            intensity = fit.current_intensity()
+            out = {
+                "n_faults_hat": fit.n_faults,
+                "per_fault_rate_hat": fit.per_fault_rate,
+                "log_lik": best_ll,
+                "current_intensity": intensity,
+                "current_mtbf": fit.current_mtbf(),
+                "shows_growth": best_index < candidates.size - 1,
+            }
+        else:
+            mean_t = float(np.mean(times))
+            lattice = relative_lattice(
+                merged["n_alpha"], merged["n_beta0"], merged["n_beta1"]
+            )
+            best_row, best_ll = 0, -np.inf
+            best_params = (0.0, 0.0, 0.0)
+            for index, (alpha, beta0_rel, beta1_rel) in enumerate(lattice):
+                beta0 = mean_t * beta0_rel
+                beta1 = mean_t * beta1_rel
+                ll = littlewood_verrall.log_likelihood(
+                    alpha, beta0, beta1, times
+                )
+                if ll > best_ll:
+                    best_row, best_ll = index, ll
+                    best_params = (alpha, beta0, beta1)
+            fit = littlewood_verrall.LittlewoodVerrallFit(
+                alpha=best_params[0],
+                beta0=best_params[1],
+                beta1=best_params[2],
+                n_observed=n,
+                log_likelihood=best_ll,
+            )
+            intensity = fit.current_intensity()
+            out = {
+                "alpha_hat": fit.alpha,
+                "beta0_hat": fit.beta0,
+                "beta1_hat": fit.beta1,
+                "log_lik": best_ll,
+                "current_intensity": intensity,
+                "current_mtbf": (
+                    1.0 / intensity if intensity > 0 else float("inf")
+                ),
+                "shows_growth": fit.shows_growth,
+            }
+        out.update(self._sil_columns(intensity, merged))
+        return out
+
+
+@register_batch_kernel("sil_from_growth")
+def _sil_from_growth_batch(pipeline, items):
+    from ..growthmodels import candidate_ladder, relative_lattice
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    seeds = [seed for _params, seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    groups = _group_items(resolved, SilFromGrowthPipeline._GRID_KEYS)
+    for key, indices in groups.items():
+        model, n_observed = key[0], key[1]
+        scheme = _band_scheme(key[7])
+        times_rows = np.empty((len(indices), n_observed))
+        for position, index in enumerate(indices):
+            times_rows[position] = SilFromGrowthPipeline._simulate(
+                resolved[index], ensure_rng(seeds[index])
+            )
+        if model == "jm":
+            fit_columns = _kernels.jm_profile_sweep(
+                times_rows,
+                candidate_ladder(n_observed, key[2], key[3]),
+            )
+            intensity = fit_columns["per_fault_rate_hat"] * np.maximum(
+                fit_columns["n_faults_hat"] - n_observed, 0.0
+            )
+            shows_growth = fit_columns["shows_growth"]
+        else:
+            fit_columns = _kernels.lv_lattice_sweep(
+                times_rows, relative_lattice(key[4], key[5], key[6])
+            )
+            psi = (
+                fit_columns["beta0_hat"]
+                + fit_columns["beta1_hat"] * (n_observed + 1)
+            )
+            intensity = fit_columns["alpha_hat"] / psi
+            shows_growth = fit_columns["beta1_hat"] > 0
+        mtbf = np.where(intensity > 0, 1.0 / intensity, np.inf)
+
+        margin = np.array(
+            [resolved[i]["assumption_margin_decades"] for i in indices],
+            dtype=float,
+        )
+        base_sigma = np.array(
+            [resolved[i]["base_sigma"] for i in indices], dtype=float
+        )
+        required = np.array(
+            [resolved[i]["required_confidence"] for i in indices], dtype=float
+        )
+        judgement_mode = np.minimum(intensity * 10.0**margin, 0.5)
+        judgement_sigma = base_sigma + 0.25 * margin
+        mu = _kernels.lognormal_mu_from_mode(judgement_mode, judgement_sigma)
+        confidences = _kernels.band_confidence_sweep(
+            mu, judgement_sigma, scheme
+        )
+        granted = _kernels.granted_levels(confidences, required, len(indices))
+
+        fit_names = (
+            ("n_faults_hat", "per_fault_rate_hat") if model == "jm"
+            else ("alpha_hat", "beta0_hat", "beta1_hat")
+        )
+        for position, index in enumerate(indices):
+            out = {
+                name: float(fit_columns[name][position]) for name in fit_names
+            }
+            out.update({
+                "log_lik": float(fit_columns["log_lik"][position]),
+                "current_intensity": float(intensity[position]),
+                "current_mtbf": float(mtbf[position]),
+                "shows_growth": bool(shows_growth[position]),
+                "judgement_mode": float(judgement_mode[position]),
+                "judgement_sigma": float(judgement_sigma[position]),
+                "granted_sil": granted[position],
+            })
+            results[index] = out
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Elicitation pooling and calibration
+# --------------------------------------------------------------------- #
+
+class ElicitationPoolPipeline(Pipeline):
+    """A synthetic panel pooled linearly, with equal or information
+    weights.
+
+    The scenario seed draws each expert's personal bias and spread (the
+    same panel shape as :func:`repro.experiment.build_panel`: the first
+    ``n_doubters`` experts centre ``doubter_offset_decades`` worse with
+    spread at least 1.2); pooling goes through
+    :func:`repro.elicitation.linear_pool`, with weights either uniform or
+    from :func:`repro.elicitation.information_weights`.
+    """
+
+    name = "elicitation_pool"
+    defaults = {
+        "n_experts": 12,
+        "n_doubters": 3,
+        "reference_mode": 0.003,
+        "bias_scale": 0.3,
+        "sigma_low": 0.7,
+        "sigma_high": 1.1,
+        "doubter_offset_decades": 2.0,
+        "bound": 1e-2,
+        "weighting": "equal",
+    }
+    deterministic = False
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        merged = super().resolve(params)
+        merged["n_experts"] = _as_count(merged["n_experts"], "n_experts")
+        merged["n_doubters"] = _as_count(merged["n_doubters"], "n_doubters")
+        if merged["n_experts"] < 1:
+            raise DomainError("panel needs at least one expert")
+        if not 0 <= merged["n_doubters"] < merged["n_experts"]:
+            raise DomainError(
+                "doubter count must lie in [0, n_experts) — the main "
+                "group may not be empty"
+            )
+        if merged["weighting"] not in ("equal", "information"):
+            raise DomainError(
+                f"weighting must be 'equal' or 'information', "
+                f"got {merged['weighting']!r}"
+            )
+        if merged["reference_mode"] <= 0:
+            raise DomainError("reference mode must be positive")
+        if not 0 < merged["sigma_low"] <= merged["sigma_high"]:
+            raise DomainError("need 0 < sigma_low <= sigma_high")
+        return merged
+
+    @staticmethod
+    def _panel_arrays(merged, rng):
+        """Per-expert (mode, sigma, is_doubter) arrays for one scenario."""
+        n_experts = merged["n_experts"]
+        biases = rng.normal(0.0, merged["bias_scale"], size=n_experts)
+        spreads = rng.uniform(
+            merged["sigma_low"], merged["sigma_high"], size=n_experts
+        )
+        is_doubter = np.arange(n_experts) < merged["n_doubters"]
+        offsets = biases + np.where(
+            is_doubter, merged["doubter_offset_decades"], 0.0
+        )
+        sigmas = np.where(is_doubter, np.maximum(spreads, 1.2), spreads)
+        modes = np.minimum(merged["reference_mode"] * 10.0**offsets, 0.5)
+        return modes, sigmas, is_doubter
+
+    @staticmethod
+    def _weights(merged, modes, sigmas):
+        from ..elicitation import equal_weights, information_weights
+
+        if merged["weighting"] == "equal":
+            return equal_weights(merged["n_experts"])
+        from ..distributions import LogNormalJudgement
+
+        widths = np.array([
+            float(np.log10(high / low))
+            for low, high in (
+                LogNormalJudgement.from_mode_sigma(m, s).credible_interval(0.9)
+                for m, s in zip(modes, sigmas)
+            )
+        ])
+        return information_weights(widths)
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..elicitation import linear_pool
+
+        merged = self.resolve(params)
+        modes, sigmas, is_doubter = self._panel_arrays(
+            merged, ensure_rng(seed)
+        )
+        judgements = [
+            LogNormalJudgement.from_mode_sigma(m, s)
+            for m, s in zip(modes, sigmas)
+        ]
+        weights = self._weights(merged, modes, sigmas)
+        pooled = linear_pool(judgements, list(weights))
+        main_weights = weights[~is_doubter]
+        main_pool = linear_pool(
+            [j for j, d in zip(judgements, is_doubter) if not d],
+            list(main_weights / main_weights.sum()),
+        )
+        bound = merged["bound"]
+        return {
+            "pooled_mean": pooled.mean(),
+            "pooled_confidence": pooled.confidence(bound),
+            "main_mean": main_pool.mean(),
+            "main_confidence": main_pool.confidence(bound),
+            "doubter_weight": float(weights[is_doubter].sum()),
+        }
+
+
+@register_batch_kernel("elicitation_pool")
+def _elicitation_pool_batch(pipeline, items):
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    seeds = [seed for _params, seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    groups = _group_items(resolved, ["n_experts", "weighting"])
+    for (n_experts, weighting), indices in groups.items():
+        modes = np.empty((len(indices), n_experts))
+        sigmas = np.empty((len(indices), n_experts))
+        doubters = np.empty((len(indices), n_experts), dtype=bool)
+        for position, index in enumerate(indices):
+            modes[position], sigmas[position], doubters[position] = (
+                ElicitationPoolPipeline._panel_arrays(
+                    resolved[index], ensure_rng(seeds[index])
+                )
+            )
+        if weighting == "equal":
+            weights = np.full((len(indices), n_experts), 1.0 / n_experts)
+        else:
+            from ..elicitation import information_weights
+
+            mu = _kernels.lognormal_mu_from_mode(modes, sigmas)
+            low, high = _kernels.lognormal_interval(mu, sigmas, 0.9)
+            weights = information_weights(np.log10(high / low))
+        bounds = np.array([resolved[i]["bound"] for i in indices],
+                          dtype=float)
+        pooled = _kernels.linear_pool_sweep(modes, sigmas, weights, bounds)
+        main_weights = np.where(doubters, 0.0, weights)
+        main = _kernels.linear_pool_sweep(
+            modes, sigmas, main_weights, bounds
+        )
+        doubter_weight = np.sum(np.where(doubters, weights, 0.0), axis=1)
+        for position, index in enumerate(indices):
+            results[index] = {
+                "pooled_mean": float(pooled["pooled_mean"][position]),
+                "pooled_confidence": float(
+                    pooled["pooled_confidence"][position]
+                ),
+                "main_mean": float(main["pooled_mean"][position]),
+                "main_confidence": float(main["pooled_confidence"][position]),
+                "doubter_weight": float(doubter_weight[position]),
+            }
+    return results
+
+
+class ExpertCalibrationPipeline(Pipeline):
+    """Proper-score calibration of one expert judgement against simulated
+    ground truths (the validation the paper finds lacking).
+
+    Each scenario draws ``n_questions`` true values from a lognormal
+    truth process and scores the expert's fixed (mode, sigma) judgement
+    on the binary claim ``truth < claim_bound`` (Brier and log scores)
+    plus 90 % interval coverage, via
+    :func:`repro.elicitation.calibration_report`.
+    """
+
+    name = "expert_calibration"
+    defaults = {
+        "mode": 0.003,
+        "sigma": 0.9,
+        "truth_median": 0.003,
+        "truth_sigma": 0.9,
+        "n_questions": 40,
+        "claim_bound": 1e-2,
+    }
+    deterministic = False
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        merged = super().resolve(params)
+        merged["n_questions"] = _as_count(
+            merged["n_questions"], "n_questions"
+        )
+        if merged["n_questions"] < 1:
+            raise DomainError("need at least one question")
+        if merged["claim_bound"] <= 0:
+            raise DomainError("claim bound must be positive")
+        return merged
+
+    @staticmethod
+    def _truths(merged, rng):
+        from ..distributions import LogNormalJudgement
+
+        truth_process = LogNormalJudgement.from_median_sigma(
+            merged["truth_median"], merged["truth_sigma"]
+        )
+        return truth_process.sample(rng, merged["n_questions"])
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..elicitation import calibration_report
+
+        merged = self.resolve(params)
+        truths = self._truths(merged, ensure_rng(seed))
+        judgement = LogNormalJudgement.from_mode_sigma(
+            merged["mode"], merged["sigma"]
+        )
+        report = calibration_report(
+            "expert",
+            [judgement] * merged["n_questions"],
+            truths,
+            merged["claim_bound"],
+        )
+        return {
+            "stated_confidence": judgement.confidence(merged["claim_bound"]),
+            "mean_brier": report.mean_brier,
+            "mean_log_score": report.mean_log_score,
+            "coverage_90": report.coverage_90,
+            "overconfident": report.is_overconfident(),
+        }
+
+
+@register_batch_kernel("expert_calibration")
+def _expert_calibration_batch(pipeline, items):
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    seeds = [seed for _params, seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    for (n_questions,), indices in _group_items(
+        resolved, ["n_questions"]
+    ).items():
+        truths = np.empty((len(indices), n_questions))
+        for position, index in enumerate(indices):
+            truths[position] = ExpertCalibrationPipeline._truths(
+                resolved[index], ensure_rng(seeds[index])
+            )
+        modes = np.array([resolved[i]["mode"] for i in indices], dtype=float)
+        sigmas = np.array([resolved[i]["sigma"] for i in indices],
+                          dtype=float)
+        bounds = np.array([resolved[i]["claim_bound"] for i in indices],
+                          dtype=float)
+        mu = _kernels.lognormal_mu_from_mode(modes, sigmas)
+        stated = _kernels.lognormal_confidence(mu, sigmas, bounds)
+        low, high = _kernels.lognormal_interval(mu, sigmas, 0.9)
+        columns = _kernels.calibration_sweep(stated, truths, bounds, low,
+                                             high)
+        for position, index in enumerate(indices):
+            results[index] = {
+                "stated_confidence": float(stated[position]),
+                "mean_brier": float(columns["mean_brier"][position]),
+                "mean_log_score": float(
+                    columns["mean_log_score"][position]
+                ),
+                "coverage_90": float(columns["coverage_90"][position]),
+                "overconfident": bool(columns["overconfident"][position]),
+            }
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Risk, standards and conservatism
+# --------------------------------------------------------------------- #
+
+class AlarpDecisionPipeline(Pipeline):
+    """ALARP region of a judgement's mean plus the ACARP confidence
+    verdict on staying out of the unacceptable region
+    (:func:`repro.risk.combined_verdict`)."""
+
+    name = "alarp_decision"
+    defaults = {
+        "mode": None,
+        "sigma": None,
+        "intolerable_above": 1e-2,
+        "acceptable_below": 1e-4,
+        "required_confidence": 0.90,
+    }
+    required = ("mode", "sigma")
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..risk import AlarpThresholds, combined_verdict
+
+        merged = self.resolve(params)
+        judgement = LogNormalJudgement.from_mode_sigma(
+            merged["mode"], merged["sigma"]
+        )
+        verdict = combined_verdict(
+            judgement,
+            AlarpThresholds(
+                intolerable_above=merged["intolerable_above"],
+                acceptable_below=merged["acceptable_below"],
+            ),
+            required_confidence=merged["required_confidence"],
+        )
+        return {
+            "mean": judgement.mean(),
+            "region": verdict.region_by_mean.value,
+            "confidence_not_unacceptable":
+                verdict.confidence_not_unacceptable,
+            "confidence_broadly_acceptable":
+                verdict.confidence_broadly_acceptable,
+            "acarp_met": verdict.acarp_met,
+        }
+
+
+@register_batch_kernel("alarp_decision")
+def _alarp_decision_batch(pipeline, items):
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    columns = _kernels.alarp_sweep(
+        [p["mode"] for p in resolved],
+        [p["sigma"] for p in resolved],
+        [p["intolerable_above"] for p in resolved],
+        [p["acceptable_below"] for p in resolved],
+        [p["required_confidence"] for p in resolved],
+    )
+    return [
+        {
+            "mean": float(columns["mean"][i]),
+            "region": str(columns["region"][i]),
+            "confidence_not_unacceptable": float(
+                columns["confidence_not_unacceptable"][i]
+            ),
+            "confidence_broadly_acceptable": float(
+                columns["confidence_broadly_acceptable"][i]
+            ),
+            "acarp_met": bool(columns["acarp_met"][i]),
+        }
+        for i in range(len(resolved))
+    ]
+
+
+class Iec61508SilPipeline(Pipeline):
+    """The SIL grantable under one of IEC 61508's confidence clauses
+    (:func:`repro.standards.granted_sil`), with the per-band one-sided
+    confidences alongside."""
+
+    name = "iec61508_sil"
+    defaults = {
+        "mode": None,
+        "sigma": None,
+        "clause": "part2-7.4.7.9",
+        "scheme": "low_demand",
+    }
+    required = ("mode", "sigma")
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        from ..standards.iec61508 import clause
+
+        merged = super().resolve(params)
+        clause(merged["clause"])
+        _band_scheme(merged["scheme"])
+        return merged
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..standards.iec61508 import clause, granted_sil
+
+        merged = self.resolve(params)
+        judgement = LogNormalJudgement.from_mode_sigma(
+            merged["mode"], merged["sigma"]
+        )
+        scheme = _band_scheme(merged["scheme"])
+        confidence_clause = clause(merged["clause"])
+        out = {
+            "required_confidence": confidence_clause.required_confidence,
+            "granted_sil": granted_sil(
+                judgement, merged["clause"], scheme
+            ),
+        }
+        for band in scheme:
+            out[f"sil{band.level}_confidence"] = band.confidence_better(
+                judgement
+            )
+        return out
+
+
+@register_batch_kernel("iec61508_sil")
+def _iec61508_sil_batch(pipeline, items):
+    from ..standards.iec61508 import clause
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    for (scheme_name,), indices in _group_items(resolved, ["scheme"]).items():
+        scheme = _band_scheme(scheme_name)
+        modes = np.array([resolved[i]["mode"] for i in indices], dtype=float)
+        sigmas = np.array([resolved[i]["sigma"] for i in indices],
+                          dtype=float)
+        required = np.array(
+            [clause(resolved[i]["clause"]).required_confidence
+             for i in indices],
+            dtype=float,
+        )
+        mu = _kernels.lognormal_mu_from_mode(modes, sigmas)
+        confidences = _kernels.band_confidence_sweep(mu, sigmas, scheme)
+        granted = _kernels.granted_levels(confidences, required, len(indices))
+        for position, index in enumerate(indices):
+            out = {
+                "required_confidence": float(required[position]),
+                "granted_sil": granted[position],
+            }
+            for level in sorted(confidences):
+                out[f"sil{level}_confidence"] = float(
+                    confidences[level][position]
+                )
+            results[index] = out
+    return results
+
+
+class Do178bMapPipeline(Pipeline):
+    """DO-178B assurance-level guidance and the cross-domain bridge: the
+    per-hour guidance rate, the comparable high-demand SIL, and (when a
+    judgement is bound) the confidence the rate meets the guidance."""
+
+    name = "do178b_map"
+    defaults = {
+        "dal": None,
+        "mode": None,
+        "sigma": None,
+    }
+    required = ("dal",)
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        from ..standards import do178b
+
+        merged = super().resolve(params)
+        do178b.level(merged["dal"])
+        if (merged["mode"] is None) != (merged["sigma"] is None):
+            raise DomainError(
+                "bind both mode and sigma to judge against the guidance, "
+                "or neither"
+            )
+        return merged
+
+    def run(self, params, seed=None):
+        from ..distributions import LogNormalJudgement
+        from ..standards import do178b
+
+        merged = self.resolve(params)
+        dal = do178b.level(merged["dal"])
+        out = {
+            "failure_condition": dal.failure_condition,
+            "guidance_rate_per_hour": dal.max_rate_per_hour,
+            "comparable_sil": do178b.comparable_sil(merged["dal"]),
+        }
+        if dal.max_rate_per_hour is not None and merged["mode"] is not None:
+            judgement = LogNormalJudgement.from_mode_sigma(
+                merged["mode"], merged["sigma"]
+            )
+            out["confidence_within_guidance"] = judgement.confidence(
+                dal.max_rate_per_hour
+            )
+        else:
+            out["confidence_within_guidance"] = None
+        return out
+
+
+@register_batch_kernel("do178b_map")
+def _do178b_map_batch(pipeline, items):
+    from ..standards import do178b
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    results: List[Dict[str, Any]] = []
+    judged = [
+        i for i, p in enumerate(resolved)
+        if p["mode"] is not None
+        and do178b.rate_guidance_per_hour(p["dal"]) is not None
+    ]
+    confidences = {}
+    if judged:
+        mu = _kernels.lognormal_mu_from_mode(
+            [resolved[i]["mode"] for i in judged],
+            [resolved[i]["sigma"] for i in judged],
+        )
+        sigmas = np.array([resolved[i]["sigma"] for i in judged], dtype=float)
+        rates = np.array(
+            [do178b.rate_guidance_per_hour(resolved[i]["dal"])
+             for i in judged],
+            dtype=float,
+        )
+        values = _kernels.lognormal_confidence(mu, sigmas, rates)
+        confidences = {
+            index: float(value) for index, value in zip(judged, values)
+        }
+    for index, params in enumerate(resolved):
+        dal = do178b.level(params["dal"])
+        results.append({
+            "failure_condition": dal.failure_condition,
+            "guidance_rate_per_hour": dal.max_rate_per_hour,
+            "comparable_sil": do178b.comparable_sil(params["dal"]),
+            "confidence_within_guidance": confidences.get(index),
+        })
+    return results
+
+
+class ConservatismAuditPipeline(Pipeline):
+    """Does stage-wise conservatism propagate?  One scenario per
+    (channel judgement, belief bound, common-cause beta): the naive
+    stage-wise 1oo2 figure versus the analytic beta-factor end-to-end
+    mean, and the beta at which the bound breaks
+    (:mod:`repro.core.propagation`)."""
+
+    name = "conservatism_audit"
+    defaults = {
+        "mode": None,
+        "sigma": None,
+        "belief_bound": 1e-2,
+        "beta": 0.05,
+    }
+    required = ("mode", "sigma")
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        merged = super().resolve(params)
+        if not 0 <= merged["belief_bound"] <= 1:
+            raise DomainError("belief bound must lie in [0, 1]")
+        if not 0 <= merged["beta"] <= 1:
+            raise DomainError("beta must lie in [0, 1]")
+        return merged
+
+    def run(self, params, seed=None):
+        from ..core import (
+            analytic_critical_beta,
+            analytic_pair_mean,
+            stagewise_pair_bound,
+        )
+        from ..distributions import LogNormalJudgement
+
+        merged = self.resolve(params)
+        channel = LogNormalJudgement.from_mode_sigma(
+            merged["mode"], merged["sigma"]
+        )
+        stagewise = stagewise_pair_bound(channel, merged["belief_bound"])
+        mean = channel.mean()
+        second = channel.variance() + mean * mean
+        end_to_end = analytic_pair_mean(mean, second, merged["beta"])
+        return {
+            "channel_mean": mean,
+            "stagewise_bound": stagewise,
+            "end_to_end_mean": end_to_end,
+            "conservatism_holds": bool(stagewise >= end_to_end),
+            "critical_beta": analytic_critical_beta(mean, second, stagewise),
+        }
+
+
+@register_batch_kernel("conservatism_audit")
+def _conservatism_audit_batch(pipeline, items):
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    columns = _kernels.conservatism_sweep(
+        [p["mode"] for p in resolved],
+        [p["sigma"] for p in resolved],
+        [p["belief_bound"] for p in resolved],
+        [p["beta"] for p in resolved],
+    )
+    return [
+        {
+            "channel_mean": float(columns["channel_mean"][i]),
+            "stagewise_bound": float(columns["stagewise_bound"][i]),
+            "end_to_end_mean": float(columns["end_to_end_mean"][i]),
+            "conservatism_holds": bool(columns["conservatism_holds"][i]),
+            "critical_beta": float(columns["critical_beta"][i]),
+        }
+        for i in range(len(resolved))
+    ]
+
+
 register(SurvivalUpdatePipeline())
 register(TwoLegPosteriorPipeline())
 register(BbnQueryPipeline())
 register(SilClassificationPipeline())
 register(PanelRunPipeline())
+register(SilFromGrowthPipeline())
+register(ElicitationPoolPipeline())
+register(ExpertCalibrationPipeline())
+register(AlarpDecisionPipeline())
+register(Iec61508SilPipeline())
+register(Do178bMapPipeline())
+register(ConservatismAuditPipeline())

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..errors import DomainError
 from ..numerics import spawn_seeds
 
-__all__ = ["ScenarioSpec", "SweepSpec", "canonical_key"]
+__all__ = ["ScenarioSpec", "SweepSpec", "canonical_key", "load_sweeps"]
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
@@ -212,6 +212,46 @@ class SweepSpec:
         if not isinstance(data, Mapping):
             raise DomainError(f"spec file {path} must contain a mapping")
         return cls.from_dict(data)
+
+
+def load_sweeps(path) -> List[SweepSpec]:
+    """Load one *or several* sweep specs from a YAML/JSON file.
+
+    A plain mapping is a single :class:`SweepSpec`; a mapping with a
+    top-level ``sweeps:`` list holds many — one spec file can drive
+    several pipelines (see ``examples/full_library_sweep.yaml``).  Each
+    entry in ``sweeps`` is an ordinary sweep-spec mapping; a top-level
+    ``name:`` becomes the default ``name`` of entries that do not set
+    their own.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    data = _parse_spec_text(text, str(path))
+    if not isinstance(data, Mapping):
+        raise DomainError(f"spec file {path} must contain a mapping")
+    if "sweeps" not in data:
+        return [SweepSpec.from_dict(data)]
+    unknown = set(data) - {"sweeps", "name"}
+    if unknown:
+        raise DomainError(
+            f"unknown multi-sweep entries: {', '.join(sorted(unknown))}"
+        )
+    entries = data["sweeps"]
+    if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+        raise DomainError("'sweeps' must be a list of sweep specs")
+    if not entries:
+        raise DomainError("'sweeps' must not be empty")
+    default_name = data.get("name")
+    sweeps = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise DomainError(
+                f"sweep entry {position} in {path} must be a mapping"
+            )
+        if default_name is not None and entry.get("name") is None:
+            entry = {**entry, "name": default_name}
+        sweeps.append(SweepSpec.from_dict(entry))
+    return sweeps
 
 
 def _parse_spec_text(text: str, origin: str):

@@ -15,7 +15,7 @@ pooled mean pfd.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from ..elicitation import (
 )
 from ..errors import DomainError
 from ..numerics import ensure_rng
-from ..sil import LOW_DEMAND, SilBand
+from ..sil import SilBand
 from .cemsis import CaseStudy, public_domain_case_study
 
 __all__ = ["ExperimentResult", "build_panel", "run_panel"]

@@ -7,8 +7,8 @@ failure history with an assumption-violation margin.
 
 from . import evaluation, jelinski_moranda, littlewood_verrall
 from .evaluation import UPlot, prequential_u_values, u_plot
-from .jelinski_moranda import JelinskiMorandaFit
-from .littlewood_verrall import LittlewoodVerrallFit
+from .jelinski_moranda import JelinskiMorandaFit, candidate_ladder, profile_phi
+from .littlewood_verrall import LittlewoodVerrallFit, relative_lattice
 from .sil_from_growth import GrowthBasedJudgement, judgement_from_history
 
 __all__ = [
@@ -19,7 +19,10 @@ __all__ = [
     "prequential_u_values",
     "u_plot",
     "JelinskiMorandaFit",
+    "candidate_ladder",
+    "profile_phi",
     "LittlewoodVerrallFit",
+    "relative_lattice",
     "GrowthBasedJudgement",
     "judgement_from_history",
 ]

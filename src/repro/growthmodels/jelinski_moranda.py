@@ -18,7 +18,7 @@ likelihood, and predicts the current intensity and time to next failure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 from scipy import optimize as _sp_optimize
@@ -26,7 +26,7 @@ from scipy import optimize as _sp_optimize
 from ..errors import ConvergenceError, DomainError, FittingError
 
 __all__ = ["JelinskiMorandaFit", "simulate_interfailure_times", "fit",
-           "log_likelihood"]
+           "log_likelihood", "profile_phi", "candidate_ladder"]
 
 
 def simulate_interfailure_times(
@@ -69,6 +69,43 @@ def log_likelihood(
         n * np.log(per_fault_rate)
         + np.sum(np.log(remaining))
         - per_fault_rate * np.sum(remaining * times)
+    )
+
+
+def profile_phi(n_faults: float, times) -> float:
+    """The closed-form MLE of ``phi`` for a fixed fault count ``N``.
+
+    For fixed ``N`` the likelihood is maximised at
+    ``phi = n / sum_i (N - i) t_i``; this profile is what both the scalar
+    :func:`fit` and the sweep engine's batched likelihood-grid kernel
+    optimise over.
+    """
+    times = np.asarray(times, dtype=float)
+    n = len(times)
+    remaining = n_faults - np.arange(n)
+    return n / float(np.sum(remaining * times))
+
+
+def candidate_ladder(
+    n_observed: int, n_candidates: int = 160, max_factor: float = 30.0
+) -> np.ndarray:
+    """A deterministic ladder of fault-count candidates for grid fitting.
+
+    Log-spaced from just above the observed failure count (where the
+    residual intensity is smallest but positive) out to
+    ``max_factor * n_observed``; a profile maximised at the ladder's top
+    rung indicates the data show no reliability growth.  The ladder is a
+    pure function of its arguments, so scalar and batched grid fits over
+    the same configuration search identical candidates.
+    """
+    if n_observed < 1:
+        raise DomainError("need at least one observation")
+    if n_candidates < 2:
+        raise DomainError("need at least two candidates")
+    if max_factor <= 1.0:
+        raise DomainError("max_factor must exceed 1")
+    return np.geomspace(
+        n_observed + 0.5, max_factor * n_observed, int(n_candidates)
     )
 
 
@@ -130,12 +167,8 @@ def fit(times: Sequence[float]) -> JelinskiMorandaFit:
     if np.any(times <= 0):
         raise DomainError("interfailure times must be positive")
 
-    def phi_hat(n_faults: float) -> float:
-        remaining = n_faults - np.arange(n)
-        return n / float(np.sum(remaining * times))
-
     def negative_profile(n_faults: float) -> float:
-        return -log_likelihood(n_faults, phi_hat(n_faults), times)
+        return -log_likelihood(n_faults, profile_phi(n_faults, times), times)
 
     # The profile is unimodal in N on (n-1+eps, inf); search on a decade
     # ladder for a bracketing triple.
@@ -163,7 +196,7 @@ def fit(times: Sequence[float]) -> JelinskiMorandaFit:
     n_hat = float(result.x)
     return JelinskiMorandaFit(
         n_faults=n_hat,
-        per_fault_rate=phi_hat(n_hat),
+        per_fault_rate=profile_phi(n_hat, times),
         n_observed=n,
         log_likelihood=float(-result.fun),
     )

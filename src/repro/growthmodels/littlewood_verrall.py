@@ -24,7 +24,7 @@ from scipy import optimize as _sp_optimize
 from ..errors import ConvergenceError, DomainError, FittingError
 
 __all__ = ["LittlewoodVerrallFit", "simulate_interfailure_times", "fit",
-           "log_likelihood"]
+           "log_likelihood", "relative_lattice"]
 
 
 def _psi(beta0: float, beta1: float, indices: np.ndarray) -> np.ndarray:
@@ -65,6 +65,29 @@ def log_likelihood(
         + alpha * np.sum(np.log(psi))
         - (alpha + 1.0) * np.sum(np.log(times + psi))
     )
+
+
+def relative_lattice(
+    n_alpha: int = 6, n_beta0: int = 8, n_beta1: int = 7
+) -> np.ndarray:
+    """A deterministic ``(G, 3)`` lattice of LV candidates in *relative*
+    units.
+
+    Column 0 is ``alpha`` directly; columns 1 and 2 are ``beta0`` and
+    ``beta1`` as multiples of the mean interfailure time of the data they
+    are fitted to (``psi`` has the units of time, so scaling by the data's
+    mean time makes one lattice serve every history).  Rows are in
+    row-major (C) order over ``alpha x beta0 x beta1``, so a scalar loop
+    over the rows and a batched argmax over the flattened axis locate the
+    same maximiser.
+    """
+    if n_alpha < 2 or n_beta0 < 2 or n_beta1 < 2:
+        raise DomainError("each lattice axis needs at least two points")
+    alphas = np.geomspace(1.2, 24.0, int(n_alpha))
+    beta0_rel = np.geomspace(0.05, 20.0, int(n_beta0))
+    beta1_rel = np.geomspace(1e-3, 2.0, int(n_beta1))
+    grids = np.meshgrid(alphas, beta0_rel, beta1_rel, indexing="ij")
+    return np.column_stack([g.ravel() for g in grids])
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ from .alarp import (
     AlarpThresholds,
     RiskRegion,
     classify,
+    classify_values,
     combined_verdict,
 )
 from .decision import AssurancePlan, plan_assurance, tests_to_reach_confidence
@@ -15,6 +16,7 @@ __all__ = [
     "AlarpThresholds",
     "RiskRegion",
     "classify",
+    "classify_values",
     "combined_verdict",
     "AssurancePlan",
     "plan_assurance",

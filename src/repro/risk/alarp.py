@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+import numpy as np
+
 from ..core.acarp import AcarpTarget, evaluate
 from ..distributions import JudgementDistribution
 from ..errors import DomainError
 
-__all__ = ["RiskRegion", "AlarpThresholds", "classify", "AlarpAcarpVerdict",
-           "combined_verdict"]
+__all__ = ["RiskRegion", "AlarpThresholds", "classify", "classify_values",
+           "AlarpAcarpVerdict", "combined_verdict"]
 
 
 class RiskRegion(Enum):
@@ -58,6 +60,34 @@ def classify(value: float, thresholds: AlarpThresholds) -> RiskRegion:
     if value < thresholds.acceptable_below:
         return RiskRegion.BROADLY_ACCEPTABLE
     return RiskRegion.TOLERABLE
+
+
+def classify_values(values, intolerable_above, acceptable_below) -> np.ndarray:
+    """Vectorised :func:`classify`: ALARP regions for aligned arrays.
+
+    All three arguments broadcast; the result is an object array of
+    :class:`RiskRegion` members, with element ``i`` equal to
+    ``classify(values[i], AlarpThresholds(...))`` (the same strict/weak
+    boundary comparisons).  This is the sweep-engine kernel; scalar code
+    should keep using :func:`classify`.
+    """
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    intolerable = np.asarray(intolerable_above, dtype=float)
+    acceptable = np.asarray(acceptable_below, dtype=float)
+    if np.any(values < 0):
+        raise DomainError("failure measure cannot be negative")
+    if np.any(acceptable <= 0) or np.any(intolerable <= acceptable):
+        raise DomainError(
+            "thresholds must satisfy 0 < acceptable < intolerable"
+        )
+    out = np.full(np.broadcast(values, intolerable, acceptable).shape,
+                  RiskRegion.TOLERABLE, dtype=object)
+    out[np.broadcast_to(values >= intolerable, out.shape)] = (
+        RiskRegion.UNACCEPTABLE
+    )
+    out[np.broadcast_to((values < acceptable) & (values < intolerable),
+                        out.shape)] = RiskRegion.BROADLY_ACCEPTABLE
+    return out
 
 
 @dataclass(frozen=True)

@@ -10,13 +10,12 @@ is the spend justified by the risk reduction it certifies?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
-import numpy as np
 
 from ..core.acarp import AcarpTarget
 from ..distributions import JudgementDistribution
-from ..errors import ConvergenceError, DomainError
+from ..errors import DomainError
 from ..update import DemandEvidence, survival_update
 
 __all__ = ["tests_to_reach_confidence", "AssurancePlan", "plan_assurance"]

@@ -16,7 +16,6 @@ assessment understates risk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

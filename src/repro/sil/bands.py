@@ -14,7 +14,7 @@ machinery serves other levelled schemes (DO-178B mappings etc.).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

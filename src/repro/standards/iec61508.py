@@ -21,7 +21,7 @@ observation using :func:`granted_sil`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..distributions import JudgementDistribution
 from ..errors import DomainError

@@ -26,7 +26,7 @@ from ..distributions import (
 )
 from ..errors import DomainError
 from ..numerics import log_grid
-from .likelihoods import DemandEvidence, OperatingTimeEvidence
+from .likelihoods import DemandEvidence
 
 __all__ = [
     "default_pfd_grid",

@@ -1,6 +1,5 @@
 """Tests for the conservative worst-case calculus (paper Section 3.4)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    analytic_critical_beta,
+    analytic_pair_mean,
     conservatism_audit,
     critical_beta,
     end_to_end_pair_mean,
@@ -87,3 +89,51 @@ class TestCriticalBeta:
         beta_star = critical_beta(channel, 5e-2, rng)
         if beta_star is not None:
             assert 0.0 <= beta_star <= 1.0
+
+
+class TestAnalyticHelpers:
+    def test_analytic_pair_mean_matches_monte_carlo(self, rng):
+        channel = LogNormalJudgement.from_mode_sigma(3e-3, 0.9)
+        mean = channel.mean()
+        second = channel.variance() + mean * mean
+        for beta in (0.0, 0.1, 0.9):
+            analytic = analytic_pair_mean(mean, second, beta)
+            mc = end_to_end_pair_mean(channel, beta, rng, n_samples=200_000)
+            assert mc == pytest.approx(analytic, rel=0.05)
+
+    def test_analytic_pair_mean_broadcasts(self):
+        betas = np.array([0.0, 0.5, 1.0])
+        out = analytic_pair_mean(0.01, 2e-4, betas)
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(2e-4)
+        assert out[-1] == pytest.approx(0.01)
+
+    def test_analytic_critical_beta_matches_bisection(self, rng):
+        for mode, sigma, belief_bound in (
+            (3e-3, 0.9, 1e-2),   # bound survives: None <-> NaN
+            (1e-4, 0.4, 1e-3),   # bound breaks at a small beta
+            (3e-4, 0.5, 2e-3),
+        ):
+            channel = LogNormalJudgement.from_mode_sigma(mode, sigma)
+            bound = stagewise_pair_bound(channel, belief_bound)
+            mean = channel.mean()
+            second = channel.variance() + mean * mean
+            closed_form = analytic_critical_beta(mean, second, bound)
+            bisected = critical_beta(channel, belief_bound, rng)
+            if bisected is None:
+                assert np.isnan(closed_form)
+            else:
+                assert closed_form == pytest.approx(bisected, abs=1e-3)
+
+    def test_analytic_critical_beta_nan_when_bound_survives(self):
+        # Mean above the bound at beta=1 never crosses: NaN.
+        assert np.isnan(analytic_critical_beta(1e-6, 1e-12, 1e-2))
+
+    def test_analytic_critical_beta_vectorised(self):
+        out = analytic_critical_beta(
+            np.array([0.01, 1e-6]), np.array([2e-4, 1e-12]),
+            np.array([5e-3, 1e-2]),
+        )
+        assert out.shape == (2,)
+        assert 0.0 <= out[0] <= 1.0
+        assert np.isnan(out[1])

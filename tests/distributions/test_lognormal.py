@@ -12,7 +12,7 @@ from repro.distributions import (
     paper_pdf,
     sigma_for_decades,
 )
-from repro.errors import DomainError, FittingError
+from repro.errors import DomainError
 
 
 class TestConstructors:

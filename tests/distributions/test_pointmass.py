@@ -1,6 +1,5 @@
 """Tests for discrete / worst-case judgements (the paper's Figure 6b)."""
 
-import numpy as np
 import pytest
 
 from repro.distributions import (

@@ -1,6 +1,5 @@
 """Tests for tail truncation (the idealised Section 4.1 cut-off)."""
 
-import numpy as np
 import pytest
 
 from repro.distributions import LogNormalJudgement, TruncatedJudgement

@@ -6,6 +6,7 @@ import pytest
 from repro.distributions import LogNormalJudgement
 from repro.elicitation import (
     ExpertScore,
+    information_weights,
     performance_weighted_pool,
     performance_weights,
     score_expert,
@@ -99,3 +100,31 @@ class TestPerformanceWeightedPool:
         good = LogNormalJudgement.from_mode_sigma(1e-3, 0.5)
         with pytest.raises(DomainError):
             performance_weighted_pool([good], [])
+
+
+class TestInformationWeights:
+    def test_narrower_experts_weigh_more(self):
+        weights = information_weights([0.5, 2.0, 4.0])
+        assert weights.shape == (3,)
+        assert weights[0] > weights[1] > weights[2]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_matches_score_expert_information_formula(self):
+        widths = np.array([1.0, 3.0])
+        weights = information_weights(widths)
+        info = 1.0 / (1.0 + widths)
+        assert weights == pytest.approx(info / info.sum())
+
+    def test_batched_panels_normalise_per_row(self):
+        weights = information_weights([[0.5, 2.0], [4.0, 4.0]])
+        assert weights.shape == (2, 2)
+        assert weights.sum(axis=1) == pytest.approx([1.0, 1.0])
+        assert weights[1, 0] == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            information_weights([])
+        with pytest.raises(DomainError):
+            information_weights([-1.0])
+        with pytest.raises(DomainError):
+            information_weights([np.inf])

@@ -22,6 +22,13 @@ SURVIVAL_SWEEP = SweepSpec(
     grid={"sigma": [0.7, 0.9, 1.1], "demands": [0, 10, 100, 1000]},
 )
 
+# A pipeline that (deliberately) has no registered batch kernel.
+TWO_LEG_BASE = {
+    "prior": 0.6,
+    "leg1_validity": 0.9, "leg1_sensitivity": 0.95, "leg1_specificity": 0.9,
+    "leg2_validity": 0.88, "leg2_sensitivity": 0.9, "leg2_specificity": 0.85,
+}
+
 
 def _values_list(result_set):
     return [dict(r.values) for r in result_set]
@@ -60,14 +67,13 @@ class TestBackendsAgree:
         result = run_sweep(SURVIVAL_SWEEP)
         assert result.meta["backend"] == "auto->vectorized"
         result = run_sweep(
-            SweepSpec(pipeline="sil_classification",
-                      base={"mode": 0.003}, grid={"sigma": [0.9]})
+            SweepSpec(pipeline="two_leg_posterior",
+                      base=TWO_LEG_BASE, grid={"dependence": [0.0]})
         )
         assert result.meta["backend"] == "auto->serial"
 
     def test_vectorized_rejected_without_batch_kernel(self):
-        sweep = SweepSpec(pipeline="sil_classification",
-                          base={"mode": 0.003, "sigma": 0.9})
+        sweep = SweepSpec(pipeline="two_leg_posterior", base=TWO_LEG_BASE)
         with pytest.raises(DomainError):
             run_sweep(sweep, backend="vectorized")
 

@@ -1,6 +1,5 @@
 """Tests for the Figure 5 panel simulation."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DomainError

@@ -100,3 +100,37 @@ class TestFit:
             jm.fit([1.0, 2.0])
         with pytest.raises(DomainError):
             jm.fit([1.0, -2.0, 3.0])
+
+
+class TestProfileAndLadder:
+    def test_profile_phi_matches_fit_inner_mle(self, rng):
+        times = jm.simulate_interfailure_times(30, 1e-3, 20, rng)
+        fit = jm.fit(times)
+        # At the fitted N the profile phi IS the fitted phi.
+        assert jm.profile_phi(fit.n_faults, times) == pytest.approx(
+            fit.per_fault_rate, rel=1e-12
+        )
+
+    def test_profile_phi_is_stationary_point(self, rng):
+        times = jm.simulate_interfailure_times(25, 2e-3, 15, rng)
+        n_faults = 20.0
+        phi = jm.profile_phi(n_faults, times)
+        best = jm.log_likelihood(n_faults, phi, times)
+        for factor in (0.9, 1.1):
+            assert jm.log_likelihood(n_faults, phi * factor, times) < best
+
+    def test_candidate_ladder_shape_and_bounds(self):
+        ladder = jm.candidate_ladder(20, n_candidates=50, max_factor=10.0)
+        assert ladder.shape == (50,)
+        assert ladder[0] == pytest.approx(20.5)
+        assert ladder[-1] == pytest.approx(200.0)
+        assert np.all(np.diff(ladder) > 0)
+        assert np.all(ladder > 20)
+
+    def test_candidate_ladder_validation(self):
+        with pytest.raises(DomainError):
+            jm.candidate_ladder(0)
+        with pytest.raises(DomainError):
+            jm.candidate_ladder(10, n_candidates=1)
+        with pytest.raises(DomainError):
+            jm.candidate_ladder(10, max_factor=1.0)

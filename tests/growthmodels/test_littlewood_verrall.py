@@ -76,3 +76,22 @@ class TestFit:
             lv.fit([1.0, 2.0, 3.0])
         with pytest.raises(DomainError):
             lv.fit([1.0, 0.0, 2.0, 3.0])
+
+
+class TestRelativeLattice:
+    def test_shape_and_row_major_order(self):
+        lattice = lv.relative_lattice(3, 4, 5)
+        assert lattice.shape == (60, 3)
+        # Row-major: beta1 varies fastest, alpha slowest.
+        assert lattice[0, 0] == lattice[1, 0] == lattice[4, 0]
+        assert lattice[0, 2] != lattice[1, 2]
+        alphas = np.unique(lattice[:, 0])
+        assert alphas.size == 3
+
+    def test_positive_and_validated(self):
+        lattice = lv.relative_lattice()
+        assert np.all(lattice[:, 0] > 0)
+        assert np.all(lattice[:, 1] > 0)
+        assert np.all(lattice[:, 2] >= 0)
+        with pytest.raises(DomainError):
+            lv.relative_lattice(1, 4, 4)

@@ -1,6 +1,5 @@
 """Tests for the growth-model SIL derivation (Section 3's recipe)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DomainError

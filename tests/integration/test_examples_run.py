@@ -28,3 +28,35 @@ def test_example_runs_cleanly(script):
         f"{script.name} failed:\n{result.stderr[-2000:]}"
     )
     assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+EXAMPLE_SPECS = sorted(EXAMPLES_DIR.glob("*.yaml"))
+
+
+def test_spec_examples_exist():
+    names = {path.name for path in EXAMPLE_SPECS}
+    assert "sweep_spec.yaml" in names
+    assert "full_library_sweep.yaml" in names
+
+
+@pytest.mark.parametrize(
+    "spec_path", EXAMPLE_SPECS, ids=[s.stem for s in EXAMPLE_SPECS]
+)
+def test_spec_example_loads_and_resolves(spec_path):
+    pytest.importorskip("yaml")
+    from repro.engine import get_pipeline, load_sweeps
+
+    sweeps = load_sweeps(spec_path)
+    assert sweeps
+    for sweep in sweeps:
+        pipeline = get_pipeline(sweep.pipeline)
+        for scenario in sweep.expand():
+            pipeline.resolve(scenario.params)
+
+
+def test_full_library_sweep_drives_at_least_six_pipelines():
+    pytest.importorskip("yaml")
+    from repro.engine import load_sweeps
+
+    sweeps = load_sweeps(EXAMPLES_DIR / "full_library_sweep.yaml")
+    assert len({sweep.pipeline for sweep in sweeps}) >= 6

@@ -4,7 +4,6 @@ These exercise invariants that span subsystem boundaries — the places
 unit tests tend to miss.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -19,7 +18,6 @@ from repro.distributions import (
     BetaJudgement,
     GammaJudgement,
     LogNormalJudgement,
-    MixtureJudgement,
     TruncatedJudgement,
     with_perfection,
 )

@@ -1,6 +1,5 @@
 """End-to-end workflow tests across subsystem boundaries."""
 
-import numpy as np
 import pytest
 
 from repro.arguments import ArgumentLeg, two_leg_graph, two_leg_posterior

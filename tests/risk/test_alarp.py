@@ -1,5 +1,6 @@
 """Tests for ALARP regions and the combined ALARP/ACARP verdict."""
 
+import numpy as np
 import pytest
 
 from repro.distributions import LogNormalJudgement
@@ -8,6 +9,7 @@ from repro.risk import (
     AlarpThresholds,
     RiskRegion,
     classify,
+    classify_values,
     combined_verdict,
 )
 
@@ -65,3 +67,28 @@ class TestCombinedVerdict:
     def test_describe(self, paper_judgement, thresholds):
         text = combined_verdict(paper_judgement, thresholds).describe()
         assert "region" in text and "ACARP" in text
+
+
+class TestClassifyValues:
+    def test_matches_scalar_classify_everywhere(self, thresholds):
+        values = np.array([0.0, 9.9e-5, 1e-4, 5e-3, 1e-2, 0.5])
+        regions = classify_values(
+            values, thresholds.intolerable_above, thresholds.acceptable_below
+        )
+        for value, region in zip(values, regions):
+            assert region is classify(float(value), thresholds)
+
+    def test_broadcasts_thresholds(self):
+        regions = classify_values(
+            5e-3,
+            np.array([1e-2, 4e-3]),
+            np.array([1e-4, 1e-4]),
+        )
+        assert regions[0] is RiskRegion.TOLERABLE
+        assert regions[1] is RiskRegion.UNACCEPTABLE
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            classify_values([-1.0], 1e-2, 1e-4)
+        with pytest.raises(DomainError):
+            classify_values([0.1], 1e-4, 1e-2)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import AcarpTarget
-from repro.distributions import LogNormalJudgement
 from repro.errors import DomainError
 from repro.risk import plan_assurance
 from repro.risk import tests_to_reach_confidence as demands_to_reach_confidence

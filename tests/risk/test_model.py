@@ -1,6 +1,5 @@
 """Tests for demand-mode risk models."""
 
-import numpy as np
 import pytest
 
 from repro.errors import DomainError

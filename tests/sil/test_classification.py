@@ -5,7 +5,6 @@ import pytest
 from repro.distributions import LogNormalJudgement
 from repro.errors import DomainError
 from repro.sil import (
-    LOW_DEMAND,
     assess,
     classify_by_confidence,
     classify_by_mean,

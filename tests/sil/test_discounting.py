@@ -8,7 +8,6 @@ from repro.sil import (
     DISCOUNT_BY_RIGOUR,
     ArgumentRigour,
     DiscountPolicy,
-    LOW_DEMAND,
     claimable_level,
     discounted_level,
     mode_vs_claim_gap,

@@ -138,3 +138,54 @@ class TestSweepCommand:
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err
+
+
+class TestPipelinesCommand:
+    def test_lists_every_registered_pipeline(self, capsys):
+        from repro.engine import available_pipelines
+
+        assert main(["pipelines"]) == 0
+        out = capsys.readouterr().out
+        for name in available_pipelines():
+            assert name in out
+        assert "batched" in out and "stochastic" in out
+
+    def test_verbose_lists_parameters(self, capsys):
+        assert main(["pipelines", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "* = required" in out
+        assert "mode*" in out
+
+
+class TestMultiSweepCommand:
+    def test_multi_sweep_spec_runs_all_and_writes_one_csv(
+        self, capsys, tmp_path
+    ):
+        spec = {
+            "sweeps": [
+                SWEEP_SPEC,
+                {
+                    "pipeline": "sil_classification",
+                    "name": "views",
+                    "base": {"mode": 0.003, "sigma": 0.9},
+                    "grid": {"required_confidence": [0.7, 0.9]},
+                },
+            ]
+        }
+        path = tmp_path / "multi.json"
+        path.write_text(json.dumps(spec))
+        csv_path = tmp_path / "combined.csv"
+        assert main(["sweep", "--spec", str(path),
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep 1/2" in out and "sweep 2/2: views" in out
+        assert "pipeline=survival_update" in out
+        assert "pipeline=sil_classification" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 3 + 2  # header + both sweeps' rows
+        assert "granted_level" in lines[0] and "confidence" in lines[0]
+        # Multi-pipeline CSVs carry attribution columns so rows from
+        # different sweeps stay distinguishable.
+        assert "sweep" in lines[0].split(",") and "pipeline" in lines[0].split(",")
+        assert sum("survival_update" in line for line in lines[1:]) == 3
+        assert sum(",views," in line for line in lines[1:]) == 2

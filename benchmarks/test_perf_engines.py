@@ -1,12 +1,13 @@
-"""P1-P7 — performance benches for the library's compute kernels.
+"""P1-P8 — performance benches for the library's compute kernels.
 
 Not paper artefacts: these time the engines the experiments lean on
 (quadrature moments, grid Bayesian updates, exact BBN inference, panel
 simulation, the batched sweep engine, compiled BBN inference, the
-batched growth-model likelihood grids) so performance regressions are
-visible.
+batched growth-model likelihood grids, the compiled whole-case engine)
+so performance regressions are visible.
 """
 
+import pathlib
 import time
 
 import numpy as np
@@ -233,6 +234,61 @@ def test_perf_growth_model_sweep_1k_scenarios(benchmark):
     assert speedup >= 5.0, (
         f"vectorised growth sweep only {speedup:.1f}x faster "
         f"({vectorized_elapsed:.3f}s vs naive {naive_elapsed:.3f}s)"
+    )
+
+    result_set = benchmark(lambda: run_sweep(sweep, backend="vectorized"))
+    assert len(result_set) == 1000
+
+
+def test_perf_compiled_case_sweep_1k_scenarios(benchmark):
+    """P8: a 1,000-scenario whole-case sweep through CompiledCase.
+
+    The compiled case engine must (a) reproduce the per-scenario
+    recursive oracle (per-node recursion, exact VE for the two-leg BBN
+    fragment) to 1e-12 on every column and (b) beat a loop over it by at
+    least 5x wall clock.
+    """
+    case_file = str(
+        pathlib.Path(__file__).resolve().parents[1]
+        / "examples" / "case_confidence.yaml"
+    )
+    sweep = SweepSpec(
+        pipeline="case_confidence",
+        base={"case_file": case_file},
+        grid={
+            "A1.p_true": [round(0.5 + 0.05 * i, 2) for i in range(10)],
+            "S1.dependence": [round(0.01 * i, 2) for i in range(100)],
+        },
+    )
+    scenarios = sweep.expand()
+    assert len(scenarios) == 1000
+
+    pipeline = get_pipeline("case_confidence")
+    run_sweep(sweep, backend="vectorized")  # warm both code paths once
+
+    # Naive baseline: the recursive oracle in a Python loop, timed once.
+    start = time.perf_counter()
+    naive = [pipeline.run(dict(s.params), s.seed) for s in scenarios]
+    naive_elapsed = time.perf_counter() - start
+
+    # Compiled case engine, best of three for a stable ratio on noisy CI.
+    vectorized_elapsed = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        vectorized = run_sweep(sweep, backend="vectorized")
+        vectorized_elapsed = min(vectorized_elapsed,
+                                 time.perf_counter() - start)
+
+    for scalar_values, result in zip(naive, vectorized):
+        for column, value in scalar_values.items():
+            assert abs(result.values[column] - value) <= 1e-12, (
+                column, value, result.values[column]
+            )
+
+    speedup = naive_elapsed / vectorized_elapsed
+    assert speedup >= 5.0, (
+        f"compiled case sweep only {speedup:.1f}x faster "
+        f"({vectorized_elapsed:.3f}s vs recursive {naive_elapsed:.3f}s)"
     )
 
     result_set = benchmark(lambda: run_sweep(sweep, backend="vectorized"))

@@ -12,7 +12,8 @@ dependability claim as a first-class, quantified object:
 * the confidence calculus — claims, confidence/mean trade-offs, the
   conservative ``x + y - xy`` bound, ACARP, case assembly
   (:mod:`repro.core`);
-* multi-legged arguments over an exact discrete Bayesian-network engine
+* multi-legged arguments, quantified whole-case graphs and the compiled
+  case engine over an exact discrete Bayesian-network engine
   (:mod:`repro.arguments`, :mod:`repro.bbn`);
 * Bayesian updating from testing and operating experience, tail
   cut-offs, and the Bishop-Bloomfield conservative growth bound
@@ -32,6 +33,7 @@ Quickstart::
     print(assess(judgement).summary())
 """
 
+from .arguments import CompiledCase, QuantifiedCase, compile_case, load_case
 from .core import (
     AcarpTarget,
     ConfidenceProfile,
@@ -57,6 +59,10 @@ from .update import DemandEvidence, confidence_growth, survival_update
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompiledCase",
+    "QuantifiedCase",
+    "compile_case",
+    "load_case",
     "AcarpTarget",
     "ConfidenceProfile",
     "DependabilityCase",

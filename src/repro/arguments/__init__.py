@@ -1,5 +1,13 @@
-"""Argument structures: GSN graphs, quantified legs, multi-leg combination."""
+"""Argument structures: GSN graphs, quantified legs and whole cases.
 
+Structure lives in :class:`ArgumentGraph`; quantitative semantics attach
+per node through :mod:`repro.arguments.quantified` (leaf confidence
+models on solutions, combination rules on goals/strategies, assumption
+discounting), and :mod:`repro.arguments.compiled` lowers a quantified
+case once for vectorized whole-case scenario sweeps.
+"""
+
+from .compiled import CompiledCase, clear_case_caches, compile_case, load_case
 from .graph import ArgumentGraph
 from .gsn import case_to_graph, single_leg_graph, two_leg_graph
 from .legs import ArgumentLeg, single_leg_posterior
@@ -7,9 +15,25 @@ from .multileg import (
     TwoLegResult,
     build_two_leg_network,
     diversity_gain,
+    two_leg_cpt_planes,
     two_leg_posterior,
+    two_leg_posterior_sweep,
 )
 from .nodes import Assumption, Context, Goal, Solution, Strategy
+from .quantified import (
+    MODEL_KINDS,
+    BetaFactor1oo2,
+    FixedConfidence,
+    IndependentProduct,
+    LegEvidence,
+    LognormalClaim,
+    NodeModel,
+    NoisySupport,
+    Passthrough,
+    QuantifiedCase,
+    TwoLegBBN,
+    model_from_dict,
+)
 
 __all__ = [
     "ArgumentGraph",
@@ -22,9 +46,27 @@ __all__ = [
     "build_two_leg_network",
     "diversity_gain",
     "two_leg_posterior",
+    "two_leg_posterior_sweep",
+    "two_leg_cpt_planes",
     "Assumption",
     "Context",
     "Goal",
     "Solution",
     "Strategy",
+    "NodeModel",
+    "FixedConfidence",
+    "LognormalClaim",
+    "LegEvidence",
+    "IndependentProduct",
+    "BetaFactor1oo2",
+    "NoisySupport",
+    "TwoLegBBN",
+    "Passthrough",
+    "MODEL_KINDS",
+    "model_from_dict",
+    "QuantifiedCase",
+    "CompiledCase",
+    "compile_case",
+    "load_case",
+    "clear_case_caches",
 ]

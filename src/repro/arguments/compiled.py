@@ -1,0 +1,267 @@
+"""Compiled case evaluation: whole safety cases, swept in one pass.
+
+:class:`CompiledCase` lowers a validated :class:`QuantifiedCase` once
+into flat, topologically ordered node records — per node: its model, its
+supporter slots, its parameter addresses and its assumption discounts —
+and then evaluates ``P(top goal)`` for ``S`` scenarios in a single
+vectorized sweep: one ``(S,)`` confidence array per node, leaves first,
+combination rules folding child arrays upward, two-leg BBN fragments
+going through :meth:`repro.bbn.CompiledNetwork.query_batch` with batched
+CPT parameter planes.  Row ``s`` of the sweep reproduces
+:meth:`QuantifiedCase.evaluate` under scenario ``s``'s overrides to
+1e-12 — the per-node recursion stays as the oracle, off the hot path.
+
+Compilation is memoised by case content (:func:`compile_case`), and case
+files load through a small mtime-keyed cache (:func:`load_case`) so a
+sweep that names the same YAML file per scenario parses it once.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DomainError
+from .nodes import Assumption
+from .quantified import NodeModel, QuantifiedCase
+
+__all__ = ["CompiledCase", "compile_case", "load_case", "clear_case_caches"]
+
+
+class _NodeRecord:
+    """One lowered node: model + child slots + parameter addresses."""
+
+    __slots__ = ("identifier", "model", "children", "param_addresses",
+                 "assumption_addresses")
+
+    def __init__(
+        self,
+        identifier: str,
+        model: NodeModel,
+        children: List[int],
+        param_addresses: Dict[str, str],
+        assumption_addresses: List[str],
+    ):
+        self.identifier = identifier
+        self.model = model
+        self.children = children
+        self.param_addresses = param_addresses
+        self.assumption_addresses = assumption_addresses
+
+
+class CompiledCase:
+    """A :class:`QuantifiedCase` lowered to flat topo-ordered records.
+
+    Use :func:`compile_case` rather than the constructor to get
+    content-hash memoisation for free.
+    """
+
+    def __init__(self, case: QuantifiedCase):
+        case.validate()
+        self.case = case
+        graph = case.graph
+        self._defaults = case.parameter_defaults()
+        self._root = graph.root_goal().identifier
+        order = [
+            identifier
+            for identifier in reversed(graph.topological_order())
+            if graph.node(identifier).kind in ("goal", "strategy", "solution")
+        ]
+        slots = {identifier: index for index, identifier in enumerate(order)}
+        records: List[_NodeRecord] = []
+        for identifier in order:
+            model = case._model_for(identifier)
+            if model is None:  # pragma: no cover - validate() forbids this
+                raise DomainError(f"node {identifier!r} has no quantification")
+            children = [
+                slots[supporter.identifier]
+                for supporter in graph.supporters(identifier)
+            ]
+            param_addresses = {
+                name: f"{identifier}.{name}"
+                for name in model.param_names()
+            }
+            assumption_addresses = [
+                f"{annotation.identifier}.p_true"
+                for annotation in graph.annotations(identifier)
+                if isinstance(annotation, Assumption)
+            ]
+            records.append(_NodeRecord(
+                identifier, model, children, param_addresses,
+                assumption_addresses,
+            ))
+        self._records = records
+        self._slots = slots
+        self._assumption_addresses = case.assumption_addresses()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root_id(self) -> str:
+        return self._root
+
+    @property
+    def node_ids(self) -> Tuple[str, ...]:
+        """Quantified node ids in evaluation (children-first) order."""
+        return tuple(record.identifier for record in self._records)
+
+    def parameter_defaults(self) -> Dict[str, float]:
+        return dict(self._defaults)
+
+    def __repr__(self) -> str:
+        return f"CompiledCase({len(self._records)} nodes)"
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate_sweep(
+        self,
+        columns: Optional[Mapping[str, np.ndarray]] = None,
+        n_scenarios: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Node id -> ``(S,)`` confidence array for ``S`` scenarios.
+
+        ``columns`` maps parameter addresses (``"<node>.<name>"``) to
+        per-scenario value arrays (scalars broadcast); unbound
+        parameters take their defaults.  Column ``s`` of the result
+        matches ``case.evaluate(overrides_s)`` to 1e-12.
+        """
+        columns = dict(columns or {})
+        unknown = sorted(set(columns) - set(self._defaults))
+        if unknown:
+            raise DomainError(
+                f"unknown case parameters: {', '.join(unknown)}"
+            )
+        if n_scenarios is None:
+            n_scenarios = 1
+            for values in columns.values():
+                size = np.asarray(values).size
+                if size > 1:
+                    n_scenarios = size
+                    break
+        resolved: Dict[str, np.ndarray] = {}
+        for name, default in self._defaults.items():
+            values = np.asarray(columns.get(name, default), dtype=float)
+            if values.size not in (1, n_scenarios):
+                raise DomainError(
+                    f"column {name!r} has {values.size} values for "
+                    f"{n_scenarios} scenarios"
+                )
+            resolved[name] = np.broadcast_to(
+                values.reshape(-1), (n_scenarios,)
+            )
+        for address in self._assumption_addresses:
+            column = resolved[address]
+            if np.any((column < 0) | (column > 1)):
+                raise DomainError(
+                    f"{address} must lie in [0, 1] for every scenario"
+                )
+        confidences: List[np.ndarray] = []
+        out: Dict[str, np.ndarray] = {}
+        for record in self._records:
+            params = {
+                name: resolved[address]
+                for name, address in record.param_addresses.items()
+            }
+            record.model.validate_batch_params(params)
+            children = (
+                np.stack([confidences[slot] for slot in record.children])
+                if record.children
+                else np.empty((0, n_scenarios))
+            )
+            confidence = record.model.evaluate_batch(params, children)
+            confidence = np.broadcast_to(
+                np.asarray(confidence, dtype=float), (n_scenarios,)
+            )
+            for address in record.assumption_addresses:
+                confidence = confidence * resolved[address]
+            confidences.append(confidence)
+            out[record.identifier] = confidence
+        return out
+
+    def top_confidence_sweep(
+        self,
+        columns: Optional[Mapping[str, np.ndarray]] = None,
+        n_scenarios: Optional[int] = None,
+    ) -> np.ndarray:
+        """``P(top goal)`` per scenario — the headline ``(S,)`` column."""
+        return self.evaluate_sweep(columns, n_scenarios)[self._root]
+
+
+# ---------------------------------------------------------------------- #
+# Caches: compiled cases by content, parsed case files by path state
+# ---------------------------------------------------------------------- #
+
+_COMPILE_MAXSIZE = 128
+_FILE_MAXSIZE = 64
+_compile_cache: "OrderedDict[str, CompiledCase]" = OrderedDict()
+_file_cache: "OrderedDict[str, Tuple[Tuple[int, int, int], QuantifiedCase]]" = (
+    OrderedDict()
+)
+_cache_lock = threading.Lock()
+
+
+def compile_case(case: QuantifiedCase) -> CompiledCase:
+    """Lower ``case`` to a :class:`CompiledCase`, memoised by content.
+
+    The key is :meth:`QuantifiedCase.content_hash`, so sweeps that
+    rebuild an identical case per scenario share one lowering (the
+    ``case_confidence`` pipeline relies on this).
+    """
+    key = case.content_hash()
+    with _cache_lock:
+        compiled = _compile_cache.get(key)
+        if compiled is not None:
+            _compile_cache.move_to_end(key)
+            return compiled
+    compiled = CompiledCase(case)
+    with _cache_lock:
+        _compile_cache[key] = compiled
+        _compile_cache.move_to_end(key)
+        while len(_compile_cache) > _COMPILE_MAXSIZE:
+            _compile_cache.popitem(last=False)
+    return compiled
+
+
+def load_case(path) -> QuantifiedCase:
+    """Load a case file, cached by resolved path + (mtime, size).
+
+    Sweep resolution touches the case file once per scenario; this cache
+    makes that a dictionary lookup while still noticing edits on disk.
+    """
+    resolved = os.path.abspath(str(path))
+    try:
+        stat = os.stat(resolved)
+    except OSError as exc:
+        raise DomainError(
+            f"cannot read case file {path}: {exc}"
+        ) from exc
+    # Nanosecond mtime plus inode: a same-size rewrite inside one
+    # coarse mtime tick must still invalidate the entry.
+    state = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+    with _cache_lock:
+        hit = _file_cache.get(resolved)
+        if hit is not None and hit[0] == state:
+            _file_cache.move_to_end(resolved)
+            return hit[1]
+    case = QuantifiedCase.from_file(resolved)
+    with _cache_lock:
+        _file_cache[resolved] = (state, case)
+        _file_cache.move_to_end(resolved)
+        while len(_file_cache) > _FILE_MAXSIZE:
+            _file_cache.popitem(last=False)
+    return case
+
+
+def clear_case_caches() -> None:
+    """Drop the compile and file caches (tests and long-lived servers)."""
+    with _cache_lock:
+        _compile_cache.clear()
+        _file_cache.clear()

@@ -121,6 +121,16 @@ class ArgumentGraph:
                 found.append(node)
         return sorted(found, key=lambda a: a.identifier)
 
+    def topological_order(self) -> List[str]:
+        """Node ids, supported nodes before their supporters.
+
+        The order follows the support/annotation DAG (edges run from a
+        supported node to its supporting nodes), so evaluating it in
+        *reverse* visits every node after all its children — the walk
+        the compiled case engine flattens once.
+        """
+        return list(nx.topological_sort(self._graph))
+
     def root_goal(self) -> Goal:
         """The unique top-level goal (raises if absent or ambiguous)."""
         roots = [
@@ -130,10 +140,54 @@ class ArgumentGraph:
             and isinstance(self._nodes[name], Goal)
         ]
         if len(roots) != 1:
+            found = ", ".join(sorted(r.identifier for r in roots))
             raise StructureError(
                 f"expected exactly one root goal, found {len(roots)}"
+                + (f": {found}" if roots else "")
             )
         return roots[0]
+
+    def validation_errors(self) -> List[str]:
+        """All structural problems, offending node ids sorted.
+
+        Each message lists *every* offending node in sorted order, so
+        reports are deterministic across Python versions and runs.
+        """
+        errors: List[str] = []
+        try:
+            self.root_goal()
+        except StructureError as exc:
+            errors.append(str(exc))
+        ungrounded = sorted(
+            identifier
+            for identifier, node in self._nodes.items()
+            if isinstance(node, Goal) and not self._grounded(identifier)
+        )
+        if ungrounded:
+            errors.append(
+                "goals not grounded in any solution: "
+                + ", ".join(ungrounded)
+            )
+        empty = sorted(
+            identifier
+            for identifier, node in self._nodes.items()
+            if isinstance(node, Strategy) and not self.supporters(identifier)
+        )
+        if empty:
+            errors.append(
+                "strategies supporting nothing: " + ", ".join(empty)
+            )
+        dangling = sorted(
+            identifier
+            for identifier, node in self._nodes.items()
+            if isinstance(node, Strategy)
+            and self._graph.in_degree(identifier) == 0
+        )
+        if dangling:
+            errors.append(
+                "strategies hanging off no goal: " + ", ".join(dangling)
+            )
+        return errors
 
     def validate(self) -> None:
         """Structural well-formedness (raises :class:`StructureError`).
@@ -141,23 +195,13 @@ class ArgumentGraph:
         * exactly one root goal;
         * every goal is grounded: some path from it reaches a solution;
         * every strategy supports something and is supported by something.
+
+        All violations are gathered and reported together, with the
+        offending node ids in sorted order.
         """
-        self.root_goal()
-        for identifier, node in self._nodes.items():
-            if isinstance(node, Goal):
-                if not self._grounded(identifier):
-                    raise StructureError(
-                        f"goal {identifier!r} is not grounded in any solution"
-                    )
-            if isinstance(node, Strategy):
-                if not self.supporters(identifier):
-                    raise StructureError(
-                        f"strategy {identifier!r} supports nothing"
-                    )
-                if self._graph.in_degree(identifier) == 0:
-                    raise StructureError(
-                        f"strategy {identifier!r} hangs off no goal"
-                    )
+        errors = self.validation_errors()
+        if errors:
+            raise StructureError("; ".join(errors))
 
     def _grounded(self, identifier: str) -> bool:
         return any(

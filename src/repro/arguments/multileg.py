@@ -22,9 +22,11 @@ their assumption doubt is common, and the second leg adds least.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
-from ..bbn import BayesianNetwork, CPT, Variable, VariableElimination
+import numpy as np
+
+from ..bbn import BayesianNetwork, CPT, Variable, VariableElimination, compile_network
 from ..errors import DomainError
 from ..numerics import linear_grid
 from .legs import ArgumentLeg
@@ -33,6 +35,8 @@ __all__ = [
     "TwoLegResult",
     "build_two_leg_network",
     "two_leg_posterior",
+    "two_leg_posterior_sweep",
+    "two_leg_cpt_planes",
     "diversity_gain",
 ]
 
@@ -161,6 +165,153 @@ def two_leg_posterior(
         both_legs=both,
         dependence=dependence,
     )
+
+
+_template_compiled = None
+
+
+def _two_leg_template():
+    """The compiled two-leg network *structure* (values are placeholders).
+
+    Every two-leg network shares one shape — six boolean variables with
+    fixed parent sets — so the lowered form (state codes, topo order,
+    strides, elimination orders) is computed once and reused by every
+    batched sweep; per-scenario CPT values arrive as parameter planes.
+    """
+    global _template_compiled
+    if _template_compiled is None:
+        placeholder1 = ArgumentLeg("leg1", 0.5, 0.5, 0.5, 0.5)
+        placeholder2 = ArgumentLeg("leg2", 0.5, 0.5, 0.5, 0.5)
+        _template_compiled = compile_network(
+            build_two_leg_network(0.5, placeholder1, placeholder2, 0.0)
+        )
+    return _template_compiled
+
+
+def _check_unit_interval(label: str, values: np.ndarray) -> None:
+    if np.any((values < 0) | (values > 1)):
+        raise DomainError(f"{label} must lie in [0, 1] for every scenario")
+
+
+def two_leg_cpt_planes(
+    priors,
+    dependences,
+    leg1_validity, leg1_sensitivity, leg1_specificity, leg1_noise,
+    leg2_validity, leg2_sensitivity, leg2_specificity, leg2_noise,
+) -> Dict[str, np.ndarray]:
+    """Per-scenario CPT planes for the two-leg network.
+
+    All arguments broadcast to a common scenario count ``S``; the result
+    maps each of the six variable names to an ``(S, *cpt shape)`` plane
+    holding exactly the values :func:`build_two_leg_network` would put in
+    scenario ``s``'s CPTs (same operations in the same order, so the
+    planes are bit-identical to the scalar construction).
+    """
+    (prior, dep,
+     v1, sens1, spec1, noise1,
+     v2, sens2, spec2, noise2) = np.broadcast_arrays(
+        *(np.atleast_1d(np.asarray(a, dtype=float)) for a in (
+            priors, dependences,
+            leg1_validity, leg1_sensitivity, leg1_specificity, leg1_noise,
+            leg2_validity, leg2_sensitivity, leg2_specificity, leg2_noise,
+        ))
+    )
+    _check_unit_interval("prior", prior)
+    _check_unit_interval("dependence", dep)
+    for label, values in (
+        ("leg1 assumption_validity", v1), ("leg1 sensitivity", sens1),
+        ("leg1 specificity", spec1), ("leg1 noise_rate", noise1),
+        ("leg2 assumption_validity", v2), ("leg2 sensitivity", sens2),
+        ("leg2 specificity", spec2), ("leg2 noise_rate", noise2),
+    ):
+        _check_unit_interval(label, values)
+    for label, sens, spec in (("leg1", sens1, spec1), ("leg2", sens2, spec2)):
+        if np.any(sens + (1.0 - spec) <= 0):
+            raise DomainError(
+                f"{label} can never produce positive evidence in at "
+                f"least one scenario"
+            )
+
+    n_scenarios = prior.shape[0]
+    # Same arithmetic as _split_assumption / private_for, vectorised.
+    shared1 = 1.0 - dep * (1.0 - v1)
+    shared2 = 1.0 - dep * (1.0 - v2)
+    p_shared = np.minimum(shared1, shared2)
+    safe_shared = np.where(p_shared > 0, p_shared, 1.0)
+    private1 = np.where(
+        p_shared > 0, np.minimum(v1 / safe_shared, 1.0), 1.0
+    )
+    private2 = np.where(
+        p_shared > 0, np.minimum(v2 / safe_shared, 1.0), 1.0
+    )
+
+    planes = {
+        "claim": np.stack([prior, 1.0 - prior], axis=1),
+        "shared_underpinning": np.stack([p_shared, 1.0 - p_shared], axis=1),
+    }
+    for name, private in (
+        ("assumptions_leg1", private1), ("assumptions_leg2", private2)
+    ):
+        plane = np.zeros((n_scenarios, 2, 2))
+        plane[:, 0, 0] = private
+        plane[:, 0, 1] = 1.0 - private
+        plane[:, 1, 1] = 1.0
+        planes[name] = plane
+    for name, sens, spec, noise in (
+        ("evidence_leg1", sens1, spec1, noise1),
+        ("evidence_leg2", sens2, spec2, noise2),
+    ):
+        plane = np.empty((n_scenarios, 2, 2, 2))
+        plane[:, 0, 0, 0] = sens
+        plane[:, 0, 0, 1] = 1.0 - sens
+        plane[:, 1, 0, 0] = 1.0 - spec
+        plane[:, 1, 0, 1] = spec
+        plane[:, 0, 1, 0] = noise
+        plane[:, 0, 1, 1] = 1.0 - noise
+        plane[:, 1, 1, 0] = noise
+        plane[:, 1, 1, 1] = 1.0 - noise
+        planes[name] = plane
+    return planes
+
+
+def two_leg_posterior_sweep(
+    priors,
+    dependences,
+    leg1_validity, leg1_sensitivity, leg1_specificity, leg1_noise,
+    leg2_validity, leg2_sensitivity, leg2_specificity, leg2_noise,
+) -> Dict[str, np.ndarray]:
+    """Vectorised :func:`two_leg_posterior` over parameter arrays.
+
+    One batched elimination pass over the shared compiled structure
+    answers every scenario's two queries; the returned mapping carries
+    ``(S,)`` columns ``single_leg`` / ``both_legs`` / ``gain`` /
+    ``doubt_reduction``, each matching the scalar :class:`TwoLegResult`
+    to 1e-12.
+    """
+    planes = two_leg_cpt_planes(
+        priors, dependences,
+        leg1_validity, leg1_sensitivity, leg1_specificity, leg1_noise,
+        leg2_validity, leg2_sensitivity, leg2_specificity, leg2_noise,
+    )
+    template = _two_leg_template()
+    both = template.query_batch(
+        "claim", {"evidence_leg1": "true", "evidence_leg2": "true"}, planes
+    )[:, 0]
+    single = template.query_batch(
+        "claim", {"evidence_leg1": "true"}, planes
+    )[:, 0]
+    both_doubt = 1.0 - both
+    doubt_reduction = np.where(
+        both_doubt <= 0,
+        np.inf,
+        (1.0 - single) / np.where(both_doubt <= 0, 1.0, both_doubt),
+    )
+    return {
+        "single_leg": single,
+        "both_legs": both,
+        "gain": both - single,
+        "doubt_reduction": doubt_reduction,
+    }
 
 
 def diversity_gain(

@@ -1,0 +1,811 @@
+"""Quantified dependability cases: confidence models on GSN nodes.
+
+The paper's central object is the *assembled* case: an argument graph
+whose node confidences combine — with dependence — into a top-goal
+claim.  This module attaches quantitative semantics to an
+:class:`~repro.arguments.graph.ArgumentGraph`:
+
+* **leaf models** on solutions turn evidence into a confidence:
+  ``fixed`` (a stipulated probability), ``lognormal_claim`` (the
+  one-sided confidence a (mode, sigma) log-normal judgement puts on a
+  claim bound — the Section 3 route) and ``leg_evidence`` (the
+  Section 4.2 single-leg Bayes posterior);
+* **combination rules** on goals/strategies fold supporter confidences
+  upward: ``independent_and`` (independent product), ``beta_factor_1oo2``
+  (doubt combined through a common-cause beta factor),
+  ``noisy_support`` (noisy-OR of partially sufficient legs) and
+  ``two_leg_bbn`` (the full Section 4.2 two-leg Bayesian-network
+  fragment, supporter confidences acting as the legs' assumption
+  validities);
+* **assumption discounting**: every assumption annotated on a node
+  multiplies that node's confidence by ``P(assumption holds)`` — the
+  neglected uncertainty the paper makes first-class.
+
+Every quantified parameter is *sweepable*: it is addressed as
+``"<node id>.<parameter>"`` (assumptions expose ``"<id>.p_true"``) and
+can be overridden per evaluation, which is what lets the engine's
+``case_confidence`` pipeline drive whole-case scenario sweeps.
+
+:meth:`QuantifiedCase.evaluate` walks the graph recursively node by
+node — the exact, readable reference semantics.  The hot path lives in
+:mod:`repro.arguments.compiled`, which lowers a case once into flat
+topo-ordered arrays and evaluates all scenarios in one vectorized pass;
+the recursion here is kept as its 1e-12 oracle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DomainError, StructureError
+from .graph import ArgumentGraph
+from .legs import ArgumentLeg, single_leg_posterior
+from .multileg import two_leg_posterior, two_leg_posterior_sweep
+from .nodes import Assumption, Context, Goal, Solution, Strategy
+
+__all__ = [
+    "NodeModel",
+    "FixedConfidence",
+    "LognormalClaim",
+    "LegEvidence",
+    "IndependentProduct",
+    "BetaFactor1oo2",
+    "NoisySupport",
+    "TwoLegBBN",
+    "Passthrough",
+    "MODEL_KINDS",
+    "model_from_dict",
+    "QuantifiedCase",
+]
+
+_NODE_KINDS = {
+    "goal": Goal,
+    "strategy": Strategy,
+    "solution": Solution,
+    "assumption": Assumption,
+    "context": Context,
+}
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """Base class: a named confidence model with float parameters.
+
+    The dataclass fields *are* the parameter schema: they are exposed as
+    ``"<node>.<field>"`` sweep parameters, round-trip through dicts, and
+    arrive at :meth:`evaluate` / :meth:`evaluate_batch` as a name ->
+    value mapping (scalars for the oracle, ``(S,)`` arrays for the
+    compiled path).
+    """
+
+    #: registry key; subclasses override.  These are plain class
+    #: attributes (not annotated), so they are not dataclass fields and
+    #: stay out of the parameter schema.
+    kind = ""
+    #: True for models that quantify solutions (no supporters).
+    leaf = False
+    #: (min, max) supporter count; max None = unbounded.
+    arity = (0, 0)
+
+    @classmethod
+    def param_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    def params(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.param_names()}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"model": self.kind, **self.params()}
+
+    def validate_params(self, params: Mapping[str, float]) -> List[str]:
+        """Range errors for a parameter binding (empty when valid)."""
+        return [
+            f"{name} must lie in [0, 1], got {params[name]}"
+            for name in self.param_names()
+            if not 0 <= params[name] <= 1
+        ]
+
+    def validate_batch_params(
+        self, params: Mapping[str, np.ndarray]
+    ) -> None:
+        """Vectorised range check over ``(S,)`` parameter columns."""
+        for name in self.param_names():
+            values = np.asarray(params[name], dtype=float)
+            if np.any((values < 0) | (values > 1)):
+                raise DomainError(
+                    f"{name} must lie in [0, 1] for every scenario"
+                )
+
+    def evaluate(
+        self, params: Mapping[str, float], children: Sequence[float]
+    ) -> float:
+        """Scalar node confidence from parameters and child confidences."""
+        raise NotImplementedError
+
+    def evaluate_batch(
+        self, params: Mapping[str, np.ndarray], children: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`evaluate`: ``(S,)`` out of ``(k, S)`` children.
+
+        Must mirror the scalar path elementwise to 1e-12 (the compiled
+        case engine's contract).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedConfidence(NodeModel):
+    """A stipulated leaf confidence (audit stub / expert fiat)."""
+
+    confidence: float = 1.0
+
+    kind = "fixed"
+    leaf = True
+
+    def evaluate(self, params, children):
+        return float(params["confidence"])
+
+    def evaluate_batch(self, params, children):
+        return np.asarray(params["confidence"], dtype=float)
+
+
+@dataclass(frozen=True)
+class LognormalClaim(NodeModel):
+    """Confidence a (mode, sigma) log-normal judgement puts on a bound."""
+
+    mode: float = 0.003
+    sigma: float = 0.9
+    bound: float = 1e-2
+
+    kind = "lognormal_claim"
+    leaf = True
+
+    def validate_params(self, params):
+        errors = []
+        for name in ("mode", "sigma", "bound"):
+            if params[name] <= 0:
+                errors.append(f"{name} must be positive, got {params[name]}")
+        return errors
+
+    def validate_batch_params(self, params):
+        for name in ("mode", "sigma", "bound"):
+            if np.any(np.asarray(params[name], dtype=float) <= 0):
+                raise DomainError(
+                    f"{name} must be positive for every scenario"
+                )
+
+    def evaluate(self, params, children):
+        from ..distributions import LogNormalJudgement
+
+        judgement = LogNormalJudgement.from_mode_sigma(
+            params["mode"], params["sigma"]
+        )
+        return float(judgement.confidence(params["bound"]))
+
+    def evaluate_batch(self, params, children):
+        from ..engine.kernels import lognormal_confidence, lognormal_mu_from_mode
+
+        mu = lognormal_mu_from_mode(params["mode"], params["sigma"])
+        return lognormal_confidence(mu, params["sigma"], params["bound"])
+
+
+@dataclass(frozen=True)
+class LegEvidence(NodeModel):
+    """The single-leg Bayes posterior (Section 4.2, one leg)."""
+
+    prior: float = 0.5
+    validity: float = 0.9
+    sensitivity: float = 0.9
+    specificity: float = 0.9
+    noise: float = 0.5
+
+    kind = "leg_evidence"
+    leaf = True
+
+    def evaluate(self, params, children):
+        leg = ArgumentLeg(
+            "leg", params["validity"], params["sensitivity"],
+            params["specificity"], params["noise"],
+        )
+        return single_leg_posterior(params["prior"], leg)
+
+    def evaluate_batch(self, params, children):
+        prior = np.asarray(params["prior"], dtype=float)
+        validity = np.asarray(params["validity"], dtype=float)
+        sensitivity = np.asarray(params["sensitivity"], dtype=float)
+        specificity = np.asarray(params["specificity"], dtype=float)
+        noise = np.asarray(params["noise"], dtype=float)
+        if np.any(sensitivity + (1.0 - specificity) <= 0):
+            raise DomainError("leg can never produce positive evidence")
+        lik_true = validity * sensitivity + (1.0 - validity) * noise
+        lik_false = (
+            validity * (1.0 - specificity) + (1.0 - validity) * noise
+        )
+        numerator = prior * lik_true
+        denominator = numerator + (1.0 - prior) * lik_false
+        if np.any(denominator <= 0):
+            raise DomainError("evidence has zero probability under the model")
+        return numerator / denominator
+
+
+@dataclass(frozen=True)
+class IndependentProduct(NodeModel):
+    """All supporting claims must hold, independently (product rule)."""
+
+    kind = "independent_and"
+    arity = (1, None)
+
+    def evaluate(self, params, children):
+        confidence = 1.0
+        for child in children:
+            confidence = confidence * child
+        return confidence
+
+    def evaluate_batch(self, params, children):
+        confidence = np.ones(children.shape[1])
+        for row in children:
+            confidence = confidence * row
+        return confidence
+
+
+@dataclass(frozen=True)
+class BetaFactor1oo2(NodeModel):
+    """Two redundant legs with common-cause doubt (beta-factor 1oo2).
+
+    A fraction ``beta`` of the remaining doubt is common to both legs
+    (the worse leg's doubt bounds it); the rest fails independently:
+    ``doubt = beta * max(d1, d2) + (1 - beta) * d1 * d2``.  At
+    ``beta = 0`` the legs are independent; at ``beta = 1`` the pair is
+    exactly as doubtful as its weaker leg — the paper's warning that
+    dependence erodes the benefit of a second leg, in closed form.
+    """
+
+    beta: float = 0.1
+
+    kind = "beta_factor_1oo2"
+    arity = (2, 2)
+
+    def evaluate(self, params, children):
+        beta = params["beta"]
+        doubt1, doubt2 = 1.0 - children[0], 1.0 - children[1]
+        doubt = beta * max(doubt1, doubt2) + (1.0 - beta) * doubt1 * doubt2
+        return 1.0 - doubt
+
+    def evaluate_batch(self, params, children):
+        beta = np.asarray(params["beta"], dtype=float)
+        doubt1, doubt2 = 1.0 - children[0], 1.0 - children[1]
+        doubt = (
+            beta * np.maximum(doubt1, doubt2)
+            + (1.0 - beta) * doubt1 * doubt2
+        )
+        return 1.0 - doubt
+
+
+@dataclass(frozen=True)
+class NoisySupport(NodeModel):
+    """Noisy-OR over partially sufficient legs.
+
+    Each supporter establishes the claim with probability ``weight``
+    when its own claim holds; the claim fails only if every leg does:
+    ``confidence = 1 - prod(1 - weight * c_i)``.
+    """
+
+    weight: float = 1.0
+
+    kind = "noisy_support"
+    arity = (1, None)
+
+    def evaluate(self, params, children):
+        weight = params["weight"]
+        miss = 1.0
+        for child in children:
+            miss = miss * (1.0 - weight * child)
+        return 1.0 - miss
+
+    def evaluate_batch(self, params, children):
+        weight = np.asarray(params["weight"], dtype=float)
+        miss = np.ones(children.shape[1])
+        for row in children:
+            miss = miss * (1.0 - weight * row)
+        return 1.0 - miss
+
+
+@dataclass(frozen=True)
+class TwoLegBBN(NodeModel):
+    """The full Section 4.2 two-leg Bayesian-network fragment.
+
+    The node's two supporter confidences act as the legs' assumption
+    validities — the subtree under each leg argues that the leg's
+    underpinnings hold — and the fragment's own parameters give the
+    claim prior, the evidence strengths and the dependence between the
+    legs' assumptions.  The confidence is ``P(claim | both legs
+    passed)``, computed exactly on the shared compiled network.
+    """
+
+    prior: float = 0.5
+    dependence: float = 0.0
+    sensitivity1: float = 0.9
+    specificity1: float = 0.9
+    noise1: float = 0.5
+    sensitivity2: float = 0.9
+    specificity2: float = 0.9
+    noise2: float = 0.5
+
+    kind = "two_leg_bbn"
+    arity = (2, 2)
+
+    def evaluate(self, params, children):
+        leg1 = ArgumentLeg(
+            "leg1", children[0], params["sensitivity1"],
+            params["specificity1"], params["noise1"],
+        )
+        leg2 = ArgumentLeg(
+            "leg2", children[1], params["sensitivity2"],
+            params["specificity2"], params["noise2"],
+        )
+        result = two_leg_posterior(
+            params["prior"], leg1, leg2, params["dependence"]
+        )
+        return result.both_legs
+
+    def evaluate_batch(self, params, children):
+        columns = two_leg_posterior_sweep(
+            params["prior"], params["dependence"],
+            children[0], params["sensitivity1"],
+            params["specificity1"], params["noise1"],
+            children[1], params["sensitivity2"],
+            params["specificity2"], params["noise2"],
+        )
+        return columns["both_legs"]
+
+
+@dataclass(frozen=True)
+class Passthrough(NodeModel):
+    """Single-supporter identity — the implicit default combinator."""
+
+    kind = "passthrough"
+    arity = (1, 1)
+
+    def evaluate(self, params, children):
+        return children[0]
+
+    def evaluate_batch(self, params, children):
+        return children[0]
+
+
+def _as_number(value: Any, label: str) -> float:
+    """Coerce a spec value to float, reporting failures as DomainError."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise DomainError(f"{label} must be a number, got {value!r}")
+    return float(value)
+
+
+MODEL_KINDS: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        FixedConfidence, LognormalClaim, LegEvidence, IndependentProduct,
+        BetaFactor1oo2, NoisySupport, TwoLegBBN, Passthrough,
+    )
+}
+
+
+def model_from_dict(data: Mapping[str, Any]) -> NodeModel:
+    """Instantiate a node model from its ``{"model": kind, ...}`` dict."""
+    if not isinstance(data, Mapping) or "model" not in data:
+        raise DomainError("quantification needs a 'model' entry")
+    kind = data["model"]
+    cls = MODEL_KINDS.get(kind)
+    if cls is None:
+        raise DomainError(
+            f"unknown quantification model {kind!r}; available: "
+            f"{', '.join(sorted(MODEL_KINDS))}"
+        )
+    unknown = set(data) - {"model"} - set(cls.param_names())
+    if unknown:
+        raise DomainError(
+            f"model {kind!r} got unknown parameters: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    values = {}
+    for name in data:
+        if name == "model":
+            continue
+        values[name] = _as_number(data[name], f"model {kind!r} parameter {name!r}")
+    return cls(**values)
+
+
+class QuantifiedCase:
+    """An argument graph with quantifications attached to its nodes.
+
+    ``quantifications`` maps node ids to :class:`NodeModel` instances;
+    solutions take leaf models, goals/strategies take combination rules
+    (single-supporter nodes default to :class:`Passthrough`).  The whole
+    object round-trips through plain dicts (and therefore YAML/JSON
+    files), and :meth:`evaluate` computes every node's confidence by
+    recursion — the reference semantics the compiled engine reproduces.
+    """
+
+    def __init__(
+        self,
+        graph: ArgumentGraph,
+        quantifications: Mapping[str, NodeModel],
+        name: Optional[str] = None,
+        validate: bool = True,
+    ):
+        self.graph = graph
+        self.quantifications = dict(quantifications)
+        self.name = name
+        # Lazy memos (the case is immutable once built): the parameter
+        # space and content hash are probed once per *scenario* by the
+        # sweep machinery, so recomputing them would put a graph
+        # traversal / JSON dump in the hot path.
+        self._parameter_defaults: Optional[Dict[str, float]] = None
+        self._content_hash: Optional[str] = None
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validation_errors(self) -> List[str]:
+        """All structural/quantification problems, ids sorted."""
+        errors = list(self.graph.validation_errors())
+        graph = self.graph
+        known = {
+            identifier
+            for identifier in graph.topological_order()
+        }
+        unknown = sorted(set(self.quantifications) - known)
+        if unknown:
+            errors.append(
+                "quantifications for unknown nodes: " + ", ".join(unknown)
+            )
+        unquantified: List[str] = []
+        misplaced: List[str] = []
+        bad_arity: List[str] = []
+        bad_params: List[str] = []
+        for identifier in sorted(known):
+            node = graph.node(identifier)
+            model = self.quantifications.get(identifier)
+            if node.kind == "solution":
+                if model is None:
+                    unquantified.append(identifier)
+                elif not model.leaf:
+                    misplaced.append(identifier)
+            elif node.kind in ("goal", "strategy"):
+                supporters = graph.supporters(identifier)
+                if model is None:
+                    if len(supporters) > 1:
+                        unquantified.append(identifier)
+                    continue
+                if model.leaf:
+                    misplaced.append(identifier)
+                    continue
+                low, high = model.arity
+                if len(supporters) < low or (
+                    high is not None and len(supporters) > high
+                ):
+                    bad_arity.append(identifier)
+            elif model is not None:
+                misplaced.append(identifier)
+            if model is not None:
+                for problem in model.validate_params(model.params()):
+                    bad_params.append(f"{identifier}: {problem}")
+        if unquantified:
+            errors.append(
+                "nodes missing a quantification: " + ", ".join(unquantified)
+            )
+        if misplaced:
+            errors.append(
+                "quantification model kind does not fit the node: "
+                + ", ".join(misplaced)
+            )
+        if bad_arity:
+            errors.append(
+                "combination rule arity does not match the supporters: "
+                + ", ".join(bad_arity)
+            )
+        errors.extend(sorted(bad_params))
+        return errors
+
+    def validate(self) -> None:
+        errors = self.validation_errors()
+        if errors:
+            raise StructureError("; ".join(errors))
+
+    # ------------------------------------------------------------------ #
+    # Parameter space
+    # ------------------------------------------------------------------ #
+
+    def parameter_defaults(self) -> Dict[str, float]:
+        """Every sweepable parameter as ``"<node>.<name>" -> default``.
+
+        Quantification parameters come from the node models; every
+        assumption node additionally exposes ``"<id>.p_true"``, so
+        assumption doubt — the paper's neglected uncertainty — is
+        sweepable like any other dial.
+        """
+        if self._parameter_defaults is not None:
+            return dict(self._parameter_defaults)
+        space: Dict[str, float] = {}
+        for identifier in sorted(self.quantifications):
+            model = self.quantifications[identifier]
+            for name, value in model.params().items():
+                space[f"{identifier}.{name}"] = float(value)
+        for identifier in self.graph.topological_order():
+            node = self.graph.node(identifier)
+            if isinstance(node, Assumption):
+                space[f"{identifier}.p_true"] = float(node.probability_true)
+        self._parameter_defaults = dict(sorted(space.items()))
+        return dict(self._parameter_defaults)
+
+    def assumption_addresses(self) -> List[str]:
+        """The ``"<id>.p_true"`` parameters of every assumption node.
+
+        Assumption probabilities sit outside any node model's schema, so
+        range checks on overridden values key off this list (node
+        *defaults* are validated by ``Assumption.__post_init__``).
+        """
+        return [
+            f"{identifier}.p_true"
+            for identifier in self.graph.topological_order()
+            if isinstance(self.graph.node(identifier), Assumption)
+        ]
+
+    def _model_for(self, identifier: str) -> Optional[NodeModel]:
+        model = self.quantifications.get(identifier)
+        if model is None:
+            node = self.graph.node(identifier)
+            if node.kind in ("goal", "strategy"):
+                if len(self.graph.supporters(identifier)) == 1:
+                    return _PASSTHROUGH
+            return None
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Evaluation (the recursive oracle)
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self, overrides: Optional[Mapping[str, float]] = None
+    ) -> Dict[str, float]:
+        """Node id -> confidence under a parameter binding.
+
+        ``overrides`` replaces parameter defaults by their
+        ``"<node>.<name>"`` address (unknown names are rejected, sorted).
+        Shared subtrees are evaluated once.  This per-node recursion is
+        the exact reference; sweeps should go through
+        :class:`repro.arguments.compiled.CompiledCase`, which must match
+        it to 1e-12.
+        """
+        params = self.parameter_defaults()
+        if overrides:
+            unknown = sorted(set(overrides) - set(params))
+            if unknown:
+                raise DomainError(
+                    f"unknown case parameters: {', '.join(unknown)}"
+                )
+            for name, value in overrides.items():
+                params[name] = float(value)
+            for address in self.assumption_addresses():
+                if not 0 <= params[address] <= 1:
+                    raise DomainError(
+                        f"{address} must lie in [0, 1], got "
+                        f"{params[address]}"
+                    )
+        values: Dict[str, float] = {}
+        self._evaluate_node(self.graph.root_goal().identifier, params, values)
+        return values
+
+    def top_confidence(
+        self, overrides: Optional[Mapping[str, float]] = None
+    ) -> float:
+        """``P(top goal)`` under a parameter binding."""
+        return self.evaluate(overrides)[self.graph.root_goal().identifier]
+
+    def _evaluate_node(
+        self,
+        identifier: str,
+        params: Mapping[str, float],
+        values: Dict[str, float],
+    ) -> float:
+        if identifier in values:
+            return values[identifier]
+        model = self._model_for(identifier)
+        if model is None:
+            raise StructureError(
+                f"node {identifier!r} has no quantification"
+            )
+        children = [
+            self._evaluate_node(child.identifier, params, values)
+            for child in self.graph.supporters(identifier)
+        ]
+        bound = {
+            name: params[f"{identifier}.{name}"]
+            for name in model.param_names()
+        }
+        problems = model.validate_params(bound)
+        if problems:
+            raise DomainError(
+                f"{identifier}: " + "; ".join(sorted(problems))
+            )
+        confidence = model.evaluate(bound, children)
+        for annotation in self.graph.annotations(identifier):
+            if isinstance(annotation, Assumption):
+                confidence = confidence * params[
+                    f"{annotation.identifier}.p_true"
+                ]
+        values[identifier] = confidence
+        return confidence
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        graph = self.graph
+        nodes: List[Dict[str, Any]] = []
+        support: List[List[str]] = []
+        annotations: List[List[str]] = []
+        for identifier in graph.topological_order():
+            node = graph.node(identifier)
+            entry: Dict[str, Any] = {
+                "id": node.identifier, "kind": node.kind, "text": node.text,
+            }
+            if isinstance(node, Goal) and node.claim_bound is not None:
+                entry["claim_bound"] = node.claim_bound
+            if isinstance(node, Solution):
+                entry["evidence_kind"] = node.evidence_kind
+            if isinstance(node, Assumption):
+                entry["probability_true"] = node.probability_true
+            nodes.append(entry)
+            for supporter in graph.supporters(identifier):
+                support.append([identifier, supporter.identifier])
+            for annotation in graph.annotations(identifier):
+                annotations.append([identifier, annotation.identifier])
+        out: Dict[str, Any] = {
+            "nodes": nodes,
+            "support": support,
+            "annotations": annotations,
+            "quantify": {
+                identifier: self.quantifications[identifier].to_dict()
+                for identifier in sorted(self.quantifications)
+            },
+        }
+        if self.name is not None:
+            out = {"name": self.name, **out}
+        return out
+
+    @staticmethod
+    def _edge_pair(pair: Any, label: str) -> Tuple[str, str]:
+        if (
+            isinstance(pair, (str, bytes))
+            or not isinstance(pair, Sequence)
+            or len(pair) != 2
+            or not all(isinstance(item, str) for item in pair)
+        ):
+            raise DomainError(
+                f"{label} entries must be [from-id, to-id] pairs of node "
+                f"ids, got {pair!r}"
+            )
+        return pair[0], pair[1]
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], validate: bool = True
+    ) -> "QuantifiedCase":
+        unknown = set(data) - {
+            "name", "nodes", "support", "annotations", "quantify"
+        }
+        if unknown:
+            raise DomainError(
+                f"unknown case spec entries: {', '.join(sorted(unknown))}"
+            )
+        if "nodes" not in data or not data["nodes"]:
+            raise DomainError("case spec needs a non-empty 'nodes' list")
+        graph = ArgumentGraph()
+        for entry in data["nodes"]:
+            if not isinstance(entry, Mapping):
+                raise DomainError("each node entry must be a mapping")
+            missing = {"id", "kind", "text"} - set(entry)
+            if missing:
+                raise DomainError(
+                    f"node entry missing keys: "
+                    f"{', '.join(sorted(missing))}"
+                )
+            kind = entry["kind"]
+            if kind not in _NODE_KINDS:
+                raise DomainError(
+                    f"unknown node kind {kind!r}; expected one of "
+                    f"{', '.join(sorted(_NODE_KINDS))}"
+                )
+            identifier, text = entry["id"], entry["text"]
+            if not isinstance(identifier, str) or not isinstance(text, str):
+                raise DomainError(
+                    f"node ids and text must be strings, got "
+                    f"id={identifier!r}, text={text!r}"
+                )
+            extra = {
+                key: entry[key]
+                for key in entry
+                if key not in ("id", "kind", "text")
+            }
+            allowed = {
+                "goal": {"claim_bound"},
+                "solution": {"evidence_kind"},
+                "assumption": {"probability_true"},
+            }.get(kind, set())
+            bad = set(extra) - allowed
+            if bad:
+                raise DomainError(
+                    f"node {identifier!r}: unknown entries "
+                    f"{', '.join(sorted(bad))}"
+                )
+            for key in ("claim_bound", "probability_true"):
+                if key in extra:
+                    extra[key] = _as_number(
+                        extra[key], f"node {identifier!r}: {key}"
+                    )
+            if "evidence_kind" in extra and not isinstance(
+                extra["evidence_kind"], str
+            ):
+                raise DomainError(
+                    f"node {identifier!r}: evidence_kind must be a string"
+                )
+            graph.add_node(_NODE_KINDS[kind](identifier, text, **extra))
+        for pair in data.get("support", []) or []:
+            supported, supporting = cls._edge_pair(pair, "support")
+            graph.add_support(supported, supporting)
+        for pair in data.get("annotations", []) or []:
+            target, annotation = cls._edge_pair(pair, "annotations")
+            graph.annotate(target, annotation)
+        quantify = data.get("quantify", {}) or {}
+        if not isinstance(quantify, Mapping):
+            raise DomainError("'quantify' must map node ids to models")
+        models = {
+            identifier: model_from_dict(entry)
+            for identifier, entry in quantify.items()
+        }
+        return cls(graph, models, name=data.get("name"), validate=validate)
+
+    @classmethod
+    def from_file(cls, path) -> "QuantifiedCase":
+        """Load a case from a YAML or JSON file."""
+        # Lazy import: the engine layer sits above arguments, so the
+        # shared spec-text parser is pulled in only when files load.
+        from ..engine.spec import parse_spec_text
+
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        data = parse_spec_text(text, str(path))
+        if not isinstance(data, Mapping):
+            raise DomainError(f"case file {path} must contain a mapping")
+        return cls.from_dict(data)
+
+    def content_hash(self) -> str:
+        """A stable digest of the full case content (structure + models)."""
+        import hashlib
+
+        if self._content_hash is None:
+            payload = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":"),
+                default=str,
+            )
+            self._content_hash = hashlib.sha256(
+                payload.encode("utf-8")
+            ).hexdigest()
+        return self._content_hash
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantifiedCase({len(self.graph)} nodes, "
+            f"{len(self.quantifications)} quantified)"
+        )
+
+
+_PASSTHROUGH = Passthrough()

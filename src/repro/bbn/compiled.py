@@ -16,6 +16,15 @@ answers queries without touching the name-keyed object layer again:
   ``numpy.random.Generator.choice`` against one ``(n_samples, n_free)``
   uniform block, so the vectorized sampler reproduces the retired
   per-sample Python loop draw-for-draw under a shared seed.
+* **CPT parameter planes** batch a *family* of networks that share one
+  structure but differ in CPT values: :meth:`query_batch`,
+  :meth:`probability_of_evidence_batch` and
+  :meth:`likelihood_weighting_batch` take a ``{variable: (S, *cpt
+  shape)}`` mapping of per-scenario CPT planes and answer all ``S``
+  scenarios in one pass, threading a shared batch axis through the
+  einsum contractions (or the forward sampler).  Variables without a
+  plane reuse the compiled tables.  Scenario ``s`` reproduces the
+  corresponding single-network query exactly.
 
 Compilation is cheap but not free, so :func:`compile_network` memoises
 compiled networks in a module-level LRU cache keyed by
@@ -48,6 +57,10 @@ __all__ = [
 
 #: A lowered factor: integer variable labels plus a dense value array.
 _IntFactor = Tuple[Tuple[int, ...], np.ndarray]
+
+#: A batched factor: labels, values and whether the values carry a
+#: leading per-scenario batch axis.
+_BatchFactor = Tuple[Tuple[int, ...], np.ndarray, bool]
 
 #: numpy caps einsum at 32 operands; fold long factor lists in chunks.
 _EINSUM_CHUNK = 8
@@ -240,8 +253,232 @@ class CompiledNetwork:
         return dict(zip(states, (totals / total_weight).tolist()))
 
     # ------------------------------------------------------------------ #
+    # Batched queries over CPT parameter planes
+    # ------------------------------------------------------------------ #
+
+    def query_batch(
+        self,
+        target: str,
+        evidence: Optional[Mapping[str, str]] = None,
+        cpt_planes: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """``P(target | evidence)`` for ``S`` parameter scenarios at once.
+
+        ``cpt_planes`` maps variable names to ``(S, *cpt shape)`` arrays
+        of per-scenario CPT values; variables without a plane reuse the
+        compiled tables.  Returns an ``(S, cardinality)`` array whose row
+        ``s`` equals :meth:`query` on the network with scenario ``s``'s
+        CPT values substituted.  The network *structure* (variables,
+        states, parent sets) is shared across the batch — that is what
+        makes one elimination pass serve every scenario.
+        """
+        evidence = dict(evidence or {})
+        planes, n_scenarios = self._check_planes(cpt_planes)
+        target_idx = self._variable_index(target)
+        target_var = self._variables[target_idx]
+        codes = self._evidence_codes(evidence)
+        if target_idx in codes:
+            row = np.zeros(target_var.cardinality)
+            row[codes[target_idx]] = 1.0
+            return np.tile(row, (n_scenarios, 1))
+        factors = self._reduced_factors_batch(codes, planes)
+        hidden = [
+            i for i in range(self.n_variables)
+            if i != target_idx and i not in codes
+        ]
+        scopes = [(dims, values) for dims, values, _ in factors]
+        for dim in self._elimination_order(hidden, scopes, None, codes):
+            factors = self._eliminate_batch(factors, dim)
+        values = _contract_batch(factors, (target_idx,), n_scenarios)
+        totals = values.sum(axis=1)
+        if np.any(totals <= 0):
+            raise DomainError(
+                f"evidence {evidence} has zero probability under the "
+                f"network for at least one scenario"
+            )
+        return values / totals[:, None]
+
+    def probability_of_evidence_batch(
+        self,
+        evidence: Mapping[str, str],
+        cpt_planes: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Marginal evidence probability per scenario — ``(S,)`` array.
+
+        The batched counterpart of :meth:`probability_of_evidence`: one
+        elimination pass with a shared batch axis answers all scenarios.
+        """
+        evidence = dict(evidence)
+        planes, n_scenarios = self._check_planes(cpt_planes)
+        if not evidence:
+            return np.ones(n_scenarios)
+        codes = self._evidence_codes(evidence)
+        factors = self._reduced_factors_batch(codes, planes)
+        hidden = [i for i in range(self.n_variables) if i not in codes]
+        scopes = [(dims, values) for dims, values, _ in factors]
+        for dim in self._elimination_order(hidden, scopes, None, codes):
+            factors = self._eliminate_batch(factors, dim)
+        return _contract_batch(factors, (), n_scenarios)
+
+    def likelihood_weighting_batch(
+        self,
+        target: str,
+        evidence: Optional[Mapping[str, str]] = None,
+        n_samples: int = 10_000,
+        rngs: Optional[Sequence[Union[None, int, np.random.Generator]]] = None,
+        cpt_planes: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Likelihood weighting for ``S`` parameter scenarios in one pass.
+
+        Each scenario keeps its *own* random stream: ``rngs[s]`` seeds
+        the ``(n_samples, n_free)`` uniform block for scenario ``s``
+        exactly as :meth:`likelihood_weighting` would, so row ``s`` of
+        the returned ``(S, cardinality)`` array is bit-for-bit the
+        single-scenario result under the same seed — while the forward
+        sampling itself runs as ``(S, n_samples)`` array passes.
+        """
+        if n_samples < 1:
+            raise DomainError("n_samples must be positive")
+        evidence = dict(evidence or {})
+        planes, n_scenarios = self._check_planes(cpt_planes)
+        target_idx = self._variable_index(target)
+        codes = self._evidence_codes(evidence)
+        if rngs is None:
+            rngs = [None] * n_scenarios
+        if len(rngs) != n_scenarios:
+            raise DomainError(
+                f"need one rng per scenario: got {len(rngs)} rngs for "
+                f"{n_scenarios} scenarios"
+            )
+        generators = [ensure_rng(rng) for rng in rngs]
+
+        n = self.n_variables
+        n_free = n - len(codes)
+        uniforms = (
+            np.stack([g.random((n_samples, n_free)) for g in generators])
+            if n_free else None
+        )
+        plane2d = {
+            i: plane.reshape(n_scenarios, -1, self._cards[i])
+            for i, plane in planes.items()
+        }
+        scenario_rows = np.arange(n_scenarios)[:, None]
+        sample_codes = np.empty((n_scenarios, n_samples, n), dtype=np.int64)
+        weights = np.ones((n_scenarios, n_samples))
+        free_column = 0
+        for i in range(n):
+            parent_idx = self._parents[i]
+            if len(parent_idx):
+                flat = sample_codes[:, :, parent_idx] @ self._parent_strides[i]
+                if i in plane2d:
+                    rows = plane2d[i][scenario_rows, flat]
+                else:
+                    rows = self._cpt2d[i][flat]
+            else:
+                shape = (n_scenarios, n_samples, int(self._cards[i]))
+                if i in plane2d:
+                    rows = np.broadcast_to(plane2d[i][:, 0, None, :], shape)
+                else:
+                    rows = np.broadcast_to(self._cpt2d[i][0], shape)
+            if i in codes:
+                weights = weights * rows[:, :, codes[i]]
+                sample_codes[:, :, i] = codes[i]
+            else:
+                cdf = np.cumsum(rows, axis=2)
+                cdf = cdf / cdf[:, :, -1:]
+                u = uniforms[:, :, free_column]
+                free_column += 1
+                sample_codes[:, :, i] = np.sum(cdf <= u[:, :, None], axis=2)
+
+        card = int(self._cards[target_idx])
+        flat_codes = (
+            sample_codes[:, :, target_idx]
+            + card * np.arange(n_scenarios)[:, None]
+        )
+        totals = np.bincount(
+            flat_codes.ravel(),
+            weights=weights.ravel(),
+            minlength=n_scenarios * card,
+        ).reshape(n_scenarios, card)
+        # cumsum accumulates in sample order, matching the scalar path.
+        total_weight = np.cumsum(weights, axis=1)[:, -1]
+        if np.any(total_weight <= 0):
+            raise DomainError(
+                "all samples had zero weight for at least one scenario; "
+                "evidence may be impossible"
+            )
+        return totals / total_weight[:, None]
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _check_planes(
+        self, cpt_planes: Optional[Mapping[str, np.ndarray]]
+    ) -> Tuple[Dict[int, np.ndarray], int]:
+        """Validate planes against the compiled CPT shapes; infer S."""
+        if not cpt_planes:
+            raise DomainError(
+                "batched queries need at least one CPT parameter plane"
+            )
+        planes: Dict[int, np.ndarray] = {}
+        n_scenarios: Optional[int] = None
+        for name in sorted(cpt_planes):
+            index = self._variable_index(name)
+            plane = np.asarray(cpt_planes[name], dtype=float)
+            expected = self._cpts[index].shape
+            if plane.ndim != len(expected) + 1 or plane.shape[1:] != expected:
+                raise StructureError(
+                    f"plane for {name!r} must have shape (S,) + {expected}, "
+                    f"got {plane.shape}"
+                )
+            if n_scenarios is None:
+                n_scenarios = plane.shape[0]
+            elif plane.shape[0] != n_scenarios:
+                raise StructureError(
+                    f"CPT planes disagree on scenario count: "
+                    f"{plane.shape[0]} vs {n_scenarios}"
+                )
+            planes[index] = plane
+        assert n_scenarios is not None
+        return planes, n_scenarios
+
+    def _reduced_factors_batch(
+        self, codes: Mapping[int, int], planes: Mapping[int, np.ndarray]
+    ) -> List[_BatchFactor]:
+        factors: List[_BatchFactor] = []
+        for i in range(self.n_variables):
+            dims = tuple(self._parents[i]) + (i,)
+            batched = i in planes
+            values = planes[i] if batched else self._cpts[i]
+            if any(d in codes for d in dims):
+                indexer = tuple(
+                    codes[d] if d in codes else slice(None) for d in dims
+                )
+                if batched:
+                    indexer = (slice(None),) + indexer
+                values = values[indexer]
+                dims = tuple(d for d in dims if d not in codes)
+            factors.append((dims, values, batched))
+        return factors
+
+    @staticmethod
+    def _eliminate_batch(
+        factors: List[_BatchFactor], dim: int
+    ) -> List[_BatchFactor]:
+        touching = [f for f in factors if dim in f[0]]
+        rest = [f for f in factors if dim not in f[0]]
+        if not touching:
+            return rest
+        out_dims: List[int] = []
+        for dims, _, _ in touching:
+            for d in dims:
+                if d != dim and d not in out_dims:
+                    out_dims.append(d)
+        batched = any(b for _, _, b in touching)
+        merged = _einsum_batch(touching, tuple(out_dims), batched)
+        rest.append((tuple(out_dims), merged, batched))
+        return rest
 
     def _variable_index(self, name: str) -> int:
         index = self._index.get(name)
@@ -348,6 +585,63 @@ def _einsum(factors: List[_IntFactor], out_dims: Tuple[int, ...]) -> np.ndarray:
         operands.append(values)
         operands.append([labels[d] for d in dims])
     return np.einsum(*operands, [labels[d] for d in out_dims])
+
+
+def _contract_batch(
+    factors: List[_BatchFactor], out_dims: Tuple[int, ...], n_scenarios: int
+) -> np.ndarray:
+    """Batched :func:`_contract`: product marginalised to ``(S, *out)``.
+
+    Factors whose values carry a leading batch axis share one einsum
+    batch label; unbatched factors broadcast across it.  The result
+    always carries the batch axis (broadcast when no factor did).
+    """
+    if not factors:
+        shape = (n_scenarios,) + tuple(1 for _ in out_dims)
+        return np.ones(shape) if not out_dims else np.ones((n_scenarios, 0))
+    remaining = list(factors)
+    while len(remaining) > _EINSUM_CHUNK:
+        chunk, remaining = remaining[:_EINSUM_CHUNK], remaining[_EINSUM_CHUNK:]
+        keep: List[int] = []
+        for dims, _, _ in chunk:
+            for d in dims:
+                if d not in keep:
+                    keep.append(d)
+        batched = any(b for _, _, b in chunk)
+        remaining.insert(
+            0, (tuple(keep), _einsum_batch(chunk, tuple(keep), batched),
+                batched)
+        )
+    batched = any(b for _, _, b in remaining)
+    values = _einsum_batch(remaining, out_dims, batched)
+    if not batched:
+        values = np.broadcast_to(
+            values, (n_scenarios,) + values.shape
+        ).copy()
+    return values
+
+
+def _einsum_batch(
+    factors: List[_BatchFactor], out_dims: Tuple[int, ...], out_batched: bool
+) -> np.ndarray:
+    """One einsum over mixed batched/unbatched factors.
+
+    The batch axis gets its own compact label shared by every batched
+    operand (and the output when ``out_batched``); unbatched operands
+    simply omit it and broadcast.
+    """
+    labels: Dict[int, int] = {}
+    for dims, _, _ in factors:
+        for d in dims:
+            labels.setdefault(d, len(labels))
+    batch_label = len(labels)
+    operands: List[object] = []
+    for dims, values, batched in factors:
+        operands.append(values)
+        dim_labels = [labels[d] for d in dims]
+        operands.append([batch_label] + dim_labels if batched else dim_labels)
+    out = [labels[d] for d in out_dims]
+    return np.einsum(*operands, [batch_label] + out if out_batched else out)
 
 
 def _min_degree_order(

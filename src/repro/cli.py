@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-case``.
 
-Six subcommands cover the library's day-one uses:
+Eight subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
@@ -11,6 +11,12 @@ Six subcommands cover the library's day-one uses:
 * ``sweep`` — run batched scenario sweeps (:mod:`repro.engine`) from a
   YAML/JSON spec file (single- or multi-sweep) and tabulate or export
   the results;
+* ``case`` — evaluate a quantified dependability case (YAML/JSON GSN
+  nodes + confidence models): render the argument and report every
+  node's confidence, with ``--set node.param=value`` overrides;
+* ``validate`` — resolve and type-check a sweep or case spec file
+  without executing it, listing *all* errors and exiting non-zero on
+  any;
 * ``pipelines`` — list every registered sweep pipeline with its batch /
   stochastic capabilities and parameters.
 
@@ -21,6 +27,8 @@ Examples::
     repro-case tests --mode 0.003 --sigma 0.9 --bound 1e-2 --target 0.95
     repro-case growth --faults 10 --exposure 1000
     repro-case sweep --spec examples/full_library_sweep.yaml --csv out.csv
+    repro-case case --case examples/case_confidence.yaml --set A1.p_true=0.8
+    repro-case validate --spec examples/full_library_sweep.yaml
     repro-case pipelines --verbose
 """
 
@@ -28,7 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from .core import AcarpTarget, ConfidenceProfile, design_for_claim
 from .distributions import LogNormalJudgement
@@ -115,6 +123,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export the results as CSV")
     p_sweep.add_argument("--limit", type=int, default=None,
                          help="print at most this many rows")
+
+    p_case = sub.add_parser(
+        "case",
+        help="evaluate a quantified dependability case from a YAML/JSON "
+        "file",
+    )
+    p_case.add_argument("--case", required=True, metavar="PATH",
+                        help="path to the case spec (nodes, support, "
+                        "annotations, quantify)")
+    p_case.add_argument("--set", action="append", default=[],
+                        metavar="NODE.PARAM=VALUE", dest="overrides",
+                        help="override a case parameter (repeatable), "
+                        "e.g. --set A1.p_true=0.8")
+    p_case.add_argument("--no-render", action="store_true",
+                        help="skip the argument-graph rendering")
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="resolve and type-check a sweep or case spec without "
+        "executing it",
+    )
+    p_validate.add_argument("--spec", required=True, metavar="PATH",
+                            help="path to the sweep or case spec "
+                            "(YAML or JSON)")
 
     p_pipelines = sub.add_parser(
         "pipelines",
@@ -214,6 +246,119 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parse_overrides(items: List[str]) -> Dict[str, float]:
+    overrides: Dict[str, float] = {}
+    for item in items:
+        name, separator, raw = item.partition("=")
+        if not separator or not name:
+            raise ReproError(
+                f"--set expects NODE.PARAM=VALUE, got {item!r}"
+            )
+        try:
+            overrides[name.strip()] = float(raw)
+        except ValueError:
+            raise ReproError(
+                f"--set value for {name.strip()!r} must be a number, "
+                f"got {raw!r}"
+            ) from None
+    return overrides
+
+
+def _run_case(args: argparse.Namespace) -> str:
+    from .arguments import load_case
+
+    case = load_case(args.case)
+    overrides = _parse_overrides(args.overrides)
+    values = case.evaluate(overrides)
+    root = case.graph.root_goal()
+    lines: List[str] = []
+    if not args.no_render:
+        lines.append(case.graph.render())
+        lines.append("")
+    rows = [
+        [identifier, case.graph.node(identifier).kind,
+         f"{values[identifier]:.6f}"]
+        for identifier in case.graph.topological_order()
+        if identifier in values
+    ]
+    lines.append(format_table(["node", "kind", "confidence"], rows))
+    top = values[root.identifier]
+    lines.append("")
+    lines.append(
+        f"top-goal confidence P({root.identifier}) = {top:.6f} "
+        f"(doubt {1.0 - top:.6f})"
+    )
+    if root.claim_bound is not None:
+        lines.append(
+            f"claim under argument: {root.text} (bound {root.claim_bound:g})"
+        )
+    return "\n".join(lines)
+
+
+def _run_validate(args: argparse.Namespace) -> str:
+    from .engine.spec import parse_spec_text, sweeps_from_data
+
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read spec file {args.spec}: {exc}"
+        ) from exc
+    data = parse_spec_text(text, args.spec)
+    errors: List[str] = []
+    summary = ""
+    if isinstance(data, Mapping) and "nodes" in data:
+        from .arguments import QuantifiedCase
+
+        try:
+            case = QuantifiedCase.from_dict(data, validate=False)
+        except ReproError as exc:
+            errors.append(str(exc))
+        else:
+            errors.extend(case.validation_errors())
+            if not errors:
+                summary = (
+                    f"case spec ok: {len(case.graph)} nodes, "
+                    f"{len(case.parameter_defaults())} sweepable parameters"
+                )
+    else:
+        sweeps = []
+        try:
+            sweeps = sweeps_from_data(data, args.spec)
+        except ReproError as exc:
+            errors.append(str(exc))
+        n_scenarios = 0
+        for index, sweep in enumerate(sweeps):
+            label = sweep.name or f"sweep {index + 1} ({sweep.pipeline})"
+            try:
+                pipeline = get_pipeline(sweep.pipeline)
+            except ReproError as exc:
+                errors.append(f"{label}: {exc}")
+                continue
+            seen = set()
+            for scenario in sweep.expand():
+                n_scenarios += 1
+                try:
+                    pipeline.resolve(scenario.params)
+                except ReproError as exc:
+                    message = f"{label}: {exc}"
+                    if message not in seen:
+                        seen.add(message)
+                        errors.append(message)
+        summary = (
+            f"spec ok: {len(sweeps)} sweep(s), {n_scenarios} scenario(s), "
+            f"all parameters resolve"
+        )
+    if errors:
+        listing = "\n".join(f"  - {error}" for error in errors)
+        raise ReproError(
+            f"{args.spec} failed validation "
+            f"({len(errors)} error(s)):\n{listing}"
+        )
+    return summary
+
+
 def _run_pipelines(args: argparse.Namespace) -> str:
     rows = []
     details: List[str] = []
@@ -245,6 +390,8 @@ _RUNNERS = {
     "tests": _run_tests,
     "growth": _run_growth,
     "sweep": _run_sweep,
+    "case": _run_case,
+    "validate": _run_validate,
     "pipelines": _run_pipelines,
 }
 

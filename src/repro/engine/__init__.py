@@ -12,12 +12,14 @@ fast:
 * :class:`ResultCache` — content-keyed memoisation of finished scenarios;
 * :class:`ResultSet` — ordered results with table / CSV export;
 * :mod:`~repro.engine.pipelines` — the registry mapping pipeline names to
-  the library's analysis entry points (twelve pipelines: survival
+  the library's analysis entry points (thirteen pipelines: survival
   updates, SIL classification, growth-model SIL fits, elicitation
   pooling and calibration, ALARP/ACARP, standards mappings, the
-  conservatism audit, BBN queries, panel simulation), plus the batch
+  conservatism audit, BBN queries, panel simulation, and whole-case
+  confidence through the compiled case engine), plus the batch
   dispatch layer (:func:`register_batch_kernel`) that routes
-  ``run_batch`` to a vectorised kernel when one is registered;
+  ``run_batch`` to a vectorised kernel — every shipped pipeline has
+  one, so whole sweeps run as array passes end to end;
 * :func:`load_sweeps` — single- or multi-sweep YAML/JSON spec files.
 
 Quickstart::

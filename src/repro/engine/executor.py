@@ -68,12 +68,13 @@ def run_scenario(
     pipeline = get_pipeline(spec.pipeline)
     use_cache = cache is not None and _cacheable(pipeline, spec)
     if use_cache:
-        cached = cache.get(spec.key())
+        key = pipeline.cache_key(spec)
+        cached = cache.get(key)
         if cached is not None:
             return ScenarioResult(spec, cached, from_cache=True)
     values = pipeline.run(dict(spec.params), spec.seed)
     if use_cache:
-        cache.put(spec.key(), values)
+        cache.put(key, values)
     return ScenarioResult(spec, values)
 
 
@@ -177,16 +178,21 @@ def run_sweep(
     cached_values: Dict[int, Dict[str, Any]] = {}
     pending: List[Tuple[int, ScenarioSpec]] = []
     if cache is not None:
+        # Key through the pipeline, which may fold in state the spec
+        # only names by reference (case_confidence hashes file content).
+        keys = {
+            index: pipeline.cache_key(scenario)
+            for index, scenario in enumerate(scenarios)
+            if _cacheable(pipeline, scenario)
+        }
         for index, scenario in enumerate(scenarios):
-            hit = (
-                cache.get(scenario.key())
-                if _cacheable(pipeline, scenario) else None
-            )
+            hit = cache.get(keys[index]) if index in keys else None
             if hit is not None:
                 cached_values[index] = hit
             else:
                 pending.append((index, scenario))
     else:
+        keys = {}
         pending = list(enumerate(scenarios))
     meta["cache_hits"] = len(cached_values)
     meta["cache_misses"] = len(pending)
@@ -211,8 +217,8 @@ def run_sweep(
             )
         for (index, scenario), value in zip(pending, values):
             fresh_values[index] = value
-            if cache is not None and _cacheable(pipeline, scenario):
-                cache.put(scenario.key(), value)
+            if index in keys:
+                cache.put(keys[index], value)
 
     results = []
     for index, scenario in enumerate(scenarios):

@@ -19,14 +19,24 @@ Registered pipelines:
     Section 4.1 tail cut-off of a log-normal judgement by failure-free
     demands; batched.
 ``two_leg_posterior``
-    Exact BBN posterior for the Section 4.2 two-leg argument.
+    Exact BBN posterior for the Section 4.2 two-leg argument; batched
+    via CPT parameter planes on the shared compiled network.
 ``bbn_query``
     Monte-Carlo (likelihood-weighting) query of the same two-leg network;
-    stochastic, driven by the scenario seed.
+    stochastic, driven by the scenario seed; batched (each scenario keeps
+    its own stream, so batch rows equal scalar runs bit-for-bit).
+``case_confidence``
+    A whole quantified dependability case (YAML file of GSN nodes +
+    node confidence models, :mod:`repro.arguments.quantified`): every
+    ``"<node>.<param>"`` dial is sweepable and the compiled case engine
+    evaluates all scenarios in one vectorized pass; batched.
 ``sil_classification``
     The Section 3 mode/mean/confidence SIL classification views; batched.
 ``panel_run``
-    The Figure 5 four-phase 12-expert panel simulation; stochastic.
+    The Figure 5 four-phase 12-expert panel simulation; stochastic,
+    batched (the protocol's narrowing/convergence dynamics run as array
+    recurrences across scenarios; only final-phase judgements are
+    materialised).
 ``sil_from_growth``
     The Section 3 growth-model SIL route: simulate a failure history
     (Jelinski-Moranda or Littlewood-Verrall), grid-fit the model, derive
@@ -120,6 +130,16 @@ class Pipeline:
     def supports_batch(self) -> bool:
         """Whether a vectorised batch kernel is registered for this name."""
         return self.name in _BATCH_KERNELS
+
+    def cache_key(self, spec) -> str:
+        """Result-cache key for one :class:`~repro.engine.spec.ScenarioSpec`.
+
+        Defaults to the spec's own content key.  Pipelines whose results
+        depend on state *outside* the spec (a file named by a parameter,
+        say) must fold that state in, or an edited file would silently
+        serve stale cached results.
+        """
+        return spec.key()
 
     def run(self, params: Mapping[str, Any],
             seed: Optional[int] = None) -> Dict[str, Any]:
@@ -325,6 +345,33 @@ class TwoLegPosteriorPipeline(Pipeline):
         }
 
 
+@register_batch_kernel("two_leg_posterior")
+def _two_leg_posterior_batch(pipeline, items):
+    from ..arguments import two_leg_posterior_sweep
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+
+    def column(name):
+        return np.array([p[name] for p in resolved], dtype=float)
+
+    columns = two_leg_posterior_sweep(
+        column("prior"), column("dependence"),
+        column("leg1_validity"), column("leg1_sensitivity"),
+        column("leg1_specificity"), column("leg1_noise"),
+        column("leg2_validity"), column("leg2_sensitivity"),
+        column("leg2_specificity"), column("leg2_noise"),
+    )
+    return [
+        {
+            "single_leg": float(columns["single_leg"][i]),
+            "both_legs": float(columns["both_legs"][i]),
+            "gain": float(columns["gain"][i]),
+            "doubt_reduction": float(columns["doubt_reduction"][i]),
+        }
+        for i in range(len(resolved))
+    ]
+
+
 class BbnQueryPipeline(TwoLegPosteriorPipeline):
     """Monte-Carlo cross-check of the two-leg query by likelihood
     weighting; the scenario seed drives the sampler, so sweeps over seeds
@@ -359,6 +406,161 @@ class BbnQueryPipeline(TwoLegPosteriorPipeline):
             rng=ensure_rng(seed),
         )
         return {"p_claim": posterior["true"]}
+
+
+#: Scenario-chunk cap for the batched sampler: keeps the
+#: (chunk, n_samples, n_vars) state tensor around ten million elements.
+_LW_CHUNK_ELEMENTS = 2_000_000
+
+
+@register_batch_kernel("bbn_query")
+def _bbn_query_batch(pipeline, items):
+    from ..arguments.multileg import _two_leg_template, two_leg_cpt_planes
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    seeds = [seed for _params, seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    evidence = {"evidence_leg1": "true", "evidence_leg2": "true"}
+    for (raw_samples,), indices in _group_items(
+        resolved, ["n_samples"]
+    ).items():
+        n_samples = _as_count(raw_samples, "n_samples")
+        chunk_size = max(1, _LW_CHUNK_ELEMENTS // max(n_samples, 1))
+        for start in range(0, len(indices), chunk_size):
+            chunk = indices[start:start + chunk_size]
+
+            def column(name):
+                return np.array(
+                    [resolved[i][name] for i in chunk], dtype=float
+                )
+
+            planes = two_leg_cpt_planes(
+                column("prior"), column("dependence"),
+                column("leg1_validity"), column("leg1_sensitivity"),
+                column("leg1_specificity"), column("leg1_noise"),
+                column("leg2_validity"), column("leg2_sensitivity"),
+                column("leg2_specificity"), column("leg2_noise"),
+            )
+            posterior = _two_leg_template().likelihood_weighting_batch(
+                "claim", evidence,
+                n_samples=n_samples,
+                rngs=[ensure_rng(seeds[i]) for i in chunk],
+                cpt_planes=planes,
+            )
+            for position, index in enumerate(chunk):
+                results[index] = {"p_claim": float(posterior[position, 0])}
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Whole-case confidence
+# --------------------------------------------------------------------- #
+
+
+class CaseConfidencePipeline(Pipeline):
+    """``P(top goal)`` of a whole quantified dependability case.
+
+    ``case_file`` names a YAML/JSON case spec (GSN nodes, support and
+    annotation edges, per-node confidence models — see
+    :class:`repro.arguments.QuantifiedCase`).  Every quantified
+    parameter of the case is exposed as a sweepable
+    ``"<node>.<param>"`` scenario parameter (assumptions as
+    ``"<id>.p_true"``), so one spec file plus a grid sweeps the whole
+    argument — leaf judgements, combination dials and assumption doubt
+    alike.  The batched backend lowers the case once
+    (:func:`repro.arguments.compile_case`) and evaluates all scenarios
+    in one vectorized pass; the scalar path is the per-node recursive
+    oracle it must match to 1e-12.
+    """
+
+    name = "case_confidence"
+    defaults = {"case_file": None}
+    required = ("case_file",)
+
+    def cache_key(self, spec) -> str:
+        """Fold the case file's *content* into the cache key.
+
+        The spec names the case by path, so editing the file on disk
+        must invalidate cached sweep results, not replay them.
+        """
+        case_file = spec.params.get("case_file")
+        if case_file is None:
+            return spec.key()
+        from ..arguments import load_case
+
+        return f"{spec.key()}:{load_case(case_file).content_hash()}"
+
+    def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
+        from ..arguments import load_case
+
+        params = dict(params)
+        case_file = params.pop("case_file", None)
+        if case_file is None:
+            raise DomainError(
+                f"pipeline {self.name!r} missing required parameters: "
+                f"case_file"
+            )
+        case = load_case(case_file)
+        space = case.parameter_defaults()
+        unknown = set(params) - set(space)
+        if unknown:
+            raise DomainError(
+                f"pipeline {self.name!r} got unknown parameters: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        merged: Dict[str, Any] = {"case_file": str(case_file), **space}
+        merged.update(params)
+        return merged
+
+    def run(self, params, seed=None):
+        from ..arguments import load_case
+
+        merged = self.resolve(params)
+        case = load_case(merged["case_file"])
+        overrides = {
+            key: value for key, value in merged.items()
+            if key != "case_file"
+        }
+        values = case.evaluate(overrides)
+        top = values[case.graph.root_goal().identifier]
+        out = {"top_confidence": top, "top_doubt": 1.0 - top}
+        for identifier in sorted(values):
+            if case.graph.node(identifier).kind == "goal":
+                out[f"conf_{identifier}"] = values[identifier]
+        return out
+
+
+@register_batch_kernel("case_confidence")
+def _case_confidence_batch(pipeline, items):
+    from ..arguments import compile_case, load_case
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    for (case_file,), indices in _group_items(
+        resolved, ["case_file"]
+    ).items():
+        compiled = compile_case(load_case(case_file))
+        columns = {
+            name: np.array(
+                [resolved[i][name] for i in indices], dtype=float
+            )
+            for name in compiled.parameter_defaults()
+        }
+        sweep = compiled.evaluate_sweep(columns, n_scenarios=len(indices))
+        top = sweep[compiled.root_id]
+        goal_ids = sorted(
+            identifier for identifier in compiled.node_ids
+            if compiled.case.graph.node(identifier).kind == "goal"
+        )
+        for position, index in enumerate(indices):
+            out = {
+                "top_confidence": float(top[position]),
+                "top_doubt": float(1.0 - top[position]),
+            }
+            for identifier in goal_ids:
+                out[f"conf_{identifier}"] = float(sweep[identifier][position])
+            results[index] = out
+    return results
 
 
 # --------------------------------------------------------------------- #
@@ -475,6 +677,87 @@ class PanelRunPipeline(Pipeline):
             "pooled_mean_pfd": result.pooled_mean_pfd(),
             "mean_on_boundary": result.mean_on_boundary(),
         }
+
+
+@register_batch_kernel("panel_run")
+def _panel_run_batch(pipeline, items):
+    """Batched panel sweeps: the four-phase dynamics as array passes.
+
+    Each scenario's panel is still seeded expert-by-expert (the draw
+    interleaving is part of the stream contract), but the protocol's
+    narrowing/convergence recurrences run vectorised over all scenarios
+    at once, and only the *final* phase's judgements are materialised:
+    the intermediate phases' judgement objects — and their noise draws,
+    which nothing after the last phase consumes — are dead work for this
+    pipeline's columns and are skipped entirely.
+    """
+    from dataclasses import replace
+
+    from ..elicitation import linear_pool, log_pool
+    from ..elicitation.delphi import DEFAULT_PHASES
+    from ..experiment import build_panel
+    from ..experiment.cemsis import public_domain_case_study
+
+    resolved = [pipeline.resolve(params) for params, _seed in items]
+    seeds = [seed for _params, seed in items]
+    results: List[Dict[str, Any]] = [None] * len(items)  # type: ignore
+    case = public_domain_case_study()
+    band = case.target_band
+    groups = _group_items(resolved, ["n_experts", "n_doubters", "pool"])
+    for (raw_experts, raw_doubters, pool), indices in groups.items():
+        n_experts = _as_count(raw_experts, "n_experts")
+        n_doubters = _as_count(raw_doubters, "n_doubters")
+        if pool not in ("linear", "log"):
+            raise DomainError(f"pool must be 'linear' or 'log', got {pool!r}")
+        pool_fn = linear_pool if pool == "linear" else log_pool
+        panels = [
+            build_panel(
+                n_experts, n_doubters,
+                ensure_rng(seeds[i] if seeds[i] is not None else 2007),
+            )
+            for i in indices
+        ]
+        biases = np.array([[e.bias_decades for e in p] for p in panels])
+        sigmas = np.array([[e.sigma for e in p] for p in panels])
+        is_doubter = np.arange(n_experts) < n_doubters
+        main = ~is_doubter
+        if not main.any():
+            raise DomainError("panel has no main-group experts to pool")
+        for config in DEFAULT_PHASES:
+            target = biases[:, main].mean(axis=1)
+            sigmas[:, main] *= config.narrowing
+            sigmas[:, is_doubter] *= min(1.0, config.narrowing + 0.1)
+            if config.convergence > 0:
+                biases[:, main] = (
+                    (1.0 - config.convergence) * biases[:, main]
+                    + config.convergence * target[:, None]
+                )
+        for position, index in enumerate(indices):
+            final = [
+                replace(
+                    expert,
+                    bias_decades=float(biases[position, e]),
+                    sigma=float(sigmas[position, e]),
+                ).judge(case.reference_mode, phase=len(DEFAULT_PHASES))
+                for e, expert in enumerate(panels[position])
+            ]
+            pooled_all = pool_fn([j.judgement for j in final])
+            pooled_main = pool_fn([
+                j.judgement for j, doubter in zip(final, is_doubter)
+                if not doubter
+            ])
+            group_mean = pooled_main.mean()
+            on_boundary = (
+                group_mean > 0
+                and abs(float(np.log10(group_mean / band.upper))) <= 0.35
+            )
+            results[index] = {
+                "group_confidence": band.confidence_better(pooled_main),
+                "group_mean_pfd": group_mean,
+                "pooled_mean_pfd": pooled_all.mean(),
+                "mean_on_boundary": bool(on_boundary),
+            }
+    return results
 
 
 # --------------------------------------------------------------------- #
@@ -1295,6 +1578,7 @@ def _conservatism_audit_batch(pipeline, items):
 register(SurvivalUpdatePipeline())
 register(TwoLegPosteriorPipeline())
 register(BbnQueryPipeline())
+register(CaseConfidencePipeline())
 register(SilClassificationPipeline())
 register(PanelRunPipeline())
 register(SilFromGrowthPipeline())

@@ -19,7 +19,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..errors import DomainError
 from ..numerics import spawn_seeds
 
-__all__ = ["ScenarioSpec", "SweepSpec", "canonical_key", "load_sweeps"]
+__all__ = [
+    "ScenarioSpec",
+    "SweepSpec",
+    "canonical_key",
+    "load_sweeps",
+    "sweeps_from_data",
+    "parse_spec_text",
+]
 
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
@@ -208,7 +215,7 @@ class SweepSpec:
         """
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
-        data = _parse_spec_text(text, str(path))
+        data = parse_spec_text(text, str(path))
         if not isinstance(data, Mapping):
             raise DomainError(f"spec file {path} must contain a mapping")
         return cls.from_dict(data)
@@ -226,9 +233,20 @@ def load_sweeps(path) -> List[SweepSpec]:
     """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
-    data = _parse_spec_text(text, str(path))
+    data = parse_spec_text(text, str(path))
+    return sweeps_from_data(data, str(path))
+
+
+def sweeps_from_data(data, origin: str = "<spec>") -> List[SweepSpec]:
+    """The sweep specs in already-parsed spec-file ``data``.
+
+    The body of :func:`load_sweeps` after the file read — callers that
+    already hold the parsed mapping (the CLI's ``validate`` subcommand
+    sniffs it to tell sweep specs from case specs) reuse it without a
+    second parse.
+    """
     if not isinstance(data, Mapping):
-        raise DomainError(f"spec file {path} must contain a mapping")
+        raise DomainError(f"spec file {origin} must contain a mapping")
     if "sweeps" not in data:
         return [SweepSpec.from_dict(data)]
     unknown = set(data) - {"sweeps", "name"}
@@ -246,7 +264,7 @@ def load_sweeps(path) -> List[SweepSpec]:
     for position, entry in enumerate(entries):
         if not isinstance(entry, Mapping):
             raise DomainError(
-                f"sweep entry {position} in {path} must be a mapping"
+                f"sweep entry {position} in {origin} must be a mapping"
             )
         if default_name is not None and entry.get("name") is None:
             entry = {**entry, "name": default_name}
@@ -254,7 +272,14 @@ def load_sweeps(path) -> List[SweepSpec]:
     return sweeps
 
 
-def _parse_spec_text(text: str, origin: str):
+def parse_spec_text(text: str, origin: str):
+    """Parse spec-file text as JSON, falling back to YAML.
+
+    Shared by sweep-spec loading, case-file loading
+    (:meth:`repro.arguments.QuantifiedCase.from_file`) and the CLI's
+    ``validate`` subcommand, so all structured spec files accept the
+    same formats with the same errors.
+    """
     try:
         return json.loads(text)
     except json.JSONDecodeError:

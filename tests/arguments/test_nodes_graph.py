@@ -126,6 +126,47 @@ class TestValidation:
         with pytest.raises(StructureError):
             graph.validate()
 
+    def test_all_offenders_reported_in_sorted_order(self):
+        # Nodes are added out of id order; the report must still list
+        # every offender sorted (deterministic across Python versions).
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Strategy("S1", "route"))
+        graph.add_node(Goal("Gc", "sub c"))
+        graph.add_node(Goal("Gb", "sub b"))
+        graph.add_node(Goal("Ga", "sub a"))
+        graph.add_support("G1", "S1")
+        graph.add_support("S1", "Gc")
+        graph.add_support("S1", "Gb")
+        graph.add_support("S1", "Ga")
+        with pytest.raises(
+            StructureError,
+            match="goals not grounded in any solution: G1, Ga, Gb, Gc",
+        ):
+            graph.validate()
+
+    def test_validation_errors_lists_every_category(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_node(Strategy("Sz", "floating z"))
+        graph.add_node(Strategy("Sa", "floating a"))
+        graph.add_support("G1", "Sn1")
+        errors = graph.validation_errors()
+        joined = "; ".join(errors)
+        assert "strategies supporting nothing: Sa, Sz" in joined
+        assert "strategies hanging off no goal: Sa, Sz" in joined
+
+    def test_ambiguous_roots_listed_sorted(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("Gz", "one", claim_bound=1e-3))
+        graph.add_node(Goal("Ga", "two", claim_bound=1e-3))
+        with pytest.raises(StructureError, match="Ga, Gz"):
+            graph.root_goal()
+
+    def test_valid_graph_has_no_validation_errors(self):
+        assert small_argument().validation_errors() == []
+
 
 class TestRendering:
     def test_render_structure(self):

@@ -1,0 +1,303 @@
+"""Tests for quantified cases: node models, validation, evaluation."""
+
+import pytest
+
+from repro.arguments import (
+    ArgumentGraph,
+    Assumption,
+    BetaFactor1oo2,
+    Context,
+    FixedConfidence,
+    Goal,
+    IndependentProduct,
+    LegEvidence,
+    LognormalClaim,
+    MODEL_KINDS,
+    NoisySupport,
+    Passthrough,
+    QuantifiedCase,
+    Solution,
+    Strategy,
+    TwoLegBBN,
+    model_from_dict,
+    single_leg_posterior,
+    two_leg_posterior,
+)
+from repro.arguments.legs import ArgumentLeg
+from repro.distributions import LogNormalJudgement
+from repro.errors import DomainError, StructureError
+
+
+def two_leg_case() -> QuantifiedCase:
+    graph = ArgumentGraph()
+    graph.add_node(Goal("G1", "system safe", claim_bound=1e-3))
+    graph.add_node(Strategy("S1", "two legs"))
+    graph.add_node(Goal("G2", "testing leg sound"))
+    graph.add_node(Goal("G3", "analysis leg sound"))
+    graph.add_node(Solution("Sn1", "test report"))
+    graph.add_node(Solution("Sn2", "analysis report"))
+    graph.add_node(Solution("Sn3", "proof"))
+    graph.add_node(Assumption("A1", "profile ok", probability_true=0.95))
+    graph.add_node(Context("C1", "demand mode"))
+    graph.add_support("G1", "S1")
+    graph.add_support("S1", "G2").add_support("S1", "G3")
+    graph.add_support("G2", "Sn1")
+    graph.add_support("G3", "Sn2").add_support("G3", "Sn3")
+    graph.annotate("G2", "A1")
+    graph.annotate("G1", "C1")
+    return QuantifiedCase(graph, {
+        "S1": TwoLegBBN(prior=0.6, dependence=0.3),
+        "G3": BetaFactor1oo2(beta=0.2),
+        "Sn1": LognormalClaim(mode=0.003, sigma=0.9, bound=1e-2),
+        "Sn2": LegEvidence(prior=0.5, validity=0.9, sensitivity=0.9,
+                           specificity=0.85),
+        "Sn3": FixedConfidence(confidence=0.97),
+    }, name="two-leg")
+
+
+class TestNodeModels:
+    def test_registry_covers_all_models(self):
+        assert set(MODEL_KINDS) == {
+            "fixed", "lognormal_claim", "leg_evidence", "independent_and",
+            "beta_factor_1oo2", "noisy_support", "two_leg_bbn",
+            "passthrough",
+        }
+
+    def test_model_dict_round_trip(self):
+        for model in (
+            FixedConfidence(0.8),
+            LognormalClaim(mode=0.01, sigma=1.1, bound=0.1),
+            LegEvidence(prior=0.4, validity=0.8, sensitivity=0.9,
+                        specificity=0.7, noise=0.45),
+            IndependentProduct(),
+            BetaFactor1oo2(beta=0.3),
+            NoisySupport(weight=0.9),
+            TwoLegBBN(prior=0.55, dependence=0.4),
+            Passthrough(),
+        ):
+            assert model_from_dict(model.to_dict()) == model
+
+    def test_unknown_model_kind_rejected(self):
+        with pytest.raises(DomainError):
+            model_from_dict({"model": "psychic"})
+
+    def test_unknown_model_parameter_rejected(self):
+        with pytest.raises(DomainError):
+            model_from_dict({"model": "fixed", "confidnce": 0.9})
+
+    def test_fixed_evaluates_to_its_parameter(self):
+        model = FixedConfidence(0.8)
+        assert model.evaluate({"confidence": 0.8}, []) == 0.8
+
+    def test_lognormal_claim_matches_distribution(self):
+        model = LognormalClaim(mode=0.003, sigma=0.9, bound=1e-2)
+        expected = LogNormalJudgement.from_mode_sigma(0.003, 0.9).confidence(
+            1e-2
+        )
+        assert model.evaluate(model.params(), []) == pytest.approx(expected)
+
+    def test_leg_evidence_matches_single_leg_posterior(self):
+        model = LegEvidence(prior=0.5, validity=0.85, sensitivity=0.9,
+                            specificity=0.8, noise=0.5)
+        leg = ArgumentLeg("leg", 0.85, 0.9, 0.8, 0.5)
+        assert model.evaluate(model.params(), []) == pytest.approx(
+            single_leg_posterior(0.5, leg)
+        )
+
+    def test_independent_product(self):
+        model = IndependentProduct()
+        assert model.evaluate({}, [0.9, 0.8]) == pytest.approx(0.72)
+
+    def test_beta_factor_limits(self):
+        children = [0.9, 0.8]
+        independent = BetaFactor1oo2(beta=0.0).evaluate(
+            {"beta": 0.0}, children
+        )
+        common = BetaFactor1oo2(beta=1.0).evaluate({"beta": 1.0}, children)
+        assert independent == pytest.approx(1.0 - 0.1 * 0.2)
+        # Full dependence: the pair is as doubtful as the weaker leg.
+        assert common == pytest.approx(0.8)
+
+    def test_noisy_support_single_full_weight_is_identity(self):
+        assert NoisySupport(weight=1.0).evaluate(
+            {"weight": 1.0}, [0.7]
+        ) == pytest.approx(0.7)
+
+    def test_two_leg_bbn_matches_multileg(self):
+        model = TwoLegBBN(prior=0.6, dependence=0.3, sensitivity1=0.95,
+                          specificity1=0.9, sensitivity2=0.9,
+                          specificity2=0.85)
+        leg1 = ArgumentLeg("leg1", 0.9, 0.95, 0.9, 0.5)
+        leg2 = ArgumentLeg("leg2", 0.88, 0.9, 0.85, 0.5)
+        expected = two_leg_posterior(0.6, leg1, leg2, 0.3).both_legs
+        assert model.evaluate(model.params(), [0.9, 0.88]) == pytest.approx(
+            expected, abs=1e-12
+        )
+
+
+class TestQuantifiedCaseValidation:
+    def test_valid_case_constructs(self):
+        case = two_leg_case()
+        assert len(case.graph) == 9
+        assert "S1.dependence" in case.parameter_defaults()
+        assert "A1.p_true" in case.parameter_defaults()
+
+    def test_solution_without_model_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_support("G1", "Sn1")
+        with pytest.raises(StructureError, match="Sn1"):
+            QuantifiedCase(graph, {})
+
+    def test_combinator_on_solution_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_support("G1", "Sn1")
+        with pytest.raises(StructureError, match="does not fit"):
+            QuantifiedCase(graph, {"Sn1": IndependentProduct()})
+
+    def test_arity_mismatch_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_support("G1", "Sn1")
+        with pytest.raises(StructureError, match="arity"):
+            QuantifiedCase(graph, {
+                "G1": BetaFactor1oo2(beta=0.1),
+                "Sn1": FixedConfidence(0.9),
+            })
+
+    def test_multi_supporter_node_needs_model(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "one"))
+        graph.add_node(Solution("Sn2", "two"))
+        graph.add_support("G1", "Sn1").add_support("G1", "Sn2")
+        with pytest.raises(StructureError, match="missing a quantification"):
+            QuantifiedCase(graph, {
+                "Sn1": FixedConfidence(0.9),
+                "Sn2": FixedConfidence(0.9),
+            })
+
+    def test_out_of_range_default_rejected(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Sn1", "evidence"))
+        graph.add_support("G1", "Sn1")
+        with pytest.raises(StructureError, match="Sn1"):
+            QuantifiedCase(graph, {"Sn1": FixedConfidence(1.7)})
+
+    def test_all_errors_reported_sorted(self):
+        graph = ArgumentGraph()
+        graph.add_node(Goal("G1", "claim"))
+        graph.add_node(Solution("Snb", "evidence b"))
+        graph.add_node(Solution("Sna", "evidence a"))
+        graph.add_support("G1", "Snb").add_support("G1", "Sna")
+        case_errors = QuantifiedCase.__new__(QuantifiedCase)
+        case_errors.graph = graph
+        case_errors.quantifications = {"G1": IndependentProduct()}
+        errors = case_errors.validation_errors()
+        joined = "; ".join(errors)
+        assert "Sna, Snb" in joined  # sorted, both listed
+
+
+class TestEvaluation:
+    def test_passthrough_default_on_single_supporter(self):
+        case = two_leg_case()
+        values = case.evaluate()
+        assert values["G1"] == pytest.approx(values["S1"])
+
+    def test_assumption_discounts_node(self):
+        case = two_leg_case()
+        values = case.evaluate()
+        # G2 = passthrough(Sn1) * P(A1)
+        assert values["G2"] == pytest.approx(values["Sn1"] * 0.95, abs=1e-15)
+
+    def test_override_changes_result(self):
+        case = two_leg_case()
+        base = case.top_confidence()
+        doubted = case.top_confidence({"A1.p_true": 0.5})
+        assert doubted < base
+
+    def test_unknown_override_rejected_sorted(self):
+        case = two_leg_case()
+        with pytest.raises(DomainError, match="A9.p_true, Z1.x"):
+            case.evaluate({"Z1.x": 0.5, "A9.p_true": 0.5})
+
+    def test_out_of_range_override_rejected(self):
+        case = two_leg_case()
+        with pytest.raises(DomainError):
+            case.evaluate({"Sn3.confidence": 1.4})
+
+    def test_top_confidence_in_unit_interval(self):
+        top = two_leg_case().top_confidence()
+        assert 0.0 <= top <= 1.0
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        case = two_leg_case()
+        clone = QuantifiedCase.from_dict(case.to_dict())
+        assert clone.parameter_defaults() == case.parameter_defaults()
+        assert clone.top_confidence() == pytest.approx(
+            case.top_confidence(), abs=0
+        )
+        assert clone.content_hash() == case.content_hash()
+
+    def test_yaml_round_trip(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        case = two_leg_case()
+        path = tmp_path / "case.yaml"
+        path.write_text(yaml.safe_dump(case.to_dict()))
+        loaded = QuantifiedCase.from_file(path)
+        assert loaded.content_hash() == case.content_hash()
+        assert loaded.evaluate() == case.evaluate()
+
+    def test_unknown_top_level_entry_rejected(self):
+        case = two_leg_case()
+        data = {**case.to_dict(), "garnish": 1}
+        with pytest.raises(DomainError, match="garnish"):
+            QuantifiedCase.from_dict(data)
+
+    def test_unknown_node_kind_rejected(self):
+        with pytest.raises(DomainError, match="wish"):
+            QuantifiedCase.from_dict({
+                "nodes": [{"id": "G1", "kind": "wish", "text": "x"}],
+            })
+
+    def test_malformed_edge_pair_rejected(self):
+        case = two_leg_case()
+        data = case.to_dict()
+        data["support"] = data["support"] + [["G1", "S1", "EXTRA"]]
+        with pytest.raises(DomainError, match="pairs"):
+            QuantifiedCase.from_dict(data)
+
+    def test_non_numeric_model_parameter_rejected(self):
+        with pytest.raises(DomainError, match="must be a number"):
+            model_from_dict({"model": "fixed", "confidence": "high"})
+
+    def test_non_numeric_node_attribute_rejected(self):
+        with pytest.raises(DomainError, match="claim_bound"):
+            QuantifiedCase.from_dict({
+                "nodes": [{"id": "G1", "kind": "goal", "text": "t",
+                           "claim_bound": "tight"}],
+            })
+
+    def test_from_dict_without_validation_lists_errors(self):
+        case = QuantifiedCase.from_dict({
+            "nodes": [
+                {"id": "G1", "kind": "goal", "text": "top"},
+                {"id": "Sn1", "kind": "solution", "text": "e"},
+            ],
+            "support": [["G1", "Sn1"]],
+        }, validate=False)
+        assert any("Sn1" in error for error in case.validation_errors())
+
+    def test_out_of_range_assumption_override_rejected(self):
+        case = two_leg_case()
+        with pytest.raises(DomainError, match="A1.p_true"):
+            case.evaluate({"A1.p_true": 1.5})
+        with pytest.raises(DomainError, match="A1.p_true"):
+            case.evaluate({"A1.p_true": -0.2})

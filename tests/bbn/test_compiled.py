@@ -263,3 +263,163 @@ class TestCompileCache:
         stats = compile_cache_stats()
         assert stats["misses"] == 1
         assert stats["hits"] >= 11
+
+
+def _clone_with_values(net: BayesianNetwork, values_by_name) -> BayesianNetwork:
+    """A structure-identical network with replaced CPT value arrays."""
+    clone = BayesianNetwork()
+    for name in net.topological_order():
+        cpt = net.cpt(name)
+        values = values_by_name[name]
+        table = {}
+        for combo in itertools.product(*(p.states for p in cpt.parents)):
+            idx = tuple(
+                p.index_of(state) for p, state in zip(cpt.parents, combo)
+            )
+            table[combo] = values[idx].tolist()
+        clone.add(CPT(cpt.child, cpt.parents, table))
+    return clone
+
+
+def _random_planes(rng, net: BayesianNetwork, n_scenarios: int):
+    """Per-scenario CPT planes (normalised along the child axis)."""
+    planes = {}
+    for name in net.topological_order():
+        shape = net.cpt(name).values.shape
+        raw = rng.uniform(0.05, 1.0, size=(n_scenarios,) + shape)
+        planes[name] = raw / raw.sum(axis=-1, keepdims=True)
+    return planes
+
+
+class TestBatchedCptPlanes:
+    """query_batch / probability_of_evidence_batch / LW batch: scenario
+    ``s`` must reproduce the single-network query on a network carrying
+    scenario ``s``'s CPT values (bit-for-bit for the sampler under a
+    shared seed)."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_query_batch_matches_per_scenario_queries(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 7)))
+        compiled = compile_network(net)
+        target, evidence = random_query(rng, net)
+        n_scenarios = 5
+        planes = _random_planes(rng, net, n_scenarios)
+        batch = compiled.query_batch(target, evidence, planes)
+        states = net.variable(target).states
+        for s in range(n_scenarios):
+            scenario_net = _clone_with_values(
+                net, {name: plane[s] for name, plane in planes.items()}
+            )
+            oracle = enumerate_query(scenario_net, target, evidence)
+            for k, state in enumerate(states):
+                assert abs(batch[s, k] - oracle[state]) <= 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_probability_of_evidence_batch(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 6)))
+        compiled = compile_network(net)
+        _target, evidence = random_query(rng, net)
+        if not evidence:
+            evidence = {net.variable_names[0]:
+                        net.variable(net.variable_names[0]).states[0]}
+        n_scenarios = 4
+        planes = _random_planes(rng, net, n_scenarios)
+        batch = compiled.probability_of_evidence_batch(evidence, planes)
+        for s in range(n_scenarios):
+            scenario_net = _clone_with_values(
+                net, {name: plane[s] for name, plane in planes.items()}
+            )
+            scalar = compile_network(scenario_net).probability_of_evidence(
+                evidence
+            )
+            assert abs(batch[s] - scalar) <= 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_likelihood_weighting_batch_bit_for_bit(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 6)))
+        compiled = compile_network(net)
+        target, evidence = random_query(rng, net)
+        n_scenarios = 3
+        planes = _random_planes(rng, net, n_scenarios)
+        batch = compiled.likelihood_weighting_batch(
+            target, evidence, n_samples=256,
+            rngs=[seed + s for s in range(n_scenarios)],
+            cpt_planes=planes,
+        )
+        states = net.variable(target).states
+        for s in range(n_scenarios):
+            scenario_net = _clone_with_values(
+                net, {name: plane[s] for name, plane in planes.items()}
+            )
+            scalar = compile_network(scenario_net).likelihood_weighting(
+                target, evidence, n_samples=256, rng=seed + s
+            )
+            for k, state in enumerate(states):
+                assert batch[s, k] == scalar[state]
+
+    def test_partial_planes_reuse_compiled_tables(self):
+        rng = np.random.default_rng(9)
+        net = random_network(rng, 5)
+        compiled = compile_network(net)
+        target, evidence = random_query(rng, net)
+        name = net.topological_order()[0]
+        planes = {
+            name: np.stack([net.cpt(name).values] * 3)
+        }
+        batch = compiled.query_batch(target, evidence, planes)
+        scalar = compiled.query(target, evidence)
+        states = net.variable(target).states
+        for s in range(3):
+            for k, state in enumerate(states):
+                assert abs(batch[s, k] - scalar[state]) <= 1e-12
+
+    def test_clamped_target_returns_one_hot_rows(self):
+        rng = np.random.default_rng(3)
+        net = random_network(rng, 4)
+        compiled = compile_network(net)
+        name = net.variable_names[0]
+        state = net.variable(name).states[0]
+        planes = _random_planes(rng, net, 2)
+        batch = compiled.query_batch(name, {name: state}, planes)
+        assert batch.shape == (2, net.variable(name).cardinality)
+        assert np.allclose(batch[:, 0], 1.0)
+
+    def test_empty_planes_rejected(self):
+        rng = np.random.default_rng(4)
+        compiled = compile_network(random_network(rng, 3))
+        with pytest.raises(DomainError):
+            compiled.query_batch("X0", None, {})
+
+    def test_wrong_plane_shape_rejected(self):
+        rng = np.random.default_rng(4)
+        net = random_network(rng, 3)
+        compiled = compile_network(net)
+        bad = np.ones((2, 99))
+        with pytest.raises(StructureError):
+            compiled.query_batch("X0", None, {"X1": bad})
+
+    def test_mismatched_scenario_counts_rejected(self):
+        rng = np.random.default_rng(4)
+        net = random_network(rng, 3)
+        compiled = compile_network(net)
+        planes = _random_planes(rng, net, 3)
+        first = net.topological_order()[0]
+        planes[first] = planes[first][:2]
+        with pytest.raises(StructureError):
+            compiled.query_batch("X0", None, planes)
+
+    def test_rng_count_must_match_scenarios(self):
+        rng = np.random.default_rng(4)
+        net = random_network(rng, 3)
+        compiled = compile_network(net)
+        planes = _random_planes(rng, net, 3)
+        with pytest.raises(DomainError):
+            compiled.likelihood_weighting_batch(
+                "X0", None, n_samples=16, rngs=[1, 2], cpt_planes=planes
+            )

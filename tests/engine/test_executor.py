@@ -22,12 +22,36 @@ SURVIVAL_SWEEP = SweepSpec(
     grid={"sigma": [0.7, 0.9, 1.1], "demands": [0, 10, 100, 1000]},
 )
 
-# A pipeline that (deliberately) has no registered batch kernel.
 TWO_LEG_BASE = {
     "prior": 0.6,
     "leg1_validity": 0.9, "leg1_sensitivity": 0.95, "leg1_specificity": 0.9,
     "leg2_validity": 0.88, "leg2_sensitivity": 0.9, "leg2_specificity": 0.85,
 }
+
+
+class _UnbatchedPipeline(Pipeline):
+    """A pipeline that (deliberately) has no registered batch kernel —
+    every shipped pipeline has one, so the serial fallback paths need a
+    synthetic stand-in."""
+
+    name = "executor_test_unbatched"
+    defaults = {"x": 1.0}
+
+    def run(self, params, seed=None):
+        merged = self.resolve(params)
+        return {"doubled": 2.0 * merged["x"]}
+
+
+register(_UnbatchedPipeline())
+
+UNBATCHED_SWEEP = SweepSpec(
+    pipeline="executor_test_unbatched", grid={"x": [0.0, 1.0]}
+)
+
+CASE_FILE_FOR_CACHE = str(
+    __import__("pathlib").Path(__file__).resolve().parents[2]
+    / "examples" / "case_confidence.yaml"
+)
 
 
 def _values_list(result_set):
@@ -66,16 +90,23 @@ class TestBackendsAgree:
     def test_auto_prefers_vectorized_kernel(self):
         result = run_sweep(SURVIVAL_SWEEP)
         assert result.meta["backend"] == "auto->vectorized"
-        result = run_sweep(
-            SweepSpec(pipeline="two_leg_posterior",
-                      base=TWO_LEG_BASE, grid={"dependence": [0.0]})
-        )
+        result = run_sweep(UNBATCHED_SWEEP)
         assert result.meta["backend"] == "auto->serial"
 
+    def test_all_shipped_pipelines_support_batch(self):
+        # The registry invariant since the compiled-case PR: every
+        # shipped pipeline dispatches to a vectorised kernel.
+        shipped = [
+            name for name in available_pipelines()
+            if not name.startswith(("executor_test_", "test_"))
+        ]
+        assert shipped and all(
+            get_pipeline(name).supports_batch for name in shipped
+        )
+
     def test_vectorized_rejected_without_batch_kernel(self):
-        sweep = SweepSpec(pipeline="two_leg_posterior", base=TWO_LEG_BASE)
         with pytest.raises(DomainError):
-            run_sweep(sweep, backend="vectorized")
+            run_sweep(UNBATCHED_SWEEP, backend="vectorized")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(DomainError):
@@ -300,3 +331,41 @@ class TestResultSet:
         assert "12 scenarios" in summary
         assert "cache" in summary
         assert "survival_update" in summary
+
+
+class TestCaseFileCacheInvalidation:
+    def test_edited_case_file_invalidates_cached_results(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        from repro.arguments import load_case
+
+        source = load_case(CASE_FILE_FOR_CACHE).to_dict()
+        path = tmp_path / "case.yaml"
+        path.write_text(yaml.safe_dump(source))
+        sweep = SweepSpec(
+            pipeline="case_confidence",
+            base={"case_file": str(path)},
+            grid={"S1.dependence": [0.0, 0.5]},
+        )
+        cache = ResultCache()
+        first = run_sweep(sweep, cache=cache)
+        assert first.meta["cache_misses"] == 2
+        # Same file, same cache: pure hits.
+        again = run_sweep(sweep, cache=cache)
+        assert again.meta["cache_hits"] == 2
+
+        # Edit the case on disk: the path-named spec is unchanged, but
+        # cached results must NOT be replayed.
+        edited = dict(source)
+        edited["quantify"] = {
+            **edited["quantify"],
+            "Sn3": {"model": "fixed", "confidence": 0.5},
+        }
+        path.write_text(yaml.safe_dump(edited))
+        import os
+        os.utime(path, (os.path.getmtime(path) + 2,) * 2)
+        fresh = run_sweep(sweep, cache=cache)
+        assert fresh.meta["cache_misses"] == 2
+        assert (
+            fresh[0].values["top_confidence"]
+            != first[0].values["top_confidence"]
+        )

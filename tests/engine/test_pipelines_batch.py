@@ -6,6 +6,8 @@ must round-trip through a YAML sweep spec, and the dispatch layer must
 fall back to the scalar loop when no kernel is registered.
 """
 
+import pathlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -23,6 +25,11 @@ from repro.engine import (
 from repro.errors import DomainError
 
 TOL = 1e-12
+
+CASE_FILE = str(
+    pathlib.Path(__file__).resolve().parents[2]
+    / "examples" / "case_confidence.yaml"
+)
 
 TWO_LEG = {
     "prior": 0.6,
@@ -46,7 +53,16 @@ REPRESENTATIVE = {
     "iec61508_sil": {"mode": 0.003, "sigma": 0.9},
     "do178b_map": {"dal": "B"},
     "conservatism_audit": {"mode": 0.003, "sigma": 0.9},
+    "case_confidence": {"case_file": CASE_FILE, "A1.p_true": 0.9},
 }
+
+
+def _shipped_pipelines():
+    """Registered pipelines minus the synthetic ones tests register."""
+    return [
+        name for name in available_pipelines()
+        if not name.startswith(("executor_test_", "test_"))
+    ]
 
 
 def assert_batch_matches_scalar(name, params_list, seeds=None):
@@ -167,6 +183,59 @@ class TestBatchMatchesScalarRandomised:
              "belief_bound": bound, "beta": beta},
         ])
 
+    @given(prior=st.floats(min_value=0.05, max_value=0.95),
+           dependence=st.floats(min_value=0.0, max_value=1.0),
+           validity=st.floats(min_value=0.3, max_value=1.0),
+           sensitivity=st.floats(min_value=0.55, max_value=0.99),
+           specificity=st.floats(min_value=0.55, max_value=0.99),
+           noise=st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_two_leg_posterior(self, prior, dependence, validity,
+                               sensitivity, specificity, noise):
+        assert_batch_matches_scalar("two_leg_posterior", [
+            {**TWO_LEG, "prior": prior, "dependence": dependence,
+             "leg1_validity": validity, "leg1_noise": noise},
+            {**TWO_LEG, "dependence": dependence,
+             "leg2_sensitivity": sensitivity,
+             "leg2_specificity": specificity},
+        ])
+
+    @given(seed=seeds_st,
+           prior=st.floats(min_value=0.05, max_value=0.95),
+           dependence=st.floats(min_value=0.0, max_value=1.0),
+           n_samples=st.integers(min_value=50, max_value=400))
+    @settings(max_examples=15, deadline=None)
+    def test_bbn_query(self, seed, prior, dependence, n_samples):
+        # The sampler rows must be bit-for-bit, so 1e-12 is generous.
+        assert_batch_matches_scalar("bbn_query", [
+            {**TWO_LEG, "prior": prior, "dependence": dependence,
+             "n_samples": n_samples},
+            {**TWO_LEG, "n_samples": n_samples},
+            {**TWO_LEG, "n_samples": 2 * n_samples},
+        ], seeds=[seed, seed + 1, seed + 2])
+
+    @given(seed=seeds_st,
+           n_experts=st.integers(min_value=2, max_value=10),
+           pool=st.sampled_from(["linear", "log"]))
+    @settings(max_examples=10, deadline=None)
+    def test_panel_run(self, seed, n_experts, pool):
+        assert_batch_matches_scalar("panel_run", [
+            {"n_experts": n_experts, "n_doubters": n_experts // 3,
+             "pool": pool},
+            {"n_experts": n_experts, "n_doubters": 0, "pool": pool},
+        ], seeds=[seed, seed + 1])
+
+    @given(p_true=st.floats(min_value=0.1, max_value=1.0),
+           dependence=st.floats(min_value=0.0, max_value=1.0),
+           mode=modes_st, sigma=sigmas_st)
+    @settings(max_examples=15, deadline=None)
+    def test_case_confidence(self, p_true, dependence, mode, sigma):
+        assert_batch_matches_scalar("case_confidence", [
+            {"case_file": CASE_FILE, "A1.p_true": p_true,
+             "S1.dependence": dependence},
+            {"case_file": CASE_FILE, "Sn1.mode": mode, "Sn1.sigma": sigma},
+        ])
+
 
 class TestBatchedSweepsThroughExecutor:
     def test_vectorized_matches_serial_for_every_batched_pipeline(self):
@@ -209,6 +278,23 @@ class TestBatchedSweepsThroughExecutor:
                 pipeline="conservatism_audit",
                 base={"mode": 0.003, "sigma": 0.9},
                 grid={"beta": [0.0, 0.05, 0.5]},
+            ),
+            "two_leg_posterior": SweepSpec(
+                pipeline="two_leg_posterior", base=TWO_LEG,
+                grid={"dependence": [0.0, 0.5, 1.0]},
+            ),
+            "bbn_query": SweepSpec(
+                pipeline="bbn_query", base={**TWO_LEG, "n_samples": 200},
+                grid={"dependence": [0.0, 0.6]}, seed=2007,
+            ),
+            "panel_run": SweepSpec(
+                pipeline="panel_run", base={"n_experts": 5},
+                grid={"n_doubters": [0, 2]}, seed=2007,
+            ),
+            "case_confidence": SweepSpec(
+                pipeline="case_confidence", base={"case_file": CASE_FILE},
+                grid={"A1.p_true": [0.7, 1.0],
+                      "S1.dependence": [0.0, 0.5]},
             ),
         }
         for name, sweep in sweeps.items():
@@ -303,7 +389,7 @@ class TestDispatchLayer:
 
 
 class TestEveryPipelineRoundTripsThroughYaml:
-    @pytest.mark.parametrize("name", available_pipelines())
+    @pytest.mark.parametrize("name", _shipped_pipelines())
     def test_yaml_round_trip(self, name, tmp_path):
         yaml = pytest.importorskip("yaml")
         assert name in REPRESENTATIVE, (

@@ -43,9 +43,21 @@ def test_spec_examples_exist():
     "spec_path", EXAMPLE_SPECS, ids=[s.stem for s in EXAMPLE_SPECS]
 )
 def test_spec_example_loads_and_resolves(spec_path):
-    pytest.importorskip("yaml")
+    yaml = pytest.importorskip("yaml")
     from repro.engine import get_pipeline, load_sweeps
 
+    data = yaml.safe_load(spec_path.read_text())
+    if "nodes" in data:
+        # A quantified-case file: it must load/validate, and it must be
+        # runnable through the case_confidence pipeline.
+        from repro.arguments import QuantifiedCase
+
+        case = QuantifiedCase.from_file(spec_path)
+        assert case.parameter_defaults()
+        get_pipeline("case_confidence").resolve(
+            {"case_file": str(spec_path)}
+        )
+        return
     sweeps = load_sweeps(spec_path)
     assert sweeps
     for sweep in sweeps:

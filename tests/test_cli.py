@@ -189,3 +189,99 @@ class TestMultiSweepCommand:
         assert "sweep" in lines[0].split(",") and "pipeline" in lines[0].split(",")
         assert sum("survival_update" in line for line in lines[1:]) == 3
         assert sum(",views," in line for line in lines[1:]) == 2
+
+
+CASE_FILE = str(
+    __import__("pathlib").Path(__file__).resolve().parents[1]
+    / "examples" / "case_confidence.yaml"
+)
+
+
+class TestCaseCommand:
+    def test_case_renders_and_reports_confidences(self, capsys):
+        assert main(["case", "--case", CASE_FILE]) == 0
+        out = capsys.readouterr().out
+        assert "[G] G1" in out  # rendering
+        assert "top-goal confidence P(G1)" in out
+        assert "doubt" in out
+
+    def test_case_set_override_changes_top_confidence(self, capsys):
+        assert main(["case", "--case", CASE_FILE, "--no-render"]) == 0
+        base = capsys.readouterr().out
+        assert main(["case", "--case", CASE_FILE, "--no-render",
+                     "--set", "A1.p_true=0.5"]) == 0
+        doubted = capsys.readouterr().out
+        assert base != doubted
+        assert "[G]" not in doubted  # --no-render
+
+    def test_case_bad_set_syntax_reported(self, capsys):
+        assert main(["case", "--case", CASE_FILE, "--set", "A1"]) == 2
+        assert "NODE.PARAM=VALUE" in capsys.readouterr().err
+
+    def test_case_unknown_parameter_reported(self, capsys):
+        assert main(["case", "--case", CASE_FILE,
+                     "--set", "Z9.q=0.5"]) == 2
+        assert "Z9.q" in capsys.readouterr().err
+
+    def test_case_missing_file_reported(self, capsys):
+        assert main(["case", "--case", "/nonexistent/case.yaml"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def _write(self, tmp_path, data, name="spec.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_valid_sweep_spec_passes(self, capsys, tmp_path):
+        assert main(["validate",
+                     "--spec", self._write(tmp_path, SWEEP_SPEC)]) == 0
+        out = capsys.readouterr().out
+        assert "spec ok" in out and "3 scenario(s)" in out
+
+    def test_valid_case_spec_passes(self, capsys):
+        assert main(["validate", "--spec", CASE_FILE]) == 0
+        out = capsys.readouterr().out
+        assert "case spec ok" in out and "sweepable parameters" in out
+
+    def test_invalid_sweep_lists_all_errors_and_fails(
+        self, capsys, tmp_path
+    ):
+        spec = {"sweeps": [
+            {"pipeline": "survival_update", "base": {"mode": 0.003}},
+            {"pipeline": "no_such_pipeline"},
+            {"pipeline": "alarp_decision",
+             "base": {"mode": 0.003, "sigma": 0.9, "bogus": 1}},
+        ]}
+        assert main(["validate",
+                     "--spec", self._write(tmp_path, spec)]) == 2
+        err = capsys.readouterr().err
+        assert "3 error(s)" in err
+        assert "missing required parameters: sigma" in err
+        assert "no_such_pipeline" in err
+        assert "bogus" in err
+
+    def test_invalid_case_lists_all_errors_and_fails(
+        self, capsys, tmp_path
+    ):
+        case = {
+            "nodes": [
+                {"id": "G1", "kind": "goal", "text": "top"},
+                {"id": "G9", "kind": "goal", "text": "floating"},
+                {"id": "Sn1", "kind": "solution", "text": "evidence"},
+            ],
+            "support": [["G1", "Sn1"], ["G1", "G9"]],
+            "quantify": {"ZZ": {"model": "fixed", "confidence": 0.9}},
+        }
+        assert main(["validate",
+                     "--spec", self._write(tmp_path, case)]) == 2
+        err = capsys.readouterr().err
+        assert "failed validation" in err
+        assert "G9" in err            # ungrounded goal
+        assert "ZZ" in err            # unknown quantified node
+        assert "Sn1" in err           # missing leaf model
+
+    def test_unreadable_spec_reported(self, capsys):
+        assert main(["validate", "--spec", "/nonexistent/spec.yaml"]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -22,8 +22,10 @@ dependability claim as a first-class, quantified object:
   simulation (:mod:`repro.elicitation`, :mod:`repro.experiment`);
 * risk models and ALARP/ACARP decision support (:mod:`repro.risk`);
 * standards tables (:mod:`repro.standards`);
-* a batched scenario-sweep engine with vectorised kernels and a result
-  cache (:mod:`repro.engine`).
+* a batched scenario-sweep engine with vectorised kernels, a streaming
+  executor and a result cache (:mod:`repro.engine`), all compiled
+  artefacts memoised through one unified cache
+  (:mod:`repro.compilecache`).
 
 Quickstart::
 
@@ -33,6 +35,7 @@ Quickstart::
     print(assess(judgement).summary())
 """
 
+from . import compilecache
 from .arguments import CompiledCase, QuantifiedCase, compile_case, load_case
 from .core import (
     AcarpTarget,

@@ -13,18 +13,18 @@ CPT parameter planes.  Row ``s`` of the sweep reproduces
 
 Compilation is memoised by case content (:func:`compile_case`), and case
 files load through a small mtime-keyed cache (:func:`load_case`) so a
-sweep that names the same YAML file per scenario parses it once.
+sweep that names the same YAML file per scenario parses it once.  Both
+are regions of the unified :mod:`repro.compilecache`.
 """
 
 from __future__ import annotations
 
 import os
-import threading
-from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..compilecache import region as cache_region
 from ..errors import DomainError
 from .nodes import Assumption
 from .quantified import NodeModel, QuantifiedCase
@@ -196,45 +196,32 @@ class CompiledCase:
 
 
 # ---------------------------------------------------------------------- #
-# Caches: compiled cases by content, parsed case files by path state
+# Caches: regions of the unified repro.compilecache
 # ---------------------------------------------------------------------- #
 
-_COMPILE_MAXSIZE = 128
-_FILE_MAXSIZE = 64
-_compile_cache: "OrderedDict[str, CompiledCase]" = OrderedDict()
-_file_cache: "OrderedDict[str, Tuple[Tuple[int, int, int], QuantifiedCase]]" = (
-    OrderedDict()
-)
-_cache_lock = threading.Lock()
+_compile_cache = cache_region("arguments.case", maxsize=128)
+_file_cache = cache_region("arguments.case_file", maxsize=64)
 
 
 def compile_case(case: QuantifiedCase) -> CompiledCase:
     """Lower ``case`` to a :class:`CompiledCase`, memoised by content.
 
-    The key is :meth:`QuantifiedCase.content_hash`, so sweeps that
-    rebuild an identical case per scenario share one lowering (the
+    The key is :meth:`QuantifiedCase.content_hash` in the
+    ``"arguments.case"`` region of :mod:`repro.compilecache`, so sweeps
+    that rebuild an identical case per scenario share one lowering (the
     ``case_confidence`` pipeline relies on this).
     """
-    key = case.content_hash()
-    with _cache_lock:
-        compiled = _compile_cache.get(key)
-        if compiled is not None:
-            _compile_cache.move_to_end(key)
-            return compiled
-    compiled = CompiledCase(case)
-    with _cache_lock:
-        _compile_cache[key] = compiled
-        _compile_cache.move_to_end(key)
-        while len(_compile_cache) > _COMPILE_MAXSIZE:
-            _compile_cache.popitem(last=False)
-    return compiled
+    return _compile_cache.get_or_create(
+        case.content_hash(), lambda: CompiledCase(case)
+    )
 
 
 def load_case(path) -> QuantifiedCase:
-    """Load a case file, cached by resolved path + (mtime, size).
+    """Load a case file, cached by resolved path + (mtime, size, inode).
 
-    Sweep resolution touches the case file once per scenario; this cache
-    makes that a dictionary lookup while still noticing edits on disk.
+    Sweep resolution touches the case file once per scenario; the
+    ``"arguments.case_file"`` cache region makes that a dictionary
+    lookup while still noticing edits on disk.
     """
     resolved = os.path.abspath(str(path))
     try:
@@ -246,22 +233,15 @@ def load_case(path) -> QuantifiedCase:
     # Nanosecond mtime plus inode: a same-size rewrite inside one
     # coarse mtime tick must still invalidate the entry.
     state = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
-    with _cache_lock:
-        hit = _file_cache.get(resolved)
-        if hit is not None and hit[0] == state:
-            _file_cache.move_to_end(resolved)
-            return hit[1]
+    hit = _file_cache.get(resolved)
+    if hit is not None and hit[0] == state:
+        return hit[1]
     case = QuantifiedCase.from_file(resolved)
-    with _cache_lock:
-        _file_cache[resolved] = (state, case)
-        _file_cache.move_to_end(resolved)
-        while len(_file_cache) > _FILE_MAXSIZE:
-            _file_cache.popitem(last=False)
+    _file_cache.put(resolved, (state, case))
     return case
 
 
 def clear_case_caches() -> None:
     """Drop the compile and file caches (tests and long-lived servers)."""
-    with _cache_lock:
-        _compile_cache.clear()
-        _file_cache.clear()
+    _compile_cache.clear()
+    _file_cache.clear()

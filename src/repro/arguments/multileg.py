@@ -27,6 +27,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..bbn import BayesianNetwork, CPT, Variable, VariableElimination, compile_network
+from ..compilecache import region as cache_region
 from ..errors import DomainError
 from ..numerics import linear_grid
 from .legs import ArgumentLeg
@@ -167,7 +168,12 @@ def two_leg_posterior(
     )
 
 
-_template_compiled = None
+def _build_two_leg_template():
+    placeholder1 = ArgumentLeg("leg1", 0.5, 0.5, 0.5, 0.5)
+    placeholder2 = ArgumentLeg("leg2", 0.5, 0.5, 0.5, 0.5)
+    return compile_network(
+        build_two_leg_network(0.5, placeholder1, placeholder2, 0.0)
+    )
 
 
 def _two_leg_template():
@@ -177,15 +183,13 @@ def _two_leg_template():
     fixed parent sets — so the lowered form (state codes, topo order,
     strides, elimination orders) is computed once and reused by every
     batched sweep; per-scenario CPT values arrive as parameter planes.
+    Memoised under a fixed key in the ``"bbn.network"`` region of the
+    unified cache, so repeated calls are one dict lookup — the network
+    is neither rebuilt nor re-hashed on the batch-kernel hot path.
     """
-    global _template_compiled
-    if _template_compiled is None:
-        placeholder1 = ArgumentLeg("leg1", 0.5, 0.5, 0.5, 0.5)
-        placeholder2 = ArgumentLeg("leg2", 0.5, 0.5, 0.5, 0.5)
-        _template_compiled = compile_network(
-            build_two_leg_network(0.5, placeholder1, placeholder2, 0.0)
-        )
-    return _template_compiled
+    return cache_region("bbn.network").get_or_create(
+        "template:two_leg", _build_two_leg_template
+    )
 
 
 def _check_unit_interval(label: str, values: np.ndarray) -> None:

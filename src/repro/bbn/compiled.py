@@ -27,7 +27,8 @@ answers queries without touching the name-keyed object layer again:
   corresponding single-network query exactly.
 
 Compilation is cheap but not free, so :func:`compile_network` memoises
-compiled networks in a module-level LRU cache keyed by
+compiled networks in the ``"bbn.network"`` region of the unified
+:mod:`repro.compilecache`, keyed by
 :meth:`BayesianNetwork.content_hash`: a sweep that rebuilds an
 identical-content network per scenario compiles it once.
 
@@ -39,11 +40,11 @@ argument networks this library builds stay far below that.
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..compilecache import region as cache_region
 from ..errors import DomainError, StructureError
 from ..numerics import ensure_rng
 from .network import BayesianNetwork
@@ -678,14 +679,10 @@ def _min_degree_order(
 
 
 # ---------------------------------------------------------------------- #
-# Compile cache
+# Compile cache — a region of the unified repro.compilecache
 # ---------------------------------------------------------------------- #
 
-_CACHE_MAXSIZE = 512
-_cache: "OrderedDict[str, CompiledNetwork]" = OrderedDict()
-_cache_lock = threading.Lock()
-_cache_hits = 0
-_cache_misses = 0
+_cache = cache_region("bbn.network", maxsize=512)
 
 
 def compile_network(network: BayesianNetwork) -> CompiledNetwork:
@@ -694,40 +691,22 @@ def compile_network(network: BayesianNetwork) -> CompiledNetwork:
     The cache key is :meth:`BayesianNetwork.content_hash`, so sweeps that
     rebuild an identical network per scenario (the engine's ``bbn_query``
     pipeline, ``two_leg_posterior`` over repeated parameters) share one
-    compilation.  The cache is LRU-bounded and thread-safe.
+    compilation.  The backing store is the ``"bbn.network"`` region of
+    :mod:`repro.compilecache` — LRU-bounded, thread-safe, and visible to
+    ``repro-case cache stats``.
     """
-    global _cache_hits, _cache_misses
-    key = network.content_hash()
-    with _cache_lock:
-        compiled = _cache.get(key)
-        if compiled is not None:
-            _cache.move_to_end(key)
-            _cache_hits += 1
-            return compiled
-        _cache_misses += 1
-    compiled = CompiledNetwork(network)
-    with _cache_lock:
-        _cache[key] = compiled
-        _cache.move_to_end(key)
-        while len(_cache) > _CACHE_MAXSIZE:
-            _cache.popitem(last=False)
-    return compiled
+    return _cache.get_or_create(
+        network.content_hash(), lambda: CompiledNetwork(network)
+    )
 
 
 def compile_cache_stats() -> Dict[str, int]:
-    """Entries/hits/misses of the module-level compile cache."""
-    with _cache_lock:
-        return {
-            "entries": len(_cache),
-            "hits": _cache_hits,
-            "misses": _cache_misses,
-        }
+    """Entries/hits/misses of the shared network-compile cache region."""
+    stats = _cache.stats()
+    return {"entries": stats["entries"], "hits": stats["hits"],
+            "misses": stats["misses"]}
 
 
 def clear_compile_cache() -> None:
     """Drop all memoised compilations and reset the hit/miss counters."""
-    global _cache_hits, _cache_misses
-    with _cache_lock:
-        _cache.clear()
-        _cache_hits = 0
-        _cache_misses = 0
+    _cache.clear()

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-case``.
 
-Eight subcommands cover the library's day-one uses:
+Nine subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
@@ -10,7 +10,11 @@ Eight subcommands cover the library's day-one uses:
 * ``growth`` — the Bishop-Bloomfield conservative growth bound;
 * ``sweep`` — run batched scenario sweeps (:mod:`repro.engine`) from a
   YAML/JSON spec file (single- or multi-sweep) and tabulate or export
-  the results;
+  the results; ``--stream --out rows.jsonl`` switches to the streaming
+  executor (constant memory, JSONL/CSV sinks, ``--progress`` chunk
+  counters on stderr, ``--cache`` for a disk-persistent result cache);
+* ``cache`` — ``stats`` and ``clear`` for the disk result cache and the
+  in-process compile-cache regions (:mod:`repro.compilecache`);
 * ``case`` — evaluate a quantified dependability case (YAML/JSON GSN
   nodes + confidence models): render the argument and report every
   node's confidence, with ``--set node.param=value`` overrides;
@@ -27,6 +31,9 @@ Examples::
     repro-case tests --mode 0.003 --sigma 0.9 --bound 1e-2 --target 0.95
     repro-case growth --faults 10 --exposure 1000
     repro-case sweep --spec examples/full_library_sweep.yaml --csv out.csv
+    repro-case sweep --spec examples/sweep_spec.yaml --stream \
+        --out rows.jsonl --progress --cache results_cache.jsonl
+    repro-case cache stats --path results_cache.jsonl
     repro-case case --case examples/case_confidence.yaml --set A1.p_true=0.8
     repro-case validate --spec examples/full_library_sweep.yaml
     repro-case pipelines --verbose
@@ -42,11 +49,15 @@ from .core import AcarpTarget, ConfidenceProfile, design_for_claim
 from .distributions import LogNormalJudgement
 from .engine import (
     BACKENDS,
+    CsvSink,
+    JsonlSink,
+    ResultCache,
     ResultSet,
     available_pipelines,
     get_pipeline,
     load_sweeps,
     run_sweep,
+    run_sweep_streaming,
 )
 from .errors import ReproError
 from .risk import plan_assurance
@@ -123,6 +134,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also export the results as CSV")
     p_sweep.add_argument("--limit", type=int, default=None,
                          help="print at most this many rows")
+    p_sweep.add_argument("--stream", action="store_true",
+                         help="execute chunk-by-chunk in constant memory, "
+                         "writing rows to --out instead of collecting "
+                         "them (the million-scenario path)")
+    p_sweep.add_argument("--out", default=None, metavar="PATH",
+                         help="output file for --stream (JSONL or CSV)")
+    p_sweep.add_argument("--format", default=None,
+                         choices=["jsonl", "csv"], dest="out_format",
+                         help="streamed output format (default: from the "
+                         "--out extension, else jsonl)")
+    p_sweep.add_argument("--chunk-size", type=int, default=None,
+                         dest="chunk_size", metavar="N",
+                         help="scenarios per streamed chunk")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="report per-chunk progress on stderr")
+    p_sweep.add_argument("--cache", default=None, metavar="PATH",
+                         dest="cache_path",
+                         help="disk-persistent result cache (JSONL log; "
+                         "created if missing, reused across runs)")
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the unified caches",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats",
+        help="entry/hit/miss counts for a disk result cache and the "
+        "in-process compile-cache regions",
+    )
+    p_cache_stats.add_argument("--path", default=None, metavar="PATH",
+                               help="disk result-cache log to inspect")
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="clear a disk result cache (truncates the log)"
+    )
+    p_cache_clear.add_argument("--path", required=True, metavar="PATH",
+                               help="disk result-cache log to clear")
 
     p_case = sub.add_parser(
         "case",
@@ -199,6 +247,46 @@ def _run_growth(args: argparse.Namespace) -> str:
     )
 
 
+def _stream_progress(done_chunks: int, n_chunks: int,
+                     done_rows: int, n_rows: int) -> None:
+    print(
+        f"chunk {done_chunks}/{n_chunks} "
+        f"({done_rows}/{n_rows} scenarios)",
+        file=sys.stderr, flush=True,
+    )
+
+
+def _run_sweep_streaming(args: argparse.Namespace,
+                         sweeps, cache) -> str:
+    if args.out is None:
+        raise ReproError("--stream needs --out PATH for the rows")
+    if len(sweeps) > 1:
+        raise ReproError(
+            "--stream runs one sweep per output file; the spec defines "
+            f"{len(sweeps)} — split it or drop --stream"
+        )
+    out_format = args.out_format
+    if out_format is None:
+        out_format = "csv" if str(args.out).lower().endswith(".csv") else "jsonl"
+    sink = (CsvSink if out_format == "csv" else JsonlSink)(args.out)
+    meta = run_sweep_streaming(
+        sweeps[0],
+        backend=args.backend,
+        max_workers=args.workers,
+        chunk_size=args.chunk_size,
+        cache=cache,
+        sinks=(sink,),
+        progress=_stream_progress if args.progress else None,
+    )
+    return (
+        f"{meta['rows']} rows streamed to {args.out} ({out_format}), "
+        f"pipeline={meta['pipeline']}, backend={meta['backend']}, "
+        f"{meta['n_chunks']} chunks of <= {meta['chunk_size']}, "
+        f"cache {meta['cache_hits']} hit / {meta['cache_misses']} miss, "
+        f"{meta['elapsed_s']:.3f}s"
+    )
+
+
 def _run_sweep(args: argparse.Namespace) -> str:
     if args.limit is not None and args.limit < 0:
         raise ReproError(f"--limit must be non-negative, got {args.limit}")
@@ -206,11 +294,22 @@ def _run_sweep(args: argparse.Namespace) -> str:
         sweeps = load_sweeps(args.spec)
     except OSError as exc:
         raise ReproError(f"cannot read spec file {args.spec}: {exc}") from exc
+    cache = (
+        ResultCache(path=args.cache_path)
+        if args.cache_path is not None else None
+    )
+    if args.stream:
+        return _run_sweep_streaming(args, sweeps, cache)
+    for flag, name in ((args.out, "--out"), (args.out_format, "--format"),
+                       (args.progress, "--progress")):
+        if flag:
+            raise ReproError(f"{name} only applies with --stream")
     lines: List[str] = []
     combined = []
     for index, spec in enumerate(sweeps):
         result = run_sweep(
-            spec, backend=args.backend, max_workers=args.workers
+            spec, backend=args.backend, max_workers=args.workers,
+            chunk_size=args.chunk_size, cache=cache,
         )
         label = spec.name or spec.pipeline
         if len(sweeps) > 1:
@@ -384,6 +483,66 @@ def _run_pipelines(args: argparse.Namespace) -> str:
     return table
 
 
+def _count_log_keys(path: str) -> int:
+    """Distinct keys in a cache log, counted without building a cache.
+
+    A bounded :class:`ResultCache` replay would cap the count at its
+    ``maxsize``; a line scan reports the true entry count of any log.
+    """
+    import json
+
+    keys = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "key" in entry:
+                keys.add(str(entry["key"]))
+    return len(keys)
+
+
+def _run_cache(args: argparse.Namespace) -> str:
+    import os
+
+    from .compilecache import cache_stats
+
+    if args.cache_command == "clear":
+        if not os.path.exists(args.path):
+            raise ReproError(f"no cache log at {args.path}")
+        entries = _count_log_keys(args.path)
+        with open(args.path, "w", encoding="utf-8"):
+            pass
+        return f"cleared {entries} cached result(s) from {args.path}"
+
+    lines: List[str] = []
+    if args.path is not None:
+        if not os.path.exists(args.path):
+            raise ReproError(f"no cache log at {args.path}")
+        size = os.path.getsize(args.path)
+        lines.append(
+            f"disk result cache {args.path}: "
+            f"{_count_log_keys(args.path)} entries, {size} bytes"
+        )
+        lines.append("")
+    lines.append("in-process compile-cache regions:")
+    stats = cache_stats()
+    if not stats:
+        lines.append("  (none created yet)")
+    else:
+        rows = [
+            [name, region["entries"], region["hits"], region["misses"]]
+            for name, region in stats.items()
+        ]
+        lines.append(format_table(["region", "entries", "hits", "misses"],
+                                  rows))
+    return "\n".join(lines)
+
+
 _RUNNERS = {
     "assess": _run_assess,
     "conservative": _run_conservative,
@@ -393,6 +552,7 @@ _RUNNERS = {
     "case": _run_case,
     "validate": _run_validate,
     "pipelines": _run_pipelines,
+    "cache": _run_cache,
 }
 
 

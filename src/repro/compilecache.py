@@ -1,0 +1,294 @@
+"""The unified content-hash cache behind every compiled artefact.
+
+Before this module, the library kept three separate content-hash LRU
+memoisers with three separate conventions: ``compile_network`` in
+:mod:`repro.bbn.compiled`, ``compile_case``/``load_case`` in
+:mod:`repro.arguments.compiled`, and the sweep-result cache in
+:mod:`repro.engine.cache`.  They are now all *regions* of one core:
+
+* :class:`ContentCache` — a thread-safe, size-bounded LRU map from
+  content-hash keys to values, with hit/miss accounting and optional
+  JSONL **disk persistence** for JSON-representable values (the sweep
+  result cache uses this; compiled objects stay in memory only).
+* :func:`region` — named process-wide cache instances.  Compilation
+  layers ask for their region once at import time
+  (``region("bbn.network")``, ``region("arguments.case")``, ...) and the
+  ``repro-case cache stats`` subcommand reports them all.
+* :func:`cache_stats` / :func:`clear_all_regions` — whole-process
+  introspection and reset.
+
+Keys are caller-defined strings; by convention they are canonical
+content hashes (:meth:`BayesianNetwork.content_hash`,
+:meth:`QuantifiedCase.content_hash`, :meth:`ScenarioSpec.key`), so a
+stale value cannot be served after the thing it describes changes — the
+key changes with the content, and invalidation is automatic.
+
+Disk persistence (``ContentCache(path=...)``) is an append-only JSONL
+log: each ``put`` appends one ``{"key": ..., "value": ...}`` line, and
+construction replays the log (later lines win) so the cache survives
+process restarts.  ``clear()`` truncates the log; :meth:`compact`
+rewrites it to one line per live entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .errors import DomainError
+
+__all__ = [
+    "ContentCache",
+    "region",
+    "region_names",
+    "cache_stats",
+    "clear_all_regions",
+]
+
+
+class ContentCache:
+    """A thread-safe LRU map from content-hash keys to cached values.
+
+    ``maxsize`` bounds the entry count (least-recently-used entries are
+    evicted first).  With ``path`` set, every ``put`` is appended to a
+    JSONL log and the log is replayed on construction, so the cache
+    survives process restarts; values must then be JSON-representable.
+    """
+
+    def __init__(self, maxsize: int = 100_000,
+                 path: Optional[str] = None):
+        if maxsize < 1:
+            raise DomainError("cache maxsize must be positive")
+        self._maxsize = int(maxsize)
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._path = os.fspath(path) if path is not None else None
+        if self._path is not None:
+            self._load_log()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def path(self) -> Optional[str]:
+        """The persistence log path, or ``None`` for in-memory only."""
+        return self._path
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> Dict[str, Any]:
+        """Entries, hit/miss counters and (when persistent) the path."""
+        with self._lock:
+            out: Dict[str, Any] = {
+                "entries": len(self._data),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+            if self._path is not None:
+                out["path"] = self._path
+            return out
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        bits = (
+            f"entries={stats['entries']}, hits={stats['hits']}, "
+            f"misses={stats['misses']}, maxsize={self._maxsize}"
+        )
+        if self._path is not None:
+            bits += f", path={self._path!r}"
+        return f"{type(self).__name__}({bits})"
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for ``key`` or ``default`` (counts hit/miss)."""
+        with self._lock:
+            if key not in self._data:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries if full."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+            if self._path is not None:
+                self._append_log(key, value)
+
+    def get_or_create(self, key: str, factory) -> Any:
+        """The cached value for ``key``, computing it once via ``factory``.
+
+        The factory runs *outside* the lock (compilation can be slow and
+        may itself consult other regions); if two threads race, the first
+        stored value wins and both see it on their next lookup.
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._hits += 1
+                return self._data[key]
+            self._misses += 1
+        value = factory()
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+            if self._path is not None:
+                self._append_log(key, value)
+        return value
+
+    def discard(self, key: str) -> None:
+        """Drop ``key`` if present (no persistence rewrite until compact)."""
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries, reset counters, truncate the log if any."""
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+            if self._path is not None and os.path.exists(self._path):
+                with open(self._path, "w", encoding="utf-8"):
+                    pass
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """A snapshot of the (key, value) pairs, LRU-first."""
+        with self._lock:
+            return iter(list(self._data.items()))
+
+    # ------------------------------------------------------------------ #
+    # Disk persistence
+    # ------------------------------------------------------------------ #
+
+    def _append_log(self, key: str, value: Any) -> None:
+        # No sort_keys: JSON objects round-trip dict insertion order, so
+        # replayed result dicts keep their column order.
+        line = json.dumps({"key": key, "value": value},
+                          separators=(",", ":"))
+        try:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError as exc:
+            raise DomainError(
+                f"cannot persist cache entry to {self._path}: {exc}"
+            ) from exc
+
+    def _load_log(self) -> None:
+        if not os.path.exists(self._path):
+            return
+        try:
+            with open(self._path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A torn final line from a crashed writer is not
+                        # worth failing startup over; later puts compact
+                        # it away.
+                        continue
+                    if isinstance(entry, dict) and "key" in entry:
+                        self._data[str(entry["key"])] = entry.get("value")
+                        self._data.move_to_end(str(entry["key"]))
+        except OSError as exc:
+            raise DomainError(
+                f"cannot read cache log {self._path}: {exc}"
+            ) from exc
+        while len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+
+    def compact(self) -> None:
+        """Rewrite the log to exactly one line per live entry."""
+        if self._path is None:
+            return
+        with self._lock:
+            lines = [
+                json.dumps({"key": key, "value": value},
+                           separators=(",", ":"))
+                for key, value in self._data.items()
+            ]
+            with open(self._path, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+
+
+# ---------------------------------------------------------------------- #
+# Named regions: one process-wide cache per compiled-artefact family
+# ---------------------------------------------------------------------- #
+
+_regions: Dict[str, ContentCache] = {}
+_regions_lock = threading.Lock()
+
+
+def region(name: str, maxsize: int = 512) -> ContentCache:
+    """The process-wide named cache region, created on first use.
+
+    ``maxsize`` only applies when this call creates the region; later
+    callers share the existing instance unchanged.
+    """
+    if not name:
+        raise DomainError("cache region needs a non-empty name")
+    with _regions_lock:
+        cache = _regions.get(name)
+        if cache is None:
+            cache = ContentCache(maxsize=maxsize)
+            _regions[name] = cache
+        return cache
+
+
+def region_names() -> Tuple[str, ...]:
+    """The names of all regions created so far, sorted."""
+    with _regions_lock:
+        return tuple(sorted(_regions))
+
+
+def cache_stats() -> Dict[str, Dict[str, Any]]:
+    """Region name -> stats for every region in the process."""
+    with _regions_lock:
+        regions = dict(_regions)
+    return {name: cache.stats() for name, cache in sorted(regions.items())}
+
+
+def clear_all_regions() -> None:
+    """Clear every named region (tests and long-lived servers)."""
+    with _regions_lock:
+        regions = list(_regions.values())
+    for cache in regions:
+        cache.clear()

@@ -7,9 +7,17 @@ fast:
 
 * :class:`ScenarioSpec` / :class:`SweepSpec` — a named pipeline plus a
   parameter grid, dict/YAML round-trippable;
+* :func:`lower` / :class:`ExecutionPlan` — the staged architecture's IR:
+  parameter planes, chunk layout and per-chunk seed derivation, lazy in
+  the scenario count (:mod:`~repro.engine.plan`);
 * :func:`run_sweep` — grid expansion, caching, and execution on
-  vectorised / serial / thread / process backends;
-* :class:`ResultCache` — content-keyed memoisation of finished scenarios;
+  vectorised / serial / thread / process backends, collected in memory;
+* :func:`run_sweep_streaming` — the same execution core, chunk by chunk
+  through pluggable sinks (:class:`JsonlSink`, :class:`CsvSink`,
+  :class:`MemorySink`) in constant memory — the million-scenario path;
+* :class:`ResultCache` — content-keyed memoisation of finished
+  scenarios, optionally disk-persistent (a region of the unified
+  :mod:`repro.compilecache`);
 * :class:`ResultSet` — ordered results with table / CSV export;
 * :mod:`~repro.engine.pipelines` — the registry mapping pipeline names to
   the library's analysis entry points (thirteen pipelines: survival
@@ -45,8 +53,11 @@ from .pipelines import (
     register,
     register_batch_kernel,
 )
+from .plan import Chunk, ExecutionPlan, lower
 from .results import ResultSet, ScenarioResult
+from .sinks import CsvSink, JsonlSink, MemorySink, ResultSink
 from .spec import ScenarioSpec, SweepSpec, canonical_key, load_sweeps
+from .stream import run_sweep_streaming, stream_results
 
 __all__ = [
     "kernels",
@@ -54,6 +65,15 @@ __all__ = [
     "BACKENDS",
     "run_scenario",
     "run_sweep",
+    "run_sweep_streaming",
+    "stream_results",
+    "Chunk",
+    "ExecutionPlan",
+    "lower",
+    "ResultSink",
+    "MemorySink",
+    "JsonlSink",
+    "CsvSink",
     "survival_sweep",
     "survival_sweep_columns",
     "Pipeline",

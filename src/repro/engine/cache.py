@@ -7,90 +7,52 @@ anchors, and panel simulations are pure functions of their seed.  The
 canonical content hash (:meth:`repro.engine.spec.ScenarioSpec.key`), so a
 repeated scenario costs a dict lookup instead of a kernel evaluation.
 
-The cache is thread-safe (the thread backend shares one instance across
-workers) and LRU-bounded so long-running services cannot grow it without
-limit.
+:class:`ResultCache` is the sweep-facing face of the unified
+:class:`repro.compilecache.ContentCache` core: thread-safe (the thread
+backend shares one instance across workers), LRU-bounded so long-running
+services cannot grow it without limit, and — with ``path=`` —
+**disk-persistent**: every stored result is appended to a JSONL log that
+is replayed on construction, so a cache built in one process serves hits
+in the next.  Stale replays are impossible by construction: cache keys
+are content hashes (pipelines fold referenced file content in via
+:meth:`~repro.engine.pipelines.Pipeline.cache_key`), so editing a spec
+or a case file changes the key and the old entry is simply never asked
+for again.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from typing import Any, Dict, Optional
 
-from ..errors import DomainError
+from ..compilecache import ContentCache
 
 __all__ = ["ResultCache"]
 
 
-class ResultCache:
-    """An LRU map from scenario keys to result-value dicts."""
+class ResultCache(ContentCache):
+    """An LRU map from scenario keys to result-value dicts.
 
-    def __init__(self, maxsize: int = 100_000):
-        if maxsize < 1:
-            raise DomainError("cache maxsize must be positive")
-        self._maxsize = int(maxsize)
-        self._data: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+    With ``path`` set, results persist to a JSONL log and survive
+    process restarts (see :mod:`repro.compilecache` for the format and
+    :meth:`~repro.compilecache.ContentCache.compact` for log hygiene).
+    """
 
-    @property
-    def maxsize(self) -> int:
-        return self._maxsize
+    def __init__(self, maxsize: int = 100_000,
+                 path: Optional[str] = None):
+        super().__init__(maxsize=maxsize, path=path)
 
-    @property
-    def hits(self) -> int:
-        return self._hits
+    def get(self, key: str,
+            default: Any = None) -> Optional[Dict[str, Any]]:
+        """The cached values for ``key``, or ``default`` (counts hit/miss).
 
-    @property
-    def misses(self) -> int:
-        return self._misses
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
-
-    def __contains__(self, key: str) -> bool:
-        with self._lock:
-            return key in self._data
-
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The cached values for ``key``, or ``None`` (counts hit/miss)."""
-        with self._lock:
-            values = self._data.get(key)
-            if values is None:
-                self._misses += 1
-                return None
-            self._data.move_to_end(key)
-            self._hits += 1
-            return dict(values)
+        Returns a copy, so callers mutating the result dict cannot
+        corrupt the cached entry.
+        """
+        values = super().get(key)
+        if values is None:
+            return default
+        return dict(values)
 
     def put(self, key: str, values: Dict[str, Any]) -> None:
-        """Store ``values`` under ``key``, evicting the LRU entry if full."""
-        with self._lock:
-            self._data[key] = dict(values)
-            self._data.move_to_end(key)
-            while len(self._data) > self._maxsize:
-                self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-            self._hits = 0
-            self._misses = 0
-
-    def stats(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                "entries": len(self._data),
-                "hits": self._hits,
-                "misses": self._misses,
-            }
-
-    def __repr__(self) -> str:
-        stats = self.stats()
-        return (
-            f"ResultCache(entries={stats['entries']}, hits={stats['hits']}, "
-            f"misses={stats['misses']}, maxsize={self._maxsize})"
-        )
+        """Store a copy of ``values``, evicting the LRU entry if full."""
+        super().put(key, dict(values))

@@ -1,9 +1,13 @@
 """Sweep execution across serial, vectorised and concurrent backends.
 
-:func:`run_sweep` is the engine's front door: expand the spec, satisfy
-what it can from the result cache, execute the remainder on the chosen
-backend, memoise, and wrap everything in a :class:`ResultSet` in the
-original scenario order.
+:func:`run_sweep` is the engine's front door for in-memory sweeps: lower
+the spec to an :class:`~repro.engine.plan.ExecutionPlan`, drive it
+through the streaming core (:mod:`repro.engine.stream`) into a
+:class:`~repro.engine.sinks.MemorySink`, and wrap everything in a
+:class:`ResultSet` in the original scenario order.  It is deliberately a
+thin wrapper: **one** execution core serves both this collecting API and
+:func:`~repro.engine.run_sweep_streaming`, so the two are identical row
+for row — the collecting path is just the stream with an in-memory sink.
 
 Backends
 --------
@@ -11,13 +15,14 @@ Backends
 ``auto``
     ``vectorized`` when the pipeline has a batch kernel, else ``serial``.
 ``vectorized``
-    One call into the pipeline's NumPy batch kernel for the whole sweep.
+    The pipeline's NumPy batch kernel, chunk by chunk.
 ``serial``
-    A plain loop — the reference the others must match.
+    A plain loop over the scalar pipeline — the reference the others
+    must match.
 ``thread`` / ``process``
     ``concurrent.futures`` pools fed with *many small chunks* (default
     four per worker): workers that finish early immediately pull the next
-    chunk off the shared queue, which approximates work stealing and
+    chunk off the submission window, which approximates work stealing and
     keeps the pool busy when scenario costs are skewed.  Chunks in the
     process pool run the pipeline's batch kernel, so vectorisation and
     multiprocessing compose.
@@ -25,33 +30,22 @@ Backends
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import (
-    FIRST_EXCEPTION,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    wait,
-)
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 from ..errors import DomainError
 from .cache import ResultCache
-from .pipelines import RunItem, get_pipeline
+from .pipelines import get_pipeline
+from .plan import lower
 from .results import ResultSet, ScenarioResult
+from .sinks import MemorySink
 from .spec import ScenarioSpec, SweepSpec
+from .stream import BACKENDS, run_sweep_streaming
 
 __all__ = ["run_scenario", "run_sweep", "BACKENDS"]
 
-BACKENDS = ("auto", "vectorized", "serial", "thread", "process")
-
 SweepLike = Union[SweepSpec, Sequence[ScenarioSpec]]
-
-
-def _execute_chunk(pipeline_name: str,
-                   items: Sequence[RunItem]) -> List[Dict[str, Any]]:
-    """Run one chunk of scenarios; module-level so process pools can
-    pickle it by reference."""
-    return get_pipeline(pipeline_name).run_batch(items)
 
 
 def _cacheable(pipeline, spec: ScenarioSpec) -> bool:
@@ -78,52 +72,26 @@ def run_scenario(
     return ScenarioResult(spec, values)
 
 
-def _chunk_indices(n: int, n_chunks: int) -> List[range]:
-    bounds = [round(i * n / n_chunks) for i in range(n_chunks + 1)]
-    return [range(bounds[i], bounds[i + 1]) for i in range(n_chunks)
-            if bounds[i] < bounds[i + 1]]
-
-
-def _run_pooled(
-    pipeline_name: str,
-    items: List[RunItem],
-    backend: str,
-    max_workers: Optional[int],
+def _wrapper_chunk_size(
+    n: int, backend: str, max_workers: Optional[int],
     chunk_size: Optional[int],
-) -> List[Dict[str, Any]]:
-    pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
-    n = len(items)
-    with pool_cls(max_workers=max_workers) as pool:
-        workers = getattr(pool, "_max_workers", None) or 1
-        if chunk_size is None:
-            # Several chunks per worker so finished workers steal the
-            # remaining ones instead of idling behind a slow sibling.
-            n_chunks = min(n, max(workers * 4, 1))
-        else:
-            if chunk_size < 1:
-                raise DomainError("chunk_size must be positive")
-            n_chunks = max(1, -(-n // chunk_size))
-        chunks = _chunk_indices(n, n_chunks)
-        futures = {
-            pool.submit(
-                _execute_chunk, pipeline_name,
-                [items[i] for i in chunk],
-            ): chunk
-            for chunk in chunks
-        }
-        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-        results: List[Dict[str, Any]] = [None] * n  # type: ignore
-        try:
-            for future in done:
-                chunk = futures[future]
-                for offset, value in zip(chunk, future.result()):
-                    results[offset] = value
-        finally:
-            # Only reachable with pending futures when a chunk raised;
-            # don't let the remaining chunks run before surfacing it.
-            for future in pending:
-                future.cancel()
-    return results
+) -> int:
+    """The chunk layout preserving run_sweep's historical behaviour.
+
+    Serial and vectorised sweeps run as one chunk (the collecting API
+    holds everything in memory anyway, and a single ``run_batch`` call
+    is the fastest shape for a batch kernel).  Pooled backends split
+    into several chunks per worker so the pool can steal work.
+    """
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise DomainError("chunk_size must be positive")
+        return chunk_size
+    if backend in ("thread", "process"):
+        workers = max_workers or os.cpu_count() or 1
+        n_chunks = min(n, max(workers * 4, 1))
+        return max(1, -(-n // n_chunks))
+    return max(n, 1)
 
 
 def run_sweep(
@@ -138,7 +106,9 @@ def run_sweep(
     ``sweep`` is a :class:`SweepSpec` or an explicit sequence of
     :class:`ScenarioSpec` (which must share one pipeline).  Scenarios
     whose key is already in ``cache`` are not re-executed; fresh results
-    are memoised before returning.
+    are memoised before returning.  This is the collecting wrapper over
+    :func:`~repro.engine.run_sweep_streaming` — for sweeps too large to
+    hold in memory, use the streaming API with a file sink instead.
     """
     if backend not in BACKENDS:
         raise DomainError(
@@ -146,87 +116,31 @@ def run_sweep(
         )
     started = time.perf_counter()
     if isinstance(sweep, SweepSpec):
-        scenarios = sweep.expand()
+        n = sweep.n_scenarios()
     else:
-        scenarios = list(sweep)
-        if not all(isinstance(s, ScenarioSpec) for s in scenarios):
+        sweep = list(sweep)
+        if not all(isinstance(s, ScenarioSpec) for s in sweep):
             raise DomainError(
                 "sweep must be a SweepSpec or a sequence of ScenarioSpec"
             )
-    pipelines = {scenario.pipeline for scenario in scenarios}
-    if len(pipelines) > 1:
-        raise DomainError(
-            f"a sweep must use a single pipeline, got {sorted(pipelines)}"
-        )
-    meta: Dict[str, Any] = {"backend": backend, "n_scenarios": len(scenarios)}
-    if not scenarios:
-        meta["elapsed_s"] = time.perf_counter() - started
-        return ResultSet([], meta)
-
-    pipeline_name = next(iter(pipelines))
-    pipeline = get_pipeline(pipeline_name)
-    meta["pipeline"] = pipeline_name
-    if backend == "auto":
-        backend = "vectorized" if pipeline.supports_batch else "serial"
-        meta["backend"] = f"auto->{backend}"
-
-    # Resolve eagerly: spec errors surface before any pool spins up, and
-    # the resolved dicts are what the backends execute (resolution is
-    # idempotent, so pipelines re-resolving them is a no-op).
-    resolved = [pipeline.resolve(scenario.params) for scenario in scenarios]
-
-    cached_values: Dict[int, Dict[str, Any]] = {}
-    pending: List[Tuple[int, ScenarioSpec]] = []
-    if cache is not None:
-        # Key through the pipeline, which may fold in state the spec
-        # only names by reference (case_confidence hashes file content).
-        keys = {
-            index: pipeline.cache_key(scenario)
-            for index, scenario in enumerate(scenarios)
-            if _cacheable(pipeline, scenario)
-        }
-        for index, scenario in enumerate(scenarios):
-            hit = cache.get(keys[index]) if index in keys else None
-            if hit is not None:
-                cached_values[index] = hit
-            else:
-                pending.append((index, scenario))
-    else:
-        keys = {}
-        pending = list(enumerate(scenarios))
-    meta["cache_hits"] = len(cached_values)
-    meta["cache_misses"] = len(pending)
-
-    fresh_values: Dict[int, Dict[str, Any]] = {}
-    if pending:
-        items: List[RunItem] = [
-            (resolved[index], scenario.seed) for index, scenario in pending
-        ]
-        if backend == "vectorized":
-            if not pipeline.supports_batch:
-                raise DomainError(
-                    f"pipeline {pipeline_name!r} has no vectorised kernel; "
-                    f"use backend='serial', 'thread' or 'process'"
-                )
-            values = pipeline.run_batch(items)
-        elif backend == "serial":
-            values = [pipeline.run(params, seed) for params, seed in items]
-        else:
-            values = _run_pooled(
-                pipeline_name, items, backend, max_workers, chunk_size
-            )
-        for (index, scenario), value in zip(pending, values):
-            fresh_values[index] = value
-            if index in keys:
-                cache.put(keys[index], value)
-
-    results = []
-    for index, scenario in enumerate(scenarios):
-        if index in cached_values:
-            results.append(
-                ScenarioResult(scenario, cached_values[index], from_cache=True)
-            )
-        else:
-            results.append(ScenarioResult(scenario, fresh_values[index]))
+        n = len(sweep)
+    if n == 0:
+        return ResultSet([], {
+            "backend": backend,
+            "n_scenarios": 0,
+            "elapsed_s": time.perf_counter() - started,
+        })
+    plan = lower(
+        sweep,
+        chunk_size=_wrapper_chunk_size(n, backend, max_workers, chunk_size),
+    )
+    sink = MemorySink()
+    meta = run_sweep_streaming(
+        plan,
+        backend=backend,
+        max_workers=max_workers,
+        cache=cache,
+        sinks=(sink,),
+    )
     meta["elapsed_s"] = time.perf_counter() - started
-    return ResultSet(results, meta)
+    return sink.result_set(meta)

@@ -1,0 +1,276 @@
+"""Plan lowering: from a resolved sweep to a backend-agnostic IR.
+
+The engine's execution stack is staged — **plan, compile, execute**:
+
+1. :func:`lower` turns a :class:`~repro.engine.spec.SweepSpec` (or an
+   explicit scenario list) into an :class:`ExecutionPlan`: the pipeline
+   name, the **parameter planes** (sorted grid axes and their value
+   lists over the shared base), the **chunk layout**, and the seed
+   derivation rule.  Lowering validates everything that can fail
+   without running a kernel — unknown pipelines, mixed pipelines,
+   invalid chunk sizes — so executors start from a well-formed IR.
+2. The pipelines' batch kernels *compile* whatever they need (networks,
+   cases, grids) through the unified :mod:`repro.compilecache`.
+3. The executors (:func:`repro.engine.run_sweep` and
+   :func:`repro.engine.run_sweep_streaming`) walk the plan chunk by
+   chunk on any backend.
+
+The plan is deliberately **lazy**: nothing scales with the scenario
+count except the arithmetic.  ``scenario(i)`` decodes the ``i``-th grid
+point from mixed-radix arithmetic over the axes, and per-scenario seeds
+come from :func:`repro.numerics.spawn_seeds_range`, which addresses the
+``i``-th spawned child of the master seed directly.  Both are pure
+functions of the spec, so every chunk layout, shard assignment and
+backend reconstructs *identical* scenarios — the foundation of the
+engine's bit-for-bit reproducibility guarantee for stochastic sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import DomainError
+from ..numerics import spawn_seeds_range
+from .pipelines import Pipeline, get_pipeline
+from .spec import ScenarioSpec, SweepSpec
+
+__all__ = ["Chunk", "ExecutionPlan", "lower", "DEFAULT_CHUNK_SIZE"]
+
+#: Default scenarios per chunk for streaming execution: large enough to
+#: amortise per-chunk dispatch and keep vectorised kernels efficient,
+#: small enough that a chunk's rows and intermediates stay comfortably
+#: in cache/memory.
+DEFAULT_CHUNK_SIZE = 8192
+
+SweepLike = Union[SweepSpec, Sequence[ScenarioSpec]]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous scenario range ``[start, stop)`` of a plan."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+class ExecutionPlan:
+    """A lowered sweep: what to run, in what chunks, with which seeds.
+
+    Instances are immutable and cheap regardless of scenario count; use
+    :func:`lower` to build one.  The executor-facing surface is:
+
+    * :attr:`pipeline` / :attr:`pipeline_name` — the resolved pipeline;
+    * :attr:`n_scenarios`, :attr:`n_chunks`, :meth:`chunks` — the chunk
+      layout;
+    * :meth:`scenario`, :meth:`chunk_scenarios` — lazy scenario
+      reconstruction (identical to ``SweepSpec.expand()`` output);
+    * :meth:`chunk_items` — the resolved ``(params, seed)`` run items a
+      chunk feeds to ``Pipeline.run_batch``;
+    * :meth:`cache_key` — the result-cache key of one scenario, folded
+      through the pipeline (file-referencing pipelines hash content).
+    """
+
+    def __init__(
+        self,
+        pipeline_name: str,
+        *,
+        base: Dict[str, Any],
+        axes: Tuple[Tuple[str, Tuple[Any, ...]], ...],
+        master_seed: Optional[int],
+        n_scenarios: int,
+        chunk_size: int,
+        explicit: Optional[Tuple[ScenarioSpec, ...]] = None,
+    ):
+        self._pipeline_name = pipeline_name
+        self._pipeline = get_pipeline(pipeline_name)
+        self._base = dict(base)
+        self._axes = axes
+        self._master_seed = master_seed
+        self._n = int(n_scenarios)
+        self._chunk_size = int(chunk_size)
+        self._explicit = explicit
+        # Mixed-radix place values: axis j's digit advances every
+        # prod(sizes[j+1:]) scenarios (row-major, matching
+        # itertools.product in SweepSpec.expand()).
+        strides: List[int] = []
+        place = 1
+        for _name, values in reversed(axes):
+            strides.append(place)
+            place *= len(values)
+        self._strides = tuple(reversed(strides))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pipeline_name(self) -> str:
+        return self._pipeline_name
+
+    @property
+    def pipeline(self) -> Pipeline:
+        return self._pipeline
+
+    @property
+    def n_scenarios(self) -> int:
+        return self._n
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    @property
+    def n_chunks(self) -> int:
+        return -(-self._n // self._chunk_size) if self._n else 0
+
+    @property
+    def axes(self) -> Tuple[str, ...]:
+        """Grid axis names in expansion (sorted) order."""
+        return tuple(name for name, _values in self._axes)
+
+    @property
+    def master_seed(self) -> Optional[int]:
+        return self._master_seed
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionPlan({self._pipeline_name!r}, "
+            f"{self._n} scenarios, {self.n_chunks} chunks of "
+            f"<= {self._chunk_size})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Chunk layout
+    # ------------------------------------------------------------------ #
+
+    def chunk(self, index: int) -> Chunk:
+        if not 0 <= index < self.n_chunks:
+            raise DomainError(
+                f"chunk index {index} out of range [0, {self.n_chunks})"
+            )
+        start = index * self._chunk_size
+        return Chunk(index, start, min(start + self._chunk_size, self._n))
+
+    def chunks(self) -> Iterator[Chunk]:
+        """The chunks in scenario order (lazy)."""
+        for index in range(self.n_chunks):
+            yield self.chunk(index)
+
+    # ------------------------------------------------------------------ #
+    # Lazy scenario reconstruction
+    # ------------------------------------------------------------------ #
+
+    def scenario(self, index: int) -> ScenarioSpec:
+        """The ``index``-th scenario, identical to ``expand()[index]``."""
+        if not 0 <= index < self._n:
+            raise DomainError(
+                f"scenario index {index} out of range [0, {self._n})"
+            )
+        if self._explicit is not None:
+            return self._explicit[index]
+        params = dict(self._base)
+        for (name, values), stride in zip(self._axes, self._strides):
+            params[name] = values[(index // stride) % len(values)]
+        seed = spawn_seeds_range(self._master_seed, index, index + 1)[0]
+        return ScenarioSpec(self._pipeline_name, params, seed=seed)
+
+    def chunk_scenarios(self, chunk: Chunk) -> List[ScenarioSpec]:
+        """All scenarios of ``chunk``, reconstructed lazily."""
+        if self._explicit is not None:
+            return list(self._explicit[chunk.start:chunk.stop])
+        seeds = spawn_seeds_range(self._master_seed, chunk.start, chunk.stop)
+        scenarios = []
+        for offset, index in enumerate(range(chunk.start, chunk.stop)):
+            params = dict(self._base)
+            for (name, values), stride in zip(self._axes, self._strides):
+                params[name] = values[(index // stride) % len(values)]
+            scenarios.append(
+                ScenarioSpec(self._pipeline_name, params,
+                             seed=seeds[offset])
+            )
+        return scenarios
+
+    def chunk_items(
+        self, scenarios: Sequence[ScenarioSpec]
+    ) -> List[Tuple[Dict[str, Any], Optional[int]]]:
+        """Resolved ``(params, seed)`` run items for a chunk's scenarios.
+
+        Resolution validates parameter names/values through the
+        pipeline, so malformed scenarios fail here — before any pool or
+        kernel sees them.
+        """
+        return [
+            (self._pipeline.resolve(scenario.params), scenario.seed)
+            for scenario in scenarios
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Cache keys
+    # ------------------------------------------------------------------ #
+
+    def cache_key(self, scenario: ScenarioSpec) -> str:
+        """The result-cache key of one scenario (pipeline-folded)."""
+        return self._pipeline.cache_key(scenario)
+
+    def cacheable(self, scenario: ScenarioSpec) -> bool:
+        """Whether rerunning ``scenario`` would reproduce its result:
+        always for deterministic pipelines, otherwise only with a seed."""
+        return self._pipeline.deterministic or scenario.seed is not None
+
+
+def lower(
+    sweep: SweepLike,
+    chunk_size: Optional[int] = None,
+) -> ExecutionPlan:
+    """Lower a sweep (or explicit scenario list) to an :class:`ExecutionPlan`.
+
+    ``chunk_size`` defaults to :data:`DEFAULT_CHUNK_SIZE`; pass 1 for
+    scenario-at-a-time streaming or a larger value to trade memory for
+    kernel efficiency.  Spec-level errors (unknown pipeline, mixed
+    pipelines, bad chunk size) surface here, before execution.
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if chunk_size < 1:
+        raise DomainError("chunk_size must be positive")
+    if isinstance(sweep, SweepSpec):
+        axes = tuple(
+            (name, tuple(sweep.grid[name])) for name in sweep.axes
+        )
+        return ExecutionPlan(
+            sweep.pipeline,
+            base=dict(sweep.base),
+            axes=axes,
+            master_seed=sweep.seed,
+            n_scenarios=sweep.n_scenarios(),
+            chunk_size=chunk_size,
+        )
+    scenarios = tuple(sweep)
+    if not all(isinstance(s, ScenarioSpec) for s in scenarios):
+        raise DomainError(
+            "sweep must be a SweepSpec or a sequence of ScenarioSpec"
+        )
+    pipelines = {scenario.pipeline for scenario in scenarios}
+    if len(pipelines) > 1:
+        raise DomainError(
+            f"a sweep must use a single pipeline, got {sorted(pipelines)}"
+        )
+    if not scenarios:
+        raise DomainError(
+            "cannot lower an empty scenario list; pass a SweepSpec for "
+            "empty sweeps"
+        )
+    return ExecutionPlan(
+        next(iter(pipelines)),
+        base={},
+        axes=(),
+        master_seed=None,
+        n_scenarios=len(scenarios),
+        chunk_size=chunk_size,
+        explicit=scenarios,
+    )

@@ -1,0 +1,165 @@
+"""Pluggable result sinks for streaming sweep execution.
+
+:func:`repro.engine.run_sweep_streaming` pushes finished scenarios to
+sinks **chunk by chunk, in scenario order**, so a sweep's memory
+footprint is the in-flight chunks — never the whole result set.  A sink
+sees three calls:
+
+* :meth:`ResultSink.open` — once, with the :class:`ExecutionPlan` about
+  to run;
+* :meth:`ResultSink.write` — once per chunk, with that chunk's
+  :class:`~repro.engine.results.ScenarioResult` rows in order;
+* :meth:`ResultSink.close` — once, after the last chunk (also on error,
+  so file handles never leak).
+
+Shipped sinks:
+
+=============== ====================================================== ========
+sink            writes                                                 memory
+=============== ====================================================== ========
+:class:`MemorySink` an in-memory :class:`ResultSet` (what ``run_sweep``    O(sweep)
+                returns)
+:class:`JsonlSink`  one JSON object per scenario (params + seed +          O(chunk)
+                values), appended line by line
+:class:`CsvSink`    CSV with a header from the first chunk's columns       O(chunk)
+=============== ====================================================== ========
+
+File sinks accept a path (opened at :meth:`~ResultSink.open`, closed at
+:meth:`~ResultSink.close`) or any open text handle (left open — the
+caller owns it).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import DomainError
+from .results import ResultSet, ScenarioResult
+
+__all__ = ["ResultSink", "MemorySink", "JsonlSink", "CsvSink"]
+
+
+class ResultSink:
+    """Interface streamed results are written through."""
+
+    def open(self, plan) -> None:
+        """Called once before the first chunk with the execution plan."""
+
+    def write(self, results: Sequence[ScenarioResult]) -> None:
+        """Called once per chunk, rows in scenario order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called once after the last chunk (and on error)."""
+
+
+class MemorySink(ResultSink):
+    """Collect every row in memory; back-end of :func:`run_sweep`."""
+
+    def __init__(self):
+        self._results: List[ScenarioResult] = []
+
+    def write(self, results: Sequence[ScenarioResult]) -> None:
+        self._results.extend(results)
+
+    @property
+    def results(self) -> List[ScenarioResult]:
+        return self._results
+
+    def result_set(self, meta: Optional[Dict[str, Any]] = None) -> ResultSet:
+        """The collected rows as a :class:`ResultSet`."""
+        return ResultSet(self._results, dict(meta or {}))
+
+
+class _FileSink(ResultSink):
+    """Shared path-or-handle plumbing for the file-writing sinks."""
+
+    def __init__(self, path_or_handle):
+        if path_or_handle is None:
+            raise DomainError(f"{type(self).__name__} needs a path or handle")
+        self._target = path_or_handle
+        self._handle = None
+        self._owns_handle = False
+        self.n_rows = 0
+
+    def open(self, plan) -> None:
+        if hasattr(self._target, "write"):
+            self._handle = self._target
+            self._owns_handle = False
+        else:
+            try:
+                self._handle = open(
+                    self._target, "w", encoding="utf-8", newline=""
+                )
+            except OSError as exc:
+                raise DomainError(
+                    f"cannot open {self._target} for writing: {exc}"
+                ) from exc
+            self._owns_handle = True
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None
+
+
+class JsonlSink(_FileSink):
+    """One JSON object per scenario: parameters, seed and result values.
+
+    Rows appear in scenario order, one per line, flushed chunk by chunk
+    — the natural format for out-of-core post-processing (``jq``,
+    pandas ``read_json(lines=True)``, another sweep's warm start).
+    """
+
+    def write(self, results: Sequence[ScenarioResult]) -> None:
+        lines = []
+        for result in results:
+            row: Dict[str, Any] = dict(result.spec.params)
+            if result.spec.seed is not None:
+                row["seed"] = result.spec.seed
+            row.update(result.values)
+            lines.append(json.dumps(row, separators=(",", ":"),
+                                    default=str))
+        self._handle.write("\n".join(lines) + "\n")
+        self.n_rows += len(results)
+
+
+class CsvSink(_FileSink):
+    """Streaming CSV: header from the first chunk, rows as they arrive.
+
+    A streamed CSV cannot rewrite its header, so the column layout is
+    fixed by the first chunk (parameters first, then value columns).  A
+    later row introducing a column outside that set would otherwise be
+    silently truncated, so it raises instead — sweeps whose rows are
+    genuinely heterogeneous (e.g. gridding over case files with
+    different node sets) belong in :class:`JsonlSink`.  Rows *missing* a
+    header column write it empty, matching ``ResultSet.to_csv``.
+    """
+
+    def __init__(self, path_or_handle):
+        super().__init__(path_or_handle)
+        self._writer = None
+        self._columns = None
+
+    def write(self, results: Sequence[ScenarioResult]) -> None:
+        if self._writer is None:
+            self._columns = frozenset(
+                columns := list(ResultSet(list(results)).columns())
+            )
+            self._writer = csv.DictWriter(
+                self._handle, fieldnames=columns, restval=""
+            )
+            self._writer.writeheader()
+        for result in results:
+            record = result.record()
+            extra = set(record) - self._columns
+            if extra:
+                raise DomainError(
+                    f"row {self.n_rows} adds columns not in the streamed "
+                    f"CSV header: {', '.join(sorted(extra))}; use a "
+                    f"JSONL sink for heterogeneous sweeps"
+                )
+            self._writer.writerow(record)
+            self.n_rows += 1

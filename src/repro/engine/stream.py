@@ -1,0 +1,264 @@
+"""Streaming sweep execution: plans run chunk-by-chunk in constant memory.
+
+:func:`run_sweep_streaming` is the engine's scale path.  Where
+:func:`repro.engine.run_sweep` materialises every scenario and every
+result, the streaming executor lowers the sweep to an
+:class:`~repro.engine.plan.ExecutionPlan` and walks it **chunk by
+chunk**: each chunk's scenarios are reconstructed lazily (mixed-radix
+grid decode + directly-addressed child seeds), satisfied from the result
+cache where possible, executed on the chosen backend, pushed through the
+registered :mod:`~repro.engine.sinks`, and dropped.  Peak memory is set
+by the chunk size and the in-flight window — not the scenario count — so
+million-scenario sweeps run in the same footprint as thousand-scenario
+ones.
+
+Backends mirror :func:`run_sweep`: ``serial`` loops the scalar pipeline
+(the reference), ``vectorized`` runs each chunk through the pipeline's
+batch kernel, and ``thread``/``process`` keep a bounded window of chunks
+in flight in a pool — workers that finish early immediately pull the
+next submitted chunk (work stealing), while emission stays strictly in
+scenario order.  Because per-scenario seeds are pure functions of the
+master seed and the scenario index (:func:`repro.numerics.spawn_seeds_range`),
+every backend and every chunk layout produces bit-for-bit identical rows
+for a given spec.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import DomainError
+from .cache import ResultCache
+from .plan import ExecutionPlan, lower
+from .results import ScenarioResult
+from .sinks import ResultSink
+from .spec import ScenarioSpec
+
+__all__ = ["run_sweep_streaming", "stream_results", "BACKENDS"]
+
+BACKENDS = ("auto", "vectorized", "serial", "thread", "process")
+
+#: Streaming default chunk for pooled backends: small enough that a
+#: handful of chunks per worker are in flight, large enough to amortise
+#: pickling and dispatch.
+_POOLED_CHUNK_SIZE = 1024
+
+ProgressFn = Callable[[int, int, int, int], None]
+
+
+def _execute_chunk(pipeline_name: str, items) -> List[Dict[str, Any]]:
+    """Run one chunk's items; module-level so process pools can pickle
+    it by reference."""
+    from .pipelines import get_pipeline
+
+    return get_pipeline(pipeline_name).run_batch(items)
+
+
+def _resolve_backend(plan: ExecutionPlan, backend: str) -> Tuple[str, str]:
+    """(effective backend, meta label) after ``auto`` resolution."""
+    if backend not in BACKENDS:
+        raise DomainError(
+            f"backend must be one of {', '.join(BACKENDS)}, got {backend!r}"
+        )
+    if backend == "auto":
+        effective = (
+            "vectorized" if plan.pipeline.supports_batch else "serial"
+        )
+        return effective, f"auto->{effective}"
+    if backend == "vectorized" and not plan.pipeline.supports_batch:
+        raise DomainError(
+            f"pipeline {plan.pipeline_name!r} has no vectorised kernel; "
+            f"use backend='serial', 'thread' or 'process'"
+        )
+    return backend, backend
+
+
+class _ChunkWork:
+    """One chunk's cache split: hits ready, misses to execute."""
+
+    __slots__ = ("scenarios", "keys", "hits", "pending", "items")
+
+    def __init__(self, plan: ExecutionPlan, scenarios: List[ScenarioSpec],
+                 cache: Optional[ResultCache]):
+        self.scenarios = scenarios
+        self.keys: Dict[int, str] = {}
+        self.hits: Dict[int, Dict[str, Any]] = {}
+        self.pending: List[int] = []
+        if cache is None:
+            self.pending = list(range(len(scenarios)))
+        else:
+            for position, scenario in enumerate(scenarios):
+                if plan.cacheable(scenario):
+                    key = plan.cache_key(scenario)
+                    self.keys[position] = key
+                    values = cache.get(key)
+                    if values is not None:
+                        self.hits[position] = values
+                        continue
+                self.pending.append(position)
+        self.items = plan.chunk_items(
+            [scenarios[position] for position in self.pending]
+        )
+
+    def merge(self, values: Sequence[Dict[str, Any]],
+              cache: Optional[ResultCache]) -> List[ScenarioResult]:
+        """Interleave fresh values with cache hits, memoising the fresh."""
+        results: List[Optional[ScenarioResult]] = [None] * len(self.scenarios)
+        for position, hit in self.hits.items():
+            results[position] = ScenarioResult(
+                self.scenarios[position], hit, from_cache=True
+            )
+        for position, value in zip(self.pending, values):
+            results[position] = ScenarioResult(
+                self.scenarios[position], value
+            )
+            if cache is not None and position in self.keys:
+                cache.put(self.keys[position], value)
+        return results  # type: ignore[return-value]
+
+
+def stream_results(
+    plan: ExecutionPlan,
+    backend: str = "auto",
+    max_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+):
+    """Yield each chunk's ordered :class:`ScenarioResult` rows, lazily.
+
+    The generator driving both :func:`run_sweep_streaming` and
+    :func:`repro.engine.run_sweep`.  ``backend`` must already name a
+    concrete backend or ``auto`` (resolved here).  Chunks are yielded
+    strictly in scenario order; with pooled backends a bounded window of
+    chunks runs ahead of the emission point, so memory stays constant
+    while workers steal whatever is submitted.
+    """
+    effective, _label = _resolve_backend(plan, backend)
+    if plan.n_scenarios == 0:
+        return
+    if effective in ("serial", "vectorized"):
+        pipeline = plan.pipeline
+        for chunk in plan.chunks():
+            work = _ChunkWork(plan, plan.chunk_scenarios(chunk), cache)
+            if effective == "serial":
+                values = [
+                    pipeline.run(params, seed)
+                    for params, seed in work.items
+                ]
+            else:
+                values = (
+                    pipeline.run_batch(work.items) if work.items else []
+                )
+            yield work.merge(values, cache)
+        return
+
+    pool_cls = (
+        ThreadPoolExecutor if effective == "thread" else ProcessPoolExecutor
+    )
+    with pool_cls(max_workers=max_workers) as pool:
+        workers = getattr(pool, "_max_workers", None) or 1
+        # Several chunks per worker in flight: finished workers steal
+        # the next submitted chunk instead of idling behind a slow
+        # sibling, and the reorder buffer stays bounded by the window.
+        window = max(2, workers * 4)
+        n_chunks = plan.n_chunks
+        in_flight: Dict[int, Tuple[Any, _ChunkWork]] = {}
+        next_submit = 0
+
+        def submit_up_to(limit: int) -> None:
+            nonlocal next_submit
+            while next_submit < n_chunks and len(in_flight) < limit:
+                chunk = plan.chunk(next_submit)
+                work = _ChunkWork(plan, plan.chunk_scenarios(chunk), cache)
+                future = pool.submit(
+                    _execute_chunk, plan.pipeline_name, work.items
+                )
+                in_flight[next_submit] = (future, work)
+                next_submit += 1
+
+        try:
+            for emit_index in range(n_chunks):
+                submit_up_to(window)
+                future, work = in_flight.pop(emit_index)
+                values = future.result()
+                yield work.merge(values, cache)
+        finally:
+            # Only reachable with futures in flight when a chunk raised
+            # or the consumer abandoned the stream; don't let the
+            # remaining chunks run on.
+            for future, _work in in_flight.values():
+                future.cancel()
+
+
+def run_sweep_streaming(
+    sweep,
+    backend: str = "auto",
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    sinks: Sequence[ResultSink] = (),
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, Any]:
+    """Execute a sweep chunk-by-chunk, writing results through ``sinks``.
+
+    ``sweep`` is a :class:`~repro.engine.spec.SweepSpec`, an explicit
+    scenario sequence, or an already-lowered
+    :class:`~repro.engine.plan.ExecutionPlan`.  Each finished chunk is
+    written to every sink in scenario order and then released, so peak
+    memory is independent of the scenario count.  ``progress`` (if
+    given) is called after each chunk as ``progress(done_chunks,
+    n_chunks, done_scenarios, n_scenarios)``.
+
+    Returns the run's meta summary: pipeline, backend, scenario/chunk
+    counts, cache hit/miss totals, rows written and elapsed seconds.
+    The stream reproduces :func:`repro.engine.run_sweep` exactly — same
+    rows, same order, same seeds — for every backend and chunk size.
+    """
+    started = time.perf_counter()
+    if isinstance(sweep, ExecutionPlan):
+        if chunk_size is not None and chunk_size != sweep.chunk_size:
+            raise DomainError(
+                "chunk_size conflicts with the already-lowered plan; "
+                "re-lower the sweep instead"
+            )
+        plan = sweep
+    else:
+        if chunk_size is None and backend in ("thread", "process"):
+            chunk_size = _POOLED_CHUNK_SIZE
+        plan = lower(sweep, chunk_size=chunk_size)
+    _effective, label = _resolve_backend(plan, backend)
+    meta: Dict[str, Any] = {
+        "pipeline": plan.pipeline_name,
+        "backend": label,
+        "n_scenarios": plan.n_scenarios,
+        "n_chunks": plan.n_chunks,
+        "chunk_size": plan.chunk_size,
+    }
+    hits = misses = rows = chunks_done = 0
+    opened: List[ResultSink] = []
+    try:
+        # Open inside the guard: if a later sink's open() fails, the
+        # earlier sinks' handles are still closed on the way out.
+        for sink in sinks:
+            sink.open(plan)
+            opened.append(sink)
+        for chunk_results in stream_results(
+            plan, backend=backend, max_workers=max_workers, cache=cache
+        ):
+            for sink in sinks:
+                sink.write(chunk_results)
+            rows += len(chunk_results)
+            chunks_done += 1
+            hits += sum(1 for r in chunk_results if r.from_cache)
+            misses += sum(1 for r in chunk_results if not r.from_cache)
+            if progress is not None:
+                progress(chunks_done, plan.n_chunks, rows, plan.n_scenarios)
+    finally:
+        for sink in opened:
+            sink.close()
+    meta["cache_hits"] = hits
+    meta["cache_misses"] = misses
+    meta["rows"] = rows
+    meta["elapsed_s"] = time.perf_counter() - started
+    return meta

@@ -22,7 +22,7 @@ from .integrate import (
     trapezoid,
 )
 from .interpolate import MonotoneInterpolant, inverse_cdf_from_grid
-from .rng import ensure_rng, spawn_seeds
+from .rng import ensure_rng, spawn_seeds, spawn_seeds_range
 from .roots import bisect, bracket_monotone, brentq, invert_monotone
 from .special import (
     LN10,
@@ -52,6 +52,7 @@ __all__ = [
     "inverse_cdf_from_grid",
     "ensure_rng",
     "spawn_seeds",
+    "spawn_seeds_range",
     "bisect",
     "bracket_monotone",
     "brentq",

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import DomainError
 
-__all__ = ["ensure_rng", "spawn_seeds"]
+__all__ = ["ensure_rng", "spawn_seeds", "spawn_seeds_range"]
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -54,3 +54,28 @@ def spawn_seeds(master_seed: Optional[int], n: int) -> List[Optional[int]]:
         return [None] * n
     children = np.random.SeedSequence(master_seed).spawn(n)
     return [int(child.generate_state(1)[0]) for child in children]
+
+
+def spawn_seeds_range(master_seed: Optional[int], start: int,
+                      stop: int) -> List[Optional[int]]:
+    """The ``[start, stop)`` slice of :func:`spawn_seeds`, lazily.
+
+    ``spawn_seeds_range(m, a, b) == spawn_seeds(m, n)[a:b]`` for every
+    ``n >= b`` — child ``i`` of a :class:`~numpy.random.SeedSequence` is
+    addressable directly as ``SeedSequence(m, spawn_key=(i,))``, so a
+    chunked executor can derive exactly the seeds of its chunk without
+    materialising (or paying for) the whole family.  This is what makes
+    streamed, sharded and single-pass execution of stochastic sweeps
+    bit-for-bit identical regardless of chunk layout.
+    """
+    if start < 0 or stop < start:
+        raise DomainError(
+            f"need 0 <= start <= stop, got start={start}, stop={stop}"
+        )
+    if master_seed is None:
+        return [None] * (stop - start)
+    return [
+        int(np.random.SeedSequence(master_seed, spawn_key=(i,))
+            .generate_state(1)[0])
+        for i in range(start, stop)
+    ]

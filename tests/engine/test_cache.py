@@ -69,3 +69,53 @@ class TestResultCache:
             thread.join()
         assert not errors
         assert len(cache) <= 64
+
+
+class TestDiskPersistentResultCache:
+    """Satellite: ``ResultCache(path=...)`` survives process restarts."""
+
+    def test_entries_survive_a_restart(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        first = ResultCache(path=path)
+        first.put("k1", {"mean": 1.5, "confidence": 0.9})
+        first.put("k2", {"mean": 2.5})
+
+        restarted = ResultCache(path=path)
+        assert restarted.get("k1") == {"mean": 1.5, "confidence": 0.9}
+        assert restarted.get("k2") == {"mean": 2.5}
+        assert len(restarted) == 2
+
+    def test_restart_preserves_column_order(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        ResultCache(path=path).put("k", {"z": 1.0, "a": 2.0})
+        assert list(ResultCache(path=path).get("k")) == ["z", "a"]
+
+    def test_restart_still_returns_copies(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        ResultCache(path=path).put("k", {"mean": 1.0})
+        restarted = ResultCache(path=path)
+        restarted.get("k")["mean"] = 99.0
+        assert restarted.get("k") == {"mean": 1.0}
+
+    def test_clear_empties_the_log(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        cache = ResultCache(path=str(path))
+        cache.put("k", {"v": 1})
+        cache.clear()
+        assert path.read_text() == ""
+        assert len(ResultCache(path=str(path))) == 0
+
+    def test_maxsize_applies_on_replay(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        big = ResultCache(path=path)
+        for i in range(10):
+            big.put(f"k{i}", {"v": i})
+        small = ResultCache(maxsize=3, path=path)
+        assert len(small) == 3
+        # The newest entries win the replay (LRU drops the oldest).
+        assert small.get("k9") == {"v": 9}
+        assert small.get("k0") is None
+
+    def test_stats_include_path(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        assert ResultCache(path=path).stats()["path"] == path

@@ -1,0 +1,215 @@
+"""Unit tests for plan lowering (:mod:`repro.engine.plan`).
+
+The plan is the contract between spec expansion and execution: lazy
+scenario reconstruction must be *identical* to ``SweepSpec.expand()`` —
+same parameters, same seeds, same order — for every chunk layout, or
+streamed sweeps would silently diverge from collected ones.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Chunk, ScenarioSpec, SweepSpec, lower
+from repro.engine.plan import DEFAULT_CHUNK_SIZE
+from repro.errors import DomainError
+from repro.numerics import spawn_seeds, spawn_seeds_range
+
+SWEEP = SweepSpec(
+    pipeline="survival_update",
+    base={"mode": 0.003, "bound": 1e-2},
+    grid={"sigma": [0.7, 0.9, 1.1], "demands": [0, 10, 100, 1000]},
+    seed=2007,
+)
+
+
+class TestSeedRange:
+    def test_range_matches_full_spawn(self):
+        full = spawn_seeds(2007, 40)
+        assert spawn_seeds_range(2007, 0, 40) == full
+        assert spawn_seeds_range(2007, 13, 29) == full[13:29]
+        assert spawn_seeds_range(2007, 39, 40) == full[39:]
+
+    def test_none_master_gives_none_children(self):
+        assert spawn_seeds_range(None, 5, 8) == [None, None, None]
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(DomainError):
+            spawn_seeds_range(1, -1, 2)
+        with pytest.raises(DomainError):
+            spawn_seeds_range(1, 5, 2)
+
+    @given(
+        master=st.integers(min_value=0, max_value=2**31),
+        start=st.integers(min_value=0, max_value=200),
+        width=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_slice_matches(self, master, start, width):
+        stop = start + width
+        assert (
+            spawn_seeds_range(master, start, stop)
+            == spawn_seeds(master, stop)[start:stop]
+        )
+
+
+class TestLowering:
+    def test_layout_and_introspection(self):
+        plan = lower(SWEEP, chunk_size=5)
+        assert plan.pipeline_name == "survival_update"
+        assert plan.n_scenarios == 12
+        assert plan.chunk_size == 5
+        assert plan.n_chunks == 3
+        assert plan.axes == ("demands", "sigma")
+        assert plan.master_seed == 2007
+        chunks = list(plan.chunks())
+        assert chunks == [Chunk(0, 0, 5), Chunk(1, 5, 10), Chunk(2, 10, 12)]
+        assert [len(c) for c in chunks] == [5, 5, 2]
+        assert "12 scenarios" in repr(plan)
+
+    def test_default_chunk_size(self):
+        assert lower(SWEEP).chunk_size == DEFAULT_CHUNK_SIZE
+
+    def test_scenarios_match_expand_exactly(self):
+        expanded = SWEEP.expand()
+        plan = lower(SWEEP, chunk_size=5)
+        for index, expected in enumerate(expanded):
+            got = plan.scenario(index)
+            assert got.params == expected.params
+            assert got.seed == expected.seed
+            assert got.pipeline == expected.pipeline
+        # Chunked reconstruction concatenates to the same family.
+        rebuilt = [
+            scenario
+            for chunk in plan.chunks()
+            for scenario in plan.chunk_scenarios(chunk)
+        ]
+        assert rebuilt == expanded
+
+    @given(chunk_size=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_every_chunk_layout_rebuilds_the_same_family(self, chunk_size):
+        plan = lower(SWEEP, chunk_size=chunk_size)
+        rebuilt = [
+            scenario
+            for chunk in plan.chunks()
+            for scenario in plan.chunk_scenarios(chunk)
+        ]
+        assert rebuilt == SWEEP.expand()
+
+    def test_unseeded_sweep_has_none_seeds(self):
+        sweep = SweepSpec(pipeline="survival_update",
+                          base={"mode": 0.003, "sigma": 0.9},
+                          grid={"demands": [0, 10]})
+        plan = lower(sweep)
+        assert [s.seed for s in plan.chunk_scenarios(plan.chunk(0))] == [
+            None, None,
+        ]
+
+    def test_empty_grid_is_one_base_scenario(self):
+        sweep = SweepSpec(pipeline="survival_update",
+                          base={"mode": 0.003, "sigma": 0.9}, seed=7)
+        plan = lower(sweep)
+        assert plan.n_scenarios == 1
+        assert plan.scenario(0) == sweep.expand()[0]
+
+    def test_empty_axis_is_zero_scenarios(self):
+        sweep = SweepSpec(pipeline="survival_update",
+                          base={"mode": 0.003, "sigma": 0.9},
+                          grid={"demands": []})
+        plan = lower(sweep)
+        assert plan.n_scenarios == 0
+        assert plan.n_chunks == 0
+        assert list(plan.chunks()) == []
+
+    def test_chunk_items_resolve_through_the_pipeline(self):
+        plan = lower(SWEEP, chunk_size=4)
+        scenarios = plan.chunk_scenarios(plan.chunk(0))
+        items = plan.chunk_items(scenarios)
+        assert len(items) == 4
+        params, seed = items[0]
+        assert params["mode"] == 0.003           # base carried over
+        assert params["points_per_decade"] == 400  # default filled in
+        assert seed == scenarios[0].seed
+
+    def test_resolution_errors_surface_in_chunk_items(self):
+        sweep = SweepSpec(pipeline="survival_update",
+                          base={"mode": 0.003, "sigma": 0.9, "demands": 1.5})
+        plan = lower(sweep)
+        with pytest.raises(DomainError):
+            plan.chunk_items(plan.chunk_scenarios(plan.chunk(0)))
+
+    def test_out_of_range_indices_rejected(self):
+        plan = lower(SWEEP, chunk_size=5)
+        with pytest.raises(DomainError):
+            plan.scenario(12)
+        with pytest.raises(DomainError):
+            plan.chunk(3)
+
+    def test_cache_keys_fold_through_the_pipeline(self):
+        plan = lower(SWEEP)
+        scenario = plan.scenario(0)
+        assert plan.cache_key(scenario) == scenario.key()
+        assert plan.cacheable(scenario)
+
+    def test_stochastic_unseeded_not_cacheable(self):
+        base = {
+            "prior": 0.6,
+            "leg1_validity": 0.9, "leg1_sensitivity": 0.95,
+            "leg1_specificity": 0.9, "leg2_validity": 0.88,
+            "leg2_sensitivity": 0.9, "leg2_specificity": 0.85,
+        }
+        grid = {"dependence": [0.0, 0.3]}
+        # bbn_query without a seed draws fresh entropy: not cacheable.
+        plan = lower(SweepSpec(pipeline="bbn_query", base=base, grid=grid))
+        assert not plan.cacheable(plan.scenario(0))
+        seeded = lower(SweepSpec(pipeline="bbn_query", base=base,
+                                 grid=grid, seed=1))
+        assert seeded.cacheable(seeded.scenario(0))
+
+
+class TestLoweringErrors:
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(DomainError):
+            lower(SweepSpec(pipeline="nope", base={}))
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(DomainError):
+            lower(SWEEP, chunk_size=0)
+
+    def test_mixed_pipelines_rejected(self):
+        specs = [
+            ScenarioSpec("survival_update", {"mode": 0.003, "sigma": 0.9}),
+            ScenarioSpec("sil_classification", {"mode": 0.003, "sigma": 0.9}),
+        ]
+        with pytest.raises(DomainError):
+            lower(specs)
+
+    def test_non_scenario_entries_rejected(self):
+        with pytest.raises(DomainError):
+            lower([{"pipeline": "survival_update"}])
+
+    def test_empty_scenario_list_rejected(self):
+        with pytest.raises(DomainError):
+            lower([])
+
+
+class TestExplicitScenarioPlans:
+    def test_explicit_list_preserved_verbatim(self):
+        scenarios = [
+            ScenarioSpec("survival_update",
+                         {"mode": 0.003, "sigma": 0.9, "demands": d},
+                         seed=d)
+            for d in (0, 10, 100)
+        ]
+        plan = lower(scenarios, chunk_size=2)
+        assert plan.n_scenarios == 3
+        assert plan.scenario(1) is scenarios[1]
+        assert plan.chunk_scenarios(plan.chunk(1)) == scenarios[2:]
+
+    def test_plan_chunk_size_conflict_detected(self):
+        from repro.engine import run_sweep_streaming
+
+        plan = lower(SWEEP, chunk_size=4)
+        with pytest.raises(DomainError):
+            run_sweep_streaming(plan, chunk_size=5)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DomainError
-from repro.numerics import ensure_rng, spawn_seeds
+from repro.numerics import ensure_rng, spawn_seeds, spawn_seeds_range
 
 
 class TestEnsureRng:
@@ -46,3 +46,23 @@ class TestSpawnSeeds:
     def test_negative_count_rejected(self):
         with pytest.raises(DomainError):
             spawn_seeds(1, -1)
+
+
+class TestSpawnSeedsRange:
+    def test_slice_identity(self):
+        # The chunked executor's contract: any [start, stop) window of
+        # the seed family equals the same slice of the full spawn.
+        full = spawn_seeds(2007, 32)
+        assert spawn_seeds_range(2007, 0, 32) == full
+        assert spawn_seeds_range(2007, 7, 19) == full[7:19]
+        assert spawn_seeds_range(2007, 31, 32) == full[31:]
+        assert spawn_seeds_range(2007, 5, 5) == []
+
+    def test_none_master_gives_none_children(self):
+        assert spawn_seeds_range(None, 3, 6) == [None, None, None]
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(DomainError):
+            spawn_seeds_range(1, -1, 0)
+        with pytest.raises(DomainError):
+            spawn_seeds_range(1, 4, 3)

@@ -285,3 +285,171 @@ class TestValidateCommand:
     def test_unreadable_spec_reported(self, capsys):
         assert main(["validate", "--spec", "/nonexistent/spec.yaml"]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestStreamingSweepCommand:
+    def _spec_path(self, tmp_path, data=SWEEP_SPEC):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_stream_writes_jsonl_and_summary(self, capsys, tmp_path):
+        out_path = tmp_path / "rows.jsonl"
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(out_path),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "3 rows streamed" in captured.out
+        assert "jsonl" in captured.out
+        lines = [json.loads(line)
+                 for line in out_path.read_text().strip().splitlines()]
+        assert len(lines) == 3
+        assert all("confidence" in line for line in lines)
+
+    def test_stream_format_csv(self, capsys, tmp_path):
+        out_path = tmp_path / "rows.out"
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(out_path), "--format", "csv",
+        ])
+        assert code == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + 3 rows
+        assert lines[0].startswith("mode,")
+
+    def test_stream_infers_csv_from_extension(self, capsys, tmp_path):
+        out_path = tmp_path / "rows.csv"
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(out_path),
+        ]) == 0
+        assert "(csv)" in capsys.readouterr().out
+
+    def test_stream_progress_counters_on_stderr(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+            "--progress", "--chunk-size", "2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "chunk 1/2" in captured.err
+        assert "chunk 2/2 (3/3 scenarios)" in captured.err
+
+    def test_stream_requires_out(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path), "--stream",
+        ]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_stream_only_flags_rejected_without_stream(
+        self, capsys, tmp_path
+    ):
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--out", str(tmp_path / "rows.jsonl"),
+        ]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_chunk_size_honoured_without_stream(self, capsys, tmp_path):
+        # --chunk-size applies to the collected path too (pooled
+        # backends chunk their work submission by it).
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--backend", "thread", "--chunk-size", "1",
+        ]) == 0
+        assert "3 scenarios" in capsys.readouterr().out
+
+    def test_stream_rejects_multi_sweep_specs(self, capsys, tmp_path):
+        multi = {"sweeps": [SWEEP_SPEC, SWEEP_SPEC]}
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path, multi),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+        ]) == 2
+        assert "one sweep" in capsys.readouterr().err
+
+    def test_stream_with_disk_cache_serves_hits_on_rerun(
+        self, capsys, tmp_path
+    ):
+        cache_path = str(tmp_path / "cache.jsonl")
+        args = [
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+            "--cache", cache_path,
+        ]
+        assert main(args) == 0
+        assert "cache 0 hit / 3 miss" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache 3 hit / 0 miss" in capsys.readouterr().out
+
+    def test_collected_sweep_also_takes_disk_cache(self, capsys, tmp_path):
+        cache_path = str(tmp_path / "cache.jsonl")
+        args = [
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--cache", cache_path,
+        ]
+        assert main(args) == 0
+        assert "cache 0 hit / 3 miss" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "cache 3 hit / 0 miss" in capsys.readouterr().out
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(SWEEP_SPEC))
+        cache_path = tmp_path / "cache.jsonl"
+        assert main([
+            "sweep", "--spec", str(spec), "--stream",
+            "--out", str(tmp_path / "rows.jsonl"),
+            "--cache", str(cache_path),
+        ]) == 0
+        return str(cache_path)
+
+    def test_stats_reports_disk_and_regions(self, capsys, tmp_path):
+        cache_path = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--path", cache_path]) == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "compile-cache regions" in out
+
+    def test_stats_without_path_shows_regions_only(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "compile-cache regions" in out
+        assert "disk result cache" not in out
+
+    def test_clear_truncates_the_log(self, capsys, tmp_path):
+        cache_path = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--path", cache_path]) == 0
+        assert "cleared 3" in capsys.readouterr().out
+        with open(cache_path) as handle:
+            assert handle.read() == ""
+
+    def test_entry_counts_deduplicate_rewritten_keys(self, capsys, tmp_path):
+        # The log is append-only, so a re-put key appears twice; counts
+        # must report distinct keys, not lines (and must not be capped
+        # by any in-memory replay limit).
+        path = tmp_path / "cache.jsonl"
+        path.write_text(
+            '{"key":"a","value":{"v":1}}\n'
+            '{"key":"a","value":{"v":2}}\n'
+            '{"key":"b","value":{"v":3}}\n'
+            "not json\n"
+        )
+        assert main(["cache", "stats", "--path", str(path)]) == 0
+        assert "2 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--path", str(path)]) == 0
+        assert "cleared 2" in capsys.readouterr().out
+
+    def test_stats_missing_path_reported(self, capsys):
+        assert main(["cache", "stats", "--path", "/nonexistent.jsonl"]) == 2
+        assert "no cache log" in capsys.readouterr().err
+
+    def test_clear_missing_path_reported(self, capsys):
+        assert main(["cache", "clear", "--path", "/nonexistent.jsonl"]) == 2
+        assert "no cache log" in capsys.readouterr().err

@@ -7,17 +7,21 @@ artefacts survive the run.  The ``benchmark`` fixture times the compute
 kernel of each experiment.
 
 Every run also appends one JSON line of per-test wall-clock timings to
-``benchmarks/results/timings.jsonl`` (timestamp + seconds per test), so
-the performance trajectory of a run is machine-readable.  The file is
-gitignored — CI uploads it as an artifact (the nightly perf workflow
-with timing rounds enabled, and every PR run) rather than committing a
-line per run; ``benchmarks/results/timings_baseline.jsonl`` holds the
-committed reference snapshot.
+``benchmarks/results/timings.jsonl`` (timestamp, provenance — git
+commit, python/numpy versions — and seconds per test, plus any
+plan/compile/execute/sink stage breakdowns recorded via the
+``record_stage_timings`` fixture), so the performance trajectory of a
+run is machine-readable.  The file is gitignored — CI uploads it as an
+artifact (the nightly perf workflow with timing rounds enabled, and
+every PR run) rather than committing a line per run;
+``benchmarks/results/timings_baseline.jsonl`` holds the committed
+reference snapshot.
 """
 
 import json
 import pathlib
 import platform
+import subprocess
 import time
 from datetime import datetime, timezone
 
@@ -28,6 +32,23 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 TIMINGS_PATH = RESULTS_DIR / "timings.jsonl"
 
 _run_timings = {}
+_run_stage_timings = {}
+
+
+def _git_commit():
+    """The checked-out commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    commit = out.stdout.strip()
+    return commit or None
 
 
 @pytest.fixture(scope="session")
@@ -54,6 +75,26 @@ def rng():
     return np.random.default_rng(20070629)
 
 
+@pytest.fixture
+def record_stage_timings(request):
+    """Record a sweep's plan/compile/execute/sink stage breakdown.
+
+    Call with a streaming ``meta`` dict (or any mapping with a
+    ``stage_timings`` entry); the breakdown lands in the run's
+    ``timings.jsonl`` line under ``stage_timings_s``, keyed by test id.
+    """
+
+    def _record(meta) -> None:
+        stages = meta.get("stage_timings") if hasattr(meta, "get") else None
+        if stages:
+            _run_stage_timings[request.node.nodeid] = {
+                name: round(float(value), 6)
+                for name, value in stages.items()
+            }
+
+    return _record
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     start = time.perf_counter()
@@ -68,8 +109,12 @@ def pytest_sessionfinish(session, exitstatus):
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "exitstatus": int(exitstatus),
+        "commit": _git_commit(),
         "python": platform.python_version(),
+        "numpy": np.__version__,
         "timings_s": dict(sorted(_run_timings.items())),
     }
+    if _run_stage_timings:
+        entry["stage_timings_s"] = dict(sorted(_run_stage_timings.items()))
     with TIMINGS_PATH.open("a") as handle:
         handle.write(json.dumps(entry) + "\n")

@@ -1,11 +1,12 @@
-"""P1-P9 — performance benches for the library's compute kernels.
+"""P1-P10 — performance benches for the library's compute kernels.
 
 Not paper artefacts: these time the engines the experiments lean on
 (quadrature moments, grid Bayesian updates, exact BBN inference, panel
 simulation, the batched sweep engine, compiled BBN inference, the
 batched growth-model likelihood grids, the compiled whole-case engine,
-and the streaming executor at million-scenario scale) so performance
-regressions are visible.
+the streaming executor at million-scenario scale, and the cost of the
+disabled telemetry instrumentation) so performance regressions are
+visible.
 """
 
 import json
@@ -70,7 +71,7 @@ def test_perf_panel_simulation(benchmark):
     assert result.n_experts == 12
 
 
-def test_perf_sweep_engine_1k_scenarios(benchmark):
+def test_perf_sweep_engine_1k_scenarios(benchmark, record_stage_timings):
     """P5: a 1,000-scenario survival-update sweep through repro.engine.
 
     The vectorised backend must (a) reproduce the naive scalar loop to
@@ -117,6 +118,7 @@ def test_perf_sweep_engine_1k_scenarios(benchmark):
 
     result_set = benchmark(lambda: run_sweep(sweep, backend="vectorized"))
     assert len(result_set) == 1000
+    record_stage_timings(result_set.meta)
 
 
 def test_perf_compiled_bbn_inference(benchmark):
@@ -251,7 +253,9 @@ def test_perf_growth_model_sweep_1k_scenarios(benchmark):
     assert len(result_set) == 1000
 
 
-def test_perf_streaming_million_scenario_case_sweep(benchmark, tmp_path):
+def test_perf_streaming_million_scenario_case_sweep(
+    benchmark, tmp_path, record_stage_timings
+):
     """P9: a 1,000,000-scenario whole-case sweep through the streaming
     executor.
 
@@ -294,6 +298,7 @@ def test_perf_streaming_million_scenario_case_sweep(benchmark, tmp_path):
     )
     elapsed = time.perf_counter() - start
     assert meta["rows"] == 1_000_000
+    record_stage_timings(meta)
     streamed_per_scenario = elapsed / meta["rows"]
 
     speedup = scalar_per_scenario / streamed_per_scenario
@@ -336,6 +341,66 @@ def test_perf_streaming_million_scenario_case_sweep(benchmark, tmp_path):
         chunk_size=16384,
     ))
     assert rounds_meta["rows"] == 100_000
+
+
+def test_perf_telemetry_disabled_overhead(benchmark):
+    """P10: disabled telemetry must cost <=2% of the P5 sweep.
+
+    Machine-relative, so it holds on any runner: count the spans one P5
+    sweep emits (via a scoped capture), measure the unit cost of a no-op
+    span and a disabled counter update in tight loops, and require the
+    implied per-sweep instrumentation cost to stay within 2% of the
+    sweep's measured wall time.
+    """
+    from repro.telemetry import capture_trace, metrics, tracer
+
+    sweep = SweepSpec(
+        pipeline="survival_update",
+        base={"mode": 0.003, "bound": 1e-2, "points_per_decade": 40},
+        grid={
+            "sigma": [0.6, 0.75, 0.9, 1.05, 1.2, 1.35, 1.5, 1.65, 1.8, 1.95],
+            "demands": [int(round(10 ** (0.04 * i))) for i in range(100)],
+        },
+    )
+    run_sweep(sweep, backend="vectorized")  # warm caches and code paths
+
+    with capture_trace() as trace:
+        run_sweep(sweep, backend="vectorized")
+    n_spans = len(trace) + trace.dropped
+    assert n_spans > 0  # the sweep is instrumented
+
+    assert not tracer.enabled and not metrics.enabled
+
+    # Unit cost of one disabled span (attribute lookup + empty with).
+    reps = 200_000
+    start = time.perf_counter()
+    for _ in range(reps):
+        with tracer.span("overhead.probe"):
+            pass
+    span_unit = (time.perf_counter() - start) / reps
+
+    # Unit cost of one disabled counter update.
+    probe = metrics.counter("overhead.probe")
+    start = time.perf_counter()
+    for _ in range(reps):
+        probe.add(1)
+    counter_unit = (time.perf_counter() - start) / reps
+
+    sweep_elapsed = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        run_sweep(sweep, backend="vectorized")
+        sweep_elapsed = min(sweep_elapsed, time.perf_counter() - start)
+
+    # Metric updates fire at most a handful of times per span site;
+    # 4x the span count is a generous over-estimate of their number.
+    overhead = n_spans * span_unit + 4 * n_spans * counter_unit
+    assert overhead <= 0.02 * sweep_elapsed, (
+        f"disabled telemetry implies {overhead * 1e6:.1f}us over "
+        f"{n_spans} spans, >2% of the {sweep_elapsed * 1e3:.1f}ms sweep"
+    )
+
+    benchmark(lambda: run_sweep(sweep, backend="vectorized"))
 
 
 def test_perf_compiled_case_sweep_1k_scenarios(benchmark):

@@ -25,7 +25,10 @@ dependability claim as a first-class, quantified object:
 * a batched scenario-sweep engine with vectorised kernels, a streaming
   executor and a result cache (:mod:`repro.engine`), all compiled
   artefacts memoised through one unified cache
-  (:mod:`repro.compilecache`).
+  (:mod:`repro.compilecache`);
+* built-in observability — tracing spans, a metrics registry and
+  profiling summaries across the whole plan/compile/execute stack,
+  off by default at ~zero cost (:mod:`repro.telemetry`).
 
 Quickstart::
 
@@ -35,7 +38,7 @@ Quickstart::
     print(assess(judgement).summary())
 """
 
-from . import compilecache
+from . import compilecache, telemetry
 from .arguments import CompiledCase, QuantifiedCase, compile_case, load_case
 from .core import (
     AcarpTarget,

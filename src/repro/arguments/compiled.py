@@ -26,6 +26,7 @@ import numpy as np
 
 from ..compilecache import region as cache_region
 from ..errors import DomainError
+from ..telemetry import tracer
 from .nodes import Assumption
 from .quantified import NodeModel, QuantifiedCase
 
@@ -165,25 +166,33 @@ class CompiledCase:
                 )
         confidences: List[np.ndarray] = []
         out: Dict[str, np.ndarray] = {}
-        for record in self._records:
-            params = {
-                name: resolved[address]
-                for name, address in record.param_addresses.items()
-            }
-            record.model.validate_batch_params(params)
-            children = (
-                np.stack([confidences[slot] for slot in record.children])
-                if record.children
-                else np.empty((0, n_scenarios))
-            )
-            confidence = record.model.evaluate_batch(params, children)
-            confidence = np.broadcast_to(
-                np.asarray(confidence, dtype=float), (n_scenarios,)
-            )
-            for address in record.assumption_addresses:
-                confidence = confidence * resolved[address]
-            confidences.append(confidence)
-            out[record.identifier] = confidence
+        with tracer.span("case.evaluate_sweep", n_scenarios=n_scenarios,
+                         n_nodes=len(self._records)):
+            for record in self._records:
+                with tracer.span(
+                    "case.node", node=record.identifier,
+                    model=type(record.model).__name__,
+                ):
+                    params = {
+                        name: resolved[address]
+                        for name, address in record.param_addresses.items()
+                    }
+                    record.model.validate_batch_params(params)
+                    children = (
+                        np.stack(
+                            [confidences[slot] for slot in record.children]
+                        )
+                        if record.children
+                        else np.empty((0, n_scenarios))
+                    )
+                    confidence = record.model.evaluate_batch(params, children)
+                    confidence = np.broadcast_to(
+                        np.asarray(confidence, dtype=float), (n_scenarios,)
+                    )
+                    for address in record.assumption_addresses:
+                        confidence = confidence * resolved[address]
+                    confidences.append(confidence)
+                    out[record.identifier] = confidence
         return out
 
     def top_confidence_sweep(

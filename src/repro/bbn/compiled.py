@@ -47,6 +47,7 @@ import numpy as np
 from ..compilecache import region as cache_region
 from ..errors import DomainError, StructureError
 from ..numerics import ensure_rng
+from ..telemetry import tracer
 from .network import BayesianNetwork
 
 __all__ = [
@@ -152,16 +153,19 @@ class CompiledNetwork:
                 state: 1.0 if state == clamped else 0.0
                 for state in target_var.states
             }
-        factors = self._reduced_factors(codes)
-        hidden = [
-            i for i in range(self.n_variables)
-            if i != target_idx and i not in codes
-        ]
-        for dim in self._elimination_order(hidden, factors, order, codes):
-            factors = self._eliminate(factors, dim)
-        if not any(target_idx in dims for dims, _ in factors):
-            raise StructureError("target variable vanished during elimination")
-        values = _contract(factors, (target_idx,))
+        with tracer.span("bbn.query", target=target, n_evidence=len(codes)):
+            factors = self._reduced_factors(codes)
+            hidden = [
+                i for i in range(self.n_variables)
+                if i != target_idx and i not in codes
+            ]
+            for dim in self._elimination_order(hidden, factors, order, codes):
+                factors = self._eliminate(factors, dim)
+            if not any(target_idx in dims for dims, _ in factors):
+                raise StructureError(
+                    "target variable vanished during elimination"
+                )
+            values = _contract(factors, (target_idx,))
         total = float(values.sum())
         if total <= 0:
             raise DomainError(
@@ -180,12 +184,13 @@ class CompiledNetwork:
         if not evidence:
             return 1.0
         codes = self._evidence_codes(evidence)
-        factors = self._reduced_factors(codes)
-        hidden = [i for i in range(self.n_variables) if i not in codes]
-        for dim in self._elimination_order(hidden, factors, None, codes):
-            factors = self._eliminate(factors, dim)
-        # Everything is eliminated or reduced, so only scalars remain.
-        return float(_contract(factors, ()))
+        with tracer.span("bbn.prob_evidence", n_evidence=len(codes)):
+            factors = self._reduced_factors(codes)
+            hidden = [i for i in range(self.n_variables) if i not in codes]
+            for dim in self._elimination_order(hidden, factors, None, codes):
+                factors = self._eliminate(factors, dim)
+            # Everything is eliminated or reduced, so only scalars remain.
+            return float(_contract(factors, ()))
 
     def likelihood_weighting(
         self,
@@ -212,40 +217,50 @@ class CompiledNetwork:
 
         n = self.n_variables
         n_free = n - len(codes)
-        uniforms = rng.random((n_samples, n_free)) if n_free else None
-        sample_codes = np.empty((n_samples, n), dtype=np.int64)
-        weights = np.ones(n_samples)
-        free_column = 0
-        for i in range(n):
-            parent_idx = self._parents[i]
-            if len(parent_idx):
-                flat = sample_codes[:, parent_idx] @ self._parent_strides[i]
-                rows = self._cpt2d[i][flat]
-            else:
-                rows = np.broadcast_to(
-                    self._cpt2d[i][0], (n_samples, self._cards[i])
-                )
-            if i in codes:
-                weights = weights * rows[:, codes[i]]
-                sample_codes[:, i] = codes[i]
-            else:
-                # Generator.choice draws one uniform and searchsorts the
-                # normalised cumulative row from the right; reproduce that
-                # bit-for-bit so seeded streams match the scalar sampler.
-                cdf = np.cumsum(rows, axis=1)
-                cdf = cdf / cdf[:, -1:]
-                u = uniforms[:, free_column]
-                free_column += 1
-                sample_codes[:, i] = np.sum(cdf <= u[:, None], axis=1)
+        with tracer.span("bbn.lw", target=target, n_samples=n_samples):
+            with tracer.span("bbn.lw.forward", n_free=n_free):
+                uniforms = rng.random((n_samples, n_free)) if n_free else None
+                sample_codes = np.empty((n_samples, n), dtype=np.int64)
+                weights = np.ones(n_samples)
+                free_column = 0
+                for i in range(n):
+                    parent_idx = self._parents[i]
+                    if len(parent_idx):
+                        flat = (
+                            sample_codes[:, parent_idx]
+                            @ self._parent_strides[i]
+                        )
+                        rows = self._cpt2d[i][flat]
+                    else:
+                        rows = np.broadcast_to(
+                            self._cpt2d[i][0], (n_samples, self._cards[i])
+                        )
+                    if i in codes:
+                        weights = weights * rows[:, codes[i]]
+                        sample_codes[:, i] = codes[i]
+                    else:
+                        # Generator.choice draws one uniform and searchsorts
+                        # the normalised cumulative row from the right;
+                        # reproduce that bit-for-bit so seeded streams match
+                        # the scalar sampler.
+                        cdf = np.cumsum(rows, axis=1)
+                        cdf = cdf / cdf[:, -1:]
+                        u = uniforms[:, free_column]
+                        free_column += 1
+                        sample_codes[:, i] = np.sum(cdf <= u[:, None], axis=1)
 
-        totals = np.bincount(
-            sample_codes[:, target_idx],
-            weights=weights,
-            minlength=self._cards[target_idx],
-        )
-        # bincount and cumsum both accumulate sequentially in sample order,
-        # which keeps the result bit-identical to the retired loop.
-        total_weight = float(np.cumsum(weights)[-1]) if len(weights) else 0.0
+            with tracer.span("bbn.lw.reduce"):
+                totals = np.bincount(
+                    sample_codes[:, target_idx],
+                    weights=weights,
+                    minlength=self._cards[target_idx],
+                )
+                # bincount and cumsum both accumulate sequentially in sample
+                # order, which keeps the result bit-identical to the retired
+                # loop.
+                total_weight = (
+                    float(np.cumsum(weights)[-1]) if len(weights) else 0.0
+                )
         if total_weight <= 0:
             raise DomainError(
                 "all samples had zero weight; evidence may be impossible"
@@ -282,15 +297,17 @@ class CompiledNetwork:
             row = np.zeros(target_var.cardinality)
             row[codes[target_idx]] = 1.0
             return np.tile(row, (n_scenarios, 1))
-        factors = self._reduced_factors_batch(codes, planes)
-        hidden = [
-            i for i in range(self.n_variables)
-            if i != target_idx and i not in codes
-        ]
-        scopes = [(dims, values) for dims, values, _ in factors]
-        for dim in self._elimination_order(hidden, scopes, None, codes):
-            factors = self._eliminate_batch(factors, dim)
-        values = _contract_batch(factors, (target_idx,), n_scenarios)
+        with tracer.span("bbn.query_batch", target=target,
+                         n_scenarios=n_scenarios):
+            factors = self._reduced_factors_batch(codes, planes)
+            hidden = [
+                i for i in range(self.n_variables)
+                if i != target_idx and i not in codes
+            ]
+            scopes = [(dims, values) for dims, values, _ in factors]
+            for dim in self._elimination_order(hidden, scopes, None, codes):
+                factors = self._eliminate_batch(factors, dim)
+            values = _contract_batch(factors, (target_idx,), n_scenarios)
         totals = values.sum(axis=1)
         if np.any(totals <= 0):
             raise DomainError(
@@ -314,12 +331,14 @@ class CompiledNetwork:
         if not evidence:
             return np.ones(n_scenarios)
         codes = self._evidence_codes(evidence)
-        factors = self._reduced_factors_batch(codes, planes)
-        hidden = [i for i in range(self.n_variables) if i not in codes]
-        scopes = [(dims, values) for dims, values, _ in factors]
-        for dim in self._elimination_order(hidden, scopes, None, codes):
-            factors = self._eliminate_batch(factors, dim)
-        return _contract_batch(factors, (), n_scenarios)
+        with tracer.span("bbn.prob_evidence_batch", n_evidence=len(codes),
+                         n_scenarios=n_scenarios):
+            factors = self._reduced_factors_batch(codes, planes)
+            hidden = [i for i in range(self.n_variables) if i not in codes]
+            scopes = [(dims, values) for dims, values, _ in factors]
+            for dim in self._elimination_order(hidden, scopes, None, codes):
+                factors = self._eliminate_batch(factors, dim)
+            return _contract_batch(factors, (), n_scenarios)
 
     def likelihood_weighting_batch(
         self,
@@ -355,54 +374,70 @@ class CompiledNetwork:
 
         n = self.n_variables
         n_free = n - len(codes)
-        uniforms = (
-            np.stack([g.random((n_samples, n_free)) for g in generators])
-            if n_free else None
-        )
-        plane2d = {
-            i: plane.reshape(n_scenarios, -1, self._cards[i])
-            for i, plane in planes.items()
-        }
-        scenario_rows = np.arange(n_scenarios)[:, None]
-        sample_codes = np.empty((n_scenarios, n_samples, n), dtype=np.int64)
-        weights = np.ones((n_scenarios, n_samples))
-        free_column = 0
-        for i in range(n):
-            parent_idx = self._parents[i]
-            if len(parent_idx):
-                flat = sample_codes[:, :, parent_idx] @ self._parent_strides[i]
-                if i in plane2d:
-                    rows = plane2d[i][scenario_rows, flat]
-                else:
-                    rows = self._cpt2d[i][flat]
-            else:
-                shape = (n_scenarios, n_samples, int(self._cards[i]))
-                if i in plane2d:
-                    rows = np.broadcast_to(plane2d[i][:, 0, None, :], shape)
-                else:
-                    rows = np.broadcast_to(self._cpt2d[i][0], shape)
-            if i in codes:
-                weights = weights * rows[:, :, codes[i]]
-                sample_codes[:, :, i] = codes[i]
-            else:
-                cdf = np.cumsum(rows, axis=2)
-                cdf = cdf / cdf[:, :, -1:]
-                u = uniforms[:, :, free_column]
-                free_column += 1
-                sample_codes[:, :, i] = np.sum(cdf <= u[:, :, None], axis=2)
+        with tracer.span("bbn.lw_batch", target=target, n_samples=n_samples,
+                         n_scenarios=n_scenarios):
+            with tracer.span("bbn.lw.forward", n_free=n_free):
+                uniforms = (
+                    np.stack(
+                        [g.random((n_samples, n_free)) for g in generators]
+                    )
+                    if n_free else None
+                )
+                plane2d = {
+                    i: plane.reshape(n_scenarios, -1, self._cards[i])
+                    for i, plane in planes.items()
+                }
+                scenario_rows = np.arange(n_scenarios)[:, None]
+                sample_codes = np.empty(
+                    (n_scenarios, n_samples, n), dtype=np.int64
+                )
+                weights = np.ones((n_scenarios, n_samples))
+                free_column = 0
+                for i in range(n):
+                    parent_idx = self._parents[i]
+                    if len(parent_idx):
+                        flat = (
+                            sample_codes[:, :, parent_idx]
+                            @ self._parent_strides[i]
+                        )
+                        if i in plane2d:
+                            rows = plane2d[i][scenario_rows, flat]
+                        else:
+                            rows = self._cpt2d[i][flat]
+                    else:
+                        shape = (n_scenarios, n_samples, int(self._cards[i]))
+                        if i in plane2d:
+                            rows = np.broadcast_to(
+                                plane2d[i][:, 0, None, :], shape
+                            )
+                        else:
+                            rows = np.broadcast_to(self._cpt2d[i][0], shape)
+                    if i in codes:
+                        weights = weights * rows[:, :, codes[i]]
+                        sample_codes[:, :, i] = codes[i]
+                    else:
+                        cdf = np.cumsum(rows, axis=2)
+                        cdf = cdf / cdf[:, :, -1:]
+                        u = uniforms[:, :, free_column]
+                        free_column += 1
+                        sample_codes[:, :, i] = np.sum(
+                            cdf <= u[:, :, None], axis=2
+                        )
 
-        card = int(self._cards[target_idx])
-        flat_codes = (
-            sample_codes[:, :, target_idx]
-            + card * np.arange(n_scenarios)[:, None]
-        )
-        totals = np.bincount(
-            flat_codes.ravel(),
-            weights=weights.ravel(),
-            minlength=n_scenarios * card,
-        ).reshape(n_scenarios, card)
-        # cumsum accumulates in sample order, matching the scalar path.
-        total_weight = np.cumsum(weights, axis=1)[:, -1]
+            with tracer.span("bbn.lw.reduce"):
+                card = int(self._cards[target_idx])
+                flat_codes = (
+                    sample_codes[:, :, target_idx]
+                    + card * np.arange(n_scenarios)[:, None]
+                )
+                totals = np.bincount(
+                    flat_codes.ravel(),
+                    weights=weights.ravel(),
+                    minlength=n_scenarios * card,
+                ).reshape(n_scenarios, card)
+                # cumsum accumulates in sample order, matching the scalar
+                # path.
+                total_weight = np.cumsum(weights, axis=1)[:, -1]
         if np.any(total_weight <= 0):
             raise DomainError(
                 "all samples had zero weight for at least one scenario; "
@@ -477,7 +512,9 @@ class CompiledNetwork:
                 if d != dim and d not in out_dims:
                     out_dims.append(d)
         batched = any(b for _, _, b in touching)
-        merged = _einsum_batch(touching, tuple(out_dims), batched)
+        with tracer.span("bbn.eliminate", var=dim,
+                         n_factors=len(touching), batched=batched):
+            merged = _einsum_batch(touching, tuple(out_dims), batched)
         rest.append((tuple(out_dims), merged, batched))
         return rest
 
@@ -553,7 +590,9 @@ class CompiledNetwork:
             for d in dims:
                 if d != dim and d not in out_dims:
                     out_dims.append(d)
-        rest.append((tuple(out_dims), _contract(touching, tuple(out_dims))))
+        with tracer.span("bbn.eliminate", var=dim, n_factors=len(touching)):
+            merged = _contract(touching, tuple(out_dims))
+        rest.append((tuple(out_dims), merged))
         return rest
 
 

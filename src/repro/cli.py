@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-case``.
 
-Nine subcommands cover the library's day-one uses:
+Ten subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
@@ -13,8 +13,12 @@ Nine subcommands cover the library's day-one uses:
   the results; ``--stream --out rows.jsonl`` switches to the streaming
   executor (constant memory, JSONL/CSV sinks, ``--progress`` chunk
   counters on stderr, ``--cache`` for a disk-persistent result cache);
-* ``cache`` — ``stats`` and ``clear`` for the disk result cache and the
-  in-process compile-cache regions (:mod:`repro.compilecache`);
+* ``cache`` — ``stats`` (with per-region hit rates) and ``clear`` (disk
+  log and/or ``--regions`` for the in-process compile caches) for the
+  unified caches (:mod:`repro.compilecache`);
+* ``telemetry`` — ``summary`` renders the span tree and self-time
+  hotspots of a trace recorded with ``sweep --trace``
+  (:mod:`repro.telemetry`);
 * ``case`` — evaluate a quantified dependability case (YAML/JSON GSN
   nodes + confidence models): render the argument and report every
   node's confidence, with ``--set node.param=value`` overrides;
@@ -33,7 +37,11 @@ Examples::
     repro-case sweep --spec examples/full_library_sweep.yaml --csv out.csv
     repro-case sweep --spec examples/sweep_spec.yaml --stream \
         --out rows.jsonl --progress --cache results_cache.jsonl
+    repro-case sweep --spec examples/sweep_spec.yaml --stream \
+        --out rows.jsonl --trace sweep.trace.json --metrics
+    repro-case telemetry summary sweep.trace.json --top 5
     repro-case cache stats --path results_cache.jsonl
+    repro-case cache clear --regions
     repro-case case --case examples/case_confidence.yaml --set A1.p_true=0.8
     repro-case validate --spec examples/full_library_sweep.yaml
     repro-case pipelines --verbose
@@ -148,11 +156,20 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="chunk_size", metavar="N",
                          help="scenarios per streamed chunk")
     p_sweep.add_argument("--progress", action="store_true",
-                         help="report per-chunk progress on stderr")
+                         help="report per-chunk progress on stderr "
+                         "(with throughput and ETA)")
     p_sweep.add_argument("--cache", default=None, metavar="PATH",
                          dest="cache_path",
                          help="disk-persistent result cache (JSONL log; "
                          "created if missing, reused across runs)")
+    p_sweep.add_argument("--trace", default=None, metavar="PATH",
+                         help="record a trace of the run: Chrome "
+                         "trace-event JSON (open in chrome://tracing or "
+                         "Perfetto), or one span per line if PATH ends "
+                         "in .jsonl")
+    p_sweep.add_argument("--metrics", action="store_true",
+                         help="collect engine metrics during the run and "
+                         "print them afterwards")
 
     p_cache = sub.add_parser(
         "cache",
@@ -167,10 +184,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache_stats.add_argument("--path", default=None, metavar="PATH",
                                help="disk result-cache log to inspect")
     p_cache_clear = cache_sub.add_parser(
-        "clear", help="clear a disk result cache (truncates the log)"
+        "clear", help="clear a disk result cache (truncates the log) "
+        "and/or the in-process compile-cache regions"
     )
-    p_cache_clear.add_argument("--path", required=True, metavar="PATH",
+    p_cache_clear.add_argument("--path", default=None, metavar="PATH",
                                help="disk result-cache log to clear")
+    p_cache_clear.add_argument("--regions", action="store_true",
+                               help="also clear every in-process "
+                               "compile-cache region")
+
+    p_telemetry = sub.add_parser(
+        "telemetry",
+        help="inspect traces recorded with sweep --trace",
+    )
+    telemetry_sub = p_telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+    p_telemetry_summary = telemetry_sub.add_parser(
+        "summary",
+        help="aggregated span tree and self-time hotspots from a trace "
+        "file (Chrome trace JSON or JSONL)",
+    )
+    p_telemetry_summary.add_argument(
+        "trace", metavar="TRACE",
+        help="trace file written by sweep --trace",
+    )
+    p_telemetry_summary.add_argument(
+        "--top", type=int, default=10,
+        help="hotspot rows to show (default 10; 0 = all)",
+    )
+    p_telemetry_summary.add_argument(
+        "--depth", type=int, default=None,
+        help="limit the span tree to this nesting depth",
+    )
 
     p_case = sub.add_parser(
         "case",
@@ -247,13 +293,44 @@ def _run_growth(args: argparse.Namespace) -> str:
     )
 
 
-def _stream_progress(done_chunks: int, n_chunks: int,
-                     done_rows: int, n_rows: int) -> None:
-    print(
-        f"chunk {done_chunks}/{n_chunks} "
-        f"({done_rows}/{n_rows} scenarios)",
-        file=sys.stderr, flush=True,
-    )
+def _format_eta(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class _StreamProgress:
+    """Per-chunk progress on stderr: counts, throughput, ETA.
+
+    The ``chunk N/N (R/R scenarios)`` prefix is stable (scripts parse
+    it); throughput and the remaining-time estimate are appended once a
+    measurable amount of work has completed.
+    """
+
+    def __init__(self):
+        import time
+
+        self._clock = time.perf_counter
+        self._start = self._clock()
+
+    def __call__(self, done_chunks: int, n_chunks: int,
+                 done_rows: int, n_rows: int) -> None:
+        line = (
+            f"chunk {done_chunks}/{n_chunks} "
+            f"({done_rows}/{n_rows} scenarios)"
+        )
+        elapsed = self._clock() - self._start
+        if elapsed > 0 and done_rows > 0:
+            rate = done_rows / elapsed
+            line += f", {rate:,.0f} rows/s"
+            remaining = n_rows - done_rows
+            if remaining > 0:
+                line += f", eta {_format_eta(remaining / rate)}"
+        print(line, file=sys.stderr, flush=True)
 
 
 def _run_sweep_streaming(args: argparse.Namespace,
@@ -276,7 +353,13 @@ def _run_sweep_streaming(args: argparse.Namespace,
         chunk_size=args.chunk_size,
         cache=cache,
         sinks=(sink,),
-        progress=_stream_progress if args.progress else None,
+        progress=_StreamProgress() if args.progress else None,
+    )
+    stages = meta.get("stage_timings", {})
+    stage_line = ", ".join(
+        f"{stage.removesuffix('_s')} {stages[stage]:.3f}s"
+        for stage in ("plan_s", "compile_s", "execute_s", "sink_s")
+        if stage in stages
     )
     return (
         f"{meta['rows']} rows streamed to {args.out} ({out_format}), "
@@ -284,7 +367,33 @@ def _run_sweep_streaming(args: argparse.Namespace,
         f"{meta['n_chunks']} chunks of <= {meta['chunk_size']}, "
         f"cache {meta['cache_hits']} hit / {meta['cache_misses']} miss, "
         f"{meta['elapsed_s']:.3f}s"
+        + (f"\nstages: {stage_line}" if stage_line else "")
     )
+
+
+def _metrics_report() -> str:
+    """Active metrics instruments as a table (zero-valued ones omitted)."""
+    from .telemetry import metrics
+
+    rows = []
+    for name, snap in metrics.snapshot().items():
+        if snap["type"] == "histogram":
+            if snap["count"]:
+                mean = snap["total"] / snap["count"]
+                rows.append([
+                    name, "histogram",
+                    f"n={snap['count']} total={snap['total']:.6f}s "
+                    f"mean={mean:.6f}s",
+                ])
+        elif snap["value"]:
+            value = snap["value"]
+            rows.append([
+                name, snap["type"],
+                f"{value:g}" if snap["type"] == "gauge" else f"{value}",
+            ])
+    if not rows:
+        return "metrics: (no instrument recorded a value)"
+    return "metrics:\n" + format_table(["metric", "type", "value"], rows)
 
 
 def _run_sweep(args: argparse.Namespace) -> str:
@@ -298,12 +407,49 @@ def _run_sweep(args: argparse.Namespace) -> str:
         ResultCache(path=args.cache_path)
         if args.cache_path is not None else None
     )
-    if args.stream:
-        return _run_sweep_streaming(args, sweeps, cache)
-    for flag, name in ((args.out, "--out"), (args.out_format, "--format"),
-                       (args.progress, "--progress")):
-        if flag:
-            raise ReproError(f"{name} only applies with --stream")
+    if not args.stream:
+        for flag, name in ((args.out, "--out"),
+                           (args.out_format, "--format"),
+                           (args.progress, "--progress")):
+            if flag:
+                raise ReproError(f"{name} only applies with --stream")
+
+    from .telemetry import capture_trace, disable_metrics, enable_metrics
+
+    if args.metrics:
+        enable_metrics(reset=True)
+    try:
+        if args.trace is not None:
+            with capture_trace() as trace:
+                report = (
+                    _run_sweep_streaming(args, sweeps, cache)
+                    if args.stream else
+                    _run_sweep_collect(args, sweeps, cache)
+                )
+            if str(args.trace).lower().endswith(".jsonl"):
+                trace.write_jsonl(args.trace)
+            else:
+                trace.write_chrome_trace(args.trace)
+            note = f"trace written to {args.trace} ({len(trace)} spans"
+            if trace.dropped:
+                note += f", {trace.dropped} dropped beyond the cap"
+            note += "); inspect with `repro-case telemetry summary` or Perfetto"
+            report += "\n" + note
+        else:
+            report = (
+                _run_sweep_streaming(args, sweeps, cache)
+                if args.stream else
+                _run_sweep_collect(args, sweeps, cache)
+            )
+    finally:
+        if args.metrics:
+            disable_metrics()
+    if args.metrics:
+        report += "\n" + _metrics_report()
+    return report
+
+
+def _run_sweep_collect(args: argparse.Namespace, sweeps, cache) -> str:
     lines: List[str] = []
     combined = []
     for index, spec in enumerate(sweeps):
@@ -512,14 +658,32 @@ def _run_cache(args: argparse.Namespace) -> str:
     from .compilecache import cache_stats
 
     if args.cache_command == "clear":
-        if not os.path.exists(args.path):
-            raise ReproError(f"no cache log at {args.path}")
-        entries = _count_log_keys(args.path)
-        with open(args.path, "w", encoding="utf-8"):
-            pass
-        return f"cleared {entries} cached result(s) from {args.path}"
+        if args.path is None and not args.regions:
+            raise ReproError(
+                "cache clear needs --path PATH and/or --regions"
+            )
+        lines: List[str] = []
+        if args.path is not None:
+            if not os.path.exists(args.path):
+                raise ReproError(f"no cache log at {args.path}")
+            entries = _count_log_keys(args.path)
+            with open(args.path, "w", encoding="utf-8"):
+                pass
+            lines.append(
+                f"cleared {entries} cached result(s) from {args.path}"
+            )
+        if args.regions:
+            from .compilecache import clear_all_regions
 
-    lines: List[str] = []
+            names = sorted(cache_stats())
+            clear_all_regions()
+            lines.append(
+                "cleared in-process compile-cache region(s): "
+                + (", ".join(names) if names else "(none created yet)")
+            )
+        return "\n".join(lines)
+
+    lines = []
     if args.path is not None:
         if not os.path.exists(args.path):
             raise ReproError(f"no cache log at {args.path}")
@@ -534,13 +698,33 @@ def _run_cache(args: argparse.Namespace) -> str:
     if not stats:
         lines.append("  (none created yet)")
     else:
-        rows = [
-            [name, region["entries"], region["hits"], region["misses"]]
-            for name, region in stats.items()
-        ]
-        lines.append(format_table(["region", "entries", "hits", "misses"],
-                                  rows))
+        rows = []
+        for name, region in stats.items():
+            lookups = region["hits"] + region["misses"]
+            rate = (
+                f"{region['hits'] / lookups:.1%}" if lookups else "-"
+            )
+            rows.append([
+                name, region["entries"], region["hits"],
+                region["misses"], rate,
+            ])
+        lines.append(format_table(
+            ["region", "entries", "hits", "misses", "hit rate"], rows
+        ))
     return "\n".join(lines)
+
+
+def _run_telemetry(args: argparse.Namespace) -> str:
+    from .telemetry import load_trace, render_summary
+
+    if args.top is not None and args.top < 0:
+        raise ReproError(f"--top must be non-negative, got {args.top}")
+    if args.depth is not None and args.depth < 0:
+        raise ReproError(f"--depth must be non-negative, got {args.depth}")
+    spans = load_trace(args.trace)
+    if not spans:
+        return f"{args.trace}: trace contains no spans"
+    return render_summary(spans, top=args.top, max_depth=args.depth)
 
 
 _RUNNERS = {
@@ -553,6 +737,7 @@ _RUNNERS = {
     "validate": _run_validate,
     "pipelines": _run_pipelines,
     "cache": _run_cache,
+    "telemetry": _run_telemetry,
 }
 
 

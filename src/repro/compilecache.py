@@ -35,10 +35,12 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Dict, Iterator, Optional, Tuple
 
 from .errors import DomainError
+from .telemetry import metrics, tracer
 
 __all__ = [
     "ContentCache",
@@ -46,7 +48,26 @@ __all__ = [
     "region_names",
     "cache_stats",
     "clear_all_regions",
+    "compile_seconds",
 ]
+
+# Process-wide factory-time accumulator: the streaming executor diffs
+# this across a run to report the "compile" stage even when telemetry
+# is off (worker *processes* accumulate in their own interpreter and
+# are not visible here; threads are).
+_compile_time = 0.0
+_compile_time_lock = threading.Lock()
+
+
+def compile_seconds() -> float:
+    """Total seconds spent inside cache-miss factories so far."""
+    return _compile_time
+
+
+def _add_compile_time(seconds: float) -> None:
+    global _compile_time
+    with _compile_time_lock:
+        _compile_time += seconds
 
 
 class ContentCache:
@@ -59,7 +80,8 @@ class ContentCache:
     """
 
     def __init__(self, maxsize: int = 100_000,
-                 path: Optional[str] = None):
+                 path: Optional[str] = None,
+                 name: Optional[str] = None):
         if maxsize < 1:
             raise DomainError("cache maxsize must be positive")
         self._maxsize = int(maxsize)
@@ -67,6 +89,13 @@ class ContentCache:
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
+        self._name = name or "anonymous"
+        prefix = f"cache.{self._name}"
+        self._m_hits = metrics.counter(f"{prefix}.hits")
+        self._m_misses = metrics.counter(f"{prefix}.misses")
+        self._m_evictions = metrics.counter(f"{prefix}.evictions")
+        self._m_appends = metrics.counter(f"{prefix}.log_appends")
+        self._m_compile = metrics.histogram(f"{prefix}.compile_s")
         self._path = os.fspath(path) if path is not None else None
         if self._path is not None:
             self._load_log()
@@ -83,6 +112,11 @@ class ContentCache:
     def path(self) -> Optional[str]:
         """The persistence log path, or ``None`` for in-memory only."""
         return self._path
+
+    @property
+    def name(self) -> str:
+        """The region/instrument name (``"anonymous"`` when unnamed)."""
+        return self._name
 
     @property
     def hits(self) -> int:
@@ -131,9 +165,11 @@ class ContentCache:
         with self._lock:
             if key not in self._data:
                 self._misses += 1
+                self._m_misses.add()
                 return default
             self._data.move_to_end(key)
             self._hits += 1
+            self._m_hits.add()
             return self._data[key]
 
     def put(self, key: str, value: Any) -> None:
@@ -141,8 +177,12 @@ class ContentCache:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
+            evicted = 0
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self._m_evictions.add(evicted)
             if self._path is not None:
                 self._append_log(key, value)
 
@@ -157,17 +197,29 @@ class ContentCache:
             if key in self._data:
                 self._data.move_to_end(key)
                 self._hits += 1
+                self._m_hits.add()
                 return self._data[key]
             self._misses += 1
-        value = factory()
+            self._m_misses.add()
+        started = time.perf_counter()
+        with tracer.span("compilecache.compile", region=self._name,
+                         key=key[:16]):
+            value = factory()
+        elapsed = time.perf_counter() - started
+        _add_compile_time(elapsed)
+        self._m_compile.observe(elapsed)
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
                 return self._data[key]
             self._data[key] = value
             self._data.move_to_end(key)
+            evicted = 0
             while len(self._data) > self._maxsize:
                 self._data.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self._m_evictions.add(evicted)
             if self._path is not None:
                 self._append_log(key, value)
         return value
@@ -202,8 +254,10 @@ class ContentCache:
         line = json.dumps({"key": key, "value": value},
                           separators=(",", ":"))
         try:
-            with open(self._path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            with tracer.span("compilecache.append_log", region=self._name):
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+            self._m_appends.add()
         except OSError as exc:
             raise DomainError(
                 f"cannot persist cache entry to {self._path}: {exc}"
@@ -212,6 +266,12 @@ class ContentCache:
     def _load_log(self) -> None:
         if not os.path.exists(self._path):
             return
+        with tracer.span("compilecache.load_log", region=self._name,
+                         path=self._path) as span:
+            self._load_log_lines()
+            span.set(entries=len(self._data))
+
+    def _load_log_lines(self) -> None:
         try:
             with open(self._path, "r", encoding="utf-8") as handle:
                 for line in handle:
@@ -268,7 +328,7 @@ def region(name: str, maxsize: int = 512) -> ContentCache:
     with _regions_lock:
         cache = _regions.get(name)
         if cache is None:
-            cache = ContentCache(maxsize=maxsize)
+            cache = ContentCache(maxsize=maxsize, name=name)
             _regions[name] = cache
         return cache
 

@@ -39,7 +39,9 @@ class ResultCache(ContentCache):
 
     def __init__(self, maxsize: int = 100_000,
                  path: Optional[str] = None):
-        super().__init__(maxsize=maxsize, path=path)
+        # The shared "engine.results" instrument name: every ResultCache
+        # instance feeds the same telemetry counters, like a region.
+        super().__init__(maxsize=maxsize, path=path, name="engine.results")
 
     def get(self, key: str,
             default: Any = None) -> Optional[Dict[str, Any]]:

@@ -35,6 +35,7 @@ import time
 from typing import Optional, Sequence, Union
 
 from ..errors import DomainError
+from ..telemetry import tracer
 from .cache import ResultCache
 from .pipelines import get_pipeline
 from .plan import lower
@@ -60,16 +61,19 @@ def run_scenario(
 ) -> ScenarioResult:
     """Execute a single scenario (through the cache when one is given)."""
     pipeline = get_pipeline(spec.pipeline)
-    use_cache = cache is not None and _cacheable(pipeline, spec)
-    if use_cache:
-        key = pipeline.cache_key(spec)
-        cached = cache.get(key)
-        if cached is not None:
-            return ScenarioResult(spec, cached, from_cache=True)
-    values = pipeline.run(dict(spec.params), spec.seed)
-    if use_cache:
-        cache.put(key, values)
-    return ScenarioResult(spec, values)
+    with tracer.span("scenario.run", pipeline=spec.pipeline) as span:
+        use_cache = cache is not None and _cacheable(pipeline, spec)
+        if use_cache:
+            key = pipeline.cache_key(spec)
+            cached = cache.get(key)
+            if cached is not None:
+                span.set(from_cache=True)
+                return ScenarioResult(spec, cached, from_cache=True)
+        values = pipeline.run(dict(spec.params), spec.seed)
+        if use_cache:
+            cache.put(key, values)
+        span.set(from_cache=False)
+        return ScenarioResult(spec, values)
 
 
 def _wrapper_chunk_size(

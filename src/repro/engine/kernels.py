@@ -28,6 +28,7 @@ Kernel families:
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +36,7 @@ import numpy as np
 from ..distributions import lognormal_pdf_grid
 from ..errors import DomainError
 from ..numerics import log_grid, norm_cdf, norm_ppf
+from ..telemetry import tracer
 from ..update import survival_update_batch
 
 __all__ = [
@@ -60,6 +62,23 @@ __all__ = [
 _GROWTH_CHUNK = 256
 
 
+def _traced_kernel(kernel):
+    """Wrap a batch kernel in a ``kernel.<name>`` tracing span.
+
+    With telemetry off (the default) the wrapper costs one no-op
+    context manager per *batch* — nothing per scenario.
+    """
+    span_name = f"kernel.{kernel.__name__}"
+
+    @functools.wraps(kernel)
+    def wrapper(*args, **kwargs):
+        with tracer.span(span_name):
+            return kernel(*args, **kwargs)
+
+    return wrapper
+
+
+@_traced_kernel
 def survival_sweep_columns(
     modes,
     sigmas,
@@ -96,6 +115,7 @@ def survival_sweep_columns(
     return batch.summaries(bound=bounds_arr)
 
 
+@_traced_kernel
 def survival_sweep(
     param_dicts: Sequence[Dict],
 ) -> List[Dict[str, float]]:
@@ -141,6 +161,7 @@ def survival_sweep(
 # Growth-model likelihood grids
 # --------------------------------------------------------------------- #
 
+@_traced_kernel
 def jm_profile_sweep(
     times_rows: np.ndarray, candidates: np.ndarray
 ) -> Dict[str, np.ndarray]:
@@ -199,6 +220,7 @@ def jm_profile_sweep(
     }
 
 
+@_traced_kernel
 def lv_lattice_sweep(
     times_rows: np.ndarray, lattice: np.ndarray
 ) -> Dict[str, np.ndarray]:
@@ -325,6 +347,7 @@ def lognormal_interval(mu, sigma, level: float) -> Tuple[np.ndarray, np.ndarray]
     return low, high
 
 
+@_traced_kernel
 def band_confidence_sweep(mu, sigma, scheme) -> Dict[int, np.ndarray]:
     """One-sided confidence per SIL band for lognormal parameter arrays.
 
@@ -381,6 +404,7 @@ def band_levels_of(values, scheme) -> List:
 # Risk and conservatism
 # --------------------------------------------------------------------- #
 
+@_traced_kernel
 def alarp_sweep(
     modes, sigmas, intolerable, acceptable, required
 ) -> Dict[str, np.ndarray]:
@@ -420,6 +444,7 @@ def alarp_sweep(
     }
 
 
+@_traced_kernel
 def conservatism_sweep(
     modes, sigmas, belief_bounds, betas
 ) -> Dict[str, np.ndarray]:
@@ -464,6 +489,7 @@ def conservatism_sweep(
 # Elicitation
 # --------------------------------------------------------------------- #
 
+@_traced_kernel
 def linear_pool_sweep(
     modes: np.ndarray,
     sigmas: np.ndarray,
@@ -501,6 +527,7 @@ def linear_pool_sweep(
     }
 
 
+@_traced_kernel
 def calibration_sweep(
     stated: np.ndarray,
     truths: np.ndarray,

@@ -72,6 +72,7 @@ import numpy as np
 
 from ..errors import DomainError
 from ..numerics import ensure_rng
+from ..telemetry import tracer
 from . import kernels as _kernels
 
 __all__ = [
@@ -155,9 +156,12 @@ class Pipeline:
         through ``run_batch`` regardless of vectorisation.
         """
         kernel = _BATCH_KERNELS.get(self.name)
-        if kernel is None:
-            return [self.run(params, seed) for params, seed in items]
-        return kernel(self, items)
+        with tracer.span("kernel.dispatch", pipeline=self.name,
+                         n_items=len(items),
+                         vectorized=kernel is not None):
+            if kernel is None:
+                return [self.run(params, seed) for params, seed in items]
+            return kernel(self, items)
 
 
 _REGISTRY: Dict[str, Pipeline] = {}

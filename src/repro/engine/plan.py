@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import DomainError
 from ..numerics import spawn_seeds_range
+from ..telemetry import tracer
 from .pipelines import Pipeline, get_pipeline
 from .spec import ScenarioSpec, SweepSpec
 
@@ -238,39 +239,50 @@ def lower(
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
         raise DomainError("chunk_size must be positive")
-    if isinstance(sweep, SweepSpec):
-        axes = tuple(
-            (name, tuple(sweep.grid[name])) for name in sweep.axes
-        )
-        return ExecutionPlan(
-            sweep.pipeline,
-            base=dict(sweep.base),
-            axes=axes,
-            master_seed=sweep.seed,
-            n_scenarios=sweep.n_scenarios(),
+    with tracer.span("plan.lower") as span:
+        if isinstance(sweep, SweepSpec):
+            axes = tuple(
+                (name, tuple(sweep.grid[name])) for name in sweep.axes
+            )
+            plan = ExecutionPlan(
+                sweep.pipeline,
+                base=dict(sweep.base),
+                axes=axes,
+                master_seed=sweep.seed,
+                n_scenarios=sweep.n_scenarios(),
+                chunk_size=chunk_size,
+            )
+            span.set(pipeline=plan.pipeline_name,
+                     n_scenarios=plan.n_scenarios,
+                     n_chunks=plan.n_chunks,
+                     chunk_size=plan.chunk_size)
+            return plan
+        scenarios = tuple(sweep)
+        if not all(isinstance(s, ScenarioSpec) for s in scenarios):
+            raise DomainError(
+                "sweep must be a SweepSpec or a sequence of ScenarioSpec"
+            )
+        pipelines = {scenario.pipeline for scenario in scenarios}
+        if len(pipelines) > 1:
+            raise DomainError(
+                f"a sweep must use a single pipeline, got {sorted(pipelines)}"
+            )
+        if not scenarios:
+            raise DomainError(
+                "cannot lower an empty scenario list; pass a SweepSpec for "
+                "empty sweeps"
+            )
+        plan = ExecutionPlan(
+            next(iter(pipelines)),
+            base={},
+            axes=(),
+            master_seed=None,
+            n_scenarios=len(scenarios),
             chunk_size=chunk_size,
+            explicit=scenarios,
         )
-    scenarios = tuple(sweep)
-    if not all(isinstance(s, ScenarioSpec) for s in scenarios):
-        raise DomainError(
-            "sweep must be a SweepSpec or a sequence of ScenarioSpec"
-        )
-    pipelines = {scenario.pipeline for scenario in scenarios}
-    if len(pipelines) > 1:
-        raise DomainError(
-            f"a sweep must use a single pipeline, got {sorted(pipelines)}"
-        )
-    if not scenarios:
-        raise DomainError(
-            "cannot lower an empty scenario list; pass a SweepSpec for "
-            "empty sweeps"
-        )
-    return ExecutionPlan(
-        next(iter(pipelines)),
-        base={},
-        axes=(),
-        master_seed=None,
-        n_scenarios=len(scenarios),
-        chunk_size=chunk_size,
-        explicit=scenarios,
-    )
+        span.set(pipeline=plan.pipeline_name,
+                 n_scenarios=plan.n_scenarios,
+                 n_chunks=plan.n_chunks,
+                 chunk_size=plan.chunk_size)
+        return plan

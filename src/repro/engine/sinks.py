@@ -36,9 +36,13 @@ import json
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import DomainError
+from ..telemetry import metrics
 from .results import ResultSet, ScenarioResult
 
 __all__ = ["ResultSink", "MemorySink", "JsonlSink", "CsvSink"]
+
+_M_SINK_ROWS = metrics.counter("sink.rows")
+_M_SINK_BYTES = metrics.counter("sink.bytes")
 
 
 class ResultSink:
@@ -63,6 +67,7 @@ class MemorySink(ResultSink):
 
     def write(self, results: Sequence[ScenarioResult]) -> None:
         self._results.extend(results)
+        _M_SINK_ROWS.add(len(results))
 
     @property
     def results(self) -> List[ScenarioResult]:
@@ -73,6 +78,29 @@ class MemorySink(ResultSink):
         return ResultSet(self._results, dict(meta or {}))
 
 
+class _CountingWriter:
+    """Wrap a text handle, counting the UTF-8 bytes pushed through it."""
+
+    __slots__ = ("_handle", "n_bytes")
+
+    def __init__(self, handle):
+        self._handle = handle
+        self.n_bytes = 0
+
+    def write(self, text: str) -> int:
+        # json.dumps/csv output is almost always pure ASCII, where the
+        # character count *is* the byte count — only re-encode otherwise.
+        count = len(text) if text.isascii() else len(text.encode("utf-8"))
+        self.n_bytes += count
+        _M_SINK_BYTES.add(count)
+        return self._handle.write(text)
+
+    def flush(self) -> None:
+        flush = getattr(self._handle, "flush", None)
+        if flush is not None:
+            flush()
+
+
 class _FileSink(ResultSink):
     """Shared path-or-handle plumbing for the file-writing sinks."""
 
@@ -81,16 +109,25 @@ class _FileSink(ResultSink):
             raise DomainError(f"{type(self).__name__} needs a path or handle")
         self._target = path_or_handle
         self._handle = None
+        self._raw_handle = None
         self._owns_handle = False
         self.n_rows = 0
+        self._final_bytes = 0
+
+    @property
+    def n_bytes(self) -> int:
+        """UTF-8 bytes written so far (final total after ``close``)."""
+        if self._handle is not None:
+            return self._handle.n_bytes
+        return self._final_bytes
 
     def open(self, plan) -> None:
         if hasattr(self._target, "write"):
-            self._handle = self._target
+            self._raw_handle = self._target
             self._owns_handle = False
         else:
             try:
-                self._handle = open(
+                self._raw_handle = open(
                     self._target, "w", encoding="utf-8", newline=""
                 )
             except OSError as exc:
@@ -98,11 +135,15 @@ class _FileSink(ResultSink):
                     f"cannot open {self._target} for writing: {exc}"
                 ) from exc
             self._owns_handle = True
+        self._handle = _CountingWriter(self._raw_handle)
 
     def close(self) -> None:
-        if self._handle is not None and self._owns_handle:
-            self._handle.close()
+        if self._handle is not None:
+            self._final_bytes = self._handle.n_bytes
+        if self._raw_handle is not None and self._owns_handle:
+            self._raw_handle.close()
         self._handle = None
+        self._raw_handle = None
 
 
 class JsonlSink(_FileSink):
@@ -124,6 +165,7 @@ class JsonlSink(_FileSink):
                                     default=str))
         self._handle.write("\n".join(lines) + "\n")
         self.n_rows += len(results)
+        _M_SINK_ROWS.add(len(results))
 
 
 class CsvSink(_FileSink):
@@ -163,3 +205,4 @@ class CsvSink(_FileSink):
                 )
             self._writer.writerow(record)
             self.n_rows += 1
+        _M_SINK_ROWS.add(len(results))

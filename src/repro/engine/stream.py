@@ -25,11 +25,14 @@ for a given spec.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..compilecache import compile_seconds
 from ..errors import DomainError
+from ..telemetry import metrics, tracer
 from .cache import ResultCache
 from .plan import ExecutionPlan, lower
 from .results import ScenarioResult
@@ -37,6 +40,14 @@ from .sinks import ResultSink
 from .spec import ScenarioSpec
 
 __all__ = ["run_sweep_streaming", "stream_results", "BACKENDS"]
+
+# Run-level counters/gauges; see README's telemetry reference table.
+_M_ROWS = metrics.counter("engine.rows")
+_M_CHUNKS = metrics.counter("engine.chunks")
+_M_CACHE_HITS = metrics.counter("engine.cache_hits")
+_M_CACHE_MISSES = metrics.counter("engine.cache_misses")
+_M_STEALS = metrics.counter("engine.work_steals")
+_M_QUEUE_DEPTH = metrics.gauge("engine.queue_depth")
 
 BACKENDS = ("auto", "vectorized", "serial", "thread", "process")
 
@@ -140,17 +151,22 @@ def stream_results(
     if effective in ("serial", "vectorized"):
         pipeline = plan.pipeline
         for chunk in plan.chunks():
-            work = _ChunkWork(plan, plan.chunk_scenarios(chunk), cache)
-            if effective == "serial":
-                values = [
-                    pipeline.run(params, seed)
-                    for params, seed in work.items
-                ]
-            else:
-                values = (
-                    pipeline.run_batch(work.items) if work.items else []
-                )
-            yield work.merge(values, cache)
+            with tracer.span("stream.chunk", index=chunk.index,
+                             backend=effective) as span:
+                work = _ChunkWork(plan, plan.chunk_scenarios(chunk), cache)
+                if effective == "serial":
+                    values = [
+                        pipeline.run(params, seed)
+                        for params, seed in work.items
+                    ]
+                else:
+                    values = (
+                        pipeline.run_batch(work.items) if work.items else []
+                    )
+                span.set(n=len(work.scenarios),
+                         cache_hits=len(work.hits))
+                merged = work.merge(values, cache)
+            yield merged
         return
 
     pool_cls = (
@@ -165,6 +181,25 @@ def stream_results(
         n_chunks = plan.n_chunks
         in_flight: Dict[int, Tuple[Any, _ChunkWork]] = {}
         next_submit = 0
+        # Work-steal accounting: a chunk that completes before every
+        # lower-indexed chunk has completed was executed out of turn by
+        # a worker that would otherwise have idled.  The done-callbacks
+        # fire on pool threads, hence the lock.
+        steal_state = {"expected": 0, "steals": 0}
+        early_done: set = set()
+        steal_lock = threading.Lock()
+
+        def _completed(index: int) -> None:
+            with steal_lock:
+                if index == steal_state["expected"]:
+                    steal_state["expected"] += 1
+                    while steal_state["expected"] in early_done:
+                        early_done.discard(steal_state["expected"])
+                        steal_state["expected"] += 1
+                else:
+                    early_done.add(index)
+                    steal_state["steals"] += 1
+                    _M_STEALS.add()
 
         def submit_up_to(limit: int) -> None:
             nonlocal next_submit
@@ -174,15 +209,27 @@ def stream_results(
                 future = pool.submit(
                     _execute_chunk, plan.pipeline_name, work.items
                 )
+                future.add_done_callback(
+                    lambda _f, index=next_submit: _completed(index)
+                )
                 in_flight[next_submit] = (future, work)
                 next_submit += 1
 
         try:
             for emit_index in range(n_chunks):
                 submit_up_to(window)
-                future, work = in_flight.pop(emit_index)
-                values = future.result()
-                yield work.merge(values, cache)
+                _M_QUEUE_DEPTH.set(len(in_flight))
+                with tracer.span("stream.chunk", index=emit_index,
+                                 backend=effective,
+                                 queue_depth=len(in_flight),
+                                 window=window) as span:
+                    future, work = in_flight.pop(emit_index)
+                    values = future.result()
+                    span.set(n=len(work.scenarios),
+                             cache_hits=len(work.hits),
+                             steals=steal_state["steals"])
+                    merged = work.merge(values, cache)
+                yield merged
         finally:
             # Only reachable with futures in flight when a chunk raised
             # or the consumer abandoned the stream; don't let the
@@ -211,11 +258,17 @@ def run_sweep_streaming(
     n_chunks, done_scenarios, n_scenarios)``.
 
     Returns the run's meta summary: pipeline, backend, scenario/chunk
-    counts, cache hit/miss totals, rows written and elapsed seconds.
+    counts, cache hit/miss totals, rows written, elapsed seconds, and a
+    ``stage_timings`` breakdown: seconds spent lowering the plan
+    (``plan_s``), inside compile-cache factories (``compile_s``, the
+    process-wide :func:`repro.compilecache.compile_seconds` delta — not
+    visible across *process*-pool workers), pulling executed chunks
+    from the backend (``execute_s``) and writing sinks (``sink_s``).
     The stream reproduces :func:`repro.engine.run_sweep` exactly — same
     rows, same order, same seeds — for every backend and chunk size.
     """
     started = time.perf_counter()
+    compile_before = compile_seconds()
     if isinstance(sweep, ExecutionPlan):
         if chunk_size is not None and chunk_size != sweep.chunk_size:
             raise DomainError(
@@ -223,10 +276,12 @@ def run_sweep_streaming(
                 "re-lower the sweep instead"
             )
         plan = sweep
+        plan_elapsed = 0.0
     else:
         if chunk_size is None and backend in ("thread", "process"):
             chunk_size = _POOLED_CHUNK_SIZE
         plan = lower(sweep, chunk_size=chunk_size)
+        plan_elapsed = time.perf_counter() - started
     _effective, label = _resolve_backend(plan, backend)
     meta: Dict[str, Any] = {
         "pipeline": plan.pipeline_name,
@@ -236,29 +291,59 @@ def run_sweep_streaming(
         "chunk_size": plan.chunk_size,
     }
     hits = misses = rows = chunks_done = 0
+    execute_elapsed = sink_elapsed = 0.0
     opened: List[ResultSink] = []
-    try:
-        # Open inside the guard: if a later sink's open() fails, the
-        # earlier sinks' handles are still closed on the way out.
-        for sink in sinks:
-            sink.open(plan)
-            opened.append(sink)
-        for chunk_results in stream_results(
-            plan, backend=backend, max_workers=max_workers, cache=cache
-        ):
+    with tracer.span("sweep.stream", pipeline=plan.pipeline_name,
+                     backend=label, n_scenarios=plan.n_scenarios,
+                     n_chunks=plan.n_chunks,
+                     chunk_size=plan.chunk_size) as root_span:
+        try:
+            # Open inside the guard: if a later sink's open() fails, the
+            # earlier sinks' handles are still closed on the way out.
             for sink in sinks:
-                sink.write(chunk_results)
-            rows += len(chunk_results)
-            chunks_done += 1
-            hits += sum(1 for r in chunk_results if r.from_cache)
-            misses += sum(1 for r in chunk_results if not r.from_cache)
-            if progress is not None:
-                progress(chunks_done, plan.n_chunks, rows, plan.n_scenarios)
-    finally:
-        for sink in opened:
-            sink.close()
+                sink.open(plan)
+                opened.append(sink)
+            stream = stream_results(
+                plan, backend=backend, max_workers=max_workers, cache=cache
+            )
+            while True:
+                stage_start = time.perf_counter()
+                try:
+                    chunk_results = next(stream)
+                except StopIteration:
+                    execute_elapsed += time.perf_counter() - stage_start
+                    break
+                execute_elapsed += time.perf_counter() - stage_start
+                stage_start = time.perf_counter()
+                for sink in sinks:
+                    sink.write(chunk_results)
+                sink_elapsed += time.perf_counter() - stage_start
+                rows += len(chunk_results)
+                chunks_done += 1
+                chunk_hits = sum(1 for r in chunk_results if r.from_cache)
+                hits += chunk_hits
+                misses += len(chunk_results) - chunk_hits
+                if progress is not None:
+                    progress(chunks_done, plan.n_chunks, rows,
+                             plan.n_scenarios)
+        finally:
+            stage_start = time.perf_counter()
+            for sink in opened:
+                sink.close()
+            sink_elapsed += time.perf_counter() - stage_start
+        _M_ROWS.add(rows)
+        _M_CHUNKS.add(chunks_done)
+        _M_CACHE_HITS.add(hits)
+        _M_CACHE_MISSES.add(misses)
+        root_span.set(rows=rows, cache_hits=hits, cache_misses=misses)
     meta["cache_hits"] = hits
     meta["cache_misses"] = misses
     meta["rows"] = rows
     meta["elapsed_s"] = time.perf_counter() - started
+    meta["stage_timings"] = {
+        "plan_s": plan_elapsed,
+        "compile_s": compile_seconds() - compile_before,
+        "execute_s": execute_elapsed,
+        "sink_s": sink_elapsed,
+    }
     return meta

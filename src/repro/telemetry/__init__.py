@@ -1,0 +1,80 @@
+"""Observability for the plan -> compile -> execute stack.
+
+Zero-dependency tracing spans, a metrics registry and trace analysis,
+built so that instrumentation left in the hot paths costs almost
+nothing while telemetry is off (the default) and turns the engine into
+a measured system when it is on:
+
+* :data:`tracer` / :func:`enable_tracing` / :func:`capture_trace` —
+  nested, thread-aware spans with wall + CPU time and attributes,
+  exportable as Chrome trace-event JSON (``chrome://tracing``,
+  Perfetto) or JSONL (:mod:`repro.telemetry.trace`);
+* :data:`metrics` / :func:`enable_metrics` — process-wide counters,
+  gauges and fixed-bucket histograms, snapshot-diffable
+  (:mod:`repro.telemetry.metrics`);
+* :func:`load_trace` / :func:`render_summary` — read a trace back and
+  render the aggregated span tree and self-time hotspot table
+  (:mod:`repro.telemetry.summary`), the engine of the ``repro-case
+  telemetry summary`` subcommand.
+
+Quickstart::
+
+    from repro.engine import SweepSpec, run_sweep_streaming, JsonlSink
+    from repro.telemetry import capture_trace, enable_metrics, metrics
+
+    enable_metrics()
+    with capture_trace() as trace:
+        meta = run_sweep_streaming(sweep, sinks=(JsonlSink("rows.jsonl"),))
+    trace.write_chrome_trace("sweep.trace.json")   # open in Perfetto
+    print(metrics.snapshot()["engine.rows"]["value"], meta["rows"])
+
+Instrumented layers: plan lowering, the unified compile cache (per
+region), the streaming executor (per chunk + stage timings), kernel
+dispatch, compiled BBN inference (per einsum contraction and
+likelihood-weighting block), compiled case topo passes, and the result
+sinks.  See the README's span reference table for every span name.
+"""
+
+from .metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics,
+)
+from .summary import aggregate_tree, hotspots, render_summary
+from .trace import (
+    NoopTracer,
+    Span,
+    Tracer,
+    capture_trace,
+    disable_tracing,
+    enable_tracing,
+    load_trace,
+    tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "capture_trace",
+    "load_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "DEFAULT_DURATION_BUCKETS",
+    "aggregate_tree",
+    "hotspots",
+    "render_summary",
+]

@@ -1,0 +1,254 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Instrumented modules create their instruments **once at import time**
+(``_HITS = metrics.counter("cache.bbn.network.hits")``) and then call
+``add``/``set``/``observe`` on the hot path.  The registry is a single
+process-wide object (:data:`metrics`), disabled by default: a disabled
+instrument returns after one attribute check, so instrumentation costs
+almost nothing until :func:`enable_metrics` switches it on.
+
+Instruments are named with dot-separated lowercase paths
+(``engine.rows``, ``cache.<region>.hits``, ``sink.bytes``).  Names are
+unique across types — asking for an existing name with a different
+instrument type is an error, not a silent shadow.
+
+Histograms use **fixed bucket boundaries** chosen at creation
+(:data:`DEFAULT_DURATION_BUCKETS` spans 1µs–100s in half-decade steps,
+sized for compile/kernel durations): ``observe`` is a bisect plus two
+adds, cheap enough for per-chunk call sites, and two snapshots diff
+cleanly because the boundaries never move.
+
+:meth:`MetricsRegistry.snapshot` returns plain nested dicts — the CLI's
+``--metrics`` table, the exact-match tests against sweep ``meta``
+counters, and any service endpoint all read the same structure.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import DomainError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics",
+    "enable_metrics",
+    "disable_metrics",
+    "DEFAULT_DURATION_BUCKETS",
+]
+
+#: Half-decade log-spaced duration buckets (seconds), 1µs to 100s: wide
+#: enough for einsum contractions and whole-case compiles alike.
+DEFAULT_DURATION_BUCKETS: Tuple[float, ...] = tuple(
+    round(10.0 ** (exponent / 2.0), 9) for exponent in range(-12, 5)
+)
+
+
+class _Instrument:
+    """Shared name/registry plumbing for the three instrument types."""
+
+    __slots__ = ("name", "_registry", "_lock")
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        self.name = name
+        self._registry = registry
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (rows written, cache hits...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        super().__init__(name, registry)
+        self._value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if not self._registry.enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(_Instrument):
+    """A point-in-time level (queue depth, in-flight window...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, registry: "MetricsRegistry"):
+        super().__init__(name, registry)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram(_Instrument):
+    """Fixed-boundary bucketed observations (durations, sizes).
+
+    ``buckets`` are the upper bounds of the first ``len(buckets)``
+    buckets; one overflow bucket catches everything beyond the last
+    boundary.  The snapshot exposes per-bucket counts plus the running
+    ``count``/``total``, so means and quantile bounds fall out directly.
+    """
+
+    __slots__ = ("buckets", "_counts", "_count", "_total")
+
+    def __init__(self, name: str, registry: "MetricsRegistry",
+                 buckets: Tuple[float, ...]):
+        super().__init__(name, registry)
+        cleaned = tuple(float(b) for b in buckets)
+        if not cleaned:
+            raise DomainError(f"histogram {name!r} needs bucket boundaries")
+        if list(cleaned) != sorted(set(cleaned)):
+            raise DomainError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.buckets = cleaned
+        self._counts = [0] * (len(cleaned) + 1)
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        index = bisect_right(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "total": self._total,
+            "buckets": list(self.buckets),
+            "counts": list(self._counts),
+        }
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._count = 0
+            self._total = 0.0
+
+
+class MetricsRegistry:
+    """The process-wide instrument store behind :data:`metrics`.
+
+    ``counter``/``gauge``/``histogram`` get-or-create by name, so the
+    same instrument is shared by every caller asking for that name.
+    Disabled (the default), instruments ignore updates; values persist
+    across enable/disable so callers can diff :meth:`snapshot` pairs.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+        self.enabled = False
+
+    def _get_or_create(self, name: str, kind, factory) -> _Instrument:
+        if not name:
+            raise DomainError("instrument needs a non-empty name")
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise DomainError(
+                    f"instrument {name!r} already exists as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, self)
+        )
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, self))
+
+    def histogram(
+        self, name: str,
+        buckets: Tuple[float, ...] = DEFAULT_DURATION_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, self, buckets)
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Name -> state for every instrument, sorted by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instruments[name].snapshot()
+            for name in sorted(instruments)
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments themselves persist)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument._reset()
+
+
+#: The process-wide metrics singleton every instrumentation site uses.
+metrics = MetricsRegistry()
+
+
+def enable_metrics(reset: bool = False) -> MetricsRegistry:
+    """Switch metric collection on; ``reset=True`` zeroes values first."""
+    if reset:
+        metrics.reset()
+    metrics.enabled = True
+    return metrics
+
+
+def disable_metrics() -> MetricsRegistry:
+    """Switch metric collection off (values are kept for inspection)."""
+    metrics.enabled = False
+    return metrics

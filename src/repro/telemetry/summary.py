@@ -1,0 +1,205 @@
+"""Trace analysis: span trees and hotspot tables from exported traces.
+
+This module turns the span dicts of :func:`repro.telemetry.load_trace`
+back into the numbers an engineer actually asks of a trace:
+
+* :func:`aggregate_tree` — spans grouped by their **name path** (the
+  chain of ancestor names down to the span), with per-path call counts,
+  total/mean wall time, CPU time and *self* time (wall minus the wall
+  time of direct children), rendered as an indented tree sorted by
+  total wall time;
+* :func:`hotspots` — spans grouped by name alone and ranked by total
+  self time: where the run actually burned its clock, independent of
+  call depth;
+* :func:`render_summary` — both views as one table-formatted report,
+  the backend of ``repro-case telemetry summary``.
+
+Self time is the load-bearing quantity: a parent span covering its
+children contributes only the *uncovered* remainder, so the hotspot
+ranking does not double-count nested work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..viz import format_table
+
+__all__ = ["aggregate_tree", "hotspots", "render_summary"]
+
+
+def _self_times(spans: List[Dict[str, Any]]) -> Dict[int, float]:
+    """Span id -> wall time not covered by direct children."""
+    child_wall: Dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + span["wall_s"]
+    out: Dict[int, float] = {}
+    for span in spans:
+        span_id = span.get("span_id")
+        if span_id is None:
+            continue
+        out[span_id] = max(0.0, span["wall_s"] - child_wall.get(span_id, 0.0))
+    return out
+
+
+def _name_paths(spans: List[Dict[str, Any]]) -> Dict[int, Tuple[str, ...]]:
+    """Span id -> the chain of names from its root down to it."""
+    by_id = {
+        span["span_id"]: span
+        for span in spans if span.get("span_id") is not None
+    }
+    paths: Dict[int, Tuple[str, ...]] = {}
+
+    def path_of(span_id: int) -> Tuple[str, ...]:
+        cached = paths.get(span_id)
+        if cached is not None:
+            return cached
+        span = by_id[span_id]
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            result = path_of(parent) + (span["name"],)
+        else:
+            result = (span["name"],)
+        paths[span_id] = result
+        return result
+
+    for span_id in by_id:
+        path_of(span_id)
+    return paths
+
+
+def aggregate_tree(
+    spans: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-name-path aggregates, parents before children, heavy first.
+
+    Each entry carries ``path``, ``depth``, ``count``, ``wall_s``
+    (total), ``cpu_s``, ``self_s`` and ``share`` (of the total root
+    wall time).  Spans whose parent is missing from the trace (e.g.
+    dropped beyond the tracer cap) aggregate as roots.
+    """
+    if not spans:
+        return []
+    selfs = _self_times(spans)
+    paths = _name_paths(spans)
+    groups: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+    for span in spans:
+        span_id = span.get("span_id")
+        path = (
+            paths[span_id] if span_id in paths else (span["name"],)
+        )
+        group = groups.setdefault(path, {
+            "path": path, "depth": len(path) - 1, "count": 0,
+            "wall_s": 0.0, "cpu_s": 0.0, "self_s": 0.0,
+        })
+        group["count"] += 1
+        group["wall_s"] += span["wall_s"]
+        group["cpu_s"] += span["cpu_s"]
+        group["self_s"] += selfs.get(span_id, span["wall_s"])
+    root_wall = sum(
+        group["wall_s"] for path, group in groups.items() if len(path) == 1
+    )
+    for group in groups.values():
+        group["share"] = (
+            group["wall_s"] / root_wall if root_wall > 0 else 0.0
+        )
+
+    # Depth-first emission, children under their parent, heavy first.
+    ordered: List[Dict[str, Any]] = []
+
+    def emit(prefix: Tuple[str, ...]) -> None:
+        children = [
+            path for path in groups
+            if len(path) == len(prefix) + 1 and path[:-1] == prefix
+        ]
+        for path in sorted(
+            children, key=lambda p: -groups[p]["wall_s"]
+        ):
+            ordered.append(groups[path])
+            emit(path)
+
+    emit(())
+    return ordered
+
+
+def hotspots(
+    spans: List[Dict[str, Any]], top: int = 10
+) -> List[Dict[str, Any]]:
+    """Span names ranked by total self time (descending), ``top`` rows."""
+    if not spans:
+        return []
+    selfs = _self_times(spans)
+    groups: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        group = groups.setdefault(span["name"], {
+            "name": span["name"], "count": 0,
+            "wall_s": 0.0, "cpu_s": 0.0, "self_s": 0.0,
+        })
+        group["count"] += 1
+        group["wall_s"] += span["wall_s"]
+        group["cpu_s"] += span["cpu_s"]
+        group["self_s"] += selfs.get(span.get("span_id"), span["wall_s"])
+    total_self = sum(group["self_s"] for group in groups.values())
+    for group in groups.values():
+        group["share"] = (
+            group["self_s"] / total_self if total_self > 0 else 0.0
+        )
+    ranked = sorted(groups.values(), key=lambda g: -g["self_s"])
+    return ranked[:top] if top else ranked
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def render_summary(
+    spans: List[Dict[str, Any]],
+    top: int = 10,
+    max_depth: Optional[int] = None,
+) -> str:
+    """The span tree and hotspot tables as one human-readable report."""
+    if not spans:
+        return "trace contains no spans"
+    tree = aggregate_tree(spans)
+    if max_depth is not None:
+        tree = [group for group in tree if group["depth"] <= max_depth]
+    tree_rows = [
+        [
+            "  " * group["depth"] + group["path"][-1],
+            group["count"],
+            _fmt_seconds(group["wall_s"]),
+            _fmt_seconds(group["wall_s"] / group["count"]),
+            _fmt_seconds(group["cpu_s"]),
+            f"{group['share']:.1%}",
+        ]
+        for group in tree
+    ]
+    lines = [
+        f"span tree ({len(spans)} spans):",
+        format_table(
+            ["span", "calls", "wall", "mean", "cpu", "share"], tree_rows
+        ),
+        "",
+        f"top hotspots by self time (top {top}):",
+        format_table(
+            ["span", "calls", "self", "wall", "cpu", "self share"],
+            [
+                [
+                    group["name"],
+                    group["count"],
+                    _fmt_seconds(group["self_s"]),
+                    _fmt_seconds(group["wall_s"]),
+                    _fmt_seconds(group["cpu_s"]),
+                    f"{group['share']:.1%}",
+                ]
+                for group in hotspots(spans, top=top)
+            ],
+        ),
+    ]
+    return "\n".join(lines)

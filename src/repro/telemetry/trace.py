@@ -1,0 +1,443 @@
+"""Tracing spans: nested, thread-aware, exportable, near-free when off.
+
+The tracer produces **spans** — named, timed regions with attributes and
+a parent link — organised per thread: entering a span pushes it on the
+calling thread's stack, so spans nest naturally and concurrent worker
+threads each get their own lane.  Every span records wall time
+(``time.perf_counter``) and CPU time (``time.thread_time``), so a
+span whose wall time dwarfs its CPU time is *waiting*, not computing.
+
+The module-level :data:`tracer` singleton is the instrumentation
+surface.  It is a tiny proxy: when tracing is off (the default) it
+forwards to a no-op whose :meth:`~NoopTracer.span` returns one shared
+null context manager, so an instrumentation site costs an attribute
+lookup and an empty ``with`` — nanoseconds, paid only where the code
+already does real work.  :func:`enable_tracing` swaps a live
+:class:`Tracer` in; :func:`capture_trace` scopes that to a block.
+
+Exporters:
+
+* :meth:`Tracer.write_chrome_trace` — Chrome trace-event JSON
+  (``{"traceEvents": [...]}``, complete ``"ph": "X"`` events), loadable
+  directly in ``chrome://tracing`` or https://ui.perfetto.dev;
+* :meth:`Tracer.write_jsonl` — one span per line, for ``jq``/pandas.
+
+:func:`load_trace` reads either format back as plain span dicts — the
+input of :mod:`repro.telemetry.summary` and the CLI's ``telemetry
+summary`` subcommand.
+
+Caveats: spans created in *process*-pool workers live in the worker's
+memory and are not exported by the parent's tracer (thread workers are
+captured, each under its own ``tid``).  A tracer stores at most
+``max_spans`` finished spans; further spans still time correctly but
+are counted in :attr:`Tracer.dropped` instead of stored, so a
+million-scenario traced run cannot exhaust memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from ..errors import DomainError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "capture_trace",
+    "load_trace",
+]
+
+
+class Span:
+    """One named, timed region: a node of the trace tree.
+
+    Use as a context manager (``with tracer.span("name", k=v): ...``).
+    Attributes added via :meth:`set` inside the block are exported with
+    the span.  Timing fields are populated on exit: ``start_s`` is
+    relative to the owning tracer's epoch, ``wall_s`` is elapsed
+    ``perf_counter`` time and ``cpu_s`` elapsed ``thread_time``.
+    """
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "thread_id",
+        "start_s", "wall_s", "cpu_s", "_tracer", "_wall0", "_cpu0",
+    )
+
+    def __init__(self, owner: "Tracer", name: str,
+                 attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self._tracer = owner
+        self.span_id: int = 0
+        self.parent_id: Optional[int] = None
+        self.thread_id: int = 0
+        self.start_s: float = 0.0
+        self.wall_s: float = 0.0
+        self.cpu_s: float = 0.0
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes mid-span; returns ``self`` for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._start(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.cpu_s = time.thread_time() - self._cpu0
+        self.wall_s = time.perf_counter() - self._wall0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, wall={self.wall_s:.6f}s)"
+        )
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: every call is a constant-time no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def finished(self) -> List[Span]:
+        return []
+
+
+_NOOP = NoopTracer()
+
+
+class Tracer:
+    """A live tracer: allocates ids, nests spans per thread, stores them.
+
+    Thread-safe: each thread keeps its own span stack (so parentage
+    never crosses threads), and the finished-span list and id counter
+    are lock-protected.  ``max_spans`` bounds retained spans; beyond it
+    spans are timed but dropped (see :attr:`dropped`).
+    """
+
+    def __init__(self, max_spans: int = 1_000_000):
+        if max_spans < 1:
+            raise DomainError("max_spans must be positive")
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+        self._finished: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    enabled = True
+
+    # ------------------------------------------------------------------ #
+    # Span lifecycle
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; enter it with ``with`` to start the clock."""
+        return Span(self, name, attrs)
+
+    def current(self) -> Optional[Span]:
+        """The calling thread's innermost open span, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _start(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span.parent_id = stack[-1].span_id if stack else None
+        span.thread_id = threading.get_ident()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.start_s = time.perf_counter() - self._epoch
+        stack.append(span)
+
+    def _finish(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - misuse guard
+            stack.remove(span)
+        with self._lock:
+            if len(self._finished) < self.max_spans:
+                self._finished.append(span)
+            else:
+                self.dropped += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection and export
+    # ------------------------------------------------------------------ #
+
+    def finished(self) -> List[Span]:
+        """A snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event dict (complete events).
+
+        Load the JSON-serialised form in ``chrome://tracing`` or
+        Perfetto; ``args`` carries the span attributes plus the
+        ``span_id``/``parent_id`` links and the CPU time.
+        """
+        pid = os.getpid()
+        events = []
+        for span in self.finished():
+            args = {str(k): _jsonable(v) for k, v in span.attrs.items()}
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args["cpu_ms"] = round(span.cpu_s * 1e3, 6)
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span.start_s * 1e6, 3),
+                "dur": round(span.wall_s * 1e6, 3),
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        """Write the Chrome trace-event JSON to ``path``."""
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_chrome_trace(), handle,
+                          separators=(",", ":"))
+                handle.write("\n")
+        except OSError as exc:
+            raise DomainError(
+                f"cannot write trace to {path}: {exc}"
+            ) from exc
+
+    def write_jsonl(self, path) -> None:
+        """Write one JSON object per finished span to ``path``."""
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                for span in self.finished():
+                    handle.write(json.dumps({
+                        "name": span.name,
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "tid": span.thread_id,
+                        "start_s": round(span.start_s, 9),
+                        "wall_s": round(span.wall_s, 9),
+                        "cpu_s": round(span.cpu_s, 9),
+                        "attrs": {
+                            str(k): _jsonable(v)
+                            for k, v in span.attrs.items()
+                        },
+                    }, separators=(",", ":")) + "\n")
+        except OSError as exc:
+            raise DomainError(
+                f"cannot write trace to {path}: {exc}"
+            ) from exc
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce an attribute value to something json.dumps accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+# ---------------------------------------------------------------------- #
+# The module-level singleton and its switches
+# ---------------------------------------------------------------------- #
+
+
+class _TracerProxy:
+    """The stable module-level handle instrumentation sites import.
+
+    Sites hold a reference to *this* object, so enabling or disabling
+    tracing mid-process redirects every site at once.  All methods
+    forward to the installed implementation.
+    """
+
+    __slots__ = ("_impl",)
+
+    def __init__(self):
+        self._impl = _NOOP
+
+    @property
+    def enabled(self) -> bool:
+        return self._impl.enabled
+
+    def span(self, name: str, **attrs: Any):
+        return self._impl.span(name, **attrs)
+
+    def current(self):
+        return self._impl.current()
+
+    def finished(self) -> List[Span]:
+        return self._impl.finished()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self._impl.enabled else "disabled"
+        return f"<repro.telemetry.tracer {state}>"
+
+
+#: The process-wide tracing singleton every instrumentation site uses.
+tracer = _TracerProxy()
+
+
+def enable_tracing(max_spans: int = 1_000_000) -> Tracer:
+    """Install (and return) a live :class:`Tracer` on the singleton.
+
+    Subsequent instrumented code records spans into the returned tracer
+    until :func:`disable_tracing` — use the return value to export.
+    """
+    live = Tracer(max_spans=max_spans)
+    tracer._impl = live
+    return live
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Restore the no-op tracer; returns the tracer that was active."""
+    previous = tracer._impl
+    tracer._impl = _NOOP
+    return previous if isinstance(previous, Tracer) else None
+
+
+@contextmanager
+def capture_trace(max_spans: int = 1_000_000):
+    """Trace a block: ``with capture_trace() as t: ...; t.finished()``.
+
+    Restores whatever tracer was installed before the block (including
+    a surrounding capture), so captures nest without clobbering.
+    """
+    previous = tracer._impl
+    live = Tracer(max_spans=max_spans)
+    tracer._impl = live
+    try:
+        yield live
+    finally:
+        tracer._impl = previous
+
+
+# ---------------------------------------------------------------------- #
+# Reading traces back
+# ---------------------------------------------------------------------- #
+
+
+def load_trace(path) -> List[Dict[str, Any]]:
+    """Read a trace file (Chrome JSON or JSONL) back as span dicts.
+
+    Every span dict carries ``name``, ``span_id``, ``parent_id``,
+    ``tid``, ``start_s``, ``wall_s``, ``cpu_s`` and ``attrs`` — the
+    common denominator of both exporters, and the input format of
+    :func:`repro.telemetry.summary.render_summary`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise DomainError(f"cannot read trace file {path}: {exc}") from exc
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("{") and '"traceEvents"' in stripped:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise DomainError(
+                f"{path} is not valid Chrome trace JSON: {exc}"
+            ) from exc
+        spans = []
+        for event in data.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            args = dict(event.get("args", {}))
+            span_id = args.pop("span_id", None)
+            parent_id = args.pop("parent_id", None)
+            cpu_ms = args.pop("cpu_ms", 0.0)
+            spans.append({
+                "name": str(event.get("name", "")),
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "tid": event.get("tid", 0),
+                "start_s": float(event.get("ts", 0.0)) / 1e6,
+                "wall_s": float(event.get("dur", 0.0)) / 1e6,
+                "cpu_s": float(cpu_ms) / 1e3,
+                "attrs": args,
+            })
+        return spans
+    spans = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DomainError(
+                f"{path}:{line_number} is not valid JSONL: {exc}"
+            ) from exc
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise DomainError(
+                f"{path}:{line_number} is not a span record"
+            )
+        entry.setdefault("attrs", {})
+        entry.setdefault("parent_id", None)
+        entry.setdefault("span_id", None)
+        entry.setdefault("tid", 0)
+        for field in ("start_s", "wall_s", "cpu_s"):
+            entry[field] = float(entry.get(field, 0.0))
+        spans.append(entry)
+    return spans

@@ -453,3 +453,175 @@ class TestCacheCommand:
     def test_clear_missing_path_reported(self, capsys):
         assert main(["cache", "clear", "--path", "/nonexistent.jsonl"]) == 2
         assert "no cache log" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def _spec_path(self, tmp_path, data=SWEEP_SPEC):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        trace_path = tmp_path / "sweep.trace.json"
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+            "--trace", str(trace_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace written to" in out
+        data = json.loads(trace_path.read_text())
+        assert data["traceEvents"]
+        names = {event["name"] for event in data["traceEvents"]}
+        assert {"plan.lower", "sweep.stream", "stream.chunk"} <= names
+        assert all(event["ph"] == "X" for event in data["traceEvents"])
+
+    def test_trace_jsonl_extension_switches_format(self, capsys, tmp_path):
+        trace_path = tmp_path / "sweep.spans.jsonl"
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--trace", str(trace_path),
+        ]) == 0
+        lines = trace_path.read_text().strip().splitlines()
+        spans = [json.loads(line) for line in lines]
+        assert {"plan.lower", "sweep.stream"} <= {s["name"] for s in spans}
+
+    def test_trace_left_disabled_after_run(self, tmp_path):
+        from repro.telemetry import tracer
+
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--trace", str(tmp_path / "t.json"),
+        ]) == 0
+        assert not tracer.enabled
+
+    def test_metrics_flag_prints_counters(self, capsys, tmp_path):
+        code = main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+            "--metrics",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "metrics:" in out
+        assert "engine.rows" in out
+        assert "sink.bytes" in out
+
+    def test_stream_report_includes_stage_timings(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stages:" in out
+        for stage in ("plan", "compile", "execute", "sink"):
+            assert stage in out
+
+    def test_progress_reports_throughput(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+            "--progress", "--chunk-size", "2",
+        ]) == 0
+        err = capsys.readouterr().err
+        # The parseable prefix is intact; throughput rides behind it.
+        assert "chunk 2/2 (3/3 scenarios)" in err
+        assert "rows/s" in err
+
+
+class TestTelemetryCommand:
+    def _traced(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(SWEEP_SPEC))
+        trace_path = tmp_path / "sweep.trace.json"
+        assert main([
+            "sweep", "--spec", str(spec),
+            "--stream", "--out", str(tmp_path / "rows.jsonl"),
+            "--trace", str(trace_path),
+        ]) == 0
+        return str(trace_path)
+
+    def test_summary_renders_tree_and_hotspots(self, capsys, tmp_path):
+        trace_path = self._traced(tmp_path)
+        capsys.readouterr()
+        assert main(["telemetry", "summary", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "top hotspots" in out
+        assert "sweep.stream" in out
+
+    def test_summary_top_and_depth(self, capsys, tmp_path):
+        trace_path = self._traced(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "telemetry", "summary", trace_path, "--top", "1", "--depth", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        tree_section = out.split("top hotspots")[0]
+        assert "stream.chunk" not in tree_section  # depth 0 hides children
+
+    def test_summary_missing_file_reported(self, capsys):
+        assert main(["telemetry", "summary", "/nonexistent.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_summary_negative_top_rejected(self, capsys, tmp_path):
+        trace_path = self._traced(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "telemetry", "summary", trace_path, "--top", "-1",
+        ]) == 2
+        assert "--top" in capsys.readouterr().err
+
+
+class TestCacheClearRegions:
+    def test_clear_regions_reports_region_names(self, capsys, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "pipeline": "case_confidence",
+            "base": {"case_file": "examples/case_confidence.yaml"},
+            "grid": {"A1.p_true": [0.6, 0.7]},
+        }))
+        assert main(["sweep", "--spec", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--regions"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared in-process compile-cache region" in out
+        assert "arguments.case" in out
+
+    def test_clear_path_and_regions_together(self, capsys, tmp_path):
+        log = tmp_path / "cache.jsonl"
+        log.write_text('{"key":"a","value":{"v":1}}\n')
+        assert main([
+            "cache", "clear", "--path", str(log), "--regions",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 cached result(s)" in out
+        assert "compile-cache region" in out
+        assert log.read_text() == ""
+
+    def test_clear_without_target_rejected(self, capsys):
+        assert main(["cache", "clear"]) == 2
+        assert "--path" in capsys.readouterr().err
+
+    def test_stats_show_hit_rate(self, capsys, tmp_path):
+        from repro.bbn import clear_compile_cache
+
+        clear_compile_cache()
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "pipeline": "two_leg_posterior",
+            "base": {
+                "prior": 0.6, "dependence": 0.3,
+                "leg1_validity": 0.9, "leg1_sensitivity": 0.95,
+                "leg1_specificity": 0.9, "leg2_validity": 0.88,
+                "leg2_sensitivity": 0.9, "leg2_specificity": 0.85,
+            },
+            "grid": {"leg1_validity": [0.9, 0.9, 0.92]},
+        }))
+        assert main(["sweep", "--spec", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "%" in out

@@ -8,7 +8,8 @@ kernel of each experiment.
 
 Every run also appends one JSON line of per-test wall-clock timings to
 ``benchmarks/results/timings.jsonl`` (timestamp, provenance — git
-commit, python/numpy versions — and seconds per test, plus any
+commit, python/numpy versions, engine dtype / path-finder / tuning
+policy — and seconds per test, plus any
 plan/compile/execute/sink stage breakdowns recorded via the
 ``record_stage_timings`` fixture), so the performance trajectory of a
 run is machine-readable.  The file is gitignored — CI uploads it as an
@@ -76,6 +77,22 @@ def rng():
 
 
 @pytest.fixture
+def benchmark(benchmark):
+    """pytest-benchmark's fixture with untimed warmup always on.
+
+    The first calls of a benchmarked kernel pay one-off costs the later
+    rounds never see — compile-cache population, numpy buffer pools,
+    lazy imports — which shows up as round-to-round jitter.  Forcing at
+    least one untimed warmup round (the plugin's ``--benchmark-warmup``,
+    which is off by default) removes that jitter for every bench without
+    touching the timed rounds.
+    """
+    if not benchmark._warmup:
+        benchmark._warmup = 1
+    return benchmark
+
+
+@pytest.fixture
 def record_stage_timings(request):
     """Record a sweep's plan/compile/execute/sink stage breakdown.
 
@@ -102,6 +119,24 @@ def pytest_runtest_call(item):
     _run_timings[item.nodeid] = round(time.perf_counter() - start, 6)
 
 
+def _engine_provenance():
+    """The engine-policy knobs in effect for this run: parameter-plane
+    dtype, VE path-finder default, and whether a tuning profile was
+    active — so timing lines from differently-configured runs are
+    distinguishable."""
+    try:
+        from repro.bbn.paths import DEFAULT_PATH_FINDER
+        from repro.engine.dtypes import parameter_dtype
+        from repro.tuning.profile import active_profile
+    except ImportError:
+        return {}
+    return {
+        "dtype": str(parameter_dtype()),
+        "path_finder": DEFAULT_PATH_FINDER,
+        "tuned": active_profile() is not None,
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
     if not _run_timings:
         return
@@ -112,6 +147,7 @@ def pytest_sessionfinish(session, exitstatus):
         "commit": _git_commit(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        **_engine_provenance(),
         "timings_s": dict(sorted(_run_timings.items())),
     }
     if _run_stage_timings:

@@ -1,0 +1,99 @@
+"""Measured autotuning — tune once, then run a million scenarios tuned.
+
+The engine's execution knobs (backend, chunk size, parameter-plane
+dtype) ship with fixed defaults, but the fastest setting depends on the
+machine and the pipeline.  ``repro.tuning`` measures instead of
+guessing.  This example:
+
+1. **tune** — measure a backend x chunk-size x dtype grid for the
+   survival-update pipeline on a trimmed measurement budget and print
+   every configuration's throughput (the fixed-defaults configuration
+   is always in the grid, so the winner can't lose to it);
+2. **persist** — write the winning profile to a JSON tuning file and
+   read it back, exactly what ``repro-case tune`` does;
+3. **run tuned** — install the profile and stream a million-scenario
+   sweep: ``lower()`` picks up the measured chunk size and dtype, and
+   ``backend="auto"`` resolves to the measured winner.
+
+Run with::
+
+    PYTHONPATH=src python examples/autotune.py
+
+The CLI equivalent::
+
+    PYTHONPATH=src python -m repro.cli tune \
+        --spec examples/sweep_spec.yaml --out tuning.json
+    PYTHONPATH=src python -m repro.cli sweep \
+        --spec examples/sweep_spec.yaml --tuned tuning.json \
+        --stream --out rows.jsonl
+"""
+
+import pathlib
+import tempfile
+
+from repro.engine import JsonlSink, SweepSpec, run_sweep_streaming
+from repro.tuning import autotune, load_profile, set_active_profile
+
+workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro_tune_"))
+
+# ---------------------------------------------------------------- #
+# 1. Tune: measure the grid on a trimmed budget (4,096 scenarios per
+#    configuration by default — the sweep is decoded lazily, so the
+#    measurement prefix is exactly what the full sweep would run).
+# ---------------------------------------------------------------- #
+sweep = SweepSpec(
+    pipeline="survival_update",
+    # 60 grid points per decade keeps each scenario light enough that a
+    # million of them stream in well under a minute on the winner.
+    base={"mode": 0.003, "sigma": 0.9, "bound": 1e-2,
+          "points_per_decade": 60},
+    grid={
+        "demands": list(range(0, 2000, 2)),          # 1,000 values
+        "sigma": [round(0.5 + 0.001 * i, 3) for i in range(1000)],
+    },
+)
+print(f"tuning on {sweep.n_scenarios():,} scenarios "
+      "(trimmed to the measurement budget)...")
+
+profile = autotune(
+    sweep,
+    backends=("vectorized", "thread"),
+    chunk_sizes=(1024, 8192, 16384),
+    dtypes=("float64", "float32"),
+    repeats=2,
+)
+entry = profile.entry("survival_update")
+print("\nmeasured grid (best of 3 per configuration):")
+for point in sorted(entry.grid, key=lambda p: -p["rows_per_s"]):
+    marker = " (default)" if point["default"] else ""
+    print(f"  {point['backend']:>10} chunk={point['chunk_size']:<6}"
+          f" {point['dtype']:<8} {point['rows_per_s']:>12,.0f} rows/s"
+          f"{marker}")
+print(f"\nwinner: backend={entry.backend}, chunk_size={entry.chunk_size}, "
+      f"dtype={entry.dtype} ({entry.rows_per_s:,.0f} rows/s)")
+
+# ---------------------------------------------------------------- #
+# 2. Persist: the profile round-trips through a plain JSON file —
+#    winners plus the full measurement evidence.
+# ---------------------------------------------------------------- #
+tuning_path = workdir / "tuning.json"
+profile.save(tuning_path)
+print(f"\nprofile saved to {tuning_path}")
+
+# ---------------------------------------------------------------- #
+# 3. Run tuned: with the profile active, the streaming executor uses
+#    the measured backend/chunk-size/dtype for the full sweep.
+# ---------------------------------------------------------------- #
+set_active_profile(load_profile(tuning_path))
+rows_path = workdir / "rows.jsonl"
+meta = run_sweep_streaming(sweep, sinks=(JsonlSink(rows_path),))
+print(f"\ntuned run: {meta['rows']:,} rows in {meta['elapsed_s']:.1f}s "
+      f"({meta['rows'] / meta['elapsed_s']:,.0f} rows/s)")
+print(f"backend={meta['backend']}, chunk_size={meta['chunk_size']}, "
+      f"dtype={meta['dtype']}, tuned={meta['tuned']}")
+stages = meta["stage_timings"]
+print("stages: " + ", ".join(
+    f"{name.removesuffix('_s')} {value:.2f}s"
+    for name, value in stages.items()
+))
+set_active_profile(None)

@@ -20,6 +20,7 @@ are regions of the unified :mod:`repro.compilecache`.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -52,6 +53,47 @@ class _NodeRecord:
         self.children = children
         self.param_addresses = param_addresses
         self.assumption_addresses = assumption_addresses
+
+
+#: Fused groups flatten ``G`` sibling nodes into one ``(G*S,)`` call;
+#: past this many elements the flattened temporaries fall out of cache
+#: and the parameter copies outweigh the saved Python dispatch
+#: (measured crossover between 1.4e5 and 5.9e5 elements), so oversized
+#: groups fall back to per-node calls, which stay cache-blocked.
+_FUSE_ELEMENT_CAP = 1 << 18
+
+
+def _plan_fused_groups(
+    records: List[_NodeRecord],
+) -> List[List[Tuple[int, _NodeRecord]]]:
+    """Level-batch topo-ordered records into same-model groups.
+
+    A node's *level* is its longest distance from the leaves, so every
+    child of a level-``L`` node lives strictly below ``L`` and whole
+    levels can evaluate plane-at-a-time.  Within a level, nodes sharing
+    a fusable model type and supporter count form one group (evaluated
+    as a single flattened ``evaluate_batch`` call); everything else
+    stays a singleton group, preserving per-node dispatch.  Group order
+    is deterministic: ascending level, then first slot.
+    """
+    levels: List[int] = []
+    for record in records:
+        level = (
+            1 + max(levels[slot] for slot in record.children)
+            if record.children else 0
+        )
+        levels.append(level)
+    grouped: Dict[Tuple[int, type, int], List[Tuple[int, _NodeRecord]]] = {}
+    for slot, record in enumerate(records):
+        if record.model.fusable:
+            key = (levels[slot], type(record.model), len(record.children))
+        else:
+            key = (levels[slot], type(record.model), -1 - slot)
+        grouped.setdefault(key, []).append((slot, record))
+    return [
+        grouped[key]
+        for key in sorted(grouped, key=lambda k: (k[0], grouped[k][0][0]))
+    ]
 
 
 class CompiledCase:
@@ -98,6 +140,11 @@ class CompiledCase:
         self._records = records
         self._slots = slots
         self._assumption_addresses = case.assumption_addresses()
+        self._fused_groups = _plan_fused_groups(records)
+        self._plane_cache: Dict[
+            Tuple[int, str], Dict[str, np.ndarray]
+        ] = {}
+        self._plane_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -126,6 +173,7 @@ class CompiledCase:
         self,
         columns: Optional[Mapping[str, np.ndarray]] = None,
         n_scenarios: Optional[int] = None,
+        fused: bool = True,
     ) -> Dict[str, np.ndarray]:
         """Node id -> ``(S,)`` confidence array for ``S`` scenarios.
 
@@ -133,6 +181,12 @@ class CompiledCase:
         per-scenario value arrays (scalars broadcast); unbound
         parameters take their defaults.  Column ``s`` of the result
         matches ``case.evaluate(overrides_s)`` to 1e-12.
+
+        By default sibling nodes sharing a fusable model type evaluate
+        level-batched as one flattened call per group — same values (the
+        models are elementwise over scenarios), a fraction of the Python
+        dispatch.  ``fused=False`` forces the original per-node loop;
+        it exists for comparison benchmarks and paranoia checks.
         """
         columns = dict(columns or {})
         unknown = sorted(set(columns) - set(self._defaults))
@@ -147,9 +201,12 @@ class CompiledCase:
                 if size > 1:
                     n_scenarios = size
                     break
-        resolved: Dict[str, np.ndarray] = {}
-        for name, default in self._defaults.items():
-            values = np.asarray(columns.get(name, default), dtype=float)
+        from ..engine.dtypes import parameter_dtype
+
+        dtype = parameter_dtype()
+        resolved = dict(self._default_planes(n_scenarios, dtype))
+        for name in columns:
+            values = np.asarray(columns[name], dtype=dtype)
             if values.size not in (1, n_scenarios):
                 raise DomainError(
                     f"column {name!r} has {values.size} values for "
@@ -159,41 +216,164 @@ class CompiledCase:
                 values.reshape(-1), (n_scenarios,)
             )
         for address in self._assumption_addresses:
+            # Default planes were range-checked once when cached; only
+            # overridden columns need the per-call sweep.
+            if address not in columns:
+                continue
             column = resolved[address]
             if np.any((column < 0) | (column > 1)):
                 raise DomainError(
                     f"{address} must lie in [0, 1] for every scenario"
                 )
-        confidences: List[np.ndarray] = []
+        confidences: List[Optional[np.ndarray]] = (
+            [None] * len(self._records)
+        )
         out: Dict[str, np.ndarray] = {}
         with tracer.span("case.evaluate_sweep", n_scenarios=n_scenarios,
-                         n_nodes=len(self._records)):
-            for record in self._records:
-                with tracer.span(
-                    "case.node", node=record.identifier,
-                    model=type(record.model).__name__,
+                         n_nodes=len(self._records), fused=fused):
+            for group in self._fused_groups:
+                if (
+                    fused
+                    and len(group) > 1
+                    and len(group) * n_scenarios <= _FUSE_ELEMENT_CAP
                 ):
-                    params = {
-                        name: resolved[address]
-                        for name, address in record.param_addresses.items()
-                    }
-                    record.model.validate_batch_params(params)
-                    children = (
-                        np.stack(
-                            [confidences[slot] for slot in record.children]
+                    self._evaluate_group_fused(
+                        group, resolved, confidences, out, n_scenarios,
+                        dtype,
+                    )
+                else:
+                    for slot, record in group:
+                        self._evaluate_node(
+                            slot, record, resolved, confidences, out,
+                            n_scenarios, dtype,
                         )
-                        if record.children
-                        else np.empty((0, n_scenarios))
-                    )
-                    confidence = record.model.evaluate_batch(params, children)
-                    confidence = np.broadcast_to(
-                        np.asarray(confidence, dtype=float), (n_scenarios,)
-                    )
-                    for address in record.assumption_addresses:
-                        confidence = confidence * resolved[address]
-                    confidences.append(confidence)
-                    out[record.identifier] = confidence
         return out
+
+    def _default_planes(
+        self, n_scenarios: int, dtype: np.dtype
+    ) -> Dict[str, np.ndarray]:
+        """Broadcast default columns for ``S`` scenarios, cached.
+
+        Defaults never change after compilation, so the per-address
+        broadcast views (and the range check on assumption defaults)
+        are paid once per distinct (scenario count, dtype) — sweeps
+        re-enter with the same chunk size thousands of times.  The
+        returned dict is shared; callers copy before overriding.
+        """
+        key = (n_scenarios, dtype.str)
+        with self._plane_lock:
+            cached = self._plane_cache.get(key)
+        if cached is not None:
+            return cached
+        planes = {
+            name: np.broadcast_to(
+                np.asarray(default, dtype=dtype).reshape(-1),
+                (n_scenarios,),
+            )
+            for name, default in self._defaults.items()
+        }
+        for address in self._assumption_addresses:
+            column = planes[address]
+            if np.any((column < 0) | (column > 1)):
+                raise DomainError(
+                    f"{address} must lie in [0, 1] for every scenario"
+                )
+        with self._plane_lock:
+            if len(self._plane_cache) >= 8:
+                self._plane_cache.pop(next(iter(self._plane_cache)))
+            self._plane_cache[key] = planes
+        return planes
+
+    def _evaluate_node(
+        self,
+        slot: int,
+        record: _NodeRecord,
+        resolved: Mapping[str, np.ndarray],
+        confidences: List[Optional[np.ndarray]],
+        out: Dict[str, np.ndarray],
+        n_scenarios: int,
+        dtype: np.dtype,
+    ) -> None:
+        """Original per-node dispatch: one ``evaluate_batch`` per record."""
+        with tracer.span(
+            "case.node", node=record.identifier,
+            model=type(record.model).__name__,
+        ):
+            params = {
+                name: resolved[address]
+                for name, address in record.param_addresses.items()
+            }
+            record.model.validate_batch_params(params)
+            children = (
+                np.stack(
+                    [confidences[child] for child in record.children]
+                )
+                if record.children
+                else np.empty((0, n_scenarios))
+            )
+            confidence = record.model.evaluate_batch(params, children)
+            confidence = np.broadcast_to(
+                np.asarray(confidence, dtype=dtype), (n_scenarios,)
+            )
+            for address in record.assumption_addresses:
+                confidence = confidence * resolved[address]
+            confidences[slot] = confidence
+            out[record.identifier] = confidence
+
+    def _evaluate_group_fused(
+        self,
+        group: List[Tuple[int, _NodeRecord]],
+        resolved: Mapping[str, np.ndarray],
+        confidences: List[Optional[np.ndarray]],
+        out: Dict[str, np.ndarray],
+        n_scenarios: int,
+        dtype: np.dtype,
+    ) -> None:
+        """One flattened ``evaluate_batch`` call for ``G`` sibling nodes.
+
+        Parameter columns concatenate to ``(G*S,)`` and child planes to
+        ``(k, G*S)``; the models in a fused group are elementwise over
+        scenarios, so slicing the ``(G*S,)`` result back into per-node
+        rows reproduces per-node dispatch bit-for-bit.
+        """
+        model = group[0][1].model
+        n_children = len(group[0][1].children)
+        with tracer.span(
+            "case.fused_group", model=type(model).__name__,
+            n_nodes=len(group), n_children=n_children,
+        ):
+            params = {
+                name: np.concatenate([
+                    resolved[record.param_addresses[name]]
+                    for _, record in group
+                ])
+                for name in model.param_names()
+            }
+            model.validate_batch_params(params)
+            flat = len(group) * n_scenarios
+            children = (
+                np.stack([
+                    np.concatenate([
+                        confidences[record.children[row]]
+                        for _, record in group
+                    ])
+                    for row in range(n_children)
+                ])
+                if n_children
+                else np.empty((0, flat))
+            )
+            plane = np.asarray(
+                model.evaluate_batch(params, children), dtype=dtype
+            )
+            plane = np.broadcast_to(plane, (flat,)).reshape(
+                len(group), n_scenarios
+            )
+            for row, (slot, record) in enumerate(group):
+                confidence = plane[row]
+                for address in record.assumption_addresses:
+                    confidence = confidence * resolved[address]
+                confidences[slot] = confidence
+                out[record.identifier] = confidence
 
     def top_confidence_sweep(
         self,

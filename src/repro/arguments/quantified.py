@@ -90,6 +90,11 @@ class NodeModel:
     leaf = False
     #: (min, max) supporter count; max None = unbounded.
     arity = (0, 0)
+    #: True when :meth:`evaluate_batch` is elementwise over the scenario
+    #: axis, so same-kind sibling nodes can evaluate as one flattened
+    #: ``(G*S,)`` call with identical results (the compiled case
+    #: engine's fused plan relies on this).
+    fusable = True
 
     @classmethod
     def param_names(cls) -> Tuple[str, ...]:
@@ -337,6 +342,10 @@ class TwoLegBBN(NodeModel):
 
     kind = "two_leg_bbn"
     arity = (2, 2)
+    #: The batched path runs an einsum contraction per call, not an
+    #: elementwise map — keep per-node dispatch so outputs stay
+    #: bit-identical to the unfused engine.
+    fusable = False
 
     def evaluate(self, params, children):
         leg1 = ArgumentLeg(

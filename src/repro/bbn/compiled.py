@@ -9,7 +9,12 @@ answers queries without touching the name-keyed object layer again:
   variable in a single :func:`numpy.einsum` call per elimination step
   (instead of pairwise ``Factor.multiply`` broadcasting), and
   :meth:`probability_of_evidence` eliminates *everything* in one pass
-  instead of recursing one evidence variable at a time.
+  instead of recursing one evidence variable at a time.  Elimination
+  *orders* come from :mod:`repro.bbn.paths` — an opt-einsum-style
+  contraction-path search (exhaustive DP on small hidden sets,
+  FLOP/memory-scored greedy on wide graphs) memoised per network
+  content hash in the ``"bbn.path"`` compile-cache region; the old
+  min-degree heuristic survives there as the comparison baseline.
 * **Likelihood weighting** forward-samples an ``(n_samples, n_vars)``
   state-code matrix column-by-column in topological order.  Categorical
   draws use the same inverse-CDF ``searchsorted`` construction as
@@ -40,6 +45,7 @@ argument networks this library builds stay far below that.
 from __future__ import annotations
 
 import threading
+from functools import lru_cache
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -49,6 +55,9 @@ from ..errors import DomainError, StructureError
 from ..numerics import ensure_rng
 from ..telemetry import tracer
 from .network import BayesianNetwork
+from .paths import find_elimination_order
+from .paths import min_degree_order as _min_degree_order  # noqa: F401  (kept
+# as the benchmark/test comparison baseline under its historical name)
 
 __all__ = [
     "CompiledNetwork",
@@ -111,8 +120,14 @@ class CompiledNetwork:
         self._cpts = tuple(cpts)
         self._cpt2d = tuple(cpt2d)
         self._parent_strides = tuple(strides)
+        # Keys the shared "bbn.path" region so structurally identical
+        # networks reuse one contraction-path search.
+        self._content_hash = network.content_hash()
         self._order_cache: Dict[
             Tuple[frozenset, frozenset], Tuple[int, ...]
+        ] = {}
+        self._codes_cache: Dict[
+            Tuple[Tuple[str, str], ...], Dict[int, int]
         ] = {}
         self._order_lock = threading.Lock()
 
@@ -277,6 +292,7 @@ class CompiledNetwork:
         target: str,
         evidence: Optional[Mapping[str, str]] = None,
         cpt_planes: Optional[Mapping[str, np.ndarray]] = None,
+        order: Optional[Sequence[str]] = None,
     ) -> np.ndarray:
         """``P(target | evidence)`` for ``S`` parameter scenarios at once.
 
@@ -286,7 +302,9 @@ class CompiledNetwork:
         ``s`` equals :meth:`query` on the network with scenario ``s``'s
         CPT values substituted.  The network *structure* (variables,
         states, parent sets) is shared across the batch — that is what
-        makes one elimination pass serve every scenario.
+        makes one elimination pass serve every scenario.  ``order``
+        overrides the searched elimination order, exactly as in
+        :meth:`query`.
         """
         evidence = dict(evidence or {})
         planes, n_scenarios = self._check_planes(cpt_planes)
@@ -305,7 +323,7 @@ class CompiledNetwork:
                 if i != target_idx and i not in codes
             ]
             scopes = [(dims, values) for dims, values, _ in factors]
-            for dim in self._elimination_order(hidden, scopes, None, codes):
+            for dim in self._elimination_order(hidden, scopes, order, codes):
                 factors = self._eliminate_batch(factors, dim)
             values = _contract_batch(factors, (target_idx,), n_scenarios)
         totals = values.sum(axis=1)
@@ -525,10 +543,24 @@ class CompiledNetwork:
         return index
 
     def _evidence_codes(self, evidence: Mapping[str, str]) -> Dict[int, int]:
+        """Evidence name/state pairs lowered to index/code pairs.
+
+        Sweeps re-query one compiled network with the same evidence
+        thousands of times, so the lookup is memoised per assignment.
+        The returned dict is shared — callers treat it as read-only.
+        """
+        key = tuple(sorted(evidence.items()))
+        with self._order_lock:
+            cached = self._codes_cache.get(key)
+        if cached is not None:
+            return cached
         codes: Dict[int, int] = {}
         for name, state in evidence.items():
             index = self._variable_index(name)
             codes[index] = self._variables[index].index_of(state)
+        with self._order_lock:
+            if len(self._codes_cache) < 256:
+                self._codes_cache[key] = codes
         return codes
 
     def _reduced_factors(self, codes: Mapping[int, int]) -> List[_IntFactor]:
@@ -566,14 +598,25 @@ class CompiledNetwork:
                 if self._index.get(name) in hidden_set
             )
         # Factor scopes depend only on which variables are clamped, so
-        # min-degree orders are memoised per (hidden-set, evidence-set);
-        # query-many workloads pay for the greedy search once.
+        # searched orders are memoised per (hidden-set, evidence-set) on
+        # the instance, and per content hash in the shared "bbn.path"
+        # region — query-many workloads pay for the path search once,
+        # and identical-content networks share results across compiles.
         cache_key = (frozenset(hidden), frozenset(codes))
         with self._order_lock:
             cached = self._order_cache.get(cache_key)
         if cached is not None:
             return cached
-        order = _min_degree_order(hidden, [dims for dims, _ in factors])
+        scopes = [dims for dims, _ in factors]
+        region_key = (
+            f"{self._content_hash}|h:{sorted(hidden)}|e:{sorted(codes)}"
+        )
+        cards = {i: int(self._cards[i]) for i in range(self.n_variables)}
+        result = _path_cache.get_or_create(
+            region_key,
+            lambda: find_elimination_order(hidden, scopes, cards),
+        )
+        order = result.order
         with self._order_lock:
             if len(self._order_cache) < 256:
                 self._order_cache[cache_key] = order
@@ -612,19 +655,37 @@ def _contract(factors: List[_IntFactor], out_dims: Tuple[int, ...]) -> np.ndarra
     return _einsum(remaining, out_dims)
 
 
-def _einsum(factors: List[_IntFactor], out_dims: Tuple[int, ...]) -> np.ndarray:
-    # Remap variable ids to compact per-call labels: einsum accepts at
-    # most 52 distinct indices, a cap that must bound one contraction's
-    # scope, not the whole network's variable count.
+@lru_cache(maxsize=4096)
+def _einsum_script(
+    dims_list: Tuple[Tuple[int, ...], ...], out_dims: Tuple[int, ...]
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
+    """Variable-id → compact einsum-label remapping, memoised.
+
+    einsum accepts at most 52 distinct indices, a cap that must bound
+    one contraction's scope, not the whole network's variable count —
+    so ids are remapped per scope signature.  Elimination steps repeat
+    the same signatures on every query, hence the cache (tuples, which
+    einsum accepts as sublists, so cached values are immutable).
+    """
     labels: Dict[int, int] = {}
-    for dims, _ in factors:
+    for dims in dims_list:
         for d in dims:
             labels.setdefault(d, len(labels))
+    return (
+        tuple(tuple(labels[d] for d in dims) for dims in dims_list),
+        tuple(labels[d] for d in out_dims),
+    )
+
+
+def _einsum(factors: List[_IntFactor], out_dims: Tuple[int, ...]) -> np.ndarray:
+    scripts, out = _einsum_script(
+        tuple(dims for dims, _ in factors), out_dims
+    )
     operands: List[object] = []
-    for dims, values in factors:
+    for (_, values), script in zip(factors, scripts):
         operands.append(values)
-        operands.append([labels[d] for d in dims])
-    return np.einsum(*operands, [labels[d] for d in out_dims])
+        operands.append(script)
+    return np.einsum(*operands, out)
 
 
 def _contract_batch(
@@ -670,58 +731,50 @@ def _einsum_batch(
     operand (and the output when ``out_batched``); unbatched operands
     simply omit it and broadcast.
     """
+    scripts, out = _einsum_batch_script(
+        tuple((dims, batched) for dims, _, batched in factors),
+        out_dims,
+        out_batched,
+    )
+    operands: List[object] = []
+    for (_, values, _), script in zip(factors, scripts):
+        operands.append(values)
+        operands.append(script)
+    return np.einsum(*operands, out)
+
+
+@lru_cache(maxsize=4096)
+def _einsum_batch_script(
+    signature: Tuple[Tuple[Tuple[int, ...], bool], ...],
+    out_dims: Tuple[int, ...],
+    out_batched: bool,
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
+    """Batched variant of :func:`_einsum_script` (adds the batch label)."""
     labels: Dict[int, int] = {}
-    for dims, _, _ in factors:
+    for dims, _ in signature:
         for d in dims:
             labels.setdefault(d, len(labels))
     batch_label = len(labels)
-    operands: List[object] = []
-    for dims, values, batched in factors:
-        operands.append(values)
-        dim_labels = [labels[d] for d in dims]
-        operands.append([batch_label] + dim_labels if batched else dim_labels)
-    out = [labels[d] for d in out_dims]
-    return np.einsum(*operands, [batch_label] + out if out_batched else out)
-
-
-def _min_degree_order(
-    hidden: Sequence[int], scopes: Sequence[Tuple[int, ...]]
-) -> Tuple[int, ...]:
-    """Greedy min-degree elimination order on the factor interaction graph."""
-    order: List[int] = []
-    remaining = set(hidden)
-    live = [set(scope) for scope in scopes if scope]
-    while remaining:
-        def degree(dim: int) -> int:
-            neighbours: set = set()
-            for scope in live:
-                if dim in scope:
-                    neighbours |= scope
-            neighbours.discard(dim)
-            return len(neighbours)
-
-        best = min(sorted(remaining), key=degree)
-        order.append(best)
-        remaining.discard(best)
-        merged: set = set()
-        kept = []
-        for scope in live:
-            if best in scope:
-                merged |= scope
-            else:
-                kept.append(scope)
-        merged.discard(best)
-        if merged:
-            kept.append(merged)
-        live = kept
-    return tuple(order)
+    scripts = tuple(
+        ((batch_label,) if batched else ())
+        + tuple(labels[d] for d in dims)
+        for dims, batched in signature
+    )
+    out = tuple(labels[d] for d in out_dims)
+    return scripts, ((batch_label,) + out if out_batched else out)
 
 
 # ---------------------------------------------------------------------- #
-# Compile cache — a region of the unified repro.compilecache
+# Compile cache — regions of the unified repro.compilecache
 # ---------------------------------------------------------------------- #
 
 _cache = cache_region("bbn.network", maxsize=512)
+
+#: Elimination orders found by the contraction-path search, keyed by
+#: network content hash + hidden/evidence sets.  Orders depend only on
+#: structure, so identical-content networks share search results even
+#: across separate compilations.
+_path_cache = cache_region("bbn.path", maxsize=2048)
 
 
 def compile_network(network: BayesianNetwork) -> CompiledNetwork:

@@ -1,0 +1,286 @@
+"""Contraction-path search for variable elimination.
+
+Variable elimination's cost is set almost entirely by the *order* in
+which hidden variables are contracted away: each elimination multiplies
+every factor touching the variable and marginalises it out, so a bad
+order materialises huge intermediate factors.  The classic min-degree
+heuristic counts neighbours only — it is blind to cardinalities, and a
+degree-2 variable wedged between two card-8 hubs looks cheaper than a
+degree-3 variable surrounded by booleans even though it costs 30x more
+FLOPs to eliminate.
+
+This module searches contraction paths the way ``opt_einsum`` does:
+
+* :func:`optimal_order` — exact dynamic programming over subsets of the
+  hidden variables, minimising total contraction FLOPs.  Exponential in
+  the hidden count, so it is reserved for small graphs
+  (``<=`` :data:`DP_LIMIT` hidden variables — ``2^n * n`` states).
+* :func:`greedy_cost_order` — one-step lookahead greedy that scores
+  each candidate elimination by FLOPs, tie-broken by the memory of the
+  factor it would create.  Near-linear, used for wide graphs.
+* :func:`min_degree_order` — the original heuristic, kept as the
+  comparison baseline (and for callers that ask for it by name).
+* :func:`find_elimination_order` — the front door: picks DP or greedy
+  by problem size (``finder="auto"``), or honours an explicit finder.
+
+All finders work on the *factor interaction graph* — variable ids,
+factor scopes and per-variable cardinalities — never on factor values,
+so an order can be found once and reused for every numeric query with
+the same structure.  :mod:`repro.bbn.compiled` memoises results per
+network content hash in the ``"bbn.path"`` region of
+:mod:`repro.compilecache`.
+
+Only the contraction *order* changes; the per-step einsum machinery is
+untouched, and every order yields the same distribution up to float
+summation order (agreement is tested to 1e-12 against both min-degree
+and brute-force enumeration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence, Set, Tuple
+
+from ..errors import DomainError
+from ..telemetry import tracer
+
+__all__ = [
+    "DEFAULT_PATH_FINDER",
+    "DP_LIMIT",
+    "PATH_FINDERS",
+    "PathSearchResult",
+    "find_elimination_order",
+    "greedy_cost_order",
+    "min_degree_order",
+    "optimal_order",
+    "order_cost",
+]
+
+#: Hidden-variable count up to which exhaustive DP search runs.
+DP_LIMIT = 12
+
+#: Recognised finder names for :func:`find_elimination_order`.
+PATH_FINDERS = ("auto", "optimal", "greedy_cost", "min_degree")
+
+#: The finder used when callers don't pick one (DP or greedy by size).
+DEFAULT_PATH_FINDER = "auto"
+
+
+class PathSearchResult(NamedTuple):
+    """An elimination order plus how it was found and what it costs."""
+
+    order: Tuple[int, ...]
+    finder: str
+    cost: float
+
+
+def _adjacency(
+    scopes: Sequence[Tuple[int, ...]],
+) -> Dict[int, Set[int]]:
+    """Interaction graph: every factor scope is a clique."""
+    adj: Dict[int, Set[int]] = {}
+    for scope in scopes:
+        for v in scope:
+            adj.setdefault(v, set())
+        for v in scope:
+            for u in scope:
+                if u != v:
+                    adj[v].add(u)
+    return adj
+
+
+def _elimination_flops(
+    card: Dict[int, float], v: int, neighbours: Set[int]
+) -> float:
+    """FLOP estimate for summing ``v`` out of its neighbourhood clique."""
+    cost = card.get(v, 1.0)
+    for u in neighbours:
+        cost *= card.get(u, 1.0)
+    return cost
+
+
+def min_degree_order(
+    hidden: Sequence[int], scopes: Sequence[Tuple[int, ...]]
+) -> Tuple[int, ...]:
+    """Greedy min-degree elimination order on the factor interaction graph."""
+    order: List[int] = []
+    remaining = set(hidden)
+    live = [set(scope) for scope in scopes if scope]
+    while remaining:
+        def degree(dim: int) -> int:
+            neighbours: set = set()
+            for scope in live:
+                if dim in scope:
+                    neighbours |= scope
+            neighbours.discard(dim)
+            return len(neighbours)
+
+        best = min(sorted(remaining), key=degree)
+        order.append(best)
+        remaining.discard(best)
+        merged: set = set()
+        kept = []
+        for scope in live:
+            if best in scope:
+                merged |= scope
+            else:
+                kept.append(scope)
+        merged.discard(best)
+        if merged:
+            kept.append(merged)
+        live = kept
+    return tuple(order)
+
+
+def greedy_cost_order(
+    hidden: Sequence[int],
+    scopes: Sequence[Tuple[int, ...]],
+    cards: Dict[int, int],
+) -> Tuple[int, ...]:
+    """FLOP-and-memory-scored greedy elimination order.
+
+    At every step eliminate the hidden variable whose contraction costs
+    the fewest FLOPs (``card(v) * prod(card(neighbours))``); ties break
+    on the memory of the factor the elimination would leave behind, then
+    on variable id for determinism.
+    """
+    card = {v: float(c) for v, c in cards.items()}
+    adj = _adjacency(scopes)
+    order: List[int] = []
+    remaining = set(hidden)
+    while remaining:
+        best = None
+        best_score: Tuple[float, float, int] = (float("inf"), float("inf"), 0)
+        for v in sorted(remaining):
+            neighbours = adj.get(v, set())
+            flops = _elimination_flops(card, v, neighbours)
+            memory = flops / card.get(v, 1.0)
+            score = (flops, memory, v)
+            if score < best_score:
+                best, best_score = v, score
+        assert best is not None
+        order.append(best)
+        remaining.discard(best)
+        neighbours = adj.pop(best, set())
+        for u in neighbours:
+            adj[u].discard(best)
+            adj[u] |= neighbours - {u}
+    return tuple(order)
+
+
+def optimal_order(
+    hidden: Sequence[int],
+    scopes: Sequence[Tuple[int, ...]],
+    cards: Dict[int, int],
+) -> Tuple[int, ...]:
+    """Exact minimum-FLOP elimination order by DP over hidden subsets.
+
+    State = the set of hidden variables already eliminated; the clique a
+    further elimination creates depends only on that set, not on the
+    order within it (eliminating ``S`` connects ``v`` to every variable
+    reachable through ``S``).  ``O(2^n * n)`` states with a small graph
+    walk each — callers gate on :data:`DP_LIMIT`.
+    """
+    hidden = list(hidden)
+    n = len(hidden)
+    if n == 0:
+        return ()
+    if n > DP_LIMIT:
+        raise DomainError(
+            f"optimal path search is limited to {DP_LIMIT} hidden "
+            f"variables, got {n}; use finder='greedy_cost'"
+        )
+    card = {v: float(c) for v, c in cards.items()}
+    adj = _adjacency(scopes)
+    bit = {v: 1 << i for i, v in enumerate(hidden)}
+
+    def step_cost(v: int, mask: int) -> float:
+        # Neighbours of ``v`` after eliminating ``mask``: every variable
+        # reachable from ``v`` through eliminated vertices only.
+        neighbours: Set[int] = set()
+        seen = {v}
+        stack = [v]
+        while stack:
+            x = stack.pop()
+            for u in adj.get(x, ()):  # pragma: no branch
+                if u in seen:
+                    continue
+                seen.add(u)
+                if bit.get(u, 0) & mask:
+                    stack.append(u)
+                else:
+                    neighbours.add(u)
+        return _elimination_flops(card, v, neighbours)
+
+    size = 1 << n
+    best = [float("inf")] * size
+    choice = [-1] * size
+    best[0] = 0.0
+    for mask in range(size):
+        base = best[mask]
+        if base == float("inf"):
+            continue
+        for i, v in enumerate(hidden):
+            vbit = 1 << i
+            if mask & vbit:
+                continue
+            total = base + step_cost(v, mask)
+            nxt = mask | vbit
+            if total < best[nxt]:
+                best[nxt] = total
+                choice[nxt] = i
+    order_rev: List[int] = []
+    mask = size - 1
+    while mask:
+        i = choice[mask]
+        order_rev.append(hidden[i])
+        mask &= ~(1 << i)
+    return tuple(reversed(order_rev))
+
+
+def order_cost(
+    order: Sequence[int],
+    scopes: Sequence[Tuple[int, ...]],
+    cards: Dict[int, int],
+) -> float:
+    """Total contraction FLOPs of eliminating ``order`` over ``scopes``."""
+    card = {v: float(c) for v, c in cards.items()}
+    adj = _adjacency(scopes)
+    total = 0.0
+    for v in order:
+        neighbours = adj.pop(v, set())
+        total += _elimination_flops(card, v, neighbours)
+        for u in neighbours:
+            adj[u].discard(v)
+            adj[u] |= neighbours - {u}
+    return total
+
+
+def find_elimination_order(
+    hidden: Sequence[int],
+    scopes: Sequence[Tuple[int, ...]],
+    cards: Dict[int, int],
+    finder: str = "auto",
+) -> PathSearchResult:
+    """Search an elimination order for ``hidden`` over factor ``scopes``.
+
+    ``finder="auto"`` runs the exhaustive DP when the hidden set is
+    small (``<=`` :data:`DP_LIMIT`) and falls back to the FLOP/memory
+    greedy on wide graphs.  Returns the order, the finder that actually
+    ran, and the estimated FLOP cost of the order it produced.
+    """
+    if finder not in PATH_FINDERS:
+        raise DomainError(
+            f"unknown path finder {finder!r}; expected one of {PATH_FINDERS}"
+        )
+    resolved = finder
+    if finder == "auto":
+        resolved = "optimal" if len(hidden) <= DP_LIMIT else "greedy_cost"
+    with tracer.span("bbn.path_search", finder=resolved,
+                     n_hidden=len(hidden)):
+        if resolved == "optimal":
+            order = optimal_order(hidden, scopes, cards)
+        elif resolved == "greedy_cost":
+            order = greedy_cost_order(hidden, scopes, cards)
+        else:
+            order = min_degree_order(hidden, scopes)
+    return PathSearchResult(order, resolved, order_cost(order, scopes, cards))

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-case``.
 
-Ten subcommands cover the library's day-one uses:
+Eleven subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
@@ -12,7 +12,12 @@ Ten subcommands cover the library's day-one uses:
   YAML/JSON spec file (single- or multi-sweep) and tabulate or export
   the results; ``--stream --out rows.jsonl`` switches to the streaming
   executor (constant memory, JSONL/CSV sinks, ``--progress`` chunk
-  counters on stderr, ``--cache`` for a disk-persistent result cache);
+  counters on stderr, ``--cache`` for a disk-persistent result cache,
+  ``--dtype float32`` for half-memory parameter planes, ``--tuned
+  [FILE]`` to run under a measured tuning profile);
+* ``tune`` — measure backend x chunk-size (x dtype) grids for a spec's
+  pipelines through the streaming executor and write the winners to a
+  JSON tuning file (:mod:`repro.tuning`);
 * ``cache`` — ``stats`` (with per-region hit rates) and ``clear`` (disk
   log and/or ``--regions`` for the in-process compile caches) for the
   unified caches (:mod:`repro.compilecache`);
@@ -39,6 +44,9 @@ Examples::
         --out rows.jsonl --progress --cache results_cache.jsonl
     repro-case sweep --spec examples/sweep_spec.yaml --stream \
         --out rows.jsonl --trace sweep.trace.json --metrics
+    repro-case tune --spec examples/sweep_spec.yaml --out tuning.json
+    repro-case sweep --spec examples/sweep_spec.yaml --tuned tuning.json \
+        --stream --out rows.jsonl
     repro-case telemetry summary sweep.trace.json --top 5
     repro-case cache stats --path results_cache.jsonl
     repro-case cache clear --regions
@@ -67,8 +75,10 @@ from .engine import (
     run_sweep,
     run_sweep_streaming,
 )
+from .engine.dtypes import DTYPES
 from .errors import ReproError
 from .risk import plan_assurance
+from .tuning.profile import DEFAULT_TUNING_PATH
 from .sil import assess
 from .update import worst_case_intensity, worst_case_mtbf
 from .viz import format_table
@@ -170,6 +180,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--metrics", action="store_true",
                          help="collect engine metrics during the run and "
                          "print them afterwards")
+    p_sweep.add_argument("--dtype", default=None,
+                         choices=list(DTYPES),
+                         help="parameter-plane precision (float64 is the "
+                         "bit-exact default; float32 halves plane memory "
+                         "at ~1e-5 tolerance)")
+    p_sweep.add_argument("--tuned", nargs="?", const=DEFAULT_TUNING_PATH,
+                         default=None, metavar="PATH",
+                         help="run under a tuning profile written by "
+                         "`repro-case tune` (default path: "
+                         f"{DEFAULT_TUNING_PATH}); unset backend/"
+                         "chunk-size/dtype come from the measured winner")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="measure backend x chunk-size (x dtype) grids for the "
+        "spec's pipelines and write the winners to a tuning file",
+    )
+    p_tune.add_argument("--spec", required=True,
+                        help="sweep spec (YAML or JSON) whose pipelines "
+                        "to tune — one representative sweep per pipeline")
+    p_tune.add_argument("--out", default=DEFAULT_TUNING_PATH,
+                        metavar="PATH",
+                        help="tuning file to write (default: "
+                        f"{DEFAULT_TUNING_PATH})")
+    p_tune.add_argument("--backends", default=None, metavar="B1,B2,...",
+                        help="comma-separated backends to try (default: "
+                        "vectorized,serial,thread)")
+    p_tune.add_argument("--chunk-sizes", default=None, dest="chunk_sizes",
+                        metavar="N1,N2,...",
+                        help="comma-separated chunk sizes to try "
+                        "(default: 1024,4096,8192,16384)")
+    p_tune.add_argument("--dtypes", default=None, metavar="D1,D2,...",
+                        help="comma-separated dtypes to try "
+                        "(default: float64 only)")
+    p_tune.add_argument("--repeats", type=int, default=3,
+                        help="timed rounds per configuration; the best "
+                        "is kept (default 3)")
+    p_tune.add_argument("--max-scenarios", type=int, default=None,
+                        dest="max_scenarios", metavar="N",
+                        help="measurement budget per configuration "
+                        "(default 4096; sweeps are trimmed, not run "
+                        "in full)")
 
     p_cache = sub.add_parser(
         "cache",
@@ -351,6 +403,7 @@ def _run_sweep_streaming(args: argparse.Namespace,
         backend=args.backend,
         max_workers=args.workers,
         chunk_size=args.chunk_size,
+        dtype=args.dtype,
         cache=cache,
         sinks=(sink,),
         progress=_StreamProgress() if args.progress else None,
@@ -365,7 +418,9 @@ def _run_sweep_streaming(args: argparse.Namespace,
         f"{meta['rows']} rows streamed to {args.out} ({out_format}), "
         f"pipeline={meta['pipeline']}, backend={meta['backend']}, "
         f"{meta['n_chunks']} chunks of <= {meta['chunk_size']}, "
-        f"cache {meta['cache_hits']} hit / {meta['cache_misses']} miss, "
+        f"dtype={meta['dtype']}"
+        + (" (tuned)" if meta.get("tuned") else "")
+        + f", cache {meta['cache_hits']} hit / {meta['cache_misses']} miss, "
         f"{meta['elapsed_s']:.3f}s"
         + (f"\nstages: {stage_line}" if stage_line else "")
     )
@@ -415,7 +470,12 @@ def _run_sweep(args: argparse.Namespace) -> str:
                 raise ReproError(f"{name} only applies with --stream")
 
     from .telemetry import capture_trace, disable_metrics, enable_metrics
+    from .tuning.profile import load_profile, set_active_profile
 
+    previous_profile = None
+    tuned = args.tuned is not None
+    if tuned:
+        previous_profile = set_active_profile(load_profile(args.tuned))
     if args.metrics:
         enable_metrics(reset=True)
     try:
@@ -444,6 +504,10 @@ def _run_sweep(args: argparse.Namespace) -> str:
     finally:
         if args.metrics:
             disable_metrics()
+        if tuned:
+            set_active_profile(previous_profile)
+    if tuned:
+        report += f"\ntuning profile: {args.tuned}"
     if args.metrics:
         report += "\n" + _metrics_report()
     return report
@@ -455,7 +519,7 @@ def _run_sweep_collect(args: argparse.Namespace, sweeps, cache) -> str:
     for index, spec in enumerate(sweeps):
         result = run_sweep(
             spec, backend=args.backend, max_workers=args.workers,
-            chunk_size=args.chunk_size, cache=cache,
+            chunk_size=args.chunk_size, dtype=args.dtype, cache=cache,
         )
         label = spec.name or spec.pipeline
         if len(sweeps) > 1:
@@ -714,6 +778,94 @@ def _run_cache(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parse_csv_list(raw: Optional[str], cast, flag: str):
+    """``"a,b,c"`` → tuple, or None when the flag was not given."""
+    if raw is None:
+        return None
+    items = [piece.strip() for piece in raw.split(",") if piece.strip()]
+    if not items:
+        raise ReproError(f"{flag} needs at least one value")
+    try:
+        return tuple(cast(item) for item in items)
+    except ValueError as exc:
+        raise ReproError(f"invalid {flag} value: {exc}") from exc
+
+
+def _run_tune(args: argparse.Namespace) -> str:
+    from .tuning import autotune
+    from .tuning.autotune import (
+        DEFAULT_BACKENDS,
+        DEFAULT_CHUNK_SIZES,
+        DEFAULT_MAX_SCENARIOS,
+    )
+
+    try:
+        sweeps = load_sweeps(args.spec)
+    except OSError as exc:
+        raise ReproError(f"cannot read spec file {args.spec}: {exc}") from exc
+    backends = _parse_csv_list(args.backends, str, "--backends")
+    chunk_sizes = _parse_csv_list(args.chunk_sizes, int, "--chunk-sizes")
+    dtypes = _parse_csv_list(args.dtypes, str, "--dtypes")
+    if args.repeats < 1:
+        raise ReproError(f"--repeats must be positive, got {args.repeats}")
+    max_scenarios = args.max_scenarios
+    if max_scenarios is not None and max_scenarios < 1:
+        raise ReproError(
+            f"--max-scenarios must be positive, got {max_scenarios}"
+        )
+
+    def progress(pipeline: str, index: int, total: int) -> None:
+        print(f"tuning {pipeline}: config {index + 1}/{total}",
+              file=sys.stderr, flush=True)
+
+    profile = autotune(
+        sweeps,
+        backends=backends if backends is not None else DEFAULT_BACKENDS,
+        chunk_sizes=(
+            chunk_sizes if chunk_sizes is not None else DEFAULT_CHUNK_SIZES
+        ),
+        dtypes=dtypes if dtypes is not None else ("float64",),
+        repeats=args.repeats,
+        max_scenarios=(
+            max_scenarios if max_scenarios is not None
+            else DEFAULT_MAX_SCENARIOS
+        ),
+        progress=progress,
+    )
+    try:
+        profile.save(args.out)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot write tuning file {args.out}: {exc}"
+        ) from exc
+    rows = []
+    for pipeline in profile.pipelines():
+        entry = profile.entry(pipeline)
+        default = next(
+            (point for point in entry.grid if point.get("default")), None
+        )
+        speedup = (
+            f"{entry.rows_per_s / default['rows_per_s']:.2f}x"
+            if default and default["rows_per_s"] > 0 else "-"
+        )
+        rows.append([
+            pipeline, entry.backend, str(entry.chunk_size), entry.dtype,
+            f"{entry.rows_per_s:,.0f}", speedup,
+        ])
+    table = format_table(
+        ["pipeline", "backend", "chunk", "dtype", "rows/s", "vs default"],
+        rows,
+    )
+    return (
+        table
+        + f"\ntuning profile written to {args.out} "
+        f"({len(profile)} pipeline(s)); "
+        "use it with `repro-case sweep --tuned"
+        + (f" {args.out}" if args.out != DEFAULT_TUNING_PATH else "")
+        + "`"
+    )
+
+
 def _run_telemetry(args: argparse.Namespace) -> str:
     from .telemetry import load_trace, render_summary
 
@@ -733,6 +885,7 @@ _RUNNERS = {
     "tests": _run_tests,
     "growth": _run_growth,
     "sweep": _run_sweep,
+    "tune": _run_tune,
     "case": _run_case,
     "validate": _run_validate,
     "pipelines": _run_pipelines,

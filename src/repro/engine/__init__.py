@@ -44,6 +44,7 @@ Quickstart::
 
 from . import kernels
 from .cache import ResultCache
+from .dtypes import DTYPES, parameter_dtype, resolve_dtype, use_dtype
 from .executor import BACKENDS, run_scenario, run_sweep
 from .kernels import survival_sweep, survival_sweep_columns
 from .pipelines import (
@@ -63,6 +64,10 @@ __all__ = [
     "kernels",
     "ResultCache",
     "BACKENDS",
+    "DTYPES",
+    "parameter_dtype",
+    "resolve_dtype",
+    "use_dtype",
     "run_scenario",
     "run_sweep",
     "run_sweep_streaming",

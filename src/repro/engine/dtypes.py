@@ -1,0 +1,85 @@
+"""Parameter-plane dtype policy: float64 by default, float32 on request.
+
+Sweeps are memory-bound once the kernels are vectorised: a chunk's
+parameter planes, intermediates and result columns stream through cache
+at eight bytes per value.  Running the *parameter planes* at float32
+halves that traffic.  The policy is opt-in and scoped:
+
+* ``float64`` (the default) is bit-exact — nothing in the engine
+  changes, and seeded results remain bit-for-bit reproducible.
+* ``float32`` builds parameter planes at single precision.  Kernels
+  that mix in float64 constants or tables still upcast locally, so
+  results agree with the float64 run to ~1e-5 relative (documented
+  tolerance, enforced by the test suite across all pipelines) while
+  the plane-sized allocations shrink by half.
+
+The active dtype is a thread-local: :func:`use_dtype` scopes it around
+one chunk's execution, which is how
+:meth:`~repro.engine.plan.ExecutionPlan.dtype` reaches kernels on every
+backend (pool workers re-enter the context inside the worker, so
+thread/process pools honour it too).  Kernels consult
+:func:`parameter_dtype` — or the :func:`plane` shorthand — when
+coercing parameter columns.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..errors import DomainError
+
+__all__ = [
+    "DTYPES",
+    "DEFAULT_DTYPE",
+    "parameter_dtype",
+    "plane",
+    "resolve_dtype",
+    "use_dtype",
+]
+
+#: Supported parameter-plane dtypes, bit-exact default first.
+DTYPES = ("float64", "float32")
+
+DEFAULT_DTYPE = "float64"
+
+_local = threading.local()
+
+
+def resolve_dtype(name) -> str:
+    """Validate a dtype request, returning its canonical name."""
+    if name is None:
+        return DEFAULT_DTYPE
+    canonical = str(np.dtype(name)) if not isinstance(name, str) else name
+    if canonical not in DTYPES:
+        raise DomainError(
+            f"dtype must be one of {', '.join(DTYPES)}, got {name!r}"
+        )
+    return canonical
+
+
+def parameter_dtype() -> np.dtype:
+    """The dtype parameter planes are built at on this thread."""
+    return np.dtype(getattr(_local, "dtype", DEFAULT_DTYPE))
+
+
+@contextmanager
+def use_dtype(name):
+    """Scope the parameter-plane dtype for the current thread."""
+    canonical = resolve_dtype(name)
+    previous = getattr(_local, "dtype", None)
+    _local.dtype = canonical
+    try:
+        yield
+    finally:
+        if previous is None:
+            del _local.dtype
+        else:
+            _local.dtype = previous
+
+
+def plane(values) -> np.ndarray:
+    """``values`` as an ndarray at the active parameter dtype."""
+    return np.asarray(values, dtype=parameter_dtype())

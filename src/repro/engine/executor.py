@@ -103,6 +103,7 @@ def run_sweep(
     backend: str = "auto",
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    dtype: Optional[str] = None,
     cache: Optional[ResultCache] = None,
 ) -> ResultSet:
     """Expand and execute a sweep; results keep the expansion order.
@@ -137,6 +138,7 @@ def run_sweep(
     plan = lower(
         sweep,
         chunk_size=_wrapper_chunk_size(n, backend, max_workers, chunk_size),
+        dtype=dtype,
     )
     sink = MemorySink()
     meta = run_sweep_streaming(

@@ -33,6 +33,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from ..errors import DomainError
 from ..numerics import spawn_seeds_range
 from ..telemetry import tracer
+from .dtypes import resolve_dtype
 from .pipelines import Pipeline, get_pipeline
 from .spec import ScenarioSpec, SweepSpec
 
@@ -85,6 +86,7 @@ class ExecutionPlan:
         master_seed: Optional[int],
         n_scenarios: int,
         chunk_size: int,
+        dtype: str = "float64",
         explicit: Optional[Tuple[ScenarioSpec, ...]] = None,
     ):
         self._pipeline_name = pipeline_name
@@ -94,6 +96,7 @@ class ExecutionPlan:
         self._master_seed = master_seed
         self._n = int(n_scenarios)
         self._chunk_size = int(chunk_size)
+        self._dtype = resolve_dtype(dtype)
         self._explicit = explicit
         # Mixed-radix place values: axis j's digit advances every
         # prod(sizes[j+1:]) scenarios (row-major, matching
@@ -124,6 +127,12 @@ class ExecutionPlan:
     @property
     def chunk_size(self) -> int:
         return self._chunk_size
+
+    @property
+    def dtype(self) -> str:
+        """Parameter-plane dtype kernels run at (``"float64"`` default,
+        ``"float32"`` for memory-bound sweeps — tolerance ~1e-5)."""
+        return self._dtype
 
     @property
     def n_chunks(self) -> int:
@@ -224,21 +233,53 @@ class ExecutionPlan:
         return self._pipeline.deterministic or scenario.seed is not None
 
 
+def _tuned_defaults(pipeline_name: str):
+    """(chunk_size, dtype) from the active tuning profile, if any.
+
+    Imported lazily: :mod:`repro.tuning` measures through the executor,
+    so a module-level import would be circular.
+    """
+    from ..tuning.profile import tuned_defaults
+
+    return tuned_defaults(pipeline_name)
+
+
 def lower(
     sweep: SweepLike,
     chunk_size: Optional[int] = None,
+    dtype: Optional[str] = None,
 ) -> ExecutionPlan:
     """Lower a sweep (or explicit scenario list) to an :class:`ExecutionPlan`.
 
-    ``chunk_size`` defaults to :data:`DEFAULT_CHUNK_SIZE`; pass 1 for
-    scenario-at-a-time streaming or a larger value to trade memory for
-    kernel efficiency.  Spec-level errors (unknown pipeline, mixed
-    pipelines, bad chunk size) surface here, before execution.
+    ``chunk_size`` defaults to the active tuning profile's measured
+    winner for the pipeline (see :mod:`repro.tuning`), falling back to
+    :data:`DEFAULT_CHUNK_SIZE`; pass 1 for scenario-at-a-time streaming
+    or a larger value to trade memory for kernel efficiency.  ``dtype``
+    selects the parameter-plane precision (``"float64"`` bit-exact
+    default, ``"float32"`` for memory-bound sweeps at ~1e-5 tolerance);
+    like ``chunk_size`` it defaults through the tuning profile.
+    Spec-level errors (unknown pipeline, mixed pipelines, bad chunk
+    size) surface here, before execution.
     """
+    if not isinstance(sweep, SweepSpec):
+        sweep = tuple(sweep)
+    pipeline_name = (
+        sweep.pipeline if isinstance(sweep, SweepSpec)
+        else getattr(sweep[0], "pipeline", None) if sweep else None
+    )
+    if chunk_size is None or dtype is None:
+        tuned_chunk, tuned_dtype = (
+            _tuned_defaults(pipeline_name) if pipeline_name else (None, None)
+        )
+        if chunk_size is None:
+            chunk_size = tuned_chunk
+        if dtype is None:
+            dtype = tuned_dtype
     if chunk_size is None:
         chunk_size = DEFAULT_CHUNK_SIZE
     if chunk_size < 1:
         raise DomainError("chunk_size must be positive")
+    dtype = resolve_dtype(dtype)
     with tracer.span("plan.lower") as span:
         if isinstance(sweep, SweepSpec):
             axes = tuple(
@@ -251,11 +292,13 @@ def lower(
                 master_seed=sweep.seed,
                 n_scenarios=sweep.n_scenarios(),
                 chunk_size=chunk_size,
+                dtype=dtype,
             )
             span.set(pipeline=plan.pipeline_name,
                      n_scenarios=plan.n_scenarios,
                      n_chunks=plan.n_chunks,
-                     chunk_size=plan.chunk_size)
+                     chunk_size=plan.chunk_size,
+                     dtype=plan.dtype)
             return plan
         scenarios = tuple(sweep)
         if not all(isinstance(s, ScenarioSpec) for s in scenarios):
@@ -279,10 +322,12 @@ def lower(
             master_seed=None,
             n_scenarios=len(scenarios),
             chunk_size=chunk_size,
+            dtype=dtype,
             explicit=scenarios,
         )
         span.set(pipeline=plan.pipeline_name,
                  n_scenarios=plan.n_scenarios,
                  n_chunks=plan.n_chunks,
-                 chunk_size=plan.chunk_size)
+                 chunk_size=plan.chunk_size,
+                 dtype=plan.dtype)
         return plan

@@ -34,6 +34,7 @@ from ..compilecache import compile_seconds
 from ..errors import DomainError
 from ..telemetry import metrics, tracer
 from .cache import ResultCache
+from .dtypes import use_dtype
 from .plan import ExecutionPlan, lower
 from .results import ScenarioResult
 from .sinks import ResultSink
@@ -59,21 +60,39 @@ _POOLED_CHUNK_SIZE = 1024
 ProgressFn = Callable[[int, int, int, int], None]
 
 
-def _execute_chunk(pipeline_name: str, items) -> List[Dict[str, Any]]:
+def _execute_chunk(
+    pipeline_name: str, items, dtype: str = "float64"
+) -> List[Dict[str, Any]]:
     """Run one chunk's items; module-level so process pools can pickle
-    it by reference."""
+    it by reference.  The plan's dtype policy is re-entered here so
+    pool workers (threads or processes) honour it."""
+    from .dtypes import use_dtype
     from .pipelines import get_pipeline
 
-    return get_pipeline(pipeline_name).run_batch(items)
+    with use_dtype(dtype):
+        return get_pipeline(pipeline_name).run_batch(items)
 
 
 def _resolve_backend(plan: ExecutionPlan, backend: str) -> Tuple[str, str]:
-    """(effective backend, meta label) after ``auto`` resolution."""
+    """(effective backend, meta label) after ``auto`` resolution.
+
+    ``auto`` prefers the active tuning profile's measured winner for
+    the pipeline (when one is installed and compatible), then falls
+    back to the static rule: vectorised when the pipeline has a batch
+    kernel, serial otherwise.
+    """
     if backend not in BACKENDS:
         raise DomainError(
             f"backend must be one of {', '.join(BACKENDS)}, got {backend!r}"
         )
     if backend == "auto":
+        from ..tuning.profile import tuned_backend
+
+        tuned = tuned_backend(plan.pipeline_name)
+        if tuned in BACKENDS and tuned != "auto" and not (
+            tuned == "vectorized" and not plan.pipeline.supports_batch
+        ):
+            return tuned, f"auto->tuned:{tuned}"
         effective = (
             "vectorized" if plan.pipeline.supports_batch else "serial"
         )
@@ -154,15 +173,17 @@ def stream_results(
             with tracer.span("stream.chunk", index=chunk.index,
                              backend=effective) as span:
                 work = _ChunkWork(plan, plan.chunk_scenarios(chunk), cache)
-                if effective == "serial":
-                    values = [
-                        pipeline.run(params, seed)
-                        for params, seed in work.items
-                    ]
-                else:
-                    values = (
-                        pipeline.run_batch(work.items) if work.items else []
-                    )
+                with use_dtype(plan.dtype):
+                    if effective == "serial":
+                        values = [
+                            pipeline.run(params, seed)
+                            for params, seed in work.items
+                        ]
+                    else:
+                        values = (
+                            pipeline.run_batch(work.items)
+                            if work.items else []
+                        )
                 span.set(n=len(work.scenarios),
                          cache_hits=len(work.hits))
                 merged = work.merge(values, cache)
@@ -207,7 +228,8 @@ def stream_results(
                 chunk = plan.chunk(next_submit)
                 work = _ChunkWork(plan, plan.chunk_scenarios(chunk), cache)
                 future = pool.submit(
-                    _execute_chunk, plan.pipeline_name, work.items
+                    _execute_chunk, plan.pipeline_name, work.items,
+                    plan.dtype,
                 )
                 future.add_done_callback(
                     lambda _f, index=next_submit: _completed(index)
@@ -243,6 +265,7 @@ def run_sweep_streaming(
     backend: str = "auto",
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    dtype: Optional[str] = None,
     cache: Optional[ResultCache] = None,
     sinks: Sequence[ResultSink] = (),
     progress: Optional[ProgressFn] = None,
@@ -275,20 +298,31 @@ def run_sweep_streaming(
                 "chunk_size conflicts with the already-lowered plan; "
                 "re-lower the sweep instead"
             )
+        if dtype is not None and dtype != sweep.dtype:
+            raise DomainError(
+                "dtype conflicts with the already-lowered plan; "
+                "re-lower the sweep instead"
+            )
         plan = sweep
         plan_elapsed = 0.0
     else:
         if chunk_size is None and backend in ("thread", "process"):
             chunk_size = _POOLED_CHUNK_SIZE
-        plan = lower(sweep, chunk_size=chunk_size)
+        plan = lower(sweep, chunk_size=chunk_size, dtype=dtype)
         plan_elapsed = time.perf_counter() - started
     _effective, label = _resolve_backend(plan, backend)
+    from ..tuning.profile import active_profile
+
+    profile = active_profile()
     meta: Dict[str, Any] = {
         "pipeline": plan.pipeline_name,
         "backend": label,
         "n_scenarios": plan.n_scenarios,
         "n_chunks": plan.n_chunks,
         "chunk_size": plan.chunk_size,
+        "dtype": plan.dtype,
+        "tuned": bool(profile is not None
+                      and plan.pipeline_name in profile),
     }
     hits = misses = rows = chunks_done = 0
     execute_elapsed = sink_elapsed = 0.0

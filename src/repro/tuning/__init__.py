@@ -1,0 +1,51 @@
+"""Measured autotuning for the sweep engine.
+
+The engine's execution knobs — backend, chunk size, parameter-plane
+dtype — ship with sensible fixed defaults, but the fastest setting is a
+property of the machine and the pipeline, not the code.  This package
+measures instead of guessing:
+
+* :func:`autotune` times each pipeline across a backend x chunk-size
+  (x dtype) grid through the streaming executor and records the winner
+  (the fixed-defaults configuration is always in the grid, so the
+  winner is never slower than the defaults on the measured workload);
+* :class:`TuningProfile` / :func:`load_profile` persist the winners —
+  with their full measurement evidence — to a JSON tuning file;
+* :func:`set_active_profile` installs a profile process-wide, after
+  which :func:`repro.engine.plan.lower` fills unset chunk-size/dtype
+  defaults from it and ``backend="auto"`` resolves to the measured
+  winner.
+
+CLI: ``repro-case tune`` writes a tuning file; ``repro-case sweep
+--tuned [file]`` runs a sweep under one.
+"""
+
+from .autotune import (
+    DEFAULT_BACKENDS,
+    DEFAULT_CHUNK_SIZES,
+    autotune,
+)
+from .profile import (
+    DEFAULT_TUNING_PATH,
+    TuningEntry,
+    TuningProfile,
+    active_profile,
+    load_profile,
+    set_active_profile,
+    tuned_backend,
+    tuned_defaults,
+)
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "DEFAULT_CHUNK_SIZES",
+    "DEFAULT_TUNING_PATH",
+    "TuningEntry",
+    "TuningProfile",
+    "active_profile",
+    "autotune",
+    "load_profile",
+    "set_active_profile",
+    "tuned_backend",
+    "tuned_defaults",
+]

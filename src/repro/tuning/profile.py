@@ -1,0 +1,222 @@
+"""Tuning profiles: measured per-pipeline execution defaults.
+
+A :class:`TuningProfile` records, for each pipeline, the backend /
+chunk-size / dtype configuration that won an :func:`repro.tuning.autotune`
+measurement, together with the throughput evidence (every configuration
+measured, not just the winner).  Profiles round-trip through JSON::
+
+    {
+      "version": 1,
+      "pipelines": {
+        "survival_update": {
+          "backend": "vectorized",
+          "chunk_size": 8192,
+          "dtype": "float64",
+          "rows_per_s": 91000.0,
+          "n_scenarios": 4096,
+          "grid": [
+            {"backend": "vectorized", "chunk_size": 4096,
+             "dtype": "float64", "rows_per_s": 88000.0},
+            ...
+          ]
+        }
+      }
+    }
+
+One profile can be installed process-wide with
+:func:`set_active_profile`; from then on
+:func:`repro.engine.plan.lower` fills unset ``chunk_size`` / ``dtype``
+arguments from the winning entry and the streaming executor resolves
+``backend="auto"`` to the winning backend.  Explicit arguments always
+beat the profile, and with no active profile nothing changes.
+
+This module deliberately knows nothing about execution — the measuring
+lives in :mod:`repro.tuning.autotune` — so the engine can import it
+without a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import DomainError
+
+__all__ = [
+    "DEFAULT_TUNING_PATH",
+    "TuningEntry",
+    "TuningProfile",
+    "active_profile",
+    "load_profile",
+    "set_active_profile",
+    "tuned_backend",
+    "tuned_defaults",
+]
+
+#: Conventional on-disk location (what ``repro-case tune`` writes and
+#: ``repro-case sweep --tuned`` reads when no path is given).
+DEFAULT_TUNING_PATH = "tuning.json"
+
+_PROFILE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TuningEntry:
+    """One pipeline's measured winner plus the full measurement grid."""
+
+    backend: str
+    chunk_size: int
+    dtype: str
+    rows_per_s: float
+    n_scenarios: int = 0
+    grid: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "chunk_size": self.chunk_size,
+            "dtype": self.dtype,
+            "rows_per_s": self.rows_per_s,
+            "n_scenarios": self.n_scenarios,
+            "grid": [dict(point) for point in self.grid],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuningEntry":
+        try:
+            return cls(
+                backend=str(data["backend"]),
+                chunk_size=int(data["chunk_size"]),
+                dtype=str(data["dtype"]),
+                rows_per_s=float(data["rows_per_s"]),
+                n_scenarios=int(data.get("n_scenarios", 0)),
+                grid=tuple(dict(point) for point in data.get("grid", ())),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DomainError(f"malformed tuning entry: {exc}") from exc
+
+
+class TuningProfile:
+    """Measured defaults for a set of pipelines; JSON round-trippable."""
+
+    def __init__(
+        self, entries: Optional[Dict[str, TuningEntry]] = None
+    ):
+        self._entries: Dict[str, TuningEntry] = dict(entries or {})
+
+    def __contains__(self, pipeline: str) -> bool:
+        return pipeline in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def pipelines(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entry(self, pipeline: str) -> Optional[TuningEntry]:
+        return self._entries.get(pipeline)
+
+    def set_entry(self, pipeline: str, entry: TuningEntry) -> None:
+        self._entries[pipeline] = entry
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _PROFILE_VERSION,
+            "pipelines": {
+                name: entry.to_dict()
+                for name, entry in sorted(self._entries.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TuningProfile":
+        if not isinstance(data, dict) or "pipelines" not in data:
+            raise DomainError(
+                "tuning profile must be a mapping with a 'pipelines' key"
+            )
+        version = data.get("version", _PROFILE_VERSION)
+        if version != _PROFILE_VERSION:
+            raise DomainError(
+                f"unsupported tuning profile version {version!r}"
+            )
+        return cls({
+            name: TuningEntry.from_dict(entry)
+            for name, entry in data["pipelines"].items()
+        })
+
+    def save(self, path) -> None:
+        """Write the profile as pretty-printed JSON (atomic rename)."""
+        resolved = os.path.abspath(str(path))
+        tmp = f"{resolved}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, resolved)
+
+    def __repr__(self) -> str:
+        return f"TuningProfile({self.pipelines()})"
+
+
+def load_profile(path) -> TuningProfile:
+    """Read a :class:`TuningProfile` from a JSON tuning file."""
+    try:
+        with open(str(path), "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise DomainError(f"cannot read tuning file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise DomainError(f"invalid tuning file {path}: {exc}") from exc
+    return TuningProfile.from_dict(data)
+
+
+# --------------------------------------------------------------------- #
+# The process-wide active profile
+# --------------------------------------------------------------------- #
+
+_active_lock = threading.Lock()
+_active: Optional[TuningProfile] = None
+
+
+def set_active_profile(
+    profile: Optional[TuningProfile],
+) -> Optional[TuningProfile]:
+    """Install ``profile`` as the process default (None to clear).
+
+    Returns the previously active profile so callers can restore it.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = profile
+    return previous
+
+
+def active_profile() -> Optional[TuningProfile]:
+    """The currently installed profile, or None."""
+    with _active_lock:
+        return _active
+
+
+def tuned_defaults(
+    pipeline: Optional[str],
+) -> Tuple[Optional[int], Optional[str]]:
+    """``(chunk_size, dtype)`` the active profile suggests, or Nones."""
+    profile = active_profile()
+    if profile is None or pipeline is None:
+        return None, None
+    entry = profile.entry(pipeline)
+    if entry is None:
+        return None, None
+    return entry.chunk_size, entry.dtype
+
+
+def tuned_backend(pipeline: Optional[str]) -> Optional[str]:
+    """The backend the active profile suggests for ``pipeline``, or None."""
+    profile = active_profile()
+    if profile is None or pipeline is None:
+        return None
+    entry = profile.entry(pipeline)
+    return entry.backend if entry is not None else None

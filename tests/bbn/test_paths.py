@@ -1,0 +1,226 @@
+"""Contraction-path search (repro.bbn.paths) and its VE integration.
+
+Two contracts under test.  First, the pure order finders: DP search is
+never costlier than greedy, greedy never costlier than blind luck would
+require, every finder returns a permutation of the hidden set, and the
+cardinality-blindness of min-degree is demonstrable on a concrete
+graph.  Second, the integration: a query through the path-searched
+default order agrees with an explicit min-degree order and with the
+brute-force enumeration oracle to 1e-12 on random networks
+(cardinalities 2-4), and searched orders are memoised in the
+``"bbn.path"`` compile-cache region.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bbn import (
+    BayesianNetwork,
+    CPT,
+    CompiledNetwork,
+    Variable,
+    enumerate_query,
+)
+from repro.bbn.paths import (
+    DEFAULT_PATH_FINDER,
+    DP_LIMIT,
+    PATH_FINDERS,
+    find_elimination_order,
+    greedy_cost_order,
+    min_degree_order,
+    optimal_order,
+    order_cost,
+)
+from repro.compilecache import cache_stats
+from repro.errors import DomainError
+
+TOL = 1e-12
+
+
+def random_network(rng: np.random.Generator, n_vars: int) -> BayesianNetwork:
+    """A random DAG with per-variable cardinalities in 2..4."""
+    variables = []
+    net = BayesianNetwork()
+    for i in range(n_vars):
+        card = int(rng.integers(2, 5))
+        var = Variable(f"X{i}", tuple(f"s{k}" for k in range(card)))
+        n_parents = int(rng.integers(0, min(i, 2) + 1))
+        parent_idx = (
+            sorted(rng.choice(i, size=n_parents, replace=False).tolist())
+            if n_parents else []
+        )
+        parents = [variables[j] for j in parent_idx]
+        table = {}
+        for combo in itertools.product(*(p.states for p in parents)):
+            raw = rng.uniform(0.05, 1.0, size=card)
+            table[combo] = (raw / raw.sum()).tolist()
+        net.add(CPT(var, parents, table))
+        variables.append(var)
+    return net
+
+
+def random_graph(rng: np.random.Generator, n_vars: int):
+    """Random (hidden, scopes, cards) in the finders' input format."""
+    cards = {i: int(rng.integers(2, 5)) for i in range(n_vars)}
+    scopes = []
+    for i in range(n_vars):
+        others = [j for j in range(n_vars) if j != i]
+        n_extra = int(rng.integers(0, min(2, len(others)) + 1))
+        extra = (
+            rng.choice(others, size=n_extra, replace=False).tolist()
+            if n_extra else []
+        )
+        scopes.append(tuple(sorted({i, *extra})))
+    n_hidden = int(rng.integers(1, n_vars + 1))
+    hidden = sorted(
+        rng.choice(n_vars, size=n_hidden, replace=False).tolist()
+    )
+    return hidden, scopes, cards
+
+
+def min_degree_query_order(compiled: CompiledNetwork, target, evidence):
+    """The min-degree elimination order as explicit variable names."""
+    names = compiled.variable_names
+    index = {name: i for i, name in enumerate(names)}
+    scopes = [
+        tuple(compiled._parents[i]) + (i,) for i in range(len(names))
+    ]
+    hidden = [
+        index[name] for name in names
+        if name != target and name not in evidence
+    ]
+    return [names[i] for i in min_degree_order(hidden, scopes)]
+
+
+def random_query(rng: np.random.Generator, net: BayesianNetwork):
+    names = net.variable_names
+    target = names[int(rng.integers(len(names)))]
+    others = [n for n in names if n != target]
+    n_evidence = int(rng.integers(0, len(others) + 1))
+    evidence = {}
+    for name in rng.choice(others, size=n_evidence, replace=False).tolist():
+        states = net.variable(name).states
+        evidence[name] = states[int(rng.integers(len(states)))]
+    return target, evidence
+
+
+class TestOrderFinders:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_all_finders_return_hidden_permutations(self, seed):
+        rng = np.random.default_rng(seed)
+        hidden, scopes, cards = random_graph(rng, int(rng.integers(2, 9)))
+        for finder in ("optimal", "greedy_cost", "min_degree"):
+            result = find_elimination_order(
+                hidden, scopes, cards, finder=finder
+            )
+            assert sorted(result.order) == sorted(hidden), finder
+            assert result.finder == finder
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_dp_never_costlier_than_heuristics(self, seed):
+        rng = np.random.default_rng(seed)
+        hidden, scopes, cards = random_graph(rng, int(rng.integers(2, 9)))
+        optimal = optimal_order(hidden, scopes, cards)
+        greedy = greedy_cost_order(hidden, scopes, cards)
+        degree = min_degree_order(hidden, scopes)
+        best = order_cost(optimal, scopes, cards)
+        assert best <= order_cost(greedy, scopes, cards) + 1e-9
+        assert best <= order_cost(degree, scopes, cards) + 1e-9
+
+    def test_min_degree_is_cardinality_blind(self):
+        # Variable 0 (card 2) sits between two card-8 hubs and shares a
+        # factor with variable 3 (card 2), which has three boolean
+        # neighbours.  Min-degree sees degree 3 < 4 and eliminates 0
+        # first, dragging the card-8 hubs into the fill factor; the
+        # cost-aware finders eliminate 3 first, strictly cheaper.
+        cards = {0: 2, 1: 8, 2: 8, 3: 2, 4: 2, 5: 2, 6: 2}
+        scopes = [(0, 1), (0, 2), (0, 3), (3, 4), (3, 5), (3, 6)]
+        hidden = [0, 3]
+        degree = min_degree_order(hidden, scopes)
+        assert degree[0] == 0
+        cost_aware = greedy_cost_order(hidden, scopes, cards)
+        assert cost_aware[0] == 3
+        assert (
+            order_cost(cost_aware, scopes, cards)
+            < order_cost(degree, scopes, cards)
+        )
+        assert optimal_order(hidden, scopes, cards) == cost_aware
+
+    def test_auto_picks_dp_then_greedy_by_size(self):
+        small = list(range(DP_LIMIT))
+        scopes = [(i, (i + 1) % (DP_LIMIT + 2)) for i in range(DP_LIMIT + 2)]
+        cards = {i: 2 for i in range(DP_LIMIT + 2)}
+        assert find_elimination_order(small, scopes, cards).finder == "optimal"
+        wide = list(range(DP_LIMIT + 2))
+        assert (
+            find_elimination_order(wide, scopes, cards).finder
+            == "greedy_cost"
+        )
+        assert DEFAULT_PATH_FINDER in PATH_FINDERS
+
+    def test_empty_hidden_is_empty_order(self):
+        result = find_elimination_order([], [(0, 1)], {0: 2, 1: 2})
+        assert result.order == ()
+        assert result.cost == 0.0
+
+    def test_unknown_finder_rejected(self):
+        with pytest.raises(DomainError):
+            find_elimination_order([0], [(0,)], {0: 2}, finder="magic")
+
+
+class TestPathSearchedQueries:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_matches_min_degree_and_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        net = random_network(rng, int(rng.integers(3, 8)))
+        target, evidence = random_query(rng, net)
+        compiled = CompiledNetwork(net)
+        searched = compiled.query(target, evidence)
+        degree_order = min_degree_query_order(compiled, target, evidence)
+        degree = (
+            compiled.query(target, evidence, order=degree_order)
+            if degree_order else searched
+        )
+        oracle = enumerate_query(net, target, evidence)
+        for state in net.variable(target).states:
+            assert searched[state] == pytest.approx(
+                degree[state], abs=TOL
+            )
+            assert searched[state] == pytest.approx(
+                oracle[state], abs=TOL
+            )
+
+    def test_query_batch_accepts_explicit_order(self, rng):
+        net = random_network(rng, 6)
+        compiled = CompiledNetwork(net)
+        names = compiled.variable_names
+        target = names[-1]
+        degree_order = min_degree_query_order(compiled, target, {})
+        root = names[0]
+        card = len(net.variable(root).states)
+        raw = rng.uniform(0.05, 1.0, size=(7, card))
+        planes = {root: raw / raw.sum(axis=1, keepdims=True)}
+        searched = compiled.query_batch(target, cpt_planes=planes)
+        degree = compiled.query_batch(
+            target, cpt_planes=planes, order=degree_order
+        )
+        assert np.max(np.abs(searched - degree)) <= TOL
+
+    def test_orders_memoised_in_path_region(self, rng):
+        net = random_network(rng, 6)
+        compiled = CompiledNetwork(net)
+        target, evidence = "X0", {"X5": net.variable("X5").states[0]}
+        compiled.query(target, evidence)
+        before = cache_stats().get("bbn.path", {})
+        # A second compile of identical content must hit the shared
+        # region instead of re-searching.
+        CompiledNetwork(net).query(target, evidence)
+        after = cache_stats().get("bbn.path", {})
+        assert after.get("hits", 0) > before.get("hits", 0)

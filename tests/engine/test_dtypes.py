@@ -1,0 +1,213 @@
+"""The parameter-plane dtype policy (repro.engine.dtypes).
+
+float64 is the bit-exact default; float32 halves plane memory for
+memory-bound sweeps at a documented ~1e-5 tolerance.  The policy is a
+thread-local threaded through ``plan.lower`` → executors → kernels, so
+the contract under test is threefold: the policy primitives behave
+(resolution, scoping, thread isolation), the executors thread the plan
+dtype into kernels on every backend, and float32 sweeps agree with
+float64 within 1e-5 on every registered pipeline.
+"""
+
+import pathlib
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DTYPES,
+    ScenarioSpec,
+    SweepSpec,
+    lower,
+    parameter_dtype,
+    resolve_dtype,
+    run_sweep,
+    run_sweep_streaming,
+    use_dtype,
+)
+from repro.engine.kernels import lognormal_confidence, survival_sweep_columns
+from repro.errors import DomainError
+
+#: Relative-and-absolute agreement bound for float32 parameter planes
+#: (documented in README "Performance tuning").
+F32_TOL = 1e-5
+
+CASE_FILE = str(
+    pathlib.Path(__file__).resolve().parents[2]
+    / "examples" / "case_confidence.yaml"
+)
+
+TWO_LEG = {
+    "prior": 0.6,
+    "leg1_validity": 0.9, "leg1_sensitivity": 0.95, "leg1_specificity": 0.9,
+    "leg2_validity": 0.88, "leg2_sensitivity": 0.9, "leg2_specificity": 0.85,
+}
+
+#: One valid binding per registered pipeline (mirrors the batch tests;
+#: the all-pipelines sweep below fails when a new pipeline is missing).
+REPRESENTATIVE = {
+    "survival_update": {"mode": 0.003, "sigma": 0.9, "demands": 100},
+    "two_leg_posterior": dict(TWO_LEG),
+    "bbn_query": {**TWO_LEG, "n_samples": 500},
+    "sil_classification": {"mode": 0.003, "sigma": 0.9},
+    "panel_run": {"n_experts": 6, "n_doubters": 2},
+    "sil_from_growth": {"model": "jm", "n_observed": 12},
+    "elicitation_pool": {"n_experts": 5, "n_doubters": 1},
+    "expert_calibration": {"n_questions": 8},
+    "alarp_decision": {"mode": 0.003, "sigma": 0.9},
+    "iec61508_sil": {"mode": 0.003, "sigma": 0.9},
+    "do178b_map": {"dal": "B"},
+    "conservatism_audit": {"mode": 0.003, "sigma": 0.9},
+    "case_confidence": {"case_file": CASE_FILE, "A1.p_true": 0.9},
+}
+
+
+class TestPolicyPrimitives:
+    def test_default_is_float64(self):
+        assert resolve_dtype(None) == "float64"
+        assert parameter_dtype() == np.dtype(np.float64)
+        assert DTYPES == ("float64", "float32")
+
+    def test_resolution_and_rejection(self):
+        assert resolve_dtype("float32") == "float32"
+        assert resolve_dtype("float64") == "float64"
+        with pytest.raises(DomainError):
+            resolve_dtype("float16")
+        with pytest.raises(DomainError):
+            resolve_dtype("int64")
+
+    def test_use_dtype_scopes_and_restores(self):
+        with use_dtype("float32"):
+            assert parameter_dtype() == np.dtype(np.float32)
+            with use_dtype("float64"):
+                assert parameter_dtype() == np.dtype(np.float64)
+            assert parameter_dtype() == np.dtype(np.float32)
+        assert parameter_dtype() == np.dtype(np.float64)
+
+    def test_policy_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["worker"] = parameter_dtype()
+
+        with use_dtype("float32"):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen["worker"] == np.dtype(np.float64)
+
+    def test_kernels_follow_the_policy(self):
+        # Elementwise kernels coerce their parameter planes (and any
+        # planes they allocate) to the policy dtype; grid-resident
+        # computations may still promote, so the contract is on the
+        # planes, not on every downstream array.
+        confidence32 = None
+        with use_dtype("float32"):
+            confidence32 = lognormal_confidence(
+                [-5.0, -4.0], [0.9, 0.9], [0.01, 0.01]
+            )
+        assert confidence32.dtype == np.float32
+        confidence64 = lognormal_confidence(
+            [-5.0, -4.0], [0.9, 0.9], [0.01, 0.01]
+        )
+        assert confidence64.dtype == np.float64
+        assert np.allclose(confidence32, confidence64,
+                           rtol=F32_TOL, atol=F32_TOL)
+
+    def test_grid_kernels_accept_the_policy(self):
+        grid = np.geomspace(1e-9, 1.0, 400)
+        with use_dtype("float32"):
+            narrowed = survival_sweep_columns(
+                modes=[0.003, 0.004], sigmas=[0.9, 0.9],
+                demands=[10, 10], bounds=[0.01, 0.01], grid=grid,
+            )
+        reference = survival_sweep_columns(
+            modes=[0.003, 0.004], sigmas=[0.9, 0.9],
+            demands=[10, 10], bounds=[0.01, 0.01], grid=grid,
+        )
+        for column, values in reference.items():
+            assert np.allclose(narrowed[column], values,
+                               rtol=F32_TOL, atol=F32_TOL), column
+
+
+class TestPlanThreading:
+    def test_lower_records_dtype(self):
+        spec = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003, "sigma": 0.9},
+            grid={"demands": [0, 10]},
+        )
+        assert lower(spec).dtype == "float64"
+        assert lower(spec, dtype="float32").dtype == "float32"
+        with pytest.raises(DomainError):
+            lower(spec, dtype="complex128")
+
+    def test_streaming_rejects_conflicting_dtype(self):
+        spec = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003, "sigma": 0.9},
+            grid={"demands": [0, 10]},
+        )
+        plan = lower(spec, dtype="float32")
+        meta = run_sweep_streaming(plan, dtype="float32")
+        assert meta["dtype"] == "float32"
+        with pytest.raises(DomainError):
+            run_sweep_streaming(plan, dtype="float64")
+
+    @pytest.mark.parametrize("backend", ["serial", "vectorized", "thread"])
+    def test_backends_within_tolerance_under_float32(self, backend):
+        # The policy only narrows the *vectorised* parameter planes —
+        # the scalar reference path stays double — so every backend's
+        # float32 run must sit within the documented tolerance of the
+        # float64 reference, not bit-match the other backends.
+        spec = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.003, "sigma": 0.9},
+            grid={"demands": [0, 10, 100]},
+        )
+        reference = run_sweep(spec, backend="serial", dtype="float64")
+        result = run_sweep(spec, backend=backend, dtype="float32")
+        for expected, got in zip(reference, result):
+            for column, value in expected.values.items():
+                assert got.values[column] == pytest.approx(
+                    value, rel=F32_TOL, abs=F32_TOL
+                ), (backend, column)
+
+
+def _assert_rows_close(row64, row32, context):
+    assert set(row64) == set(row32)
+    for column, value in row64.items():
+        got = row32[column]
+        if isinstance(value, float) and isinstance(got, float):
+            if np.isnan(value):
+                assert np.isnan(got), (context, column)
+            else:
+                assert got == pytest.approx(
+                    value, rel=F32_TOL, abs=F32_TOL
+                ), (context, column, value, got)
+        else:
+            assert got == value, (context, column, value, got)
+
+
+class TestFloat32Tolerance:
+    @pytest.mark.parametrize("pipeline", sorted(REPRESENTATIVE))
+    def test_float32_within_1e5_of_float64(self, pipeline):
+        scenarios = [
+            ScenarioSpec(pipeline, dict(REPRESENTATIVE[pipeline]),
+                         seed=1000 + i)
+            for i in range(3)
+        ]
+        rows64 = run_sweep(scenarios, dtype="float64")
+        rows32 = run_sweep(scenarios, dtype="float32")
+        for row64, row32 in zip(rows64, rows32):
+            _assert_rows_close(row64.values, row32.values, pipeline)
+
+    def test_all_registered_pipelines_are_covered(self):
+        from repro.engine import available_pipelines
+
+        shipped = {
+            name for name in available_pipelines()
+            if not name.startswith(("executor_test_", "test_"))
+        }
+        assert shipped == set(REPRESENTATIVE)

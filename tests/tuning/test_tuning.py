@@ -1,0 +1,295 @@
+"""The measured autotuner (repro.tuning) end to end.
+
+Profiles must round-trip losslessly through JSON and fail loudly on
+malformed files; the active profile must steer ``plan.lower`` defaults
+and ``backend="auto"`` resolution (with explicit arguments always
+winning); ``autotune`` must measure the fixed-defaults configuration as
+part of every grid — the structural guarantee that a tuned profile is
+never slower than the defaults on the measured workload; and the CLI
+must wire it all together (``repro-case tune`` → ``sweep --tuned``).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import SweepSpec, lower, run_sweep_streaming
+from repro.engine.plan import DEFAULT_CHUNK_SIZE
+from repro.errors import DomainError
+from repro.tuning import (
+    TuningEntry,
+    TuningProfile,
+    autotune,
+    load_profile,
+    set_active_profile,
+    tuned_backend,
+    tuned_defaults,
+)
+
+SPEC = SweepSpec(
+    pipeline="survival_update",
+    base={"mode": 0.003, "sigma": 0.9, "points_per_decade": 60},
+    grid={"demands": [0, 10, 100, 1000]},
+)
+
+
+@pytest.fixture
+def no_active_profile():
+    """Isolate each test from profiles other tests may have installed."""
+    previous = set_active_profile(None)
+    yield
+    set_active_profile(previous)
+
+
+def make_entry(**overrides):
+    base = dict(backend="vectorized", chunk_size=4096, dtype="float64",
+                rows_per_s=1000.0, n_scenarios=64)
+    base.update(overrides)
+    return TuningEntry(**base)
+
+
+class TestProfilePersistence:
+    def test_round_trip_through_json(self, tmp_path):
+        profile = TuningProfile()
+        profile.set_entry("survival_update", make_entry(
+            grid=({"backend": "serial", "chunk_size": 1024,
+                   "dtype": "float64", "rows_per_s": 800.0,
+                   "default": True},),
+        ))
+        path = tmp_path / "tuning.json"
+        profile.save(path)
+        loaded = load_profile(path)
+        assert loaded.pipelines() == ["survival_update"]
+        entry = loaded.entry("survival_update")
+        assert entry == profile.entry("survival_update")
+        assert entry.grid[0]["default"] is True
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DomainError):
+            load_profile(tmp_path / "absent.json")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DomainError):
+            load_profile(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"entries": {}}))
+        with pytest.raises(DomainError):
+            load_profile(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "versioned.json"
+        path.write_text(json.dumps({"version": 99, "pipelines": {}}))
+        with pytest.raises(DomainError):
+            load_profile(path)
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(DomainError):
+            TuningEntry.from_dict({"backend": "serial"})
+
+
+class TestActiveProfile:
+    def test_defaults_with_no_profile(self, no_active_profile):
+        assert tuned_defaults("survival_update") == (None, None)
+        assert tuned_backend("survival_update") is None
+
+    def test_lower_consults_active_profile(self, no_active_profile):
+        profile = TuningProfile()
+        profile.set_entry("survival_update",
+                          make_entry(chunk_size=2048, dtype="float32"))
+        set_active_profile(profile)
+        plan = lower(SPEC)
+        assert plan.chunk_size == 2048
+        assert plan.dtype == "float32"
+
+    def test_explicit_arguments_beat_the_profile(self, no_active_profile):
+        profile = TuningProfile()
+        profile.set_entry("survival_update",
+                          make_entry(chunk_size=2048, dtype="float32"))
+        set_active_profile(profile)
+        plan = lower(SPEC, chunk_size=512, dtype="float64")
+        assert plan.chunk_size == 512
+        assert plan.dtype == "float64"
+
+    def test_auto_backend_resolves_to_tuned(self, no_active_profile):
+        profile = TuningProfile()
+        profile.set_entry("survival_update", make_entry(backend="serial"))
+        set_active_profile(profile)
+        meta = run_sweep_streaming(SPEC)
+        assert meta["backend"] == "auto->tuned:serial"
+        assert meta["tuned"] is True
+
+    def test_explicit_backend_beats_the_profile(self, no_active_profile):
+        profile = TuningProfile()
+        profile.set_entry("survival_update", make_entry(backend="serial"))
+        set_active_profile(profile)
+        meta = run_sweep_streaming(SPEC, backend="vectorized")
+        assert meta["backend"] == "vectorized"
+
+    def test_set_active_profile_returns_previous(self, no_active_profile):
+        first = TuningProfile()
+        assert set_active_profile(first) is None
+        second = TuningProfile()
+        assert set_active_profile(second) is first
+
+    def test_rows_identical_with_and_without_profile(
+        self, no_active_profile, tmp_path
+    ):
+        from repro.engine import JsonlSink
+
+        untuned_path = tmp_path / "untuned.jsonl"
+        run_sweep_streaming(SPEC, sinks=(JsonlSink(untuned_path),))
+        profile = TuningProfile()
+        profile.set_entry("survival_update",
+                          make_entry(backend="serial", chunk_size=2))
+        set_active_profile(profile)
+        tuned_path = tmp_path / "tuned.jsonl"
+        run_sweep_streaming(SPEC, sinks=(JsonlSink(tuned_path),))
+        assert untuned_path.read_text() == tuned_path.read_text()
+
+
+class TestAutotune:
+    def test_tiny_grid_measures_and_picks_a_winner(self, no_active_profile):
+        profile = autotune(
+            SPEC, backends=("vectorized", "serial"), chunk_sizes=(1024,),
+            repeats=1, max_scenarios=4,
+        )
+        entry = profile.entry("survival_update")
+        assert entry is not None
+        assert entry.rows_per_s > 0
+        assert entry.n_scenarios == 4
+        # vectorized default + (vectorized, serial) x 1024
+        assert len(entry.grid) == 3
+
+    def test_default_config_always_in_grid(self, no_active_profile):
+        profile = autotune(
+            SPEC, backends=("serial",), chunk_sizes=(1024,),
+            repeats=1, max_scenarios=4,
+        )
+        entry = profile.entry("survival_update")
+        defaults = [point for point in entry.grid if point["default"]]
+        assert len(defaults) == 1
+        assert defaults[0]["backend"] == "vectorized"
+        assert defaults[0]["chunk_size"] == DEFAULT_CHUNK_SIZE
+        assert defaults[0]["dtype"] == "float64"
+
+    def test_winner_never_slower_than_default(self, no_active_profile):
+        profile = autotune(
+            SPEC, backends=("vectorized", "serial"),
+            chunk_sizes=(1024, 4096), repeats=2, max_scenarios=4,
+        )
+        entry = profile.entry("survival_update")
+        default = next(p for p in entry.grid if p["default"])
+        assert entry.rows_per_s >= default["rows_per_s"]
+
+    def test_progress_callback_invoked(self, no_active_profile):
+        calls = []
+        autotune(
+            SPEC, backends=("serial",), chunk_sizes=(1024,), repeats=1,
+            max_scenarios=4,
+            progress=lambda *args: calls.append(args),
+        )
+        assert calls
+        assert calls[0][0] == "survival_update"
+
+    def test_bad_arguments_rejected(self, no_active_profile):
+        with pytest.raises(DomainError):
+            autotune([], repeats=1)
+        with pytest.raises(DomainError):
+            autotune(SPEC, repeats=0)
+        with pytest.raises(DomainError):
+            autotune(SPEC, max_scenarios=0)
+
+
+class TestCli:
+    def _write_spec(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "pipeline": "survival_update",
+            "base": {"mode": 0.003, "sigma": 0.9,
+                     "points_per_decade": 60},
+            "grid": {"demands": [0, 100]},
+        }))
+        return str(spec_path)
+
+    def test_tune_writes_profile_and_reports(
+        self, capsys, tmp_path, no_active_profile
+    ):
+        spec = self._write_spec(tmp_path)
+        out_path = tmp_path / "tuning.json"
+        code = main([
+            "tune", "--spec", spec, "--out", str(out_path),
+            "--backends", "vectorized,serial", "--chunk-sizes", "1024",
+            "--repeats", "1", "--max-scenarios", "2",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "tuning profile written" in captured.out
+        assert "vs default" in captured.out
+        profile = load_profile(out_path)
+        assert profile.pipelines() == ["survival_update"]
+
+    def test_sweep_under_tuned_profile(
+        self, capsys, tmp_path, no_active_profile
+    ):
+        spec = self._write_spec(tmp_path)
+        out_path = tmp_path / "tuning.json"
+        assert main([
+            "tune", "--spec", spec, "--out", str(out_path),
+            "--backends", "serial", "--chunk-sizes", "1024",
+            "--repeats", "1", "--max-scenarios", "2",
+        ]) == 0
+        capsys.readouterr()
+        rows = tmp_path / "rows.jsonl"
+        code = main([
+            "sweep", "--spec", spec, "--tuned", str(out_path),
+            "--stream", "--out", str(rows),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "tuned" in captured.out
+        assert f"tuning profile: {out_path}" in captured.out
+        assert rows.exists()
+        # The CLI restores the previously active profile afterwards.
+        assert tuned_backend("survival_update") is None
+
+    def test_sweep_dtype_flag(self, capsys, tmp_path, no_active_profile):
+        spec = self._write_spec(tmp_path)
+        rows = tmp_path / "rows.jsonl"
+        code = main([
+            "sweep", "--spec", spec, "--dtype", "float32",
+            "--stream", "--out", str(rows),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "dtype=float32" in captured.out
+
+    def test_tune_missing_spec_reported(self, capsys, tmp_path):
+        code = main([
+            "tune", "--spec", str(tmp_path / "absent.yaml"),
+            "--out", str(tmp_path / "t.json"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_missing_tuning_file_reported(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        code = main([
+            "sweep", "--spec", spec, "--tuned",
+            str(tmp_path / "absent.json"),
+        ])
+        assert code == 2
+        assert "cannot read tuning file" in capsys.readouterr().err
+
+    def test_tune_bad_chunk_sizes_reported(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        code = main([
+            "tune", "--spec", spec, "--out", str(tmp_path / "t.json"),
+            "--chunk-sizes", "abc",
+        ])
+        assert code == 2
+        assert "--chunk-sizes" in capsys.readouterr().err

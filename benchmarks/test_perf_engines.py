@@ -1,17 +1,20 @@
-"""P1-P11 — performance benches for the library's compute kernels.
+"""P1-P12 — performance benches for the library's compute kernels.
 
 Not paper artefacts: these time the engines the experiments lean on
 (quadrature moments, grid Bayesian updates, exact BBN inference, panel
 simulation, the batched sweep engine, compiled BBN inference, the
 batched growth-model likelihood grids, the compiled whole-case engine,
 the streaming executor at million-scenario scale, the cost of the
-disabled telemetry instrumentation, and the below-the-call-boundary
+disabled telemetry instrumentation, the below-the-call-boundary
 optimisations — contraction-path search, fused case kernels and the
-measured autotuner) so performance regressions are visible.
+measured autotuner — and the sharded multi-process coordinator with
+crash-safe resume) so performance regressions are visible.
 """
 
+import hashlib
 import itertools
 import json
+import os
 import pathlib
 import resource
 import sys
@@ -50,6 +53,7 @@ from repro.engine import (
     get_pipeline,
     lower,
     run_sweep,
+    run_sweep_sharded,
     run_sweep_streaming,
 )
 from repro.experiment import run_panel
@@ -671,3 +675,116 @@ def test_perf_path_search_fused_case_and_autotune(benchmark):
         compiled.query_batch(target, cpt_planes=plane)
         for compiled, target, plane, _ in networks
     ])
+
+
+def _sha256(path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def test_perf_sharded_sweep_coordinator(
+    benchmark, tmp_path, record_stage_timings
+):
+    """P12: the multi-process coordinator at million-scenario scale.
+
+    (a) A 4-shard run of the P9-shaped 1,000,000-scenario case sweep
+    must write a JSONL file *bit-identical* to the single-process
+    stream — distribution is pure coordination, never a numerics
+    change.  (b) With >=4 CPUs available it must beat the
+    single-process stream by >=2.5x wall clock (skipped on smaller
+    runners, where the four workers just timeshare one core).  (c) A
+    sweep killed mid-stream — torn output row, torn manifest record —
+    must resume to a byte-identical file while skipping every
+    completed chunk.
+    """
+    case_file = str(
+        pathlib.Path(__file__).resolve().parents[1]
+        / "examples" / "case_confidence.yaml"
+    )
+    sweep = SweepSpec(
+        pipeline="case_confidence",
+        base={"case_file": case_file},
+        grid={
+            "A1.p_true": [round(0.5 + 0.005 * i, 3) for i in range(100)],
+            "S1.dependence": [round(0.0001 * i, 5) for i in range(10000)],
+        },
+    )
+    assert sweep.n_scenarios() == 1_000_000
+
+    # --- (a) bit-identical distribution, timed both ways.
+    single_path = tmp_path / "single.jsonl"
+    start = time.perf_counter()
+    single_meta = run_sweep_streaming(
+        sweep, sinks=(JsonlSink(str(single_path)),), chunk_size=16384
+    )
+    single_elapsed = time.perf_counter() - start
+    assert single_meta["rows"] == 1_000_000
+    single_hash = _sha256(single_path)
+
+    sharded_path = tmp_path / "sharded.jsonl"
+    start = time.perf_counter()
+    sharded_meta = run_sweep_sharded(
+        sweep, shards=4, chunk_size=16384,
+        sinks=(JsonlSink(str(sharded_path)),),
+    )
+    sharded_elapsed = time.perf_counter() - start
+    record_stage_timings(sharded_meta)
+    assert sharded_meta["rows"] == 1_000_000
+    assert sharded_meta["retries"] == 0
+    assert _sha256(sharded_path) == single_hash, (
+        "4-shard output differs from the single-process stream"
+    )
+
+    # --- (b) the speedup floor, where there are cores to win on.
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        speedup = single_elapsed / sharded_elapsed
+        assert speedup >= 2.5, (
+            f"4-shard run only {speedup:.2f}x over single-process "
+            f"({sharded_elapsed:.1f}s vs {single_elapsed:.1f}s) "
+            f"on {cpus} CPUs"
+        )
+
+    # --- (c) kill mid-stream, resume byte-identical.
+    from repro.engine.coordinator import MANIFEST_SUFFIX
+
+    manifest_path = str(sharded_path) + MANIFEST_SUFFIX
+    data = sharded_path.read_bytes()
+    sharded_path.write_bytes(data[: len(data) * 3 // 5 + 11])  # torn row
+    with open(manifest_path, "rb+") as handle:
+        handle.truncate(os.path.getsize(manifest_path) - 20)  # torn record
+
+    resume_meta = run_sweep_sharded(
+        sweep, shards=4, chunk_size=16384,
+        sinks=(JsonlSink(str(sharded_path)),), resume=True,
+    )
+    assert resume_meta["resumed"] is True
+    assert resume_meta["resumed_chunks"] > 0, "no completed chunks skipped"
+    assert (
+        resume_meta["rows"] + resume_meta["resumed_rows"] == 1_000_000
+    )
+    assert resume_meta["rows"] < 1_000_000, "resume re-ran everything"
+    assert _sha256(sharded_path) == single_hash, (
+        "resumed output differs from an uninterrupted run"
+    )
+
+    # Timing fixture rounds at 100k scenarios, as for P9.
+    rounds_sweep = SweepSpec(
+        pipeline="case_confidence",
+        base={"case_file": case_file},
+        grid={
+            "A1.p_true": [round(0.5 + 0.005 * i, 3) for i in range(100)],
+            "S1.dependence": [round(0.001 * i, 4) for i in range(1000)],
+        },
+    )
+    rounds_meta = benchmark(lambda: run_sweep_sharded(
+        rounds_sweep, shards=4, chunk_size=16384,
+        sinks=(JsonlSink(str(tmp_path / "rounds.jsonl")),),
+    ))
+    assert rounds_meta["rows"] == 100_000

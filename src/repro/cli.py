@@ -165,6 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--chunk-size", type=int, default=None,
                          dest="chunk_size", metavar="N",
                          help="scenarios per streamed chunk")
+    p_sweep.add_argument("--shards", type=int, default=None, metavar="K",
+                         help="split the streamed sweep across K worker "
+                         "processes with strictly ordered merge — output "
+                         "is bit-identical to a single-process run, and "
+                         "a JSONL --out gets a checkpoint manifest")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="resume a killed --stream sweep from its "
+                         "checkpoint manifest, skipping completed chunks "
+                         "(final output is byte-identical to an "
+                         "uninterrupted run)")
     p_sweep.add_argument("--progress", action="store_true",
                          help="report per-chunk progress on stderr "
                          "(with throughput and ETA)")
@@ -397,6 +407,11 @@ def _run_sweep_streaming(args: argparse.Namespace,
     out_format = args.out_format
     if out_format is None:
         out_format = "csv" if str(args.out).lower().endswith(".csv") else "jsonl"
+    if (args.shards is not None or args.resume) and out_format != "jsonl":
+        raise ReproError(
+            "--shards/--resume checkpoint against a JSONL --out; "
+            "use --format jsonl"
+        )
     sink = (CsvSink if out_format == "csv" else JsonlSink)(args.out)
     meta = run_sweep_streaming(
         sweeps[0],
@@ -407,6 +422,8 @@ def _run_sweep_streaming(args: argparse.Namespace,
         cache=cache,
         sinks=(sink,),
         progress=_StreamProgress() if args.progress else None,
+        shards=args.shards,
+        resume=args.resume,
     )
     stages = meta.get("stage_timings", {})
     stage_line = ", ".join(
@@ -414,12 +431,22 @@ def _run_sweep_streaming(args: argparse.Namespace,
         for stage in ("plan_s", "compile_s", "execute_s", "sink_s")
         if stage in stages
     )
+    resumed_note = ""
+    if meta.get("resumed"):
+        resumed_note = (
+            f" (resumed: {meta['resumed_chunks']} chunks / "
+            f"{meta['resumed_rows']} rows skipped)"
+        )
+    retry_note = (
+        f", {meta['retries']} worker retries" if meta.get("retries") else ""
+    )
     return (
         f"{meta['rows']} rows streamed to {args.out} ({out_format}), "
         f"pipeline={meta['pipeline']}, backend={meta['backend']}, "
         f"{meta['n_chunks']} chunks of <= {meta['chunk_size']}, "
         f"dtype={meta['dtype']}"
         + (" (tuned)" if meta.get("tuned") else "")
+        + resumed_note + retry_note
         + f", cache {meta['cache_hits']} hit / {meta['cache_misses']} miss, "
         f"{meta['elapsed_s']:.3f}s"
         + (f"\nstages: {stage_line}" if stage_line else "")
@@ -465,7 +492,9 @@ def _run_sweep(args: argparse.Namespace) -> str:
     if not args.stream:
         for flag, name in ((args.out, "--out"),
                            (args.out_format, "--format"),
-                           (args.progress, "--progress")):
+                           (args.progress, "--progress"),
+                           (args.shards, "--shards"),
+                           (args.resume, "--resume")):
             if flag:
                 raise ReproError(f"{name} only applies with --stream")
 
@@ -840,20 +869,21 @@ def _run_tune(args: argparse.Namespace) -> str:
         ) from exc
     rows = []
     for pipeline in profile.pipelines():
-        entry = profile.entry(pipeline)
-        default = next(
-            (point for point in entry.grid if point.get("default")), None
-        )
-        speedup = (
-            f"{entry.rows_per_s / default['rows_per_s']:.2f}x"
-            if default and default["rows_per_s"] > 0 else "-"
-        )
-        rows.append([
-            pipeline, entry.backend, str(entry.chunk_size), entry.dtype,
-            f"{entry.rows_per_s:,.0f}", speedup,
-        ])
+        for bucket, entry in sorted(profile.bucket_entries(pipeline).items()):
+            default = next(
+                (point for point in entry.grid if point.get("default")), None
+            )
+            speedup = (
+                f"{entry.rows_per_s / default['rows_per_s']:.2f}x"
+                if default and default["rows_per_s"] > 0 else "-"
+            )
+            rows.append([
+                pipeline, bucket, entry.backend, str(entry.chunk_size),
+                entry.dtype, f"{entry.rows_per_s:,.0f}", speedup,
+            ])
     table = format_table(
-        ["pipeline", "backend", "chunk", "dtype", "rows/s", "vs default"],
+        ["pipeline", "shape", "backend", "chunk", "dtype", "rows/s",
+         "vs default"],
         rows,
     )
     return (

@@ -15,6 +15,10 @@ fast:
 * :func:`run_sweep_streaming` — the same execution core, chunk by chunk
   through pluggable sinks (:class:`JsonlSink`, :class:`CsvSink`,
   :class:`MemorySink`) in constant memory — the million-scenario path;
+* :func:`run_sweep_sharded` (or ``run_sweep_streaming(shards=k)``) —
+  the streaming path split across worker processes with strictly
+  ordered merge, checkpoint manifests and crash-safe ``resume=True``
+  (:mod:`~repro.engine.coordinator`);
 * :class:`ResultCache` — content-keyed memoisation of finished
   scenarios, optionally disk-persistent (a region of the unified
   :mod:`repro.compilecache`);
@@ -44,6 +48,7 @@ Quickstart::
 
 from . import kernels
 from .cache import ResultCache
+from .coordinator import SweepManifest, run_sweep_sharded, shard_ranges
 from .dtypes import DTYPES, parameter_dtype, resolve_dtype, use_dtype
 from .executor import BACKENDS, run_scenario, run_sweep
 from .kernels import survival_sweep, survival_sweep_columns
@@ -54,15 +59,18 @@ from .pipelines import (
     register,
     register_batch_kernel,
 )
-from .plan import Chunk, ExecutionPlan, lower
+from .plan import Chunk, ExecutionPlan, PlanShard, lower
 from .results import ResultSet, ScenarioResult
-from .sinks import CsvSink, JsonlSink, MemorySink, ResultSink
+from .sinks import CsvSink, JsonlSink, MemorySink, ResultSink, truncate_torn_tail
 from .spec import ScenarioSpec, SweepSpec, canonical_key, load_sweeps
 from .stream import run_sweep_streaming, stream_results
 
 __all__ = [
     "kernels",
     "ResultCache",
+    "SweepManifest",
+    "run_sweep_sharded",
+    "shard_ranges",
     "BACKENDS",
     "DTYPES",
     "parameter_dtype",
@@ -74,11 +82,13 @@ __all__ = [
     "stream_results",
     "Chunk",
     "ExecutionPlan",
+    "PlanShard",
     "lower",
     "ResultSink",
     "MemorySink",
     "JsonlSink",
     "CsvSink",
+    "truncate_torn_tail",
     "survival_sweep",
     "survival_sweep_columns",
     "Pipeline",

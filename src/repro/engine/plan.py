@@ -27,6 +27,8 @@ engine's bit-for-bit reproducibility guarantee for stochastic sweeps.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -37,7 +39,8 @@ from .dtypes import resolve_dtype
 from .pipelines import Pipeline, get_pipeline
 from .spec import ScenarioSpec, SweepSpec
 
-__all__ = ["Chunk", "ExecutionPlan", "lower", "DEFAULT_CHUNK_SIZE"]
+__all__ = ["Chunk", "ExecutionPlan", "PlanShard", "lower",
+           "DEFAULT_CHUNK_SIZE"]
 
 #: Default scenarios per chunk for streaming execution: large enough to
 #: amortise per-chunk dispatch and keep vectorised kernels efficient,
@@ -98,6 +101,7 @@ class ExecutionPlan:
         self._chunk_size = int(chunk_size)
         self._dtype = resolve_dtype(dtype)
         self._explicit = explicit
+        self._fingerprint: Optional[str] = None
         # Mixed-radix place values: axis j's digit advances every
         # prod(sizes[j+1:]) scenarios (row-major, matching
         # itertools.product in SweepSpec.expand()).
@@ -172,6 +176,38 @@ class ExecutionPlan:
             yield self.chunk(index)
 
     # ------------------------------------------------------------------ #
+    # Sharding
+    # ------------------------------------------------------------------ #
+
+    def shard(self, index: int, count: int) -> "PlanShard":
+        """Shard ``index`` of ``count``: a disjoint chunk range sub-plan.
+
+        The plan's chunks are split into ``count`` contiguous,
+        near-equal ranges; shard ``i`` covers chunks
+        ``[floor(i*C/count), floor((i+1)*C/count))``.  Because every
+        shard keeps the parent's absolute scenario indices and seed
+        derivation, ``concat(shard(0, k) .. shard(k-1, k))`` reproduces
+        the whole plan's output stream bit for bit — by construction,
+        not by convention.  Shards of a plan with fewer chunks than
+        ``count`` may be empty.
+        """
+        if count < 1:
+            raise DomainError(f"shard count must be positive, got {count}")
+        if not 0 <= index < count:
+            raise DomainError(
+                f"shard index {index} out of range [0, {count})"
+            )
+        total = self.n_chunks
+        start = (index * total) // count
+        stop = ((index + 1) * total) // count
+        return PlanShard(self, start, stop, index=index, count=count)
+
+    def shard_chunks(self, start_chunk: int, stop_chunk: int) -> "PlanShard":
+        """An arbitrary contiguous chunk range ``[start, stop)`` as a
+        sub-plan (what the coordinator uses for retry and resume)."""
+        return PlanShard(self, start_chunk, stop_chunk)
+
+    # ------------------------------------------------------------------ #
     # Lazy scenario reconstruction
     # ------------------------------------------------------------------ #
 
@@ -232,16 +268,169 @@ class ExecutionPlan:
         always for deterministic pipelines, otherwise only with a seed."""
         return self._pipeline.deterministic or scenario.seed is not None
 
+    # ------------------------------------------------------------------ #
+    # Identity and pickling
+    # ------------------------------------------------------------------ #
 
-def _tuned_defaults(pipeline_name: str):
+    def fingerprint(self) -> str:
+        """Content hash identifying the plan's full output stream.
+
+        Folds everything the stream depends on: pipeline name, base
+        parameters, axes, master seed, scenario count, chunk layout,
+        dtype — plus the pipeline-folded cache key of scenario 0, so
+        file-referencing pipelines hash the referenced *content* too
+        (editing a case file changes the fingerprint).  Checkpoint
+        manifests store this hash; resuming against a different sweep
+        fails loudly instead of interleaving streams.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        payload: Dict[str, Any] = {
+            "pipeline": self._pipeline_name,
+            "base": self._base,
+            "axes": [[name, list(values)] for name, values in self._axes],
+            "master_seed": self._master_seed,
+            "n_scenarios": self._n,
+            "chunk_size": self._chunk_size,
+            "dtype": self._dtype,
+            "explicit": (
+                [scenario.key() for scenario in self._explicit]
+                if self._explicit is not None else None
+            ),
+        }
+        if self._n:
+            payload["scenario0"] = self.cache_key(self.scenario(0))
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          default=str)
+        self._fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return self._fingerprint
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # The resolved Pipeline holds registry callables that may not
+        # pickle; ship the name and re-resolve on the other side.
+        state = self.__dict__.copy()
+        state["_pipeline"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._pipeline = get_pipeline(self._pipeline_name)
+
+
+class PlanShard(ExecutionPlan):
+    """A contiguous chunk range of a parent plan, itself runnable.
+
+    Chunk and scenario indices stay **absolute** (the parent's), so a
+    shard's chunks carry their own ``spawn_seeds_range`` window: seeds,
+    grid decode and cache keys are exactly what the parent would
+    produce for those indices, on any backend.  :attr:`n_chunks` /
+    :meth:`chunk` are re-based so executors can walk a shard like any
+    plan; :attr:`parent_fingerprint` ties it back to the whole stream.
+    """
+
+    def __init__(self, parent: ExecutionPlan, start_chunk: int,
+                 stop_chunk: int, index: Optional[int] = None,
+                 count: Optional[int] = None):
+        if isinstance(parent, PlanShard):
+            raise DomainError(
+                "cannot shard a shard; shard the parent plan instead"
+            )
+        if not 0 <= start_chunk <= stop_chunk <= parent.n_chunks:
+            raise DomainError(
+                f"shard chunk range [{start_chunk}, {stop_chunk}) outside "
+                f"the plan's [0, {parent.n_chunks})"
+            )
+        super().__init__(
+            parent.pipeline_name,
+            base=parent._base,
+            axes=parent._axes,
+            master_seed=parent._master_seed,
+            n_scenarios=parent._n,
+            chunk_size=parent._chunk_size,
+            dtype=parent._dtype,
+            explicit=parent._explicit,
+        )
+        self._start_chunk = int(start_chunk)
+        self._stop_chunk = int(stop_chunk)
+        self._shard_index = index
+        self._shard_count = count
+        self._parent_fingerprint = parent.fingerprint()
+
+    @property
+    def start_chunk(self) -> int:
+        """First parent chunk index covered (inclusive)."""
+        return self._start_chunk
+
+    @property
+    def stop_chunk(self) -> int:
+        """Last parent chunk index covered (exclusive)."""
+        return self._stop_chunk
+
+    @property
+    def shard_index(self) -> Optional[int]:
+        return self._shard_index
+
+    @property
+    def shard_count(self) -> Optional[int]:
+        return self._shard_count
+
+    @property
+    def parent_fingerprint(self) -> str:
+        """The parent plan's :meth:`~ExecutionPlan.fingerprint`."""
+        return self._parent_fingerprint
+
+    @property
+    def start(self) -> int:
+        """First absolute scenario index covered (inclusive)."""
+        return min(self._start_chunk * self._chunk_size, self._n)
+
+    @property
+    def stop(self) -> int:
+        """Last absolute scenario index covered (exclusive)."""
+        return min(self._stop_chunk * self._chunk_size, self._n)
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def n_chunks(self) -> int:
+        return self._stop_chunk - self._start_chunk
+
+    def chunk(self, index: int) -> Chunk:
+        """The shard's ``index``-th chunk, in parent coordinates."""
+        if not 0 <= index < self.n_chunks:
+            raise DomainError(
+                f"chunk index {index} out of range [0, {self.n_chunks})"
+            )
+        absolute = self._start_chunk + index
+        start = absolute * self._chunk_size
+        return Chunk(absolute, start,
+                     min(start + self._chunk_size, self._n))
+
+    def __repr__(self) -> str:
+        label = (
+            f" (shard {self._shard_index}/{self._shard_count})"
+            if self._shard_index is not None else ""
+        )
+        return (
+            f"PlanShard({self._pipeline_name!r}, chunks "
+            f"[{self._start_chunk}, {self._stop_chunk}), "
+            f"{self.n_scenarios} scenarios{label})"
+        )
+
+
+def _tuned_defaults(pipeline_name: str, n_scenarios: int = 0):
     """(chunk_size, dtype) from the active tuning profile, if any.
 
     Imported lazily: :mod:`repro.tuning` measures through the executor,
-    so a module-level import would be circular.
+    so a module-level import would be circular.  ``n_scenarios`` keys
+    the profile's shape bucket — winners measured at one sweep scale
+    don't silently apply orders of magnitude away.
     """
     from ..tuning.profile import tuned_defaults
 
-    return tuned_defaults(pipeline_name)
+    return tuned_defaults(pipeline_name, n_scenarios)
 
 
 def lower(
@@ -267,9 +456,13 @@ def lower(
         sweep.pipeline if isinstance(sweep, SweepSpec)
         else getattr(sweep[0], "pipeline", None) if sweep else None
     )
+    n_scenarios = (
+        sweep.n_scenarios() if isinstance(sweep, SweepSpec) else len(sweep)
+    )
     if chunk_size is None or dtype is None:
         tuned_chunk, tuned_dtype = (
-            _tuned_defaults(pipeline_name) if pipeline_name else (None, None)
+            _tuned_defaults(pipeline_name, n_scenarios)
+            if pipeline_name else (None, None)
         )
         if chunk_size is None:
             chunk_size = tuned_chunk

@@ -33,13 +33,15 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import DomainError
 from ..telemetry import metrics
 from .results import ResultSet, ScenarioResult
 
-__all__ = ["ResultSink", "MemorySink", "JsonlSink", "CsvSink"]
+__all__ = ["ResultSink", "MemorySink", "JsonlSink", "CsvSink",
+           "truncate_torn_tail"]
 
 _M_SINK_ROWS = metrics.counter("sink.rows")
 _M_SINK_BYTES = metrics.counter("sink.bytes")
@@ -104,15 +106,23 @@ class _CountingWriter:
 class _FileSink(ResultSink):
     """Shared path-or-handle plumbing for the file-writing sinks."""
 
-    def __init__(self, path_or_handle):
+    def __init__(self, path_or_handle, append: bool = False):
         if path_or_handle is None:
             raise DomainError(f"{type(self).__name__} needs a path or handle")
         self._target = path_or_handle
         self._handle = None
         self._raw_handle = None
         self._owns_handle = False
+        self.append = bool(append)
         self.n_rows = 0
         self._final_bytes = 0
+
+    @property
+    def path(self) -> Optional[str]:
+        """The sink's file path, or None when wrapping an open handle."""
+        if hasattr(self._target, "write"):
+            return None
+        return str(self._target)
 
     @property
     def n_bytes(self) -> int:
@@ -128,7 +138,8 @@ class _FileSink(ResultSink):
         else:
             try:
                 self._raw_handle = open(
-                    self._target, "w", encoding="utf-8", newline=""
+                    self._target, "a" if self.append else "w",
+                    encoding="utf-8", newline=""
                 )
             except OSError as exc:
                 raise DomainError(
@@ -136,6 +147,21 @@ class _FileSink(ResultSink):
                 ) from exc
             self._owns_handle = True
         self._handle = _CountingWriter(self._raw_handle)
+
+    def flush(self) -> None:
+        """Push buffered output to the OS (so a killed process loses at
+        most the chunk being written, never flushed ones)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def tell(self) -> Optional[int]:
+        """Absolute byte offset in the underlying file, if seekable."""
+        if self._raw_handle is None:
+            return None
+        try:
+            return self._raw_handle.tell()
+        except (OSError, ValueError):
+            return None
 
     def close(self) -> None:
         if self._handle is not None:
@@ -149,12 +175,25 @@ class _FileSink(ResultSink):
 class JsonlSink(_FileSink):
     """One JSON object per scenario: parameters, seed and result values.
 
-    Rows appear in scenario order, one per line, flushed chunk by chunk
-    — the natural format for out-of-core post-processing (``jq``,
-    pandas ``read_json(lines=True)``, another sweep's warm start).
+    Rows appear in scenario order, one per line, **flushed after every
+    chunk** — so a killed sweep's output ends at a chunk boundary plus
+    at most one torn line, which :func:`truncate_torn_tail` repairs on
+    resume.  The natural format for out-of-core post-processing
+    (``jq``, pandas ``read_json(lines=True)``, another sweep's warm
+    start).  The encoding is deterministic (sorted specs, compact
+    separators), so chunk-aligned appends reproduce an uninterrupted
+    run byte for byte.
     """
 
-    def write(self, results: Sequence[ScenarioResult]) -> None:
+    @staticmethod
+    def encode(results: Sequence[ScenarioResult]) -> str:
+        """The exact text :meth:`write` would emit for ``results``.
+
+        Module-side encoding lets shard workers serialise their own
+        chunks; the coordinator then appends the text verbatim.
+        """
+        if not results:
+            return ""
         lines = []
         for result in results:
             row: Dict[str, Any] = dict(result.spec.params)
@@ -163,9 +202,18 @@ class JsonlSink(_FileSink):
             row.update(result.values)
             lines.append(json.dumps(row, separators=(",", ":"),
                                     default=str))
-        self._handle.write("\n".join(lines) + "\n")
-        self.n_rows += len(results)
-        _M_SINK_ROWS.add(len(results))
+        return "\n".join(lines) + "\n"
+
+    def write(self, results: Sequence[ScenarioResult]) -> None:
+        self.write_encoded(self.encode(results), len(results))
+
+    def write_encoded(self, text: str, n_rows: int) -> None:
+        """Append pre-encoded JSONL ``text`` covering ``n_rows`` rows."""
+        if text:
+            self._handle.write(text)
+        self.flush()
+        self.n_rows += n_rows
+        _M_SINK_ROWS.add(n_rows)
 
 
 class CsvSink(_FileSink):
@@ -206,3 +254,44 @@ class CsvSink(_FileSink):
             self._writer.writerow(record)
             self.n_rows += 1
         _M_SINK_ROWS.add(len(results))
+
+
+def truncate_torn_tail(path) -> int:
+    """Drop a line-oriented file's torn final line; return bytes removed.
+
+    A process killed mid-``write`` leaves at most one partial line at
+    the end of a flushed-per-chunk JSONL file (or checkpoint manifest).
+    If the file does not end in a newline, everything after the last
+    newline is truncated away — to the whole file if no newline exists.
+    A missing file or one already ending in a newline is left alone.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return 0
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return 0
+            # Scan backwards block by block for the last newline.
+            keep = 0
+            position = size - 1
+            block = 65536
+            while position > 0:
+                start = max(0, position - block)
+                handle.seek(start)
+                data = handle.read(position - start)
+                newline = data.rfind(b"\n")
+                if newline != -1:
+                    keep = start + newline + 1
+                    break
+                position = start
+            handle.truncate(keep)
+            return size - keep
+    except FileNotFoundError:
+        return 0
+    except OSError as exc:
+        raise DomainError(
+            f"cannot repair torn tail of {path}: {exc}"
+        ) from exc

@@ -88,7 +88,7 @@ def _resolve_backend(plan: ExecutionPlan, backend: str) -> Tuple[str, str]:
     if backend == "auto":
         from ..tuning.profile import tuned_backend
 
-        tuned = tuned_backend(plan.pipeline_name)
+        tuned = tuned_backend(plan.pipeline_name, plan.n_scenarios)
         if tuned in BACKENDS and tuned != "auto" and not (
             tuned == "vectorized" and not plan.pipeline.supports_batch
         ):
@@ -269,6 +269,10 @@ def run_sweep_streaming(
     cache: Optional[ResultCache] = None,
     sinks: Sequence[ResultSink] = (),
     progress: Optional[ProgressFn] = None,
+    shards: Optional[int] = None,
+    resume: bool = False,
+    manifest_path: Optional[str] = None,
+    max_retries: int = 2,
 ) -> Dict[str, Any]:
     """Execute a sweep chunk-by-chunk, writing results through ``sinks``.
 
@@ -280,16 +284,41 @@ def run_sweep_streaming(
     given) is called after each chunk as ``progress(done_chunks,
     n_chunks, done_scenarios, n_scenarios)``.
 
+    ``shards=k`` (or ``resume=True``) hands the sweep to the
+    :mod:`~repro.engine.coordinator`: the plan is split into ``k``
+    disjoint chunk ranges run in worker *processes*, merged through the
+    same sinks in the same order — bit-identical output, and (with a
+    path-backed :class:`JsonlSink`) checkpointed so a killed sweep
+    resumes mid-stream via ``resume=True``.  ``max_retries`` bounds
+    worker-death respawns per shard.
+
     Returns the run's meta summary: pipeline, backend, scenario/chunk
     counts, cache hit/miss totals, rows written, elapsed seconds, and a
     ``stage_timings`` breakdown: seconds spent lowering the plan
     (``plan_s``), inside compile-cache factories (``compile_s``, the
     process-wide :func:`repro.compilecache.compile_seconds` delta — not
-    visible across *process*-pool workers), pulling executed chunks
-    from the backend (``execute_s``) and writing sinks (``sink_s``).
-    The stream reproduces :func:`repro.engine.run_sweep` exactly — same
-    rows, same order, same seeds — for every backend and chunk size.
+    visible across *process*-pool or shard workers), pulling executed
+    chunks from the backend (``execute_s``) and writing sinks
+    (``sink_s``).  The stream reproduces
+    :func:`repro.engine.run_sweep` exactly — same rows, same order,
+    same seeds — for every backend, chunk size and shard count.
     """
+    if shards is not None or resume:
+        from .coordinator import run_sweep_sharded
+
+        return run_sweep_sharded(
+            sweep,
+            shards=shards if shards is not None else 1,
+            backend=backend,
+            chunk_size=chunk_size,
+            dtype=dtype,
+            cache=cache,
+            sinks=sinks,
+            progress=progress,
+            resume=resume,
+            manifest_path=manifest_path,
+            max_retries=max_retries,
+        )
     started = time.perf_counter()
     compile_before = compile_seconds()
     if isinstance(sweep, ExecutionPlan):

@@ -32,6 +32,7 @@ from .profile import (
     active_profile,
     load_profile,
     set_active_profile,
+    shape_bucket,
     tuned_backend,
     tuned_defaults,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "autotune",
     "load_profile",
     "set_active_profile",
+    "shape_bucket",
     "tuned_backend",
     "tuned_defaults",
 ]

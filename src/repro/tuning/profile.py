@@ -1,34 +1,49 @@
 """Tuning profiles: measured per-pipeline execution defaults.
 
-A :class:`TuningProfile` records, for each pipeline, the backend /
-chunk-size / dtype configuration that won an :func:`repro.tuning.autotune`
-measurement, together with the throughput evidence (every configuration
-measured, not just the winner).  Profiles round-trip through JSON::
+A :class:`TuningProfile` records, for each pipeline **and sweep
+shape**, the backend / chunk-size / dtype configuration that won an
+:func:`repro.tuning.autotune` measurement, together with the
+throughput evidence (every configuration measured, not just the
+winner).  Shapes are scenario-count decade buckets —
+:func:`shape_bucket` maps ``n_scenarios`` to a label like ``"1e4"`` —
+because a chunk size that wins at 10\\ :sup:`4` scenarios says little
+about a 10\\ :sup:`6`-scenario sweep: lookups match the exact bucket or
+an adjacent decade, and otherwise fall back to the engine defaults
+instead of silently extrapolating.  Profiles round-trip through JSON::
 
     {
-      "version": 1,
+      "version": 2,
       "pipelines": {
         "survival_update": {
-          "backend": "vectorized",
-          "chunk_size": 8192,
-          "dtype": "float64",
-          "rows_per_s": 91000.0,
-          "n_scenarios": 4096,
-          "grid": [
-            {"backend": "vectorized", "chunk_size": 4096,
-             "dtype": "float64", "rows_per_s": 88000.0},
-            ...
-          ]
+          "buckets": {
+            "1e4": {
+              "backend": "vectorized",
+              "chunk_size": 8192,
+              "dtype": "float64",
+              "rows_per_s": 91000.0,
+              "n_scenarios": 4096,
+              "grid": [
+                {"backend": "vectorized", "chunk_size": 4096,
+                 "dtype": "float64", "rows_per_s": 88000.0},
+                ...
+              ]
+            }
+          }
         }
       }
     }
 
+Version-1 files (one flat entry per pipeline) still load: each entry
+lands in the bucket of its recorded ``n_scenarios`` (the wildcard
+bucket ``"*"`` when unrecorded, which matches any shape).
+
 One profile can be installed process-wide with
 :func:`set_active_profile`; from then on
 :func:`repro.engine.plan.lower` fills unset ``chunk_size`` / ``dtype``
-arguments from the winning entry and the streaming executor resolves
-``backend="auto"`` to the winning backend.  Explicit arguments always
-beat the profile, and with no active profile nothing changes.
+arguments from the winning entry for the sweep's shape and the
+streaming executor resolves ``backend="auto"`` to the winning backend.
+Explicit arguments always beat the profile, and with no active profile
+nothing changes.
 
 This module deliberately knows nothing about execution — the measuring
 lives in :mod:`repro.tuning.autotune` — so the engine can import it
@@ -38,6 +53,7 @@ without a cycle.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 from dataclasses import dataclass, field
@@ -52,6 +68,7 @@ __all__ = [
     "active_profile",
     "load_profile",
     "set_active_profile",
+    "shape_bucket",
     "tuned_backend",
     "tuned_defaults",
 ]
@@ -60,7 +77,34 @@ __all__ = [
 #: ``repro-case sweep --tuned`` reads when no path is given).
 DEFAULT_TUNING_PATH = "tuning.json"
 
-_PROFILE_VERSION = 1
+_PROFILE_VERSION = 2
+
+#: Bucket label matching any sweep shape (v1 entries without a
+#: recorded scenario count land here).
+WILDCARD_BUCKET = "*"
+
+
+def shape_bucket(n_scenarios: int) -> str:
+    """The scenario-count decade bucket: ``"1e4"`` for ~10^4 scenarios.
+
+    Buckets are the nearest power of ten (``round(log10(n))``), so
+    4 096 measured scenarios land in ``"1e4"`` and a 10^6-scenario
+    sweep in ``"1e6"`` — two decades apart, which lookups refuse to
+    bridge.  Non-positive counts map to the wildcard bucket.
+    """
+    if n_scenarios <= 0:
+        return WILDCARD_BUCKET
+    return f"1e{round(math.log10(n_scenarios))}"
+
+
+def _bucket_decade(label: str) -> Optional[int]:
+    """The decade of a bucket label, or None for the wildcard."""
+    if label == WILDCARD_BUCKET:
+        return None
+    try:
+        return int(label[2:]) if label.startswith("1e") else None
+    except ValueError:
+        return None
 
 
 @dataclass(frozen=True)
@@ -100,12 +144,24 @@ class TuningEntry:
 
 
 class TuningProfile:
-    """Measured defaults for a set of pipelines; JSON round-trippable."""
+    """Measured defaults per pipeline and sweep-shape bucket.
+
+    Lookups (:meth:`entry`) take the sweep's scenario count and match
+    the exact :func:`shape_bucket`, an adjacent decade, or the wildcard
+    — never further: a winner measured three decades away is no
+    evidence, and returning None lets the engine keep its static
+    defaults.  A shapeless lookup (``n_scenarios=0``) returns the
+    wildcard entry or the largest-shape one, preserving the version-1
+    "one entry per pipeline" behaviour for single-bucket profiles.
+    """
 
     def __init__(
         self, entries: Optional[Dict[str, TuningEntry]] = None
     ):
-        self._entries: Dict[str, TuningEntry] = dict(entries or {})
+        # pipeline -> bucket label -> entry
+        self._entries: Dict[str, Dict[str, TuningEntry]] = {}
+        for pipeline, entry in (entries or {}).items():
+            self.set_entry(pipeline, entry)
 
     def __contains__(self, pipeline: str) -> bool:
         return pipeline in self._entries
@@ -116,18 +172,69 @@ class TuningProfile:
     def pipelines(self) -> List[str]:
         return sorted(self._entries)
 
-    def entry(self, pipeline: str) -> Optional[TuningEntry]:
-        return self._entries.get(pipeline)
+    def buckets(self, pipeline: str) -> List[str]:
+        """The bucket labels recorded for ``pipeline`` (sorted)."""
+        return sorted(self._entries.get(pipeline, {}))
 
-    def set_entry(self, pipeline: str, entry: TuningEntry) -> None:
-        self._entries[pipeline] = entry
+    def bucket_entries(self, pipeline: str) -> Dict[str, TuningEntry]:
+        """Every recorded ``bucket -> entry`` for ``pipeline``."""
+        return dict(self._entries.get(pipeline, {}))
+
+    def entry(self, pipeline: str,
+              n_scenarios: int = 0) -> Optional[TuningEntry]:
+        """The best-matching entry for ``pipeline`` at this shape.
+
+        Exact bucket first, then the nearest adjacent decade, then the
+        wildcard; None when every recorded bucket is further than one
+        decade away (the winner does not transfer to that scale).
+        """
+        buckets = self._entries.get(pipeline)
+        if not buckets:
+            return None
+        if n_scenarios <= 0:
+            if WILDCARD_BUCKET in buckets:
+                return buckets[WILDCARD_BUCKET]
+            label = max(buckets, key=lambda b: _bucket_decade(b) or 0)
+            return buckets[label]
+        label = shape_bucket(n_scenarios)
+        if label in buckets:
+            return buckets[label]
+        decade = _bucket_decade(label)
+        neighbours = [
+            b for b in buckets
+            if b != WILDCARD_BUCKET
+            and abs(_bucket_decade(b) - decade) <= 1
+        ]
+        if neighbours:
+            # Nearest decade; a tie (one below, one above) prefers the
+            # larger shape — closer to the asymptotic regime.
+            best = min(
+                neighbours,
+                key=lambda b: (abs(_bucket_decade(b) - decade),
+                               -_bucket_decade(b)),
+            )
+            return buckets[best]
+        return buckets.get(WILDCARD_BUCKET)
+
+    def set_entry(self, pipeline: str, entry: TuningEntry,
+                  n_scenarios: Optional[int] = None) -> None:
+        """Record ``entry`` under the bucket of ``n_scenarios`` (default:
+        the entry's own recorded measurement size)."""
+        count = entry.n_scenarios if n_scenarios is None else n_scenarios
+        bucket = shape_bucket(count)
+        self._entries.setdefault(pipeline, {})[bucket] = entry
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "version": _PROFILE_VERSION,
             "pipelines": {
-                name: entry.to_dict()
-                for name, entry in sorted(self._entries.items())
+                name: {
+                    "buckets": {
+                        bucket: entry.to_dict()
+                        for bucket, entry in sorted(buckets.items())
+                    }
+                }
+                for name, buckets in sorted(self._entries.items())
             },
         }
 
@@ -138,14 +245,32 @@ class TuningProfile:
                 "tuning profile must be a mapping with a 'pipelines' key"
             )
         version = data.get("version", _PROFILE_VERSION)
-        if version != _PROFILE_VERSION:
+        if version not in (1, 2):
             raise DomainError(
                 f"unsupported tuning profile version {version!r}"
             )
-        return cls({
-            name: TuningEntry.from_dict(entry)
-            for name, entry in data["pipelines"].items()
-        })
+        profile = cls()
+        for name, payload in data["pipelines"].items():
+            if version == 1:
+                # One flat entry; bucket by its recorded measurement
+                # size (wildcard when it never recorded one).
+                profile.set_entry(name, TuningEntry.from_dict(payload))
+                continue
+            buckets = payload.get("buckets")
+            if not isinstance(buckets, dict):
+                raise DomainError(
+                    f"pipeline {name!r} needs a 'buckets' mapping in a "
+                    f"version-2 tuning profile"
+                )
+            for bucket, entry_data in buckets.items():
+                entry = TuningEntry.from_dict(entry_data)
+                decade = _bucket_decade(bucket)
+                profile._entries.setdefault(name, {})[
+                    bucket if (decade is not None
+                               or bucket == WILDCARD_BUCKET)
+                    else shape_bucket(entry.n_scenarios)
+                ] = entry
+        return profile
 
     def save(self, path) -> None:
         """Write the profile as pretty-printed JSON (atomic rename)."""
@@ -202,21 +327,28 @@ def active_profile() -> Optional[TuningProfile]:
 
 def tuned_defaults(
     pipeline: Optional[str],
+    n_scenarios: int = 0,
 ) -> Tuple[Optional[int], Optional[str]]:
-    """``(chunk_size, dtype)`` the active profile suggests, or Nones."""
+    """``(chunk_size, dtype)`` the active profile suggests, or Nones.
+
+    ``n_scenarios`` selects the sweep-shape bucket; winners more than
+    one decade from the measured shape do not apply.
+    """
     profile = active_profile()
     if profile is None or pipeline is None:
         return None, None
-    entry = profile.entry(pipeline)
+    entry = profile.entry(pipeline, n_scenarios)
     if entry is None:
         return None, None
     return entry.chunk_size, entry.dtype
 
 
-def tuned_backend(pipeline: Optional[str]) -> Optional[str]:
-    """The backend the active profile suggests for ``pipeline``, or None."""
+def tuned_backend(pipeline: Optional[str],
+                  n_scenarios: int = 0) -> Optional[str]:
+    """The backend the active profile suggests for ``pipeline`` at this
+    sweep shape, or None."""
     profile = active_profile()
     if profile is None or pipeline is None:
         return None
-    entry = profile.entry(pipeline)
+    entry = profile.entry(pipeline, n_scenarios)
     return entry.backend if entry is not None else None

@@ -23,6 +23,7 @@ from repro.tuning import (
     autotune,
     load_profile,
     set_active_profile,
+    shape_bucket,
     tuned_backend,
     tuned_defaults,
 )
@@ -90,6 +91,97 @@ class TestProfilePersistence:
     def test_malformed_entry_rejected(self):
         with pytest.raises(DomainError):
             TuningEntry.from_dict({"backend": "serial"})
+
+
+class TestShapeBuckets:
+    def test_bucket_labels(self):
+        assert shape_bucket(0) == "*"
+        assert shape_bucket(1) == "1e0"
+        assert shape_bucket(4_096) == "1e4"
+        assert shape_bucket(1_000_000) == "1e6"
+
+    def test_exact_bucket_wins(self):
+        profile = TuningProfile()
+        profile.set_entry("p", make_entry(chunk_size=1024, n_scenarios=100))
+        profile.set_entry("p", make_entry(chunk_size=65536,
+                                          n_scenarios=1_000_000))
+        assert profile.entry("p", 120).chunk_size == 1024
+        assert profile.entry("p", 900_000).chunk_size == 65536
+
+    def test_adjacent_decade_transfers_but_no_further(self):
+        profile = TuningProfile()
+        profile.set_entry("p", make_entry(chunk_size=65536,
+                                          n_scenarios=1_000_000))
+        # 1e5 is one decade from the measured 1e6: the winner applies.
+        assert profile.entry("p", 100_000).chunk_size == 65536
+        # 1e3 is three decades away: no evidence, keep static defaults.
+        assert profile.entry("p", 1_000) is None
+
+    def test_tie_prefers_the_larger_shape(self):
+        profile = TuningProfile()
+        profile.set_entry("p", make_entry(chunk_size=256, n_scenarios=100))
+        profile.set_entry("p", make_entry(chunk_size=8192,
+                                          n_scenarios=10_000))
+        # 1e3 sits exactly between 1e2 and 1e4; the larger bucket is
+        # closer to the asymptotic regime.
+        assert profile.entry("p", 1_000).chunk_size == 8192
+
+    def test_wildcard_matches_any_shape(self):
+        profile = TuningProfile()
+        profile.set_entry("p", make_entry(chunk_size=512, n_scenarios=0))
+        assert profile.buckets("p") == ["*"]
+        assert profile.entry("p", 7).chunk_size == 512
+        assert profile.entry("p", 10**7).chunk_size == 512
+
+    def test_shapeless_lookup_prefers_largest_bucket(self):
+        profile = TuningProfile()
+        profile.set_entry("p", make_entry(chunk_size=256, n_scenarios=100))
+        profile.set_entry("p", make_entry(chunk_size=65536,
+                                          n_scenarios=1_000_000))
+        assert profile.entry("p").chunk_size == 65536
+
+    def test_v1_file_loads_into_shape_buckets(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "pipelines": {
+                "p": {"backend": "serial", "chunk_size": 2048,
+                      "dtype": "float64", "rows_per_s": 500.0,
+                      "n_scenarios": 64},
+            },
+        }))
+        profile = load_profile(path)
+        assert profile.buckets("p") == ["1e2"]
+        assert profile.entry("p", 64).chunk_size == 2048
+
+    def test_v2_round_trip_keeps_every_bucket(self, tmp_path):
+        profile = TuningProfile()
+        profile.set_entry("p", make_entry(chunk_size=256, n_scenarios=100))
+        profile.set_entry("p", make_entry(chunk_size=65536,
+                                          n_scenarios=1_000_000))
+        path = tmp_path / "v2.json"
+        profile.save(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 2
+        loaded = load_profile(path)
+        assert loaded.buckets("p") == ["1e2", "1e6"]
+        assert loaded.entry("p", 100).chunk_size == 256
+        assert loaded.entry("p", 1_000_000).chunk_size == 65536
+
+    def test_lower_picks_the_buckets_entry_for_the_sweep_shape(
+        self, no_active_profile
+    ):
+        profile = TuningProfile()
+        profile.set_entry("survival_update",
+                          make_entry(chunk_size=2, dtype="float32",
+                                     n_scenarios=4))
+        profile.set_entry("survival_update",
+                          make_entry(chunk_size=65536, dtype="float64",
+                                     n_scenarios=1_000_000))
+        set_active_profile(profile)
+        plan = lower(SPEC)  # 4 scenarios -> the 1e0/1e1-adjacent bucket
+        assert plan.chunk_size == 2
+        assert plan.dtype == "float32"
 
 
 class TestActiveProfile:

@@ -1,4 +1,4 @@
-"""P1-P12 — performance benches for the library's compute kernels.
+"""P1-P13 — performance benches for the library's compute kernels.
 
 Not paper artefacts: these time the engines the experiments lean on
 (quadrature moments, grid Bayesian updates, exact BBN inference, panel
@@ -7,8 +7,9 @@ batched growth-model likelihood grids, the compiled whole-case engine,
 the streaming executor at million-scenario scale, the cost of the
 disabled telemetry instrumentation, the below-the-call-boundary
 optimisations — contraction-path search, fused case kernels and the
-measured autotuner — and the sharded multi-process coordinator with
-crash-safe resume) so performance regressions are visible.
+measured autotuner — the sharded multi-process coordinator with
+crash-safe resume, and the tiled result store with content-addressed
+delta-sweeps) so performance regressions are visible.
 """
 
 import hashlib
@@ -788,3 +789,158 @@ def test_perf_sharded_sweep_coordinator(
         sinks=(JsonlSink(str(tmp_path / "rounds.jsonl")),),
     ))
     assert rounds_meta["rows"] == 100_000
+
+
+def _store_digest(path) -> str:
+    """One hash over every file in a tile store, path-ordered."""
+    digest = hashlib.sha256()
+    for root, dirs, files in os.walk(path):
+        dirs.sort()
+        for name in sorted(files):
+            full = os.path.join(root, name)
+            digest.update(os.path.relpath(full, path).encode())
+            with open(full, "rb") as handle:
+                for block in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(block)
+    return digest.hexdigest()
+
+
+def test_perf_tile_store_delta_sweep(
+    benchmark, tmp_path, record_stage_timings
+):
+    """P13: the tile store and delta execution at million-scenario scale.
+
+    After editing one ``A1.p_true`` value of the P9-shaped
+    1,000,000-scenario case sweep, a ``delta=True`` re-run against the
+    existing store must (a) execute exactly the one changed tile and
+    skip the other 99 — verified through the ``store.tiles_*``
+    telemetry counters, not just the run's own meta — (b) beat a
+    from-scratch run of the edited sweep by >=5x wall clock, (c) leave
+    the store bit-identical to the from-scratch store, and (d) answer
+    an axis-pinned slice query from tiles alone, with the engine's
+    chunk counter flat.
+    """
+    from repro.store import TileSink, TileStore
+    from repro.telemetry import disable_metrics, enable_metrics, metrics
+
+    case_file = str(
+        pathlib.Path(__file__).resolve().parents[1]
+        / "examples" / "case_confidence.yaml"
+    )
+
+    def sweep_over(p_trues):
+        return SweepSpec(
+            pipeline="case_confidence",
+            base={"case_file": case_file},
+            grid={
+                "A1.p_true": p_trues,
+                "S1.dependence": [
+                    round(0.0001 * i, 5) for i in range(10000)
+                ],
+            },
+        )
+
+    p_trues = [round(0.5 + 0.005 * i, 3) for i in range(100)]
+    base_sweep = sweep_over(p_trues)
+    assert base_sweep.n_scenarios() == 1_000_000
+
+    # Materialise the baseline store: 100 tiles of (1, 10000).
+    store_path = str(tmp_path / "store")
+    base_meta = run_sweep_streaming(
+        base_sweep,
+        sinks=(TileSink(store_path, tile_scenarios=16384),),
+        chunk_size=16384,
+    )
+    assert base_meta["rows"] == 1_000_000
+    assert TileStore.open(store_path).n_tiles == 100
+
+    # Edit one axis value out of 100.
+    edited = list(p_trues)
+    edited[37] = 0.9991
+    edited_sweep = sweep_over(edited)
+
+    # --- (b) from-scratch run of the edited sweep, timed.
+    scratch_path = str(tmp_path / "scratch")
+    start = time.perf_counter()
+    scratch_meta = run_sweep_streaming(
+        edited_sweep,
+        sinks=(TileSink(scratch_path, tile_scenarios=16384),),
+        chunk_size=16384,
+    )
+    scratch_elapsed = time.perf_counter() - start
+    assert scratch_meta["rows"] == 1_000_000
+
+    # --- (a) the delta re-run, tile counters metered.
+    enable_metrics(reset=True)
+    try:
+        start = time.perf_counter()
+        delta_meta = run_sweep_streaming(
+            edited_sweep,
+            sinks=(TileSink(store_path, tile_scenarios=16384),),
+            chunk_size=16384,
+            delta=True,
+        )
+        delta_elapsed = time.perf_counter() - start
+        counters = metrics.snapshot()
+    finally:
+        disable_metrics()
+    record_stage_timings(delta_meta)
+    assert delta_meta["tiles_total"] == 100
+    assert delta_meta["tiles_executed"] == 1
+    assert delta_meta["tiles_skipped"] == 99
+    assert delta_meta["rows_executed"] == 10_000
+    assert counters["store.tiles_written"]["value"] == 1
+    assert counters["store.tiles_skipped"]["value"] == 99
+    assert counters["store.rows_written"]["value"] == 10_000
+
+    speedup = scratch_elapsed / delta_elapsed
+    assert speedup >= 5.0, (
+        f"delta re-run only {speedup:.1f}x over from-scratch "
+        f"({delta_elapsed:.1f}s vs {scratch_elapsed:.1f}s)"
+    )
+
+    # --- (c) the delta'd store is bit-identical to the scratch store.
+    assert _store_digest(store_path) == _store_digest(scratch_path), (
+        "delta-updated store differs from a from-scratch run"
+    )
+
+    # --- (d) slice queries execute zero plan chunks.
+    enable_metrics(reset=True)
+    try:
+        store = TileStore.open(store_path)
+        sl = store.slice(
+            columns=["top_confidence"], **{"A1.p_true": 0.9991}
+        )
+        assert sl.shape == (10000,)
+        counters = metrics.snapshot()
+    finally:
+        disable_metrics()
+    assert counters.get("engine.chunks", {}).get("value", 0) == 0, (
+        "slice query executed plan chunks"
+    )
+    assert counters["store.tiles_read"]["value"] >= 1
+
+    # Timing fixture rounds: a no-op delta at 100k scenarios (the
+    # steady-state cost of "nothing changed").
+    rounds_store = str(tmp_path / "rounds_store")
+    rounds_sweep = SweepSpec(
+        pipeline="case_confidence",
+        base={"case_file": case_file},
+        grid={
+            "A1.p_true": [round(0.5 + 0.005 * i, 3) for i in range(100)],
+            "S1.dependence": [round(0.001 * i, 4) for i in range(1000)],
+        },
+    )
+    run_sweep_streaming(
+        rounds_sweep,
+        sinks=(TileSink(rounds_store, tile_scenarios=16384),),
+        chunk_size=16384,
+    )
+    rounds_meta = benchmark(lambda: run_sweep_streaming(
+        rounds_sweep,
+        sinks=(TileSink(rounds_store, tile_scenarios=16384),),
+        chunk_size=16384,
+        delta=True,
+    ))
+    assert rounds_meta["rows"] == 100_000
+    assert rounds_meta["tiles_executed"] == 0

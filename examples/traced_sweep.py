@@ -7,10 +7,10 @@ whole-case confidence sweep from ``examples/case_confidence.yaml`` three
 ways:
 
 1. **traced** — :func:`repro.telemetry.capture_trace` scopes a tracer
-   around a streaming sweep and exports Chrome trace-event JSON; open
-   ``traced_sweep.trace.json`` at https://ui.perfetto.dev (or
-   ``chrome://tracing``) to see the plan/compile/execute/sink stages as
-   nested timeline blocks;
+   around a streaming sweep and exports Chrome trace-event JSON (to a
+   temp directory — the printed path); open it at
+   https://ui.perfetto.dev (or ``chrome://tracing``) to see the
+   plan/compile/execute/sink stages as nested timeline blocks;
 2. **metered** — :func:`repro.telemetry.enable_metrics` collects
    process-wide counters that must agree exactly with the sweep's
    ``meta`` counters;
@@ -43,7 +43,6 @@ from repro.telemetry import (
 
 HERE = pathlib.Path(__file__).parent
 CASE_FILE = str(HERE / "case_confidence.yaml")
-TRACE_PATH = HERE / "traced_sweep.trace.json"
 
 
 def build_sweep() -> SweepSpec:
@@ -60,7 +59,9 @@ def build_sweep() -> SweepSpec:
 
 def main() -> None:
     sweep = build_sweep()
-    rows_path = pathlib.Path(tempfile.mkdtemp()) / "rows.jsonl"
+    out_dir = pathlib.Path(tempfile.mkdtemp())
+    rows_path = out_dir / "rows.jsonl"
+    trace_path = out_dir / "traced_sweep.trace.json"
 
     # 1. + 2. Trace and meter one streaming run.
     enable_metrics(reset=True)
@@ -70,9 +71,9 @@ def main() -> None:
         )
     disable_metrics()
 
-    trace.write_chrome_trace(TRACE_PATH)
+    trace.write_chrome_trace(trace_path)
     print(f"{meta['rows']} rows streamed to {rows_path}")
-    print(f"trace: {TRACE_PATH} ({len(trace)} spans) — "
+    print(f"trace: {trace_path} ({len(trace)} spans) — "
           "open at https://ui.perfetto.dev")
 
     stages = meta["stage_timings"]
@@ -92,7 +93,7 @@ def main() -> None:
         print(f"  {metric:<20} {counted:>8} == meta[{meta_key!r}]")
 
     # 3. Aggregate the exported trace back into a hotspot report.
-    print("\n" + render_summary(load_trace(TRACE_PATH), top=8))
+    print("\n" + render_summary(load_trace(trace_path), top=8))
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-case``.
 
-Eleven subcommands cover the library's day-one uses:
+Twelve subcommands cover the library's day-one uses:
 
 * ``assess`` — classify a (mode, sigma) log-normal judgement into SILs
   and show the confidence/mean disagreement;
@@ -18,9 +18,13 @@ Eleven subcommands cover the library's day-one uses:
 * ``tune`` — measure backend x chunk-size (x dtype) grids for a spec's
   pipelines through the streaming executor and write the winners to a
   JSON tuning file (:mod:`repro.tuning`);
-* ``cache`` — ``stats`` (with per-region hit rates) and ``clear`` (disk
-  log and/or ``--regions`` for the in-process compile caches) for the
-  unified caches (:mod:`repro.compilecache`);
+* ``cache`` — ``stats`` (with per-region hit rates and on-disk bytes)
+  and ``clear`` (disk log and/or ``--regions`` for the in-process
+  compile caches) for the unified caches (:mod:`repro.compilecache`);
+* ``store`` — ``stats`` and ``query`` for tiled columnar result stores
+  written with ``sweep --stream --store DIR`` (:mod:`repro.store`);
+  queries slice the stored tiles directly — nothing re-executes — and
+  ``sweep --delta`` re-runs a sweep incrementally against a store;
 * ``telemetry`` — ``summary`` renders the span tree and self-time
   hotspots of a trace recorded with ``sweep --trace``
   (:mod:`repro.telemetry`);
@@ -47,6 +51,11 @@ Examples::
     repro-case tune --spec examples/sweep_spec.yaml --out tuning.json
     repro-case sweep --spec examples/sweep_spec.yaml --tuned tuning.json \
         --stream --out rows.jsonl
+    repro-case sweep --spec examples/sweep_spec.yaml --stream \
+        --store results_store --delta
+    repro-case store stats results_store
+    repro-case store query results_store --fix sigma=0.9 \
+        --columns granted_level,sil2_confidence
     repro-case telemetry summary sweep.trace.json --top 5
     repro-case cache stats --path results_cache.jsonl
     repro-case cache clear --regions
@@ -175,6 +184,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "checkpoint manifest, skipping completed chunks "
                          "(final output is byte-identical to an "
                          "uninterrupted run)")
+    p_sweep.add_argument("--store", default=None, metavar="DIR",
+                         help="with --stream: also write a tiled columnar "
+                         "result store (NumPy tiles + manifest) to DIR, "
+                         "queryable with `repro-case store` and "
+                         "re-runnable incrementally with --delta")
+    p_sweep.add_argument("--delta", action="store_true",
+                         help="incremental re-run against --store DIR: "
+                         "tiles whose content fingerprints already exist "
+                         "in the store's manifest are reused, only "
+                         "changed/missing tiles execute; the finished "
+                         "store is bit-identical to a from-scratch run")
+    p_sweep.add_argument("--tile-scenarios", type=int, default=None,
+                         dest="tile_scenarios", metavar="N",
+                         help="target scenarios per store tile "
+                         "(default 16384); smaller tiles make deltas "
+                         "finer-grained at more files")
     p_sweep.add_argument("--progress", action="store_true",
                          help="report per-chunk progress on stderr "
                          "(with throughput and ETA)")
@@ -279,6 +304,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--depth", type=int, default=None,
         help="limit the span tree to this nesting depth",
     )
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect or query a tiled columnar result store written "
+        "by sweep --stream --store",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_stats = store_sub.add_parser(
+        "stats",
+        help="axes, columns, tile layout and on-disk bytes of a store",
+    )
+    p_store_stats.add_argument("path", metavar="DIR",
+                               help="store directory (holds manifest.json)")
+    p_store_query = store_sub.add_parser(
+        "query",
+        help="slice a store by fixing axes to grid values — answered "
+        "from tiles, no scenario is re-executed",
+    )
+    p_store_query.add_argument("path", metavar="DIR",
+                               help="store directory (holds manifest.json)")
+    p_store_query.add_argument("--fix", action="append", default=[],
+                               metavar="AXIS=VALUE",
+                               help="fix one axis to a grid value "
+                               "(repeatable), e.g. --fix S1.dependence=0.2")
+    p_store_query.add_argument("--columns", default=None,
+                               metavar="C1,C2,...",
+                               help="comma-separated value columns "
+                               "(default: all)")
+    p_store_query.add_argument("--limit", type=int, default=20,
+                               help="print at most this many rows "
+                               "(default 20; 0 = all)")
 
     p_case = sub.add_parser(
         "case",
@@ -397,22 +453,51 @@ class _StreamProgress:
 
 def _run_sweep_streaming(args: argparse.Namespace,
                          sweeps, cache) -> str:
-    if args.out is None:
-        raise ReproError("--stream needs --out PATH for the rows")
+    if args.out is None and args.store is None:
+        raise ReproError(
+            "--stream needs --out PATH (row stream) and/or --store DIR "
+            "(tiled columnar store)"
+        )
     if len(sweeps) > 1:
         raise ReproError(
             "--stream runs one sweep per output file; the spec defines "
             f"{len(sweeps)} — split it or drop --stream"
         )
-    out_format = args.out_format
-    if out_format is None:
-        out_format = "csv" if str(args.out).lower().endswith(".csv") else "jsonl"
-    if (args.shards is not None or args.resume) and out_format != "jsonl":
-        raise ReproError(
-            "--shards/--resume checkpoint against a JSONL --out; "
-            "use --format jsonl"
+    if args.delta:
+        if args.store is None:
+            raise ReproError("--delta needs --store DIR to diff against")
+        if args.out is not None:
+            raise ReproError(
+                "--delta writes only the tile store (row sinks would "
+                "re-emit every row); drop --out"
+            )
+        if args.shards is not None or args.resume:
+            raise ReproError(
+                "--delta runs single-process (skipped tiles make "
+                "sharding moot); drop --shards/--resume"
+            )
+    if args.tile_scenarios is not None and args.store is None:
+        raise ReproError("--tile-scenarios only applies with --store")
+    out_format = None
+    sinks: List = []
+    if args.out is not None:
+        out_format = args.out_format
+        if out_format is None:
+            out_format = (
+                "csv" if str(args.out).lower().endswith(".csv") else "jsonl"
+            )
+        if (args.shards is not None or args.resume) and out_format != "jsonl":
+            raise ReproError(
+                "--shards/--resume checkpoint against a JSONL --out; "
+                "use --format jsonl"
+            )
+        sinks.append((CsvSink if out_format == "csv" else JsonlSink)(args.out))
+    if args.store is not None:
+        from .store import TileSink
+
+        sinks.append(
+            TileSink(args.store, tile_scenarios=args.tile_scenarios)
         )
-    sink = (CsvSink if out_format == "csv" else JsonlSink)(args.out)
     meta = run_sweep_streaming(
         sweeps[0],
         backend=args.backend,
@@ -420,10 +505,11 @@ def _run_sweep_streaming(args: argparse.Namespace,
         chunk_size=args.chunk_size,
         dtype=args.dtype,
         cache=cache,
-        sinks=(sink,),
+        sinks=tuple(sinks),
         progress=_StreamProgress() if args.progress else None,
         shards=args.shards,
         resume=args.resume,
+        delta=args.delta,
     )
     stages = meta.get("stage_timings", {})
     stage_line = ", ".join(
@@ -440,13 +526,26 @@ def _run_sweep_streaming(args: argparse.Namespace,
     retry_note = (
         f", {meta['retries']} worker retries" if meta.get("retries") else ""
     )
+    delta_note = ""
+    if meta.get("delta"):
+        delta_note = (
+            f", delta: {meta['tiles_executed']}/{meta['tiles_total']} "
+            f"tiles executed ({meta['tiles_skipped']} skipped, "
+            f"{meta['tiles_moved']} moved, {meta['rows_executed']} rows "
+            f"computed, {meta['bytes_reused']} bytes reused)"
+        )
+    destinations = []
+    if args.out is not None:
+        destinations.append(f"{args.out} ({out_format})")
+    if args.store is not None:
+        destinations.append(f"store {args.store}")
     return (
-        f"{meta['rows']} rows streamed to {args.out} ({out_format}), "
+        f"{meta['rows']} rows streamed to {' + '.join(destinations)}, "
         f"pipeline={meta['pipeline']}, backend={meta['backend']}, "
         f"{meta['n_chunks']} chunks of <= {meta['chunk_size']}, "
         f"dtype={meta['dtype']}"
         + (" (tuned)" if meta.get("tuned") else "")
-        + resumed_note + retry_note
+        + resumed_note + retry_note + delta_note
         + f", cache {meta['cache_hits']} hit / {meta['cache_misses']} miss, "
         f"{meta['elapsed_s']:.3f}s"
         + (f"\nstages: {stage_line}" if stage_line else "")
@@ -494,7 +593,10 @@ def _run_sweep(args: argparse.Namespace) -> str:
                            (args.out_format, "--format"),
                            (args.progress, "--progress"),
                            (args.shards, "--shards"),
-                           (args.resume, "--resume")):
+                           (args.resume, "--resume"),
+                           (args.store, "--store"),
+                           (args.delta, "--delta"),
+                           (args.tile_scenarios, "--tile-scenarios")):
             if flag:
                 raise ReproError(f"{name} only applies with --stream")
 
@@ -800,9 +902,13 @@ def _run_cache(args: argparse.Namespace) -> str:
             rows.append([
                 name, region["entries"], region["hits"],
                 region["misses"], rate,
+                # Persisted regions report their JSONL log's size;
+                # memory-only ones have no on-disk footprint.
+                str(region["bytes"]) if "bytes" in region else "-",
             ])
         lines.append(format_table(
-            ["region", "entries", "hits", "misses", "hit rate"], rows
+            ["region", "entries", "hits", "misses", "hit rate",
+             "disk bytes"], rows
         ))
     return "\n".join(lines)
 
@@ -896,6 +1002,113 @@ def _run_tune(args: argparse.Namespace) -> str:
     )
 
 
+def _parse_fix(items: List[str], store) -> Dict[str, object]:
+    """``AXIS=VALUE`` pairs resolved against the store's grid values."""
+    axes = dict(store.axes)
+    fixed: Dict[str, object] = {}
+    for item in items:
+        name, separator, raw = item.partition("=")
+        name = name.strip()
+        if not separator or not name:
+            raise ReproError(f"--fix expects AXIS=VALUE, got {item!r}")
+        if name not in axes:
+            raise ReproError(
+                f"store has no axis {name!r}; axes: {store.axis_names}"
+            )
+        raw = raw.strip()
+        value: object = raw
+        for values in (axes[name],):
+            # Prefer an exact textual match, then a numeric one, so
+            # `--fix sigma=0.9` finds the float 0.9 on the grid.
+            textual = next(
+                (v for v in values if str(v) == raw), None
+            )
+            if textual is not None:
+                value = textual
+                break
+            try:
+                number = float(raw)
+            except ValueError:
+                break
+            numeric = next(
+                (v for v in values
+                 if isinstance(v, (int, float)) and float(v) == number),
+                None,
+            )
+            if numeric is not None:
+                value = numeric
+        fixed[name] = value
+    return fixed
+
+
+def _run_store(args: argparse.Namespace) -> str:
+    from .errors import DomainError
+    from .store import TileStore
+
+    try:
+        store = TileStore.open(args.path)
+    except DomainError as exc:
+        raise ReproError(str(exc)) from exc
+
+    if args.store_command == "stats":
+        stats = store.stats()
+        lines = [
+            f"tile store {stats['path']}: pipeline={stats['pipeline']}, "
+            f"{stats['n_scenarios']} scenarios in {stats['n_tiles']} "
+            f"tiles of shape {tuple(stats['tile_shape'])} over grid "
+            f"{tuple(stats['grid_shape'])}, {stats['bytes']} bytes",
+            f"plan fingerprint:  {stats['plan_fingerprint']}",
+            f"store fingerprint: {stats['store_fingerprint']}",
+        ]
+        if stats["axes"]:
+            lines.append("axes:")
+            lines.append(format_table(
+                ["axis", "values"],
+                [[name, str(count)] for name, count in stats["axes"]],
+            ))
+        lines.append("columns:")
+        lines.append(format_table(
+            ["column", "dtype", "bytes"],
+            [[name, meta["dtype"], str(meta["bytes"])]
+             for name, meta in sorted(stats["columns"].items())],
+        ))
+        return "\n".join(lines)
+
+    # query
+    if args.limit is not None and args.limit < 0:
+        raise ReproError(f"--limit must be non-negative, got {args.limit}")
+    columns = None
+    if args.columns is not None:
+        columns = [c.strip() for c in args.columns.split(",") if c.strip()]
+        if not columns:
+            raise ReproError("--columns needs at least one column name")
+    fixed = _parse_fix(args.fix, store)
+    try:
+        result = store.slice(columns=columns, **fixed)
+    except DomainError as exc:
+        raise ReproError(str(exc)) from exc
+    records = list(result.records())
+    limit = args.limit if args.limit else len(records)
+    header = (
+        [name for name in fixed]
+        + [name for name, _values in result.axes]
+        + result.columns
+    )
+    rows = [
+        [str(record[column]) for column in header]
+        for record in records[:limit]
+    ]
+    lines = [format_table(header, rows)] if rows else ["(empty slice)"]
+    if len(records) > limit:
+        lines.append(f"... ({len(records) - limit} more rows)")
+    shape = " x ".join(str(s) for s in result.shape) or "scalar"
+    lines.append(
+        f"{len(records)} rows ({shape}) from {store.n_tiles}-tile store; "
+        f"answered from tiles, 0 scenarios executed"
+    )
+    return "\n".join(lines)
+
+
 def _run_telemetry(args: argparse.Namespace) -> str:
     from .telemetry import load_trace, render_summary
 
@@ -920,6 +1133,7 @@ _RUNNERS = {
     "validate": _run_validate,
     "pipelines": _run_pipelines,
     "cache": _run_cache,
+    "store": _run_store,
     "telemetry": _run_telemetry,
 }
 

@@ -135,7 +135,8 @@ class ContentCache:
             return key in self._data
 
     def stats(self) -> Dict[str, Any]:
-        """Entries, hit/miss counters and (when persistent) the path."""
+        """Entries, hit/miss counters and (when persistent) the path
+        plus current on-disk size of the JSONL log in bytes."""
         with self._lock:
             out: Dict[str, Any] = {
                 "entries": len(self._data),
@@ -144,6 +145,10 @@ class ContentCache:
             }
             if self._path is not None:
                 out["path"] = self._path
+                try:
+                    out["bytes"] = os.path.getsize(self._path)
+                except OSError:
+                    out["bytes"] = 0
             return out
 
     def __repr__(self) -> str:

@@ -11,7 +11,10 @@ beyond the stdlib:
   ranges (:meth:`~repro.engine.plan.ExecutionPlan.shard`), runs each in
   its own worker **process**, and merges the workers' chunks through
   the ordinary sinks in strict scenario order — output is bit-for-bit
-  the single-process stream, just produced in parallel.
+  the single-process stream, just produced in parallel.  Sinks are
+  opened with the *whole* plan, so order-sensitive sinks like
+  :class:`repro.store.TileSink` work unchanged: shards spill rows, the
+  coordinator cuts them into tiles at merge time.
 * Worker death (OOM kill, segfault, ``kill -9``) is detected by
   liveness polling and answered with bounded retry: a fresh worker is
   assigned the dead one's *remaining* chunk range.  Pipeline errors,
@@ -363,7 +366,9 @@ def run_sweep_sharded(
         if checkpoint is None:
             raise DomainError(
                 "resume needs a path-backed JsonlSink to checkpoint "
-                "against"
+                "against; tile stores get the same crash tolerance "
+                "from delta=True instead (finished tiles are skipped "
+                "by fingerprint on re-run)"
             )
         if len(sinks) != 1:
             raise DomainError(

@@ -148,6 +148,16 @@ class ExecutionPlan:
         return tuple(name for name, _values in self._axes)
 
     @property
+    def axis_items(self) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+        """``(name, values)`` pairs in expansion (sorted) order."""
+        return self._axes
+
+    @property
+    def grid_shape(self) -> Tuple[int, ...]:
+        """Per-axis value counts (empty for explicit/gridless plans)."""
+        return tuple(len(values) for _name, values in self._axes)
+
+    @property
     def master_seed(self) -> Optional[int]:
         return self._master_seed
 
@@ -304,6 +314,86 @@ class ExecutionPlan:
                           default=str)
         self._fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
         return self._fingerprint
+
+    def region_fingerprint(
+        self, blocks: Sequence[Tuple[int, int]]
+    ) -> str:
+        """Content hash of one axis-aligned region's output rows.
+
+        ``blocks`` gives an ``(offset, length)`` window per grid axis
+        (or a single window over scenario indices for explicit/gridless
+        plans).  The hash folds exactly what the region's rows depend
+        on — pipeline, base parameters, dtype, the *windowed* axis
+        values, and the pipeline-folded cache key of the region's first
+        scenario (so file-referencing pipelines hash the referenced
+        content).  Seeded sweeps additionally fold the seed window:
+        the full grid shape plus the region's offsets, because
+        per-scenario seeds are a function of absolute grid position.
+        Unseeded deterministic sweeps deliberately do *not* fold
+        absolute position, so a region whose parameter values are
+        unchanged keeps its fingerprint even when other axes grow or
+        shrink around it — the content-addressing that lets
+        delta-sweeps skip it.
+        """
+        payload: Dict[str, Any] = {
+            "pipeline": self._pipeline_name,
+            "base": self._base,
+            "dtype": self._dtype,
+        }
+        if self._explicit is not None or not self._axes:
+            if len(blocks) != 1:
+                raise DomainError(
+                    f"plans without grid axes take one (start, length) "
+                    f"scenario window, got {len(blocks)} blocks"
+                )
+            start, length = blocks[0]
+            if not (0 <= start and length >= 1
+                    and start + length <= self._n):
+                raise DomainError(
+                    f"scenario window ({start}, {length}) outside "
+                    f"[0, {self._n})"
+                )
+            if self._explicit is not None:
+                payload["scenarios"] = [
+                    scenario.key()
+                    for scenario in self._explicit[start:start + length]
+                ]
+            else:
+                payload["window"] = [start, length]
+            anchor = self.scenario(start)
+        else:
+            if len(blocks) != len(self._axes):
+                raise DomainError(
+                    f"expected {len(self._axes)} (offset, length) blocks "
+                    f"(one per axis), got {len(blocks)}"
+                )
+            axes_payload = []
+            first_index = 0
+            for (name, values), (offset, length), stride in zip(
+                self._axes, blocks, self._strides
+            ):
+                if not (0 <= offset and length >= 1
+                        and offset + length <= len(values)):
+                    raise DomainError(
+                        f"block ({offset}, {length}) outside axis "
+                        f"{name!r} of length {len(values)}"
+                    )
+                axes_payload.append(
+                    [name, list(values[offset:offset + length])]
+                )
+                first_index += offset * stride
+            payload["axes"] = axes_payload
+            if self._master_seed is not None:
+                payload["seed_window"] = {
+                    "master_seed": self._master_seed,
+                    "grid_shape": list(self.grid_shape),
+                    "offsets": [offset for offset, _length in blocks],
+                }
+            anchor = self.scenario(first_index)
+        payload["anchor"] = self.cache_key(anchor)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def __getstate__(self) -> Dict[str, Any]:
         # The resolved Pipeline holds registry callables that may not

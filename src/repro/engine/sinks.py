@@ -26,7 +26,11 @@ sink            writes                                                 memory
 
 File sinks accept a path (opened at :meth:`~ResultSink.open`, closed at
 :meth:`~ResultSink.close`) or any open text handle (left open — the
-caller owns it).
+caller owns it).  Both file sinks flush per chunk and support
+``append=True``, so a killed sweep loses at most the chunk in flight.
+:class:`repro.store.TileSink` (columnar NumPy tiles + manifest, the
+delta-sweep substrate) lives in :mod:`repro.store` and plugs into the
+same protocol.
 """
 
 from __future__ import annotations
@@ -226,12 +230,42 @@ class CsvSink(_FileSink):
     genuinely heterogeneous (e.g. gridding over case files with
     different node sets) belong in :class:`JsonlSink`.  Rows *missing* a
     header column write it empty, matching ``ResultSet.to_csv``.
+
+    Crash tolerance matches :class:`JsonlSink`: every chunk is
+    **flushed** when written, so a killed sweep's file ends at a chunk
+    boundary plus at most one torn row (repairable with
+    :func:`truncate_torn_tail`), and ``append=True`` continues an
+    existing file — the header already on disk fixes the column
+    layout, and no second header is emitted.
     """
 
-    def __init__(self, path_or_handle):
-        super().__init__(path_or_handle)
+    def __init__(self, path_or_handle, append: bool = False):
+        super().__init__(path_or_handle, append=append)
         self._writer = None
         self._columns = None
+
+    def open(self, plan) -> None:
+        if self.append and self.path is None:
+            raise DomainError(
+                "CsvSink(append=True) needs a file path: the existing "
+                "header must be re-read to fix the column layout"
+            )
+        header: Optional[List[str]] = None
+        if self.append and self.path is not None:
+            try:
+                with open(self.path, "r", encoding="utf-8",
+                          newline="") as handle:
+                    header = next(csv.reader(handle), None) or None
+            except OSError:
+                header = None
+        super().open(plan)
+        self._writer = None
+        self._columns = None
+        if header is not None:
+            self._columns = frozenset(header)
+            self._writer = csv.DictWriter(
+                self._handle, fieldnames=header, restval=""
+            )
 
     def write(self, results: Sequence[ScenarioResult]) -> None:
         if self._writer is None:
@@ -253,6 +287,7 @@ class CsvSink(_FileSink):
                 )
             self._writer.writerow(record)
             self.n_rows += 1
+        self.flush()
         _M_SINK_ROWS.add(len(results))
 
 

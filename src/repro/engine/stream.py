@@ -273,6 +273,7 @@ def run_sweep_streaming(
     resume: bool = False,
     manifest_path: Optional[str] = None,
     max_retries: int = 2,
+    delta: bool = False,
 ) -> Dict[str, Any]:
     """Execute a sweep chunk-by-chunk, writing results through ``sinks``.
 
@@ -292,6 +293,12 @@ def run_sweep_streaming(
     resumes mid-stream via ``resume=True``.  ``max_retries`` bounds
     worker-death respawns per shard.
 
+    ``delta=True`` hands the sweep to
+    :func:`repro.store.delta.run_sweep_delta`: ``sinks`` must be
+    exactly one :class:`~repro.store.TileSink`, and only the tiles
+    whose content fingerprints are absent from the store's manifest
+    are executed — the finished store is bit-identical to a full run.
+
     Returns the run's meta summary: pipeline, backend, scenario/chunk
     counts, cache hit/miss totals, rows written, elapsed seconds, and a
     ``stage_timings`` breakdown: seconds spent lowering the plan
@@ -303,6 +310,25 @@ def run_sweep_streaming(
     :func:`repro.engine.run_sweep` exactly — same rows, same order,
     same seeds — for every backend, chunk size and shard count.
     """
+    if delta:
+        if shards is not None or resume:
+            raise DomainError(
+                "delta sweeps run single-process (skipped tiles make "
+                "sharding moot); drop shards/resume"
+            )
+        # Imported lazily: repro.store builds on this module.
+        from ..store.delta import run_sweep_delta
+
+        return run_sweep_delta(
+            sweep,
+            backend=backend,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            dtype=dtype,
+            cache=cache,
+            sinks=sinks,
+            progress=progress,
+        )
     if shards is not None or resume:
         from .coordinator import run_sweep_sharded
 

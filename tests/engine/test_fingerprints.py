@@ -1,0 +1,179 @@
+"""Property tests for plan and tile fingerprints.
+
+Delta-sweeps reuse bytes whenever fingerprints match, so the
+fingerprint must be exactly as strong as the guarantee: stable under
+re-lowering and chunk-layout choices (or nothing would ever be
+reused), and changed by anything that could change a row — axis
+values, seeds, seed position, referenced file content.
+"""
+
+import pathlib
+import shutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SweepSpec, lower
+from repro.errors import DomainError
+from repro.store import TileLayout
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def sweep_over(sigmas, demands, seed=None):
+    return SweepSpec(
+        pipeline="survival_update",
+        base={"mode": 0.003, "bound": 1e-2},
+        grid={"sigma": list(sigmas), "demands": list(demands)},
+        seed=seed,
+    )
+
+
+axis_values = st.lists(
+    st.integers(min_value=0, max_value=50).map(lambda i: round(0.5 + 0.01 * i, 2)),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+class TestRegionFingerprintProperties:
+    @given(
+        sigmas=axis_values,
+        demands=st.lists(st.integers(min_value=0, max_value=10000),
+                         min_size=1, max_size=6, unique=True),
+        seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+        chunk_a=st.integers(min_value=1, max_value=7),
+        chunk_b=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stable_under_relowering_and_chunking(
+        self, sigmas, demands, seed, chunk_a, chunk_b
+    ):
+        sweep = sweep_over(sigmas, demands, seed=seed)
+        plan_a = lower(sweep, chunk_size=chunk_a)
+        plan_b = lower(sweep, chunk_size=chunk_b)
+        blocks = tuple((0, 1) for _ in plan_a.axes)
+        assert (plan_a.region_fingerprint(blocks)
+                == plan_b.region_fingerprint(blocks))
+
+    @given(
+        sigmas=axis_values,
+        seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_axis_value_edit_changes_only_its_tiles(self, sigmas, seed):
+        demands = [0, 10, 100]
+        plan = lower(sweep_over(sigmas, demands, seed=seed))
+        edited_demands = [0, 10, 101]
+        edited = lower(sweep_over(sigmas, edited_demands, seed=seed))
+        # Axes sort to (demands, sigma): windows over demands.
+        n_sig = len(sigmas)
+        for offset in range(len(demands)):
+            window = ((offset, 1), (0, n_sig))
+            same = (plan.region_fingerprint(window)
+                    == edited.region_fingerprint(window))
+            assert same == (demands[offset] == edited_demands[offset])
+
+    @given(seed_a=st.integers(min_value=0, max_value=2**31),
+           seed_b=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_seed_is_fingerprinted(self, seed_a, seed_b):
+        window = ((0, 1), (0, 2))
+        fp_a = lower(sweep_over([0.7, 0.9], [0, 10], seed=seed_a)
+                     ).region_fingerprint(window)
+        fp_b = lower(sweep_over([0.7, 0.9], [0, 10], seed=seed_b)
+                     ).region_fingerprint(window)
+        assert (fp_a == fp_b) == (seed_a == seed_b)
+
+    def test_seeded_windows_are_position_dependent(self):
+        # Same parameter window, different absolute position: an
+        # unseeded sweep keeps its fingerprint (content addressing),
+        # a seeded one must not (seeds follow grid position).
+        plan = lower(sweep_over([0.7, 0.9], [0, 10, 100]))
+        grown = lower(sweep_over([0.7, 0.9], [5, 0, 10, 100]))
+        window_old = ((0, 1), (0, 2))      # demands=0 row
+        window_new = ((1, 1), (0, 2))      # same row, shifted by one
+        assert (plan.region_fingerprint(window_old)
+                == grown.region_fingerprint(window_new))
+        seeded = lower(sweep_over([0.7, 0.9], [0, 10, 100], seed=9))
+        seeded_grown = lower(sweep_over([0.7, 0.9], [5, 0, 10, 100],
+                                        seed=9))
+        assert (seeded.region_fingerprint(window_old)
+                != seeded_grown.region_fingerprint(window_new))
+
+    def test_base_and_dtype_are_fingerprinted(self):
+        window = ((0, 1), (0, 2))
+        fp = lower(sweep_over([0.7, 0.9], [0, 10])
+                   ).region_fingerprint(window)
+        other_base = SweepSpec(
+            pipeline="survival_update",
+            base={"mode": 0.004, "bound": 1e-2},
+            grid={"sigma": [0.7, 0.9], "demands": [0, 10]},
+        )
+        assert lower(other_base).region_fingerprint(window) != fp
+        assert lower(sweep_over([0.7, 0.9], [0, 10]), dtype="float32"
+                     ).region_fingerprint(window) != fp
+
+    def test_bad_windows_rejected(self):
+        plan = lower(sweep_over([0.7, 0.9], [0, 10]))
+        with pytest.raises(DomainError):
+            plan.region_fingerprint(((0, 1),))          # one block short
+        with pytest.raises(DomainError):
+            plan.region_fingerprint(((0, 3), (0, 2)))   # outside axis
+        with pytest.raises(DomainError):
+            plan.region_fingerprint(((0, 1), (2, 1)))   # offset past end
+
+
+class TestFileContentFingerprint:
+    def test_referenced_file_edit_changes_fingerprint(self, tmp_path):
+        case_file = str(tmp_path / "case.yaml")
+        shutil.copy(EXAMPLES / "case_confidence.yaml", case_file)
+        sweep = SweepSpec(
+            pipeline="case_confidence",
+            base={"case_file": case_file},
+            grid={"A1.p_true": [0.8, 0.9]},
+        )
+        window = ((0, 1),)
+        before = lower(sweep).region_fingerprint(window)
+        assert lower(sweep).region_fingerprint(window) == before
+        text = pathlib.Path(case_file).read_text(encoding="utf-8")
+        pathlib.Path(case_file).write_text(
+            text.replace("probability_true: 0.90",
+                         "probability_true: 0.85"),
+            encoding="utf-8",
+        )
+        assert lower(sweep).region_fingerprint(window) != before
+
+
+class TestTileFingerprintConsistency:
+    @given(
+        sigmas=axis_values,
+        demands=st.lists(st.integers(min_value=0, max_value=10000),
+                         min_size=1, max_size=6, unique=True),
+        tile_scenarios=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tile_fingerprints_agree_with_direct_windows(
+        self, sigmas, demands, tile_scenarios
+    ):
+        plan = lower(sweep_over(sigmas, demands))
+        layout = TileLayout(plan, tile_scenarios=tile_scenarios)
+        prints = []
+        for tile in layout.tiles():
+            fp = layout.fingerprint(tile)
+            direct = plan.region_fingerprint(
+                tuple(zip(tile.offsets, tile.shape))
+            )
+            assert fp == direct
+            prints.append(fp)
+        # Distinct tiles never collide (they differ in axis windows or,
+        # when seeded, offsets).
+        assert len(set(prints)) == len(prints)
+
+    def test_whole_grid_tile_matches_whole_plan_region(self):
+        plan = lower(sweep_over([0.7, 0.9], [0, 10, 100]))
+        layout = TileLayout(plan, tile_scenarios=plan.n_scenarios)
+        assert layout.n_tiles == 1
+        tile = layout.tile(0)
+        whole = tuple((0, size) for size in plan.grid_shape)
+        assert layout.fingerprint(tile) == plan.region_fingerprint(whole)

@@ -625,3 +625,110 @@ class TestCacheClearRegions:
         out = capsys.readouterr().out
         assert "hit rate" in out
         assert "%" in out
+
+
+class TestStoreCommand:
+    def _spec_path(self, tmp_path, data=SWEEP_SPEC):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def _materialise(self, tmp_path, **_):
+        store = tmp_path / "store"
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--store", str(store), "--tile-scenarios", "1",
+        ]) == 0
+        return str(store)
+
+    def test_sweep_store_writes_and_reports(self, capsys, tmp_path):
+        store = self._materialise(tmp_path)
+        out = capsys.readouterr().out
+        assert "3 rows streamed to store" in out
+        from repro.store import TileStore
+
+        assert TileStore.open(store).n_tiles == 3
+
+    def test_sweep_delta_reports_tile_counts(self, capsys, tmp_path):
+        store = self._materialise(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--stream", "--store", store, "--tile-scenarios", "1",
+            "--delta",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "delta: 0/3 tiles executed (3 skipped" in out
+
+    def test_store_flag_combinations_rejected(self, capsys, tmp_path):
+        spec = self._spec_path(tmp_path)
+        store = str(tmp_path / "store")
+        # --delta without --store
+        assert main(["sweep", "--spec", spec, "--stream",
+                     "--out", str(tmp_path / "r.jsonl"), "--delta"]) == 2
+        # --delta with a row sink
+        assert main(["sweep", "--spec", spec, "--stream",
+                     "--store", store, "--out", str(tmp_path / "r.jsonl"),
+                     "--delta"]) == 2
+        # --delta under sharding
+        assert main(["sweep", "--spec", spec, "--stream",
+                     "--store", store, "--delta", "--shards", "2"]) == 2
+        # --tile-scenarios without --store
+        assert main(["sweep", "--spec", spec, "--stream",
+                     "--out", str(tmp_path / "r.jsonl"),
+                     "--tile-scenarios", "4"]) == 2
+        # streaming without any destination
+        assert main(["sweep", "--spec", spec, "--stream"]) == 2
+        capsys.readouterr()
+
+    def test_store_flags_require_stream(self, capsys, tmp_path):
+        assert main([
+            "sweep", "--spec", self._spec_path(tmp_path),
+            "--store", str(tmp_path / "store"),
+        ]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_store_stats_output(self, capsys, tmp_path):
+        store = self._materialise(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "3 scenarios in 3 tiles" in out
+        assert "demands" in out
+        assert "confidence" in out
+        assert "store fingerprint" in out
+
+    def test_store_query_answers_from_tiles(self, capsys, tmp_path):
+        store = self._materialise(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "store", "query", store, "--fix", "demands=100",
+            "--columns", "confidence",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 scenarios executed" in out
+        assert "100" in out
+
+    def test_store_query_bad_fix_reports_error(self, capsys, tmp_path):
+        store = self._materialise(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "store", "query", store, "--fix", "demands=7",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_stats_on_non_store_reports_error(self, capsys, tmp_path):
+        assert main(["store", "stats", str(tmp_path)]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_cache_stats_disk_bytes_column(self, capsys, tmp_path):
+        store = self._materialise(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "store", "query", store, "--fix", "demands=100",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "disk bytes" in out
+        assert "store.tiles" in out

@@ -104,6 +104,14 @@ class Pipeline:
     #: False for pipelines that draw fresh entropy when the scenario has
     #: no seed; the executor skips the result cache for those runs.
     deterministic: bool = True
+    #: Parameter names whose *values* reference content outside the spec
+    #: (e.g. a file path).  Pipelines that override :meth:`cache_key` to
+    #: fold external content must list the parameters carrying the
+    #: reference here, so plan/region fingerprints can anchor one cache
+    #: key per distinct referenced value — a fingerprint that hashed only
+    #: one scenario would miss edits to the *other* files when such a
+    #: parameter is swept as a grid axis.
+    content_params: Tuple[str, ...] = ()
 
     def resolve(self, params: Mapping[str, Any]) -> Dict[str, Any]:
         """Merge ``params`` over the defaults, validating names.
@@ -483,6 +491,7 @@ class CaseConfidencePipeline(Pipeline):
     name = "case_confidence"
     defaults = {"case_file": None}
     required = ("case_file",)
+    content_params = ("case_file",)
 
     def cache_key(self, spec) -> str:
         """Fold the case file's *content* into the cache key.

@@ -28,6 +28,7 @@ engine's bit-for-bit reproducibility guarantee for stochastic sweeps.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -279,6 +280,95 @@ class ExecutionPlan:
         return self._pipeline.deterministic or scenario.seed is not None
 
     # ------------------------------------------------------------------ #
+    # Content anchors (external state folded into fingerprints)
+    # ------------------------------------------------------------------ #
+
+    def _content_param_names(self) -> Optional[Tuple[str, ...]]:
+        """Parameters whose values reference content outside the spec.
+
+        ``()`` means none: the pipeline's ``cache_key`` is the default
+        pure function of the spec, so axis windows already pin every
+        input.  ``None`` means *unknown*: the pipeline overrides
+        ``cache_key`` — its results depend on external state — without
+        declaring :attr:`~repro.engine.pipelines.Pipeline.content_params`,
+        so fingerprints must anchor every distinct scenario rather than
+        guess which parameter carries the reference.
+        """
+        declared = tuple(
+            getattr(self._pipeline, "content_params", ()) or ()
+        )
+        if declared:
+            return declared
+        if type(self._pipeline).cache_key is Pipeline.cache_key:
+            return ()
+        return None
+
+    def _grid_anchor_keys(
+        self, blocks: Sequence[Tuple[int, int]]
+    ) -> List[str]:
+        """Pipeline-folded cache keys anchoring a grid region's content.
+
+        One key per combination the region takes of the
+        content-referencing axes (row-major window order), so *every*
+        referenced file inside the region is hashed — a single
+        first-scenario anchor would miss edits to the other files when
+        a content parameter (e.g. ``case_file``) is itself a grid axis.
+        Degenerates to one first-scenario key when no content parameter
+        varies inside the region.
+        """
+        first_index = sum(
+            offset * stride
+            for (offset, _length), stride in zip(blocks, self._strides)
+        )
+        content = self._content_param_names()
+        varying: List[Tuple[int, int]] = []
+        if content != ():
+            varying = [
+                (stride, length)
+                for (name, _values), (_offset, length), stride in zip(
+                    self._axes, blocks, self._strides
+                )
+                if length > 1 and (content is None or name in content)
+            ]
+        if not varying:
+            return [self.cache_key(self.scenario(first_index))]
+        keys: List[str] = []
+        for deltas in itertools.product(
+            *(range(length) for _stride, length in varying)
+        ):
+            index = first_index + sum(
+                delta * stride
+                for delta, (stride, _length) in zip(deltas, varying)
+            )
+            keys.append(self.cache_key(self.scenario(index)))
+        return keys
+
+    def _range_anchor_keys(self, start: int, length: int) -> List[str]:
+        """Content anchor keys for a scenario-range region (explicit or
+        gridless plans): one per distinct content-parameter combination
+        in the window, first occurrence first."""
+        content = self._content_param_names()
+        if self._explicit is None or content == () or length == 1:
+            return [self.cache_key(self.scenario(start))]
+        keys: List[str] = []
+        seen = set()
+        for index in range(start, start + length):
+            scenario = self._explicit[index]
+            if content is None:
+                marker = scenario.key()
+            else:
+                marker = json.dumps(
+                    [[name, scenario.params.get(name)]
+                     for name in content],
+                    sort_keys=True, default=str,
+                )
+            if marker in seen:
+                continue
+            seen.add(marker)
+            keys.append(self.cache_key(scenario))
+        return keys
+
+    # ------------------------------------------------------------------ #
     # Identity and pickling
     # ------------------------------------------------------------------ #
 
@@ -287,11 +377,14 @@ class ExecutionPlan:
 
         Folds everything the stream depends on: pipeline name, base
         parameters, axes, master seed, scenario count, chunk layout,
-        dtype — plus the pipeline-folded cache key of scenario 0, so
+        dtype — plus pipeline-folded content anchor keys, so
         file-referencing pipelines hash the referenced *content* too
-        (editing a case file changes the fingerprint).  Checkpoint
-        manifests store this hash; resuming against a different sweep
-        fails loudly instead of interleaving streams.
+        (editing a case file changes the fingerprint).  One anchor per
+        distinct value combination of the content-referencing
+        parameters: sweeping ``case_file`` as a grid axis hashes every
+        file, not just the first scenario's.  Checkpoint manifests
+        store this hash; resuming against a different sweep fails
+        loudly instead of interleaving streams.
         """
         if self._fingerprint is not None:
             return self._fingerprint
@@ -309,7 +402,16 @@ class ExecutionPlan:
             ),
         }
         if self._n:
-            payload["scenario0"] = self.cache_key(self.scenario(0))
+            if self._explicit is not None or not self._axes:
+                anchors = self._range_anchor_keys(0, self._n)
+            else:
+                anchors = self._grid_anchor_keys(
+                    [(0, len(values)) for _name, values in self._axes]
+                )
+            if len(anchors) == 1:
+                payload["scenario0"] = anchors[0]
+            else:
+                payload["content_anchors"] = anchors
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                           default=str)
         self._fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -324,9 +426,12 @@ class ExecutionPlan:
         (or a single window over scenario indices for explicit/gridless
         plans).  The hash folds exactly what the region's rows depend
         on — pipeline, base parameters, dtype, the *windowed* axis
-        values, and the pipeline-folded cache key of the region's first
-        scenario (so file-referencing pipelines hash the referenced
-        content).  Seeded sweeps additionally fold the seed window:
+        values, and pipeline-folded content anchor keys: one cache key
+        per distinct combination the region takes of the
+        content-referencing parameters (file-referencing pipelines
+        declare them via ``content_params``), so every referenced file
+        inside the region is hashed even when the file path itself is a
+        grid axis.  Seeded sweeps additionally fold the seed window:
         the full grid shape plus the region's offsets, because
         per-scenario seeds are a function of absolute grid position.
         Unseeded deterministic sweeps deliberately do *not* fold
@@ -360,7 +465,7 @@ class ExecutionPlan:
                 ]
             else:
                 payload["window"] = [start, length]
-            anchor = self.scenario(start)
+            anchors = self._range_anchor_keys(start, length)
         else:
             if len(blocks) != len(self._axes):
                 raise DomainError(
@@ -368,9 +473,8 @@ class ExecutionPlan:
                     f"(one per axis), got {len(blocks)}"
                 )
             axes_payload = []
-            first_index = 0
-            for (name, values), (offset, length), stride in zip(
-                self._axes, blocks, self._strides
+            for (name, values), (offset, length) in zip(
+                self._axes, blocks
             ):
                 if not (0 <= offset and length >= 1
                         and offset + length <= len(values)):
@@ -381,7 +485,6 @@ class ExecutionPlan:
                 axes_payload.append(
                     [name, list(values[offset:offset + length])]
                 )
-                first_index += offset * stride
             payload["axes"] = axes_payload
             if self._master_seed is not None:
                 payload["seed_window"] = {
@@ -389,8 +492,11 @@ class ExecutionPlan:
                     "grid_shape": list(self.grid_shape),
                     "offsets": [offset for offset, _length in blocks],
                 }
-            anchor = self.scenario(first_index)
-        payload["anchor"] = self.cache_key(anchor)
+            anchors = self._grid_anchor_keys(blocks)
+        if len(anchors) == 1:
+            payload["anchor"] = anchors[0]
+        else:
+            payload["anchors"] = anchors
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                           default=str)
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()

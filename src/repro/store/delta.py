@@ -9,8 +9,10 @@ the store's manifest:
 * **skipped** — the tile at the same index has the same fingerprint;
   its blobs are adopted with zero I/O beyond a size check;
 * **moved** — the fingerprint exists elsewhere in the old store (an
-  axis grew or values shifted position); the blobs are copied to the
-  new index, content-verified by hash;
+  axis grew or values shifted position); the blobs are staged through
+  temp files on the store's filesystem (hash-verified as they stream,
+  memory bounded however many tiles move) and renamed into the new
+  index;
 * **executed** — everything else runs through the ordinary streaming
   machinery (:func:`repro.engine.stream.stream_results`) as an
   explicit-scenario sub-plan carrying the parent's absolute seeds.
@@ -31,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import shutil
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -46,7 +49,7 @@ from ..engine.stream import (
     run_sweep_streaming,
     stream_results,
 )
-from .format import TILES_DIR, read_manifest, tile_dirname
+from .format import TILES_DIR, manifest_path, read_manifest, tile_dirname
 from .layout import Tile, TileLayout
 from .sink import TileSink, TileWriter
 
@@ -66,39 +69,62 @@ def _delta_meta(meta: Dict[str, Any], writer: TileWriter,
     return meta
 
 
-def _read_move_sources(
+#: Staging directory for moved tiles, inside the store (same
+#: filesystem, so staged files rename into tile directories atomically).
+STAGE_DIR = ".delta-stage"
+
+_COPY_BLOCK = 1 << 20
+
+
+def _stage_move_sources(
     store_path: str,
     moves: List[Tuple[Tile, str, Dict[str, Any]]],
-) -> Dict[int, Dict[str, bytes]]:
-    """Buffer every moved tile's source blobs *before* any write.
+    stage_dir: str,
+) -> Dict[int, Dict[str, str]]:
+    """Stage every moved tile's source blobs to disk *before* any write.
 
     Destination directories are keyed by tile index, and a moved
     tile's destination can be another moved tile's source (axes
-    shifting positions permute indices) — so all sources are read and
-    content-verified first.  A blob that fails verification demotes
-    its tile to "execute" by raising per-tile.
+    shifting positions permute indices) — so all sources must be
+    secured before the first destination write.  Each blob is streamed
+    (bounded memory, however many tiles move) into a per-destination
+    temp file under ``stage_dir``, content-verified by sha256 as it is
+    copied, and fsynced; :meth:`TileWriter.reuse_tile` later renames it
+    into place.  A blob that fails verification drops its tile from
+    the result, demoting it to "execute".
     """
-    buffered: Dict[int, Dict[str, bytes]] = {}
+    staged: Dict[int, Dict[str, str]] = {}
     for tile, _fp, old_record in moves:
         source_dir = os.path.join(
             store_path, TILES_DIR, tile_dirname(old_record["index"])
         )
-        blobs: Dict[str, bytes] = {}
+        files: Dict[str, str] = {}
         for name, col in old_record["columns"].items():
-            path = os.path.join(source_dir, col["file"])
+            src = os.path.join(source_dir, col["file"])
+            dst = os.path.join(
+                stage_dir, f"{tile.index:06d}.{col['file']}"
+            )
+            digest = hashlib.sha256()
             try:
-                with open(path, "rb") as handle:
-                    data = handle.read()
+                with open(src, "rb") as reader, open(dst, "wb") as writer:
+                    while True:
+                        block = reader.read(_COPY_BLOCK)
+                        if not block:
+                            break
+                        digest.update(block)
+                        writer.write(block)
+                    writer.flush()
+                    os.fsync(writer.fileno())
             except OSError:
-                blobs = {}
+                files = {}
                 break
-            if hashlib.sha256(data).hexdigest() != col["sha256"]:
-                blobs = {}
+            if digest.hexdigest() != col["sha256"]:
+                files = {}
                 break
-            blobs[name] = data
-        if blobs:
-            buffered[tile.index] = blobs
-    return buffered
+            files[name] = dst
+        if files:
+            staged[tile.index] = files
+    return staged
 
 
 def run_sweep_delta(
@@ -117,8 +143,12 @@ def run_sweep_delta(
     — delta semantics are defined by the store's manifest, and row
     sinks would have to re-emit every row anyway (use a full run for
     those).  With no manifest at the sink's path this degrades to an
-    ordinary full streaming run.  Returns the streaming meta dict
-    extended with ``delta``/``tiles_*``/``bytes_*`` accounting.
+    ordinary full streaming run.  An existing manifest is *consumed*
+    (removed from disk) as soon as it is read, before any blob is
+    touched: a delta killed mid-run therefore reads as "no store
+    here", never as a readable mix of old and new generations.
+    Returns the streaming meta dict extended with
+    ``delta``/``tiles_*``/``bytes_*`` accounting.
     """
     sinks = tuple(sinks)
     if len(sinks) != 1 or not isinstance(sinks[0], TileSink):
@@ -181,6 +211,15 @@ def run_sweep_delta(
         "chunk_size": plan.chunk_size,
         "dtype": plan.dtype,
     }
+    # The old manifest is in memory now; remove it from disk before any
+    # blob is touched.  A delta killed mid-run must read as "no store
+    # here" (like an interrupted full run) — were the manifest left in
+    # place, readers would silently serve a mix of generations, and a
+    # later delta would stamp the old hashes onto the new bytes.
+    try:
+        os.remove(manifest_path(sink.path))
+    except OSError:
+        pass
     writer = TileWriter(sink.path, layout)
 
     old_by_index: Dict[int, Dict[str, Any]] = {
@@ -213,20 +252,27 @@ def run_sweep_delta(
             else:
                 pending.append((tile, fp))
 
-        move_blobs = _read_move_sources(sink.path, moved)
-        for tile, fp, record in moved:
-            blobs = move_blobs.get(tile.index)
-            if blobs is None:
-                pending.append((tile, fp))
-                continue
-            source_dir = os.path.join(
-                sink.path, TILES_DIR, tile_dirname(record["index"])
-            )
-            try:
-                writer.reuse_tile(tile, fp, record, source_dir,
-                                  blobs=blobs)
-            except DomainError:
-                pending.append((tile, fp))
+        stage_dir = os.path.join(sink.path, STAGE_DIR)
+        shutil.rmtree(stage_dir, ignore_errors=True)  # a crashed delta's
+        if moved:
+            os.makedirs(stage_dir, exist_ok=True)
+        try:
+            move_staged = _stage_move_sources(sink.path, moved, stage_dir)
+            for tile, fp, record in moved:
+                staged = move_staged.get(tile.index)
+                if staged is None:
+                    pending.append((tile, fp))
+                    continue
+                source_dir = os.path.join(
+                    sink.path, TILES_DIR, tile_dirname(record["index"])
+                )
+                try:
+                    writer.reuse_tile(tile, fp, record, source_dir,
+                                      staged=staged)
+                except DomainError:
+                    pending.append((tile, fp))
+        finally:
+            shutil.rmtree(stage_dir, ignore_errors=True)
         for tile, fp, record in skipped:
             source_dir = writer.tile_dir(tile.index)
             try:
@@ -274,7 +320,8 @@ def run_sweep_delta(
                          plan.n_scenarios)
 
         stage_start = time.perf_counter()
-        writer.finalise()
+        manifest = writer.finalise()
+        sink.adopt(writer, manifest)
         sink_elapsed += time.perf_counter() - stage_start
         root_span.set(tiles_executed=writer.tiles_written,
                       tiles_skipped=writer.tiles_skipped,

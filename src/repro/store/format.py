@@ -133,14 +133,37 @@ def decode_blob(path: str) -> np.ndarray:
     return arr
 
 
-def write_atomic(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` via rename, never exposing torn files."""
+def _fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory (no-op where unsupported)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path: str, data: bytes, durable: bool = False) -> None:
+    """Write ``data`` to ``path`` via rename, never exposing torn files.
+
+    ``durable=True`` additionally fsyncs the parent directory after the
+    rename, making the *rename itself* survive power loss — used for
+    the manifest, the store's single commit point (per-blob directory
+    syncs would cost one per column per tile for no extra guarantee:
+    blobs without a manifest are invisible anyway).
+    """
     tmp = f"{path}.tmp"
     with open(tmp, "wb") as handle:
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    if durable:
+        _fsync_dir(os.path.dirname(os.path.abspath(path)) or ".")
 
 
 def manifest_path(store_path: str) -> str:
@@ -179,4 +202,5 @@ def read_manifest(store_path: str) -> Dict[str, Any]:
 def write_manifest(store_path: str, manifest: Dict[str, Any]) -> None:
     """Dump the manifest deterministically (sorted keys, no clock)."""
     blob = json.dumps(manifest, sort_keys=True, indent=1)
-    write_atomic(manifest_path(store_path), (blob + "\n").encode("utf-8"))
+    write_atomic(manifest_path(store_path), (blob + "\n").encode("utf-8"),
+                 durable=True)

@@ -161,20 +161,22 @@ class TileWriter:
         fingerprint: str,
         old_record: Dict[str, Any],
         source_dir: str,
-        blobs: Optional[Dict[str, bytes]] = None,
+        staged: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """Adopt a previous generation's blobs for ``tile``.
 
         When the old blobs already sit in this tile's directory the
-        adoption is free (``skipped``); otherwise they are copied into
+        adoption is free (``skipped``); otherwise they are renamed into
         place (``moved`` — the fingerprint matched at a different tile
-        index, e.g. after an axis grew).  Moves must pass the source
-        bytes via ``blobs`` (pre-read and content-verified by the
-        caller *before* any destination write, because a move's
-        destination directory can be a later move's source).  Returns
-        the new record, or raises :class:`DomainError` if a blob is
-        missing or its size disagrees with the old record — callers
-        treat that as "execute the tile instead".
+        index, e.g. after an axis grew).  Moves must pass ``staged``:
+        per-column paths of temp files the caller copied and
+        content-verified *before* any destination write (a move's
+        destination directory can be a later move's source, and staging
+        through files keeps peak memory independent of how many tiles
+        move).  Each staged file is consumed (renamed away) on use.
+        Returns the new record, or raises :class:`DomainError` if a
+        blob is missing or its size disagrees with the old record —
+        callers treat that as "execute the tile instead".
         """
         self._bind_columns(list(old_record["columns"]))
         assert self._columns is not None
@@ -205,14 +207,18 @@ class TileWriter:
                         f"recorded {old_col['bytes']}; re-executing"
                     )
             else:
-                data = (blobs or {}).get(name)
-                if data is None or len(data) != old_col["bytes"]:
+                src = (staged or {}).get(name)
+                try:
+                    size = -1 if src is None else os.path.getsize(src)
+                except OSError:
+                    size = -1
+                if size != old_col["bytes"]:
                     raise DomainError(
                         f"tile {tile.index} move is missing verified "
-                        f"source bytes for column {name!r}; re-executing"
+                        f"staged bytes for column {name!r}; re-executing"
                     )
                 os.makedirs(tile_dir, exist_ok=True)
-                write_atomic(os.path.join(tile_dir, filename), data)
+                os.replace(src, os.path.join(tile_dir, filename))
             columns[name] = {
                 "file": filename,
                 "dtype": old_col["dtype"],
@@ -449,3 +455,19 @@ class TileSink(ResultSink):
             return
         if self._next_tile == self._layout.n_tiles and not self._buffer:
             self._manifest = self._writer.finalise()
+
+    def adopt(self, writer: TileWriter, manifest: Dict[str, Any]) -> None:
+        """Adopt a finished store written by an external driver.
+
+        The delta executor drives a :class:`TileWriter` directly (it
+        never routes rows through :meth:`write`); after finalising it
+        hands the writer and manifest back here so :attr:`writer` and
+        :attr:`manifest` report the completed store on the delta path
+        exactly as they do after a full :meth:`open`/:meth:`close` run.
+        """
+        self._writer = writer
+        self._layout = writer.layout
+        self._buffer = []
+        self._buffer_start = writer.layout.plan.n_scenarios
+        self._next_tile = writer.layout.n_tiles
+        self._manifest = manifest

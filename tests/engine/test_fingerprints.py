@@ -124,6 +124,62 @@ class TestRegionFingerprintProperties:
             plan.region_fingerprint(((0, 1), (2, 1)))   # offset past end
 
 
+def _edit_case_file(path, old, new):
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    assert old in text
+    pathlib.Path(path).write_text(text.replace(old, new),
+                                  encoding="utf-8")
+
+
+class TestContentAxisFingerprint:
+    """``case_file`` swept as a grid axis: every referenced file must be
+    fingerprinted, not just the region's first scenario's (an edit to
+    any *other* file would otherwise leave tiles stale)."""
+
+    def _files(self, tmp_path):
+        files = []
+        for i, conf in enumerate(("0.97", "0.96")):
+            path = str(tmp_path / f"case_{i}.yaml")
+            shutil.copy(EXAMPLES / "case_confidence.yaml", path)
+            _edit_case_file(path, "confidence: 0.97", f"confidence: {conf}")
+            files.append(path)
+        return files
+
+    def _sweep(self, files):
+        return SweepSpec(
+            pipeline="case_confidence",
+            base={},
+            grid={"A1.p_true": [0.8, 0.9], "case_file": files},
+        )
+
+    def test_second_file_edit_changes_covering_region(self, tmp_path):
+        files = self._files(tmp_path)
+        # Axes sort to (A1.p_true, case_file): this window spans both
+        # files at one p_true value — exactly one tile's shape when
+        # case_file lands in the trailing axes.
+        window = ((0, 1), (0, 2))
+        before = lower(self._sweep(files)).region_fingerprint(window)
+        assert lower(self._sweep(files)).region_fingerprint(window) == before
+        _edit_case_file(files[1], "confidence: 0.96", "confidence: 0.95")
+        after = lower(self._sweep(files)).region_fingerprint(window)
+        assert after != before
+
+    def test_second_file_edit_changes_plan_fingerprint(self, tmp_path):
+        files = self._files(tmp_path)
+        before = lower(self._sweep(files)).fingerprint()
+        assert lower(self._sweep(files)).fingerprint() == before
+        _edit_case_file(files[1], "confidence: 0.96", "confidence: 0.95")
+        assert lower(self._sweep(files)).fingerprint() != before
+
+    def test_single_file_windows_stay_distinct(self, tmp_path):
+        files = self._files(tmp_path)
+        plan = lower(self._sweep(files))
+        # One file per window: fingerprints must tell the files apart.
+        fp_a = plan.region_fingerprint(((0, 1), (0, 1)))
+        fp_b = plan.region_fingerprint(((0, 1), (1, 1)))
+        assert fp_a != fp_b
+
+
 class TestFileContentFingerprint:
     def test_referenced_file_edit_changes_fingerprint(self, tmp_path):
         case_file = str(tmp_path / "case.yaml")

@@ -162,6 +162,103 @@ class TestDeltaFileContent:
         assert store_bytes(path) == store_bytes(scratch)
 
 
+class TestDeltaContentAxis:
+    """``case_file`` swept as a grid axis, landing *inside* tiles: an
+    edit to any of the referenced files must re-execute the tiles that
+    cover it — the stale-skip bug a first-scenario-only anchor had."""
+
+    def _files(self, tmp_path):
+        files = []
+        for i, conf in enumerate(("0.97", "0.96")):
+            path = str(tmp_path / f"case_{i}.yaml")
+            shutil.copy(EXAMPLES / "case_confidence.yaml", path)
+            text = pathlib.Path(path).read_text(encoding="utf-8")
+            pathlib.Path(path).write_text(
+                text.replace("confidence: 0.97", f"confidence: {conf}"),
+                encoding="utf-8",
+            )
+            files.append(path)
+        return files
+
+    def _sweep(self, files):
+        return SweepSpec(
+            pipeline="case_confidence",
+            base={},
+            grid={"A1.p_true": [0.8, 0.9], "case_file": files},
+        )
+
+    def test_non_first_file_edit_reexecutes_covering_tiles(self, tmp_path):
+        files = self._files(tmp_path)
+        path = str(tmp_path / "store")
+        # Axes sort to (A1.p_true, case_file): tiles of 2 scenarios are
+        # (1, 2) blocks, each covering BOTH case files.
+        delta_run(path, self._sweep(files), tile_scenarios=2)
+        meta = delta_run(path, self._sweep(files), tile_scenarios=2)
+        assert meta["tiles_skipped"] == meta["tiles_total"] == 2
+
+        edited = pathlib.Path(files[1])
+        edited.write_text(
+            edited.read_text(encoding="utf-8")
+            .replace("confidence: 0.96", "confidence: 0.95"),
+            encoding="utf-8",
+        )
+        meta = delta_run(path, self._sweep(files), tile_scenarios=2)
+        assert meta["tiles_executed"] == meta["tiles_total"] == 2
+        scratch = scratch_store(tmp_path, self._sweep(files),
+                                tile_scenarios=2)
+        assert store_bytes(path) == store_bytes(scratch)
+
+
+class TestDeltaCrashSafety:
+    def test_killed_delta_leaves_no_manifest(self, tmp_path, monkeypatch):
+        # The old manifest must be consumed before any blob write: a
+        # delta dying mid-run reads as "no store here", never as a
+        # readable mix of generations.
+        from repro.store.sink import TileWriter
+
+        path = str(tmp_path / "store")
+        delta_run(path, sweep_over())
+        edited = sweep_over(confs=[0.6, 0.8, 0.9])
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("killed mid-delta")
+
+        with monkeypatch.context() as patch:
+            patch.setattr(TileWriter, "write_tile", explode)
+            with pytest.raises(RuntimeError, match="killed mid-delta"):
+                delta_run(path, edited)
+        assert not os.path.exists(os.path.join(path, "manifest.json"))
+        with pytest.raises(DomainError, match="not a tile store"):
+            import repro.store as store_mod
+            store_mod.TileStore.open(path)
+
+        # Recovery: no manifest -> honest full run, bit-identical.
+        meta = delta_run(path, edited)
+        assert meta["tiles_executed"] == meta["tiles_total"]
+        scratch = scratch_store(tmp_path, edited)
+        assert store_bytes(path) == store_bytes(scratch)
+
+    def test_move_staging_dir_cleaned_up(self, tmp_path):
+        path = str(tmp_path / "store")
+        delta_run(path, sweep_over())
+        grown = sweep_over(confs=[0.5] + BASE_CONFS)
+        meta = delta_run(path, grown)
+        assert meta["tiles_moved"] == 3
+        assert not os.path.exists(os.path.join(path, ".delta-stage"))
+        scratch = scratch_store(tmp_path, grown)
+        assert store_bytes(path) == store_bytes(scratch)
+
+    def test_delta_populates_sink_manifest(self, tmp_path):
+        path = str(tmp_path / "store")
+        delta_run(path, sweep_over())
+        sink = TileSink(path, tile_scenarios=4)
+        run_sweep_delta(sweep_over(), sinks=(sink,))
+        assert sink.manifest is not None
+        assert sink.manifest["n_scenarios"] == 12
+        assert sink.writer is not None
+        assert sink.writer.tiles_skipped == 3
+
+
 class TestDeltaGuards:
     def test_requires_exactly_one_tile_sink(self, tmp_path):
         with pytest.raises(DomainError, match="exactly one TileSink"):
